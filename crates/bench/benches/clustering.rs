@@ -1,0 +1,36 @@
+//! Streaming-clustering pass throughput (phase 1 of 2PS-L) and the degree
+//! pass it depends on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tps_clustering::streaming::{cluster_stream, ClusteringConfig};
+use tps_graph::datasets::Dataset;
+use tps_graph::degree::DegreeTable;
+
+fn bench_clustering(c: &mut Criterion) {
+    let graph = Dataset::It.generate_scaled(0.1);
+    let mut stream = graph.stream();
+    let degrees = DegreeTable::compute(&mut stream, graph.num_vertices()).unwrap();
+
+    let mut group = c.benchmark_group("phase1");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(graph.num_edges()));
+    group.bench_function("degree_pass", |b| {
+        b.iter(|| {
+            let mut s = graph.stream();
+            black_box(DegreeTable::compute(&mut s, graph.num_vertices()).unwrap())
+        })
+    });
+    group.bench_function("clustering_pass", |b| {
+        b.iter(|| {
+            let mut s = graph.stream();
+            black_box(
+                cluster_stream(&mut s, &degrees, &ClusteringConfig::default_for_partitions(32))
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! End-to-end partitioner throughput on a small graph — a quick regression
+//! guard for the relative cost ordering (DBH < 2PS-L < HDRF at k = 32).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tps_baselines::{DbhPartitioner, HdrfPartitioner};
+use tps_core::partitioner::{PartitionParams, Partitioner};
+use tps_core::sink::NullSink;
+use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_graph::datasets::Dataset;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let graph = Dataset::Ok.generate_scaled(0.1);
+    let params = PartitionParams::new(32);
+
+    let mut group = c.benchmark_group("partition_ok_k32");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(graph.num_edges()));
+    group.bench_function("2PS-L", |b| {
+        b.iter(|| {
+            let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
+            let mut s = graph.stream();
+            black_box(p.partition(&mut s, &params, &mut NullSink).unwrap())
+        })
+    });
+    group.bench_function("HDRF", |b| {
+        b.iter(|| {
+            let mut p = HdrfPartitioner::default();
+            let mut s = graph.stream();
+            black_box(p.partition(&mut s, &params, &mut NullSink).unwrap())
+        })
+    });
+    group.bench_function("DBH", |b| {
+        b.iter(|| {
+            let mut p = DbhPartitioner::default();
+            let mut s = graph.stream();
+            black_box(p.partition(&mut s, &params, &mut NullSink).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

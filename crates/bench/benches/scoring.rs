@@ -1,0 +1,56 @@
+//! Micro-benchmark of the paper's core claim at the smallest scale: the
+//! per-edge scoring cost of 2PS-L's two-choice score is constant in `k`,
+//! HDRF's full scan is linear in `k`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tps_core::two_phase::scoring::{
+    hdrf_score, two_choice_score, EdgeScoreInputs, HdrfParams,
+};
+use tps_metrics::bitmatrix::ReplicationMatrix;
+
+fn bench_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_edge_scoring");
+    group.sample_size(20);
+    for &k in &[4u32, 32, 256] {
+        let mut v2p = ReplicationMatrix::new(64, k);
+        // Populate some replicas so the branches are realistic.
+        for v in 0..64u32 {
+            v2p.set(v, v % k);
+            v2p.set(v, (v * 7 + 1) % k);
+        }
+        let inputs = EdgeScoreInputs {
+            u: 3,
+            v: 11,
+            du: 9,
+            dv: 4,
+            vol_cu: 120,
+            vol_cv: 80,
+            pu: 1 % k,
+            pv: 2 % k,
+        };
+        group.bench_with_input(BenchmarkId::new("two_choice", k), &k, |b, _| {
+            b.iter(|| {
+                let a = two_choice_score(black_box(&inputs), black_box(inputs.pu), &v2p);
+                let bscore = two_choice_score(black_box(&inputs), black_box(inputs.pv), &v2p);
+                black_box(a + bscore)
+            })
+        });
+        let params = HdrfParams::default();
+        group.bench_with_input(BenchmarkId::new("hdrf_all_k", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut best = f64::NEG_INFINITY;
+                for p in 0..k {
+                    let s = hdrf_score(3, 11, 9, 4, p, &v2p, 10, 20, 5, &params);
+                    if s > best {
+                        best = s;
+                    }
+                }
+                black_box(best)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scoring);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Figure 2: the motivating experiment.
+//!
+//! Replication factor and run-time of 2PS-L vs HDRF (stateful) vs DBH
+//! (stateless) on the OK graph at k ∈ {4, 32, 128, 256}. The paper's claims:
+//! HDRF's run-time grows linearly with k while 2PS-L's stays flat; 2PS-L's
+//! replication factor is the lowest of the three.
+//!
+//! Run: `cargo run --release -p tps-bench --bin fig2_motivation [--quick]`
+
+use tps_baselines::{DbhPartitioner, HdrfPartitioner};
+use tps_bench::harness::BenchArgs;
+use tps_core::partitioner::{PartitionParams, Partitioner};
+use tps_core::runner::run_partitioner;
+use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_graph::datasets::Dataset;
+use tps_metrics::stats::Summary;
+use tps_metrics::table::Table;
+
+#[global_allocator]
+static ALLOC: tps_metrics::alloc::CountingAllocator = tps_metrics::alloc::CountingAllocator;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let graph = Dataset::Ok.generate_scaled(args.scale);
+    eprintln!(
+        "# Fig. 2 — OK stand-in: |V| = {}, |E| = {}, scale {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        args.scale
+    );
+
+    let mut table = Table::new(vec![
+        "k",
+        "algorithm",
+        "replication factor",
+        "time (s)",
+        "alpha",
+    ]);
+    for &k in &[4u32, 32, 128, 256] {
+        let partitioners: Vec<Box<dyn Partitioner>> = vec![
+            Box::new(TwoPhasePartitioner::new(TwoPhaseConfig::default())),
+            Box::new(HdrfPartitioner::default()),
+            Box::new(DbhPartitioner::default()),
+        ];
+        for mut p in partitioners {
+            let mut rf = Summary::new();
+            let mut time = Summary::new();
+            let mut alpha = Summary::new();
+            for _ in 0..args.repeats {
+                let mut stream = graph.stream();
+                let out = run_partitioner(
+                    p.as_mut(),
+                    &mut stream,
+                    graph.num_vertices(),
+                    &PartitionParams::new(k),
+                )
+                .expect("partitioning failed");
+                rf.add(out.metrics.replication_factor);
+                time.add(out.seconds());
+                alpha.add(out.metrics.alpha);
+            }
+            table.row(vec![
+                k.to_string(),
+                p.name(),
+                rf.display(),
+                time.display(),
+                format!("{:.3}", alpha.mean()),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    args.maybe_write_csv("fig2_motivation", &table);
+}

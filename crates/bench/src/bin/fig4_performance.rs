@@ -1,0 +1,135 @@
+//! Figure 4: the main evaluation — replication factor, run-time and memory
+//! for every partitioner on every Table III graph at k ∈ {4, 32, 128, 256}.
+//!
+//! Mirrors the paper's run policy: ADWISE and the multilevel (METIS-class)
+//! partitioner only run on the two smallest graphs (the paper aborted them
+//! beyond 12 h); SNE refuses high k relative to its chunk capacity and is
+//! reported as FAIL, exactly like the paper's "SNE FAIL" annotations.
+//!
+//! Run: `cargo run --release -p tps-bench --bin fig4_performance [--quick]`
+//! (the full sweep at scale 1.0 takes tens of minutes; `--quick` runs a
+//! reduced, representative sweep).
+
+use tps_baselines::{
+    AdwisePartitioner, DbhPartitioner, DnePartitioner, HdrfPartitioner, HepPartitioner,
+    MultilevelPartitioner, NePartitioner, SnePartitioner,
+};
+use tps_bench::harness::BenchArgs;
+use tps_core::partitioner::{PartitionParams, Partitioner};
+use tps_core::runner::run_partitioner;
+use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_graph::datasets::Dataset;
+use tps_metrics::stats::Summary;
+use tps_metrics::table::Table;
+
+#[global_allocator]
+static ALLOC: tps_metrics::alloc::CountingAllocator = tps_metrics::alloc::CountingAllocator;
+
+/// Which algorithms run on which graph (paper §V + appendix policy).
+fn roster(ds: Dataset, slow_ok: bool) -> Vec<Box<dyn Partitioner>> {
+    let mut v: Vec<Box<dyn Partitioner>> = vec![
+        Box::new(TwoPhasePartitioner::new(TwoPhaseConfig::default())),
+        Box::new(HdrfPartitioner::default()),
+        Box::new(DbhPartitioner::default()),
+        Box::new(SnePartitioner::default()),
+        Box::new(HepPartitioner::with_tau(1.0)),
+        Box::new(HepPartitioner::with_tau(10.0)),
+        Box::new(HepPartitioner::with_tau(100.0)),
+        Box::new(NePartitioner),
+        Box::new(DnePartitioner::default()),
+    ];
+    // ADWISE/multilevel only on the two smallest graphs (paper: aborted on
+    // the rest).
+    if slow_ok && matches!(ds, Dataset::Ok | Dataset::It) {
+        v.push(Box::new(AdwisePartitioner::default()));
+        v.push(Box::new(MultilevelPartitioner::default()));
+    }
+    v
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let ks: &[u32] = if args.scale < 0.5 { &[4, 32, 128] } else { &[4, 32, 128, 256] };
+
+    let mut table = Table::new(vec![
+        "graph",
+        "k",
+        "algorithm",
+        "replication factor",
+        "time (s)",
+        "peak heap (MB)",
+        "alpha",
+    ]);
+    for ds in Dataset::TABLE3 {
+        let graph = ds.generate_scaled(args.scale);
+        eprintln!(
+            "# {}: |V| = {}, |E| = {}",
+            ds.abbrev(),
+            graph.num_vertices(),
+            graph.num_edges()
+        );
+        for &k in ks {
+            for mut p in roster(ds, true) {
+                let name = p.name();
+                // Slow partitioners run once (paper appendix: "for ADWISE and
+                // METIS we only performed each partitioning experiment once").
+                let repeats = if name == "ADWISE" || name == "Multilevel" {
+                    1
+                } else {
+                    args.repeats
+                };
+                let mut rf = Summary::new();
+                let mut time = Summary::new();
+                let mut mem = Summary::new();
+                let mut alpha = Summary::new();
+                let mut failed = None;
+                for _ in 0..repeats {
+                    let mut stream = graph.stream();
+                    match run_partitioner(
+                        p.as_mut(),
+                        &mut stream,
+                        graph.num_vertices(),
+                        &PartitionParams::new(k),
+                    ) {
+                        Ok(out) => {
+                            rf.add(out.metrics.replication_factor);
+                            time.add(out.seconds());
+                            mem.add(out.peak_heap_bytes as f64 / 1e6);
+                            alpha.add(out.metrics.alpha);
+                        }
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+                match failed {
+                    Some(_) => {
+                        table.row(vec![
+                            ds.abbrev().to_string(),
+                            k.to_string(),
+                            name,
+                            "FAIL".to_string(),
+                            "FAIL".to_string(),
+                            String::new(),
+                            String::new(),
+                        ]);
+                    }
+                    None => {
+                        table.row(vec![
+                            ds.abbrev().to_string(),
+                            k.to_string(),
+                            name,
+                            rf.display(),
+                            time.display(),
+                            format!("{:.1}", mem.mean()),
+                            format!("{:.3}", alpha.mean()),
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+    println!("{}", table.render());
+    args.maybe_write_csv("fig4_performance", &table);
+}

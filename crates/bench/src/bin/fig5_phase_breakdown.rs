@@ -1,0 +1,67 @@
+//! Figure 5: relative run-time of 2PS-L's phases at k = 32.
+//!
+//! Paper findings to reproduce: degree calculation 7–20 %, clustering
+//! 16–22 %, partitioning 58–77 %; web graphs spend relatively less time in
+//! the partitioning phase than social graphs because pre-partitioning
+//! (cheaper per edge than scoring) dominates there.
+//!
+//! Run: `cargo run --release -p tps-bench --bin fig5_phase_breakdown`
+
+use tps_bench::harness::BenchArgs;
+use tps_core::partitioner::PartitionParams;
+use tps_core::runner::run_partitioner;
+use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_graph::datasets::Dataset;
+use tps_metrics::table::Table;
+
+#[global_allocator]
+static ALLOC: tps_metrics::alloc::CountingAllocator = tps_metrics::alloc::CountingAllocator;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let k = 32u32;
+    let mut table = Table::new(vec![
+        "graph",
+        "degree %",
+        "clustering %",
+        "partitioning %",
+        "total (s)",
+    ]);
+    for ds in Dataset::TABLE3 {
+        let graph = ds.generate_scaled(args.scale);
+        let mut degree = tps_metrics::stats::Summary::new();
+        let mut clustering = tps_metrics::stats::Summary::new();
+        let mut partitioning = tps_metrics::stats::Summary::new();
+        let mut total = tps_metrics::stats::Summary::new();
+        for _ in 0..args.repeats {
+            let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
+            let mut stream = graph.stream();
+            let out = run_partitioner(
+                &mut p,
+                &mut stream,
+                graph.num_vertices(),
+                &PartitionParams::new(k),
+            )
+            .expect("partitioning failed");
+            let phases = &out.report.phases;
+            // "Partitioning" covers mapping + pre-partitioning + the scoring
+            // pass, matching the paper's three-way split.
+            let part = phases.fraction("mapping")
+                + phases.fraction("prepartition")
+                + phases.fraction("partition");
+            degree.add(phases.fraction("degree") * 100.0);
+            clustering.add(phases.fraction("clustering") * 100.0);
+            partitioning.add(part * 100.0);
+            total.add(phases.total().as_secs_f64());
+        }
+        table.row(vec![
+            ds.abbrev().to_string(),
+            format!("{:.1}", degree.mean()),
+            format!("{:.1}", clustering.mean()),
+            format!("{:.1}", partitioning.mean()),
+            format!("{:.3}", total.mean()),
+        ]);
+    }
+    println!("{}", table.render());
+    args.maybe_write_csv("fig5_phase_breakdown", &table);
+}

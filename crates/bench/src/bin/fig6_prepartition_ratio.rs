@@ -1,0 +1,45 @@
+//! Figure 6: ratio of pre-partitioned vs remaining (scored) edges at k = 32.
+//!
+//! Paper finding: pre-partitioning dominates on web graphs (strong
+//! communities → endpoint clusters co-located) and covers a smaller share on
+//! social graphs. See EXPERIMENTS.md for the expected divergence on the
+//! social stand-ins (R-MAT has weaker communities than real social graphs).
+//!
+//! Run: `cargo run --release -p tps-bench --bin fig6_prepartition_ratio`
+
+use tps_bench::harness::BenchArgs;
+use tps_core::partitioner::{PartitionParams, Partitioner};
+use tps_core::sink::NullSink;
+use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_graph::datasets::Dataset;
+use tps_metrics::table::Table;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let k = 32u32;
+    let mut table = Table::new(vec![
+        "graph",
+        "prepartitioned",
+        "remaining",
+        "prepartitioned %",
+    ]);
+    for ds in Dataset::TABLE3 {
+        let graph = ds.generate_scaled(args.scale);
+        let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
+        let mut sink = NullSink;
+        let mut stream = graph.stream();
+        let report = p
+            .partition(&mut stream, &PartitionParams::new(k), &mut sink)
+            .expect("partitioning failed");
+        let pre = report.counter("prepartitioned") + report.counter("prepartition_overflow");
+        let rem = report.counter("remaining");
+        table.row(vec![
+            ds.abbrev().to_string(),
+            pre.to_string(),
+            rem.to_string(),
+            format!("{:.1}", 100.0 * pre as f64 / (pre + rem).max(1) as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    args.maybe_write_csv("fig6_prepartition_ratio", &table);
+}

@@ -1,0 +1,67 @@
+//! Figures 7 + 8: the re-streaming sweep.
+//!
+//! Normalised replication factor (Fig. 7) and normalised total run-time
+//! (Fig. 8) of 2PS-L with 1–8 streaming clustering passes at k = 32, on the
+//! OK/IT/TW/FR graphs. Paper findings: up to ~3.5 % RF reduction; 8 passes
+//! roughly double the total run-time (clustering is a minor share of it).
+//!
+//! Run: `cargo run --release -p tps-bench --bin fig7_8_restreaming`
+
+use tps_bench::harness::BenchArgs;
+use tps_core::partitioner::PartitionParams;
+use tps_core::runner::run_partitioner;
+use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_graph::datasets::Dataset;
+use tps_metrics::stats::Summary;
+use tps_metrics::table::Table;
+
+#[global_allocator]
+static ALLOC: tps_metrics::alloc::CountingAllocator = tps_metrics::alloc::CountingAllocator;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let k = 32u32;
+    let datasets = [Dataset::Ok, Dataset::It, Dataset::Tw, Dataset::Fr];
+    let mut table = Table::new(vec![
+        "graph",
+        "passes",
+        "rf",
+        "norm. rf",
+        "time (s)",
+        "norm. time",
+    ]);
+    for ds in datasets {
+        let graph = ds.generate_scaled(args.scale);
+        let mut base_rf = None;
+        let mut base_time = None;
+        for passes in 1..=8u32 {
+            let mut rf = Summary::new();
+            let mut time = Summary::new();
+            for _ in 0..args.repeats {
+                let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::with_passes(passes));
+                let mut stream = graph.stream();
+                let out = run_partitioner(
+                    &mut p,
+                    &mut stream,
+                    graph.num_vertices(),
+                    &PartitionParams::new(k),
+                )
+                .expect("partitioning failed");
+                rf.add(out.metrics.replication_factor);
+                time.add(out.seconds());
+            }
+            let b_rf = *base_rf.get_or_insert(rf.mean());
+            let b_t = *base_time.get_or_insert(time.mean());
+            table.row(vec![
+                ds.abbrev().to_string(),
+                passes.to_string(),
+                format!("{:.3}", rf.mean()),
+                format!("{:.4}", rf.mean() / b_rf),
+                format!("{:.3}", time.mean()),
+                format!("{:.3}", time.mean() / b_t),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    args.maybe_write_csv("fig7_8_restreaming", &table);
+}

@@ -1,0 +1,73 @@
+//! Figure 9: 2PS-HDRF vs 2PS-L.
+//!
+//! Replication factor and run-time of the 2PS-HDRF variant (phase 2 scores
+//! all `k` partitions with the HDRF function) normalised to 2PS-L, on
+//! OK/IT/TW/FR at k ∈ {4, 32, 128, 256}. Paper findings: up to ~50 % lower
+//! replication factor; run-time parity at k = 4 but up to 12× slower at
+//! k = 256.
+//!
+//! Run: `cargo run --release -p tps-bench --bin fig9_hdrf_scoring`
+
+use tps_bench::harness::BenchArgs;
+use tps_core::partitioner::PartitionParams;
+use tps_core::runner::run_partitioner;
+use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_graph::datasets::Dataset;
+use tps_metrics::stats::Summary;
+use tps_metrics::table::Table;
+
+#[global_allocator]
+static ALLOC: tps_metrics::alloc::CountingAllocator = tps_metrics::alloc::CountingAllocator;
+
+fn measure(
+    graph: &tps_graph::InMemoryGraph,
+    config: TwoPhaseConfig,
+    k: u32,
+    repeats: u32,
+) -> (f64, f64) {
+    let mut rf = Summary::new();
+    let mut time = Summary::new();
+    for _ in 0..repeats {
+        let mut p = TwoPhasePartitioner::new(config);
+        let mut stream = graph.stream();
+        let out = run_partitioner(&mut p, &mut stream, graph.num_vertices(), &PartitionParams::new(k))
+            .expect("partitioning failed");
+        rf.add(out.metrics.replication_factor);
+        time.add(out.seconds());
+    }
+    (rf.mean(), time.mean())
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let datasets = [Dataset::Ok, Dataset::It, Dataset::Tw, Dataset::Fr];
+    let mut table = Table::new(vec![
+        "graph",
+        "k",
+        "2PS-L rf",
+        "2PS-HDRF rf",
+        "norm. rf",
+        "2PS-L time (s)",
+        "2PS-HDRF time (s)",
+        "norm. time",
+    ]);
+    for ds in datasets {
+        let graph = ds.generate_scaled(args.scale);
+        for &k in &[4u32, 32, 128, 256] {
+            let (l_rf, l_t) = measure(&graph, TwoPhaseConfig::default(), k, args.repeats);
+            let (h_rf, h_t) = measure(&graph, TwoPhaseConfig::hdrf_variant(), k, args.repeats);
+            table.row(vec![
+                ds.abbrev().to_string(),
+                k.to_string(),
+                format!("{l_rf:.3}"),
+                format!("{h_rf:.3}"),
+                format!("{:.3}", h_rf / l_rf),
+                format!("{l_t:.3}"),
+                format!("{h_t:.3}"),
+                format!("{:.2}", h_t / l_t),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    args.maybe_write_csv("fig9_hdrf_scoring", &table);
+}

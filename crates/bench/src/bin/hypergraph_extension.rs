@@ -1,0 +1,73 @@
+//! Extension experiment: 2PS-HL on hypergraphs (the paper's future work,
+//! §VII) vs streaming baselines.
+//!
+//! Mirrors the Fig. 2 format: replication factor and run-time at
+//! k ∈ {4, 32, 128, 256} on a planted co-membership hypergraph, comparing
+//! 2PS-HL against hashed assignment and a min-max streaming greedy
+//! (Alistarh et al. style, `O(|H|·k)`).
+//!
+//! Run: `cargo run --release -p tps-bench --bin hypergraph_extension`
+
+use std::time::Instant;
+
+use tps_bench::harness::BenchArgs;
+use tps_hypergraph::baselines::{MinMaxGreedyPartitioner, RandomHyperPartitioner};
+use tps_hypergraph::gen::{planted_hypergraph, PlantedHyperConfig};
+use tps_hypergraph::{HyperPartitioner, HyperQualityTracker, TwoPhaseHyperPartitioner};
+use tps_metrics::table::Table;
+
+#[global_allocator]
+static ALLOC: tps_metrics::alloc::CountingAllocator = tps_metrics::alloc::CountingAllocator;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let cfg = PlantedHyperConfig {
+        vertices: (40_000.0 * args.scale) as u64,
+        hyperedges: (120_000.0 * args.scale) as u64,
+        community_size: 40,
+        mixing: 0.1,
+        min_arity: 2,
+        max_arity: 6,
+    };
+    let hg = planted_hypergraph(&cfg, 0xC0A07 ^ 7);
+    eprintln!(
+        "# hypergraph: {} vertices, {} hyperedges, {} pins",
+        hg.num_vertices(),
+        hg.num_hyperedges(),
+        hg.total_pins()
+    );
+
+    let mut table = Table::new(vec!["k", "algorithm", "replication factor", "time (s)", "alpha"]);
+    for &k in &[4u32, 32, 128, 256] {
+        let mut algos: Vec<Box<dyn HyperPartitioner>> = vec![
+            Box::new(TwoPhaseHyperPartitioner::default()),
+            Box::new(MinMaxGreedyPartitioner),
+            Box::new(RandomHyperPartitioner::default()),
+        ];
+        for p in algos.iter_mut() {
+            let mut rf = tps_metrics::stats::Summary::new();
+            let mut time = tps_metrics::stats::Summary::new();
+            let mut alpha = tps_metrics::stats::Summary::new();
+            for _ in 0..args.repeats {
+                let mut tracker = HyperQualityTracker::new(hg.num_vertices(), k);
+                let mut stream = hg.stream();
+                let start = Instant::now();
+                p.partition(&mut stream, k, 1.05, &mut |h, part| tracker.record(h, part))
+                    .expect("partitioning failed");
+                time.add(start.elapsed().as_secs_f64());
+                let m = tracker.finish();
+                rf.add(m.replication_factor);
+                alpha.add(m.alpha);
+            }
+            table.row(vec![
+                k.to_string(),
+                p.name(),
+                rf.display(),
+                time.display(),
+                format!("{:.3}", alpha.mean()),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    args.maybe_write_csv("hypergraph_extension", &table);
+}

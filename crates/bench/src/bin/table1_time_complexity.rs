@@ -1,0 +1,94 @@
+//! Table I: time complexity — verified empirically.
+//!
+//! The paper's Table I is analytic; here we verify the two claims that
+//! matter end to end:
+//!
+//! 1. **k-scaling** — 2PS-L's and DBH's run-times are flat in `k`, HDRF's
+//!    (and 2PS-HDRF's) grow ~linearly: we report `time(k)/time(k_min)`.
+//! 2. **|E|-scaling** — 2PS-L is linear in `|E|`: we report `time/|E|`
+//!    across graph scales, which should be constant.
+//!
+//! Run: `cargo run --release -p tps-bench --bin table1_time_complexity`
+
+use tps_baselines::{DbhPartitioner, HdrfPartitioner};
+use tps_bench::harness::BenchArgs;
+use tps_core::partitioner::{PartitionParams, Partitioner};
+use tps_core::runner::run_partitioner;
+use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_graph::datasets::Dataset;
+use tps_metrics::stats::Summary;
+use tps_metrics::table::Table;
+
+#[global_allocator]
+static ALLOC: tps_metrics::alloc::CountingAllocator = tps_metrics::alloc::CountingAllocator;
+
+fn time_of(p: &mut dyn Partitioner, graph: &tps_graph::InMemoryGraph, k: u32, repeats: u32) -> f64 {
+    let mut time = Summary::new();
+    for _ in 0..repeats {
+        let mut stream = graph.stream();
+        let out =
+            run_partitioner(p, &mut stream, graph.num_vertices(), &PartitionParams::new(k))
+                .expect("partitioning failed");
+        time.add(out.seconds());
+    }
+    time.mean()
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+
+    println!("## Analytic complexity (paper Table I)\n");
+    let mut analytic = Table::new(vec!["name", "type", "time complexity"]);
+    analytic.row(vec!["2PS-L", "Stateful Out-of-Core", "O(|E|)"]);
+    analytic.row(vec!["HDRF", "Stateful Streaming", "O(|E| * k)"]);
+    analytic.row(vec!["ADWISE", "Stateful Streaming", "O(|E| * k)"]);
+    analytic.row(vec!["DBH", "Stateless Streaming", "O(|E|)"]);
+    analytic.row(vec!["Grid", "Stateless Streaming", "O(|E|)"]);
+    analytic.row(vec!["DNE", "In-memory", "O(d*|E|*(k+d)/(n*k))"]);
+    analytic.row(vec!["METIS", "In-memory", "O((|V|+|E|)*log2(k))"]);
+    analytic.row(vec!["HEP", "Hybrid", "O(|E|*(log|V|+k)+|V|)"]);
+    println!("{}", analytic.render());
+
+    // 1. k-scaling on the OK graph.
+    println!("## Empirical k-scaling (times in s; ratio = time(k)/time(4))\n");
+    let graph = Dataset::Ok.generate_scaled(args.scale);
+    let ks = [4u32, 16, 64, 256];
+    let mut table = Table::new(vec!["algorithm", "k=4", "k=16", "k=64", "k=256", "ratio 256/4"]);
+    let mut algos: Vec<Box<dyn Partitioner>> = vec![
+        Box::new(TwoPhasePartitioner::new(TwoPhaseConfig::default())),
+        Box::new(TwoPhasePartitioner::new(TwoPhaseConfig::hdrf_variant())),
+        Box::new(HdrfPartitioner::default()),
+        Box::new(DbhPartitioner::default()),
+    ];
+    for p in algos.iter_mut() {
+        let times: Vec<f64> =
+            ks.iter().map(|&k| time_of(p.as_mut(), &graph, k, args.repeats)).collect();
+        table.row(vec![
+            p.name(),
+            format!("{:.3}", times[0]),
+            format!("{:.3}", times[1]),
+            format!("{:.3}", times[2]),
+            format!("{:.3}", times[3]),
+            format!("{:.1}x", times[3] / times[0].max(1e-9)),
+        ]);
+    }
+    println!("{}", table.render());
+    args.maybe_write_csv("table1_k_scaling", &table);
+
+    // 2. |E|-scaling for 2PS-L at k = 32.
+    println!("## Empirical |E|-scaling for 2PS-L at k=32 (time/|E| should be flat)\n");
+    let mut escale = Table::new(vec!["scale", "|E|", "time (s)", "ns per edge"]);
+    for &s in &[0.25f64, 0.5, 1.0, 2.0] {
+        let g = Dataset::Ok.generate_scaled(args.scale * s);
+        let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
+        let t = time_of(&mut p, &g, 32, args.repeats);
+        escale.row(vec![
+            format!("{s}"),
+            g.num_edges().to_string(),
+            format!("{t:.3}"),
+            format!("{:.1}", t * 1e9 / g.num_edges() as f64),
+        ]);
+    }
+    println!("{}", escale.render());
+    args.maybe_write_csv("table1_e_scaling", &escale);
+}

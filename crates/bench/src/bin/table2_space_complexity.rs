@@ -1,0 +1,68 @@
+//! Table II: space complexity — verified empirically with the counting
+//! allocator.
+//!
+//! Expectations: 2PS-L and HDRF grow with `k` (the `O(|V|·k)` replication
+//! matrix); DBH is flat in `k` (`O(|V|)` degrees); Grid is `O(1)`; NE is
+//! dominated by the `O(|E|)` CSR and dwarfs the streaming partitioners.
+//!
+//! Run: `cargo run --release -p tps-bench --bin table2_space_complexity`
+
+use tps_baselines::{DbhPartitioner, GridPartitioner, HdrfPartitioner, NePartitioner};
+use tps_bench::harness::BenchArgs;
+use tps_core::partitioner::{PartitionParams, Partitioner};
+use tps_core::runner::run_partitioner;
+use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_graph::datasets::Dataset;
+use tps_metrics::table::Table;
+
+#[global_allocator]
+static ALLOC: tps_metrics::alloc::CountingAllocator = tps_metrics::alloc::CountingAllocator;
+
+fn main() {
+    let args = BenchArgs::from_env();
+
+    println!("## Analytic complexity (paper Table II)\n");
+    let mut analytic = Table::new(vec!["name", "type", "space complexity"]);
+    analytic.row(vec!["2PS-L", "Stateful Out-of-Core", "O(|V| * k)"]);
+    analytic.row(vec!["HDRF", "Stateful Streaming", "O(|V| * k)"]);
+    analytic.row(vec!["ADWISE", "Stateful Streaming", "O(|V| * k + b)"]);
+    analytic.row(vec!["DBH", "Stateless Streaming", "O(|V|)"]);
+    analytic.row(vec!["Grid", "Stateless Streaming", "O(1)"]);
+    analytic.row(vec!["(in-memory)", "In-memory", ">= O(|E|)"]);
+    println!("{}", analytic.render());
+
+    println!("## Measured peak heap (MB) on OK, k in {{4, 64, 256}}\n");
+    let graph = Dataset::Ok.generate_scaled(args.scale);
+    eprintln!("# |V| = {}, |E| = {}", graph.num_vertices(), graph.num_edges());
+    let mut table = Table::new(vec!["algorithm", "k=4", "k=64", "k=256", "growth 256/4"]);
+    let mut algos: Vec<Box<dyn Partitioner>> = vec![
+        Box::new(TwoPhasePartitioner::new(TwoPhaseConfig::default())),
+        Box::new(HdrfPartitioner::default()),
+        Box::new(DbhPartitioner::default()),
+        Box::new(GridPartitioner::default()),
+        Box::new(NePartitioner),
+    ];
+    for p in algos.iter_mut() {
+        let mut peaks = Vec::new();
+        for &k in &[4u32, 64, 256] {
+            let mut stream = graph.stream();
+            let out = run_partitioner(
+                p.as_mut(),
+                &mut stream,
+                graph.num_vertices(),
+                &PartitionParams::new(k),
+            )
+            .expect("partitioning failed");
+            peaks.push(out.peak_heap_bytes as f64 / 1e6);
+        }
+        table.row(vec![
+            p.name(),
+            format!("{:.2}", peaks[0]),
+            format!("{:.2}", peaks[1]),
+            format!("{:.2}", peaks[2]),
+            format!("{:.1}x", peaks[2] / peaks[0].max(1e-9)),
+        ]);
+    }
+    println!("{}", table.render());
+    args.maybe_write_csv("table2_space_complexity", &table);
+}

@@ -1,0 +1,47 @@
+//! Table III: the dataset inventory.
+//!
+//! Prints, for every dataset, the paper's real-world statistics next to the
+//! synthetic stand-in actually generated at the chosen scale (plus its
+//! binary edge-list size, the paper's "Size" column).
+//!
+//! Run: `cargo run --release -p tps-bench --bin table3_datasets [--scale f]`
+
+use tps_bench::harness::BenchArgs;
+use tps_graph::datasets::{Dataset, GraphKind};
+use tps_metrics::table::{fmt_bytes, Table};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let mut table = Table::new(vec![
+        "name",
+        "type",
+        "paper |V|",
+        "paper |E|",
+        "paper size",
+        "gen |V|",
+        "gen |E|",
+        "gen size",
+        "gen mean deg",
+    ]);
+    for ds in Dataset::ALL {
+        let stats = ds.paper_stats();
+        let g = ds.generate_scaled(args.scale);
+        let gen_size = 24 + g.num_edges() * 8; // header + 8 B records
+        table.row(vec![
+            format!("{} ({})", ds.full_name(), ds.abbrev()),
+            match ds.kind() {
+                GraphKind::Social => "Social".to_string(),
+                GraphKind::Web => "Web".to_string(),
+            },
+            format!("{:.1} M", stats.vertices as f64 / 1e6),
+            format!("{:.1} M", stats.edges as f64 / 1e6),
+            fmt_bytes(stats.binary_size_bytes),
+            g.num_vertices().to_string(),
+            g.num_edges().to_string(),
+            fmt_bytes(gen_size),
+            format!("{:.1}", g.info().mean_degree()),
+        ]);
+    }
+    println!("{}", table.render());
+    args.maybe_write_csv("table3_datasets", &table);
+}

@@ -1,0 +1,107 @@
+//! Table IV: partitioning + distributed PageRank end to end.
+//!
+//! For OK and WI at k = 32: replication factor, partitioning time (measured
+//! on this machine), PageRank time (simulated Spark/GraphX cluster, 100
+//! iterations) and the total. Paper findings to reproduce: neither the
+//! best-quality partitioner (SNE / HEP-1) nor the fastest one (DBH) wins
+//! the total; 2PS-L does. DBH FAILs on WI by overflowing the workers'
+//! shuffle disks.
+//!
+//! Run: `cargo run --release -p tps-bench --bin table4_end_to_end`
+
+use tps_baselines::{DbhPartitioner, HdrfPartitioner, HepPartitioner, SnePartitioner};
+use tps_bench::harness::BenchArgs;
+use tps_core::partitioner::{PartitionParams, Partitioner};
+use tps_core::runner::run_partitioner_with_sink;
+use tps_core::sink::VecSink;
+use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_graph::datasets::Dataset;
+use tps_metrics::table::Table;
+use tps_procsim::cost::simulate_pagerank;
+use tps_procsim::{ClusterCostModel, DistributedGraph, PageRankConfig};
+
+#[global_allocator]
+static ALLOC: tps_metrics::alloc::CountingAllocator = tps_metrics::alloc::CountingAllocator;
+
+fn roster() -> Vec<Box<dyn Partitioner>> {
+    vec![
+        Box::new(TwoPhasePartitioner::new(TwoPhaseConfig::default())),
+        Box::new(TwoPhasePartitioner::new(TwoPhaseConfig::hdrf_variant())),
+        Box::new(HdrfPartitioner::default()),
+        Box::new(DbhPartitioner::default()),
+        Box::new(SnePartitioner::default()),
+        Box::new(HepPartitioner::with_tau(1.0)),
+    ]
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let k = 32u32;
+    let pr = PageRankConfig { iterations: 100, ..Default::default() };
+    let mut cost = ClusterCostModel::spark_like();
+    // The shuffle-disk budget scales with the dataset like the paper's fixed
+    // 35 GB does with its graphs.
+    cost.worker_disk_budget *= args.scale;
+
+    let mut table = Table::new(vec![
+        "graph",
+        "algorithm",
+        "rep. factor",
+        "partitioning (s)",
+        "pagerank (sim s)",
+        "total (s)",
+    ]);
+    for ds in [Dataset::Ok, Dataset::Wi] {
+        let graph = ds.generate_scaled(args.scale);
+        eprintln!(
+            "# {}: |V| = {}, |E| = {}",
+            ds.abbrev(),
+            graph.num_vertices(),
+            graph.num_edges()
+        );
+        for mut p in roster() {
+            let mut sink = VecSink::new();
+            let mut stream = graph.stream();
+            let out = run_partitioner_with_sink(
+                p.as_mut(),
+                &mut stream,
+                graph.num_vertices(),
+                &PartitionParams::new(k),
+                &mut sink,
+            )
+            .expect("partitioning failed");
+            let layout = DistributedGraph::from_assignments(
+                sink.assignments(),
+                graph.num_vertices(),
+                k,
+            );
+            let part_s = out.seconds();
+            match simulate_pagerank(&layout, &pr, &cost) {
+                Ok(sim) => {
+                    let pr_s = sim.simulated_time.as_secs_f64();
+                    table.row(vec![
+                        ds.abbrev().to_string(),
+                        out.name.clone(),
+                        format!("{:.2}", out.metrics.replication_factor),
+                        format!("{part_s:.2}"),
+                        format!("{pr_s:.2}"),
+                        format!("{:.2}", part_s + pr_s),
+                    ]);
+                }
+                Err(spill) => {
+                    eprintln!("# {} on {}: {spill}", out.name, ds.abbrev());
+                    table.row(vec![
+                        ds.abbrev().to_string(),
+                        out.name.clone(),
+                        format!("{:.2}", out.metrics.replication_factor),
+                        format!("{part_s:.2}"),
+                        "FAIL".to_string(),
+                        "FAIL".to_string(),
+                    ]);
+                }
+            }
+        }
+    }
+    println!("{}", table.render());
+    args.maybe_write_csv("table4_end_to_end", &table);
+}

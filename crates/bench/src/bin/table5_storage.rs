@@ -1,0 +1,71 @@
+//! Table V: partitioning time on different storage devices.
+//!
+//! 2PS-L streams the graph `3 + passes` times; on slow devices the re-reads
+//! dominate. We run 2PS-L over a [`tps_storage::DeviceStream`] for each
+//! Table V device (page cache / SSD at 938 MB/s / HDD at 158 MB/s) and
+//! report measured CPU time + virtual-clock I/O time, with the slowdown
+//! percentage vs the page cache — the paper's format.
+//!
+//! Run: `cargo run --release -p tps-bench --bin table5_storage`
+
+use tps_bench::harness::BenchArgs;
+use tps_core::partitioner::{PartitionParams, Partitioner};
+use tps_core::sink::NullSink;
+use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_graph::datasets::Dataset;
+use tps_metrics::table::{fmt_duration_secs, Table};
+use tps_storage::{DeviceModel, DeviceStream};
+
+#[global_allocator]
+static ALLOC: tps_metrics::alloc::CountingAllocator = tps_metrics::alloc::CountingAllocator;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let k = 32u32;
+    let mut table = Table::new(vec![
+        "graph",
+        "device",
+        "cpu (s)",
+        "sim io (s)",
+        "total (s)",
+        "vs page cache",
+        "passes",
+    ]);
+    for ds in Dataset::TABLE3 {
+        let graph = ds.generate_scaled(args.scale);
+        // Measure the CPU cost once (best of `repeats`), then charge each
+        // device's I/O on top — the devices differ only in I/O, and reusing
+        // one CPU figure keeps scheduler noise out of the comparison.
+        let mut cpu = f64::INFINITY;
+        for _ in 0..args.repeats {
+            let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
+            let mut stream = graph.stream();
+            let start = std::time::Instant::now();
+            p.partition(&mut stream, &PartitionParams::new(k), &mut NullSink)
+                .expect("partitioning failed");
+            cpu = cpu.min(start.elapsed().as_secs_f64());
+        }
+        let mut cache_total = None;
+        for device in DeviceModel::table5() {
+            let mut stream = DeviceStream::new(graph.stream(), device);
+            let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
+            p.partition(&mut stream, &PartitionParams::new(k), &mut NullSink)
+                .expect("partitioning failed");
+            let acc = stream.account();
+            let io = acc.simulated_io.as_secs_f64();
+            let total = cpu + io;
+            let base = *cache_total.get_or_insert(total);
+            table.row(vec![
+                ds.abbrev().to_string(),
+                device.name.to_string(),
+                format!("{cpu:.2}"),
+                format!("{io:.2}"),
+                fmt_duration_secs(total),
+                format!("+{:.0} %", 100.0 * (total - base) / base),
+                acc.passes.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    args.maybe_write_csv("table5_storage", &table);
+}

@@ -1,0 +1,5 @@
+//! Shared helpers for the benchmark binaries (one per paper table/figure).
+//!
+//! See the bin targets under `src/bin/` and `benches/` for the experiments.
+
+pub mod harness;

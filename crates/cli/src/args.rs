@@ -1,0 +1,103 @@
+//! Minimal flag parsing for the `tps` subcommands (no CLI crate in the
+//! offline dependency set).
+
+use std::collections::HashMap;
+
+/// Parsed `--flag value` pairs plus boolean switches.
+#[derive(Clone, Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parse `--key value` and `--switch` style arguments.
+    pub fn parse(args: &[String], switches: &[&str]) -> Result<Flags, String> {
+        let mut out = Flags::default();
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {arg:?}"));
+            };
+            if switches.contains(&name) {
+                out.switches.push(name.to_string());
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                out.values.insert(name.to_string(), value.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// A required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.values
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// An optional string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// An optional parsed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let f = Flags::parse(&argv(&["--input", "g.bel", "--quiet"]), &["quiet"]).unwrap();
+        assert_eq!(f.require("input").unwrap(), "g.bel");
+        assert!(f.has("quiet"));
+        assert!(!f.has("other"));
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        let err = Flags::parse(&argv(&["--input"]), &[]).unwrap_err();
+        assert!(err.contains("--input"));
+    }
+
+    #[test]
+    fn positional_rejected() {
+        assert!(Flags::parse(&argv(&["oops"]), &[]).is_err());
+    }
+
+    #[test]
+    fn typed_defaults() {
+        let f = Flags::parse(&argv(&["--k", "32"]), &[]).unwrap();
+        assert_eq!(f.get_or("k", 4u32).unwrap(), 32);
+        assert_eq!(f.get_or("alpha", 1.05f64).unwrap(), 1.05);
+        assert!(f.get_or::<u32>("k-bad", 1).is_ok());
+    }
+
+    #[test]
+    fn unparsable_value_is_error() {
+        let f = Flags::parse(&argv(&["--k", "many"]), &[]).unwrap();
+        assert!(f.get_or::<u32>("k", 1).is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! Implementations of the `tps` subcommands.
+
+use std::path::{Path, PathBuf};
+
+use tps_baselines::{
+    AdwisePartitioner, DbhPartitioner, DnePartitioner, GreedyPartitioner, GridPartitioner,
+    HdrfPartitioner, HepPartitioner, MultilevelPartitioner, NePartitioner, RandomPartitioner,
+    SnePartitioner,
+};
+use tps_core::partitioner::{PartitionParams, Partitioner};
+use tps_core::sink::{FileSink, QualitySink, TeeSink};
+use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_graph::datasets::Dataset;
+use tps_graph::formats::binary::{write_binary_edge_list, BinaryEdgeFile};
+use tps_graph::formats::text::TextEdgeFile;
+use tps_graph::stream::{discover_info, EdgeStream};
+
+use crate::args::Flags;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+tps — out-of-core edge partitioning (2PS-L, ICDE 2022) and friends
+
+USAGE:
+  tps partition --input FILE -k N [options]   partition an edge list
+  tps generate  --dataset NAME --out FILE     write a synthetic dataset
+  tps info      --input FILE                  print graph statistics
+  tps profile   --path FILE                   measure sequential read speed
+  tps help                                    show this text
+
+partition options:
+  --input FILE        binary (.bel) or text edge list
+  --format bel|text   input format (default: by file extension)
+  --k N               number of partitions (required; also -k via --k)
+  --algorithm NAME    2ps-l | 2ps-hdrf | hdrf | dbh | grid | random | greedy |
+                      adwise | ne | sne | dne | hep-1 | hep-10 | hep-100 |
+                      multilevel            (default: 2ps-l)
+  --alpha F           balance factor (default 1.05)
+  --passes N          clustering passes for 2ps-l/2ps-hdrf (default 1)
+  --out DIR           write per-partition .bel files into DIR
+  --quiet             only print the metrics line
+
+generate options:
+  --dataset NAME      ok|it|tw|fr|uk|gsh|wdc|wi
+  --scale F           size factor (default 1.0)
+  --out FILE          output .bel path
+
+profile options:
+  --path FILE         file to read
+  --block-size N      read block bytes (default 100 MiB, fio-style)
+";
+
+fn open_stream(path: &str, format: Option<&str>) -> Result<Box<dyn EdgeStream>, String> {
+    let fmt = match format {
+        Some(f) => f.to_string(),
+        None => Path::new(path)
+            .extension()
+            .and_then(|e| e.to_str())
+            .unwrap_or("bel")
+            .to_string(),
+    };
+    match fmt.as_str() {
+        "bel" => Ok(Box::new(
+            BinaryEdgeFile::open(path).map_err(|e| format!("{path}: {e}"))?,
+        )),
+        "text" | "txt" | "el" | "edges" => Ok(Box::new(
+            TextEdgeFile::open(path).map_err(|e| format!("{path}: {e}"))?,
+        )),
+        other => Err(format!("unknown format {other:?} (use bel or text)")),
+    }
+}
+
+fn make_partitioner(name: &str, passes: u32) -> Result<Box<dyn Partitioner>, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "2ps-l" | "2psl" | "2ps" => Box::new(TwoPhasePartitioner::new(TwoPhaseConfig {
+            clustering_passes: passes,
+            ..TwoPhaseConfig::default()
+        })),
+        "2ps-hdrf" => Box::new(TwoPhasePartitioner::new(TwoPhaseConfig {
+            clustering_passes: passes,
+            ..TwoPhaseConfig::hdrf_variant()
+        })),
+        "hdrf" => Box::new(HdrfPartitioner::default()),
+        "dbh" => Box::new(DbhPartitioner::default()),
+        "grid" => Box::new(GridPartitioner::default()),
+        "random" => Box::new(RandomPartitioner::default()),
+        "greedy" => Box::new(GreedyPartitioner),
+        "adwise" => Box::new(AdwisePartitioner::default()),
+        "ne" => Box::new(NePartitioner),
+        "sne" => Box::new(SnePartitioner::default()),
+        "dne" => Box::new(DnePartitioner::default()),
+        "hep-1" => Box::new(HepPartitioner::with_tau(1.0)),
+        "hep-10" => Box::new(HepPartitioner::with_tau(10.0)),
+        "hep-100" => Box::new(HepPartitioner::with_tau(100.0)),
+        "multilevel" | "metis" => Box::new(MultilevelPartitioner::default()),
+        other => return Err(format!("unknown algorithm {other:?}")),
+    })
+}
+
+fn fail(msg: &str) -> i32 {
+    eprintln!("error: {msg}");
+    2
+}
+
+/// `tps partition`
+pub fn partition(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args, &["quiet"]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let run = || -> Result<(), String> {
+        let input = flags.require("input")?;
+        let k: u32 = flags.get_or("k", 0)?;
+        if k == 0 {
+            return Err("--k is required and must be >= 1".into());
+        }
+        let alpha: f64 = flags.get_or("alpha", 1.05)?;
+        let passes: u32 = flags.get_or("passes", 1)?;
+        let algo = flags.get("algorithm").unwrap_or("2ps-l");
+        let mut partitioner = make_partitioner(algo, passes)?;
+        let mut stream = open_stream(input, flags.get("format"))?;
+        let info = discover_info(&mut stream).map_err(|e| e.to_string())?;
+
+        let params = PartitionParams::with_alpha(k, alpha);
+        let mut quality = QualitySink::new(info.num_vertices, k);
+        let start = std::time::Instant::now();
+        let report = match flags.get("out") {
+            Some(dir) => {
+                let dir = PathBuf::from(dir);
+                std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+                let stem = Path::new(input)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("graph");
+                let mut files = FileSink::create(&dir, stem, k, info.num_vertices)
+                    .map_err(|e| e.to_string())?;
+                let report = {
+                    let mut tee = TeeSink::new(&mut quality, &mut files);
+                    partitioner
+                        .partition(&mut stream, &params, &mut tee)
+                        .map_err(|e| e.to_string())?
+                };
+                let parts = files.finish().map_err(|e| e.to_string())?;
+                if !flags.has("quiet") {
+                    for (path, count) in parts {
+                        eprintln!("wrote {} ({count} edges)", path.display());
+                    }
+                }
+                report
+            }
+            None => partitioner
+                .partition(&mut stream, &params, &mut quality)
+                .map_err(|e| e.to_string())?,
+        };
+        let elapsed = start.elapsed();
+        let metrics = quality.finish();
+        println!(
+            "algorithm={} k={k} edges={} rf={:.4} alpha={:.4} time_s={:.3}",
+            partitioner.name(),
+            metrics.num_edges,
+            metrics.replication_factor,
+            metrics.alpha,
+            elapsed.as_secs_f64()
+        );
+        if !flags.has("quiet") {
+            for (name, d) in report.phases.phases() {
+                eprintln!("phase {name}: {:.3} s", d.as_secs_f64());
+            }
+            for (name, v) in &report.counters {
+                eprintln!("counter {name}: {v}");
+            }
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}
+
+/// `tps generate`
+pub fn generate(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args, &[]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let run = || -> Result<(), String> {
+        let name = flags.require("dataset")?;
+        let scale: f64 = flags.get_or("scale", 1.0)?;
+        let out = flags.require("out")?;
+        let ds = Dataset::ALL
+            .into_iter()
+            .find(|d| d.abbrev().eq_ignore_ascii_case(name))
+            .ok_or_else(|| format!("unknown dataset {name:?} (ok|it|tw|fr|uk|gsh|wdc|wi)"))?;
+        let graph = ds.generate_scaled(scale);
+        let info =
+            write_binary_edge_list(out, graph.num_vertices(), graph.edges().iter().copied())
+                .map_err(|e| e.to_string())?;
+        println!(
+            "wrote {out}: {} vertices, {} edges ({} stand-in at scale {scale})",
+            info.num_vertices,
+            info.num_edges,
+            ds.full_name()
+        );
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}
+
+/// `tps info`
+pub fn info(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args, &[]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let run = || -> Result<(), String> {
+        let input = flags.require("input")?;
+        let mut stream = open_stream(input, flags.get("format"))?;
+        let info = discover_info(&mut stream).map_err(|e| e.to_string())?;
+        // One more pass for degree statistics.
+        let degrees = tps_graph::degree::DegreeTable::compute(&mut stream, info.num_vertices)
+            .map_err(|e| e.to_string())?;
+        println!("file: {input}");
+        println!("vertices: {}", info.num_vertices);
+        println!("edges: {}", info.num_edges);
+        println!("mean degree: {:.2}", info.mean_degree());
+        println!("max degree: {}", degrees.max_degree());
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}
+
+/// `tps profile`
+pub fn profile(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args, &[]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let run = || -> Result<(), String> {
+        let path = flags.require("path")?;
+        let block: usize = flags.get_or("block-size", 100 << 20)?;
+        let p = tps_storage::profile_sequential_read(Path::new(path), block)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "read {} bytes in {:.3} s -> {:.1} MB/s",
+            p.bytes,
+            p.seconds,
+            p.bandwidth() / 1e6
+        );
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}

@@ -1,0 +1,37 @@
+//! `tps` — the command-line edge partitioner.
+//!
+//! The artifact a downstream user actually runs (the paper: "We implemented
+//! 2PS-L as a separate process that reads the graph data as a file from a
+//! given storage, partitions the edges, and writes back the partitioned
+//! graph data to storage").
+//!
+//! ```text
+//! tps partition --input graph.bel -k 32 [--algorithm 2ps-l] [--alpha 1.05]
+//!               [--passes 1] [--out DIR] [--format bel|text]
+//! tps generate  --dataset ok [--scale 1.0] --out graph.bel
+//! tps info      --input graph.bel [--format bel|text]
+//! tps profile   --path some.file [--block-size 104857600]
+//! tps help
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match argv.first().map(String::as_str) {
+        Some("partition") => commands::partition(&argv[1..]),
+        Some("generate") => commands::generate(&argv[1..]),
+        Some("info") => commands::info(&argv[1..]),
+        Some("profile") => commands::profile(&argv[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", commands::USAGE);
+            0
+        }
+        Some(other) => {
+            eprintln!("error: unknown command {other:?}\n\n{}", commands::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

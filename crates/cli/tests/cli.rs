@@ -1,0 +1,130 @@
+//! End-to-end tests of the `tps` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tps() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tps"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tps-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = tps().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("tps partition"));
+    assert!(text.contains("2ps-l"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = tps().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn generate_info_partition_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let bel = dir.join("ok.bel");
+
+    // generate
+    let out = tps()
+        .args(["generate", "--dataset", "ok", "--scale", "0.01", "--out"])
+        .arg(&bel)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // info
+    let out = tps().args(["info", "--input"]).arg(&bel).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("edges: 4000"), "{text}");
+
+    // partition with output files
+    let parts = dir.join("parts");
+    let out = tps()
+        .args(["partition", "--input"])
+        .arg(&bel)
+        .args(["--k", "4", "--out"])
+        .arg(&parts)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("algorithm=2PS-L"), "{text}");
+    assert!(text.contains("edges=4000"), "{text}");
+
+    // The partition files together hold every edge exactly once.
+    let mut total = 0u64;
+    for i in 0..4 {
+        let f = tps_graph::formats::binary::BinaryEdgeFile::open(
+            parts.join(format!("ok.part{i}.bel")),
+        )
+        .unwrap();
+        total += f.info().num_edges;
+    }
+    assert_eq!(total, 4000);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn partition_each_algorithm_smoke() {
+    let dir = tmpdir("algos");
+    let bel = dir.join("it.bel");
+    tps()
+        .args(["generate", "--dataset", "it", "--scale", "0.005", "--out"])
+        .arg(&bel)
+        .status()
+        .unwrap();
+    for algo in [
+        "2ps-l", "2ps-hdrf", "hdrf", "dbh", "grid", "random", "greedy", "ne", "sne", "dne",
+        "hep-10", "multilevel",
+    ] {
+        let out = tps()
+            .args(["partition", "--input"])
+            .arg(&bel)
+            .args(["--k", "4", "--algorithm", algo, "--quiet"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{algo}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(String::from_utf8_lossy(&out.stdout).contains("rf="), "{algo}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn partition_text_format() {
+    let dir = tmpdir("text");
+    let txt = dir.join("g.txt");
+    std::fs::write(&txt, "# tiny graph\n0 1\n1 2\n2 3\n3 0\n").unwrap();
+    let out = tps()
+        .args(["partition", "--input"])
+        .arg(&txt)
+        .args(["--k", "2", "--format", "text", "--quiet"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("edges=4"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_flags_error_cleanly() {
+    let out = tps().args(["partition", "--k", "4"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
+
+    let out = tps().args(["generate", "--dataset", "nope", "--out", "/tmp/x"]).output().unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,125 @@
+//! The original streaming clustering algorithm of Hollocou et al. (NIPS 2017
+//! workshop), kept as an ablation baseline.
+//!
+//! Differences from the 2PS-L variant in [`crate::streaming`] (paper §III-A2):
+//!
+//! * **partial degrees** — degrees are discovered while streaming (each edge
+//!   increments both endpoint degrees) instead of an upfront exact pass;
+//! * **no effective volume bound** — Hollocou et al. optionally bound
+//!   volumes, but with partial degrees the bound cannot be enforced
+//!   meaningfully (a vertex's future degree is unknown), which is exactly
+//!   the paper's motivation for extension #1.
+//!
+//! The ablation bench compares partition quality when 2PS-L's phase 2 runs
+//! on top of this clustering instead of the bounded exact-degree one.
+
+use std::io;
+
+use tps_graph::stream::{for_each_edge, EdgeStream};
+
+use crate::model::{Clustering, NO_CLUSTER};
+
+/// Run the original Hollocou streaming clustering.
+///
+/// `volume_bound` is the optional cap from the original paper (`u64::MAX`
+/// disables it). Partial degrees are used throughout.
+pub fn cluster_stream_partial<S: EdgeStream + ?Sized>(
+    stream: &mut S,
+    num_vertices: u64,
+    volume_bound: u64,
+) -> io::Result<Clustering> {
+    let mut clustering = Clustering::empty(num_vertices);
+    let mut partial_deg = vec![0u64; num_vertices as usize];
+    for_each_edge(stream, |e| {
+        let (u, v) = (e.src, e.dst);
+        // Discover degrees as we stream.
+        partial_deg[u as usize] += 1;
+        partial_deg[v as usize] += 1;
+        // New vertices start as singleton clusters with their partial degree
+        // as volume; existing clusters grow by the degree increment.
+        let mut cu = clustering.raw_cluster_of(u);
+        if cu == NO_CLUSTER {
+            cu = clustering.create_cluster(u, partial_deg[u as usize]);
+        } else {
+            clustering.grow_volume(cu, 1);
+        }
+        let mut cv = clustering.raw_cluster_of(v);
+        if cv == NO_CLUSTER {
+            cv = clustering.create_cluster(v, partial_deg[v as usize]);
+        } else {
+            clustering.grow_volume(cv, 1);
+        }
+        if cu == cv {
+            return;
+        }
+        let vol_u = clustering.volume(cu);
+        let vol_v = clustering.volume(cv);
+        // The lighter endpoint joins the heavier cluster.
+        let (vs, ds, cl) = if vol_u <= vol_v {
+            (u, partial_deg[u as usize], cv)
+        } else {
+            (v, partial_deg[v as usize], cu)
+        };
+        if clustering.volume(cl) + ds <= volume_bound {
+            clustering.migrate(vs, ds, cl);
+        }
+    })?;
+    Ok(clustering)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_graph::gen::planted::{self, PlantedConfig};
+    use tps_graph::stream::InMemoryGraph;
+    use tps_graph::types::Edge;
+
+    #[test]
+    fn groups_a_triangle() {
+        let g = InMemoryGraph::from_edges(vec![
+            Edge::new(0, 1),
+            Edge::new(1, 2),
+            Edge::new(2, 0),
+        ]);
+        let mut s = g.stream();
+        let c = cluster_stream_partial(&mut s, 3, u64::MAX).unwrap();
+        assert_eq!(c.cluster_of(0), c.cluster_of(1));
+        assert_eq!(c.cluster_of(1), c.cluster_of(2));
+    }
+
+    #[test]
+    fn finds_planted_structure_roughly() {
+        let g = planted::generate(&PlantedConfig::web(1_000, 6_000), 13);
+        let mut s = g.stream();
+        let c = cluster_stream_partial(&mut s, g.num_vertices(), u64::MAX).unwrap();
+        let intra = g
+            .edges()
+            .iter()
+            .filter(|e| c.cluster_of(e.src) == c.cluster_of(e.dst))
+            .count();
+        let frac = intra as f64 / g.num_edges() as f64;
+        assert!(frac > 0.3, "intra fraction {frac}");
+    }
+
+    #[test]
+    fn unbounded_volumes_can_exceed_any_cap() {
+        // The motivating defect: without exact degrees there is no useful
+        // volume control — a hub-heavy graph piles into one giant cluster.
+        let mut edges = Vec::new();
+        for i in 1..200u32 {
+            edges.push(Edge::new(0, i));
+        }
+        let g = InMemoryGraph::from_edges(edges);
+        let mut s = g.stream();
+        let c = cluster_stream_partial(&mut s, 200, u64::MAX).unwrap();
+        assert!(c.max_volume() > 100);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let g = InMemoryGraph::from_edges(vec![]);
+        let mut s = g.stream();
+        let c = cluster_stream_partial(&mut s, 0, u64::MAX).unwrap();
+        assert_eq!(c.num_cluster_ids(), 0);
+    }
+}

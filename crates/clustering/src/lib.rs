@@ -1,0 +1,43 @@
+//! Phase 1 of 2PS-L: streaming vertex clustering.
+//!
+//! The paper (§III-A) extends the streaming clustering algorithm of Hollocou
+//! et al. with two changes that make its output usable for balanced edge
+//! partitioning:
+//!
+//! 1. **Exact degrees & bounded volumes** — degrees are computed upfront in a
+//!    linear pass, cluster *volume* (sum of member degrees) is capped so that
+//!    clusters remain packable into `k` balanced partitions.
+//! 2. **Re-streaming** — the same pass can be repeated over the stream,
+//!    refining vertex→cluster assignments with accumulated state (Fig. 7/8
+//!    evaluate 1–8 passes).
+//!
+//! Modules:
+//!
+//! * [`model`] — the [`Clustering`](model::Clustering) result type
+//!   (vertex→cluster map + cluster volumes) and its invariants.
+//! * [`streaming`] — the 2PS-L clustering pass (Algorithm 1).
+//! * [`hollocou`] — the original unbounded, partial-degree algorithm, kept
+//!   as an ablation baseline.
+//! * [`stats`] — cluster statistics and intra-cluster edge fraction
+//!   measurement.
+//!
+//! ```
+//! use tps_clustering::streaming::{cluster_stream, ClusteringConfig};
+//! use tps_graph::degree::DegreeTable;
+//! use tps_graph::datasets::Dataset;
+//!
+//! let graph = Dataset::It.generate_scaled(0.02);
+//! let mut stream = graph.stream();
+//! let degrees = DegreeTable::compute(&mut stream, graph.num_vertices()).unwrap();
+//! let config = ClusteringConfig::for_partitions(32, 1.0, 1);
+//! let clustering = cluster_stream(&mut stream, &degrees, &config).unwrap();
+//! assert!(clustering.num_nonempty_clusters() > 1);
+//! ```
+
+pub mod hollocou;
+pub mod model;
+pub mod stats;
+pub mod streaming;
+
+pub use model::{Clustering, NO_CLUSTER};
+pub use streaming::{cluster_stream, ClusteringConfig, VolumeCap};

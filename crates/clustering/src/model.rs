@@ -1,0 +1,191 @@
+//! The clustering result: vertex→cluster map and cluster volumes.
+//!
+//! These are the three `O(|V|)` arrays of Algorithm 1 (`d`, `vol`, `v2c`);
+//! the degree array stays in [`tps_graph::degree::DegreeTable`] and is shared
+//! with the partitioning phase ("the preprocessing phase has no additional
+//! memory overhead in excess of the streaming partitioning phase", §IV-B).
+
+use tps_graph::degree::DegreeTable;
+use tps_graph::types::{ClusterId, VertexId};
+
+/// Sentinel for "vertex has no cluster yet" (isolated vertices keep it).
+pub const NO_CLUSTER: ClusterId = ClusterId::MAX;
+
+/// A vertex clustering with volume bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// Vertex → cluster id, `NO_CLUSTER` if unassigned.
+    v2c: Vec<ClusterId>,
+    /// Cluster id → volume (sum of member degrees). Indexed densely by the
+    /// ids handed out during streaming; emptied clusters keep volume 0.
+    volumes: Vec<u64>,
+}
+
+impl Clustering {
+    /// A clustering with no vertices assigned and no clusters allocated.
+    pub fn empty(num_vertices: u64) -> Self {
+        Clustering { v2c: vec![NO_CLUSTER; num_vertices as usize], volumes: Vec::new() }
+    }
+
+    /// Construct directly from parts (tests and the ablation baselines).
+    ///
+    /// # Panics
+    /// Panics if a vertex references a cluster id outside `volumes`.
+    pub fn from_parts(v2c: Vec<ClusterId>, volumes: Vec<u64>) -> Self {
+        for &c in &v2c {
+            assert!(
+                c == NO_CLUSTER || (c as usize) < volumes.len(),
+                "cluster id {c} out of range"
+            );
+        }
+        Clustering { v2c, volumes }
+    }
+
+    /// Cluster of `v`, if assigned.
+    #[inline]
+    pub fn cluster_of(&self, v: VertexId) -> Option<ClusterId> {
+        match self.v2c[v as usize] {
+            NO_CLUSTER => None,
+            c => Some(c),
+        }
+    }
+
+    /// Raw cluster id of `v` (`NO_CLUSTER` when unassigned); the hot-path
+    /// accessor used by the partitioning inner loops.
+    #[inline]
+    pub fn raw_cluster_of(&self, v: VertexId) -> ClusterId {
+        self.v2c[v as usize]
+    }
+
+    /// Volume of cluster `c`.
+    #[inline]
+    pub fn volume(&self, c: ClusterId) -> u64 {
+        self.volumes[c as usize]
+    }
+
+    /// Number of cluster ids ever allocated (including since-emptied ones).
+    pub fn num_cluster_ids(&self) -> u32 {
+        self.volumes.len() as u32
+    }
+
+    /// Number of clusters with non-zero volume.
+    pub fn num_nonempty_clusters(&self) -> usize {
+        self.volumes.iter().filter(|&&v| v > 0).count()
+    }
+
+    /// Number of vertices (assigned or not).
+    pub fn num_vertices(&self) -> u64 {
+        self.v2c.len() as u64
+    }
+
+    /// The volumes array (cluster id → volume).
+    pub fn volumes(&self) -> &[u64] {
+        &self.volumes
+    }
+
+    /// Largest cluster volume (0 if no clusters).
+    pub fn max_volume(&self) -> u64 {
+        self.volumes.iter().copied().max().unwrap_or(0)
+    }
+
+    // ----- mutation API used by the streaming algorithms (public so
+    // downstream extensions, e.g. the hypergraph generalisation, can drive
+    // their own clustering passes over the same state) -----
+
+    /// Assign `v` to a brand-new cluster with initial volume `vol`.
+    /// Returns the new cluster's id.
+    #[inline]
+    pub fn create_cluster(&mut self, v: VertexId, vol: u64) -> ClusterId {
+        let id = self.volumes.len() as ClusterId;
+        self.volumes.push(vol);
+        self.v2c[v as usize] = id;
+        id
+    }
+
+    /// Move `v` (of degree `d`) from its current cluster to `to`.
+    #[inline]
+    pub fn migrate(&mut self, v: VertexId, d: u64, to: ClusterId) {
+        let from = self.v2c[v as usize];
+        debug_assert_ne!(from, NO_CLUSTER);
+        debug_assert_ne!(from, to);
+        self.volumes[from as usize] -= d;
+        self.volumes[to as usize] += d;
+        self.v2c[v as usize] = to;
+    }
+
+    /// Add `delta` to the volume of `c` (partial-degree mode of the Hollocou
+    /// baseline, where volumes grow as degrees are discovered).
+    #[inline]
+    pub fn grow_volume(&mut self, c: ClusterId, delta: u64) {
+        self.volumes[c as usize] += delta;
+    }
+
+    /// Verify that every cluster's volume equals the sum of its members'
+    /// degrees. `O(|V| + #clusters)`; test/debug helper.
+    pub fn check_volume_invariant(&self, degrees: &DegreeTable) -> Result<(), String> {
+        let mut recomputed = vec![0u64; self.volumes.len()];
+        for (v, &c) in self.v2c.iter().enumerate() {
+            if c != NO_CLUSTER {
+                recomputed[c as usize] += degrees.degree(v as VertexId) as u64;
+            }
+        }
+        for (c, (&expected, &actual)) in recomputed.iter().zip(&self.volumes).enumerate() {
+            if expected != actual {
+                return Err(format!(
+                    "cluster {c}: stored volume {actual} != recomputed {expected}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_clustering_has_no_assignments() {
+        let c = Clustering::empty(5);
+        assert_eq!(c.num_vertices(), 5);
+        assert_eq!(c.num_cluster_ids(), 0);
+        assert_eq!(c.cluster_of(3), None);
+        assert_eq!(c.max_volume(), 0);
+    }
+
+    #[test]
+    fn create_and_migrate() {
+        let mut c = Clustering::empty(3);
+        let c0 = c.create_cluster(0, 4);
+        let c1 = c.create_cluster(1, 2);
+        assert_eq!(c.cluster_of(0), Some(c0));
+        assert_eq!(c.volume(c0), 4);
+        c.migrate(1, 2, c0);
+        assert_eq!(c.cluster_of(1), Some(c0));
+        assert_eq!(c.volume(c0), 6);
+        assert_eq!(c.volume(c1), 0);
+        assert_eq!(c.num_nonempty_clusters(), 1);
+    }
+
+    #[test]
+    fn volume_invariant_detects_mismatch() {
+        let degrees = DegreeTable::from_vec(vec![2, 2]);
+        let good = Clustering::from_parts(vec![0, 0], vec![4]);
+        assert!(good.check_volume_invariant(&degrees).is_ok());
+        let bad = Clustering::from_parts(vec![0, 0], vec![5]);
+        assert!(bad.check_volume_invariant(&degrees).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_parts_validates_ids() {
+        Clustering::from_parts(vec![3], vec![1]);
+    }
+
+    #[test]
+    fn unassigned_vertices_ignored_by_invariant() {
+        let degrees = DegreeTable::from_vec(vec![2, 0]);
+        let c = Clustering::from_parts(vec![0, NO_CLUSTER], vec![2]);
+        assert!(c.check_volume_invariant(&degrees).is_ok());
+    }
+}

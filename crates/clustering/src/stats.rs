@@ -1,0 +1,120 @@
+//! Clustering statistics: size/volume distribution and intra-cluster edge
+//! fraction.
+//!
+//! The intra-cluster fraction is the single number that predicts how much of
+//! phase 2 will be resolved by pre-partitioning (paper Fig. 6: "different
+//! from social network graphs, prepartitioning dominates in web graphs").
+
+use std::io;
+
+use tps_graph::stream::{for_each_edge, EdgeStream};
+
+use crate::model::Clustering;
+
+/// Summary statistics of a clustering.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusteringStats {
+    /// Clusters with at least one member.
+    pub nonempty_clusters: usize,
+    /// Members of the largest cluster (by count).
+    pub largest_cluster_members: u64,
+    /// Largest cluster volume.
+    pub max_volume: u64,
+    /// Mean volume over non-empty clusters.
+    pub mean_volume: f64,
+    /// Vertices assigned to some cluster.
+    pub assigned_vertices: u64,
+}
+
+/// Compute membership/volume statistics in `O(|V| + #clusters)`.
+pub fn clustering_stats(clustering: &Clustering) -> ClusteringStats {
+    let ids = clustering.num_cluster_ids() as usize;
+    let mut members = vec![0u64; ids];
+    let mut assigned = 0u64;
+    for v in 0..clustering.num_vertices() as u32 {
+        if let Some(c) = clustering.cluster_of(v) {
+            members[c as usize] += 1;
+            assigned += 1;
+        }
+    }
+    let nonempty = members.iter().filter(|&&m| m > 0).count();
+    let largest = members.iter().copied().max().unwrap_or(0);
+    let max_volume = clustering.max_volume();
+    let total_volume: u64 = clustering.volumes().iter().sum();
+    let mean_volume = if nonempty == 0 { 0.0 } else { total_volume as f64 / nonempty as f64 };
+    ClusteringStats {
+        nonempty_clusters: nonempty,
+        largest_cluster_members: largest,
+        max_volume,
+        mean_volume,
+        assigned_vertices: assigned,
+    }
+}
+
+/// Fraction of stream edges whose endpoints share a cluster.
+/// One extra pass over the stream; `O(1)` extra memory.
+pub fn intra_cluster_fraction<S: EdgeStream + ?Sized>(
+    stream: &mut S,
+    clustering: &Clustering,
+) -> io::Result<f64> {
+    let mut intra = 0u64;
+    let mut total = 0u64;
+    for_each_edge(stream, |e| {
+        total += 1;
+        let cu = clustering.raw_cluster_of(e.src);
+        if cu != crate::model::NO_CLUSTER && cu == clustering.raw_cluster_of(e.dst) {
+            intra += 1;
+        }
+    })?;
+    Ok(if total == 0 { 0.0 } else { intra as f64 / total as f64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NO_CLUSTER;
+    use tps_graph::stream::InMemoryGraph;
+    use tps_graph::types::Edge;
+
+    #[test]
+    fn stats_on_hand_built_clustering() {
+        // 4 vertices: {0,1} in cluster 0 (volume 5), {2} in cluster 1
+        // (volume 2), vertex 3 unassigned.
+        let c = Clustering::from_parts(vec![0, 0, 1, NO_CLUSTER], vec![5, 2]);
+        let s = clustering_stats(&c);
+        assert_eq!(s.nonempty_clusters, 2);
+        assert_eq!(s.largest_cluster_members, 2);
+        assert_eq!(s.max_volume, 5);
+        assert!((s.mean_volume - 3.5).abs() < 1e-12);
+        assert_eq!(s.assigned_vertices, 3);
+    }
+
+    #[test]
+    fn intra_fraction_counts_correctly() {
+        let g = InMemoryGraph::from_edges(vec![
+            Edge::new(0, 1), // intra (cluster 0)
+            Edge::new(1, 2), // inter
+            Edge::new(2, 3), // intra (cluster 1)
+        ]);
+        let c = Clustering::from_parts(vec![0, 0, 1, 1], vec![4, 4]);
+        let mut s = g.stream();
+        let f = intra_cluster_fraction(&mut s, &c).unwrap();
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unassigned_endpoints_never_count_as_intra() {
+        let g = InMemoryGraph::from_edges(vec![Edge::new(0, 1)]);
+        let c = Clustering::from_parts(vec![NO_CLUSTER, NO_CLUSTER], vec![]);
+        let mut s = g.stream();
+        assert_eq!(intra_cluster_fraction(&mut s, &c).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_fraction_is_zero() {
+        let g = InMemoryGraph::from_edges(vec![]);
+        let c = Clustering::empty(0);
+        let mut s = g.stream();
+        assert_eq!(intra_cluster_fraction(&mut s, &c).unwrap(), 0.0);
+    }
+}

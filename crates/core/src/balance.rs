@@ -1,0 +1,174 @@
+//! Per-partition load accounting with the hard balance cap `α·|E|/k`.
+//!
+//! 2PS-L enforces the cap strictly ("we guarantee that no partition gets more
+//! than α·|E|/k edges assigned", paper §III-B step 3); the stateful baselines
+//! (HDRF, Greedy) use the same structure for their balance terms.
+
+use tps_graph::types::PartitionId;
+
+/// Edge counts per partition plus the hard capacity.
+#[derive(Clone, Debug)]
+pub struct PartitionLoads {
+    loads: Vec<u64>,
+    cap: u64,
+}
+
+impl PartitionLoads {
+    /// Loads for `k` partitions of a graph with `num_edges` edges under
+    /// balance factor `alpha`.
+    ///
+    /// The cap is `max(⌈|E|/k⌉, ⌊α·|E|/k⌋)`: the first term guarantees
+    /// feasibility (all edges *can* be placed) even at `α = 1.0`; the second
+    /// is the paper's constraint.
+    pub fn new(k: u32, num_edges: u64, alpha: f64) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(alpha >= 1.0, "alpha must be >= 1");
+        let fair = num_edges.div_ceil(k as u64);
+        let soft = (alpha * num_edges as f64 / k as f64).floor() as u64;
+        PartitionLoads { loads: vec![0; k as usize], cap: fair.max(soft) }
+    }
+
+    /// Loads without any cap (stateless partitioners that only count).
+    pub fn uncapped(k: u32) -> Self {
+        assert!(k > 0, "k must be positive");
+        PartitionLoads { loads: vec![0; k as usize], cap: u64::MAX }
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.loads.len() as u32
+    }
+
+    /// The hard capacity per partition.
+    #[inline]
+    pub fn cap(&self) -> u64 {
+        self.cap
+    }
+
+    /// Current load of `p`.
+    #[inline]
+    pub fn load(&self, p: PartitionId) -> u64 {
+        self.loads[p as usize]
+    }
+
+    /// Whether `p` is at capacity.
+    #[inline]
+    pub fn is_full(&self, p: PartitionId) -> bool {
+        self.loads[p as usize] >= self.cap
+    }
+
+    /// Record one edge on `p`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `p` is already full (callers must route
+    /// through the fallback chain first).
+    #[inline]
+    pub fn add(&mut self, p: PartitionId) {
+        debug_assert!(!self.is_full(p), "partition {p} exceeds the balance cap");
+        self.loads[p as usize] += 1;
+    }
+
+    /// The least-loaded partition (lowest id wins ties). `O(k)`.
+    pub fn least_loaded(&self) -> PartitionId {
+        let mut best = 0u32;
+        let mut best_load = self.loads[0];
+        for (i, &l) in self.loads.iter().enumerate().skip(1) {
+            if l < best_load {
+                best = i as u32;
+                best_load = l;
+            }
+        }
+        best
+    }
+
+    /// Largest current load.
+    pub fn max_load(&self) -> u64 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Smallest current load.
+    pub fn min_load(&self) -> u64 {
+        self.loads.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Total edges recorded.
+    pub fn total(&self) -> u64 {
+        self.loads.iter().sum()
+    }
+
+    /// Raw loads.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.loads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_is_feasible_at_alpha_one() {
+        // 10 edges, 4 partitions, α = 1.0 → cap must be ⌈10/4⌉ = 3 so that
+        // 4 × 3 ≥ 10.
+        let l = PartitionLoads::new(4, 10, 1.0);
+        assert_eq!(l.cap(), 3);
+        assert!(l.cap() as u128 * 4 >= 10);
+    }
+
+    #[test]
+    fn cap_follows_alpha() {
+        let l = PartitionLoads::new(4, 1000, 1.05);
+        assert_eq!(l.cap(), 262); // floor(1.05 * 250)
+    }
+
+    #[test]
+    fn add_and_full() {
+        let mut l = PartitionLoads::new(2, 4, 1.0);
+        assert_eq!(l.cap(), 2);
+        l.add(0);
+        assert!(!l.is_full(0));
+        l.add(0);
+        assert!(l.is_full(0));
+        assert_eq!(l.load(0), 2);
+        assert_eq!(l.total(), 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "balance cap")]
+    fn debug_add_past_cap_panics() {
+        let mut l = PartitionLoads::new(1, 1, 1.0);
+        l.add(0);
+        l.add(0);
+    }
+
+    #[test]
+    fn least_loaded_prefers_lowest_id_on_tie() {
+        let mut l = PartitionLoads::new(3, 30, 2.0);
+        l.add(0);
+        assert_eq!(l.least_loaded(), 1);
+        l.add(1);
+        l.add(2);
+        assert_eq!(l.least_loaded(), 0);
+    }
+
+    #[test]
+    fn uncapped_never_fills() {
+        let mut l = PartitionLoads::uncapped(1);
+        for _ in 0..1000 {
+            l.add(0);
+        }
+        assert!(!l.is_full(0));
+    }
+
+    #[test]
+    fn min_max_loads() {
+        let mut l = PartitionLoads::new(3, 100, 2.0);
+        l.add(1);
+        l.add(1);
+        l.add(2);
+        assert_eq!(l.max_load(), 2);
+        assert_eq!(l.min_load(), 0);
+    }
+}

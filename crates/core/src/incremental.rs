@@ -1,0 +1,532 @@
+//! Incremental (dynamic-graph) extension of 2PS-L.
+//!
+//! The paper points at Fan et al. (VLDB 2020): "2PS-L could be transformed
+//! into an incremental algorithm to efficiently handle dynamic graphs with
+//! edge insertions and deletions without recomputing the complete
+//! partitioning from scratch" (§VI). This module implements that
+//! transformation:
+//!
+//! * [`IncrementalTwoPhase::bootstrap`] runs ordinary 2PS-L over the initial
+//!   stream and *retains* the phase state (degrees, clustering, cluster→
+//!   partition placement, replication matrix, loads).
+//! * [`IncrementalTwoPhase::insert`] assigns a new edge in `O(1)` using the
+//!   same two-choice scoring against the retained state. New vertices are
+//!   clustered on first contact exactly as the streaming clustering would
+//!   (joining the heavier endpoint cluster under the volume cap).
+//! * [`IncrementalTwoPhase::remove`] retracts an edge: loads shrink, and
+//!   replica bits are dropped when the edge was the vertex's last edge on
+//!   that partition (tracked with per-(vertex, partition) counts — the
+//!   `O(|V|·k)` budget is preserved, with counts replacing bits).
+//!
+//! Quality degrades gracefully as the graph drifts from the clustering
+//! snapshot; [`IncrementalTwoPhase::staleness`] exposes the drift so callers
+//! can schedule a re-bootstrap (the usual deployment loop for incremental
+//! partitioners).
+
+use std::collections::HashMap;
+use std::io;
+
+use tps_clustering::model::{Clustering, NO_CLUSTER};
+use tps_clustering::streaming::{clustering_pass, VolumeCap};
+use tps_graph::degree::DegreeTable;
+use tps_graph::hash::seeded_hash_to_partition;
+use tps_graph::stream::{discover_info, EdgeStream};
+use tps_graph::types::{Edge, PartitionId, VertexId};
+
+use crate::two_phase::mapping::ClusterPlacement;
+use crate::two_phase::scoring::{two_choice_best, EdgeScoreInputs};
+use crate::two_phase::TwoPhaseConfig;
+
+/// Replica reference counts per (vertex, partition): the incremental
+/// replacement for the boolean `v2p` matrix, so deletions can retract
+/// replicas exactly.
+#[derive(Clone, Debug)]
+struct ReplicaCounts {
+    k: u32,
+    counts: Vec<u32>,
+}
+
+impl ReplicaCounts {
+    fn new(num_vertices: u64, k: u32) -> Self {
+        ReplicaCounts { k, counts: vec![0; (num_vertices * k as u64) as usize] }
+    }
+
+    #[inline]
+    fn idx(&self, v: VertexId, p: PartitionId) -> usize {
+        v as usize * self.k as usize + p as usize
+    }
+
+    #[inline]
+    fn get(&self, v: VertexId, p: PartitionId) -> bool {
+        self.counts[self.idx(v, p)] > 0
+    }
+
+    #[inline]
+    fn add(&mut self, v: VertexId, p: PartitionId) {
+        let i = self.idx(v, p);
+        self.counts[i] += 1;
+    }
+
+    /// Returns true if the last replica on `p` disappeared.
+    #[inline]
+    fn remove(&mut self, v: VertexId, p: PartitionId) -> bool {
+        let i = self.idx(v, p);
+        assert!(self.counts[i] > 0, "removing a replica that does not exist");
+        self.counts[i] -= 1;
+        self.counts[i] == 0
+    }
+
+    fn grow_vertices(&mut self, num_vertices: u64) {
+        self.counts.resize((num_vertices * self.k as u64) as usize, 0);
+    }
+
+    fn total_replicas(&self) -> u64 {
+        self.counts.iter().filter(|&&c| c > 0).count() as u64
+    }
+
+    fn covered(&self) -> u64 {
+        self.counts
+            .chunks(self.k as usize)
+            .filter(|row| row.iter().any(|&c| c > 0))
+            .count() as u64
+    }
+}
+
+/// A live, incrementally maintained 2PS-L partitioning.
+pub struct IncrementalTwoPhase {
+    config: TwoPhaseConfig,
+    k: u32,
+    cap_per_partition: u64,
+    volume_cap: u64,
+    degrees: Vec<u32>,
+    clustering: Clustering,
+    placement: ClusterPlacement,
+    /// Partitions of clusters created *after* bootstrap (indexed by
+    /// `cluster_id − placement.num_clusters()`): each new cluster is pinned
+    /// to the least-loaded partition at creation time.
+    late_cluster_partitions: Vec<PartitionId>,
+    replicas: ReplicaCounts,
+    loads: Vec<u64>,
+    /// Live assignment of each edge (canonicalised) — needed for deletions.
+    /// `O(|E|)` and therefore *not* out-of-core; incremental maintenance of
+    /// dynamic graphs inherently requires an edge→partition lookup (see Fan
+    /// et al.), which deployments keep in the DB/storage layer.
+    assignment: HashMap<Edge, PartitionId>,
+    inserted_since_bootstrap: u64,
+    bootstrap_edges: u64,
+}
+
+impl IncrementalTwoPhase {
+    /// Run 2PS-L over `stream` and retain all state for incremental updates.
+    ///
+    /// `extra_capacity_factor ≥ 1` head-room multiplies the per-partition
+    /// cap so future insertions do not immediately saturate partitions.
+    pub fn bootstrap<S: EdgeStream + ?Sized>(
+        stream: &mut S,
+        k: u32,
+        alpha: f64,
+        extra_capacity_factor: f64,
+        config: TwoPhaseConfig,
+    ) -> io::Result<Self> {
+        assert!(k > 0);
+        assert!(extra_capacity_factor >= 1.0);
+        let info = discover_info(stream)?;
+        let degrees_table = DegreeTable::compute(stream, info.num_vertices)?;
+        let volume_cap =
+            VolumeCap::FractionOfTotal(config.volume_cap_factor / k as f64)
+                .resolve(degrees_table.total_volume().max(1));
+        let mut clustering = Clustering::empty(info.num_vertices);
+        for _ in 0..config.clustering_passes {
+            clustering_pass(stream, &degrees_table, volume_cap, &mut clustering)?;
+        }
+        let placement = ClusterPlacement::sorted_list_schedule(&clustering, k);
+
+        let cap = ((alpha * info.num_edges as f64 / k as f64).floor() as u64)
+            .max(info.num_edges.div_ceil(k as u64));
+        let mut this = IncrementalTwoPhase {
+            config,
+            k,
+            cap_per_partition: ((cap as f64) * extra_capacity_factor).ceil() as u64,
+            volume_cap,
+            degrees: degrees_table.as_slice().to_vec(),
+            clustering,
+            placement,
+            late_cluster_partitions: Vec::new(),
+            replicas: ReplicaCounts::new(info.num_vertices, k),
+            loads: vec![0; k as usize],
+            assignment: HashMap::with_capacity(info.num_edges as usize),
+            inserted_since_bootstrap: 0,
+            bootstrap_edges: info.num_edges,
+        };
+        // Assign the bootstrap edges with the standard two passes.
+        stream.reset()?;
+        while let Some(e) = stream.next_edge()? {
+            if this.prepartition_target(e).is_some() {
+                let p = this.choose_partition(e);
+                this.commit(e, p);
+            }
+        }
+        stream.reset()?;
+        while let Some(e) = stream.next_edge()? {
+            if this.prepartition_target(e).is_none() {
+                let p = this.choose_partition(e);
+                this.commit(e, p);
+            }
+        }
+        Ok(this)
+    }
+
+    fn ensure_vertex(&mut self, v: VertexId) {
+        if (v as usize) < self.degrees.len() {
+            return;
+        }
+        let new_len = v as usize + 1;
+        self.degrees.resize(new_len, 0);
+        self.replicas.grow_vertices(new_len as u64);
+        // Clustering needs room too; new vertices are unassigned for now.
+        let mut v2c = vec![NO_CLUSTER; new_len];
+        for (u, slot) in v2c.iter_mut().take(self.clustering.num_vertices() as usize).enumerate() {
+            *slot = self.clustering.raw_cluster_of(u as u32);
+        }
+        self.clustering = Clustering::from_parts(v2c, self.clustering.volumes().to_vec());
+    }
+
+    /// Partition of a cluster, covering clusters created after bootstrap.
+    #[inline]
+    fn cluster_partition(&self, c: u32) -> PartitionId {
+        if c < self.placement.num_clusters() {
+            self.placement.partition_of(c)
+        } else {
+            self.late_cluster_partitions[(c - self.placement.num_clusters()) as usize]
+        }
+    }
+
+    /// Cluster a vertex on first contact, mirroring the streaming rule: join
+    /// the other endpoint's cluster if the cap allows, else start fresh
+    /// (new clusters are pinned to the currently least-loaded partition).
+    fn cluster_on_first_contact(&mut self, v: VertexId, other: VertexId) {
+        if self.clustering.raw_cluster_of(v) != NO_CLUSTER {
+            return;
+        }
+        let dv = self.degrees[v as usize].max(1) as u64;
+        let co = self.clustering.raw_cluster_of(other);
+        if co != NO_CLUSTER && self.clustering.volume(co) + dv <= self.volume_cap {
+            self.clustering.create_cluster(v, dv);
+            // Merge into the neighbour's cluster immediately.
+            self.clustering.migrate(v, dv, co);
+        } else {
+            self.clustering.create_cluster(v, dv);
+        }
+        // Pin any clusters the placement has not seen.
+        while self.placement.num_clusters() as usize + self.late_cluster_partitions.len()
+            < self.clustering.num_cluster_ids() as usize
+        {
+            let p = self
+                .loads
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &l)| (l, i))
+                .map(|(i, _)| i as u32)
+                .expect("k >= 1");
+            self.late_cluster_partitions.push(p);
+        }
+    }
+
+    #[inline]
+    fn prepartition_target(&self, e: Edge) -> Option<PartitionId> {
+        let cu = self.clustering.raw_cluster_of(e.src);
+        let cv = self.clustering.raw_cluster_of(e.dst);
+        if cu == NO_CLUSTER || cv == NO_CLUSTER {
+            return None;
+        }
+        let pu = self.cluster_partition(cu);
+        if cu == cv {
+            return Some(pu);
+        }
+        (self.cluster_partition(cv) == pu).then_some(pu)
+    }
+
+    /// Two-choice scoring against the retained state (`O(1)` per edge).
+    fn choose_partition(&self, e: Edge) -> PartitionId {
+        let cu = self.clustering.raw_cluster_of(e.src);
+        let cv = self.clustering.raw_cluster_of(e.dst);
+        let candidate = if cu == NO_CLUSTER || cv == NO_CLUSTER {
+            None
+        } else {
+            let inputs = EdgeScoreInputs {
+                u: e.src,
+                v: e.dst,
+                du: self.degrees[e.src as usize].max(1) as u64,
+                dv: self.degrees[e.dst as usize].max(1) as u64,
+                vol_cu: self.clustering.volume(cu),
+                vol_cv: self.clustering.volume(cv),
+                pu: self.cluster_partition(cu),
+                pv: self.cluster_partition(cv),
+            };
+            // Score against counts-backed replicas through a bit view.
+            let best = self.two_choice_with_counts(&inputs);
+            Some(best)
+        };
+        let mut p = candidate.unwrap_or_else(|| {
+            let hv = if self.degrees[e.src as usize] >= self.degrees[e.dst as usize] {
+                e.src
+            } else {
+                e.dst
+            };
+            seeded_hash_to_partition(hv, self.config.hash_seed, self.k)
+        });
+        if self.loads[p as usize] >= self.cap_per_partition {
+            // Hash fallback, then least loaded.
+            let hv = if self.degrees[e.src as usize] >= self.degrees[e.dst as usize] {
+                e.src
+            } else {
+                e.dst
+            };
+            p = seeded_hash_to_partition(hv, self.config.hash_seed, self.k);
+            if self.loads[p as usize] >= self.cap_per_partition {
+                p = self
+                    .loads
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(i, &l)| (l, i))
+                    .map(|(i, _)| i as u32)
+                    .expect("k >= 1");
+            }
+        }
+        p
+    }
+
+    fn two_choice_with_counts(&self, inputs: &EdgeScoreInputs) -> PartitionId {
+        // Build a tiny 2-partition view over the counts (two_choice_best
+        // needs a ReplicationMatrix; avoid constructing one by inlining the
+        // score here for the counts backend).
+        if inputs.pu == inputs.pv {
+            return inputs.pu;
+        }
+        let score = |p: PartitionId| -> f64 {
+            let d_sum = (inputs.du + inputs.dv) as f64;
+            let vol_sum = (inputs.vol_cu + inputs.vol_cv) as f64;
+            let mut s = 0.0;
+            if self.replicas.get(inputs.u, p) {
+                s += 1.0 + (1.0 - inputs.du as f64 / d_sum);
+            }
+            if self.replicas.get(inputs.v, p) {
+                s += 1.0 + (1.0 - inputs.dv as f64 / d_sum);
+            }
+            if inputs.pu == p {
+                s += inputs.vol_cu as f64 / vol_sum;
+            }
+            if inputs.pv == p {
+                s += inputs.vol_cv as f64 / vol_sum;
+            }
+            s
+        };
+        if score(inputs.pv) > score(inputs.pu) {
+            inputs.pv
+        } else {
+            inputs.pu
+        }
+    }
+
+    fn commit(&mut self, e: Edge, p: PartitionId) {
+        self.replicas.add(e.src, p);
+        self.replicas.add(e.dst, p);
+        self.loads[p as usize] += 1;
+        self.assignment.insert(e.canonical(), p);
+    }
+
+    /// Insert a new edge; returns its partition. `O(1)`.
+    ///
+    /// # Panics
+    /// Panics if the (canonicalised) edge is already present.
+    pub fn insert(&mut self, e: Edge) -> PartitionId {
+        assert!(
+            !self.assignment.contains_key(&e.canonical()),
+            "edge {e:?} already present"
+        );
+        self.ensure_vertex(e.src.max(e.dst));
+        self.degrees[e.src as usize] += 1;
+        self.degrees[e.dst as usize] += 1;
+        self.cluster_on_first_contact(e.src, e.dst);
+        self.cluster_on_first_contact(e.dst, e.src);
+        let p = self.choose_partition(e);
+        self.commit(e, p);
+        self.inserted_since_bootstrap += 1;
+        p
+    }
+
+    /// Remove an edge; returns the partition it lived on, or `None` if it
+    /// was not present. `O(1)`.
+    pub fn remove(&mut self, e: Edge) -> Option<PartitionId> {
+        let p = self.assignment.remove(&e.canonical())?;
+        self.loads[p as usize] -= 1;
+        self.degrees[e.src as usize] -= 1;
+        self.degrees[e.dst as usize] -= 1;
+        self.replicas.remove(e.src, p);
+        self.replicas.remove(e.dst, p);
+        Some(p)
+    }
+
+    /// Partition of a live edge.
+    pub fn partition_of(&self, e: Edge) -> Option<PartitionId> {
+        self.assignment.get(&e.canonical()).copied()
+    }
+
+    /// Live edge count.
+    pub fn num_edges(&self) -> u64 {
+        self.assignment.len() as u64
+    }
+
+    /// Per-partition edge counts.
+    pub fn loads(&self) -> &[u64] {
+        &self.loads
+    }
+
+    /// Current replication factor over covered vertices.
+    pub fn replication_factor(&self) -> f64 {
+        let covered = self.replicas.covered();
+        if covered == 0 {
+            0.0
+        } else {
+            self.replicas.total_replicas() as f64 / covered as f64
+        }
+    }
+
+    /// Mutations since bootstrap relative to the bootstrap size — the drift
+    /// signal for scheduling a re-bootstrap.
+    pub fn staleness(&self) -> f64 {
+        self.inserted_since_bootstrap as f64 / self.bootstrap_edges.max(1) as f64
+    }
+}
+
+// `two_choice_best` is used by the streaming path; referenced here so the
+// incremental module stays in sync with any scoring change (compile error on
+// signature drift).
+#[allow(dead_code)]
+fn _assert_scoring_signature(i: &EdgeScoreInputs, m: &tps_metrics::bitmatrix::ReplicationMatrix) {
+    let _ = two_choice_best(i, m);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_graph::datasets::Dataset;
+    use tps_graph::gen::gnm;
+
+    fn bootstrap(scale: f64, k: u32) -> (IncrementalTwoPhase, tps_graph::InMemoryGraph) {
+        let g = Dataset::It.generate_scaled(scale);
+        let mut stream = g.stream();
+        let inc = IncrementalTwoPhase::bootstrap(
+            &mut stream,
+            k,
+            1.05,
+            1.5,
+            TwoPhaseConfig::default(),
+        )
+        .unwrap();
+        (inc, g)
+    }
+
+    #[test]
+    fn bootstrap_assigns_everything() {
+        let (inc, g) = bootstrap(0.01, 8);
+        assert_eq!(inc.num_edges(), g.num_edges());
+        assert_eq!(inc.loads().iter().sum::<u64>(), g.num_edges());
+        assert!(inc.replication_factor() >= 1.0);
+    }
+
+    #[test]
+    fn insert_then_remove_restores_state() {
+        let (mut inc, _) = bootstrap(0.01, 8);
+        let rf_before = inc.replication_factor();
+        let edges_before = inc.num_edges();
+        let e = Edge::new(1_000_000, 1_000_001); // brand-new vertices
+        let p = inc.insert(e);
+        assert_eq!(inc.partition_of(e), Some(p));
+        assert_eq!(inc.num_edges(), edges_before + 1);
+        assert_eq!(inc.remove(e), Some(p));
+        assert_eq!(inc.num_edges(), edges_before);
+        assert!((inc.replication_factor() - rf_before).abs() < 1e-12);
+        assert_eq!(inc.remove(e), None, "double remove");
+    }
+
+    #[test]
+    fn inserted_edges_respect_headroom_cap() {
+        let (mut inc, g) = bootstrap(0.01, 4);
+        let cap = ((1.05 * g.num_edges() as f64 / 4.0) * 1.5).ceil() as u64;
+        // Insert a burst of new edges between existing vertices.
+        for i in 0..2000u32 {
+            let e = Edge::new(i % 97, 97 + (i * 7) % 101);
+            if inc.partition_of(e).is_none() {
+                inc.insert(e);
+            }
+        }
+        assert!(inc.loads().iter().all(|&l| l <= cap), "{:?} cap {cap}", inc.loads());
+    }
+
+    #[test]
+    fn incremental_quality_tracks_full_recompute() {
+        // Bootstrap on 80 % of the edges, insert the remaining 20 %
+        // incrementally; the resulting RF should stay close to a full 2PS-L
+        // run over everything.
+        let g = Dataset::It.generate_scaled(0.02);
+        let all = g.edges();
+        let cut = all.len() * 8 / 10;
+        let first = tps_graph::stream::InMemoryGraph::with_num_vertices(
+            all[..cut].to_vec(),
+            g.num_vertices(),
+        );
+        let k = 8;
+        let mut stream = first.stream();
+        let mut inc =
+            IncrementalTwoPhase::bootstrap(&mut stream, k, 1.05, 1.3, TwoPhaseConfig::default())
+                .unwrap();
+        for &e in &all[cut..] {
+            inc.insert(e);
+        }
+        assert_eq!(inc.num_edges(), g.num_edges());
+
+        let mut p = crate::two_phase::TwoPhasePartitioner::new(TwoPhaseConfig::default());
+        let mut sink = crate::sink::QualitySink::new(g.num_vertices(), k);
+        crate::partitioner::Partitioner::partition(
+            &mut p,
+            &mut g.stream(),
+            &crate::partitioner::PartitionParams::new(k),
+            &mut sink,
+        )
+        .unwrap();
+        let full = sink.finish().replication_factor;
+        let incr = inc.replication_factor();
+        assert!(
+            incr <= full * 1.30,
+            "incremental rf {incr} drifted too far from full recompute {full}"
+        );
+        assert!((inc.staleness() - 0.25).abs() < 0.01); // 20 %/80 %
+    }
+
+    #[test]
+    fn churn_keeps_accounting_exact() {
+        let g = gnm::generate(200, 1000, 3);
+        let mut stream = g.stream();
+        let mut inc =
+            IncrementalTwoPhase::bootstrap(&mut stream, 4, 1.05, 2.0, TwoPhaseConfig::default())
+                .unwrap();
+        // Remove every third edge, re-insert half of those.
+        let edges: Vec<Edge> = g.edges().to_vec();
+        let mut removed = Vec::new();
+        for (i, &e) in edges.iter().enumerate() {
+            if i % 3 == 0 {
+                inc.remove(e).expect("edge was present");
+                removed.push(e);
+            }
+        }
+        for (i, &e) in removed.iter().enumerate() {
+            if i % 2 == 0 {
+                inc.insert(e);
+            }
+        }
+        let expected = edges.len() - removed.len() + removed.len().div_ceil(2);
+        assert_eq!(inc.num_edges() as usize, expected);
+        assert_eq!(inc.loads().iter().sum::<u64>() as usize, expected);
+    }
+}

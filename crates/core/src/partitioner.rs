@@ -1,0 +1,111 @@
+//! The [`Partitioner`] trait: the common contract of every edge partitioner
+//! in this workspace (2PS-L and all baselines).
+//!
+//! A partitioner consumes a resettable [`EdgeStream`] (it may take several
+//! passes), emits one `(edge, partition)` decision per stream edge into an
+//! [`AssignmentSink`](crate::sink::AssignmentSink), and returns a
+//! [`RunReport`] with its phase timings and internal counters. Quality
+//! metrics are *not* produced by the partitioner — the harness recomputes
+//! them from the sink so they are ground truth.
+
+use std::io;
+
+use tps_graph::stream::EdgeStream;
+use tps_metrics::timer::PhaseTimer;
+
+use crate::sink::AssignmentSink;
+
+/// Run parameters shared by all partitioners.
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionParams {
+    /// Number of partitions (`k > 1` in the problem statement; `k = 1` is
+    /// accepted and trivially assigns everything to partition 0).
+    pub k: u32,
+    /// Balance factor `α ≥ 1`: no partition may exceed `α·|E|/k` edges for
+    /// cap-enforcing partitioners. The paper evaluates with `α = 1.05`.
+    pub alpha: f64,
+}
+
+impl PartitionParams {
+    /// Parameters with the paper's default `α = 1.05`.
+    pub fn new(k: u32) -> Self {
+        PartitionParams { k, alpha: 1.05 }
+    }
+
+    /// Parameters with an explicit balance factor.
+    pub fn with_alpha(k: u32, alpha: f64) -> Self {
+        assert!(alpha >= 1.0, "alpha must be >= 1");
+        PartitionParams { k, alpha }
+    }
+}
+
+/// Timing and counter report of one partitioning run.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Ordered phase timings (e.g. `degree`, `clustering`, `partition`).
+    pub phases: PhaseTimer,
+    /// Named counters (e.g. `prepartitioned`, `fallback_hash`).
+    pub counters: Vec<(String, u64)>,
+}
+
+impl RunReport {
+    /// Look up a counter by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Add a counter.
+    pub fn count(&mut self, name: &str, value: u64) {
+        self.counters.push((name.to_string(), value));
+    }
+}
+
+/// An edge partitioner.
+///
+/// Implementations must assign **every** edge of the stream exactly once.
+/// Whether the `α` cap is honoured is algorithm-specific (stateless hashing
+/// cannot honour it); cap-enforcing algorithms document it.
+pub trait Partitioner {
+    /// Human-readable algorithm name as used in the paper's plots
+    /// (e.g. `"2PS-L"`, `"HDRF"`, `"DBH"`).
+    fn name(&self) -> String;
+
+    /// Partition the stream into `params.k` parts, emitting assignments into
+    /// `sink`.
+    fn partition(
+        &mut self,
+        stream: &mut dyn EdgeStream,
+        params: &PartitionParams,
+        sink: &mut dyn AssignmentSink,
+    ) -> io::Result<RunReport>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_alpha_is_paper_setting() {
+        let p = PartitionParams::new(32);
+        assert_eq!(p.k, 32);
+        assert!((p.alpha - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_alpha_below_one() {
+        PartitionParams::with_alpha(4, 0.9);
+    }
+
+    #[test]
+    fn report_counters() {
+        let mut r = RunReport::default();
+        r.count("prepartitioned", 10);
+        assert_eq!(r.counter("prepartitioned"), 10);
+        assert_eq!(r.counter("missing"), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Convenience harness for running a partitioner and collecting ground-truth
+//! metrics — used by tests, examples and every bench binary.
+
+use std::io;
+use std::time::{Duration, Instant};
+
+use tps_graph::stream::EdgeStream;
+use tps_metrics::quality::PartitionMetrics;
+
+use crate::partitioner::{PartitionParams, Partitioner, RunReport};
+use crate::sink::{AssignmentSink, QualitySink, TeeSink};
+
+/// Everything one partitioning run produces.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Algorithm name.
+    pub name: String,
+    /// Ground-truth quality metrics (from the emitted assignments).
+    pub metrics: PartitionMetrics,
+    /// The partitioner's own phase/counter report.
+    pub report: RunReport,
+    /// End-to-end wall-clock time of the `partition` call.
+    pub wall_time: Duration,
+    /// Peak heap growth during the run in bytes (0 unless the counting
+    /// allocator is installed — bench binaries install it).
+    pub peak_heap_bytes: usize,
+}
+
+impl RunOutcome {
+    /// Wall time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.wall_time.as_secs_f64()
+    }
+}
+
+/// Run `partitioner` over `stream`, measuring quality, time and peak heap.
+pub fn run_partitioner<S: EdgeStream + ?Sized>(
+    partitioner: &mut dyn Partitioner,
+    stream: &mut S,
+    num_vertices: u64,
+    params: &PartitionParams,
+) -> io::Result<RunOutcome> {
+    let mut sink = QualitySink::new(num_vertices, params.k);
+    let start = Instant::now();
+    let (result, peak) = tps_metrics::alloc::measure_peak(|| {
+        partitioner.partition(&mut as_dyn(stream), params, &mut sink)
+    });
+    let report = result?;
+    let wall_time = start.elapsed();
+    Ok(RunOutcome {
+        name: partitioner.name(),
+        metrics: sink.finish(),
+        report,
+        wall_time,
+        peak_heap_bytes: peak,
+    })
+}
+
+/// Run with an additional sink receiving every assignment (e.g. a
+/// [`crate::sink::VecSink`] feeding the processing simulator) while still
+/// collecting ground-truth metrics.
+pub fn run_partitioner_with_sink<S: EdgeStream + ?Sized>(
+    partitioner: &mut dyn Partitioner,
+    stream: &mut S,
+    num_vertices: u64,
+    params: &PartitionParams,
+    extra: &mut dyn AssignmentSink,
+) -> io::Result<RunOutcome> {
+    let mut quality = QualitySink::new(num_vertices, params.k);
+    let start = Instant::now();
+    let report = {
+        let mut tee = TeeSink::new(&mut quality, extra);
+        partitioner.partition(&mut as_dyn(stream), params, &mut tee)?
+    };
+    let wall_time = start.elapsed();
+    Ok(RunOutcome {
+        name: partitioner.name(),
+        metrics: quality.finish(),
+        report,
+        wall_time,
+        peak_heap_bytes: 0,
+    })
+}
+
+/// View any sized stream as `&mut dyn EdgeStream` (helper for generic fns).
+fn as_dyn<S: EdgeStream + ?Sized>(s: &mut S) -> &mut S {
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::VecSink;
+    use crate::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+    use tps_graph::datasets::Dataset;
+
+    #[test]
+    fn run_partitioner_collects_metrics_and_report() {
+        let g = Dataset::Ok.generate_scaled(0.01);
+        let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
+        let params = PartitionParams::new(4);
+        let mut stream = g.stream();
+        let out = run_partitioner(&mut p, &mut stream, g.num_vertices(), &params).unwrap();
+        assert_eq!(out.name, "2PS-L");
+        assert_eq!(out.metrics.num_edges, g.num_edges());
+        assert!(out.wall_time > Duration::ZERO);
+        assert!(!out.report.phases.phases().is_empty());
+    }
+
+    #[test]
+    fn extra_sink_sees_all_assignments() {
+        let g = Dataset::Ok.generate_scaled(0.01);
+        let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
+        let params = PartitionParams::new(4);
+        let mut extra = VecSink::new();
+        let mut stream = g.stream();
+        let out =
+            run_partitioner_with_sink(&mut p, &mut stream, g.num_vertices(), &params, &mut extra)
+                .unwrap();
+        assert_eq!(extra.assignments().len() as u64, g.num_edges());
+        assert_eq!(out.metrics.num_edges, g.num_edges());
+    }
+}

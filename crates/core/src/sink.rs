@@ -1,0 +1,251 @@
+//! Assignment sinks: consumers of `(edge, partition)` decisions.
+//!
+//! A streaming partitioner must not buffer its output — each decision is
+//! handed to a sink immediately ("each edge ... is immediately assigned to a
+//! partition", paper §II-B). Sinks provided here:
+//!
+//! * [`NullSink`] — discard (pure timing runs).
+//! * [`CountingSink`] — per-partition edge counts only.
+//! * [`QualitySink`] — ground-truth quality metrics via
+//!   [`tps_metrics::QualityTracker`].
+//! * [`VecSink`] — collect pairs in memory (tests, the processing simulator).
+//! * [`FileSink`] — write per-partition binary edge lists (the materialised
+//!   out-of-core output, what the paper's tool writes back to storage).
+//! * [`TeeSink`] — duplicate into two sinks.
+
+use std::io;
+
+use tps_graph::formats::binary::PartitionFileWriter;
+use tps_graph::types::{Edge, PartitionId};
+use tps_metrics::quality::{PartitionMetrics, QualityTracker};
+
+/// Receives each edge assignment exactly once, in the order decided.
+pub trait AssignmentSink {
+    /// Record that `edge` belongs to partition `p`.
+    fn assign(&mut self, edge: Edge, p: PartitionId) -> io::Result<()>;
+}
+
+/// Discards assignments.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct NullSink;
+
+impl AssignmentSink for NullSink {
+    #[inline]
+    fn assign(&mut self, _edge: Edge, _p: PartitionId) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Counts edges per partition.
+#[derive(Clone, Debug)]
+pub struct CountingSink {
+    counts: Vec<u64>,
+}
+
+impl CountingSink {
+    /// A counting sink for `k` partitions.
+    pub fn new(k: u32) -> Self {
+        CountingSink { counts: vec![0; k as usize] }
+    }
+
+    /// Per-partition edge counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total edges recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+impl AssignmentSink for CountingSink {
+    #[inline]
+    fn assign(&mut self, _edge: Edge, p: PartitionId) -> io::Result<()> {
+        self.counts[p as usize] += 1;
+        Ok(())
+    }
+}
+
+/// Tracks ground-truth partition quality (replication factor, balance).
+#[derive(Clone, Debug)]
+pub struct QualitySink {
+    tracker: QualityTracker,
+}
+
+impl QualitySink {
+    /// A quality sink for a graph with `num_vertices` vertices and `k`
+    /// partitions.
+    pub fn new(num_vertices: u64, k: u32) -> Self {
+        QualitySink { tracker: QualityTracker::new(num_vertices, k) }
+    }
+
+    /// Finalise the metrics.
+    pub fn finish(&self) -> PartitionMetrics {
+        self.tracker.finish()
+    }
+
+    /// Borrow the underlying tracker.
+    pub fn tracker(&self) -> &QualityTracker {
+        &self.tracker
+    }
+}
+
+impl AssignmentSink for QualitySink {
+    #[inline]
+    fn assign(&mut self, edge: Edge, p: PartitionId) -> io::Result<()> {
+        self.tracker.record(edge, p);
+        Ok(())
+    }
+}
+
+/// Collects `(edge, partition)` pairs in memory.
+#[derive(Clone, Debug, Default)]
+pub struct VecSink {
+    assignments: Vec<(Edge, PartitionId)>,
+}
+
+impl VecSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// The recorded assignments in decision order.
+    pub fn assignments(&self) -> &[(Edge, PartitionId)] {
+        &self.assignments
+    }
+
+    /// Consume into the assignment vector.
+    pub fn into_assignments(self) -> Vec<(Edge, PartitionId)> {
+        self.assignments
+    }
+}
+
+impl AssignmentSink for VecSink {
+    #[inline]
+    fn assign(&mut self, edge: Edge, p: PartitionId) -> io::Result<()> {
+        self.assignments.push((edge, p));
+        Ok(())
+    }
+}
+
+/// Writes per-partition binary edge-list files.
+pub struct FileSink {
+    writer: Option<PartitionFileWriter>,
+}
+
+impl FileSink {
+    /// Create `k` partition files named `<stem>.part<i>.bel` in `dir`.
+    pub fn create(dir: &std::path::Path, stem: &str, k: u32, num_vertices: u64) -> io::Result<Self> {
+        Ok(FileSink { writer: Some(PartitionFileWriter::create(dir, stem, k, num_vertices)?) })
+    }
+
+    /// Flush headers and return `(path, edge_count)` per partition.
+    pub fn finish(mut self) -> io::Result<Vec<(std::path::PathBuf, u64)>> {
+        self.writer
+            .take()
+            .expect("finish called twice")
+            .finish()
+    }
+}
+
+impl AssignmentSink for FileSink {
+    #[inline]
+    fn assign(&mut self, edge: Edge, p: PartitionId) -> io::Result<()> {
+        self.writer
+            .as_mut()
+            .expect("sink already finished")
+            .write(edge, p)
+    }
+}
+
+/// Duplicates assignments into two sinks (e.g. quality + files).
+pub struct TeeSink<'a> {
+    first: &'a mut dyn AssignmentSink,
+    second: &'a mut dyn AssignmentSink,
+}
+
+impl<'a> TeeSink<'a> {
+    /// Tee into `first` then `second`.
+    pub fn new(first: &'a mut dyn AssignmentSink, second: &'a mut dyn AssignmentSink) -> Self {
+        TeeSink { first, second }
+    }
+}
+
+impl AssignmentSink for TeeSink<'_> {
+    #[inline]
+    fn assign(&mut self, edge: Edge, p: PartitionId) -> io::Result<()> {
+        self.first.assign(edge, p)?;
+        self.second.assign(edge, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut s = CountingSink::new(3);
+        s.assign(Edge::new(0, 1), 2).unwrap();
+        s.assign(Edge::new(1, 2), 2).unwrap();
+        s.assign(Edge::new(2, 3), 0).unwrap();
+        assert_eq!(s.counts(), &[1, 0, 2]);
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn vec_sink_preserves_order() {
+        let mut s = VecSink::new();
+        s.assign(Edge::new(0, 1), 1).unwrap();
+        s.assign(Edge::new(1, 2), 0).unwrap();
+        assert_eq!(
+            s.into_assignments(),
+            vec![(Edge::new(0, 1), 1), (Edge::new(1, 2), 0)]
+        );
+    }
+
+    #[test]
+    fn quality_sink_produces_metrics() {
+        let mut s = QualitySink::new(3, 2);
+        s.assign(Edge::new(0, 1), 0).unwrap();
+        s.assign(Edge::new(1, 2), 1).unwrap();
+        let m = s.finish();
+        assert_eq!(m.num_edges, 2);
+        assert!((m.replication_factor - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tee_sink_duplicates() {
+        let mut a = CountingSink::new(2);
+        let mut b = VecSink::new();
+        {
+            let mut tee = TeeSink::new(&mut a, &mut b);
+            tee.assign(Edge::new(0, 1), 1).unwrap();
+        }
+        assert_eq!(a.total(), 1);
+        assert_eq!(b.assignments().len(), 1);
+    }
+
+    #[test]
+    fn file_sink_round_trip() {
+        let dir = std::env::temp_dir().join(format!("tps-filesink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut s = FileSink::create(&dir, "t", 2, 4).unwrap();
+        s.assign(Edge::new(0, 1), 0).unwrap();
+        s.assign(Edge::new(2, 3), 1).unwrap();
+        let parts = s.finish().unwrap();
+        assert_eq!(parts[0].1, 1);
+        assert_eq!(parts[1].1, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut s = NullSink;
+        for i in 0..10 {
+            s.assign(Edge::new(i, i + 1), 0).unwrap();
+        }
+    }
+}

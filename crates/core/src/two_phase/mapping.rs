@@ -1,0 +1,178 @@
+//! Step 1 of phase 2: mapping clusters to partitions (paper §III-B).
+//!
+//! The paper models this as Makespan Scheduling on Identical Machines
+//! (MSP-IM): partitions are machines, clusters are jobs, cluster volumes are
+//! job run-times, and the goal is to minimise the cumulative volume of the
+//! largest partition. MSP-IM is NP-hard; Graham's *sorted list scheduling*
+//! (longest processing time first) is a 4/3-approximation: sort clusters by
+//! decreasing volume, assign each to the currently least-loaded partition.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use tps_clustering::model::Clustering;
+use tps_graph::types::{ClusterId, PartitionId};
+
+/// The cluster→partition map plus the per-partition volume sums.
+#[derive(Clone, Debug)]
+pub struct ClusterPlacement {
+    /// Cluster id → partition id. Clusters with zero volume still get a
+    /// (irrelevant but valid) partition.
+    c2p: Vec<PartitionId>,
+    /// Summed cluster volume per partition (`vol_p` in Algorithm 2).
+    partition_volumes: Vec<u64>,
+}
+
+impl ClusterPlacement {
+    /// Graham sorted-list scheduling of `clustering`'s clusters onto `k`
+    /// partitions.
+    pub fn sorted_list_schedule(clustering: &Clustering, k: u32) -> Self {
+        assert!(k > 0, "k must be positive");
+        let volumes = clustering.volumes();
+        // Sort cluster ids by decreasing volume (stable on id for ties →
+        // deterministic).
+        let mut order: Vec<ClusterId> = (0..volumes.len() as u32).collect();
+        order.sort_by_key(|&c| (Reverse(volumes[c as usize]), c));
+
+        // Min-heap of (load, partition id): pop = least loaded, lowest id on
+        // ties. `O(C log k)`.
+        let mut heap: BinaryHeap<Reverse<(u64, PartitionId)>> =
+            (0..k).map(|p| Reverse((0u64, p))).collect();
+        let mut c2p = vec![0 as PartitionId; volumes.len()];
+        let mut partition_volumes = vec![0u64; k as usize];
+        for c in order {
+            let Reverse((load, p)) = heap.pop().expect("heap holds k entries");
+            c2p[c as usize] = p;
+            let new_load = load + volumes[c as usize];
+            partition_volumes[p as usize] = new_load;
+            heap.push(Reverse((new_load, p)));
+        }
+        ClusterPlacement { c2p, partition_volumes }
+    }
+
+    /// First-fit placement in cluster-id order (no sorting) — ablation
+    /// baseline showing what Graham's sorting buys.
+    pub fn unsorted_schedule(clustering: &Clustering, k: u32) -> Self {
+        assert!(k > 0, "k must be positive");
+        let volumes = clustering.volumes();
+        let mut heap: BinaryHeap<Reverse<(u64, PartitionId)>> =
+            (0..k).map(|p| Reverse((0u64, p))).collect();
+        let mut c2p = vec![0 as PartitionId; volumes.len()];
+        let mut partition_volumes = vec![0u64; k as usize];
+        for c in 0..volumes.len() {
+            let Reverse((load, p)) = heap.pop().expect("heap holds k entries");
+            c2p[c] = p;
+            let new_load = load + volumes[c];
+            partition_volumes[p as usize] = new_load;
+            heap.push(Reverse((new_load, p)));
+        }
+        ClusterPlacement { c2p, partition_volumes }
+    }
+
+    /// Partition of cluster `c`.
+    #[inline]
+    pub fn partition_of(&self, c: ClusterId) -> PartitionId {
+        self.c2p[c as usize]
+    }
+
+    /// Number of clusters this placement covers (clusters created after the
+    /// placement — e.g. by incremental insertion — are not in it).
+    #[inline]
+    pub fn num_clusters(&self) -> u32 {
+        self.c2p.len() as u32
+    }
+
+    /// Summed cluster volumes per partition.
+    pub fn partition_volumes(&self) -> &[u64] {
+        &self.partition_volumes
+    }
+
+    /// Makespan: the largest per-partition volume.
+    pub fn makespan(&self) -> u64 {
+        self.partition_volumes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_clustering::model::Clustering;
+
+    fn clustering_with_volumes(volumes: Vec<u64>) -> Clustering {
+        // Build a v2c where vertex i belongs to cluster i (degrees unused here).
+        let v2c: Vec<u32> = (0..volumes.len() as u32).collect();
+        Clustering::from_parts(v2c, volumes)
+    }
+
+    #[test]
+    fn graham_balances_classic_example() {
+        // Volumes 7,6,5,4,3 on 2 machines: LPT gives {7,4,3}=14 vs {6,5}=11.
+        let c = clustering_with_volumes(vec![7, 6, 5, 4, 3]);
+        let p = ClusterPlacement::sorted_list_schedule(&c, 2);
+        assert_eq!(p.makespan(), 14);
+        let total: u64 = p.partition_volumes().iter().sum();
+        assert_eq!(total, 25);
+    }
+
+    #[test]
+    fn graham_beats_or_equals_unsorted() {
+        let vols = vec![1, 1, 1, 1, 9, 8, 7, 2, 2, 3];
+        let c = clustering_with_volumes(vols);
+        let sorted = ClusterPlacement::sorted_list_schedule(&c, 3);
+        let unsorted = ClusterPlacement::unsorted_schedule(&c, 3);
+        assert!(sorted.makespan() <= unsorted.makespan());
+    }
+
+    #[test]
+    fn within_four_thirds_of_lower_bound() {
+        // LPT guarantee: makespan ≤ 4/3 · OPT; OPT ≥ max(total/k, max job).
+        let vols: Vec<u64> = (1..=40).map(|i| (i * 13) % 23 + 1).collect();
+        let total: u64 = vols.iter().sum();
+        let max_job = *vols.iter().max().unwrap();
+        for k in [2u32, 3, 5, 8] {
+            let c = clustering_with_volumes(vols.clone());
+            let p = ClusterPlacement::sorted_list_schedule(&c, k);
+            let lower = (total as f64 / k as f64).max(max_job as f64);
+            assert!(
+                p.makespan() as f64 <= lower * 4.0 / 3.0 + 1.0,
+                "k={k}: makespan {} vs bound {}",
+                p.makespan(),
+                lower * 4.0 / 3.0
+            );
+        }
+    }
+
+    #[test]
+    fn single_partition_takes_everything() {
+        let c = clustering_with_volumes(vec![3, 1, 4]);
+        let p = ClusterPlacement::sorted_list_schedule(&c, 1);
+        assert_eq!(p.makespan(), 8);
+        for cl in 0..3u32 {
+            assert_eq!(p.partition_of(cl), 0);
+        }
+    }
+
+    #[test]
+    fn more_partitions_than_clusters() {
+        let c = clustering_with_volumes(vec![5, 2]);
+        let p = ClusterPlacement::sorted_list_schedule(&c, 8);
+        assert_eq!(p.makespan(), 5);
+        assert_ne!(p.partition_of(0), p.partition_of(1));
+    }
+
+    #[test]
+    fn deterministic() {
+        let vols: Vec<u64> = (0..100).map(|i| (i * 7) % 31 + 1).collect();
+        let c = clustering_with_volumes(vols);
+        let a = ClusterPlacement::sorted_list_schedule(&c, 4);
+        let b = ClusterPlacement::sorted_list_schedule(&c, 4);
+        assert_eq!(a.c2p, b.c2p);
+    }
+
+    #[test]
+    fn empty_clustering() {
+        let c = clustering_with_volumes(vec![]);
+        let p = ClusterPlacement::sorted_list_schedule(&c, 4);
+        assert_eq!(p.makespan(), 0);
+    }
+}

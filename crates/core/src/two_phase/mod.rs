@@ -1,0 +1,544 @@
+//! The 2PS-L partitioner (paper Algorithms 1 + 2) and its 2PS-HDRF variant.
+//!
+//! A full run makes `3 + passes` streaming passes over the edge stream:
+//!
+//! 1. **degree** — exact vertex degrees (`O(|E|)`, shared with DBH);
+//! 2. **clustering** × `passes` — bounded-volume streaming clustering;
+//! 3. **pre-partitioning** — edges whose endpoint clusters are co-located
+//!    are assigned directly to that partition;
+//! 4. **remaining** — every other edge is scored against exactly two
+//!    candidate partitions (the clusters' partitions), with degree-based
+//!    hashing and least-loaded placement as balance-cap fallbacks.
+//!
+//! The [`RemainingStrategy::Hdrf`] variant replaces step 4's two-choice
+//! scoring with the full `O(k)` HDRF scoring over all partitions — this is
+//! the paper's 2PS-HDRF comparison point (Fig. 9): better replication
+//! factors, linear-in-`k` run-time.
+
+pub mod mapping;
+pub mod scoring;
+
+use std::io;
+use std::time::Instant;
+
+use tps_clustering::model::{Clustering, NO_CLUSTER};
+use tps_clustering::streaming::{clustering_pass, VolumeCap};
+use tps_graph::degree::DegreeTable;
+use tps_graph::hash::seeded_hash_to_partition;
+use tps_graph::stream::{discover_info, EdgeStream};
+use tps_graph::types::{Edge, PartitionId};
+use tps_metrics::bitmatrix::ReplicationMatrix;
+
+use crate::balance::PartitionLoads;
+use crate::partitioner::{PartitionParams, Partitioner, RunReport};
+use crate::sink::AssignmentSink;
+use crate::two_phase::mapping::ClusterPlacement;
+use crate::two_phase::scoring::{hdrf_score, two_choice_best, EdgeScoreInputs, HdrfParams};
+
+/// How edges that were not pre-partitioned are scored.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RemainingStrategy {
+    /// 2PS-L: constant-time scoring of the two candidate partitions.
+    TwoChoice,
+    /// 2PS-HDRF: HDRF scoring over all `k` partitions (`O(k)` per edge).
+    Hdrf(HdrfParams),
+}
+
+/// How clusters are packed onto partitions (ablation hook).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MappingStrategy {
+    /// Graham's sorted list scheduling (the paper's choice, 4/3-approx).
+    SortedGraham,
+    /// First-fit in cluster-id order (ablation: what the sorting buys).
+    UnsortedFirstFit,
+}
+
+/// Configuration of the two-phase partitioner.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoPhaseConfig {
+    /// Streaming clustering passes (paper default: 1, i.e. no re-streaming).
+    pub clustering_passes: u32,
+    /// Cluster volume cap as a multiple of the fair share `2|E|/k`.
+    /// The paper mandates an explicit cap but not its value; our ablation
+    /// (bench `ablations`) finds 0.5 — i.e. `cap = |E|/k` — strictly better
+    /// than 1.0 on every dataset (finer clusters pack better under Graham
+    /// scheduling and overflow the balance cap less), and values ≥ 2 or
+    /// unbounded degrade sharply, which is exactly the failure the paper's
+    /// extension #1 exists to prevent. See DESIGN.md §5.
+    pub volume_cap_factor: f64,
+    /// Scoring strategy for non-pre-partitioned edges.
+    pub strategy: RemainingStrategy,
+    /// Cluster→partition mapping strategy.
+    pub mapping: MappingStrategy,
+    /// Enable the pre-partitioning pass (ablation switch; the paper always
+    /// pre-partitions).
+    pub prepartitioning: bool,
+    /// Seed of the degree-based-hash fallback.
+    pub hash_seed: u64,
+}
+
+impl Default for TwoPhaseConfig {
+    fn default() -> Self {
+        TwoPhaseConfig {
+            clustering_passes: 1,
+            volume_cap_factor: 0.5,
+            strategy: RemainingStrategy::TwoChoice,
+            mapping: MappingStrategy::SortedGraham,
+            prepartitioning: true,
+            hash_seed: 0x2B5C_0DE0_0BA1_A2CE,
+        }
+    }
+}
+
+impl TwoPhaseConfig {
+    /// The 2PS-HDRF variant with default HDRF parameters (λ = 1.1).
+    pub fn hdrf_variant() -> Self {
+        TwoPhaseConfig { strategy: RemainingStrategy::Hdrf(HdrfParams::default()), ..Default::default() }
+    }
+
+    /// With a given number of clustering passes (Fig. 7/8 re-streaming).
+    pub fn with_passes(passes: u32) -> Self {
+        TwoPhaseConfig { clustering_passes: passes, ..Default::default() }
+    }
+}
+
+/// The 2PS-L / 2PS-HDRF partitioner.
+#[derive(Clone, Debug)]
+pub struct TwoPhasePartitioner {
+    config: TwoPhaseConfig,
+}
+
+impl TwoPhasePartitioner {
+    /// Create a partitioner with `config`.
+    pub fn new(config: TwoPhaseConfig) -> Self {
+        assert!(config.clustering_passes >= 1, "need at least one clustering pass");
+        assert!(config.volume_cap_factor > 0.0, "volume cap factor must be positive");
+        TwoPhasePartitioner { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TwoPhaseConfig {
+        &self.config
+    }
+}
+
+/// Internal per-run state of phase 2.
+struct Phase2State<'a> {
+    degrees: &'a DegreeTable,
+    clustering: &'a Clustering,
+    placement: &'a ClusterPlacement,
+    v2p: ReplicationMatrix,
+    loads: PartitionLoads,
+    hash_seed: u64,
+    // Counters
+    prepartitioned: u64,
+    prepartition_overflow: u64,
+    remaining: u64,
+    fallback_hash: u64,
+    fallback_least_loaded: u64,
+}
+
+impl Phase2State<'_> {
+    /// Commit `edge` to `p`: update replication state, loads, and the sink.
+    #[inline]
+    fn commit(
+        &mut self,
+        edge: Edge,
+        p: PartitionId,
+        sink: &mut dyn AssignmentSink,
+    ) -> io::Result<()> {
+        self.v2p.set(edge.src, p);
+        self.v2p.set(edge.dst, p);
+        self.loads.add(p);
+        sink.assign(edge, p)
+    }
+
+    /// The balance-cap fallback chain: degree-based hash of the higher-degree
+    /// endpoint, then least-loaded as the last resort (paper §III-B step 3).
+    #[inline]
+    fn fallback_target(&mut self, edge: Edge) -> PartitionId {
+        let (du, dv) = (self.degrees.degree(edge.src), self.degrees.degree(edge.dst));
+        let hv = if du >= dv { edge.src } else { edge.dst };
+        let p = seeded_hash_to_partition(hv, self.hash_seed, self.loads.k());
+        if !self.loads.is_full(p) {
+            self.fallback_hash += 1;
+            p
+        } else {
+            self.fallback_least_loaded += 1;
+            self.loads.least_loaded()
+        }
+    }
+
+    /// Whether `edge` satisfies the pre-partitioning condition: endpoints in
+    /// the same cluster, or clusters mapped to the same partition.
+    #[inline]
+    fn prepartition_target(&self, edge: Edge) -> Option<PartitionId> {
+        let cu = self.clustering.raw_cluster_of(edge.src);
+        let cv = self.clustering.raw_cluster_of(edge.dst);
+        debug_assert_ne!(cu, NO_CLUSTER, "clustering must cover all stream vertices");
+        debug_assert_ne!(cv, NO_CLUSTER, "clustering must cover all stream vertices");
+        let pu = self.placement.partition_of(cu);
+        if cu == cv {
+            return Some(pu);
+        }
+        let pv = self.placement.partition_of(cv);
+        (pu == pv).then_some(pu)
+    }
+}
+
+impl Partitioner for TwoPhasePartitioner {
+    fn name(&self) -> String {
+        match self.config.strategy {
+            RemainingStrategy::TwoChoice => "2PS-L".to_string(),
+            RemainingStrategy::Hdrf(_) => "2PS-HDRF".to_string(),
+        }
+    }
+
+    fn partition(
+        &mut self,
+        stream: &mut dyn EdgeStream,
+        params: &PartitionParams,
+        sink: &mut dyn AssignmentSink,
+    ) -> io::Result<RunReport> {
+        let mut report = RunReport::default();
+        let info = discover_info(stream)?;
+        if info.num_edges == 0 {
+            return Ok(report);
+        }
+
+        // Phase 0: exact degrees (one streaming pass).
+        let t0 = Instant::now();
+        let degrees = DegreeTable::compute(stream, info.num_vertices)?;
+        report.phases.record("degree", t0.elapsed());
+
+        // Phase 1: streaming clustering (`passes` streaming passes).
+        let t1 = Instant::now();
+        let cap = VolumeCap::FractionOfTotal(self.config.volume_cap_factor / params.k as f64)
+            .resolve(degrees.total_volume());
+        let mut clustering = Clustering::empty(info.num_vertices);
+        for _ in 0..self.config.clustering_passes {
+            clustering_pass(stream, &degrees, cap, &mut clustering)?;
+        }
+        report.phases.record("clustering", t1.elapsed());
+
+        // Phase 2 step 1: map clusters to partitions (no streaming pass).
+        let t2 = Instant::now();
+        let placement = match self.config.mapping {
+            MappingStrategy::SortedGraham => {
+                ClusterPlacement::sorted_list_schedule(&clustering, params.k)
+            }
+            MappingStrategy::UnsortedFirstFit => {
+                ClusterPlacement::unsorted_schedule(&clustering, params.k)
+            }
+        };
+        report.phases.record("mapping", t2.elapsed());
+
+        let mut state = Phase2State {
+            degrees: &degrees,
+            clustering: &clustering,
+            placement: &placement,
+            v2p: ReplicationMatrix::new(info.num_vertices, params.k),
+            loads: PartitionLoads::new(params.k, info.num_edges, params.alpha),
+            hash_seed: self.config.hash_seed,
+            prepartitioned: 0,
+            prepartition_overflow: 0,
+            remaining: 0,
+            fallback_hash: 0,
+            fallback_least_loaded: 0,
+        };
+
+        // Phase 2 step 2: pre-partitioning pass.
+        if self.config.prepartitioning {
+            let t3 = Instant::now();
+            let mut first_err = None;
+            stream.reset()?;
+            while let Some(edge) = stream.next_edge()? {
+                if let Some(target) = state.prepartition_target(edge) {
+                    let target = if state.loads.is_full(target) {
+                        state.prepartition_overflow += 1;
+                        state.fallback_target(edge)
+                    } else {
+                        state.prepartitioned += 1;
+                        target
+                    };
+                    if let Err(e) = state.commit(edge, target, sink) {
+                        first_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            report.phases.record("prepartition", t3.elapsed());
+        }
+
+        // Phase 2 step 3: score-and-assign the remaining edges.
+        let t4 = Instant::now();
+        stream.reset()?;
+        while let Some(edge) = stream.next_edge()? {
+            if self.config.prepartitioning && state.prepartition_target(edge).is_some() {
+                continue; // already assigned in the pre-partitioning pass
+            }
+            state.remaining += 1;
+            let cu = state.clustering.raw_cluster_of(edge.src);
+            let cv = state.clustering.raw_cluster_of(edge.dst);
+            let inputs = EdgeScoreInputs {
+                u: edge.src,
+                v: edge.dst,
+                du: state.degrees.degree(edge.src) as u64,
+                dv: state.degrees.degree(edge.dst) as u64,
+                vol_cu: state.clustering.volume(cu),
+                vol_cv: state.clustering.volume(cv),
+                pu: state.placement.partition_of(cu),
+                pv: state.placement.partition_of(cv),
+            };
+            let mut target = match self.config.strategy {
+                RemainingStrategy::TwoChoice => {
+                    let best = two_choice_best(&inputs, &state.v2p);
+                    // If the best of the two candidates is full, try the
+                    // other before the generic fallback chain.
+                    if !state.loads.is_full(best) {
+                        Some(best)
+                    } else {
+                        let other = if best == inputs.pu { inputs.pv } else { inputs.pu };
+                        (!state.loads.is_full(other)).then_some(other)
+                    }
+                }
+                RemainingStrategy::Hdrf(hdrf) => {
+                    // O(k): score every non-full partition.
+                    let (max_load, min_load) = (state.loads.max_load(), state.loads.min_load());
+                    let mut best: Option<(f64, PartitionId)> = None;
+                    for p in 0..params.k {
+                        if state.loads.is_full(p) {
+                            continue;
+                        }
+                        let s = hdrf_score(
+                            edge.src,
+                            edge.dst,
+                            inputs.du,
+                            inputs.dv,
+                            p,
+                            &state.v2p,
+                            state.loads.load(p),
+                            max_load,
+                            min_load,
+                            &hdrf,
+                        );
+                        if best.is_none_or(|(bs, _)| s > bs) {
+                            best = Some((s, p));
+                        }
+                    }
+                    best.map(|(_, p)| p)
+                }
+            };
+            if target.is_none() {
+                target = Some(state.fallback_target(edge));
+            }
+            let target = target.expect("fallback always yields a partition");
+            // The fallback itself may hand back a full hash target; re-check.
+            let target = if state.loads.is_full(target) {
+                state.loads.least_loaded()
+            } else {
+                target
+            };
+            state.commit(edge, target, sink)?;
+        }
+        report.phases.record("partition", t4.elapsed());
+
+        report.count("prepartitioned", state.prepartitioned);
+        report.count("prepartition_overflow", state.prepartition_overflow);
+        report.count("remaining", state.remaining);
+        report.count("fallback_hash", state.fallback_hash);
+        report.count("fallback_least_loaded", state.fallback_least_loaded);
+        report.count("clusters", clustering.num_nonempty_clusters() as u64);
+        report.count("cluster_volume_cap", cap);
+        report.count("max_cluster_volume", clustering.max_volume());
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{QualitySink, VecSink};
+    use tps_graph::datasets::Dataset;
+    use tps_graph::gen::gnm;
+    use tps_graph::stream::InMemoryGraph;
+
+    fn run(
+        graph: &InMemoryGraph,
+        config: TwoPhaseConfig,
+        k: u32,
+    ) -> (tps_metrics::quality::PartitionMetrics, RunReport) {
+        let mut p = TwoPhasePartitioner::new(config);
+        let params = PartitionParams::new(k);
+        let mut sink = QualitySink::new(graph.num_vertices(), k);
+        let mut stream = graph.stream();
+        let report = p.partition(&mut stream, &params, &mut sink).unwrap();
+        (sink.finish(), report)
+    }
+
+    #[test]
+    fn assigns_every_edge_exactly_once() {
+        let g = Dataset::It.generate_scaled(0.02);
+        let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
+        let mut sink = VecSink::new();
+        let mut stream = g.stream();
+        p.partition(&mut stream, &PartitionParams::new(8), &mut sink).unwrap();
+        let assigned = sink.assignments();
+        assert_eq!(assigned.len() as u64, g.num_edges());
+        // Multiset equality with the input edge list.
+        let mut input: Vec<_> = g.edges().to_vec();
+        let mut got: Vec<_> = assigned.iter().map(|(e, _)| *e).collect();
+        input.sort();
+        got.sort();
+        assert_eq!(input, got);
+    }
+
+    #[test]
+    fn respects_hard_balance_cap() {
+        for k in [2u32, 7, 32] {
+            let g = Dataset::Ok.generate_scaled(0.02);
+            let (m, _) = run(&g, TwoPhaseConfig::default(), k);
+            let cap = PartitionLoads::new(k, g.num_edges(), 1.05).cap();
+            assert!(
+                m.max_load <= cap,
+                "k={k}: max load {} exceeds cap {cap}",
+                m.max_load
+            );
+            assert_eq!(m.num_edges, g.num_edges());
+        }
+    }
+
+    #[test]
+    fn prepartition_dominates_on_web_graphs() {
+        let g = Dataset::Gsh.generate_scaled(0.02);
+        let (_, report) = run(&g, TwoPhaseConfig::default(), 32);
+        let pre = report.counter("prepartitioned");
+        let rem = report.counter("remaining");
+        assert!(
+            pre > rem,
+            "web graph should be mostly pre-partitioned: pre={pre} rem={rem}"
+        );
+    }
+
+    #[test]
+    fn beats_random_hashing_on_clustered_graph() {
+        let g = Dataset::It.generate_scaled(0.05);
+        let (m, _) = run(&g, TwoPhaseConfig::default(), 16);
+        // Random edge placement would replicate nearly every vertex ~min(d,k)
+        // times; on a strongly clustered graph 2PS-L must stay far below that.
+        assert!(
+            m.replication_factor < 3.5,
+            "rf = {}",
+            m.replication_factor
+        );
+    }
+
+    #[test]
+    fn hdrf_variant_not_worse_on_quality() {
+        let g = Dataset::Ok.generate_scaled(0.03);
+        let (l, _) = run(&g, TwoPhaseConfig::default(), 32);
+        let (h, _) = run(&g, TwoPhaseConfig::hdrf_variant(), 32);
+        // Paper Fig. 9: 2PS-HDRF improves RF by up to 50 %. Allow slack but
+        // insist it is not significantly worse.
+        assert!(
+            h.replication_factor <= l.replication_factor * 1.10,
+            "2PS-HDRF rf {} vs 2PS-L rf {}",
+            h.replication_factor,
+            l.replication_factor
+        );
+    }
+
+    #[test]
+    fn k_equals_one_puts_everything_in_partition_zero() {
+        let g = gnm::generate(50, 200, 3);
+        let (m, _) = run(&g, TwoPhaseConfig::default(), 1);
+        assert_eq!(m.loads, vec![200]);
+        assert!((m.replication_factor - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_is_a_noop() {
+        let g = InMemoryGraph::from_edges(vec![]);
+        let (m, report) = run(&g, TwoPhaseConfig::default(), 4);
+        assert_eq!(m.num_edges, 0);
+        assert_eq!(report.counter("prepartitioned"), 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = Dataset::Uk.generate_scaled(0.01);
+        let mut s1 = VecSink::new();
+        let mut s2 = VecSink::new();
+        let params = PartitionParams::new(16);
+        TwoPhasePartitioner::new(TwoPhaseConfig::default())
+            .partition(&mut g.stream(), &params, &mut s1)
+            .unwrap();
+        TwoPhasePartitioner::new(TwoPhaseConfig::default())
+            .partition(&mut g.stream(), &params, &mut s2)
+            .unwrap();
+        assert_eq!(s1.assignments(), s2.assignments());
+    }
+
+    #[test]
+    fn counters_cover_all_edges() {
+        let g = Dataset::Fr.generate_scaled(0.01);
+        let (_, report) = run(&g, TwoPhaseConfig::default(), 8);
+        // Every edge is either pre-partitioned, bounced out of a full
+        // pre-partition target, or handled by the scoring pass.
+        assert_eq!(
+            report.counter("prepartitioned")
+                + report.counter("prepartition_overflow")
+                + report.counter("remaining"),
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn disabled_prepartitioning_still_assigns_all() {
+        let g = Dataset::It.generate_scaled(0.01);
+        let cfg = TwoPhaseConfig { prepartitioning: false, ..Default::default() };
+        let (m, report) = run(&g, cfg, 8);
+        assert_eq!(m.num_edges, g.num_edges());
+        assert_eq!(report.counter("prepartitioned"), 0);
+    }
+
+    #[test]
+    fn phase_report_has_expected_phases() {
+        let g = Dataset::Ok.generate_scaled(0.01);
+        let (_, report) = run(&g, TwoPhaseConfig::default(), 4);
+        let names: Vec<&str> = report.phases.phases().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["degree", "clustering", "mapping", "prepartition", "partition"]);
+    }
+
+    #[test]
+    fn restreaming_runs_and_keeps_invariants() {
+        let g = Dataset::It.generate_scaled(0.01);
+        for passes in [1u32, 2, 4] {
+            let (m, _) = run(&g, TwoPhaseConfig::with_passes(passes), 16);
+            assert_eq!(m.num_edges, g.num_edges());
+        }
+    }
+
+    #[test]
+    fn unsorted_mapping_ablation_works() {
+        let g = Dataset::It.generate_scaled(0.01);
+        let cfg = TwoPhaseConfig { mapping: MappingStrategy::UnsortedFirstFit, ..Default::default() };
+        let (m, _) = run(&g, cfg, 8);
+        assert_eq!(m.num_edges, g.num_edges());
+    }
+
+    #[test]
+    fn handles_self_loops_and_parallel_edges() {
+        let g = InMemoryGraph::from_edges(vec![
+            tps_graph::types::Edge::new(0, 0),
+            tps_graph::types::Edge::new(0, 1),
+            tps_graph::types::Edge::new(0, 1),
+            tps_graph::types::Edge::new(1, 2),
+        ]);
+        let (m, _) = run(&g, TwoPhaseConfig::default(), 2);
+        assert_eq!(m.num_edges, 4);
+    }
+}

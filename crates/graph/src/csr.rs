@@ -1,0 +1,175 @@
+//! Compressed-sparse-row adjacency for the *in-memory* baselines.
+//!
+//! The paper's in-memory comparators (NE, DNE, METIS) and the in-memory half
+//! of HEP materialise the graph as a CSR-like structure (§VI: "variants of the
+//! compressed sparse row representation"). This module provides that
+//! substrate. Each undirected edge `(u, v)` is stored twice (at `u` and at
+//! `v`) together with its original *edge index* in the stream, so in-memory
+//! partitioners can report assignments keyed by the same edge indices the
+//! streaming partitioners use.
+
+use std::io;
+
+use crate::stream::{for_each_edge, EdgeStream};
+use crate::types::{Edge, VertexId};
+
+/// One adjacency entry: the neighbour and the index of the connecting edge in
+/// the original stream order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Neighbor {
+    /// The adjacent vertex.
+    pub vertex: VertexId,
+    /// Index of the edge in the edge stream (0-based).
+    pub edge_index: u64,
+}
+
+/// Compressed-sparse-row adjacency with per-entry edge indices.
+///
+/// Memory: `|V|+1` offsets (`u64`) + `2|E|` entries (12 bytes each) — this is
+/// exactly the `≥ O(|E|)` space bound of Table II for in-memory partitioners.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    entries: Vec<Neighbor>,
+    num_edges: u64,
+}
+
+impl Csr {
+    /// Build a CSR from an edge stream in two passes (degree counting, fill).
+    pub fn from_stream<S: EdgeStream + ?Sized>(stream: &mut S, num_vertices: u64) -> io::Result<Self> {
+        let n = num_vertices as usize;
+        let mut counts = vec![0u64; n + 1];
+        let mut num_edges = 0u64;
+        for_each_edge(stream, |e| {
+            counts[e.src as usize + 1] += 1;
+            counts[e.dst as usize + 1] += 1;
+            num_edges += 1;
+        })?;
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts;
+        let total = offsets[n] as usize;
+        let mut entries = vec![Neighbor { vertex: 0, edge_index: 0 }; total];
+        let mut cursor = offsets.clone();
+        let mut edge_index = 0u64;
+        for_each_edge(stream, |e| {
+            let cs = &mut cursor[e.src as usize];
+            entries[*cs as usize] = Neighbor { vertex: e.dst, edge_index };
+            *cs += 1;
+            let cd = &mut cursor[e.dst as usize];
+            entries[*cd as usize] = Neighbor { vertex: e.src, edge_index };
+            *cd += 1;
+            edge_index += 1;
+        })?;
+        Ok(Csr { offsets, entries, num_edges })
+    }
+
+    /// Build from an in-memory edge slice (convenience for tests/baselines).
+    pub fn from_edges(edges: &[Edge], num_vertices: u64) -> Self {
+        let mut g = crate::stream::InMemoryGraph::with_num_vertices(edges.to_vec(), num_vertices);
+        Csr::from_stream(&mut g, num_vertices).expect("in-memory stream cannot fail")
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> u64 {
+        (self.offsets.len() - 1) as u64
+    }
+
+    /// Number of edges (each undirected edge counted once).
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// The neighbours of `v` with their edge indices.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[Neighbor] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.entries[lo..hi]
+    }
+
+    /// Degree of `v` (counting self-loops twice, consistent with
+    /// [`crate::degree::DegreeTable`]).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::InMemoryGraph;
+
+    fn path4() -> Csr {
+        // 0 - 1 - 2 - 3
+        Csr::from_edges(&[Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3)], 4)
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let csr = path4();
+        assert_eq!(csr.num_vertices(), 4);
+        assert_eq!(csr.num_edges(), 3);
+        assert_eq!(csr.degree(0), 1);
+        assert_eq!(csr.degree(1), 2);
+        let n1: Vec<VertexId> = csr.neighbors(1).iter().map(|n| n.vertex).collect();
+        assert_eq!(n1, vec![0, 2]);
+    }
+
+    #[test]
+    fn edge_indices_match_stream_order() {
+        let csr = path4();
+        // Edge (1,2) is the second edge of the stream, index 1 — visible from
+        // both endpoints.
+        let from1 = csr.neighbors(1).iter().find(|n| n.vertex == 2).unwrap();
+        let from2 = csr.neighbors(2).iter().find(|n| n.vertex == 1).unwrap();
+        assert_eq!(from1.edge_index, 1);
+        assert_eq!(from2.edge_index, 1);
+    }
+
+    #[test]
+    fn self_loop_appears_twice_at_same_vertex() {
+        let csr = Csr::from_edges(&[Edge::new(0, 0)], 1);
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.neighbors(0).len(), 2);
+        assert!(csr.neighbors(0).iter().all(|n| n.vertex == 0 && n.edge_index == 0));
+    }
+
+    #[test]
+    fn parallel_edges_are_kept_distinct() {
+        let csr = Csr::from_edges(&[Edge::new(0, 1), Edge::new(0, 1)], 2);
+        assert_eq!(csr.degree(0), 2);
+        let idx: Vec<u64> = csr.neighbors(0).iter().map(|n| n.edge_index).collect();
+        assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
+    fn from_stream_equals_from_edges() {
+        let edges = vec![Edge::new(0, 2), Edge::new(2, 1), Edge::new(1, 0)];
+        let mut g = InMemoryGraph::with_num_vertices(edges.clone(), 3);
+        let a = Csr::from_stream(&mut g, 3).unwrap();
+        let b = Csr::from_edges(&edges, 3);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for v in 0..3u32 {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_adjacency() {
+        let csr = Csr::from_edges(&[Edge::new(0, 1)], 4);
+        assert_eq!(csr.neighbors(2), &[]);
+        assert_eq!(csr.neighbors(3), &[]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_edges(&[], 0);
+        assert_eq!(csr.num_vertices(), 0);
+        assert_eq!(csr.num_edges(), 0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Scaled-down deterministic stand-ins for the paper's datasets (Table III).
+//!
+//! The paper evaluates on seven real-world graphs (com-orkut, it-2004,
+//! twitter-2010, com-friendster, uk-2007-05, gsh-2015, wdc-2014) plus a
+//! Wikipedia graph in Table IV. We cannot ship those (up to 478 GiB), so each
+//! dataset maps to a generator configuration that preserves the properties the
+//! experiments depend on:
+//!
+//! * **social graphs** (OK, TW, FR, WI) → R-MAT with skewed quadrants: heavy
+//!   degree tail, weak community structure, no id locality. TW gets extra
+//!   skew — it is the one graph in the paper where DBH beats 2PS-L on
+//!   replication factor.
+//! * **web graphs** (IT, UK, GSH, WDC) → planted partitions: strong
+//!   communities, id locality, hub skew. GSH/WDC get the lowest mixing — GSH
+//!   is where the paper reports the largest 2PS-L advantage over DBH (6.4×).
+//!
+//! Sizes are ~1000× below the paper (minutes of laptop time instead of a
+//! 528 GB server), with |E|/|V| ratios kept close to Table III. Every dataset
+//! has a fixed seed: two runs of any experiment see identical graphs.
+
+use crate::gen::planted::{self, PlantedConfig};
+use crate::gen::social::{self, SocialConfig};
+use crate::stream::InMemoryGraph;
+
+/// Whether a dataset stands in for a social network or a web crawl.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphKind {
+    /// Heavy-tailed, weak community structure (R-MAT).
+    Social,
+    /// Strong community structure and id locality (planted partition).
+    Web,
+}
+
+/// The generator behind a dataset.
+#[derive(Clone, Debug)]
+pub enum DatasetConfig {
+    /// Hybrid R-MAT + community overlay (social graphs).
+    Social(SocialConfig),
+    /// Planted-partition configuration (web graphs).
+    Planted(PlantedConfig),
+}
+
+/// The paper's datasets (Table III plus the Wikipedia graph of Table IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// com-orkut: 3.1 M vertices, 117 M edges, social.
+    Ok,
+    /// it-2004: 41 M vertices, 1.2 B edges, web.
+    It,
+    /// twitter-2010: 42 M vertices, 1.5 B edges, social (most skewed).
+    Tw,
+    /// com-friendster: 66 M vertices, 1.8 B edges, social.
+    Fr,
+    /// uk-2007-05: 106 M vertices, 3.7 B edges, web.
+    Uk,
+    /// gsh-2015: 988 M vertices, 34 B edges, web.
+    Gsh,
+    /// wdc-2014: 1.7 B vertices, 64 B edges, web.
+    Wdc,
+    /// Wikipedia (Table IV): 14 M vertices, 437 M edges.
+    Wi,
+}
+
+/// Paper-reported statistics for a dataset (Table III / §V-E).
+#[derive(Clone, Copy, Debug)]
+pub struct PaperStats {
+    /// Vertices in the real dataset.
+    pub vertices: u64,
+    /// Edges in the real dataset.
+    pub edges: u64,
+    /// Size of the binary edge list, bytes (Table III's "Size").
+    pub binary_size_bytes: u64,
+}
+
+impl Dataset {
+    /// All seven Table III graphs in the paper's order.
+    pub const TABLE3: [Dataset; 7] = [
+        Dataset::Ok,
+        Dataset::It,
+        Dataset::Tw,
+        Dataset::Fr,
+        Dataset::Uk,
+        Dataset::Gsh,
+        Dataset::Wdc,
+    ];
+
+    /// All datasets including Wikipedia.
+    pub const ALL: [Dataset; 8] = [
+        Dataset::Ok,
+        Dataset::It,
+        Dataset::Tw,
+        Dataset::Fr,
+        Dataset::Uk,
+        Dataset::Gsh,
+        Dataset::Wdc,
+        Dataset::Wi,
+    ];
+
+    /// The paper's abbreviation (OK, IT, ...).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Dataset::Ok => "OK",
+            Dataset::It => "IT",
+            Dataset::Tw => "TW",
+            Dataset::Fr => "FR",
+            Dataset::Uk => "UK",
+            Dataset::Gsh => "GSH",
+            Dataset::Wdc => "WDC",
+            Dataset::Wi => "WI",
+        }
+    }
+
+    /// The full dataset name from Table III.
+    pub fn full_name(self) -> &'static str {
+        match self {
+            Dataset::Ok => "com-orkut",
+            Dataset::It => "it-2004",
+            Dataset::Tw => "twitter-2010",
+            Dataset::Fr => "com-friendster",
+            Dataset::Uk => "uk-2007-05",
+            Dataset::Gsh => "gsh-2015",
+            Dataset::Wdc => "wdc-2014",
+            Dataset::Wi => "wikipedia",
+        }
+    }
+
+    /// Social or web.
+    pub fn kind(self) -> GraphKind {
+        match self {
+            Dataset::Ok | Dataset::Tw | Dataset::Fr => GraphKind::Social,
+            Dataset::It | Dataset::Uk | Dataset::Gsh | Dataset::Wdc | Dataset::Wi => GraphKind::Web,
+        }
+    }
+
+    /// Statistics of the real dataset as reported in the paper.
+    pub fn paper_stats(self) -> PaperStats {
+        let (v, e, sz) = match self {
+            Dataset::Ok => (3_100_000, 117_000_000, 895 << 20),
+            Dataset::It => (41_000_000, 1_200_000_000, 9u64 << 30),
+            Dataset::Tw => (42_000_000, 1_500_000_000, 11u64 << 30),
+            Dataset::Fr => (66_000_000, 1_800_000_000, 14u64 << 30),
+            Dataset::Uk => (106_000_000, 3_700_000_000, 28u64 << 30),
+            Dataset::Gsh => (988_000_000, 34_000_000_000, 248u64 << 30),
+            Dataset::Wdc => (1_700_000_000, 64_000_000_000, 478u64 << 30),
+            Dataset::Wi => (14_000_000, 437_000_000, 3_400 << 20),
+        };
+        PaperStats { vertices: v, edges: e, binary_size_bytes: sz }
+    }
+
+    /// Deterministic per-dataset seed.
+    pub fn seed(self) -> u64 {
+        0x2B5C_0DE0_0000_0000
+            + match self {
+                Dataset::Ok => 1,
+                Dataset::It => 2,
+                Dataset::Tw => 3,
+                Dataset::Fr => 4,
+                Dataset::Uk => 5,
+                Dataset::Gsh => 6,
+                Dataset::Wdc => 7,
+                Dataset::Wi => 8,
+            }
+    }
+
+    /// Generator configuration at reproduction scale (`scale = 1.0`).
+    pub fn config(self) -> DatasetConfig {
+        self.config_scaled(1.0)
+    }
+
+    /// Generator configuration with edge counts multiplied by `scale`
+    /// (vertex counts scale along to keep the |E|/|V| ratio).
+    pub fn config_scaled(self, scale: f64) -> DatasetConfig {
+        assert!(scale > 0.0, "scale must be positive");
+        // (edges at scale 1.0, vertices at scale 1.0).
+        //
+        // Social graphs keep the paper's |E|/|V| ratios (the R-MAT tail is
+        // what matters for them). Web graphs use mean degree ≈ 16 instead of
+        // the paper's 58–68: scaling |V| down 1000× while keeping the mean
+        // degree would make planted communities infeasible relative to the
+        // volume cap (see PlantedConfig::web); the preserved property is
+        // community volume ≪ 2|E|/k for every evaluated k, which is what the
+        // paper's experiments actually exercise.
+        let (e1, v1) = match self {
+            Dataset::Ok => (400_000u64, 12_000u64),
+            Dataset::It => (600_000, 75_000),
+            Dataset::Tw => (800_000, 24_000),
+            Dataset::Fr => (1_000_000, 36_000),
+            Dataset::Uk => (1_200_000, 150_000),
+            Dataset::Gsh => (1_600_000, 200_000),
+            Dataset::Wdc => (2_000_000, 250_000),
+            Dataset::Wi => (400_000, 50_000),
+        };
+        let edges = ((e1 as f64 * scale) as u64).max(16);
+        let vertices = ((v1 as f64 * scale) as u64).max(16);
+        match self.kind() {
+            GraphKind::Social => {
+                // Pick the R-MAT scale so the id universe is ~1.3× the vertex
+                // target (compaction then lands near the target).
+                let rmat_scale = (((vertices as f64) * 1.3).log2().ceil() as u32).max(3);
+                // Community share per dataset: Orkut/Friendster are
+                // community-rich; twitter-2010 is the most skewed,
+                // least-clustered graph in the paper — the one where DBH's
+                // replication factor beats 2PS-L.
+                let community_fraction = match self {
+                    Dataset::Tw => 0.10,
+                    Dataset::Fr => 0.50,
+                    _ => 0.55, // OK
+                };
+                let mut cfg = SocialConfig::new(rmat_scale, edges, community_fraction);
+                if self == Dataset::Tw {
+                    cfg.rmat.a = 0.65;
+                    cfg.rmat.b = 0.15;
+                    cfg.rmat.c = 0.15;
+                }
+                DatasetConfig::Social(cfg)
+            }
+            GraphKind::Web => {
+                let mut cfg = PlantedConfig::web(vertices, edges);
+                match self {
+                    Dataset::Gsh => cfg.mixing = 0.04,
+                    Dataset::Wdc => cfg.mixing = 0.05,
+                    Dataset::It => cfg.mixing = 0.08,
+                    Dataset::Uk => cfg.mixing = 0.06,
+                    // Wikipedia links cross topic boundaries far more often
+                    // than host-local web links.
+                    Dataset::Wi => cfg.mixing = 0.25,
+                    _ => {}
+                }
+                DatasetConfig::Planted(cfg)
+            }
+        }
+    }
+
+    /// Generate the dataset at reproduction scale.
+    pub fn generate(self) -> InMemoryGraph {
+        self.generate_scaled(1.0)
+    }
+
+    /// Generate at `scale` × the reproduction size (e.g. `0.1` for smoke
+    /// tests, `4.0` for longer benchmark runs).
+    pub fn generate_scaled(self, scale: f64) -> InMemoryGraph {
+        match self.config_scaled(scale) {
+            DatasetConfig::Social(cfg) => social::generate(&cfg, self.seed()),
+            DatasetConfig::Planted(cfg) => planted::generate(&cfg, self.seed()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_generate_at_tiny_scale() {
+        for ds in Dataset::ALL {
+            let g = ds.generate_scaled(0.01);
+            assert!(g.num_edges() > 0, "{} produced no edges", ds.abbrev());
+            assert!(g.num_vertices() > 1, "{} produced <2 vertices", ds.abbrev());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::Ok.generate_scaled(0.02);
+        let b = Dataset::Ok.generate_scaled(0.02);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn datasets_differ_from_each_other() {
+        let a = Dataset::Ok.generate_scaled(0.02);
+        let b = Dataset::Tw.generate_scaled(0.02);
+        assert_ne!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn table3_order_matches_paper() {
+        let abbrevs: Vec<&str> = Dataset::TABLE3.iter().map(|d| d.abbrev()).collect();
+        assert_eq!(abbrevs, vec!["OK", "IT", "TW", "FR", "UK", "GSH", "WDC"]);
+    }
+
+    #[test]
+    fn paper_stats_sanity() {
+        // Spot-check the hard-coded Table III numbers.
+        assert_eq!(Dataset::Ok.paper_stats().edges, 117_000_000);
+        assert_eq!(Dataset::Wdc.paper_stats().vertices, 1_700_000_000);
+    }
+
+    #[test]
+    fn kinds_match_paper() {
+        assert_eq!(Dataset::Ok.kind(), GraphKind::Social);
+        assert_eq!(Dataset::Gsh.kind(), GraphKind::Web);
+    }
+
+    #[test]
+    fn scaled_edges_track_scale() {
+        let small = Dataset::It.generate_scaled(0.01);
+        let big = Dataset::It.generate_scaled(0.05);
+        assert!(big.num_edges() > small.num_edges() * 3);
+    }
+}

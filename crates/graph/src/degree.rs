@@ -1,0 +1,153 @@
+//! The out-of-core degree pass.
+//!
+//! 2PS-L (paper §III-A2) requires *exact* vertex degrees before clustering so
+//! that cluster volumes can be bounded effectively: "The degree of each vertex
+//! is computed in a pass through the edge set, keeping a counter for each
+//! vertex ID that is seen in an edge, which is a lightweight, linear-time
+//! operation." DBH likewise hashes on the lower-degree endpoint.
+//!
+//! [`DegreeTable`] is that counter array: `O(|V|)` memory, one `u32` per
+//! vertex (a real-world maximum degree comfortably fits; we saturate rather
+//! than wrap in release builds).
+
+use std::io;
+
+use crate::stream::{for_each_edge, EdgeStream};
+use crate::types::VertexId;
+
+/// Exact vertex degrees, computed in one streaming pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegreeTable {
+    degrees: Vec<u32>,
+}
+
+impl DegreeTable {
+    /// Compute degrees with one pass over `stream`.
+    ///
+    /// `num_vertices` bounds the id space; edges touching ids outside it
+    /// return an error (corrupt input) rather than panicking mid-pass.
+    pub fn compute<S: EdgeStream + ?Sized>(stream: &mut S, num_vertices: u64) -> io::Result<Self> {
+        let mut degrees = vec![0u32; num_vertices as usize];
+        let mut oob: Option<VertexId> = None;
+        for_each_edge(stream, |e| {
+            for v in e.endpoints() {
+                match degrees.get_mut(v as usize) {
+                    Some(d) => *d = d.saturating_add(1),
+                    None => oob = oob.or(Some(v)),
+                }
+            }
+        })?;
+        match oob {
+            Some(v) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("edge references vertex {v} >= |V| = {num_vertices}"),
+            )),
+            None => Ok(DegreeTable { degrees }),
+        }
+    }
+
+    /// Build from a pre-computed degree array (tests, generators).
+    pub fn from_vec(degrees: Vec<u32>) -> Self {
+        DegreeTable { degrees }
+    }
+
+    /// Degree of `v`. Zero for isolated vertices.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        self.degrees[v as usize]
+    }
+
+    /// Number of vertices covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// Whether the table is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.degrees.is_empty()
+    }
+
+    /// Borrow the raw array.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.degrees
+    }
+
+    /// Sum of all degrees — equals `2|E|` for a well-formed undirected edge
+    /// list (self-loops contribute 2 as well, since both endpoint slots refer
+    /// to the same vertex).
+    pub fn total_volume(&self) -> u64 {
+        self.degrees.iter().map(|&d| d as u64).sum()
+    }
+
+    /// Maximum degree over all vertices (0 for empty graphs).
+    pub fn max_degree(&self) -> u32 {
+        self.degrees.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::InMemoryGraph;
+    use crate::types::Edge;
+
+    #[test]
+    fn counts_simple_graph() {
+        let mut g = InMemoryGraph::from_edges(vec![
+            Edge::new(0, 1),
+            Edge::new(0, 2),
+            Edge::new(1, 2),
+            Edge::new(0, 3),
+        ]);
+        let d = DegreeTable::compute(&mut g, 4).unwrap();
+        assert_eq!(d.degree(0), 3);
+        assert_eq!(d.degree(1), 2);
+        assert_eq!(d.degree(2), 2);
+        assert_eq!(d.degree(3), 1);
+        assert_eq!(d.total_volume(), 8);
+        assert_eq!(d.max_degree(), 3);
+    }
+
+    #[test]
+    fn self_loop_counts_twice() {
+        let mut g = InMemoryGraph::from_edges(vec![Edge::new(0, 0)]);
+        let d = DegreeTable::compute(&mut g, 1).unwrap();
+        assert_eq!(d.degree(0), 2);
+        assert_eq!(d.total_volume(), 2);
+    }
+
+    #[test]
+    fn isolated_vertices_have_zero_degree() {
+        let mut g = InMemoryGraph::with_num_vertices(vec![Edge::new(0, 1)], 5);
+        let d = DegreeTable::compute(&mut g, 5).unwrap();
+        assert_eq!(d.degree(4), 0);
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_edge() {
+        let mut g = InMemoryGraph::from_edges(vec![Edge::new(0, 9)]);
+        let err = DegreeTable::compute(&mut g, 5).unwrap_err();
+        assert!(err.to_string().contains("vertex 9"));
+    }
+
+    #[test]
+    fn volume_is_twice_edge_count() {
+        let edges: Vec<Edge> = (0..50).map(|i| Edge::new(i % 10, (i * 3 + 1) % 10)).collect();
+        let mut g = InMemoryGraph::from_edges(edges);
+        let d = DegreeTable::compute(&mut g, 10).unwrap();
+        assert_eq!(d.total_volume(), 100);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let mut g = InMemoryGraph::from_edges(vec![]);
+        let d = DegreeTable::compute(&mut g, 0).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.total_volume(), 0);
+        assert_eq!(d.max_degree(), 0);
+    }
+}

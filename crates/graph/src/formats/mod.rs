@@ -1,0 +1,11 @@
+//! On-disk edge-list formats.
+//!
+//! * [`binary`] — the paper's native format: a flat sequence of
+//!   `(u32 le, u32 le)` edge records with a small header carrying `|V|` and
+//!   `|E|`. Table III sizes its datasets in exactly this representation
+//!   ("binary edge list with 32-bit vertex IDs").
+//! * [`text`] — whitespace-separated `src dst` lines with `#`/`%` comments,
+//!   the common interchange format of SNAP / KONECT dumps.
+
+pub mod binary;
+pub mod text;

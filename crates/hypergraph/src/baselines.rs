@@ -1,0 +1,190 @@
+//! Streaming hypergraph-partitioning baselines.
+//!
+//! * [`RandomHyperPartitioner`] — hash of the pin set: the stateless floor.
+//! * [`MinMaxGreedyPartitioner`] — streaming greedy in the spirit of
+//!   Alistarh, Iglesias & Vojnovic (NIPS 2015): assign each hyperedge to the
+//!   partition already holding the most of its pins, subject to a hard
+//!   balance cap (their "min-max" intersection rule, the natural stateful
+//!   streaming comparison for 2PS-HL).
+
+use std::io;
+
+use tps_core::balance::PartitionLoads;
+use tps_graph::hash::splitmix64;
+use tps_metrics::bitmatrix::ReplicationMatrix;
+
+use crate::model::{Hyperedge, HyperedgeStream};
+use crate::HyperPartitioner;
+
+/// Stateless hashed assignment.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomHyperPartitioner {
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl Default for RandomHyperPartitioner {
+    fn default() -> Self {
+        RandomHyperPartitioner { seed: 0x4B1D_5EED }
+    }
+}
+
+impl HyperPartitioner for RandomHyperPartitioner {
+    fn name(&self) -> String {
+        "Random".to_string()
+    }
+
+    fn partition(
+        &mut self,
+        stream: &mut dyn HyperedgeStream,
+        k: u32,
+        _alpha: f64,
+        assign: &mut dyn FnMut(&Hyperedge, u32),
+    ) -> io::Result<()> {
+        assert!(k > 0);
+        stream.reset()?;
+        while let Some(h) = stream.next_hyperedge()? {
+            let mut acc = self.seed;
+            for &v in h.pins() {
+                acc = splitmix64(acc ^ v as u64);
+            }
+            assign(h, (((acc >> 32).wrapping_mul(k as u64)) >> 32) as u32);
+        }
+        Ok(())
+    }
+}
+
+/// Streaming greedy: maximise pin intersection, least-loaded tie-break,
+/// hard `α` cap.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinMaxGreedyPartitioner;
+
+impl HyperPartitioner for MinMaxGreedyPartitioner {
+    fn name(&self) -> String {
+        "MinMaxGreedy".to_string()
+    }
+
+    fn partition(
+        &mut self,
+        stream: &mut dyn HyperedgeStream,
+        k: u32,
+        alpha: f64,
+        assign: &mut dyn FnMut(&Hyperedge, u32),
+    ) -> io::Result<()> {
+        assert!(k > 0);
+        let (num_vertices, num_hyperedges) =
+            match (stream.num_vertices_hint(), stream.len_hint()) {
+                (Some(v), Some(h)) => (v, h),
+                _ => {
+                    let mut v = 0u64;
+                    let mut n = 0u64;
+                    stream.reset()?;
+                    while let Some(h) = stream.next_hyperedge()? {
+                        n += 1;
+                        for &pin in h.pins() {
+                            v = v.max(pin as u64 + 1);
+                        }
+                    }
+                    (v, n)
+                }
+            };
+        if num_hyperedges == 0 {
+            return Ok(());
+        }
+        let mut v2p = ReplicationMatrix::new(num_vertices, k);
+        let mut loads = PartitionLoads::new(k, num_hyperedges, alpha);
+        stream.reset()?;
+        while let Some(h) = stream.next_hyperedge()? {
+            // O(arity · k): count pins already replicated per partition.
+            let mut best: Option<(u64, u64, u32)> = None; // (overlap, -load, p)
+            for p in 0..k {
+                if loads.is_full(p) {
+                    continue;
+                }
+                let overlap = h.pins().iter().filter(|&&v| v2p.get(v, p)).count() as u64;
+                let load = loads.load(p);
+                let better = match best {
+                    None => true,
+                    Some((bo, bl, _)) => overlap > bo || (overlap == bo && load < bl),
+                };
+                if better {
+                    best = Some((overlap, load, p));
+                }
+            }
+            let p = best.map(|(_, _, p)| p).unwrap_or_else(|| loads.least_loaded());
+            for &v in h.pins() {
+                v2p.set(v, p);
+            }
+            loads.add(p);
+            assign(h, p);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{planted_hypergraph, PlantedHyperConfig};
+    use crate::metrics::HyperQualityTracker;
+    use crate::model::InMemoryHypergraph;
+
+    fn run(
+        p: &mut dyn HyperPartitioner,
+        hg: &InMemoryHypergraph,
+        k: u32,
+    ) -> tps_metrics::quality::PartitionMetrics {
+        let mut tracker = HyperQualityTracker::new(hg.num_vertices(), k);
+        let mut s = hg.stream();
+        p.partition(&mut s, k, 1.05, &mut |h, part| tracker.record(h, part)).unwrap();
+        tracker.finish()
+    }
+
+    #[test]
+    fn both_assign_everything() {
+        let hg = planted_hypergraph(&PlantedHyperConfig::default(), 1);
+        for p in [
+            &mut RandomHyperPartitioner::default() as &mut dyn HyperPartitioner,
+            &mut MinMaxGreedyPartitioner,
+        ] {
+            let m = run(p, &hg, 8);
+            assert_eq!(m.num_edges, hg.num_hyperedges(), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn greedy_beats_random() {
+        let hg = planted_hypergraph(&PlantedHyperConfig::default(), 2);
+        let greedy = run(&mut MinMaxGreedyPartitioner, &hg, 8);
+        let random = run(&mut RandomHyperPartitioner::default(), &hg, 8);
+        assert!(
+            greedy.replication_factor < random.replication_factor,
+            "greedy {} vs random {}",
+            greedy.replication_factor,
+            random.replication_factor
+        );
+    }
+
+    #[test]
+    fn greedy_respects_cap() {
+        let hg = planted_hypergraph(&PlantedHyperConfig::default(), 4);
+        let k = 4;
+        let m = run(&mut MinMaxGreedyPartitioner, &hg, k);
+        let cap = PartitionLoads::new(k, hg.num_hyperedges(), 1.05).cap();
+        assert!(m.max_load <= cap);
+    }
+
+    #[test]
+    fn identical_pin_sets_hash_identically() {
+        let hg = InMemoryHypergraph::new(vec![
+            Hyperedge::new(vec![1, 2, 3]),
+            Hyperedge::new(vec![3, 2, 1]), // same set, different order
+        ]);
+        let mut parts = Vec::new();
+        let mut s = hg.stream();
+        RandomHyperPartitioner::default()
+            .partition(&mut s, 16, 1.05, &mut |_, p| parts.push(p))
+            .unwrap();
+        assert_eq!(parts[0], parts[1]);
+    }
+}

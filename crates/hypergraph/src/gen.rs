@@ -1,0 +1,108 @@
+//! Planted-community hypergraph generator.
+//!
+//! Mirrors the graph-side planted generator: vertices belong to communities,
+//! most hyperedges draw all pins from one community, a `mixing` fraction
+//! draws pins across communities. Arity is sampled from a small geometric
+//! range (co-authorship-like).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{Hyperedge, InMemoryHypergraph};
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PlantedHyperConfig {
+    /// Number of vertices.
+    pub vertices: u64,
+    /// Number of hyperedges.
+    pub hyperedges: u64,
+    /// Community size (uniform for simplicity).
+    pub community_size: u64,
+    /// Fraction of hyperedges drawing pins across communities.
+    pub mixing: f64,
+    /// Minimum pins per hyperedge.
+    pub min_arity: usize,
+    /// Maximum pins per hyperedge.
+    pub max_arity: usize,
+}
+
+impl Default for PlantedHyperConfig {
+    fn default() -> Self {
+        PlantedHyperConfig {
+            vertices: 2_000,
+            hyperedges: 4_000,
+            community_size: 40,
+            mixing: 0.1,
+            min_arity: 2,
+            max_arity: 6,
+        }
+    }
+}
+
+/// Generate a planted hypergraph (deterministic per seed).
+pub fn planted_hypergraph(cfg: &PlantedHyperConfig, seed: u64) -> InMemoryHypergraph {
+    assert!(cfg.vertices >= cfg.community_size && cfg.community_size >= 1);
+    assert!(cfg.min_arity >= 1 && cfg.max_arity >= cfg.min_arity);
+    assert!((0.0..=1.0).contains(&cfg.mixing));
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x4B1D_6E6E);
+    let communities = cfg.vertices / cfg.community_size;
+    let mut hyperedges = Vec::with_capacity(cfg.hyperedges as usize);
+    for _ in 0..cfg.hyperedges {
+        let arity = rng.gen_range(cfg.min_arity..=cfg.max_arity);
+        let cross = rng.gen::<f64>() < cfg.mixing;
+        let mut pins = Vec::with_capacity(arity);
+        if cross || communities <= 1 {
+            for _ in 0..arity {
+                pins.push(rng.gen_range(0..cfg.vertices) as u32);
+            }
+        } else {
+            let c = rng.gen_range(0..communities);
+            let start = c * cfg.community_size;
+            for _ in 0..arity {
+                pins.push((start + rng.gen_range(0..cfg.community_size)) as u32);
+            }
+        }
+        hyperedges.push(Hyperedge::new(pins));
+    }
+    InMemoryHypergraph::new(hyperedges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let cfg = PlantedHyperConfig::default();
+        let a = planted_hypergraph(&cfg, 5);
+        let b = planted_hypergraph(&cfg, 5);
+        assert_eq!(a.hyperedges(), b.hyperedges());
+    }
+
+    #[test]
+    fn respects_counts_and_arity() {
+        let cfg = PlantedHyperConfig { hyperedges: 500, ..Default::default() };
+        let hg = planted_hypergraph(&cfg, 1);
+        assert_eq!(hg.num_hyperedges(), 500);
+        for h in hg.hyperedges() {
+            assert!(h.arity() >= 1 && h.arity() <= cfg.max_arity);
+        }
+    }
+
+    #[test]
+    fn most_hyperedges_are_intra_community() {
+        let cfg = PlantedHyperConfig::default();
+        let hg = planted_hypergraph(&cfg, 9);
+        let intra = hg
+            .hyperedges()
+            .iter()
+            .filter(|h| {
+                let c0 = h.pins()[0] as u64 / cfg.community_size;
+                h.pins().iter().all(|&v| v as u64 / cfg.community_size == c0)
+            })
+            .count();
+        let frac = intra as f64 / hg.num_hyperedges() as f64;
+        assert!(frac > 0.8, "intra fraction {frac}");
+    }
+}

@@ -1,0 +1,57 @@
+//! 2PS-HL — the paper's declared future work (§VII): "we plan to investigate
+//! the generalization of 2PS-L to hypergraphs".
+//!
+//! A hyperedge connects an arbitrary *set* of vertices (group relationships:
+//! co-authorships, multi-way transactions, net-lists). **Hyperedge
+//! partitioning** splits the hyperedge set into `k` balanced parts so that
+//! vertex replication — a vertex is replicated on every partition holding
+//! one of its hyperedges — is minimised; it is the direct generalisation of
+//! the paper's edge-partitioning problem (an edge is a 2-pin hyperedge).
+//!
+//! The generalisation follows the 2PS-L recipe phase by phase:
+//!
+//! 1. **degree pass** — vertex degree = number of incident hyperedges
+//!    (pins), so cluster volumes remain boundable;
+//! 2. **streaming clustering** — for each hyperedge, the lighter member
+//!    clusters migrate toward the heaviest member cluster, under the same
+//!    volume cap (`cap_factor · total_pins / k`);
+//! 3. **mapping** — Graham sorted-list scheduling of clusters to partitions;
+//! 4. **pre-partitioning** — hyperedges whose members' clusters co-locate on
+//!    one partition go there directly;
+//! 5. **bounded scoring** — remaining hyperedges are scored only against the
+//!    *distinct partitions of their members' clusters* (at most `|e|`, and
+//!    typically ≪ k candidates), keeping the run-time independent of `k` —
+//!    exactly the property that makes 2PS-L linear.
+//!
+//! Baselines: hashed assignment and a streaming min-max greedy in the spirit
+//! of Alistarh et al. (NIPS 2015), the comparison point the paper's related
+//! work names for streaming hypergraph partitioning.
+
+pub mod baselines;
+pub mod gen;
+pub mod metrics;
+pub mod model;
+pub mod two_phase;
+
+pub use metrics::HyperQualityTracker;
+pub use model::{Hyperedge, HyperedgeStream, InMemoryHypergraph};
+pub use two_phase::{TwoPhaseHyperConfig, TwoPhaseHyperPartitioner};
+
+use std::io;
+
+/// The hypergraph counterpart of [`tps_core::Partitioner`].
+pub trait HyperPartitioner {
+    /// Algorithm name for reports.
+    fn name(&self) -> String;
+
+    /// Assign every hyperedge of the stream to one of `k` partitions,
+    /// calling `assign(hyperedge_index, partition)` exactly once per
+    /// hyperedge.
+    fn partition(
+        &mut self,
+        stream: &mut dyn HyperedgeStream,
+        k: u32,
+        alpha: f64,
+        assign: &mut dyn FnMut(&Hyperedge, u32),
+    ) -> io::Result<()>;
+}

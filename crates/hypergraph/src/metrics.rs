@@ -1,0 +1,110 @@
+//! Quality metrics for hyperedge partitionings.
+//!
+//! Same objective as the paper's edge partitioning (§II-A), generalised:
+//! `RF = (1/|covered V|) Σ_p |V(p)|`, where `V(p)` is the set of vertices
+//! with at least one hyperedge on `p`; balance is measured on hyperedge
+//! counts against `α·|H|/k`.
+
+use tps_metrics::bitmatrix::ReplicationMatrix;
+use tps_metrics::quality::PartitionMetrics;
+
+use crate::model::Hyperedge;
+
+/// Accumulates hypergraph partition quality hyperedge by hyperedge.
+#[derive(Clone, Debug)]
+pub struct HyperQualityTracker {
+    matrix: ReplicationMatrix,
+    loads: Vec<u64>,
+    num_hyperedges: u64,
+    total_pins: u64,
+}
+
+impl HyperQualityTracker {
+    /// Tracker for `num_vertices` vertices and `k` partitions.
+    pub fn new(num_vertices: u64, k: u32) -> Self {
+        HyperQualityTracker {
+            matrix: ReplicationMatrix::new(num_vertices, k),
+            loads: vec![0; k as usize],
+            num_hyperedges: 0,
+            total_pins: 0,
+        }
+    }
+
+    /// Record the assignment of `h` to `p`.
+    pub fn record(&mut self, h: &Hyperedge, p: u32) {
+        for &v in h.pins() {
+            self.matrix.set(v, p);
+        }
+        self.loads[p as usize] += 1;
+        self.num_hyperedges += 1;
+        self.total_pins += h.arity() as u64;
+    }
+
+    /// Finalise the metrics (same shape as the graph case for easy tabling).
+    pub fn finish(&self) -> PartitionMetrics {
+        let k = self.matrix.k();
+        let covered = (0..self.matrix.num_vertices())
+            .filter(|&v| self.matrix.replica_count(v as u32) > 0)
+            .count() as u64;
+        let total_replicas = self.matrix.total_replicas();
+        let rf = if covered == 0 { 0.0 } else { total_replicas as f64 / covered as f64 };
+        let max_load = self.loads.iter().copied().max().unwrap_or(0);
+        let min_load = self.loads.iter().copied().min().unwrap_or(0);
+        let expected = self.num_hyperedges as f64 / k as f64;
+        PartitionMetrics {
+            k,
+            num_edges: self.num_hyperedges,
+            covered_vertices: covered,
+            total_replicas,
+            replication_factor: rf,
+            max_load,
+            min_load,
+            alpha: if expected > 0.0 { max_load as f64 / expected } else { 0.0 },
+            loads: self.loads.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_hyperedges_have_rf_one() {
+        let mut t = HyperQualityTracker::new(6, 2);
+        t.record(&Hyperedge::new(vec![0, 1, 2]), 0);
+        t.record(&Hyperedge::new(vec![3, 4, 5]), 1);
+        let m = t.finish();
+        assert!((m.replication_factor - 1.0).abs() < 1e-12);
+        assert_eq!(m.covered_vertices, 6);
+    }
+
+    #[test]
+    fn shared_pin_across_partitions_replicates() {
+        let mut t = HyperQualityTracker::new(5, 2);
+        t.record(&Hyperedge::new(vec![0, 1, 2]), 0);
+        t.record(&Hyperedge::new(vec![2, 3, 4]), 1);
+        let m = t.finish();
+        // Vertex 2 on both partitions: 6 replicas / 5 vertices.
+        assert!((m.replication_factor - 6.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_counts_hyperedges_not_pins() {
+        let mut t = HyperQualityTracker::new(10, 2);
+        t.record(&Hyperedge::new(vec![0, 1, 2, 3, 4, 5]), 0); // big arity
+        t.record(&Hyperedge::new(vec![6, 7]), 1);
+        t.record(&Hyperedge::new(vec![8, 9]), 1);
+        let m = t.finish();
+        assert_eq!(m.max_load, 2);
+        assert_eq!(m.min_load, 1);
+    }
+
+    #[test]
+    fn empty_tracker() {
+        let t = HyperQualityTracker::new(4, 2);
+        let m = t.finish();
+        assert_eq!(m.num_edges, 0);
+        assert_eq!(m.replication_factor, 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Hypergraph model and the streaming contract.
+
+use std::io;
+
+use tps_graph::types::VertexId;
+
+/// A hyperedge: a non-empty set of member vertices ("pins").
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Hyperedge {
+    pins: Vec<VertexId>,
+}
+
+impl Hyperedge {
+    /// Create a hyperedge from its pins. Duplicated pins are removed; order
+    /// is normalised (sorted) so equality is set equality.
+    ///
+    /// # Panics
+    /// Panics if `pins` is empty.
+    pub fn new(mut pins: Vec<VertexId>) -> Self {
+        assert!(!pins.is_empty(), "a hyperedge needs at least one pin");
+        pins.sort_unstable();
+        pins.dedup();
+        Hyperedge { pins }
+    }
+
+    /// The member vertices, sorted and deduplicated.
+    #[inline]
+    pub fn pins(&self) -> &[VertexId] {
+        &self.pins
+    }
+
+    /// Number of member vertices.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.pins.len()
+    }
+}
+
+/// A resettable, multi-pass stream of hyperedges — the out-of-core contract,
+/// mirroring [`tps_graph::stream::EdgeStream`].
+pub trait HyperedgeStream {
+    /// Rewind to the beginning.
+    fn reset(&mut self) -> io::Result<()>;
+    /// Next hyperedge of the pass (`None` at end). Returns a reference valid
+    /// until the next call, so implementations can reuse a buffer.
+    fn next_hyperedge(&mut self) -> io::Result<Option<&Hyperedge>>;
+    /// Number of hyperedges, if known.
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+    /// Vertex-space size, if known.
+    fn num_vertices_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// An in-memory hypergraph exposing the streaming interface.
+#[derive(Clone, Debug)]
+pub struct InMemoryHypergraph {
+    hyperedges: Vec<Hyperedge>,
+    num_vertices: u64,
+    cursor: usize,
+}
+
+impl InMemoryHypergraph {
+    /// Build from hyperedges; the vertex count is `max pin + 1`.
+    pub fn new(hyperedges: Vec<Hyperedge>) -> Self {
+        let num_vertices = hyperedges
+            .iter()
+            .flat_map(|h| h.pins().iter())
+            .map(|&v| v as u64 + 1)
+            .max()
+            .unwrap_or(0);
+        InMemoryHypergraph { hyperedges, num_vertices, cursor: 0 }
+    }
+
+    /// The hyperedge list.
+    pub fn hyperedges(&self) -> &[Hyperedge] {
+        &self.hyperedges
+    }
+
+    /// Number of hyperedges.
+    pub fn num_hyperedges(&self) -> u64 {
+        self.hyperedges.len() as u64
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    /// Total pin count (Σ arity) — the hypergraph analogue of `2|E|`.
+    pub fn total_pins(&self) -> u64 {
+        self.hyperedges.iter().map(|h| h.arity() as u64).sum()
+    }
+
+    /// A fresh stream over the same hypergraph.
+    pub fn stream(&self) -> InMemoryHypergraph {
+        InMemoryHypergraph {
+            hyperedges: self.hyperedges.clone(),
+            num_vertices: self.num_vertices,
+            cursor: 0,
+        }
+    }
+}
+
+impl HyperedgeStream for InMemoryHypergraph {
+    fn reset(&mut self) -> io::Result<()> {
+        self.cursor = 0;
+        Ok(())
+    }
+
+    fn next_hyperedge(&mut self) -> io::Result<Option<&Hyperedge>> {
+        match self.hyperedges.get(self.cursor) {
+            Some(h) => {
+                self.cursor += 1;
+                Ok(Some(h))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.hyperedges.len() as u64)
+    }
+
+    fn num_vertices_hint(&self) -> Option<u64> {
+        Some(self.num_vertices)
+    }
+}
+
+/// Vertex degrees (incident hyperedge counts) in one pass.
+pub fn hyper_degrees(
+    stream: &mut dyn HyperedgeStream,
+    num_vertices: u64,
+) -> io::Result<Vec<u32>> {
+    let mut degrees = vec![0u32; num_vertices as usize];
+    stream.reset()?;
+    while let Some(h) = stream.next_hyperedge()? {
+        for &v in h.pins() {
+            degrees[v as usize] += 1;
+        }
+    }
+    Ok(degrees)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hyperedge_normalises_pins() {
+        let h = Hyperedge::new(vec![3, 1, 3, 2]);
+        assert_eq!(h.pins(), &[1, 2, 3]);
+        assert_eq!(h.arity(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pin")]
+    fn empty_hyperedge_rejected() {
+        Hyperedge::new(vec![]);
+    }
+
+    #[test]
+    fn stream_round_trip() {
+        let hg = InMemoryHypergraph::new(vec![
+            Hyperedge::new(vec![0, 1, 2]),
+            Hyperedge::new(vec![2, 3]),
+        ]);
+        assert_eq!(hg.num_vertices(), 4);
+        assert_eq!(hg.total_pins(), 5);
+        let mut s = hg.stream();
+        let mut count = 0;
+        while s.next_hyperedge().unwrap().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 2);
+        s.reset().unwrap();
+        assert!(s.next_hyperedge().unwrap().is_some());
+    }
+
+    #[test]
+    fn degrees_count_incidences() {
+        let hg = InMemoryHypergraph::new(vec![
+            Hyperedge::new(vec![0, 1]),
+            Hyperedge::new(vec![0, 2, 3]),
+            Hyperedge::new(vec![0]),
+        ]);
+        let mut s = hg.stream();
+        let d = hyper_degrees(&mut s, hg.num_vertices()).unwrap();
+        assert_eq!(d, vec![3, 1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let hg = InMemoryHypergraph::new(vec![]);
+        assert_eq!(hg.num_vertices(), 0);
+        assert_eq!(hg.total_pins(), 0);
+    }
+}

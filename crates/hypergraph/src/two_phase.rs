@@ -1,0 +1,361 @@
+//! 2PS-HL: the two-phase streaming algorithm generalised to hyperedges.
+//!
+//! Phase structure identical to 2PS-L (see crate docs). The key property is
+//! preserved: the scoring candidate set of a hyperedge is the set of
+//! partitions its members' clusters map to — at most `arity` candidates,
+//! independent of `k` — so the run-time stays `O(Σ arity)` ≈ linear in the
+//! stream size.
+//!
+//! Scoring of candidate partition `p` for hyperedge `h` generalises the
+//! paper's `s(u, v, p)`:
+//!
+//! ```text
+//! s(h, p) = Σ_{v ∈ h} [v replicated on p] · (1 + (1 − d_v / Σ_u d_u))
+//!         + Σ_{v ∈ h, c(v)→p} vol(c(v)) / Σ_u vol(c(u))
+//! ```
+//!
+//! i.e. replicas of low-degree members pull hardest (the HDRF insight) and
+//! the partition hosting the largest share of member-cluster volume gets the
+//! volume bonus (2PS-L's novelty).
+
+use std::io;
+
+use tps_clustering::model::{Clustering, NO_CLUSTER};
+use tps_core::balance::PartitionLoads;
+use tps_core::two_phase::mapping::ClusterPlacement;
+use tps_graph::hash::seeded_hash_to_partition;
+use tps_metrics::bitmatrix::ReplicationMatrix;
+
+use crate::model::{hyper_degrees, Hyperedge, HyperedgeStream};
+use crate::HyperPartitioner;
+
+/// Configuration of 2PS-HL.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoPhaseHyperConfig {
+    /// Clustering passes (re-streaming), as in 2PS-L.
+    pub clustering_passes: u32,
+    /// Volume cap factor over the fair share `total_pins / k`.
+    pub volume_cap_factor: f64,
+    /// Seed of the hash fallback.
+    pub hash_seed: u64,
+}
+
+impl Default for TwoPhaseHyperConfig {
+    fn default() -> Self {
+        TwoPhaseHyperConfig {
+            clustering_passes: 1,
+            volume_cap_factor: 0.5,
+            hash_seed: 0x2B5C_0DE0_4B1D_0001,
+        }
+    }
+}
+
+/// The 2PS-HL partitioner.
+#[derive(Clone, Debug, Default)]
+pub struct TwoPhaseHyperPartitioner {
+    config: TwoPhaseHyperConfig,
+}
+
+impl TwoPhaseHyperPartitioner {
+    /// Create with `config`.
+    pub fn new(config: TwoPhaseHyperConfig) -> Self {
+        assert!(config.clustering_passes >= 1);
+        assert!(config.volume_cap_factor > 0.0);
+        TwoPhaseHyperPartitioner { config }
+    }
+}
+
+/// One clustering pass: within each hyperedge, members migrate toward the
+/// member cluster with the largest volume, under the cap — the multi-way
+/// generalisation of Algorithm 1.
+fn clustering_pass(
+    stream: &mut dyn HyperedgeStream,
+    degrees: &[u32],
+    max_vol: u64,
+    clustering: &mut Clustering,
+) -> io::Result<()> {
+    stream.reset()?;
+    while let Some(h) = stream.next_hyperedge()? {
+        // Assign fresh clusters to new members.
+        for &v in h.pins() {
+            if clustering.raw_cluster_of(v) == NO_CLUSTER {
+                clustering.create_cluster(v, degrees[v as usize] as u64);
+            }
+        }
+        if h.arity() < 2 {
+            continue;
+        }
+        // Heaviest member cluster is the migration target (ties: first pin).
+        let target = h
+            .pins()
+            .iter()
+            .map(|&v| clustering.raw_cluster_of(v))
+            .max_by_key(|&c| clustering.volume(c))
+            .expect("non-empty hyperedge");
+        if clustering.volume(target) > max_vol {
+            continue;
+        }
+        for &v in h.pins() {
+            let cv = clustering.raw_cluster_of(v);
+            if cv == target {
+                continue;
+            }
+            if clustering.volume(cv) > max_vol {
+                continue;
+            }
+            let dv = degrees[v as usize] as u64;
+            if clustering.volume(target) + dv <= max_vol {
+                clustering.migrate(v, dv, target);
+            }
+        }
+    }
+    Ok(())
+}
+
+impl HyperPartitioner for TwoPhaseHyperPartitioner {
+    fn name(&self) -> String {
+        "2PS-HL".to_string()
+    }
+
+    fn partition(
+        &mut self,
+        stream: &mut dyn HyperedgeStream,
+        k: u32,
+        alpha: f64,
+        assign: &mut dyn FnMut(&Hyperedge, u32),
+    ) -> io::Result<()> {
+        assert!(k > 0, "k must be positive");
+        // Discover sizes (streams in this crate always carry hints; fall
+        // back to a discovery pass otherwise).
+        let (num_vertices, num_hyperedges) =
+            match (stream.num_vertices_hint(), stream.len_hint()) {
+                (Some(v), Some(h)) => (v, h),
+                _ => {
+                    let mut v = 0u64;
+                    let mut n = 0u64;
+                    stream.reset()?;
+                    while let Some(h) = stream.next_hyperedge()? {
+                        n += 1;
+                        for &pin in h.pins() {
+                            v = v.max(pin as u64 + 1);
+                        }
+                    }
+                    (v, n)
+                }
+            };
+        if num_hyperedges == 0 {
+            return Ok(());
+        }
+
+        // Phase 0: degrees.
+        let degrees = hyper_degrees(stream, num_vertices)?;
+        let total_pins: u64 = degrees.iter().map(|&d| d as u64).sum();
+
+        // Phase 1: clustering.
+        let cap = ((total_pins as f64 * self.config.volume_cap_factor / k as f64).ceil() as u64)
+            .max(1);
+        let mut clustering = Clustering::empty(num_vertices);
+        for _ in 0..self.config.clustering_passes {
+            clustering_pass(stream, &degrees, cap, &mut clustering)?;
+        }
+
+        // Phase 2a: map clusters to partitions.
+        let placement = ClusterPlacement::sorted_list_schedule(&clustering, k);
+
+        let mut v2p = ReplicationMatrix::new(num_vertices, k);
+        let mut loads = PartitionLoads::new(k, num_hyperedges, alpha);
+        let mut candidates: Vec<u32> = Vec::with_capacity(8);
+
+        // Pre-partition condition: all member clusters on one partition.
+        let common_partition = |h: &Hyperedge, clustering: &Clustering| -> Option<u32> {
+            let mut common: Option<u32> = None;
+            for &v in h.pins() {
+                let p = placement.partition_of(clustering.raw_cluster_of(v));
+                match common {
+                    None => common = Some(p),
+                    Some(c) if c == p => {}
+                    _ => return None,
+                }
+            }
+            common
+        };
+
+        // Phase 2b: pre-partitioning pass.
+        let commit = |h: &Hyperedge,
+                          p: u32,
+                          v2p: &mut ReplicationMatrix,
+                          loads: &mut PartitionLoads,
+                          assign: &mut dyn FnMut(&Hyperedge, u32)| {
+            for &v in h.pins() {
+                v2p.set(v, p);
+            }
+            loads.add(p);
+            assign(h, p);
+        };
+        let fallback = |h: &Hyperedge, loads: &PartitionLoads, seed: u64| -> u32 {
+            // Hash the highest-degree pin (the DBH-style fallback).
+            let hv = *h
+                .pins()
+                .iter()
+                .max_by_key(|&&v| degrees[v as usize])
+                .expect("non-empty");
+            let p = seeded_hash_to_partition(hv, seed, loads.k());
+            if loads.is_full(p) {
+                loads.least_loaded()
+            } else {
+                p
+            }
+        };
+
+        stream.reset()?;
+        while let Some(h) = stream.next_hyperedge()? {
+            if let Some(p) = common_partition(h, &clustering) {
+                let p = if loads.is_full(p) { fallback(h, &loads, self.config.hash_seed) } else { p };
+                commit(h, p, &mut v2p, &mut loads, assign);
+            }
+        }
+
+        // Phase 2c: bounded scoring over the member clusters' partitions.
+        stream.reset()?;
+        while let Some(h) = stream.next_hyperedge()? {
+            if common_partition(h, &clustering).is_some() {
+                continue; // already assigned in the pre-partitioning pass
+            }
+            candidates.clear();
+            let mut vol_sum = 0u64;
+            for &v in h.pins() {
+                let c = clustering.raw_cluster_of(v);
+                vol_sum += clustering.volume(c);
+                let p = placement.partition_of(c);
+                if !candidates.contains(&p) {
+                    candidates.push(p);
+                }
+            }
+            let d_sum: u64 = h.pins().iter().map(|&v| degrees[v as usize] as u64).sum();
+            let mut best: Option<(f64, u32)> = None;
+            for &p in &candidates {
+                if loads.is_full(p) {
+                    continue;
+                }
+                let mut score = 0.0;
+                for &v in h.pins() {
+                    if v2p.get(v, p) {
+                        score += 1.0
+                            + (1.0 - degrees[v as usize] as f64 / d_sum.max(1) as f64);
+                    }
+                    let c = clustering.raw_cluster_of(v);
+                    if placement.partition_of(c) == p {
+                        score += clustering.volume(c) as f64 / vol_sum.max(1) as f64;
+                    }
+                }
+                if best.is_none_or(|(bs, _)| score > bs) {
+                    best = Some((score, p));
+                }
+            }
+            let p = match best {
+                Some((_, p)) => p,
+                None => fallback(h, &loads, self.config.hash_seed),
+            };
+            let p = if loads.is_full(p) { loads.least_loaded() } else { p };
+            commit(h, p, &mut v2p, &mut loads, assign);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{planted_hypergraph, PlantedHyperConfig};
+    use crate::metrics::HyperQualityTracker;
+    use crate::model::InMemoryHypergraph;
+
+    fn run(hg: &InMemoryHypergraph, k: u32) -> tps_metrics::quality::PartitionMetrics {
+        let mut p = TwoPhaseHyperPartitioner::default();
+        let mut tracker = HyperQualityTracker::new(hg.num_vertices(), k);
+        let mut s = hg.stream();
+        let mut count = 0u64;
+        p.partition(&mut s, k, 1.05, &mut |h, part| {
+            tracker.record(h, part);
+            count += 1;
+        })
+        .unwrap();
+        assert_eq!(count, hg.num_hyperedges());
+        tracker.finish()
+    }
+
+    #[test]
+    fn assigns_every_hyperedge_within_cap() {
+        let hg = planted_hypergraph(&PlantedHyperConfig::default(), 3);
+        let k = 8;
+        let m = run(&hg, k);
+        assert_eq!(m.num_edges, hg.num_hyperedges());
+        let cap = PartitionLoads::new(k, hg.num_hyperedges(), 1.05).cap();
+        assert!(m.max_load <= cap, "max {} cap {cap}", m.max_load);
+    }
+
+    #[test]
+    fn exploits_planted_structure() {
+        let hg = planted_hypergraph(&PlantedHyperConfig::default(), 7);
+        let k = 8;
+        let tps = run(&hg, k);
+        // Hash baseline for comparison.
+        let mut hash = crate::baselines::RandomHyperPartitioner::default();
+        let mut tracker = HyperQualityTracker::new(hg.num_vertices(), k);
+        let mut s = hg.stream();
+        crate::HyperPartitioner::partition(&mut hash, &mut s, k, 1.05, &mut |h, p| {
+            tracker.record(h, p)
+        })
+        .unwrap();
+        let rnd = tracker.finish();
+        assert!(
+            tps.replication_factor < rnd.replication_factor * 0.8,
+            "2PS-HL {} vs random {}",
+            tps.replication_factor,
+            rnd.replication_factor
+        );
+    }
+
+    #[test]
+    fn graph_edges_as_two_pin_hyperedges() {
+        // Sanity: the algorithm handles the degenerate 2-pin case (ordinary
+        // graphs) and singleton hyperedges.
+        let hg = InMemoryHypergraph::new(vec![
+            Hyperedge::new(vec![0, 1]),
+            Hyperedge::new(vec![1, 2]),
+            Hyperedge::new(vec![3]),
+        ]);
+        let m = run(&hg, 2);
+        assert_eq!(m.num_edges, 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let hg = planted_hypergraph(&PlantedHyperConfig::default(), 11);
+        let collect = || {
+            let mut p = TwoPhaseHyperPartitioner::default();
+            let mut out = Vec::new();
+            let mut s = hg.stream();
+            p.partition(&mut s, 4, 1.05, &mut |h, part| out.push((h.clone(), part))).unwrap();
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn k_one() {
+        let hg = planted_hypergraph(&PlantedHyperConfig { hyperedges: 50, ..Default::default() }, 2);
+        let m = run(&hg, 1);
+        assert_eq!(m.loads, vec![50]);
+    }
+
+    #[test]
+    fn empty_hypergraph_is_noop() {
+        let hg = InMemoryHypergraph::new(vec![]);
+        let mut p = TwoPhaseHyperPartitioner::default();
+        let mut s = hg.stream();
+        let mut called = false;
+        p.partition(&mut s, 4, 1.05, &mut |_, _| called = true).unwrap();
+        assert!(!called);
+    }
+}

@@ -1,0 +1,183 @@
+//! The vertex × partition replication bit matrix (`v2p` in the paper's
+//! Algorithm 2).
+//!
+//! One bit per (vertex, partition) pair, packed into 64-bit words:
+//! `⌈k/64⌉` words per vertex, `O(|V|·k)` bits total — the dominant term of
+//! 2PS-L's space complexity (Table II). The matrix also keeps the per-
+//! partition cover counts `|V(p)|` incrementally, so the replication factor
+//! is available in `O(k)` at any time.
+
+use tps_graph::types::{PartitionId, VertexId};
+
+/// Packed replication matrix with incremental cover counts.
+#[derive(Clone, Debug)]
+pub struct ReplicationMatrix {
+    words_per_vertex: usize,
+    bits: Vec<u64>,
+    /// `|V(p)|` per partition — number of vertices with the bit set.
+    cover_counts: Vec<u64>,
+    k: u32,
+    num_vertices: u64,
+}
+
+impl ReplicationMatrix {
+    /// Create an all-zero matrix for `num_vertices` vertices and `k`
+    /// partitions.
+    pub fn new(num_vertices: u64, k: u32) -> Self {
+        assert!(k > 0, "k must be positive");
+        let words_per_vertex = (k as usize).div_ceil(64);
+        let total = words_per_vertex
+            .checked_mul(num_vertices as usize)
+            .expect("replication matrix size overflow");
+        ReplicationMatrix {
+            words_per_vertex,
+            bits: vec![0u64; total],
+            cover_counts: vec![0u64; k as usize],
+            k,
+            num_vertices,
+        }
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    #[inline]
+    fn index(&self, v: VertexId, p: PartitionId) -> (usize, u64) {
+        debug_assert!(p < self.k, "partition {p} out of range (k = {})", self.k);
+        let word = v as usize * self.words_per_vertex + (p as usize >> 6);
+        let mask = 1u64 << (p & 63);
+        (word, mask)
+    }
+
+    /// Whether `v` is replicated on `p`.
+    #[inline]
+    pub fn get(&self, v: VertexId, p: PartitionId) -> bool {
+        let (word, mask) = self.index(v, p);
+        self.bits[word] & mask != 0
+    }
+
+    /// Mark `v` as replicated on `p`. Returns `true` if the bit was newly set.
+    #[inline]
+    pub fn set(&mut self, v: VertexId, p: PartitionId) -> bool {
+        let (word, mask) = self.index(v, p);
+        let newly = self.bits[word] & mask == 0;
+        if newly {
+            self.bits[word] |= mask;
+            self.cover_counts[p as usize] += 1;
+        }
+        newly
+    }
+
+    /// Number of partitions `v` is replicated on.
+    #[inline]
+    pub fn replica_count(&self, v: VertexId) -> u32 {
+        let base = v as usize * self.words_per_vertex;
+        self.bits[base..base + self.words_per_vertex]
+            .iter()
+            .map(|w| w.count_ones())
+            .sum()
+    }
+
+    /// `|V(p)|` — vertices covered by partition `p`.
+    #[inline]
+    pub fn cover_count(&self, p: PartitionId) -> u64 {
+        self.cover_counts[p as usize]
+    }
+
+    /// `Σ_p |V(p)|` — the replication-factor numerator.
+    pub fn total_replicas(&self) -> u64 {
+        self.cover_counts.iter().sum()
+    }
+
+    /// Iterate over the partitions `v` is replicated on.
+    pub fn partitions_of(&self, v: VertexId) -> impl Iterator<Item = PartitionId> + '_ {
+        let base = v as usize * self.words_per_vertex;
+        let words = &self.bits[base..base + self.words_per_vertex];
+        words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            let mut out = Vec::with_capacity(w.count_ones() as usize);
+            while w != 0 {
+                let b = w.trailing_zeros();
+                out.push((wi as u32) * 64 + b);
+                w &= w - 1;
+            }
+            out
+        })
+    }
+
+    /// Approximate heap footprint in bytes (for the memory experiments).
+    pub fn heap_bytes(&self) -> usize {
+        self.bits.len() * 8 + self.cover_counts.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = ReplicationMatrix::new(10, 5);
+        assert!(!m.get(3, 2));
+        assert!(m.set(3, 2));
+        assert!(m.get(3, 2));
+        assert!(!m.set(3, 2), "second set reports not-new");
+        assert_eq!(m.cover_count(2), 1);
+    }
+
+    #[test]
+    fn works_across_word_boundaries() {
+        let mut m = ReplicationMatrix::new(4, 130);
+        for p in [0u32, 63, 64, 127, 128, 129] {
+            assert!(m.set(1, p));
+            assert!(m.get(1, p));
+        }
+        assert_eq!(m.replica_count(1), 6);
+        assert_eq!(m.replica_count(0), 0);
+        let ps: Vec<u32> = m.partitions_of(1).collect();
+        assert_eq!(ps, vec![0, 63, 64, 127, 128, 129]);
+    }
+
+    #[test]
+    fn cover_counts_accumulate_per_partition() {
+        let mut m = ReplicationMatrix::new(5, 3);
+        m.set(0, 0);
+        m.set(1, 0);
+        m.set(1, 1);
+        m.set(4, 2);
+        assert_eq!(m.cover_count(0), 2);
+        assert_eq!(m.cover_count(1), 1);
+        assert_eq!(m.cover_count(2), 1);
+        assert_eq!(m.total_replicas(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_k() {
+        ReplicationMatrix::new(10, 0);
+    }
+
+    #[test]
+    fn heap_bytes_scale_with_v_and_k() {
+        let small = ReplicationMatrix::new(100, 4);
+        let wide = ReplicationMatrix::new(100, 256);
+        let tall = ReplicationMatrix::new(1000, 4);
+        assert!(wide.heap_bytes() > small.heap_bytes());
+        assert!(tall.heap_bytes() > small.heap_bytes());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = ReplicationMatrix::new(0, 4);
+        assert_eq!(m.total_replicas(), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Measurement substrate for the `twophase` workspace.
+//!
+//! Everything the paper's evaluation *measures* lives here, kept strictly
+//! separate from the algorithms so that quality numbers are ground truth
+//! recomputed from the emitted assignment rather than read out of partitioner
+//! internals:
+//!
+//! * [`bitmatrix`] — the vertex×partition replication bit matrix (the
+//!   `O(|V|·k)` structure of Table II).
+//! * [`quality`] — replication factor, balance and load metrics
+//!   (paper §II-A), accumulated edge by edge.
+//! * [`alloc`] — a counting global allocator: the repo-local proxy for the
+//!   paper's "maximum resident set size" plots (Fig. 4, right column).
+//! * [`stats`] — mean / standard deviation over repeated runs (the paper
+//!   reports 3-run means with error bars).
+//! * [`timer`] — phase timers for the Fig. 5 run-time dissection.
+//! * [`table`] — aligned text tables and CSV output for the bench binaries.
+
+pub mod alloc;
+pub mod bitmatrix;
+pub mod quality;
+pub mod stats;
+pub mod table;
+pub mod timer;
+
+pub use bitmatrix::ReplicationMatrix;
+pub use quality::{PartitionMetrics, QualityTracker};

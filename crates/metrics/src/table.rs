@@ -1,0 +1,198 @@
+//! Aligned text tables and CSV output for the bench binaries.
+//!
+//! Every experiment binary prints the paper's rows/series twice: once as an
+//! aligned human-readable table (for eyeballing against the paper) and once
+//! as CSV (for plotting).
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// A simple column-aligned table builder.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row. Rows shorter than the header are right-padded with "".
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        while row.len() < self.header.len() {
+            row.push(String::new());
+        }
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            for w in &widths {
+                let _ = write!(out, "+{}", "-".repeat(w + 2));
+            }
+            out.push_str("+\n");
+        };
+        sep(&mut out);
+        for (i, h) in self.header.iter().enumerate() {
+            let _ = write!(out, "| {:w$} ", h, w = widths[i]);
+        }
+        out.push_str("|\n");
+        sep(&mut out);
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                let _ = write!(out, "| {:w$} ", cell, w = widths[i]);
+            }
+            out.push_str("|\n");
+        }
+        sep(&mut out);
+        out
+    }
+
+    /// Render as CSV (RFC-4180-ish; quotes cells containing commas/quotes).
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Write the CSV rendering to `path`.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_csv().as_bytes())
+    }
+}
+
+/// Format seconds compactly like the paper's tables ("24 s", "7.3 m").
+pub fn fmt_duration_secs(secs: f64) -> String {
+    if secs < 1.0 {
+        format!("{:.0} ms", secs * 1000.0)
+    } else if secs < 120.0 {
+        format!("{secs:.1} s")
+    } else {
+        format!("{:.1} m", secs / 60.0)
+    }
+}
+
+/// Format a byte count with binary units.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["short", "1"]);
+        t.row(vec!["a-much-longer-name", "23456"]);
+        let s = t.render();
+        assert!(s.contains("| name "));
+        assert!(s.contains("| a-much-longer-name |"));
+        // All lines have equal width.
+        let widths: Vec<usize> = s.lines().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["x,y", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["1"]);
+        assert_eq!(t.len(), 1);
+        let csv = t.to_csv();
+        assert!(csv.lines().nth(1).unwrap().contains("1,,"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration_secs(0.5), "500 ms");
+        assert_eq!(fmt_duration_secs(24.0), "24.0 s");
+        assert_eq!(fmt_duration_secs(438.0), "7.3 m");
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(895 << 20), "895.0 MiB");
+    }
+
+    #[test]
+    fn csv_roundtrip_to_file() {
+        let mut t = Table::new(vec!["x"]);
+        t.row(vec!["1"]);
+        let path = std::env::temp_dir()
+            .join(format!("tps-table-{}.csv", std::process::id()));
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x\n1\n");
+        std::fs::remove_file(&path).ok();
+    }
+}

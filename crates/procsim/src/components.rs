@@ -1,0 +1,144 @@
+//! Distributed Connected Components — the second classic workload the paper
+//! names ("classical graph processing algorithms like PageRank or Connected
+//! Components", §I). Label-propagation style: every vertex repeatedly adopts
+//! the minimum label in its neighbourhood; synchronisation follows the same
+//! master/mirror schedule as PageRank, so the cost model applies unchanged.
+
+use tps_graph::types::{Edge, VertexId};
+
+use crate::layout::DistributedGraph;
+use crate::pagerank::ExecutionCounts;
+
+/// Result of a distributed connected-components run.
+#[derive(Clone, Debug)]
+pub struct ComponentsResult {
+    /// Component label per vertex (the minimum vertex id in its component);
+    /// isolated vertices keep their own id.
+    pub labels: Vec<VertexId>,
+    /// Rounds until fixpoint.
+    pub rounds: u32,
+    /// Counted work/traffic (per-iteration figures as in PageRank).
+    pub counts: ExecutionCounts,
+}
+
+/// Execute min-label propagation until fixpoint (or `max_rounds`).
+pub fn run_components(graph: &DistributedGraph, max_rounds: u32) -> ComponentsResult {
+    let n = graph.num_vertices() as usize;
+    let mut labels: Vec<VertexId> = (0..n as u32).collect();
+    let max_worker_edge_ops = (0..graph.k())
+        .map(|p| graph.local_edges(p).len() as u64 * 2)
+        .max()
+        .unwrap_or(0);
+    let max_worker_replicas = (0..graph.k()).map(|p| graph.replicas_on(p)).max().unwrap_or(0);
+    let messages_per_iteration = graph.total_mirrors() * 2;
+
+    let mut rounds = 0;
+    for _ in 0..max_rounds {
+        rounds += 1;
+        let mut changed = false;
+        // Gather-apply over each worker's local edges; masters merge (min is
+        // associative/commutative, so the distributed schedule is exact).
+        for p in 0..graph.k() {
+            for &Edge { src, dst } in graph.local_edges(p) {
+                let m = labels[src as usize].min(labels[dst as usize]);
+                if labels[src as usize] != m {
+                    labels[src as usize] = m;
+                    changed = true;
+                }
+                if labels[dst as usize] != m {
+                    labels[dst as usize] = m;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    ComponentsResult {
+        labels,
+        rounds,
+        counts: ExecutionCounts {
+            iterations: rounds,
+            max_worker_edge_ops,
+            max_worker_replicas,
+            messages_per_iteration,
+        },
+    }
+}
+
+/// Single-machine reference (union-find) for validation.
+pub fn reference_components(edges: &[Edge], num_vertices: u64) -> Vec<VertexId> {
+    let n = num_vertices as usize;
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], v: u32) -> u32 {
+        let mut root = v;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        let mut cur = v;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for e in edges {
+        let (a, b) = (find(&mut parent, e.src), find(&mut parent, e.dst));
+        if a != b {
+            // Union by labelling with the smaller root (matches min-label).
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            parent[hi as usize] = lo;
+        }
+    }
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::DistributedGraph;
+
+    #[test]
+    fn two_components_found() {
+        let edges = [Edge::new(0, 1), Edge::new(1, 2), Edge::new(3, 4)];
+        let layout = DistributedGraph::from_assignments(
+            &[(edges[0], 0), (edges[1], 1), (edges[2], 0)],
+            5,
+            2,
+        );
+        let res = run_components(&layout, 100);
+        assert_eq!(res.labels, vec![0, 0, 0, 3, 3]);
+        assert!(res.rounds < 100, "fixpoint reached early");
+    }
+
+    #[test]
+    fn matches_reference_on_generated_graph() {
+        use tps_graph::datasets::Dataset;
+        let g = Dataset::Uk.generate_scaled(0.01);
+        let assignments: Vec<(Edge, u32)> =
+            g.edges().iter().map(|&e| (e, e.src % 4)).collect();
+        let layout = DistributedGraph::from_assignments(&assignments, g.num_vertices(), 4);
+        let dist = run_components(&layout, 10_000);
+        let reference = reference_components(g.edges(), g.num_vertices());
+        assert_eq!(dist.labels, reference);
+    }
+
+    #[test]
+    fn isolated_vertices_keep_their_label() {
+        let layout = DistributedGraph::from_assignments(&[(Edge::new(0, 1), 0)], 4, 2);
+        let res = run_components(&layout, 10);
+        assert_eq!(res.labels[2], 2);
+        assert_eq!(res.labels[3], 3);
+    }
+
+    #[test]
+    fn counts_mirror_pagerank_schedule() {
+        let edges = [Edge::new(0, 1), Edge::new(1, 2)];
+        let layout =
+            DistributedGraph::from_assignments(&[(edges[0], 0), (edges[1], 1)], 3, 2);
+        let res = run_components(&layout, 10);
+        assert_eq!(res.counts.messages_per_iteration, 2); // one mirror
+    }
+}

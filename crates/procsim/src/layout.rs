@@ -1,0 +1,189 @@
+//! Master/mirror layout of an edge-partitioned graph.
+//!
+//! Edge partitioning induces vertex replication: a vertex adjacent to edges
+//! of several partitions has one **master** replica (here: on the lowest-id
+//! hosting partition, deterministic) and **mirrors** on the others. All
+//! synchronisation cost of vertex-centric processing is proportional to the
+//! mirror count — which is exactly `Σ|V(p)| − |covered V|`, the quantity the
+//! replication factor measures. This is the mechanical link between
+//! partitioning quality and processing speed that Table IV demonstrates.
+
+use tps_graph::types::{Edge, PartitionId, VertexId};
+use tps_metrics::bitmatrix::ReplicationMatrix;
+
+/// A partitioned graph laid out across `k` workers.
+#[derive(Clone, Debug)]
+pub struct DistributedGraph {
+    k: u32,
+    num_vertices: u64,
+    /// Per-worker local edge lists.
+    local_edges: Vec<Vec<Edge>>,
+    /// Vertex → partitions hosting a replica.
+    replication: ReplicationMatrix,
+    /// Vertex → master partition (`u32::MAX` for uncovered vertices).
+    master: Vec<PartitionId>,
+    /// Global degree (counting both endpoints, self-loops twice).
+    degree: Vec<u32>,
+}
+
+impl DistributedGraph {
+    /// Build the layout from `(edge, partition)` assignments.
+    ///
+    /// # Panics
+    /// Panics if an assignment references a partition `>= k` or a vertex
+    /// `>= num_vertices`.
+    pub fn from_assignments(
+        assignments: &[(Edge, PartitionId)],
+        num_vertices: u64,
+        k: u32,
+    ) -> Self {
+        assert!(k > 0, "k must be positive");
+        let mut local_edges = vec![Vec::new(); k as usize];
+        let mut replication = ReplicationMatrix::new(num_vertices, k);
+        let mut degree = vec![0u32; num_vertices as usize];
+        for &(e, p) in assignments {
+            assert!(p < k, "partition {p} out of range");
+            local_edges[p as usize].push(e);
+            replication.set(e.src, p);
+            replication.set(e.dst, p);
+            degree[e.src as usize] += 1;
+            degree[e.dst as usize] += 1;
+        }
+        let mut master = vec![PartitionId::MAX; num_vertices as usize];
+        for (v, slot) in master.iter_mut().enumerate() {
+            if let Some(p) = replication.partitions_of(v as u32).next() {
+                *slot = p; // lowest-id hosting partition
+            }
+        }
+        DistributedGraph { k, num_vertices, local_edges, replication, master, degree }
+    }
+
+    /// Number of workers.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of vertices in the global id space.
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    /// The local edges of worker `p`.
+    pub fn local_edges(&self, p: PartitionId) -> &[Edge] {
+        &self.local_edges[p as usize]
+    }
+
+    /// Total edges.
+    pub fn num_edges(&self) -> u64 {
+        self.local_edges.iter().map(|v| v.len() as u64).sum()
+    }
+
+    /// Global degree of `v`.
+    pub fn degree(&self, v: VertexId) -> u32 {
+        self.degree[v as usize]
+    }
+
+    /// Master partition of `v` (`None` for uncovered vertices).
+    pub fn master_of(&self, v: VertexId) -> Option<PartitionId> {
+        match self.master[v as usize] {
+            PartitionId::MAX => None,
+            p => Some(p),
+        }
+    }
+
+    /// Replica count of `v` (0 for uncovered).
+    pub fn replicas_of(&self, v: VertexId) -> u32 {
+        self.replication.replica_count(v)
+    }
+
+    /// `|V(p)|`: replicas hosted on worker `p`.
+    pub fn replicas_on(&self, p: PartitionId) -> u64 {
+        self.replication.cover_count(p)
+    }
+
+    /// Total mirrors = Σ (replicas − 1) over covered vertices. Every GAS
+    /// iteration sends two messages per mirror (partial gather up, new value
+    /// down).
+    pub fn total_mirrors(&self) -> u64 {
+        let covered = (0..self.num_vertices as u32)
+            .filter(|&v| self.replication.replica_count(v) > 0)
+            .count() as u64;
+        self.replication.total_replicas() - covered
+    }
+
+    /// Replication factor implied by the layout.
+    pub fn replication_factor(&self) -> f64 {
+        let covered = (0..self.num_vertices as u32)
+            .filter(|&v| self.replication.replica_count(v) > 0)
+            .count() as u64;
+        if covered == 0 {
+            0.0
+        } else {
+            self.replication.total_replicas() as f64 / covered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> DistributedGraph {
+        // Path 0-1-2-3 split over 2 workers at vertex 1: replicas of 1 on
+        // both.
+        DistributedGraph::from_assignments(
+            &[
+                (Edge::new(0, 1), 0),
+                (Edge::new(1, 2), 1),
+                (Edge::new(2, 3), 1),
+            ],
+            4,
+            2,
+        )
+    }
+
+    #[test]
+    fn masters_on_lowest_partition() {
+        let g = layout();
+        assert_eq!(g.master_of(0), Some(0));
+        assert_eq!(g.master_of(1), Some(0)); // replicated on {0,1} → master 0
+        assert_eq!(g.master_of(2), Some(1));
+        assert_eq!(g.master_of(3), Some(1));
+    }
+
+    #[test]
+    fn mirror_count_matches_replication() {
+        let g = layout();
+        assert_eq!(g.replicas_of(1), 2);
+        assert_eq!(g.total_mirrors(), 1);
+        assert!((g.replication_factor() - 5.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_edges_split() {
+        let g = layout();
+        assert_eq!(g.local_edges(0).len(), 1);
+        assert_eq!(g.local_edges(1).len(), 2);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn degrees_are_global() {
+        let g = layout();
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn uncovered_vertex_has_no_master() {
+        let g = DistributedGraph::from_assignments(&[(Edge::new(0, 1), 0)], 5, 2);
+        assert_eq!(g.master_of(4), None);
+        assert_eq!(g.replicas_of(4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_partition() {
+        DistributedGraph::from_assignments(&[(Edge::new(0, 1), 5)], 2, 2);
+    }
+}

@@ -1,0 +1,81 @@
+//! A small fio-style sequential-read profiler.
+//!
+//! The paper profiles its devices with `fio` (single-threaded sequential
+//! read of a 5 GB file in 100 MB blocks). [`profile_sequential_read`] is the
+//! equivalent measurement for a real file — used by the CLI's `profile`
+//! subcommand so users can calibrate a [`crate::DeviceModel`] to their own
+//! hardware. The Table V bench itself uses the paper's published numbers.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+use std::time::Instant;
+
+/// Result of a sequential-read profile.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadProfile {
+    /// Bytes read.
+    pub bytes: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+impl ReadProfile {
+    /// Measured bandwidth in bytes/second.
+    pub fn bandwidth(&self) -> f64 {
+        if self.seconds == 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.seconds
+        }
+    }
+}
+
+/// Sequentially read `path` in `block_size`-byte chunks (fio-style) and
+/// report the achieved bandwidth. Note that the OS page cache will serve
+/// re-reads; drop caches externally for cold-device numbers, exactly as the
+/// paper does.
+pub fn profile_sequential_read(path: &Path, block_size: usize) -> io::Result<ReadProfile> {
+    assert!(block_size > 0, "block size must be positive");
+    let mut file = File::open(path)?;
+    let mut buf = vec![0u8; block_size];
+    let start = Instant::now();
+    let mut total = 0u64;
+    loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        total += n as u64;
+        // Touch the buffer so the read is not optimised away.
+        std::hint::black_box(&buf[..n]);
+    }
+    Ok(ReadProfile { bytes: total, seconds: start.elapsed().as_secs_f64() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_a_small_file() {
+        let path = std::env::temp_dir().join(format!("tps-profile-{}.bin", std::process::id()));
+        std::fs::write(&path, vec![0xAB; 1 << 20]).unwrap();
+        let p = profile_sequential_read(&path, 64 << 10).unwrap();
+        assert_eq!(p.bytes, 1 << 20);
+        assert!(p.bandwidth() > 0.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let p = Path::new("/nonexistent/tps-file");
+        assert!(profile_sequential_read(p, 4096).is_err());
+    }
+
+    #[test]
+    fn zero_second_profile_has_zero_bandwidth() {
+        let p = ReadProfile { bytes: 0, seconds: 0.0 };
+        assert_eq!(p.bandwidth(), 0.0);
+    }
+}

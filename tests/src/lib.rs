@@ -1,0 +1,42 @@
+//! Cross-crate integration tests for the `twophase` workspace.
+//!
+//! The actual tests live under `tests/` of this package:
+//!
+//! * `invariants.rs` — every partitioner assigns every edge exactly once;
+//!   cap-enforcing partitioners respect `α·|E|/k`.
+//! * `pipeline.rs` — graph → file → partition → distributed PageRank, with
+//!   results validated against single-machine references.
+//! * `properties.rs` — proptest properties over arbitrary graphs.
+//! * `storage.rs` — device-stream accounting across full partitioner runs.
+//!
+//! This lib target only hosts shared helpers.
+
+use tps_core::partitioner::Partitioner;
+
+/// Every partitioner in the workspace with default settings, including the
+/// 2PS variants. `include_nondeterministic` adds DNE (thread-racy output).
+pub fn full_roster(include_nondeterministic: bool) -> Vec<Box<dyn Partitioner>> {
+    let mut v: Vec<Box<dyn Partitioner>> = vec![
+        Box::new(tps_core::two_phase::TwoPhasePartitioner::new(
+            tps_core::two_phase::TwoPhaseConfig::default(),
+        )),
+        Box::new(tps_core::two_phase::TwoPhasePartitioner::new(
+            tps_core::two_phase::TwoPhaseConfig::hdrf_variant(),
+        )),
+        Box::new(tps_baselines::HdrfPartitioner::default()),
+        Box::new(tps_baselines::GreedyPartitioner),
+        Box::new(tps_baselines::DbhPartitioner::default()),
+        Box::new(tps_baselines::GridPartitioner::default()),
+        Box::new(tps_baselines::RandomPartitioner::default()),
+        Box::new(tps_baselines::AdwisePartitioner::default()),
+        Box::new(tps_baselines::NePartitioner),
+        Box::new(tps_baselines::SnePartitioner::default()),
+        Box::new(tps_baselines::HepPartitioner::with_tau(1.0)),
+        Box::new(tps_baselines::HepPartitioner::with_tau(10.0)),
+        Box::new(tps_baselines::MultilevelPartitioner::default()),
+    ];
+    if include_nondeterministic {
+        v.push(Box::new(tps_baselines::DnePartitioner::default()));
+    }
+    v
+}

@@ -1,0 +1,131 @@
+//! Failure injection: I/O errors raised mid-stream must propagate out of
+//! every pass of every partitioner — no panic, no partial-success lie.
+
+use std::io;
+
+use tps_core::partitioner::{PartitionParams, Partitioner};
+use tps_core::sink::{AssignmentSink, VecSink};
+use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_graph::stream::{EdgeStream, InMemoryGraph};
+use tps_graph::types::Edge;
+
+/// A stream that fails with an I/O error after `fail_after` successful reads
+/// (cumulative across passes), emulating a device error mid-run.
+struct FailingStream {
+    inner: InMemoryGraph,
+    reads: u64,
+    fail_after: u64,
+}
+
+impl FailingStream {
+    fn new(graph: &InMemoryGraph, fail_after: u64) -> Self {
+        FailingStream { inner: graph.stream(), reads: 0, fail_after }
+    }
+}
+
+impl EdgeStream for FailingStream {
+    fn reset(&mut self) -> io::Result<()> {
+        self.inner.reset()
+    }
+    fn next_edge(&mut self) -> io::Result<Option<Edge>> {
+        if self.reads >= self.fail_after {
+            return Err(io::Error::other("injected device error"));
+        }
+        self.reads += 1;
+        self.inner.next_edge()
+    }
+    fn len_hint(&self) -> Option<u64> {
+        self.inner.len_hint()
+    }
+    fn num_vertices_hint(&self) -> Option<u64> {
+        self.inner.num_vertices_hint()
+    }
+}
+
+/// A sink that errors after `fail_after` assignments (emulating a full disk
+/// while writing partition files).
+struct FailingSink {
+    assigned: u64,
+    fail_after: u64,
+}
+
+impl AssignmentSink for FailingSink {
+    fn assign(&mut self, _edge: Edge, _p: u32) -> io::Result<()> {
+        if self.assigned >= self.fail_after {
+            return Err(io::Error::new(io::ErrorKind::WriteZero, "injected sink error"));
+        }
+        self.assigned += 1;
+        Ok(())
+    }
+}
+
+fn graph() -> InMemoryGraph {
+    tps_graph::gen::gnm::generate(100, 500, 7)
+}
+
+#[test]
+fn stream_errors_propagate_from_every_pass() {
+    let g = graph();
+    // 2PS-L makes 4 passes of 500 reads each; inject failures landing in
+    // each of them.
+    for fail_after in [10u64, 600, 1100, 1600] {
+        let mut stream = FailingStream::new(&g, fail_after);
+        let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
+        let err = p
+            .partition(&mut stream, &PartitionParams::new(4), &mut VecSink::new())
+            .expect_err("must surface the injected error");
+        assert!(err.to_string().contains("injected device error"), "{err}");
+    }
+}
+
+#[test]
+fn stream_errors_propagate_from_baselines() {
+    let g = graph();
+    let mut roster: Vec<Box<dyn Partitioner>> = vec![
+        Box::new(tps_baselines::HdrfPartitioner::default()),
+        Box::new(tps_baselines::DbhPartitioner::default()),
+        Box::new(tps_baselines::NePartitioner),
+        Box::new(tps_baselines::SnePartitioner::default()),
+        Box::new(tps_baselines::HepPartitioner::with_tau(10.0)),
+        Box::new(tps_baselines::MultilevelPartitioner::default()),
+    ];
+    for p in roster.iter_mut() {
+        let mut stream = FailingStream::new(&g, 50);
+        let err = p
+            .partition(&mut stream, &PartitionParams::new(4), &mut VecSink::new())
+            .expect_err(&format!("{} must surface the injected error", p.name()));
+        assert!(err.to_string().contains("injected device error"), "{}: {err}", p.name());
+    }
+}
+
+#[test]
+fn sink_errors_propagate() {
+    let g = graph();
+    let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
+    let mut sink = FailingSink { assigned: 0, fail_after: 100 };
+    let err = p
+        .partition(&mut g.stream(), &PartitionParams::new(4), &mut sink)
+        .expect_err("must surface the sink error");
+    assert!(err.to_string().contains("injected sink error"), "{err}");
+}
+
+#[test]
+fn truncated_binary_file_is_an_error_not_a_panic() {
+    let dir = std::env::temp_dir().join(format!("tps-trunc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.bel");
+    tps_graph::formats::binary::write_binary_edge_list(
+        &path,
+        10,
+        (0..10u32).map(|i| Edge::new(i % 10, (i + 1) % 10)),
+    )
+    .unwrap();
+    // Chop the file mid-record.
+    let data = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &data[..data.len() - 5]).unwrap();
+    let mut f = tps_graph::formats::binary::BinaryEdgeFile::open(&path).unwrap();
+    let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
+    let result = p.partition(&mut f, &PartitionParams::new(2), &mut VecSink::new());
+    assert!(result.is_err(), "truncated file must error");
+    std::fs::remove_dir_all(&dir).ok();
+}

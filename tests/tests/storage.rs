@@ -1,0 +1,74 @@
+//! Device-model accounting across complete partitioner runs.
+
+use tps_core::partitioner::{PartitionParams, Partitioner};
+use tps_core::sink::NullSink;
+use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_graph::datasets::Dataset;
+use tps_storage::{DeviceModel, DeviceStream};
+
+#[test]
+fn two_phase_makes_three_plus_passes() {
+    // 1 degree + `passes` clustering + 1 pre-partition + 1 scoring pass.
+    let graph = Dataset::It.generate_scaled(0.005);
+    for passes in [1u32, 2, 4] {
+        let mut stream = DeviceStream::new(graph.stream(), DeviceModel::page_cache());
+        let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::with_passes(passes));
+        p.partition(&mut stream, &PartitionParams::new(8), &mut NullSink).unwrap();
+        assert_eq!(
+            stream.account().passes,
+            3 + passes as u64,
+            "unexpected pass count for {passes} clustering passes"
+        );
+        assert_eq!(
+            stream.account().bytes,
+            (3 + passes as u64) * graph.num_edges() * 8,
+            "every pass reads the full edge list"
+        );
+    }
+}
+
+#[test]
+fn dbh_makes_two_passes() {
+    let graph = Dataset::It.generate_scaled(0.005);
+    let mut stream = DeviceStream::new(graph.stream(), DeviceModel::page_cache());
+    let mut p = tps_baselines::DbhPartitioner::default();
+    p.partition(&mut stream, &PartitionParams::new(8), &mut NullSink).unwrap();
+    assert_eq!(stream.account().passes, 2); // degree pass + assignment pass
+}
+
+#[test]
+fn table5_device_ordering_holds_for_full_runs() {
+    let graph = Dataset::Ok.generate_scaled(0.01);
+    let mut totals = Vec::new();
+    for device in DeviceModel::table5() {
+        let mut stream = DeviceStream::new(graph.stream(), device);
+        let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
+        let start = std::time::Instant::now();
+        p.partition(&mut stream, &PartitionParams::new(32), &mut NullSink).unwrap();
+        let total = start.elapsed() + stream.account().simulated_io;
+        totals.push((device.name, total));
+    }
+    assert!(totals[0].1 < totals[1].1, "page cache {:?} should beat SSD {:?}", totals[0], totals[1]);
+    assert!(totals[1].1 < totals[2].1, "SSD {:?} should beat HDD {:?}", totals[1], totals[2]);
+}
+
+#[test]
+fn accounted_io_matches_model_prediction() {
+    // The per-edge accounting must add up to exactly what the device model
+    // predicts for the pass structure: `passes × pass_time(per-pass bytes)`.
+    let graph = Dataset::Ok.generate_scaled(0.01);
+    for device in [DeviceModel::ssd(), DeviceModel::hdd()] {
+        let mut stream = DeviceStream::new(graph.stream(), device);
+        let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
+        p.partition(&mut stream, &PartitionParams::new(8), &mut NullSink).unwrap();
+        let acc = stream.account();
+        let per_pass_bytes = graph.num_edges() * 8;
+        let predicted = device.pass_time(per_pass_bytes).as_secs_f64() * acc.passes as f64;
+        let measured = acc.simulated_io.as_secs_f64();
+        assert!(
+            (measured - predicted).abs() / predicted < 1e-3,
+            "{}: measured {measured} vs predicted {predicted}",
+            device.name
+        );
+    }
+}
