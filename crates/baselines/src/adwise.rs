@@ -41,7 +41,11 @@ pub struct AdwisePartitioner {
 
 impl Default for AdwisePartitioner {
     fn default() -> Self {
-        AdwisePartitioner { window: 1024, probe: 16, params: HdrfParams::default() }
+        AdwisePartitioner {
+            window: 1024,
+            probe: 16,
+            params: HdrfParams::default(),
+        }
     }
 }
 
@@ -131,16 +135,19 @@ impl Partitioner for AdwisePartitioner {
             let mut best: Option<(f64, usize, u32)> = None;
             for i in 0..probes {
                 let idx = (cursor + i) % window.len();
-                let (score, p) = self.best_partition(
-                    window[idx], &degrees, &v2p, &loads, max_load, min_load, k,
-                );
+                let (score, p) =
+                    self.best_partition(window[idx], &degrees, &v2p, &loads, max_load, min_load, k);
                 if best.is_none_or(|(bs, _, _)| score > bs) {
                     best = Some((score, idx, p));
                 }
             }
             let (_, idx, p) = best.expect("window non-empty");
             let edge = window.swap_remove(idx);
-            cursor = if window.is_empty() { 0 } else { (idx + 1) % window.len() };
+            cursor = if window.is_empty() {
+                0
+            } else {
+                (idx + 1) % window.len()
+            };
 
             v2p.set(edge.src, p);
             v2p.set(edge.dst, p);
@@ -170,7 +177,8 @@ mod tests {
         k: u32,
     ) -> tps_metrics::quality::PartitionMetrics {
         let mut sink = QualitySink::new(g.num_vertices(), k);
-        p.partition(&mut g.stream(), &PartitionParams::new(k), &mut sink).unwrap();
+        p.partition(&mut g.stream(), &PartitionParams::new(k), &mut sink)
+            .unwrap();
         sink.finish()
     }
 
@@ -199,7 +207,11 @@ mod tests {
     #[test]
     fn tiny_window_still_correct() {
         let g = gnm::generate(50, 200, 8);
-        let mut p = AdwisePartitioner { window: 2, probe: 2, ..Default::default() };
+        let mut p = AdwisePartitioner {
+            window: 2,
+            probe: 2,
+            ..Default::default()
+        };
         let m = quality(&mut p, &g, 4);
         assert_eq!(m.num_edges, 200);
     }
@@ -207,7 +219,11 @@ mod tests {
     #[test]
     fn window_larger_than_graph() {
         let g = gnm::generate(30, 60, 5);
-        let mut p = AdwisePartitioner { window: 10_000, probe: 32, ..Default::default() };
+        let mut p = AdwisePartitioner {
+            window: 10_000,
+            probe: 32,
+            ..Default::default()
+        };
         let m = quality(&mut p, &g, 4);
         assert_eq!(m.num_edges, 60);
     }

@@ -36,7 +36,10 @@ pub struct DnePartitioner {
 
 impl Default for DnePartitioner {
     fn default() -> Self {
-        DnePartitioner { threads: 0, expansion_ratio: 0.1 }
+        DnePartitioner {
+            threads: 0,
+            expansion_ratio: 0.1,
+        }
     }
 }
 
@@ -199,7 +202,9 @@ impl Partitioner for DnePartitioner {
 
         let t1 = Instant::now();
         let threads = if self.threads == 0 {
-            std::thread::available_parallelism().map_or(4, |n| n.get()).min(8)
+            std::thread::available_parallelism()
+                .map_or(4, |n| n.get())
+                .min(8)
         } else {
             self.threads
         }
@@ -209,12 +214,11 @@ impl Partitioner for DnePartitioner {
             .floor()
             .max(1.0) as u64;
 
-        let assignment: Vec<AtomicU32> =
-            (0..edges.len()).map(|_| AtomicU32::new(0)).collect();
+        let assignment: Vec<AtomicU32> = (0..edges.len()).map(|_| AtomicU32::new(0)).collect();
         let loads: Vec<AtomicU64> = (0..params.k).map(|_| AtomicU64::new(0)).collect();
 
         let ratio = self.expansion_ratio;
-        let outputs: Vec<Vec<(Edge, PartitionId)>> = crossbeam::thread::scope(|scope| {
+        let outputs: Vec<Vec<(Edge, PartitionId)>> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
                 let csr = &csr;
@@ -222,7 +226,7 @@ impl Partitioner for DnePartitioner {
                 let assignment = &assignment;
                 let loads = &loads;
                 let k = params.k;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut w = Worker {
                         csr,
                         assignment,
@@ -241,9 +245,11 @@ impl Partitioner for DnePartitioner {
                     w.out
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("thread scope");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
         report.phases.record("expand", t1.elapsed());
 
         // Emit claimed edges, then sweep leftovers to least-loaded parts.
@@ -313,9 +319,13 @@ mod tests {
     #[test]
     fn single_thread_matches_invariants() {
         let g = gnm::generate(200, 1000, 4);
-        let mut p = DnePartitioner { threads: 1, ..Default::default() };
+        let mut p = DnePartitioner {
+            threads: 1,
+            ..Default::default()
+        };
         let mut sink = QualitySink::new(g.num_vertices(), 4);
-        p.partition(&mut g.stream(), &PartitionParams::new(4), &mut sink).unwrap();
+        p.partition(&mut g.stream(), &PartitionParams::new(4), &mut sink)
+            .unwrap();
         let m = sink.finish();
         assert_eq!(m.num_edges, 1000);
         assert!(m.min_load > 0);
@@ -324,9 +334,13 @@ mod tests {
     #[test]
     fn more_threads_than_partitions() {
         let g = gnm::generate(100, 400, 5);
-        let mut p = DnePartitioner { threads: 8, ..Default::default() };
+        let mut p = DnePartitioner {
+            threads: 8,
+            ..Default::default()
+        };
         let mut sink = QualitySink::new(g.num_vertices(), 2);
-        p.partition(&mut g.stream(), &PartitionParams::new(2), &mut sink).unwrap();
+        p.partition(&mut g.stream(), &PartitionParams::new(2), &mut sink)
+            .unwrap();
         assert_eq!(sink.finish().num_edges, 400);
     }
 

@@ -69,8 +69,7 @@ impl Partitioner for GreedyPartitioner {
         while let Some(e) = stream.next_edge()? {
             let a_u: Vec<PartitionId> = v2p.partitions_of(e.src).collect();
             let a_v: Vec<PartitionId> = v2p.partitions_of(e.dst).collect();
-            let inter: Vec<PartitionId> =
-                a_u.iter().copied().filter(|p| a_v.contains(p)).collect();
+            let inter: Vec<PartitionId> = a_u.iter().copied().filter(|p| a_v.contains(p)).collect();
 
             let target = if !inter.is_empty() {
                 Self::best_in(&loads, inter.iter()).expect("non-empty intersection")
@@ -112,7 +111,8 @@ mod tests {
     fn quality(g: &InMemoryGraph, k: u32) -> tps_metrics::quality::PartitionMetrics {
         let mut p = GreedyPartitioner;
         let mut sink = QualitySink::new(g.num_vertices(), k);
-        p.partition(&mut g.stream(), &PartitionParams::new(k), &mut sink).unwrap();
+        p.partition(&mut g.stream(), &PartitionParams::new(k), &mut sink)
+            .unwrap();
         sink.finish()
     }
 
@@ -148,11 +148,7 @@ mod tests {
         // Edge (0,1) then (1,2) then (0,2): third edge's endpoints both live
         // on the partitions of the first two; Greedy must reuse one, not open
         // a new partition.
-        let g = InMemoryGraph::from_edges(vec![
-            Edge::new(0, 1),
-            Edge::new(1, 2),
-            Edge::new(0, 2),
-        ]);
+        let g = InMemoryGraph::from_edges(vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)]);
         let m = quality(&g, 8);
         assert!(m.total_replicas <= 4, "replicas {}", m.total_replicas);
     }

@@ -28,7 +28,10 @@ pub struct HdrfPartitioner {
 
 impl Default for HdrfPartitioner {
     fn default() -> Self {
-        HdrfPartitioner { params: HdrfParams::default(), partial_degrees: true }
+        HdrfPartitioner {
+            params: HdrfParams::default(),
+            partial_degrees: true,
+        }
     }
 }
 
@@ -127,7 +130,8 @@ mod tests {
     fn quality(g: &InMemoryGraph, k: u32) -> tps_metrics::quality::PartitionMetrics {
         let mut p = HdrfPartitioner::default();
         let mut sink = QualitySink::new(g.num_vertices(), k);
-        p.partition(&mut g.stream(), &PartitionParams::new(k), &mut sink).unwrap();
+        p.partition(&mut g.stream(), &PartitionParams::new(k), &mut sink)
+            .unwrap();
         sink.finish()
     }
 
@@ -154,7 +158,8 @@ mod tests {
         let hdrf = quality(&g, 32);
         let mut rnd = crate::stateless::RandomPartitioner::default();
         let mut sink = QualitySink::new(g.num_vertices(), 32);
-        rnd.partition(&mut g.stream(), &PartitionParams::new(32), &mut sink).unwrap();
+        rnd.partition(&mut g.stream(), &PartitionParams::new(32), &mut sink)
+            .unwrap();
         let rand_m = sink.finish();
         assert!(
             hdrf.replication_factor < rand_m.replication_factor,
@@ -186,17 +191,26 @@ mod tests {
         let params = PartitionParams::new(8);
         let mut a = VecSink::new();
         let mut b = VecSink::new();
-        HdrfPartitioner::default().partition(&mut g.stream(), &params, &mut a).unwrap();
-        HdrfPartitioner::default().partition(&mut g.stream(), &params, &mut b).unwrap();
+        HdrfPartitioner::default()
+            .partition(&mut g.stream(), &params, &mut a)
+            .unwrap();
+        HdrfPartitioner::default()
+            .partition(&mut g.stream(), &params, &mut b)
+            .unwrap();
         assert_eq!(a.assignments(), b.assignments());
     }
 
     #[test]
     fn exact_degree_mode_runs() {
         let g = gnm::generate(100, 500, 2);
-        let mut p = HdrfPartitioner { partial_degrees: false, ..Default::default() };
+        let mut p = HdrfPartitioner {
+            partial_degrees: false,
+            ..Default::default()
+        };
         let mut sink = QualitySink::new(g.num_vertices(), 4);
-        let report = p.partition(&mut g.stream(), &PartitionParams::new(4), &mut sink).unwrap();
+        let report = p
+            .partition(&mut g.stream(), &PartitionParams::new(4), &mut sink)
+            .unwrap();
         assert_eq!(sink.finish().num_edges, 500);
         assert_eq!(report.phases.phases()[0].0, "degree");
     }

@@ -42,7 +42,10 @@ impl HepPartitioner {
     /// HEP with threshold factor `tau`.
     pub fn with_tau(tau: f64) -> Self {
         assert!(tau > 0.0, "tau must be positive");
-        HepPartitioner { tau, hdrf: HdrfParams::default() }
+        HepPartitioner {
+            tau,
+            hdrf: HdrfParams::default(),
+        }
     }
 }
 
@@ -113,7 +116,9 @@ impl Partitioner for HepPartitioner {
 
         let mut v2p = ReplicationMatrix::new(info.num_vertices, k);
         let mut loads = vec![0u64; k as usize];
-        let cap = (params.alpha * info.num_edges as f64 / k as f64).floor().max(1.0) as u64;
+        let cap = (params.alpha * info.num_edges as f64 / k as f64)
+            .floor()
+            .max(1.0) as u64;
 
         // In-memory phase: NE over the low-degree subgraph. Each partition
         // gets a fair share of the subgraph so the streaming phase has room.
@@ -123,7 +128,11 @@ impl Partitioner for HepPartitioner {
             let mut core = NeCore::new(&csr, &low_edges, k);
             let mem_share = (low_count.div_ceil(k as u64)).min(cap);
             {
-                let mut tracking = StateTrackingSink { v2p: &mut v2p, loads: &mut loads, inner: sink };
+                let mut tracking = StateTrackingSink {
+                    v2p: &mut v2p,
+                    loads: &mut loads,
+                    inner: sink,
+                };
                 for p in 0..k {
                     core.expand(p, mem_share, &mut tracking)?;
                 }
@@ -207,10 +216,16 @@ mod tests {
     use tps_graph::gen::gnm;
     use tps_graph::stream::InMemoryGraph;
 
-    fn quality(tau: f64, g: &InMemoryGraph, k: u32) -> (tps_metrics::quality::PartitionMetrics, RunReport) {
+    fn quality(
+        tau: f64,
+        g: &InMemoryGraph,
+        k: u32,
+    ) -> (tps_metrics::quality::PartitionMetrics, RunReport) {
         let mut p = HepPartitioner::with_tau(tau);
         let mut sink = QualitySink::new(g.num_vertices(), k);
-        let report = p.partition(&mut g.stream(), &PartitionParams::new(k), &mut sink).unwrap();
+        let report = p
+            .partition(&mut g.stream(), &PartitionParams::new(k), &mut sink)
+            .unwrap();
         (sink.finish(), report)
     }
 
@@ -259,7 +274,8 @@ mod tests {
         let (hep100, _) = quality(100.0, &g, k);
         let mut hdrf = crate::hdrf::HdrfPartitioner::default();
         let mut sink = QualitySink::new(g.num_vertices(), k);
-        hdrf.partition(&mut g.stream(), &PartitionParams::new(k), &mut sink).unwrap();
+        hdrf.partition(&mut g.stream(), &PartitionParams::new(k), &mut sink)
+            .unwrap();
         let hdrf_m = sink.finish();
         assert!(
             hep100.replication_factor <= hdrf_m.replication_factor * 1.05,

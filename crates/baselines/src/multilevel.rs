@@ -78,7 +78,12 @@ impl Level {
             adj[cursor[b as usize]] = (a, w);
             cursor[b as usize] += 1;
         }
-        Level { offsets, adj, vweight, to_coarse: Vec::new() }
+        Level {
+            offsets,
+            adj,
+            vweight,
+            to_coarse: Vec::new(),
+        }
     }
 
     /// Heavy-edge matching coarsening. Returns the coarse level.
@@ -93,18 +98,22 @@ impl Level {
             }
             let mut best: Option<(u64, u32)> = None;
             for &(u, w) in self.neighbors(v) {
-                if match_of[u as usize] == u32::MAX && u != v
-                    && best.is_none_or(|(bw, bu)| w > bw || (w == bw && u < bu)) {
-                        best = Some((w, u));
-                    }
-            }
-            if match_of[v as usize] == u32::MAX { match (best, v) {
-                (Some((_, u)), v) => {
-                    match_of[v as usize] = u;
-                    match_of[u as usize] = v;
+                if match_of[u as usize] == u32::MAX
+                    && u != v
+                    && best.is_none_or(|(bw, bu)| w > bw || (w == bw && u < bu))
+                {
+                    best = Some((w, u));
                 }
-                (None, v) => match_of[v as usize] = v,
-            } }
+            }
+            if match_of[v as usize] == u32::MAX {
+                match (best, v) {
+                    (Some((_, u)), v) => {
+                        match_of[v as usize] = u;
+                        match_of[u as usize] = v;
+                    }
+                    (None, v) => match_of[v as usize] = v,
+                }
+            }
         }
         // Coarse ids.
         let mut to_coarse = vec![u32::MAX; n];
@@ -242,7 +251,11 @@ pub struct MultilevelPartitioner {
 
 impl Default for MultilevelPartitioner {
     fn default() -> Self {
-        MultilevelPartitioner { coarsen_target_per_part: 32, refine_passes: 4, balance: 1.1 }
+        MultilevelPartitioner {
+            coarsen_target_per_part: 32,
+            refine_passes: 4,
+            balance: 1.1,
+        }
     }
 }
 
@@ -269,8 +282,7 @@ impl Partitioner for MultilevelPartitioner {
         let mut edges: Vec<Edge> = Vec::with_capacity(info.num_edges as usize);
         for_each_edge(stream, |e| edges.push(e))?;
         let n0 = info.num_vertices as usize;
-        let mut pairs: Vec<(u32, u32, u64)> =
-            edges.iter().map(|e| (e.src, e.dst, 1u64)).collect();
+        let mut pairs: Vec<(u32, u32, u64)> = edges.iter().map(|e| (e.src, e.dst, 1u64)).collect();
         let mut levels = vec![Level::from_pairs(n0, &mut pairs, vec![1u64; n0])];
         report.phases.record("build", t0.elapsed());
 
@@ -314,13 +326,20 @@ impl Partitioner for MultilevelPartitioner {
         let mut loads = vec![0u64; k as usize];
         for &e in &edges {
             let (pu, pv) = (part[e.src as usize], part[e.dst as usize]);
-            let p = if pu == pv || loads[pu as usize] <= loads[pv as usize] { pu } else { pv };
+            let p = if pu == pv || loads[pu as usize] <= loads[pv as usize] {
+                pu
+            } else {
+                pv
+            };
             loads[p as usize] += 1;
             sink.assign(e, p)?;
         }
         report.phases.record("derive", t3.elapsed());
         report.count("levels", levels.len() as u64);
-        report.count("coarsest_vertices", levels.last().unwrap().num_vertices() as u64);
+        report.count(
+            "coarsest_vertices",
+            levels.last().unwrap().num_vertices() as u64,
+        );
         Ok(report)
     }
 }
@@ -336,7 +355,8 @@ mod tests {
     fn quality(g: &InMemoryGraph, k: u32) -> tps_metrics::quality::PartitionMetrics {
         let mut p = MultilevelPartitioner::default();
         let mut sink = QualitySink::new(g.num_vertices(), k);
-        p.partition(&mut g.stream(), &PartitionParams::new(k), &mut sink).unwrap();
+        p.partition(&mut g.stream(), &PartitionParams::new(k), &mut sink)
+            .unwrap();
         sink.finish()
     }
 
@@ -365,7 +385,11 @@ mod tests {
         let g = InMemoryGraph::from_edges(edges);
         let m = quality(&g, 2);
         // Only the bridge edge replicates one vertex: RF ≤ 17/16.
-        assert!(m.replication_factor <= 17.0 / 16.0 + 1e-9, "rf {}", m.replication_factor);
+        assert!(
+            m.replication_factor <= 17.0 / 16.0 + 1e-9,
+            "rf {}",
+            m.replication_factor
+        );
     }
 
     #[test]
@@ -393,8 +417,12 @@ mod tests {
         let params = PartitionParams::new(4);
         let mut a = VecSink::new();
         let mut b = VecSink::new();
-        MultilevelPartitioner::default().partition(&mut g.stream(), &params, &mut a).unwrap();
-        MultilevelPartitioner::default().partition(&mut g.stream(), &params, &mut b).unwrap();
+        MultilevelPartitioner::default()
+            .partition(&mut g.stream(), &params, &mut a)
+            .unwrap();
+        MultilevelPartitioner::default()
+            .partition(&mut g.stream(), &params, &mut b)
+            .unwrap();
         assert_eq!(a.assignments(), b.assignments());
     }
 

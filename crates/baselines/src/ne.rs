@@ -88,7 +88,8 @@ impl<'g> NeCore<'g> {
     fn external_score(&self, v: VertexId) -> u32 {
         let mut ext = 0;
         for n in self.csr.neighbors(v) {
-            if self.assignment[n.edge_index as usize] == 0 && self.in_sc[n.vertex as usize] != self.epoch
+            if self.assignment[n.edge_index as usize] == 0
+                && self.in_sc[n.vertex as usize] != self.epoch
             {
                 ext += 1;
             }
@@ -316,7 +317,8 @@ mod tests {
     fn quality(g: &InMemoryGraph, k: u32) -> tps_metrics::quality::PartitionMetrics {
         let mut p = NePartitioner;
         let mut sink = QualitySink::new(g.num_vertices(), k);
-        p.partition(&mut g.stream(), &PartitionParams::new(k), &mut sink).unwrap();
+        p.partition(&mut g.stream(), &PartitionParams::new(k), &mut sink)
+            .unwrap();
         sink.finish()
     }
 
@@ -351,7 +353,8 @@ mod tests {
         let ne = quality(&g, 16);
         let mut rnd = RandomPartitioner::default();
         let mut sink = QualitySink::new(g.num_vertices(), 16);
-        rnd.partition(&mut g.stream(), &PartitionParams::new(16), &mut sink).unwrap();
+        rnd.partition(&mut g.stream(), &PartitionParams::new(16), &mut sink)
+            .unwrap();
         let rm = sink.finish();
         assert!(
             ne.replication_factor < rm.replication_factor / 2.0,
@@ -359,7 +362,11 @@ mod tests {
             ne.replication_factor,
             rm.replication_factor
         );
-        assert!(ne.replication_factor < 2.5, "ne rf {}", ne.replication_factor);
+        assert!(
+            ne.replication_factor < 2.5,
+            "ne rf {}",
+            ne.replication_factor
+        );
     }
 
     #[test]
@@ -384,7 +391,11 @@ mod tests {
         let m = quality(&g, 2);
         assert_eq!(m.num_edges, 6);
         // Perfect split: each triangle on its own partition → RF = 1.
-        assert!((m.replication_factor - 1.0).abs() < 1e-9, "rf {}", m.replication_factor);
+        assert!(
+            (m.replication_factor - 1.0).abs() < 1e-9,
+            "rf {}",
+            m.replication_factor
+        );
     }
 
     #[test]
@@ -393,8 +404,12 @@ mod tests {
         let params = PartitionParams::new(4);
         let mut a = VecSink::new();
         let mut b = VecSink::new();
-        NePartitioner.partition(&mut g.stream(), &params, &mut a).unwrap();
-        NePartitioner.partition(&mut g.stream(), &params, &mut b).unwrap();
+        NePartitioner
+            .partition(&mut g.stream(), &params, &mut a)
+            .unwrap();
+        NePartitioner
+            .partition(&mut g.stream(), &params, &mut b)
+            .unwrap();
         assert_eq!(a.assignments(), b.assignments());
     }
 

@@ -42,7 +42,9 @@ impl Default for SnePartitioner {
         // The paper's SNE keeps a vertex cache of 2|V|, which for its
         // datasets corresponds to a large fraction of the edge set staying
         // addressable per round; 256 k edges plays that role at repo scale.
-        SnePartitioner { chunk_edges: 1 << 18 }
+        SnePartitioner {
+            chunk_edges: 1 << 18,
+        }
     }
 }
 
@@ -160,7 +162,8 @@ mod tests {
         k: u32,
     ) -> tps_metrics::quality::PartitionMetrics {
         let mut sink = QualitySink::new(g.num_vertices(), k);
-        p.partition(&mut g.stream(), &PartitionParams::new(k), &mut sink).unwrap();
+        p.partition(&mut g.stream(), &PartitionParams::new(k), &mut sink)
+            .unwrap();
         sink.finish()
     }
 

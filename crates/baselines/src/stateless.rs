@@ -97,7 +97,11 @@ impl Partitioner for DbhPartitioner {
         while let Some(e) = stream.next_edge()? {
             // Hash the lower-degree endpoint; ties keep the first endpoint,
             // so the choice is deterministic for a given stream.
-            let v = if degrees.degree(e.src) <= degrees.degree(e.dst) { e.src } else { e.dst };
+            let v = if degrees.degree(e.src) <= degrees.degree(e.dst) {
+                e.src
+            } else {
+                e.dst
+            };
             let p = seeded_hash_to_partition(v, self.seed, params.k);
             sink.assign(e, p)?;
         }
@@ -170,7 +174,8 @@ mod tests {
     ) -> tps_metrics::quality::PartitionMetrics {
         let mut sink = QualitySink::new(g.num_vertices(), k);
         let mut s = g.stream();
-        p.partition(&mut s, &PartitionParams::new(k), &mut sink).unwrap();
+        p.partition(&mut s, &PartitionParams::new(k), &mut sink)
+            .unwrap();
         sink.finish()
     }
 
@@ -250,8 +255,12 @@ mod tests {
         let mut a = VecSink::new();
         let mut b = VecSink::new();
         let params = PartitionParams::new(8);
-        DbhPartitioner::default().partition(&mut g.stream(), &params, &mut a).unwrap();
-        DbhPartitioner::default().partition(&mut g.stream(), &params, &mut b).unwrap();
+        DbhPartitioner::default()
+            .partition(&mut g.stream(), &params, &mut a)
+            .unwrap();
+        DbhPartitioner::default()
+            .partition(&mut g.stream(), &params, &mut b)
+            .unwrap();
         assert_eq!(a.assignments(), b.assignments());
     }
 

@@ -24,8 +24,12 @@ fn bench_clustering(c: &mut Criterion) {
         b.iter(|| {
             let mut s = graph.stream();
             black_box(
-                cluster_stream(&mut s, &degrees, &ClusteringConfig::default_for_partitions(32))
-                    .unwrap(),
+                cluster_stream(
+                    &mut s,
+                    &degrees,
+                    &ClusteringConfig::default_for_partitions(32),
+                )
+                .unwrap(),
             )
         })
     });

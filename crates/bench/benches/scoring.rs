@@ -3,9 +3,7 @@
 //! HDRF's full scan is linear in `k`.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use tps_core::two_phase::scoring::{
-    hdrf_score, two_choice_score, EdgeScoreInputs, HdrfParams,
-};
+use tps_core::two_phase::scoring::{hdrf_score, two_choice_score, EdgeScoreInputs, HdrfParams};
 use tps_metrics::bitmatrix::ReplicationMatrix;
 
 fn bench_scoring(c: &mut Criterion) {

@@ -32,6 +32,22 @@ fn bench_streams(c: &mut Criterion) {
             black_box(n)
         })
     });
+    group.bench_function("mmap_file", |b| {
+        b.iter(|| {
+            let mut s = tps_io::MmapEdgeFile::open(&path).unwrap();
+            let mut n = 0u64;
+            for_each_edge(&mut s, |e| n += e.src as u64).unwrap();
+            black_box(n)
+        })
+    });
+    group.bench_function("prefetch_file", |b| {
+        b.iter(|| {
+            let mut s = tps_io::PrefetchReader::open_v1(&path).unwrap();
+            let mut n = 0u64;
+            for_each_edge(&mut s, |e| n += e.src as u64).unwrap();
+            black_box(n)
+        })
+    });
     group.bench_function("device_model_wrapped", |b| {
         b.iter(|| {
             let mut s = DeviceStream::new(graph.stream(), DeviceModel::ssd());

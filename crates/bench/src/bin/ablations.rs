@@ -19,15 +19,16 @@ use tps_metrics::table::Table;
 #[global_allocator]
 static ALLOC: tps_metrics::alloc::CountingAllocator = tps_metrics::alloc::CountingAllocator;
 
-fn run_config(
-    graph: &tps_graph::InMemoryGraph,
-    config: TwoPhaseConfig,
-    k: u32,
-) -> (f64, f64, f64) {
+fn run_config(graph: &tps_graph::InMemoryGraph, config: TwoPhaseConfig, k: u32) -> (f64, f64, f64) {
     let mut p = TwoPhasePartitioner::new(config);
     let mut stream = graph.stream();
-    let out = run_partitioner(&mut p, &mut stream, graph.num_vertices(), &PartitionParams::new(k))
-        .expect("partitioning failed");
+    let out = run_partitioner(
+        &mut p,
+        &mut stream,
+        graph.num_vertices(),
+        &PartitionParams::new(k),
+    )
+    .expect("partitioning failed");
     let pre = out.report.counter("prepartitioned") as f64;
     let total = graph.num_edges().max(1) as f64;
     (out.metrics.replication_factor, out.seconds(), pre / total)
@@ -59,21 +60,33 @@ fn main() {
         for factor in [0.25f64, 1.0, 2.0] {
             row(
                 &format!("cap factor {factor}"),
-                TwoPhaseConfig { volume_cap_factor: factor, ..Default::default() },
+                TwoPhaseConfig {
+                    volume_cap_factor: factor,
+                    ..Default::default()
+                },
             );
         }
         // "Unbounded" = a cap so large it never binds (factor k ⇒ cap = 2|E|).
         row(
             "cap unbounded",
-            TwoPhaseConfig { volume_cap_factor: k as f64, ..Default::default() },
+            TwoPhaseConfig {
+                volume_cap_factor: k as f64,
+                ..Default::default()
+            },
         );
         row(
             "unsorted mapping",
-            TwoPhaseConfig { mapping: MappingStrategy::UnsortedFirstFit, ..Default::default() },
+            TwoPhaseConfig {
+                mapping: MappingStrategy::UnsortedFirstFit,
+                ..Default::default()
+            },
         );
         row(
             "no pre-partitioning",
-            TwoPhaseConfig { prepartitioning: false, ..Default::default() },
+            TwoPhaseConfig {
+                prepartitioning: false,
+                ..Default::default()
+            },
         );
         row("2 clustering passes", TwoPhaseConfig::with_passes(2));
     }

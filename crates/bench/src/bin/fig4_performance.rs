@@ -49,7 +49,11 @@ fn roster(ds: Dataset, slow_ok: bool) -> Vec<Box<dyn Partitioner>> {
 
 fn main() {
     let args = BenchArgs::from_env();
-    let ks: &[u32] = if args.scale < 0.5 { &[4, 32, 128] } else { &[4, 32, 128, 256] };
+    let ks: &[u32] = if args.scale < 0.5 {
+        &[4, 32, 128]
+    } else {
+        &[4, 32, 128, 256]
+    };
 
     let mut table = Table::new(vec![
         "graph",

@@ -30,8 +30,13 @@ fn measure(
     for _ in 0..repeats {
         let mut p = TwoPhasePartitioner::new(config);
         let mut stream = graph.stream();
-        let out = run_partitioner(&mut p, &mut stream, graph.num_vertices(), &PartitionParams::new(k))
-            .expect("partitioning failed");
+        let out = run_partitioner(
+            &mut p,
+            &mut stream,
+            graph.num_vertices(),
+            &PartitionParams::new(k),
+        )
+        .expect("partitioning failed");
         rf.add(out.metrics.replication_factor);
         time.add(out.seconds());
     }

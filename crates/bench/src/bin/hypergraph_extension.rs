@@ -37,7 +37,13 @@ fn main() {
         hg.total_pins()
     );
 
-    let mut table = Table::new(vec!["k", "algorithm", "replication factor", "time (s)", "alpha"]);
+    let mut table = Table::new(vec![
+        "k",
+        "algorithm",
+        "replication factor",
+        "time (s)",
+        "alpha",
+    ]);
     for &k in &[4u32, 32, 128, 256] {
         let mut algos: Vec<Box<dyn HyperPartitioner>> = vec![
             Box::new(TwoPhaseHyperPartitioner::default()),

@@ -1,0 +1,132 @@
+//! Reader-backend comparison: buffered vs mmap vs prefetch, v1 vs v2.
+//!
+//! Writes an R-MAT-skewed stand-in graph as both TPSBEL1 and TPSBEL2, then
+//! times a full streaming pass per (format × backend) combination and a
+//! full 2PS-L partition per backend on the v1 file, emitting a JSON report
+//! on stdout. Every backend must observe the bit-identical edge order — the
+//! paper's multi-pass algorithms depend on it — so each pass is fingerprinted
+//! with an order-sensitive FNV-1a hash and the run aborts on divergence.
+//!
+//! Run: `cargo run --release -p tps-bench --bin io_readers -- [--scale f] [--repeats n]`
+
+use std::time::Instant;
+
+use tps_bench::harness::BenchArgs;
+use tps_core::partitioner::{PartitionParams, Partitioner};
+use tps_core::sink::NullSink;
+use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_graph::datasets::Dataset;
+use tps_graph::formats::binary::write_binary_edge_list;
+use tps_graph::stream::EdgeStream;
+use tps_io::{open_edge_stream, write_v2_edge_list, ReaderBackend};
+
+/// Order-sensitive stream fingerprint (FNV-1a over the edge byte sequence).
+fn stream_fingerprint(stream: &mut dyn EdgeStream) -> std::io::Result<(u64, u64)> {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut n = 0u64;
+    stream.reset()?;
+    while let Some(e) = stream.next_edge()? {
+        for b in e.src.to_le_bytes().into_iter().chain(e.dst.to_le_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        n += 1;
+    }
+    Ok((h, n))
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let dir = std::env::temp_dir().join(format!("tps-io-readers-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let v1_path = dir.join("graph.bel");
+    let v2_path = dir.join("graph.bel2");
+
+    // The OK stand-in is R-MAT-derived: skewed degrees and skewed ids, the
+    // case the v2 varint encoding targets.
+    let graph = Dataset::Ok.generate_scaled(args.scale);
+    write_binary_edge_list(
+        &v1_path,
+        graph.num_vertices(),
+        graph.edges().iter().copied(),
+    )
+    .expect("write v1");
+    write_v2_edge_list(
+        &v2_path,
+        graph.num_vertices(),
+        graph.edges().iter().copied(),
+        tps_io::v2::DEFAULT_CHUNK_EDGES,
+    )
+    .expect("write v2");
+    let v1_bytes = std::fs::metadata(&v1_path).unwrap().len();
+    let v2_bytes = std::fs::metadata(&v2_path).unwrap().len();
+
+    let mut results = Vec::new();
+    let mut reference: Option<(u64, u64)> = None;
+    for (format, path) in [("v1", &v1_path), ("v2", &v2_path)] {
+        for backend in ReaderBackend::ALL {
+            let mut best = f64::INFINITY;
+            for _ in 0..args.repeats {
+                let mut stream = open_edge_stream(path, backend).expect("open stream");
+                let start = Instant::now();
+                let (hash, n) = stream_fingerprint(&mut stream).expect("stream pass");
+                best = best.min(start.elapsed().as_secs_f64());
+                let expected = *reference.get_or_insert((hash, n));
+                assert_eq!(
+                    (hash, n),
+                    expected,
+                    "backend {} diverged from reference edge order on {format}",
+                    backend.name()
+                );
+            }
+            results.push(format!(
+                "    {{\"format\": \"{format}\", \"backend\": \"{}\", \"pass_seconds\": {best:.6}, \"medges_per_sec\": {:.2}}}",
+                backend.name(),
+                graph.num_edges() as f64 / best / 1e6
+            ));
+        }
+    }
+
+    // End-to-end: a full 2PS-L partition (4 passes over the stream) per
+    // backend on the v1 file.
+    let mut partition_results = Vec::new();
+    for backend in ReaderBackend::ALL {
+        let mut best = f64::INFINITY;
+        for _ in 0..args.repeats {
+            let mut stream = open_edge_stream(&v1_path, backend).expect("open stream");
+            let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
+            let start = Instant::now();
+            p.partition(&mut stream, &PartitionParams::new(32), &mut NullSink)
+                .expect("partition");
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        partition_results.push(format!(
+            "    {{\"backend\": \"{}\", \"partition_seconds\": {best:.6}}}",
+            backend.name()
+        ));
+    }
+
+    println!("{{");
+    println!(
+        "  \"graph\": {{\"vertices\": {}, \"edges\": {}, \"scale\": {}}},",
+        graph.num_vertices(),
+        graph.num_edges(),
+        args.scale
+    );
+    println!(
+        "  \"files\": {{\"v1_bytes\": {v1_bytes}, \"v2_bytes\": {v2_bytes}, \"v2_ratio\": {:.4}}},",
+        v2_bytes as f64 / v1_bytes as f64
+    );
+    println!("  \"stream_pass\": [\n{}\n  ],", results.join(",\n"));
+    println!(
+        "  \"partition_2psl_k32\": [\n{}\n  ]",
+        partition_results.join(",\n")
+    );
+    println!("}}");
+
+    assert!(
+        v2_bytes < v1_bytes,
+        "v2 ({v2_bytes} B) must be smaller than v1 ({v1_bytes} B)"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -26,9 +26,13 @@ fn time_of(p: &mut dyn Partitioner, graph: &tps_graph::InMemoryGraph, k: u32, re
     let mut time = Summary::new();
     for _ in 0..repeats {
         let mut stream = graph.stream();
-        let out =
-            run_partitioner(p, &mut stream, graph.num_vertices(), &PartitionParams::new(k))
-                .expect("partitioning failed");
+        let out = run_partitioner(
+            p,
+            &mut stream,
+            graph.num_vertices(),
+            &PartitionParams::new(k),
+        )
+        .expect("partitioning failed");
         time.add(out.seconds());
     }
     time.mean()
@@ -53,7 +57,14 @@ fn main() {
     println!("## Empirical k-scaling (times in s; ratio = time(k)/time(4))\n");
     let graph = Dataset::Ok.generate_scaled(args.scale);
     let ks = [4u32, 16, 64, 256];
-    let mut table = Table::new(vec!["algorithm", "k=4", "k=16", "k=64", "k=256", "ratio 256/4"]);
+    let mut table = Table::new(vec![
+        "algorithm",
+        "k=4",
+        "k=16",
+        "k=64",
+        "k=256",
+        "ratio 256/4",
+    ]);
     let mut algos: Vec<Box<dyn Partitioner>> = vec![
         Box::new(TwoPhasePartitioner::new(TwoPhaseConfig::default())),
         Box::new(TwoPhasePartitioner::new(TwoPhaseConfig::hdrf_variant())),
@@ -61,8 +72,10 @@ fn main() {
         Box::new(DbhPartitioner::default()),
     ];
     for p in algos.iter_mut() {
-        let times: Vec<f64> =
-            ks.iter().map(|&k| time_of(p.as_mut(), &graph, k, args.repeats)).collect();
+        let times: Vec<f64> = ks
+            .iter()
+            .map(|&k| time_of(p.as_mut(), &graph, k, args.repeats))
+            .collect();
         table.row(vec![
             p.name(),
             format!("{:.3}", times[0]),

@@ -33,7 +33,11 @@ fn main() {
 
     println!("## Measured peak heap (MB) on OK, k in {{4, 64, 256}}\n");
     let graph = Dataset::Ok.generate_scaled(args.scale);
-    eprintln!("# |V| = {}, |E| = {}", graph.num_vertices(), graph.num_edges());
+    eprintln!(
+        "# |V| = {}, |E| = {}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
     let mut table = Table::new(vec!["algorithm", "k=4", "k=64", "k=256", "growth 256/4"]);
     let mut algos: Vec<Box<dyn Partitioner>> = vec![
         Box::new(TwoPhasePartitioner::new(TwoPhaseConfig::default())),

@@ -37,7 +37,10 @@ fn roster() -> Vec<Box<dyn Partitioner>> {
 fn main() {
     let args = BenchArgs::from_env();
     let k = 32u32;
-    let pr = PageRankConfig { iterations: 100, ..Default::default() };
+    let pr = PageRankConfig {
+        iterations: 100,
+        ..Default::default()
+    };
     let mut cost = ClusterCostModel::spark_like();
     // The shuffle-disk budget scales with the dataset like the paper's fixed
     // 35 GB does with its graphs.
@@ -70,11 +73,8 @@ fn main() {
                 &mut sink,
             )
             .expect("partitioning failed");
-            let layout = DistributedGraph::from_assignments(
-                sink.assignments(),
-                graph.num_vertices(),
-                k,
-            );
+            let layout =
+                DistributedGraph::from_assignments(sink.assignments(), graph.num_vertices(), k);
             let part_s = out.seconds();
             match simulate_pagerank(&layout, &pr, &cost) {
                 Ok(sim) => {

@@ -24,7 +24,11 @@ pub struct BenchArgs {
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        BenchArgs { scale: 1.0, repeats: 3, csv_dir: None }
+        BenchArgs {
+            scale: 1.0,
+            repeats: 3,
+            csv_dir: None,
+        }
     }
 }
 
@@ -62,9 +66,7 @@ impl BenchArgs {
                     ));
                 }
                 "--help" | "-h" => {
-                    eprintln!(
-                        "options: [--scale f] [--repeats n] [--quick] [--csv dir]"
-                    );
+                    eprintln!("options: [--scale f] [--repeats n] [--quick] [--csv dir]");
                     std::process::exit(0);
                 }
                 other => die(&format!("unknown argument {other:?}")),

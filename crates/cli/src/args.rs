@@ -22,9 +22,7 @@ impl Flags {
             if switches.contains(&name) {
                 out.switches.push(name.to_string());
             } else {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                 out.values.insert(name.to_string(), value.clone());
             }
         }

@@ -11,9 +11,10 @@ use tps_core::partitioner::{PartitionParams, Partitioner};
 use tps_core::sink::{FileSink, QualitySink, TeeSink};
 use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
 use tps_graph::datasets::Dataset;
-use tps_graph::formats::binary::{write_binary_edge_list, BinaryEdgeFile};
+use tps_graph::formats::binary::write_binary_edge_list;
 use tps_graph::formats::text::TextEdgeFile;
 use tps_graph::stream::{discover_info, EdgeStream};
+use tps_io::{EdgeFileFormat, ReaderBackend, SpillingFileSink};
 
 use crate::args::Flags;
 
@@ -24,13 +25,15 @@ tps — out-of-core edge partitioning (2PS-L, ICDE 2022) and friends
 USAGE:
   tps partition --input FILE -k N [options]   partition an edge list
   tps generate  --dataset NAME --out FILE     write a synthetic dataset
+  tps convert   --input FILE --out FILE       convert between .bel v1 and v2
   tps info      --input FILE                  print graph statistics
   tps profile   --path FILE                   measure sequential read speed
   tps help                                    show this text
 
 partition options:
-  --input FILE        binary (.bel) or text edge list
+  --input FILE        binary (.bel / TPSBEL2) or text edge list
   --format bel|text   input format (default: by file extension)
+  --reader NAME       buffered | mmap | prefetch   (default: buffered)
   --k N               number of partitions (required; also -k via --k)
   --algorithm NAME    2ps-l | 2ps-hdrf | hdrf | dbh | grid | random | greedy |
                       adwise | ne | sne | dne | hep-1 | hep-10 | hep-100 |
@@ -38,6 +41,7 @@ partition options:
   --alpha F           balance factor (default 1.05)
   --passes N          clustering passes for 2ps-l/2ps-hdrf (default 1)
   --out DIR           write per-partition .bel files into DIR
+  --spill-budget-mb N bound output buffering to N MiB (spilling sink)
   --quiet             only print the metrics line
 
 generate options:
@@ -45,12 +49,26 @@ generate options:
   --scale F           size factor (default 1.0)
   --out FILE          output .bel path
 
+convert options:
+  --input FILE        source edge list (v1 or v2, auto-detected)
+  --out FILE          destination path
+  --to v1|v2          target format (default: the other one)
+  --chunk-edges N     v2 edges per chunk (default 65536)
+
+info options:
+  --input FILE        binary (v1/v2) or text edge list
+  --reader NAME       buffered | mmap | prefetch   (default: buffered)
+
 profile options:
   --path FILE         file to read
   --block-size N      read block bytes (default 100 MiB, fio-style)
 ";
 
-fn open_stream(path: &str, format: Option<&str>) -> Result<Box<dyn EdgeStream>, String> {
+fn open_stream(
+    path: &str,
+    format: Option<&str>,
+    reader: ReaderBackend,
+) -> Result<Box<dyn EdgeStream>, String> {
     let fmt = match format {
         Some(f) => f.to_string(),
         None => Path::new(path)
@@ -60,13 +78,22 @@ fn open_stream(path: &str, format: Option<&str>) -> Result<Box<dyn EdgeStream>, 
             .to_string(),
     };
     match fmt.as_str() {
-        "bel" => Ok(Box::new(
-            BinaryEdgeFile::open(path).map_err(|e| format!("{path}: {e}"))?,
-        )),
+        // v1 and v2 binary files are auto-detected by magic; the reader
+        // backend (buffered / mmap / prefetch) applies to both.
+        "bel" | "bel2" | "v2" => {
+            tps_io::open_edge_stream(path, reader).map_err(|e| format!("{path}: {e}"))
+        }
         "text" | "txt" | "el" | "edges" => Ok(Box::new(
             TextEdgeFile::open(path).map_err(|e| format!("{path}: {e}"))?,
         )),
         other => Err(format!("unknown format {other:?} (use bel or text)")),
+    }
+}
+
+fn parse_reader(flags: &Flags) -> Result<ReaderBackend, String> {
+    match flags.get("reader") {
+        None => Ok(ReaderBackend::Buffered),
+        Some(name) => name.parse(),
     }
 }
 
@@ -118,7 +145,8 @@ pub fn partition(args: &[String]) -> i32 {
         let passes: u32 = flags.get_or("passes", 1)?;
         let algo = flags.get("algorithm").unwrap_or("2ps-l");
         let mut partitioner = make_partitioner(algo, passes)?;
-        let mut stream = open_stream(input, flags.get("format"))?;
+        let reader = parse_reader(&flags)?;
+        let mut stream = open_stream(input, flags.get("format"), reader)?;
         let info = discover_info(&mut stream).map_err(|e| e.to_string())?;
 
         let params = PartitionParams::with_alpha(k, alpha);
@@ -132,15 +160,44 @@ pub fn partition(args: &[String]) -> i32 {
                     .file_stem()
                     .and_then(|s| s.to_str())
                     .unwrap_or("graph");
-                let mut files = FileSink::create(&dir, stem, k, info.num_vertices)
+                let spill_budget: u64 = flags.get_or("spill-budget-mb", 0)?;
+                // The partition call is identical for both sinks; only the
+                // sink construction and finish differ.
+                let mut partition_into =
+                    |quality: &mut QualitySink,
+                     files: &mut dyn tps_core::sink::AssignmentSink|
+                     -> Result<tps_core::partitioner::RunReport, String> {
+                        let mut tee = TeeSink::new(quality, files);
+                        partitioner
+                            .partition(&mut stream, &params, &mut tee)
+                            .map_err(|e| e.to_string())
+                    };
+                let (report, parts) = if spill_budget > 0 {
+                    // Memory-bounded output: per-partition buffers spill to
+                    // disk in large sequential writes (tps-io).
+                    let mut files = SpillingFileSink::create(
+                        &dir,
+                        stem,
+                        k,
+                        info.num_vertices,
+                        spill_budget << 20,
+                    )
                     .map_err(|e| e.to_string())?;
-                let report = {
-                    let mut tee = TeeSink::new(&mut quality, &mut files);
-                    partitioner
-                        .partition(&mut stream, &params, &mut tee)
-                        .map_err(|e| e.to_string())?
+                    let report = partition_into(&mut quality, &mut files)?;
+                    let (parts, stats) = files.finish().map_err(|e| e.to_string())?;
+                    if !flags.has("quiet") {
+                        eprintln!(
+                            "spill stats: {} spills, peak {} buffered bytes, {} written",
+                            stats.spills, stats.peak_buffered_bytes, stats.bytes_written
+                        );
+                    }
+                    (report, parts)
+                } else {
+                    let mut files = FileSink::create(&dir, stem, k, info.num_vertices)
+                        .map_err(|e| e.to_string())?;
+                    let report = partition_into(&mut quality, &mut files)?;
+                    (report, files.finish().map_err(|e| e.to_string())?)
                 };
-                let parts = files.finish().map_err(|e| e.to_string())?;
                 if !flags.has("quiet") {
                     for (path, count) in parts {
                         eprintln!("wrote {} ({count} edges)", path.display());
@@ -193,14 +250,68 @@ pub fn generate(args: &[String]) -> i32 {
             .find(|d| d.abbrev().eq_ignore_ascii_case(name))
             .ok_or_else(|| format!("unknown dataset {name:?} (ok|it|tw|fr|uk|gsh|wdc|wi)"))?;
         let graph = ds.generate_scaled(scale);
-        let info =
-            write_binary_edge_list(out, graph.num_vertices(), graph.edges().iter().copied())
-                .map_err(|e| e.to_string())?;
+        let info = write_binary_edge_list(out, graph.num_vertices(), graph.edges().iter().copied())
+            .map_err(|e| e.to_string())?;
         println!(
             "wrote {out}: {} vertices, {} edges ({} stand-in at scale {scale})",
             info.num_vertices,
             info.num_edges,
             ds.full_name()
+        );
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}
+
+/// `tps convert`
+pub fn convert(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args, &[]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let run = || -> Result<(), String> {
+        let input = flags.require("input")?;
+        let out = flags.require("out")?;
+        let chunk_edges: u32 = flags.get_or("chunk-edges", tps_io::v2::DEFAULT_CHUNK_EDGES)?;
+        if chunk_edges == 0 {
+            return Err("--chunk-edges must be >= 1".into());
+        }
+        // Creating the output truncates it; refuse to clobber the input
+        // (same path, possibly via a symlink or a relative spelling).
+        if let Ok(canon_in) = std::fs::canonicalize(input) {
+            if let Ok(canon_out) = std::fs::canonicalize(out) {
+                if canon_in == canon_out {
+                    return Err(format!("--out must differ from --input ({input})"));
+                }
+            }
+        }
+        let from = tps_io::detect_format(input).map_err(|e| format!("{input}: {e}"))?;
+        let to = match (flags.get("to"), from) {
+            (Some("v1"), _) => EdgeFileFormat::V1,
+            (Some("v2"), _) => EdgeFileFormat::V2,
+            (Some(other), _) => return Err(format!("unknown target format {other:?} (v1|v2)")),
+            (None, EdgeFileFormat::V1) => EdgeFileFormat::V2,
+            (None, EdgeFileFormat::V2) => EdgeFileFormat::V1,
+        };
+        let info = match (from, to) {
+            (EdgeFileFormat::V1, EdgeFileFormat::V2) => {
+                tps_io::convert_v1_to_v2(input, out, chunk_edges).map_err(|e| e.to_string())?
+            }
+            (EdgeFileFormat::V2, EdgeFileFormat::V1) => {
+                tps_io::convert_v2_to_v1(input, out).map_err(|e| e.to_string())?
+            }
+            _ => return Err(format!("{input} is already {to:?}")),
+        };
+        let in_bytes = std::fs::metadata(input).map_err(|e| e.to_string())?.len();
+        let out_bytes = std::fs::metadata(out).map_err(|e| e.to_string())?.len();
+        println!(
+            "converted {input} ({from:?}, {in_bytes} B) -> {out} ({to:?}, {out_bytes} B, {:.1}% of input): {} vertices, {} edges",
+            100.0 * out_bytes as f64 / in_bytes.max(1) as f64,
+            info.num_vertices,
+            info.num_edges,
         );
         Ok(())
     };
@@ -218,7 +329,8 @@ pub fn info(args: &[String]) -> i32 {
     };
     let run = || -> Result<(), String> {
         let input = flags.require("input")?;
-        let mut stream = open_stream(input, flags.get("format"))?;
+        let reader = parse_reader(&flags)?;
+        let mut stream = open_stream(input, flags.get("format"), reader)?;
         let info = discover_info(&mut stream).map_err(|e| e.to_string())?;
         // One more pass for degree statistics.
         let degrees = tps_graph::degree::DegreeTable::compute(&mut stream, info.num_vertices)

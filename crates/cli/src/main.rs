@@ -8,8 +8,10 @@
 //! ```text
 //! tps partition --input graph.bel -k 32 [--algorithm 2ps-l] [--alpha 1.05]
 //!               [--passes 1] [--out DIR] [--format bel|text]
+//!               [--reader buffered|mmap|prefetch] [--spill-budget-mb N]
 //! tps generate  --dataset ok [--scale 1.0] --out graph.bel
-//! tps info      --input graph.bel [--format bel|text]
+//! tps convert   --input graph.bel --out graph.bel2 [--to v1|v2] [--chunk-edges N]
+//! tps info      --input graph.bel [--format bel|text] [--reader NAME]
 //! tps profile   --path some.file [--block-size 104857600]
 //! tps help
 //! ```
@@ -22,6 +24,7 @@ fn main() {
     let code = match argv.first().map(String::as_str) {
         Some("partition") => commands::partition(&argv[1..]),
         Some("generate") => commands::generate(&argv[1..]),
+        Some("convert") => commands::convert(&argv[1..]),
         Some("info") => commands::info(&argv[1..]),
         Some("profile") => commands::profile(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {

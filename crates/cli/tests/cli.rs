@@ -39,7 +39,11 @@ fn generate_info_partition_roundtrip() {
         .arg(&bel)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // info
     let out = tps().args(["info", "--input"]).arg(&bel).output().unwrap();
@@ -56,7 +60,11 @@ fn generate_info_partition_roundtrip() {
         .arg(&parts)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("algorithm=2PS-L"), "{text}");
     assert!(text.contains("edges=4000"), "{text}");
@@ -64,10 +72,9 @@ fn generate_info_partition_roundtrip() {
     // The partition files together hold every edge exactly once.
     let mut total = 0u64;
     for i in 0..4 {
-        let f = tps_graph::formats::binary::BinaryEdgeFile::open(
-            parts.join(format!("ok.part{i}.bel")),
-        )
-        .unwrap();
+        let f =
+            tps_graph::formats::binary::BinaryEdgeFile::open(parts.join(format!("ok.part{i}.bel")))
+                .unwrap();
         total += f.info().num_edges;
     }
     assert_eq!(total, 4000);
@@ -84,8 +91,18 @@ fn partition_each_algorithm_smoke() {
         .status()
         .unwrap();
     for algo in [
-        "2ps-l", "2ps-hdrf", "hdrf", "dbh", "grid", "random", "greedy", "ne", "sne", "dne",
-        "hep-10", "multilevel",
+        "2ps-l",
+        "2ps-hdrf",
+        "hdrf",
+        "dbh",
+        "grid",
+        "random",
+        "greedy",
+        "ne",
+        "sne",
+        "dne",
+        "hep-10",
+        "multilevel",
     ] {
         let out = tps()
             .args(["partition", "--input"])
@@ -98,7 +115,132 @@ fn partition_each_algorithm_smoke() {
             "{algo}: {}",
             String::from_utf8_lossy(&out.stderr)
         );
-        assert!(String::from_utf8_lossy(&out.stdout).contains("rf="), "{algo}");
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("rf="),
+            "{algo}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn convert_and_reader_backends_roundtrip() {
+    let dir = tmpdir("convert");
+    let bel = dir.join("ok.bel");
+    let bel2 = dir.join("ok.bel2");
+    let back = dir.join("ok-back.bel");
+
+    let out = tps()
+        .args(["generate", "--dataset", "ok", "--scale", "0.01", "--out"])
+        .arg(&bel)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // v1 -> v2 shrinks the file.
+    let out = tps()
+        .args(["convert", "--input"])
+        .arg(&bel)
+        .arg("--out")
+        .arg(&bel2)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v1_size = std::fs::metadata(&bel).unwrap().len();
+    let v2_size = std::fs::metadata(&bel2).unwrap().len();
+    assert!(
+        v2_size < v1_size,
+        "v2 {v2_size} not smaller than v1 {v1_size}"
+    );
+
+    // v2 -> v1 restores the original bytes.
+    let out = tps()
+        .args(["convert", "--input"])
+        .arg(&bel2)
+        .arg("--out")
+        .arg(&back)
+        .args(["--to", "v1"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(std::fs::read(&bel).unwrap(), std::fs::read(&back).unwrap());
+
+    // Every reader backend partitions both formats with identical metrics.
+    let mut lines = Vec::new();
+    for input in [&bel, &bel2] {
+        for reader in ["buffered", "mmap", "prefetch"] {
+            let out = tps()
+                .args(["partition", "--input"])
+                .arg(input)
+                .args(["--k", "4", "--reader", reader, "--quiet"])
+                .output()
+                .unwrap();
+            assert!(
+                out.status.success(),
+                "{reader}: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            // Strip the wall-clock field; everything else is deterministic.
+            let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+            let metrics = stdout.split(" time_s=").next().unwrap().to_string();
+            lines.push(metrics);
+        }
+    }
+    assert!(
+        lines.iter().all(|l| l == &lines[0]),
+        "metrics diverged: {lines:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn partition_with_spill_budget_matches_file_sink() {
+    let dir = tmpdir("spill");
+    let bel = dir.join("ok.bel");
+    tps()
+        .args(["generate", "--dataset", "ok", "--scale", "0.01", "--out"])
+        .arg(&bel)
+        .status()
+        .unwrap();
+
+    let plain = dir.join("plain");
+    let spilled = dir.join("spilled");
+    for (out_dir, extra) in [
+        (&plain, &[][..]),
+        (&spilled, &["--spill-budget-mb", "1"][..]),
+    ] {
+        let out = tps()
+            .args(["partition", "--input"])
+            .arg(&bel)
+            .args(["--k", "4", "--out"])
+            .arg(out_dir)
+            .args(extra)
+            .args(["--quiet"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // Identical partition files either way (2PS-L is deterministic).
+    for i in 0..4 {
+        let a = std::fs::read(plain.join(format!("ok.part{i}.bel"))).unwrap();
+        let b = std::fs::read(spilled.join(format!("ok.part{i}.bel"))).unwrap();
+        assert_eq!(a, b, "partition {i} diverged under the spilling sink");
     }
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -114,7 +256,11 @@ fn partition_text_format() {
         .args(["--k", "2", "--format", "text", "--quiet"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("edges=4"));
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -125,6 +271,9 @@ fn missing_flags_error_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
 
-    let out = tps().args(["generate", "--dataset", "nope", "--out", "/tmp/x"]).output().unwrap();
+    let out = tps()
+        .args(["generate", "--dataset", "nope", "--out", "/tmp/x"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }

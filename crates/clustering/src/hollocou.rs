@@ -76,11 +76,7 @@ mod tests {
 
     #[test]
     fn groups_a_triangle() {
-        let g = InMemoryGraph::from_edges(vec![
-            Edge::new(0, 1),
-            Edge::new(1, 2),
-            Edge::new(2, 0),
-        ]);
+        let g = InMemoryGraph::from_edges(vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)]);
         let mut s = g.stream();
         let c = cluster_stream_partial(&mut s, 3, u64::MAX).unwrap();
         assert_eq!(c.cluster_of(0), c.cluster_of(1));

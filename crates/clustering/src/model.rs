@@ -24,7 +24,10 @@ pub struct Clustering {
 impl Clustering {
     /// A clustering with no vertices assigned and no clusters allocated.
     pub fn empty(num_vertices: u64) -> Self {
-        Clustering { v2c: vec![NO_CLUSTER; num_vertices as usize], volumes: Vec::new() }
+        Clustering {
+            v2c: vec![NO_CLUSTER; num_vertices as usize],
+            volumes: Vec::new(),
+        }
     }
 
     /// Construct directly from parts (tests and the ablation baselines).

@@ -41,7 +41,11 @@ pub fn clustering_stats(clustering: &Clustering) -> ClusteringStats {
     let largest = members.iter().copied().max().unwrap_or(0);
     let max_volume = clustering.max_volume();
     let total_volume: u64 = clustering.volumes().iter().sum();
-    let mean_volume = if nonempty == 0 { 0.0 } else { total_volume as f64 / nonempty as f64 };
+    let mean_volume = if nonempty == 0 {
+        0.0
+    } else {
+        total_volume as f64 / nonempty as f64
+    };
     ClusteringStats {
         nonempty_clusters: nonempty,
         largest_cluster_members: largest,
@@ -66,7 +70,11 @@ pub fn intra_cluster_fraction<S: EdgeStream + ?Sized>(
             intra += 1;
         }
     })?;
-    Ok(if total == 0 { 0.0 } else { intra as f64 / total as f64 })
+    Ok(if total == 0 {
+        0.0
+    } else {
+        intra as f64 / total as f64
+    })
 }
 
 #[cfg(test)]

@@ -63,7 +63,10 @@ impl ClusteringConfig {
     /// `cap = cap_factor × 2|E|/k`, `passes` streaming passes.
     pub fn for_partitions(k: u32, cap_factor: f64, passes: u32) -> Self {
         assert!(k > 0, "k must be positive");
-        ClusteringConfig { cap: VolumeCap::FractionOfTotal(cap_factor / k as f64), passes }
+        ClusteringConfig {
+            cap: VolumeCap::FractionOfTotal(cap_factor / k as f64),
+            passes,
+        }
     }
 
     /// Single-pass clustering with the default cap factor 1.0.
@@ -74,7 +77,10 @@ impl ClusteringConfig {
 
 impl Default for ClusteringConfig {
     fn default() -> Self {
-        ClusteringConfig { cap: VolumeCap::FractionOfTotal(1.0 / 32.0), passes: 1 }
+        ClusteringConfig {
+            cap: VolumeCap::FractionOfTotal(1.0 / 32.0),
+            passes: 1,
+        }
     }
 }
 
@@ -87,7 +93,10 @@ pub fn cluster_stream<S: EdgeStream + ?Sized>(
     degrees: &DegreeTable,
     config: &ClusteringConfig,
 ) -> io::Result<Clustering> {
-    assert!(config.passes >= 1, "at least one clustering pass is required");
+    assert!(
+        config.passes >= 1,
+        "at least one clustering pass is required"
+    );
     let mut clustering = Clustering::empty(degrees.len() as u64);
     let max_vol = config.cap.resolve(degrees.total_volume());
     for _ in 0..config.passes {
@@ -174,7 +183,10 @@ mod tests {
         let g = two_triangles();
         let d = degrees_of(&g);
         let mut s = g.stream();
-        let cfg = ClusteringConfig { cap: VolumeCap::FractionOfTotal(0.5), passes: 2 };
+        let cfg = ClusteringConfig {
+            cap: VolumeCap::FractionOfTotal(0.5),
+            passes: 2,
+        };
         let c = cluster_stream(&mut s, &d, &cfg).unwrap();
         // Vertices of the same triangle should share a cluster.
         assert_eq!(c.cluster_of(0), c.cluster_of(1));
@@ -190,7 +202,10 @@ mod tests {
         let d = degrees_of(&g);
         for passes in 1..=4 {
             let mut s = g.stream();
-            let cfg = ClusteringConfig { cap: VolumeCap::FractionOfTotal(1.0 / 8.0), passes };
+            let cfg = ClusteringConfig {
+                cap: VolumeCap::FractionOfTotal(1.0 / 8.0),
+                passes,
+            };
             let c = cluster_stream(&mut s, &d, &cfg).unwrap();
             c.check_volume_invariant(&d).unwrap();
         }
@@ -265,7 +280,10 @@ mod tests {
         let g = InMemoryGraph::from_edges(edges);
         let d = degrees_of(&g);
         let mut s = g.stream();
-        let cfg = ClusteringConfig { cap: VolumeCap::Unbounded, passes: 8 };
+        let cfg = ClusteringConfig {
+            cap: VolumeCap::Unbounded,
+            passes: 8,
+        };
         let c = cluster_stream(&mut s, &d, &cfg).unwrap();
         assert_eq!(c.num_nonempty_clusters(), 1);
         c.check_volume_invariant(&d).unwrap();
@@ -275,7 +293,10 @@ mod tests {
     fn restreaming_does_not_hurt_planted_recovery() {
         // Intra-cluster edge fraction should not degrade with more passes.
         let cfg_graph = PlantedConfig {
-            opts: GenOptions { shuffle_edges: true, ..PlantedConfig::web(2_000, 12_000).opts },
+            opts: GenOptions {
+                shuffle_edges: true,
+                ..PlantedConfig::web(2_000, 12_000).opts
+            },
             ..PlantedConfig::web(2_000, 12_000)
         };
         let g = planted::generate(&cfg_graph, 21);
@@ -285,7 +306,10 @@ mod tests {
             let c = cluster_stream(
                 &mut s,
                 &d,
-                &ClusteringConfig { cap: VolumeCap::FractionOfTotal(1.0 / 4.0), passes },
+                &ClusteringConfig {
+                    cap: VolumeCap::FractionOfTotal(1.0 / 4.0),
+                    passes,
+                },
             )
             .unwrap();
             let intra = g

@@ -25,13 +25,19 @@ impl PartitionLoads {
         assert!(alpha >= 1.0, "alpha must be >= 1");
         let fair = num_edges.div_ceil(k as u64);
         let soft = (alpha * num_edges as f64 / k as f64).floor() as u64;
-        PartitionLoads { loads: vec![0; k as usize], cap: fair.max(soft) }
+        PartitionLoads {
+            loads: vec![0; k as usize],
+            cap: fair.max(soft),
+        }
     }
 
     /// Loads without any cap (stateless partitioners that only count).
     pub fn uncapped(k: u32) -> Self {
         assert!(k > 0, "k must be positive");
-        PartitionLoads { loads: vec![0; k as usize], cap: u64::MAX }
+        PartitionLoads {
+            loads: vec![0; k as usize],
+            cap: u64::MAX,
+        }
     }
 
     /// Number of partitions.

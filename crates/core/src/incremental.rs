@@ -48,7 +48,10 @@ struct ReplicaCounts {
 
 impl ReplicaCounts {
     fn new(num_vertices: u64, k: u32) -> Self {
-        ReplicaCounts { k, counts: vec![0; (num_vertices * k as u64) as usize] }
+        ReplicaCounts {
+            k,
+            counts: vec![0; (num_vertices * k as u64) as usize],
+        }
     }
 
     #[inline]
@@ -77,7 +80,8 @@ impl ReplicaCounts {
     }
 
     fn grow_vertices(&mut self, num_vertices: u64) {
-        self.counts.resize((num_vertices * self.k as u64) as usize, 0);
+        self.counts
+            .resize((num_vertices * self.k as u64) as usize, 0);
     }
 
     fn total_replicas(&self) -> u64 {
@@ -132,9 +136,8 @@ impl IncrementalTwoPhase {
         assert!(extra_capacity_factor >= 1.0);
         let info = discover_info(stream)?;
         let degrees_table = DegreeTable::compute(stream, info.num_vertices)?;
-        let volume_cap =
-            VolumeCap::FractionOfTotal(config.volume_cap_factor / k as f64)
-                .resolve(degrees_table.total_volume().max(1));
+        let volume_cap = VolumeCap::FractionOfTotal(config.volume_cap_factor / k as f64)
+            .resolve(degrees_table.total_volume().max(1));
         let mut clustering = Clustering::empty(info.num_vertices);
         for _ in 0..config.clustering_passes {
             clustering_pass(stream, &degrees_table, volume_cap, &mut clustering)?;
@@ -185,7 +188,11 @@ impl IncrementalTwoPhase {
         self.replicas.grow_vertices(new_len as u64);
         // Clustering needs room too; new vertices are unassigned for now.
         let mut v2c = vec![NO_CLUSTER; new_len];
-        for (u, slot) in v2c.iter_mut().take(self.clustering.num_vertices() as usize).enumerate() {
+        for (u, slot) in v2c
+            .iter_mut()
+            .take(self.clustering.num_vertices() as usize)
+            .enumerate()
+        {
             *slot = self.clustering.raw_cluster_of(u as u32);
         }
         self.clustering = Clustering::from_parts(v2c, self.clustering.volumes().to_vec());
@@ -416,14 +423,9 @@ mod tests {
     fn bootstrap(scale: f64, k: u32) -> (IncrementalTwoPhase, tps_graph::InMemoryGraph) {
         let g = Dataset::It.generate_scaled(scale);
         let mut stream = g.stream();
-        let inc = IncrementalTwoPhase::bootstrap(
-            &mut stream,
-            k,
-            1.05,
-            1.5,
-            TwoPhaseConfig::default(),
-        )
-        .unwrap();
+        let inc =
+            IncrementalTwoPhase::bootstrap(&mut stream, k, 1.05, 1.5, TwoPhaseConfig::default())
+                .unwrap();
         (inc, g)
     }
 
@@ -461,7 +463,11 @@ mod tests {
                 inc.insert(e);
             }
         }
-        assert!(inc.loads().iter().all(|&l| l <= cap), "{:?} cap {cap}", inc.loads());
+        assert!(
+            inc.loads().iter().all(|&l| l <= cap),
+            "{:?} cap {cap}",
+            inc.loads()
+        );
     }
 
     #[test]

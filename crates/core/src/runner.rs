@@ -82,6 +82,21 @@ pub fn run_partitioner_with_sink<S: EdgeStream + ?Sized>(
     })
 }
 
+/// Run `partitioner` over `stream`, resolving the vertex count from the
+/// stream's hints (or a discovery pass when a hint is missing).
+///
+/// This is the entry point for externally opened streams — `tps-io` reader
+/// backends, boxed streams from the CLI — where the caller has a
+/// `dyn EdgeStream` and no separate graph handle.
+pub fn run_partitioner_auto(
+    partitioner: &mut dyn Partitioner,
+    stream: &mut dyn EdgeStream,
+    params: &PartitionParams,
+) -> io::Result<RunOutcome> {
+    let info = tps_graph::stream::discover_info(stream)?;
+    run_partitioner(partitioner, stream, info.num_vertices, params)
+}
+
 /// View any sized stream as `&mut dyn EdgeStream` (helper for generic fns).
 fn as_dyn<S: EdgeStream + ?Sized>(s: &mut S) -> &mut S {
     s
@@ -105,6 +120,15 @@ mod tests {
         assert_eq!(out.metrics.num_edges, g.num_edges());
         assert!(out.wall_time > Duration::ZERO);
         assert!(!out.report.phases.phases().is_empty());
+    }
+
+    #[test]
+    fn run_partitioner_auto_resolves_vertex_count() {
+        let g = Dataset::Ok.generate_scaled(0.01);
+        let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
+        let mut stream: Box<dyn tps_graph::stream::EdgeStream> = Box::new(g.stream());
+        let out = run_partitioner_auto(&mut p, &mut stream, &PartitionParams::new(4)).unwrap();
+        assert_eq!(out.metrics.num_edges, g.num_edges());
     }
 
     #[test]

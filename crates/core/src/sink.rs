@@ -45,7 +45,9 @@ pub struct CountingSink {
 impl CountingSink {
     /// A counting sink for `k` partitions.
     pub fn new(k: u32) -> Self {
-        CountingSink { counts: vec![0; k as usize] }
+        CountingSink {
+            counts: vec![0; k as usize],
+        }
     }
 
     /// Per-partition edge counts.
@@ -77,7 +79,9 @@ impl QualitySink {
     /// A quality sink for a graph with `num_vertices` vertices and `k`
     /// partitions.
     pub fn new(num_vertices: u64, k: u32) -> Self {
-        QualitySink { tracker: QualityTracker::new(num_vertices, k) }
+        QualitySink {
+            tracker: QualityTracker::new(num_vertices, k),
+        }
     }
 
     /// Finalise the metrics.
@@ -137,16 +141,20 @@ pub struct FileSink {
 
 impl FileSink {
     /// Create `k` partition files named `<stem>.part<i>.bel` in `dir`.
-    pub fn create(dir: &std::path::Path, stem: &str, k: u32, num_vertices: u64) -> io::Result<Self> {
-        Ok(FileSink { writer: Some(PartitionFileWriter::create(dir, stem, k, num_vertices)?) })
+    pub fn create(
+        dir: &std::path::Path,
+        stem: &str,
+        k: u32,
+        num_vertices: u64,
+    ) -> io::Result<Self> {
+        Ok(FileSink {
+            writer: Some(PartitionFileWriter::create(dir, stem, k, num_vertices)?),
+        })
     }
 
     /// Flush headers and return `(path, edge_count)` per partition.
     pub fn finish(mut self) -> io::Result<Vec<(std::path::PathBuf, u64)>> {
-        self.writer
-            .take()
-            .expect("finish called twice")
-            .finish()
+        self.writer.take().expect("finish called twice").finish()
     }
 }
 

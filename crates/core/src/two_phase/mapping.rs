@@ -47,7 +47,10 @@ impl ClusterPlacement {
             partition_volumes[p as usize] = new_load;
             heap.push(Reverse((new_load, p)));
         }
-        ClusterPlacement { c2p, partition_volumes }
+        ClusterPlacement {
+            c2p,
+            partition_volumes,
+        }
     }
 
     /// First-fit placement in cluster-id order (no sorting) — ablation
@@ -66,7 +69,10 @@ impl ClusterPlacement {
             partition_volumes[p as usize] = new_load;
             heap.push(Reverse((new_load, p)));
         }
-        ClusterPlacement { c2p, partition_volumes }
+        ClusterPlacement {
+            c2p,
+            partition_volumes,
+        }
     }
 
     /// Partition of cluster `c`.

@@ -93,12 +93,18 @@ impl Default for TwoPhaseConfig {
 impl TwoPhaseConfig {
     /// The 2PS-HDRF variant with default HDRF parameters (λ = 1.1).
     pub fn hdrf_variant() -> Self {
-        TwoPhaseConfig { strategy: RemainingStrategy::Hdrf(HdrfParams::default()), ..Default::default() }
+        TwoPhaseConfig {
+            strategy: RemainingStrategy::Hdrf(HdrfParams::default()),
+            ..Default::default()
+        }
     }
 
     /// With a given number of clustering passes (Fig. 7/8 re-streaming).
     pub fn with_passes(passes: u32) -> Self {
-        TwoPhaseConfig { clustering_passes: passes, ..Default::default() }
+        TwoPhaseConfig {
+            clustering_passes: passes,
+            ..Default::default()
+        }
     }
 }
 
@@ -111,8 +117,14 @@ pub struct TwoPhasePartitioner {
 impl TwoPhasePartitioner {
     /// Create a partitioner with `config`.
     pub fn new(config: TwoPhaseConfig) -> Self {
-        assert!(config.clustering_passes >= 1, "need at least one clustering pass");
-        assert!(config.volume_cap_factor > 0.0, "volume cap factor must be positive");
+        assert!(
+            config.clustering_passes >= 1,
+            "need at least one clustering pass"
+        );
+        assert!(
+            config.volume_cap_factor > 0.0,
+            "volume cap factor must be positive"
+        );
         TwoPhasePartitioner { config }
     }
 
@@ -301,7 +313,11 @@ impl Partitioner for TwoPhasePartitioner {
                     if !state.loads.is_full(best) {
                         Some(best)
                     } else {
-                        let other = if best == inputs.pu { inputs.pv } else { inputs.pu };
+                        let other = if best == inputs.pu {
+                            inputs.pv
+                        } else {
+                            inputs.pu
+                        };
                         (!state.loads.is_full(other)).then_some(other)
                     }
                 }
@@ -385,7 +401,8 @@ mod tests {
         let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
         let mut sink = VecSink::new();
         let mut stream = g.stream();
-        p.partition(&mut stream, &PartitionParams::new(8), &mut sink).unwrap();
+        p.partition(&mut stream, &PartitionParams::new(8), &mut sink)
+            .unwrap();
         let assigned = sink.assignments();
         assert_eq!(assigned.len() as u64, g.num_edges());
         // Multiset equality with the input edge list.
@@ -429,11 +446,7 @@ mod tests {
         let (m, _) = run(&g, TwoPhaseConfig::default(), 16);
         // Random edge placement would replicate nearly every vertex ~min(d,k)
         // times; on a strongly clustered graph 2PS-L must stay far below that.
-        assert!(
-            m.replication_factor < 3.5,
-            "rf = {}",
-            m.replication_factor
-        );
+        assert!(m.replication_factor < 3.5, "rf = {}", m.replication_factor);
     }
 
     #[test]
@@ -499,7 +512,10 @@ mod tests {
     #[test]
     fn disabled_prepartitioning_still_assigns_all() {
         let g = Dataset::It.generate_scaled(0.01);
-        let cfg = TwoPhaseConfig { prepartitioning: false, ..Default::default() };
+        let cfg = TwoPhaseConfig {
+            prepartitioning: false,
+            ..Default::default()
+        };
         let (m, report) = run(&g, cfg, 8);
         assert_eq!(m.num_edges, g.num_edges());
         assert_eq!(report.counter("prepartitioned"), 0);
@@ -509,8 +525,22 @@ mod tests {
     fn phase_report_has_expected_phases() {
         let g = Dataset::Ok.generate_scaled(0.01);
         let (_, report) = run(&g, TwoPhaseConfig::default(), 4);
-        let names: Vec<&str> = report.phases.phases().iter().map(|(n, _)| n.as_str()).collect();
-        assert_eq!(names, vec!["degree", "clustering", "mapping", "prepartition", "partition"]);
+        let names: Vec<&str> = report
+            .phases
+            .phases()
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "degree",
+                "clustering",
+                "mapping",
+                "prepartition",
+                "partition"
+            ]
+        );
     }
 
     #[test]
@@ -525,7 +555,10 @@ mod tests {
     #[test]
     fn unsorted_mapping_ablation_works() {
         let g = Dataset::It.generate_scaled(0.01);
-        let cfg = TwoPhaseConfig { mapping: MappingStrategy::UnsortedFirstFit, ..Default::default() };
+        let cfg = TwoPhaseConfig {
+            mapping: MappingStrategy::UnsortedFirstFit,
+            ..Default::default()
+        };
         let (m, _) = run(&g, cfg, 8);
         assert_eq!(m.num_edges, g.num_edges());
     }

@@ -67,7 +67,10 @@ fn g_term(replicated: bool, d_self: u64, d_sum: u64) -> f64 {
 pub fn two_choice_score(inputs: &EdgeScoreInputs, p: PartitionId, v2p: &ReplicationMatrix) -> f64 {
     let d_sum = inputs.du + inputs.dv;
     let vol_sum = (inputs.vol_cu + inputs.vol_cv) as f64;
-    debug_assert!(vol_sum > 0.0, "clusters of edge endpoints cannot both be empty");
+    debug_assert!(
+        vol_sum > 0.0,
+        "clusters of edge endpoints cannot both be empty"
+    );
     let mut score = 0.0;
     score += g_term(v2p.get(inputs.u, p), inputs.du, d_sum);
     score += g_term(v2p.get(inputs.v, p), inputs.dv, d_sum);
@@ -108,7 +111,10 @@ pub struct HdrfParams {
 
 impl Default for HdrfParams {
     fn default() -> Self {
-        HdrfParams { lambda: 1.1, epsilon: 1.0 }
+        HdrfParams {
+            lambda: 1.1,
+            epsilon: 1.0,
+        }
     }
 }
 
@@ -132,8 +138,8 @@ pub fn hdrf_score(
 ) -> f64 {
     let d_sum = du + dv;
     let c_rep = g_term(v2p.get(u, p), du, d_sum) + g_term(v2p.get(v, p), dv, d_sum);
-    let c_bal = (max_load as f64 - load as f64)
-        / (params.epsilon + max_load as f64 - min_load as f64);
+    let c_bal =
+        (max_load as f64 - load as f64) / (params.epsilon + max_load as f64 - min_load as f64);
     c_rep + params.lambda * c_bal
 }
 
@@ -142,7 +148,16 @@ mod tests {
     use super::*;
 
     fn inputs(du: u64, dv: u64, vol_cu: u64, vol_cv: u64) -> EdgeScoreInputs {
-        EdgeScoreInputs { u: 0, v: 1, du, dv, vol_cu, vol_cv, pu: 0, pv: 1 }
+        EdgeScoreInputs {
+            u: 0,
+            v: 1,
+            du,
+            dv,
+            vol_cu,
+            vol_cv,
+            pu: 0,
+            pv: 1,
+        }
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub struct Csr {
 
 impl Csr {
     /// Build a CSR from an edge stream in two passes (degree counting, fill).
-    pub fn from_stream<S: EdgeStream + ?Sized>(stream: &mut S, num_vertices: u64) -> io::Result<Self> {
+    pub fn from_stream<S: EdgeStream + ?Sized>(
+        stream: &mut S,
+        num_vertices: u64,
+    ) -> io::Result<Self> {
         let n = num_vertices as usize;
         let mut counts = vec![0u64; n + 1];
         let mut num_edges = 0u64;
@@ -50,19 +53,35 @@ impl Csr {
         }
         let offsets = counts;
         let total = offsets[n] as usize;
-        let mut entries = vec![Neighbor { vertex: 0, edge_index: 0 }; total];
+        let mut entries = vec![
+            Neighbor {
+                vertex: 0,
+                edge_index: 0
+            };
+            total
+        ];
         let mut cursor = offsets.clone();
         let mut edge_index = 0u64;
         for_each_edge(stream, |e| {
             let cs = &mut cursor[e.src as usize];
-            entries[*cs as usize] = Neighbor { vertex: e.dst, edge_index };
+            entries[*cs as usize] = Neighbor {
+                vertex: e.dst,
+                edge_index,
+            };
             *cs += 1;
             let cd = &mut cursor[e.dst as usize];
-            entries[*cd as usize] = Neighbor { vertex: e.src, edge_index };
+            entries[*cd as usize] = Neighbor {
+                vertex: e.src,
+                edge_index,
+            };
             *cd += 1;
             edge_index += 1;
         })?;
-        Ok(Csr { offsets, entries, num_edges })
+        Ok(Csr {
+            offsets,
+            entries,
+            num_edges,
+        })
     }
 
     /// Build from an in-memory edge slice (convenience for tests/baselines).
@@ -136,7 +155,10 @@ mod tests {
         let csr = Csr::from_edges(&[Edge::new(0, 0)], 1);
         assert_eq!(csr.degree(0), 2);
         assert_eq!(csr.neighbors(0).len(), 2);
-        assert!(csr.neighbors(0).iter().all(|n| n.vertex == 0 && n.edge_index == 0));
+        assert!(csr
+            .neighbors(0)
+            .iter()
+            .all(|n| n.vertex == 0 && n.edge_index == 0));
     }
 
     #[test]

@@ -144,7 +144,11 @@ impl Dataset {
             Dataset::Wdc => (1_700_000_000, 64_000_000_000, 478u64 << 30),
             Dataset::Wi => (14_000_000, 437_000_000, 3_400 << 20),
         };
-        PaperStats { vertices: v, edges: e, binary_size_bytes: sz }
+        PaperStats {
+            vertices: v,
+            edges: e,
+            binary_size_bytes: sz,
+        }
     }
 
     /// Deterministic per-dataset seed.

@@ -136,7 +136,9 @@ mod tests {
 
     #[test]
     fn volume_is_twice_edge_count() {
-        let edges: Vec<Edge> = (0..50).map(|i| Edge::new(i % 10, (i * 3 + 1) % 10)).collect();
+        let edges: Vec<Edge> = (0..50)
+            .map(|i| Edge::new(i % 10, (i * 3 + 1) % 10))
+            .collect();
         let mut g = InMemoryGraph::from_edges(edges);
         let d = DegreeTable::compute(&mut g, 10).unwrap();
         assert_eq!(d.total_volume(), 100);

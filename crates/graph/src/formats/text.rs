@@ -26,7 +26,11 @@ impl TextEdgeFile {
     /// Open a text edge list at `path`.
     pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
         let file = File::open(path)?;
-        Ok(TextEdgeFile { reader: BufReader::with_capacity(1 << 16, file), line: String::new(), line_no: 0 })
+        Ok(TextEdgeFile {
+            reader: BufReader::with_capacity(1 << 16, file),
+            line: String::new(),
+            line_no: 0,
+        })
     }
 }
 
@@ -129,7 +133,10 @@ mod tests {
         let mut f = TextEdgeFile::open(&path).unwrap();
         let mut seen = Vec::new();
         for_each_edge(&mut f, |e| seen.push(e)).unwrap();
-        assert_eq!(seen, vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)]);
+        assert_eq!(
+            seen,
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)]
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -18,8 +18,15 @@ use crate::types::Edge;
 pub fn generate(n: u64, m: u64, seed: u64) -> InMemoryGraph {
     assert!(n >= 2, "need at least two vertices");
     let max_edges = n * (n - 1) / 2;
-    assert!(m <= max_edges, "m = {m} exceeds the {max_edges} possible edges");
-    let opts = GenOptions { shuffle_edges: true, permute_ids: false, ..Default::default() };
+    assert!(
+        m <= max_edges,
+        "m = {m} exceeds the {max_edges} possible edges"
+    );
+    let opts = GenOptions {
+        shuffle_edges: true,
+        permute_ids: false,
+        ..Default::default()
+    };
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut seen = std::collections::HashSet::with_capacity(m as usize * 2);
     let mut edges = Vec::with_capacity(m as usize);

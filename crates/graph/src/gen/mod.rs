@@ -52,7 +52,12 @@ pub struct GenOptions {
 
 impl Default for GenOptions {
     fn default() -> Self {
-        GenOptions { dedup: true, drop_self_loops: true, shuffle_edges: true, permute_ids: false }
+        GenOptions {
+            dedup: true,
+            drop_self_loops: true,
+            shuffle_edges: true,
+            permute_ids: false,
+        }
     }
 }
 
@@ -73,7 +78,11 @@ pub(crate) fn finalize(mut edges: Vec<Edge>, opts: GenOptions, seed: u64) -> InM
         });
     }
     // Compact ids to 0..n preserving relative order (keeps web-graph locality).
-    let max_id = edges.iter().map(|e| e.src.max(e.dst)).max().map_or(0, |m| m as usize + 1);
+    let max_id = edges
+        .iter()
+        .map(|e| e.src.max(e.dst))
+        .max()
+        .map_or(0, |m| m as usize + 1);
     let mut used = vec![false; max_id];
     for e in &edges {
         used[e.src as usize] = true;
@@ -121,7 +130,11 @@ mod tests {
             Edge::new(2, 2), // self-loop
             Edge::new(1, 3),
         ];
-        let opts = GenOptions { shuffle_edges: false, permute_ids: false, ..Default::default() };
+        let opts = GenOptions {
+            shuffle_edges: false,
+            permute_ids: false,
+            ..Default::default()
+        };
         let g = finalize(edges, opts, 1);
         assert_eq!(g.num_edges(), 2);
         // Vertex 2 only appeared in a self-loop → compacted away.
@@ -143,7 +156,9 @@ mod tests {
 
     #[test]
     fn finalize_is_deterministic() {
-        let edges: Vec<Edge> = (0..100u32).map(|i| Edge::new(i % 13, (i * 7) % 13)).collect();
+        let edges: Vec<Edge> = (0..100u32)
+            .map(|i| Edge::new(i % 13, (i * 7) % 13))
+            .collect();
         let opts = GenOptions::default();
         let a = finalize(edges.clone(), opts, 42);
         let b = finalize(edges, opts, 42);
@@ -152,15 +167,25 @@ mod tests {
 
     #[test]
     fn permutation_changes_ids_but_not_structure() {
-        let edges: Vec<Edge> = (0..200u32).map(|i| Edge::new(i % 20, (i * 3 + 1) % 20)).collect();
+        let edges: Vec<Edge> = (0..200u32)
+            .map(|i| Edge::new(i % 20, (i * 3 + 1) % 20))
+            .collect();
         let keep = finalize(
             edges.clone(),
-            GenOptions { permute_ids: false, shuffle_edges: false, ..Default::default() },
+            GenOptions {
+                permute_ids: false,
+                shuffle_edges: false,
+                ..Default::default()
+            },
             7,
         );
         let perm = finalize(
             edges,
-            GenOptions { permute_ids: true, shuffle_edges: false, ..Default::default() },
+            GenOptions {
+                permute_ids: true,
+                shuffle_edges: false,
+                ..Default::default()
+            },
             7,
         );
         assert_eq!(keep.num_vertices(), perm.num_vertices());

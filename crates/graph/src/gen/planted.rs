@@ -206,7 +206,13 @@ mod tests {
 
     #[test]
     fn most_edges_are_intra_community() {
-        let cfg = PlantedConfig { opts: GenOptions { shuffle_edges: false, ..PlantedConfig::web(0, 0).opts }, ..PlantedConfig::web(3_000, 15_000) };
+        let cfg = PlantedConfig {
+            opts: GenOptions {
+                shuffle_edges: false,
+                ..PlantedConfig::web(0, 0).opts
+            },
+            ..PlantedConfig::web(3_000, 15_000)
+        };
         let seed = 17;
         let comms = ground_truth_communities(&cfg, seed);
         // Build a membership lookup over the *uncompacted* id space. With

@@ -46,7 +46,10 @@ impl RmatConfig {
             b: 0.19,
             c: 0.19,
             noise: 0.1,
-            opts: GenOptions { permute_ids: true, ..Default::default() },
+            opts: GenOptions {
+                permute_ids: true,
+                ..Default::default()
+            },
         }
     }
 }
@@ -173,7 +176,11 @@ mod tests {
     #[test]
     fn saturates_gracefully_on_tiny_scale() {
         // 2^2 = 4 vertices can host at most 6 distinct loop-free edges.
-        let cfg = RmatConfig { scale: 2, edges: 100, ..RmatConfig::social(2, 100) };
+        let cfg = RmatConfig {
+            scale: 2,
+            edges: 100,
+            ..RmatConfig::social(2, 100)
+        };
         let g = generate_exact(&cfg, 1);
         assert!(g.num_edges() <= 6);
     }

@@ -108,7 +108,11 @@ pub fn generate(cfg: &SocialConfig, seed: u64) -> InMemoryGraph {
             }
         }
     }
-    let opts = GenOptions { permute_ids: true, shuffle_edges: true, ..Default::default() };
+    let opts = GenOptions {
+        permute_ids: true,
+        shuffle_edges: true,
+        ..Default::default()
+    };
     finalize(edges, opts, seed)
 }
 

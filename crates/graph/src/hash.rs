@@ -87,14 +87,21 @@ mod tests {
         let expected = (n / k) as f64;
         for &c in &counts {
             // Within 5% of uniform for this many samples.
-            assert!((c as f64 - expected).abs() < expected * 0.05, "count {c} vs {expected}");
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.05,
+                "count {c} vs {expected}"
+            );
         }
     }
 
     #[test]
     fn seeded_hash_changes_with_seed() {
-        let a: Vec<u32> = (0..100).map(|v| seeded_hash_to_partition(v, 1, 64)).collect();
-        let b: Vec<u32> = (0..100).map(|v| seeded_hash_to_partition(v, 2, 64)).collect();
+        let a: Vec<u32> = (0..100)
+            .map(|v| seeded_hash_to_partition(v, 1, 64))
+            .collect();
+        let b: Vec<u32> = (0..100)
+            .map(|v| seeded_hash_to_partition(v, 2, 64))
+            .collect();
         assert_ne!(a, b);
     }
 

@@ -98,7 +98,10 @@ where
 /// lack hints. Returns the hints without a pass when both are present.
 pub fn discover_info<S: EdgeStream + ?Sized>(stream: &mut S) -> io::Result<GraphInfo> {
     if let (Some(v), Some(e)) = (stream.num_vertices_hint(), stream.len_hint()) {
-        return Ok(GraphInfo { num_vertices: v, num_edges: e });
+        return Ok(GraphInfo {
+            num_vertices: v,
+            num_edges: e,
+        });
     }
     let mut max_v: Option<VertexId> = None;
     let mut edges = 0u64;
@@ -133,7 +136,11 @@ impl InMemoryGraph {
             .map(|e| e.src.max(e.dst) as u64 + 1)
             .max()
             .unwrap_or(0);
-        InMemoryGraph { edges, num_vertices, cursor: 0 }
+        InMemoryGraph {
+            edges,
+            num_vertices,
+            cursor: 0,
+        }
     }
 
     /// Build from an edge list with an explicit vertex-count (allows trailing
@@ -148,7 +155,11 @@ impl InMemoryGraph {
                 "edge {e:?} out of bounds for |V| = {num_vertices}"
             );
         }
-        InMemoryGraph { edges, num_vertices, cursor: 0 }
+        InMemoryGraph {
+            edges,
+            num_vertices,
+            cursor: 0,
+        }
     }
 
     /// Borrow the underlying edge slice (tests and in-memory baselines).
@@ -169,12 +180,19 @@ impl InMemoryGraph {
     /// A fresh stream positioned at the start (clones the handle, shares no
     /// cursor with `self`).
     pub fn stream(&self) -> InMemoryGraph {
-        InMemoryGraph { edges: self.edges.clone(), num_vertices: self.num_vertices, cursor: 0 }
+        InMemoryGraph {
+            edges: self.edges.clone(),
+            num_vertices: self.num_vertices,
+            cursor: 0,
+        }
     }
 
     /// Graph summary.
     pub fn info(&self) -> GraphInfo {
-        GraphInfo { num_vertices: self.num_vertices, num_edges: self.edges.len() as u64 }
+        GraphInfo {
+            num_vertices: self.num_vertices,
+            num_edges: self.edges.len() as u64,
+        }
     }
 }
 
@@ -218,7 +236,10 @@ mod tests {
         while let Some(e) = g.next_edge().unwrap() {
             seen.push(e);
         }
-        assert_eq!(seen, vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)]);
+        assert_eq!(
+            seen,
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)]
+        );
         assert_eq!(g.next_edge().unwrap(), None);
     }
 
@@ -246,7 +267,13 @@ mod tests {
         assert_eq!(g.num_vertices(), 0);
         assert_eq!(g.next_edge().unwrap(), None);
         let info = discover_info(&mut g).unwrap();
-        assert_eq!(info, GraphInfo { num_vertices: 0, num_edges: 0 });
+        assert_eq!(
+            info,
+            GraphInfo {
+                num_vertices: 0,
+                num_edges: 0
+            }
+        );
     }
 
     #[test]
@@ -275,7 +302,13 @@ mod tests {
         }
         let mut s = NoHints(tri());
         let info = discover_info(&mut s).unwrap();
-        assert_eq!(info, GraphInfo { num_vertices: 3, num_edges: 3 });
+        assert_eq!(
+            info,
+            GraphInfo {
+                num_vertices: 3,
+                num_edges: 3
+            }
+        );
     }
 
     #[test]

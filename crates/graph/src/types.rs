@@ -46,7 +46,10 @@ impl Edge {
         if self.src <= self.dst {
             self
         } else {
-            Edge { src: self.dst, dst: self.src }
+            Edge {
+                src: self.dst,
+                dst: self.src,
+            }
         }
     }
 
@@ -143,7 +146,10 @@ mod tests {
 
     #[test]
     fn mean_degree() {
-        let info = GraphInfo { num_vertices: 4, num_edges: 6 };
+        let info = GraphInfo {
+            num_vertices: 4,
+            num_edges: 6,
+        };
         assert!((info.mean_degree() - 3.0).abs() < 1e-12);
         let empty = GraphInfo::default();
         assert_eq!(empty.mean_degree(), 0.0);

@@ -72,22 +72,21 @@ impl HyperPartitioner for MinMaxGreedyPartitioner {
         assign: &mut dyn FnMut(&Hyperedge, u32),
     ) -> io::Result<()> {
         assert!(k > 0);
-        let (num_vertices, num_hyperedges) =
-            match (stream.num_vertices_hint(), stream.len_hint()) {
-                (Some(v), Some(h)) => (v, h),
-                _ => {
-                    let mut v = 0u64;
-                    let mut n = 0u64;
-                    stream.reset()?;
-                    while let Some(h) = stream.next_hyperedge()? {
-                        n += 1;
-                        for &pin in h.pins() {
-                            v = v.max(pin as u64 + 1);
-                        }
+        let (num_vertices, num_hyperedges) = match (stream.num_vertices_hint(), stream.len_hint()) {
+            (Some(v), Some(h)) => (v, h),
+            _ => {
+                let mut v = 0u64;
+                let mut n = 0u64;
+                stream.reset()?;
+                while let Some(h) = stream.next_hyperedge()? {
+                    n += 1;
+                    for &pin in h.pins() {
+                        v = v.max(pin as u64 + 1);
                     }
-                    (v, n)
                 }
-            };
+                (v, n)
+            }
+        };
         if num_hyperedges == 0 {
             return Ok(());
         }
@@ -111,7 +110,9 @@ impl HyperPartitioner for MinMaxGreedyPartitioner {
                     best = Some((overlap, load, p));
                 }
             }
-            let p = best.map(|(_, _, p)| p).unwrap_or_else(|| loads.least_loaded());
+            let p = best
+                .map(|(_, _, p)| p)
+                .unwrap_or_else(|| loads.least_loaded());
             for &v in h.pins() {
                 v2p.set(v, p);
             }
@@ -136,7 +137,8 @@ mod tests {
     ) -> tps_metrics::quality::PartitionMetrics {
         let mut tracker = HyperQualityTracker::new(hg.num_vertices(), k);
         let mut s = hg.stream();
-        p.partition(&mut s, k, 1.05, &mut |h, part| tracker.record(h, part)).unwrap();
+        p.partition(&mut s, k, 1.05, &mut |h, part| tracker.record(h, part))
+            .unwrap();
         tracker.finish()
     }
 

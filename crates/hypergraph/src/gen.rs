@@ -82,7 +82,10 @@ mod tests {
 
     #[test]
     fn respects_counts_and_arity() {
-        let cfg = PlantedHyperConfig { hyperedges: 500, ..Default::default() };
+        let cfg = PlantedHyperConfig {
+            hyperedges: 500,
+            ..Default::default()
+        };
         let hg = planted_hypergraph(&cfg, 1);
         assert_eq!(hg.num_hyperedges(), 500);
         for h in hg.hyperedges() {
@@ -99,7 +102,9 @@ mod tests {
             .iter()
             .filter(|h| {
                 let c0 = h.pins()[0] as u64 / cfg.community_size;
-                h.pins().iter().all(|&v| v as u64 / cfg.community_size == c0)
+                h.pins()
+                    .iter()
+                    .all(|&v| v as u64 / cfg.community_size == c0)
             })
             .count();
         let frac = intra as f64 / hg.num_hyperedges() as f64;

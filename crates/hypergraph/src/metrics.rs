@@ -47,7 +47,11 @@ impl HyperQualityTracker {
             .filter(|&v| self.matrix.replica_count(v as u32) > 0)
             .count() as u64;
         let total_replicas = self.matrix.total_replicas();
-        let rf = if covered == 0 { 0.0 } else { total_replicas as f64 / covered as f64 };
+        let rf = if covered == 0 {
+            0.0
+        } else {
+            total_replicas as f64 / covered as f64
+        };
         let max_load = self.loads.iter().copied().max().unwrap_or(0);
         let min_load = self.loads.iter().copied().min().unwrap_or(0);
         let expected = self.num_hyperedges as f64 / k as f64;
@@ -59,7 +63,11 @@ impl HyperQualityTracker {
             replication_factor: rf,
             max_load,
             min_load,
-            alpha: if expected > 0.0 { max_load as f64 / expected } else { 0.0 },
+            alpha: if expected > 0.0 {
+                max_load as f64 / expected
+            } else {
+                0.0
+            },
             loads: self.loads.clone(),
         }
     }

@@ -71,7 +71,11 @@ impl InMemoryHypergraph {
             .map(|&v| v as u64 + 1)
             .max()
             .unwrap_or(0);
-        InMemoryHypergraph { hyperedges, num_vertices, cursor: 0 }
+        InMemoryHypergraph {
+            hyperedges,
+            num_vertices,
+            cursor: 0,
+        }
     }
 
     /// The hyperedge list.
@@ -130,10 +134,7 @@ impl HyperedgeStream for InMemoryHypergraph {
 }
 
 /// Vertex degrees (incident hyperedge counts) in one pass.
-pub fn hyper_degrees(
-    stream: &mut dyn HyperedgeStream,
-    num_vertices: u64,
-) -> io::Result<Vec<u32>> {
+pub fn hyper_degrees(stream: &mut dyn HyperedgeStream, num_vertices: u64) -> io::Result<Vec<u32>> {
     let mut degrees = vec![0u32; num_vertices as usize];
     stream.reset()?;
     while let Some(h) = stream.next_hyperedge()? {

@@ -127,22 +127,21 @@ impl HyperPartitioner for TwoPhaseHyperPartitioner {
         assert!(k > 0, "k must be positive");
         // Discover sizes (streams in this crate always carry hints; fall
         // back to a discovery pass otherwise).
-        let (num_vertices, num_hyperedges) =
-            match (stream.num_vertices_hint(), stream.len_hint()) {
-                (Some(v), Some(h)) => (v, h),
-                _ => {
-                    let mut v = 0u64;
-                    let mut n = 0u64;
-                    stream.reset()?;
-                    while let Some(h) = stream.next_hyperedge()? {
-                        n += 1;
-                        for &pin in h.pins() {
-                            v = v.max(pin as u64 + 1);
-                        }
+        let (num_vertices, num_hyperedges) = match (stream.num_vertices_hint(), stream.len_hint()) {
+            (Some(v), Some(h)) => (v, h),
+            _ => {
+                let mut v = 0u64;
+                let mut n = 0u64;
+                stream.reset()?;
+                while let Some(h) = stream.next_hyperedge()? {
+                    n += 1;
+                    for &pin in h.pins() {
+                        v = v.max(pin as u64 + 1);
                     }
-                    (v, n)
                 }
-            };
+                (v, n)
+            }
+        };
         if num_hyperedges == 0 {
             return Ok(());
         }
@@ -152,8 +151,8 @@ impl HyperPartitioner for TwoPhaseHyperPartitioner {
         let total_pins: u64 = degrees.iter().map(|&d| d as u64).sum();
 
         // Phase 1: clustering.
-        let cap = ((total_pins as f64 * self.config.volume_cap_factor / k as f64).ceil() as u64)
-            .max(1);
+        let cap =
+            ((total_pins as f64 * self.config.volume_cap_factor / k as f64).ceil() as u64).max(1);
         let mut clustering = Clustering::empty(num_vertices);
         for _ in 0..self.config.clustering_passes {
             clustering_pass(stream, &degrees, cap, &mut clustering)?;
@@ -182,10 +181,10 @@ impl HyperPartitioner for TwoPhaseHyperPartitioner {
 
         // Phase 2b: pre-partitioning pass.
         let commit = |h: &Hyperedge,
-                          p: u32,
-                          v2p: &mut ReplicationMatrix,
-                          loads: &mut PartitionLoads,
-                          assign: &mut dyn FnMut(&Hyperedge, u32)| {
+                      p: u32,
+                      v2p: &mut ReplicationMatrix,
+                      loads: &mut PartitionLoads,
+                      assign: &mut dyn FnMut(&Hyperedge, u32)| {
             for &v in h.pins() {
                 v2p.set(v, p);
             }
@@ -210,7 +209,11 @@ impl HyperPartitioner for TwoPhaseHyperPartitioner {
         stream.reset()?;
         while let Some(h) = stream.next_hyperedge()? {
             if let Some(p) = common_partition(h, &clustering) {
-                let p = if loads.is_full(p) { fallback(h, &loads, self.config.hash_seed) } else { p };
+                let p = if loads.is_full(p) {
+                    fallback(h, &loads, self.config.hash_seed)
+                } else {
+                    p
+                };
                 commit(h, p, &mut v2p, &mut loads, assign);
             }
         }
@@ -240,8 +243,7 @@ impl HyperPartitioner for TwoPhaseHyperPartitioner {
                 let mut score = 0.0;
                 for &v in h.pins() {
                     if v2p.get(v, p) {
-                        score += 1.0
-                            + (1.0 - degrees[v as usize] as f64 / d_sum.max(1) as f64);
+                        score += 1.0 + (1.0 - degrees[v as usize] as f64 / d_sum.max(1) as f64);
                     }
                     let c = clustering.raw_cluster_of(v);
                     if placement.partition_of(c) == p {
@@ -256,7 +258,11 @@ impl HyperPartitioner for TwoPhaseHyperPartitioner {
                 Some((_, p)) => p,
                 None => fallback(h, &loads, self.config.hash_seed),
             };
-            let p = if loads.is_full(p) { loads.least_loaded() } else { p };
+            let p = if loads.is_full(p) {
+                loads.least_loaded()
+            } else {
+                p
+            };
             commit(h, p, &mut v2p, &mut loads, assign);
         }
         Ok(())
@@ -336,7 +342,8 @@ mod tests {
             let mut p = TwoPhaseHyperPartitioner::default();
             let mut out = Vec::new();
             let mut s = hg.stream();
-            p.partition(&mut s, 4, 1.05, &mut |h, part| out.push((h.clone(), part))).unwrap();
+            p.partition(&mut s, 4, 1.05, &mut |h, part| out.push((h.clone(), part)))
+                .unwrap();
             out
         };
         assert_eq!(collect(), collect());
@@ -344,7 +351,13 @@ mod tests {
 
     #[test]
     fn k_one() {
-        let hg = planted_hypergraph(&PlantedHyperConfig { hyperedges: 50, ..Default::default() }, 2);
+        let hg = planted_hypergraph(
+            &PlantedHyperConfig {
+                hyperedges: 50,
+                ..Default::default()
+            },
+            2,
+        );
         let m = run(&hg, 1);
         assert_eq!(m.loads, vec![50]);
     }
@@ -355,7 +368,8 @@ mod tests {
         let mut p = TwoPhaseHyperPartitioner::default();
         let mut s = hg.stream();
         let mut called = false;
-        p.partition(&mut s, 4, 1.05, &mut |_, _| called = true).unwrap();
+        p.partition(&mut s, 4, 1.05, &mut |_, _| called = true)
+            .unwrap();
         assert!(!called);
     }
 }

@@ -1,0 +1,186 @@
+//! `tps-io` — the out-of-core I/O engine.
+//!
+//! The paper's premise is multi-pass streaming from external storage at
+//! linear run-time; this crate makes the storage side real. Everything is a
+//! [`tps_graph::stream::EdgeStream`], so partitioners stay oblivious:
+//!
+//! * [`mmap`] — zero-copy streams over memory-mapped v1 `.bel` files.
+//! * [`v2`] — the `TPSBEL2` compressed chunked format: varint-encoded
+//!   edges in checksummed chunks with a seekable index footer, plus
+//!   order-preserving v1↔v2 converters and chunk-parallel scans.
+//! * [`prefetch`] — a double-buffered background-thread reader that
+//!   overlaps disk reads with partitioning CPU work.
+//! * [`spill`] — a memory-bounded spilling assignment sink for materialised
+//!   per-partition output at scale.
+//!
+//! [`open_edge_stream`] is the front door: it sniffs the file format (v1 or
+//! v2 by magic) and applies the requested [`ReaderBackend`]. See
+//! `README.md` in this crate for the format layout and a backend-selection
+//! guide.
+
+pub mod mmap;
+pub mod prefetch;
+pub mod spill;
+pub mod v2;
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+
+use tps_graph::formats::binary::BinaryEdgeFile;
+use tps_graph::stream::EdgeStream;
+
+pub use mmap::MmapEdgeFile;
+pub use prefetch::{ChunkSource, PrefetchConfig, PrefetchReader, V1ChunkSource, V2ChunkSource};
+pub use spill::{SpillStats, SpillingFileSink};
+pub use v2::{convert_v1_to_v2, convert_v2_to_v1, write_v2_edge_list, MmapV2EdgeFile, V2EdgeFile};
+
+/// How to read an edge file from disk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReaderBackend {
+    /// A `BufReader` over the file — the seed's original path; lowest
+    /// memory, one copy per read.
+    #[default]
+    Buffered,
+    /// Memory-map the file and decode in place (zero-copy; fastest on warm
+    /// page cache, requires a Unix target).
+    Mmap,
+    /// Background-thread double buffering — overlaps I/O with CPU work;
+    /// best when the consumer does real work per edge on a cold cache.
+    Prefetch,
+}
+
+impl ReaderBackend {
+    /// All backends, for iteration in benches/tests.
+    pub const ALL: [ReaderBackend; 3] = [
+        ReaderBackend::Buffered,
+        ReaderBackend::Mmap,
+        ReaderBackend::Prefetch,
+    ];
+
+    /// The CLI flag spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReaderBackend::Buffered => "buffered",
+            ReaderBackend::Mmap => "mmap",
+            ReaderBackend::Prefetch => "prefetch",
+        }
+    }
+}
+
+impl std::str::FromStr for ReaderBackend {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "buffered" | "bufreader" => Ok(ReaderBackend::Buffered),
+            "mmap" => Ok(ReaderBackend::Mmap),
+            "prefetch" => Ok(ReaderBackend::Prefetch),
+            other => Err(format!(
+                "unknown reader backend {other:?} (buffered|mmap|prefetch)"
+            )),
+        }
+    }
+}
+
+/// On-disk edge-list container format, sniffed from the magic bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeFileFormat {
+    /// `TPSBEL1`: fixed 8-byte records.
+    V1,
+    /// `TPSBEL2`: compressed chunked (see [`v2`]).
+    V2,
+}
+
+/// Sniff a file's container format from its first 8 bytes.
+pub fn detect_format<P: AsRef<Path>>(path: P) -> io::Result<EdgeFileFormat> {
+    let mut file = File::open(path)?;
+    let mut magic = [0u8; 8];
+    file.read_exact(&mut magic)?;
+    if magic == tps_graph::formats::binary::MAGIC {
+        Ok(EdgeFileFormat::V1)
+    } else if magic == v2::MAGIC_V2 {
+        Ok(EdgeFileFormat::V2)
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "neither TPSBEL1 nor TPSBEL2 magic — not an edge-list file",
+        ))
+    }
+}
+
+/// Open `path` (v1 or v2, auto-detected) with the requested backend.
+pub fn open_edge_stream<P: AsRef<Path>>(
+    path: P,
+    backend: ReaderBackend,
+) -> io::Result<Box<dyn EdgeStream>> {
+    let path = path.as_ref();
+    match (detect_format(path)?, backend) {
+        (EdgeFileFormat::V1, ReaderBackend::Buffered) => Ok(Box::new(BinaryEdgeFile::open(path)?)),
+        (EdgeFileFormat::V1, ReaderBackend::Mmap) => Ok(Box::new(MmapEdgeFile::open(path)?)),
+        (EdgeFileFormat::V1, ReaderBackend::Prefetch) => {
+            Ok(Box::new(PrefetchReader::open_v1(path)?))
+        }
+        (EdgeFileFormat::V2, ReaderBackend::Buffered) => Ok(Box::new(V2EdgeFile::open(path)?)),
+        (EdgeFileFormat::V2, ReaderBackend::Mmap) => Ok(Box::new(MmapV2EdgeFile::open(path)?)),
+        (EdgeFileFormat::V2, ReaderBackend::Prefetch) => {
+            Ok(Box::new(PrefetchReader::open_v2(path)?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_graph::formats::binary::write_binary_edge_list;
+    use tps_graph::stream::for_each_edge;
+    use tps_graph::types::Edge;
+
+    #[test]
+    fn backend_parsing() {
+        assert_eq!(
+            "mmap".parse::<ReaderBackend>().unwrap(),
+            ReaderBackend::Mmap
+        );
+        assert_eq!(
+            "Buffered".parse::<ReaderBackend>().unwrap(),
+            ReaderBackend::Buffered
+        );
+        assert_eq!(
+            "prefetch".parse::<ReaderBackend>().unwrap(),
+            ReaderBackend::Prefetch
+        );
+        assert!("spinny-disk".parse::<ReaderBackend>().is_err());
+    }
+
+    #[test]
+    fn every_backend_streams_both_formats_identically() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let v1_path = dir.join(format!("tps-io-open-{pid}.bel"));
+        let v2_path = dir.join(format!("tps-io-open-{pid}.bel2"));
+        let edges: Vec<Edge> = (0..5000u32)
+            .map(|i| Edge::new(i % 512, (i * 13) % 4096))
+            .collect();
+        write_binary_edge_list(&v1_path, 4096, edges.iter().copied()).unwrap();
+        write_v2_edge_list(&v2_path, 4096, edges.iter().copied(), 700).unwrap();
+
+        for path in [&v1_path, &v2_path] {
+            for backend in ReaderBackend::ALL {
+                let mut s = open_edge_stream(path, backend).unwrap();
+                let mut seen = Vec::new();
+                for_each_edge(&mut s, |e| seen.push(e)).unwrap();
+                assert_eq!(seen, edges, "order diverged: {backend:?} on {path:?}");
+            }
+        }
+        std::fs::remove_file(&v1_path).ok();
+        std::fs::remove_file(&v2_path).ok();
+    }
+
+    #[test]
+    fn detect_rejects_garbage() {
+        let path = std::env::temp_dir().join(format!("tps-io-junk-{}", std::process::id()));
+        std::fs::write(&path, b"hello world junk").unwrap();
+        assert!(detect_format(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,950 @@
+//! The compressed chunked edge-list format, version 2 ("TPSBEL2").
+//!
+//! v1 (`TPSBEL1`, see `tps_graph::formats::binary`) spends a fixed 8 bytes
+//! per edge. Real graph ids are skewed toward small values (crawl order,
+//! R-MAT quadrant bias, community grouping), which a variable-length
+//! encoding exploits: v2 stores each endpoint as a LEB128 varint, cutting
+//! the paper's multi-pass streaming cost on every pass. Edges are grouped
+//! into independently decodable **chunks** with a checksummed header and an
+//! **index footer**, so readers can (a) detect truncation/corruption per
+//! chunk rather than mid-stream, (b) seek to any chunk, and (c) scan chunks
+//! in parallel (degree/clustering passes are per-edge commutative).
+//!
+//! ## Layout
+//!
+//! ```text
+//! offset  size   field
+//! 0       8      magic  b"TPSBEL2\0"
+//! 8       8      num_vertices (u64 le)
+//! 16      8      num_edges    (u64 le)
+//! 24      4      edges_per_chunk (u32 le)
+//! 28      4      flags (u32 le; 0 = LEB128 varint pairs)
+//! 32      ...    chunks
+//! ...     16*C   index: per chunk { offset u64, edge_count u32, payload_len u32 }
+//! end-24  24     trailer { index_offset u64, num_chunks u64, magic b"TPS2IDX\0" }
+//! ```
+//!
+//! Each chunk is `{ edge_count u32, payload_len u32, checksum u32 }` followed
+//! by `payload_len` bytes of varint pairs `(src, dst)`. The checksum is
+//! FNV-1a over the payload. The edge **order is preserved exactly** — the
+//! paper's algorithms require identical order across passes, and the v1↔v2
+//! converters are order-preserving by construction.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use tps_graph::formats::binary::BinaryEdgeFile;
+use tps_graph::stream::EdgeStream;
+use tps_graph::types::{Edge, GraphInfo};
+
+use crate::mmap::Mmap;
+
+/// Magic bytes opening a v2 file.
+pub const MAGIC_V2: [u8; 8] = *b"TPSBEL2\0";
+/// Magic bytes closing the trailer.
+pub const TRAILER_MAGIC: [u8; 8] = *b"TPS2IDX\0";
+/// Fixed header length.
+pub const HEADER_LEN_V2: u64 = 32;
+/// Per-chunk header length (`edge_count`, `payload_len`, `checksum`).
+pub const CHUNK_HEADER_LEN: u64 = 12;
+/// Bytes per index entry.
+pub const INDEX_ENTRY_LEN: u64 = 16;
+/// Trailer length.
+pub const TRAILER_LEN: u64 = 24;
+/// Default edges per chunk (64 Ki edges ≈ 0.5 MiB of v1 payload).
+pub const DEFAULT_CHUNK_EDGES: u32 = 1 << 16;
+/// Largest permitted `edges_per_chunk`: a varint pair is at most 10 bytes,
+/// and a chunk's `payload_len` must fit in u32.
+pub const MAX_CHUNK_EDGES: u32 = u32::MAX / 10;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// FNV-1a (32-bit) — the chunk payload checksum.
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Append `v` as a LEB128 varint (1–5 bytes for u32).
+#[inline]
+pub fn write_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode a LEB128 varint at `pos`, advancing it.
+#[inline]
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> io::Result<u32> {
+    let mut value: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes
+            .get(*pos)
+            .ok_or_else(|| invalid("truncated varint in chunk payload"))?;
+        *pos += 1;
+        if shift == 28 && byte > 0x0F {
+            return Err(invalid("varint overflows u32"));
+        }
+        value |= ((byte & 0x7F) as u32) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 28 {
+            return Err(invalid("varint longer than 5 bytes"));
+        }
+    }
+}
+
+/// Location and size of one chunk, as recorded in the index footer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkMeta {
+    /// Absolute file offset of the chunk header.
+    pub offset: u64,
+    /// Edges in the chunk.
+    pub edge_count: u32,
+    /// Payload bytes (excluding the 12-byte chunk header).
+    pub payload_len: u32,
+}
+
+/// Parsed v2 header + index.
+#[derive(Clone, Debug)]
+pub struct V2Layout {
+    /// Graph summary.
+    pub info: GraphInfo,
+    /// Writer's target edges per chunk (the last chunk may be shorter).
+    pub edges_per_chunk: u32,
+    /// Encoding flags (0 = varint pairs).
+    pub flags: u32,
+    /// Chunk directory in stream order.
+    pub chunks: Vec<ChunkMeta>,
+}
+
+/// Encode `edges` into a chunk payload.
+fn encode_payload(edges: &[Edge], out: &mut Vec<u8>) {
+    out.clear();
+    for e in edges {
+        write_varint(out, e.src);
+        write_varint(out, e.dst);
+    }
+}
+
+/// Decode `count` edges from a checked chunk payload into `out`.
+fn decode_payload(payload: &[u8], count: u32, out: &mut Vec<Edge>) -> io::Result<()> {
+    let mut pos = 0usize;
+    for _ in 0..count {
+        let src = read_varint(payload, &mut pos)?;
+        let dst = read_varint(payload, &mut pos)?;
+        out.push(Edge { src, dst });
+    }
+    if pos != payload.len() {
+        return Err(invalid(format!(
+            "chunk payload has {} trailing bytes after {count} edges",
+            payload.len() - pos
+        )));
+    }
+    Ok(())
+}
+
+/// Streaming writer producing a v2 file.
+pub struct V2Writer {
+    w: BufWriter<File>,
+    num_vertices: u64,
+    edges_per_chunk: u32,
+    pending: Vec<Edge>,
+    payload: Vec<u8>,
+    chunks: Vec<ChunkMeta>,
+    offset: u64,
+    num_edges: u64,
+}
+
+impl V2Writer {
+    /// Create `path`, writing a header with a zero edge count (patched by
+    /// [`V2Writer::finish`]).
+    pub fn create<P: AsRef<Path>>(
+        path: P,
+        num_vertices: u64,
+        edges_per_chunk: u32,
+    ) -> io::Result<Self> {
+        if edges_per_chunk == 0 {
+            return Err(invalid("edges_per_chunk must be positive"));
+        }
+        if edges_per_chunk > MAX_CHUNK_EDGES {
+            return Err(invalid(format!(
+                "edges_per_chunk {edges_per_chunk} exceeds the maximum {MAX_CHUNK_EDGES} \
+                 (chunk payload length must fit in u32)"
+            )));
+        }
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(&MAGIC_V2)?;
+        w.write_all(&num_vertices.to_le_bytes())?;
+        w.write_all(&0u64.to_le_bytes())?;
+        w.write_all(&edges_per_chunk.to_le_bytes())?;
+        w.write_all(&0u32.to_le_bytes())?;
+        Ok(V2Writer {
+            w,
+            num_vertices,
+            edges_per_chunk,
+            // Reserve lazily beyond 1 Mi edges; huge chunk sizes should not
+            // pre-commit gigabytes before the first push.
+            pending: Vec::with_capacity(edges_per_chunk.min(1 << 20) as usize),
+            payload: Vec::new(),
+            chunks: Vec::new(),
+            offset: HEADER_LEN_V2,
+            num_edges: 0,
+        })
+    }
+
+    /// Append one edge.
+    pub fn push(&mut self, edge: Edge) -> io::Result<()> {
+        self.pending.push(edge);
+        self.num_edges += 1;
+        if self.pending.len() as u32 >= self.edges_per_chunk {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    fn flush_chunk(&mut self) -> io::Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        encode_payload(&self.pending, &mut self.payload);
+        let meta = ChunkMeta {
+            offset: self.offset,
+            edge_count: self.pending.len() as u32,
+            payload_len: self.payload.len() as u32,
+        };
+        self.w.write_all(&meta.edge_count.to_le_bytes())?;
+        self.w.write_all(&meta.payload_len.to_le_bytes())?;
+        self.w.write_all(&fnv1a32(&self.payload).to_le_bytes())?;
+        self.w.write_all(&self.payload)?;
+        self.offset += CHUNK_HEADER_LEN + meta.payload_len as u64;
+        self.chunks.push(meta);
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Flush the tail chunk, write the index footer + trailer, patch the
+    /// header edge count and close the file. Returns the graph summary.
+    pub fn finish(mut self) -> io::Result<GraphInfo> {
+        self.flush_chunk()?;
+        let index_offset = self.offset;
+        for c in &self.chunks {
+            self.w.write_all(&c.offset.to_le_bytes())?;
+            self.w.write_all(&c.edge_count.to_le_bytes())?;
+            self.w.write_all(&c.payload_len.to_le_bytes())?;
+        }
+        self.w.write_all(&index_offset.to_le_bytes())?;
+        self.w
+            .write_all(&(self.chunks.len() as u64).to_le_bytes())?;
+        self.w.write_all(&TRAILER_MAGIC)?;
+        let mut file = self.w.into_inner()?;
+        file.seek(SeekFrom::Start(16))?;
+        file.write_all(&self.num_edges.to_le_bytes())?;
+        file.flush()?;
+        Ok(GraphInfo {
+            num_vertices: self.num_vertices,
+            num_edges: self.num_edges,
+        })
+    }
+}
+
+/// Write an edge iterator as a v2 file in one go.
+pub fn write_v2_edge_list<P: AsRef<Path>>(
+    path: P,
+    num_vertices: u64,
+    edges: impl IntoIterator<Item = Edge>,
+    edges_per_chunk: u32,
+) -> io::Result<GraphInfo> {
+    let mut w = V2Writer::create(path, num_vertices, edges_per_chunk)?;
+    for e in edges {
+        w.push(e)?;
+    }
+    w.finish()
+}
+
+/// Parse and validate header, index and trailer of a v2 file.
+pub fn read_layout(file: &mut File) -> io::Result<V2Layout> {
+    let file_len = file.metadata()?.len();
+    if file_len < HEADER_LEN_V2 + TRAILER_LEN {
+        return Err(invalid("file too short for a TPSBEL2 header + trailer"));
+    }
+    let mut header = [0u8; HEADER_LEN_V2 as usize];
+    file.seek(SeekFrom::Start(0))?;
+    file.read_exact(&mut header)?;
+    if header[..8] != MAGIC_V2 {
+        return Err(invalid("not a TPSBEL2 chunked edge list (bad magic)"));
+    }
+    let num_vertices = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let num_edges = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    let edges_per_chunk = u32::from_le_bytes(header[24..28].try_into().unwrap());
+    let flags = u32::from_le_bytes(header[28..32].try_into().unwrap());
+    if flags != 0 {
+        return Err(invalid(format!("unsupported TPSBEL2 flags {flags:#x}")));
+    }
+    if edges_per_chunk == 0 {
+        return Err(invalid("edges_per_chunk must be positive"));
+    }
+
+    let mut trailer = [0u8; TRAILER_LEN as usize];
+    file.seek(SeekFrom::Start(file_len - TRAILER_LEN))?;
+    file.read_exact(&mut trailer)?;
+    if trailer[16..24] != TRAILER_MAGIC {
+        return Err(invalid(
+            "missing TPS2IDX trailer (truncated or corrupt file)",
+        ));
+    }
+    let index_offset = u64::from_le_bytes(trailer[0..8].try_into().unwrap());
+    let num_chunks = u64::from_le_bytes(trailer[8..16].try_into().unwrap());
+    let expected_len = index_offset
+        .checked_add(
+            num_chunks
+                .checked_mul(INDEX_ENTRY_LEN)
+                .ok_or_else(|| invalid("chunk count overflow"))?,
+        )
+        .and_then(|v| v.checked_add(TRAILER_LEN))
+        .ok_or_else(|| invalid("index offset overflow"))?;
+    if expected_len != file_len || index_offset < HEADER_LEN_V2 {
+        return Err(invalid(format!(
+            "index trailer inconsistent with file size ({expected_len} != {file_len})"
+        )));
+    }
+
+    file.seek(SeekFrom::Start(index_offset))?;
+    let mut index_bytes = vec![0u8; (num_chunks * INDEX_ENTRY_LEN) as usize];
+    file.read_exact(&mut index_bytes)?;
+    let mut chunks = Vec::with_capacity(num_chunks as usize);
+    let mut next_offset = HEADER_LEN_V2;
+    let mut total_edges = 0u64;
+    for entry in index_bytes.chunks_exact(INDEX_ENTRY_LEN as usize) {
+        let meta = ChunkMeta {
+            offset: u64::from_le_bytes(entry[0..8].try_into().unwrap()),
+            edge_count: u32::from_le_bytes(entry[8..12].try_into().unwrap()),
+            payload_len: u32::from_le_bytes(entry[12..16].try_into().unwrap()),
+        };
+        if meta.offset != next_offset || meta.edge_count == 0 {
+            return Err(invalid("corrupt chunk index"));
+        }
+        next_offset += CHUNK_HEADER_LEN + meta.payload_len as u64;
+        total_edges += meta.edge_count as u64;
+        chunks.push(meta);
+    }
+    if next_offset != index_offset {
+        return Err(invalid("chunk index does not cover the chunk region"));
+    }
+    if total_edges != num_edges {
+        return Err(invalid(format!(
+            "index sums to {total_edges} edges, header promises {num_edges}"
+        )));
+    }
+    Ok(V2Layout {
+        info: GraphInfo {
+            num_vertices,
+            num_edges,
+        },
+        edges_per_chunk,
+        flags,
+        chunks,
+    })
+}
+
+/// Read + verify + decode the chunk described by `meta` from `r`, which must
+/// be positioned at `meta.offset`. Decoded edges are appended to `out`.
+fn read_chunk_at<R: Read>(
+    r: &mut R,
+    meta: ChunkMeta,
+    scratch: &mut Vec<u8>,
+    out: &mut Vec<Edge>,
+) -> io::Result<()> {
+    let mut header = [0u8; CHUNK_HEADER_LEN as usize];
+    r.read_exact(&mut header)
+        .map_err(|_| invalid("truncated chunk header"))?;
+    let edge_count = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let payload_len = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    let checksum = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    if edge_count != meta.edge_count || payload_len != meta.payload_len {
+        return Err(invalid("chunk header disagrees with index"));
+    }
+    scratch.clear();
+    scratch.resize(payload_len as usize, 0);
+    r.read_exact(scratch)
+        .map_err(|_| invalid("truncated chunk payload"))?;
+    if fnv1a32(scratch) != checksum {
+        return Err(invalid("chunk checksum mismatch (corrupt payload)"));
+    }
+    decode_payload(scratch, edge_count, out)
+}
+
+/// Decode the chunk described by `meta` from an in-memory byte view.
+fn decode_chunk_slice(bytes: &[u8], meta: ChunkMeta, out: &mut Vec<Edge>) -> io::Result<()> {
+    let start = meta.offset as usize;
+    let end = start + (CHUNK_HEADER_LEN + meta.payload_len as u64) as usize;
+    let chunk = bytes
+        .get(start..end)
+        .ok_or_else(|| invalid("chunk extends past end of file"))?;
+    let edge_count = u32::from_le_bytes(chunk[0..4].try_into().unwrap());
+    let payload_len = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+    let checksum = u32::from_le_bytes(chunk[8..12].try_into().unwrap());
+    if edge_count != meta.edge_count || payload_len != meta.payload_len {
+        return Err(invalid("chunk header disagrees with index"));
+    }
+    let payload = &chunk[CHUNK_HEADER_LEN as usize..];
+    if fnv1a32(payload) != checksum {
+        return Err(invalid("chunk checksum mismatch (corrupt payload)"));
+    }
+    decode_payload(payload, edge_count, out)
+}
+
+/// A buffered, chunk-at-a-time [`EdgeStream`] over a v2 file.
+pub struct V2EdgeFile {
+    path: PathBuf,
+    reader: BufReader<File>,
+    layout: V2Layout,
+    next_chunk: usize,
+    scratch: Vec<u8>,
+    buf: Vec<Edge>,
+    buf_pos: usize,
+}
+
+impl V2EdgeFile {
+    /// Open `path`, validating header, index and trailer.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::open(&path)?;
+        let layout = read_layout(&mut file)?;
+        file.seek(SeekFrom::Start(HEADER_LEN_V2))?;
+        Ok(V2EdgeFile {
+            path,
+            reader: BufReader::with_capacity(1 << 16, file),
+            layout,
+            next_chunk: 0,
+            scratch: Vec::new(),
+            buf: Vec::new(),
+            buf_pos: 0,
+        })
+    }
+
+    /// The graph summary from the header.
+    pub fn info(&self) -> GraphInfo {
+        self.layout.info
+    }
+
+    /// Path this stream reads from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Parsed layout (header fields + chunk directory).
+    pub fn layout(&self) -> &V2Layout {
+        &self.layout
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.layout.chunks.len()
+    }
+
+    /// Total encoded bytes of one full pass (header + chunks; the index and
+    /// trailer are only read at open).
+    pub fn pass_bytes(&self) -> u64 {
+        let chunk_bytes: u64 = self
+            .layout
+            .chunks
+            .iter()
+            .map(|c| CHUNK_HEADER_LEN + c.payload_len as u64)
+            .sum();
+        HEADER_LEN_V2 + chunk_bytes
+    }
+
+    /// Decode chunk `i` into `out` (cleared first), via the index.
+    pub fn read_chunk(&mut self, i: usize, out: &mut Vec<Edge>) -> io::Result<()> {
+        let meta = *self
+            .layout
+            .chunks
+            .get(i)
+            .ok_or_else(|| invalid("chunk index out of bounds"))?;
+        out.clear();
+        self.reader.seek(SeekFrom::Start(meta.offset))?;
+        read_chunk_at(&mut self.reader, meta, &mut self.scratch, out)?;
+        // The sequential cursor is now mid-file; re-sync on the next
+        // sequential read by seeking from the chunk directory.
+        self.resync_sequential()?;
+        Ok(())
+    }
+
+    fn resync_sequential(&mut self) -> io::Result<()> {
+        let offset = match self.layout.chunks.get(self.next_chunk) {
+            Some(c) => c.offset,
+            None => return Ok(()),
+        };
+        self.reader.seek(SeekFrom::Start(offset))?;
+        Ok(())
+    }
+
+    /// Decode the next sequential chunk into `out` (cleared first).
+    /// Returns the number of decoded edges; 0 at end of pass.
+    pub fn next_chunk_into(&mut self, out: &mut Vec<Edge>) -> io::Result<usize> {
+        out.clear();
+        let Some(&meta) = self.layout.chunks.get(self.next_chunk) else {
+            return Ok(0);
+        };
+        read_chunk_at(&mut self.reader, meta, &mut self.scratch, out)?;
+        self.next_chunk += 1;
+        Ok(out.len())
+    }
+
+    /// Fold every edge across chunks in parallel with `threads` workers.
+    ///
+    /// Each worker opens its own file handle and decodes a contiguous chunk
+    /// range; per-worker accumulators (from `init`) are combined with
+    /// `merge`. Only valid for per-edge commutative computations (degree
+    /// counting, byte/edge statistics) — the paper's phase-0 degree pass is
+    /// exactly that shape.
+    pub fn parallel_fold<T, I, F, M>(
+        &self,
+        threads: usize,
+        init: I,
+        fold: F,
+        merge: M,
+    ) -> io::Result<T>
+    where
+        T: Send,
+        I: Fn() -> T + Sync,
+        F: Fn(&mut T, Edge) + Sync,
+        M: Fn(T, T) -> T,
+    {
+        let threads = threads.max(1).min(self.layout.chunks.len().max(1));
+        let chunks = &self.layout.chunks;
+        let path = &self.path;
+        let (init, fold) = (&init, &fold);
+        let per = chunks.len().div_ceil(threads);
+        let results: Vec<io::Result<T>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for range in chunks.chunks(per.max(1)) {
+                handles.push(scope.spawn(move || -> io::Result<T> {
+                    let mut acc = init();
+                    if range.is_empty() {
+                        return Ok(acc);
+                    }
+                    let file = File::open(path)?;
+                    let mut r = BufReader::with_capacity(1 << 16, file);
+                    r.seek(SeekFrom::Start(range[0].offset))?;
+                    let mut scratch = Vec::new();
+                    let mut edges = Vec::new();
+                    for &meta in range {
+                        edges.clear();
+                        read_chunk_at(&mut r, meta, &mut scratch, &mut edges)?;
+                        for &e in &edges {
+                            fold(&mut acc, e);
+                        }
+                    }
+                    Ok(acc)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fold worker panicked"))
+                .collect()
+        });
+        let mut acc = init();
+        for r in results {
+            acc = merge(acc, r?);
+        }
+        Ok(acc)
+    }
+}
+
+impl EdgeStream for V2EdgeFile {
+    fn reset(&mut self) -> io::Result<()> {
+        self.next_chunk = 0;
+        self.buf.clear();
+        self.buf_pos = 0;
+        self.reader.seek(SeekFrom::Start(HEADER_LEN_V2))?;
+        Ok(())
+    }
+
+    fn next_edge(&mut self) -> io::Result<Option<Edge>> {
+        loop {
+            if self.buf_pos < self.buf.len() {
+                let e = self.buf[self.buf_pos];
+                self.buf_pos += 1;
+                return Ok(Some(e));
+            }
+            let mut buf = std::mem::take(&mut self.buf);
+            let n = self.next_chunk_into(&mut buf)?;
+            self.buf = buf;
+            self.buf_pos = 0;
+            if n == 0 {
+                return Ok(None);
+            }
+        }
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.layout.info.num_edges)
+    }
+
+    fn num_vertices_hint(&self) -> Option<u64> {
+        Some(self.layout.info.num_vertices)
+    }
+}
+
+/// A zero-copy v2 stream over a memory-mapped file: chunks are decoded out
+/// of the mapping, the payload bytes are never read through a syscall.
+pub struct MmapV2EdgeFile {
+    path: PathBuf,
+    map: Mmap,
+    layout: V2Layout,
+    next_chunk: usize,
+    buf: Vec<Edge>,
+    buf_pos: usize,
+}
+
+impl MmapV2EdgeFile {
+    /// Map `path` and validate the v2 layout.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::open(&path)?;
+        let layout = read_layout(&mut file)?;
+        let map = Mmap::map(&file)?;
+        Ok(MmapV2EdgeFile {
+            path,
+            map,
+            layout,
+            next_chunk: 0,
+            buf: Vec::new(),
+            buf_pos: 0,
+        })
+    }
+
+    /// The graph summary from the header.
+    pub fn info(&self) -> GraphInfo {
+        self.layout.info
+    }
+
+    /// Path this stream reads from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl EdgeStream for MmapV2EdgeFile {
+    fn reset(&mut self) -> io::Result<()> {
+        self.next_chunk = 0;
+        self.buf.clear();
+        self.buf_pos = 0;
+        Ok(())
+    }
+
+    fn next_edge(&mut self) -> io::Result<Option<Edge>> {
+        loop {
+            if self.buf_pos < self.buf.len() {
+                let e = self.buf[self.buf_pos];
+                self.buf_pos += 1;
+                return Ok(Some(e));
+            }
+            let Some(&meta) = self.layout.chunks.get(self.next_chunk) else {
+                return Ok(None);
+            };
+            self.buf.clear();
+            decode_chunk_slice(self.map.as_slice(), meta, &mut self.buf)?;
+            self.next_chunk += 1;
+            self.buf_pos = 0;
+        }
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.layout.info.num_edges)
+    }
+
+    fn num_vertices_hint(&self) -> Option<u64> {
+        Some(self.layout.info.num_vertices)
+    }
+}
+
+/// Convert a v1 `.bel` file to v2, preserving edge order exactly.
+pub fn convert_v1_to_v2<P: AsRef<Path>, Q: AsRef<Path>>(
+    src: P,
+    dst: Q,
+    edges_per_chunk: u32,
+) -> io::Result<GraphInfo> {
+    let mut input = BinaryEdgeFile::open(src)?;
+    let mut w = V2Writer::create(dst, input.info().num_vertices, edges_per_chunk)?;
+    input.reset()?;
+    while let Some(e) = input.next_edge()? {
+        w.push(e)?;
+    }
+    let info = w.finish()?;
+    if info.num_edges != input.info().num_edges {
+        return Err(invalid("edge count changed during conversion"));
+    }
+    Ok(info)
+}
+
+/// Convert a v2 file back to v1, preserving edge order exactly.
+pub fn convert_v2_to_v1<P: AsRef<Path>, Q: AsRef<Path>>(src: P, dst: Q) -> io::Result<GraphInfo> {
+    let mut input = V2EdgeFile::open(src)?;
+    input.reset()?;
+    let num_vertices = input.info().num_vertices;
+    let mut iter_err = None;
+    let info = tps_graph::formats::binary::write_binary_edge_list(
+        dst,
+        num_vertices,
+        std::iter::from_fn(|| match input.next_edge() {
+            Ok(e) => e,
+            Err(err) => {
+                iter_err = Some(err);
+                None
+            }
+        }),
+    )?;
+    if let Some(err) = iter_err {
+        return Err(err);
+    }
+    Ok(info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_graph::stream::for_each_edge;
+
+    fn tmpfile(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tps-io-v2-{tag}-{}.bel2", std::process::id()))
+    }
+
+    fn edges(n: u32) -> Vec<Edge> {
+        (0..n)
+            .map(|i| Edge::new(i % 97, (i * 131 + 5) % 1024))
+            .collect()
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        let mut buf = Vec::new();
+        let values = [0u32, 1, 127, 128, 16_383, 16_384, 1 << 21, u32::MAX];
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_rejects_overflow_and_truncation() {
+        // 6-byte continuation chain.
+        let mut pos = 0;
+        assert!(read_varint(&[0x80; 6], &mut pos).is_err());
+        // 5th byte with high bits set overflows u32.
+        let mut pos = 0;
+        assert!(read_varint(&[0x80, 0x80, 0x80, 0x80, 0x7F], &mut pos).is_err());
+        // Truncated mid-varint.
+        let mut pos = 0;
+        assert!(read_varint(&[0x80], &mut pos).is_err());
+    }
+
+    #[test]
+    fn degenerate_chunk_sizes_rejected_at_create() {
+        let path = tmpfile("badchunk");
+        assert!(V2Writer::create(&path, 10, 0).is_err());
+        assert!(V2Writer::create(&path, 10, MAX_CHUNK_EDGES + 1).is_err());
+        assert!(V2Writer::create(&path, 10, MAX_CHUNK_EDGES).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn round_trip_multi_chunk() {
+        let path = tmpfile("roundtrip");
+        let es = edges(10_000);
+        let info = write_v2_edge_list(&path, 1024, es.iter().copied(), 256).unwrap();
+        assert_eq!(info.num_edges, 10_000);
+
+        let mut f = V2EdgeFile::open(&path).unwrap();
+        assert_eq!(f.num_chunks(), 10_000usize.div_ceil(256));
+        let mut seen = Vec::new();
+        for_each_edge(&mut f, |e| seen.push(e)).unwrap();
+        assert_eq!(seen, es);
+        // Second pass identical.
+        let mut again = Vec::new();
+        for_each_edge(&mut f, |e| again.push(e)).unwrap();
+        assert_eq!(again, es);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_v2_round_trip() {
+        let path = tmpfile("mmap");
+        let es = edges(5_000);
+        write_v2_edge_list(&path, 1024, es.iter().copied(), 999).unwrap();
+        let mut f = MmapV2EdgeFile::open(&path).unwrap();
+        let mut seen = Vec::new();
+        for_each_edge(&mut f, |e| seen.push(e)).unwrap();
+        assert_eq!(seen, es);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_graph_round_trip() {
+        let path = tmpfile("empty");
+        write_v2_edge_list(&path, 0, std::iter::empty(), 64).unwrap();
+        let mut f = V2EdgeFile::open(&path).unwrap();
+        assert_eq!(f.num_chunks(), 0);
+        assert_eq!(f.next_edge().unwrap(), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_smaller_than_v1_on_skewed_ids() {
+        let dir = std::env::temp_dir();
+        let v1 = dir.join(format!("tps-io-size-{}.bel", std::process::id()));
+        let v2 = dir.join(format!("tps-io-size-{}.bel2", std::process::id()));
+        // Skewed ids (R-MAT-like): most below 2^14 -> ≤2-byte varints.
+        let es: Vec<Edge> = (0..20_000u32)
+            .map(|i| Edge::new((i * i) % 8192, (i * 7) % 16_000))
+            .collect();
+        tps_graph::formats::binary::write_binary_edge_list(&v1, 16_000, es.iter().copied())
+            .unwrap();
+        write_v2_edge_list(&v2, 16_000, es.iter().copied(), DEFAULT_CHUNK_EDGES).unwrap();
+        let s1 = std::fs::metadata(&v1).unwrap().len();
+        let s2 = std::fs::metadata(&v2).unwrap().len();
+        assert!(
+            (s2 as f64) < 0.8 * s1 as f64,
+            "v2 ({s2} B) not measurably smaller than v1 ({s1} B)"
+        );
+        std::fs::remove_file(&v1).ok();
+        std::fs::remove_file(&v2).ok();
+    }
+
+    #[test]
+    fn random_chunk_access_and_parallel_fold() {
+        let path = tmpfile("chunks");
+        let es = edges(5_000);
+        write_v2_edge_list(&path, 1024, es.iter().copied(), 512).unwrap();
+        let mut f = V2EdgeFile::open(&path).unwrap();
+
+        // Random access to a middle chunk matches the slice of the original.
+        let mut chunk = Vec::new();
+        f.read_chunk(3, &mut chunk).unwrap();
+        assert_eq!(chunk.as_slice(), &es[3 * 512..4 * 512]);
+
+        // Sequential streaming still works after random access.
+        let mut seen = Vec::new();
+        for_each_edge(&mut f, |e| seen.push(e)).unwrap();
+        assert_eq!(seen, es);
+
+        // Parallel degree fold == sequential degree fold.
+        let fold = |acc: &mut Vec<u64>, e: Edge| {
+            acc[e.src as usize] += 1;
+            acc[e.dst as usize] += 1;
+        };
+        let par = f
+            .parallel_fold(
+                4,
+                || vec![0u64; 1024],
+                fold,
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            )
+            .unwrap();
+        let mut seq = vec![0u64; 1024];
+        for &e in &es {
+            fold(&mut seq, e);
+        }
+        assert_eq!(par, seq);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_payload_detected_by_checksum() {
+        let path = tmpfile("corrupt");
+        write_v2_edge_list(&path, 1024, edges(1000), 100).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload byte of the first chunk (header is 32 B, chunk
+        // header 12 B; +5 lands inside the payload).
+        let target = HEADER_LEN_V2 as usize + CHUNK_HEADER_LEN as usize + 5;
+        bytes[target] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut f = V2EdgeFile::open(&path).unwrap();
+        let err = for_each_edge(&mut f, |_| {}).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_rejected_at_open() {
+        let path = tmpfile("trunc");
+        write_v2_edge_list(&path, 1024, edges(1000), 100).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        assert!(V2EdgeFile::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmpfile("magic");
+        std::fs::write(&path, vec![0u8; 100]).unwrap();
+        let err = V2EdgeFile::open(&path).err().expect("bad magic must fail");
+        assert!(err.to_string().contains("magic"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn converters_are_inverse_and_order_preserving() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let v1 = dir.join(format!("tps-io-conv-{pid}.bel"));
+        let v2 = dir.join(format!("tps-io-conv-{pid}.bel2"));
+        let back = dir.join(format!("tps-io-conv-back-{pid}.bel"));
+        let es = edges(3_333);
+        tps_graph::formats::binary::write_binary_edge_list(&v1, 1024, es.iter().copied()).unwrap();
+
+        let info = convert_v1_to_v2(&v1, &v2, 500).unwrap();
+        assert_eq!(
+            info,
+            GraphInfo {
+                num_vertices: 1024,
+                num_edges: 3_333
+            }
+        );
+        let info = convert_v2_to_v1(&v2, &back).unwrap();
+        assert_eq!(
+            info,
+            GraphInfo {
+                num_vertices: 1024,
+                num_edges: 3_333
+            }
+        );
+
+        // Byte-identical round trip: v1 -> v2 -> v1.
+        let a = std::fs::read(&v1).unwrap();
+        let b = std::fs::read(&back).unwrap();
+        assert_eq!(a, b);
+        for p in [&v1, &v2, &back] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}

@@ -103,11 +103,19 @@ impl QualityTracker {
             .filter(|&v| self.matrix.replica_count(v as u32) > 0)
             .count() as u64;
         let total_replicas = self.matrix.total_replicas();
-        let rf = if covered == 0 { 0.0 } else { total_replicas as f64 / covered as f64 };
+        let rf = if covered == 0 {
+            0.0
+        } else {
+            total_replicas as f64 / covered as f64
+        };
         let max_load = self.loads.iter().copied().max().unwrap_or(0);
         let min_load = self.loads.iter().copied().min().unwrap_or(0);
         let expected = self.num_edges as f64 / k as f64;
-        let alpha = if expected > 0.0 { max_load as f64 / expected } else { 0.0 };
+        let alpha = if expected > 0.0 {
+            max_load as f64 / expected
+        } else {
+            0.0
+        };
         PartitionMetrics {
             k,
             num_edges: self.num_edges,

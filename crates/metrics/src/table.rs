@@ -18,7 +18,10 @@ pub struct Table {
 impl Table {
     /// Create a table with the given column headers.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row. Rows shorter than the header are right-padded with "".
@@ -86,7 +89,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -188,8 +195,7 @@ mod tests {
     fn csv_roundtrip_to_file() {
         let mut t = Table::new(vec!["x"]);
         t.row(vec!["1"]);
-        let path = std::env::temp_dir()
-            .join(format!("tps-table-{}.csv", std::process::id()));
+        let path = std::env::temp_dir().join(format!("tps-table-{}.csv", std::process::id()));
         t.write_csv(&path).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content, "x\n1\n");

@@ -29,7 +29,10 @@ pub fn run_components(graph: &DistributedGraph, max_rounds: u32) -> ComponentsRe
         .map(|p| graph.local_edges(p).len() as u64 * 2)
         .max()
         .unwrap_or(0);
-    let max_worker_replicas = (0..graph.k()).map(|p| graph.replicas_on(p)).max().unwrap_or(0);
+    let max_worker_replicas = (0..graph.k())
+        .map(|p| graph.replicas_on(p))
+        .max()
+        .unwrap_or(0);
     let messages_per_iteration = graph.total_mirrors() * 2;
 
     let mut rounds = 0;
@@ -117,8 +120,7 @@ mod tests {
     fn matches_reference_on_generated_graph() {
         use tps_graph::datasets::Dataset;
         let g = Dataset::Uk.generate_scaled(0.01);
-        let assignments: Vec<(Edge, u32)> =
-            g.edges().iter().map(|&e| (e, e.src % 4)).collect();
+        let assignments: Vec<(Edge, u32)> = g.edges().iter().map(|&e| (e, e.src % 4)).collect();
         let layout = DistributedGraph::from_assignments(&assignments, g.num_vertices(), 4);
         let dist = run_components(&layout, 10_000);
         let reference = reference_components(g.edges(), g.num_vertices());
@@ -136,8 +138,7 @@ mod tests {
     #[test]
     fn counts_mirror_pagerank_schedule() {
         let edges = [Edge::new(0, 1), Edge::new(1, 2)];
-        let layout =
-            DistributedGraph::from_assignments(&[(edges[0], 0), (edges[1], 1)], 3, 2);
+        let layout = DistributedGraph::from_assignments(&[(edges[0], 0), (edges[1], 1)], 3, 2);
         let res = run_components(&layout, 10);
         assert_eq!(res.counts.messages_per_iteration, 2); // one mirror
     }

@@ -67,8 +67,8 @@ impl ClusterCostModel {
 
     /// Simulated time for one iteration given the counted quantities.
     fn iteration_seconds(&self, max_edge_ops: u64, max_replicas: u64, messages: u64) -> f64 {
-        let compute = max_edge_ops as f64 * self.per_edge_op
-            + max_replicas as f64 * self.per_replica;
+        let compute =
+            max_edge_ops as f64 * self.per_edge_op + max_replicas as f64 * self.per_replica;
         let network = messages as f64 * self.message_bytes / self.network_bandwidth;
         (compute + network + 2.0 * self.round_latency) * self.framework_overhead
     }
@@ -128,7 +128,10 @@ pub fn simulate_pagerank(
 ) -> Result<ProcessingOutcome, SpillError> {
     let shuffle = cost.shuffle_bytes_per_worker(graph, pr.iterations);
     if shuffle > cost.worker_disk_budget {
-        return Err(SpillError { needed_bytes: shuffle, budget_bytes: cost.worker_disk_budget });
+        return Err(SpillError {
+            needed_bytes: shuffle,
+            budget_bytes: cost.worker_disk_budget,
+        });
     }
     let result = run_distributed(graph, pr);
     let per_iter = cost.iteration_seconds(
@@ -151,8 +154,7 @@ mod tests {
 
     fn tiny_layout(k: u32) -> DistributedGraph {
         let edges: Vec<Edge> = (0..40).map(|i| Edge::new(i, (i + 1) % 40)).collect();
-        let assignments: Vec<(Edge, u32)> =
-            edges.iter().map(|&e| (e, e.src % k)).collect();
+        let assignments: Vec<(Edge, u32)> = edges.iter().map(|&e| (e, e.src % k)).collect();
         DistributedGraph::from_assignments(&assignments, 40, k)
     }
 
@@ -161,13 +163,18 @@ mod tests {
         // Same cycle graph, contiguous split (few mirrors) vs round-robin
         // (every vertex mirrored).
         let edges: Vec<Edge> = (0..40).map(|i| Edge::new(i, (i + 1) % 40)).collect();
-        let contiguous: Vec<(Edge, u32)> =
-            edges.iter().map(|&e| (e, if e.src < 20 { 0 } else { 1 })).collect();
+        let contiguous: Vec<(Edge, u32)> = edges
+            .iter()
+            .map(|&e| (e, if e.src < 20 { 0 } else { 1 }))
+            .collect();
         let scattered: Vec<(Edge, u32)> = edges.iter().map(|&e| (e, e.src % 2)).collect();
         let g_good = DistributedGraph::from_assignments(&contiguous, 40, 2);
         let g_bad = DistributedGraph::from_assignments(&scattered, 40, 2);
         let cost = ClusterCostModel::spark_like();
-        let pr = PageRankConfig { iterations: 5, ..Default::default() };
+        let pr = PageRankConfig {
+            iterations: 5,
+            ..Default::default()
+        };
         let good = simulate_pagerank(&g_good, &pr, &cost).unwrap();
         let bad = simulate_pagerank(&g_bad, &pr, &cost).unwrap();
         assert!(good.replication_factor < bad.replication_factor);
@@ -179,8 +186,7 @@ mod tests {
         let g = tiny_layout(4);
         let mut cost = ClusterCostModel::spark_like();
         cost.worker_disk_budget = 1.0; // 1 byte: everything fails
-        let err =
-            simulate_pagerank(&g, &PageRankConfig::default(), &cost).unwrap_err();
+        let err = simulate_pagerank(&g, &PageRankConfig::default(), &cost).unwrap_err();
         assert!(err.needed_bytes > err.budget_bytes);
         assert!(err.to_string().contains("shuffle disk"));
     }
@@ -189,12 +195,26 @@ mod tests {
     fn simulated_time_scales_with_iterations() {
         let g = tiny_layout(2);
         let cost = ClusterCostModel::spark_like();
-        let t10 = simulate_pagerank(&g, &PageRankConfig { iterations: 10, ..Default::default() }, &cost)
-            .unwrap()
-            .simulated_time;
-        let t20 = simulate_pagerank(&g, &PageRankConfig { iterations: 20, ..Default::default() }, &cost)
-            .unwrap()
-            .simulated_time;
+        let t10 = simulate_pagerank(
+            &g,
+            &PageRankConfig {
+                iterations: 10,
+                ..Default::default()
+            },
+            &cost,
+        )
+        .unwrap()
+        .simulated_time;
+        let t20 = simulate_pagerank(
+            &g,
+            &PageRankConfig {
+                iterations: 20,
+                ..Default::default()
+            },
+            &cost,
+        )
+        .unwrap()
+        .simulated_time;
         let ratio = t20.as_secs_f64() / t10.as_secs_f64();
         assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
     }
@@ -202,12 +222,13 @@ mod tests {
     #[test]
     fn more_workers_reduce_compute_term() {
         let cost = ClusterCostModel::spark_like();
-        let pr = PageRankConfig { iterations: 5, ..Default::default() };
+        let pr = PageRankConfig {
+            iterations: 5,
+            ..Default::default()
+        };
         let t2 = simulate_pagerank(&tiny_layout(2), &pr, &cost).unwrap();
         let t4 = simulate_pagerank(&tiny_layout(4), &pr, &cost).unwrap();
         // The max-worker edge ops halve; latency terms are equal.
-        assert!(
-            t4.result.counts.max_worker_edge_ops < t2.result.counts.max_worker_edge_ops
-        );
+        assert!(t4.result.counts.max_worker_edge_ops < t2.result.counts.max_worker_edge_ops);
     }
 }

@@ -55,7 +55,14 @@ impl DistributedGraph {
                 *slot = p; // lowest-id hosting partition
             }
         }
-        DistributedGraph { k, num_vertices, local_edges, replication, master, degree }
+        DistributedGraph {
+            k,
+            num_vertices,
+            local_edges,
+            replication,
+            master,
+            degree,
+        }
     }
 
     /// Number of workers.

@@ -34,7 +34,10 @@ pub struct PageRankConfig {
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        PageRankConfig { damping: 0.85, iterations: 100 }
+        PageRankConfig {
+            damping: 0.85,
+            iterations: 100,
+        }
     }
 }
 
@@ -74,7 +77,10 @@ pub fn run_distributed(graph: &DistributedGraph, config: &PageRankConfig) -> Pag
         .map(|p| graph.local_edges(p).len() as u64 * 2)
         .max()
         .unwrap_or(0);
-    let max_worker_replicas = (0..graph.k()).map(|p| graph.replicas_on(p)).max().unwrap_or(0);
+    let max_worker_replicas = (0..graph.k())
+        .map(|p| graph.replicas_on(p))
+        .max()
+        .unwrap_or(0);
     let messages_per_iteration = graph.total_mirrors() * 2;
 
     for _ in 0..config.iterations {
@@ -110,11 +116,7 @@ pub fn run_distributed(graph: &DistributedGraph, config: &PageRankConfig) -> Pag
 
 /// Single-machine reference PageRank over a raw edge list (same semantics as
 /// [`run_distributed`]; used to validate the simulator).
-pub fn reference_pagerank(
-    edges: &[Edge],
-    num_vertices: u64,
-    config: &PageRankConfig,
-) -> Vec<f64> {
+pub fn reference_pagerank(edges: &[Edge], num_vertices: u64, config: &PageRankConfig) -> Vec<f64> {
     let n = num_vertices as usize;
     let mut degree = vec![0u32; n];
     for e in edges {
@@ -166,10 +168,17 @@ mod tests {
             4,
             2,
         );
-        let cfg = PageRankConfig { iterations: 20, ..Default::default() };
+        let cfg = PageRankConfig {
+            iterations: 20,
+            ..Default::default()
+        };
         let dist = run_distributed(&layout, &cfg);
         let reference = reference_pagerank(&edges, 4, &cfg);
-        assert!(close(&dist.ranks, &reference), "{:?} vs {reference:?}", dist.ranks);
+        assert!(
+            close(&dist.ranks, &reference),
+            "{:?} vs {reference:?}",
+            dist.ranks
+        );
     }
 
     #[test]
@@ -183,7 +192,10 @@ mod tests {
             .partition(&mut g.stream(), &PartitionParams::new(8), &mut sink)
             .unwrap();
         let layout = DistributedGraph::from_assignments(sink.assignments(), g.num_vertices(), 8);
-        let cfg = PageRankConfig { iterations: 10, ..Default::default() };
+        let cfg = PageRankConfig {
+            iterations: 10,
+            ..Default::default()
+        };
         let dist = run_distributed(&layout, &cfg);
         let reference = reference_pagerank(g.edges(), g.num_vertices(), &cfg);
         assert!(close(&dist.ranks, &reference));
@@ -207,22 +219,29 @@ mod tests {
     #[test]
     fn message_counts_reflect_mirrors() {
         let edges = [Edge::new(0, 1), Edge::new(1, 2)];
-        let layout = DistributedGraph::from_assignments(
-            &[(edges[0], 0), (edges[1], 1)],
-            3,
-            2,
-        );
+        let layout = DistributedGraph::from_assignments(&[(edges[0], 0), (edges[1], 1)], 3, 2);
         // Vertex 1 has one mirror → 2 messages per iteration.
-        let res = run_distributed(&layout, &PageRankConfig { iterations: 1, ..Default::default() });
+        let res = run_distributed(
+            &layout,
+            &PageRankConfig {
+                iterations: 1,
+                ..Default::default()
+            },
+        );
         assert_eq!(res.counts.messages_per_iteration, 2);
         assert_eq!(res.counts.max_worker_edge_ops, 2);
     }
 
     #[test]
     fn zero_iterations_returns_initial_ranks() {
-        let layout =
-            DistributedGraph::from_assignments(&[(Edge::new(0, 1), 0)], 2, 1);
-        let res = run_distributed(&layout, &PageRankConfig { iterations: 0, ..Default::default() });
+        let layout = DistributedGraph::from_assignments(&[(Edge::new(0, 1), 0)], 2, 1);
+        let res = run_distributed(
+            &layout,
+            &PageRankConfig {
+                iterations: 0,
+                ..Default::default()
+            },
+        );
         assert_eq!(res.ranks, vec![1.0, 1.0]);
     }
 

@@ -82,25 +82,43 @@ pub struct DeviceStream<S> {
     inner: S,
     device: DeviceModel,
     passes: u64,
-    bytes: u64,
+    bytes: f64,
+    record_bytes: f64,
     started_pass: bool,
 }
 
 impl<S: EdgeStream> DeviceStream<S> {
-    /// Wrap `inner` with the given device model.
+    /// Wrap `inner` with the given device model, charging the v1 record
+    /// size ([`EDGE_BYTES`]) per edge.
     pub fn new(inner: S, device: DeviceModel) -> Self {
-        DeviceStream { inner, device, passes: 0, bytes: 0, started_pass: false }
+        Self::with_record_bytes(inner, device, EDGE_BYTES as f64)
+    }
+
+    /// Wrap `inner`, charging `record_bytes` per streamed edge.
+    ///
+    /// Compressed backends do not read 8 bytes per edge: a `tps-io` TPSBEL2
+    /// stream's effective record size is `pass_bytes / num_edges` (often
+    /// ~5–6 B). Accounting any `EdgeStream` backend accurately only needs
+    /// that average, since every pass reads the whole file.
+    pub fn with_record_bytes(inner: S, device: DeviceModel, record_bytes: f64) -> Self {
+        assert!(record_bytes >= 0.0 && record_bytes.is_finite());
+        DeviceStream {
+            inner,
+            device,
+            passes: 0,
+            bytes: 0.0,
+            record_bytes,
+            started_pass: false,
+        }
     }
 
     /// The accounting so far.
     pub fn account(&self) -> IoAccount {
         IoAccount {
             passes: self.passes,
-            bytes: self.bytes,
+            bytes: self.bytes.round() as u64,
             simulated_io: self.device.pass_latency * self.passes as u32
-                + Duration::from_secs_f64(
-                    self.bytes as f64 / self.device.bandwidth_bytes_per_sec,
-                ),
+                + Duration::from_secs_f64(self.bytes / self.device.bandwidth_bytes_per_sec),
         }
     }
 
@@ -131,7 +149,7 @@ impl<S: EdgeStream> EdgeStream for DeviceStream<S> {
                 self.started_pass = true;
                 self.passes += 1;
             }
-            self.bytes += EDGE_BYTES;
+            self.bytes += self.record_bytes;
         }
         Ok(e)
     }
@@ -198,6 +216,15 @@ mod tests {
         let mut s = DeviceStream::new(InMemoryGraph::from_edges(vec![]), DeviceModel::hdd());
         for_each_edge(&mut s, |_| {}).unwrap();
         assert_eq!(s.account().passes, 0);
+    }
+
+    #[test]
+    fn custom_record_bytes_scale_the_charge() {
+        // A compressed stream averaging 5.5 B/edge.
+        let mut s = DeviceStream::with_record_bytes(graph(100), DeviceModel::ssd(), 5.5);
+        for_each_edge(&mut s, |_| {}).unwrap();
+        assert_eq!(s.account().bytes, 550);
+        assert_eq!(s.account().passes, 1);
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub fn profile_sequential_read(path: &Path, block_size: usize) -> io::Result<Rea
         // Touch the buffer so the read is not optimised away.
         std::hint::black_box(&buf[..n]);
     }
-    Ok(ReadProfile { bytes: total, seconds: start.elapsed().as_secs_f64() })
+    Ok(ReadProfile {
+        bytes: total,
+        seconds: start.elapsed().as_secs_f64(),
+    })
 }
 
 #[cfg(test)]
@@ -75,7 +78,10 @@ mod tests {
 
     #[test]
     fn zero_second_profile_has_zero_bandwidth() {
-        let p = ReadProfile { bytes: 0, seconds: 0.0 };
+        let p = ReadProfile {
+            bytes: 0,
+            seconds: 0.0,
+        };
         assert_eq!(p.bandwidth(), 0.0);
     }
 }

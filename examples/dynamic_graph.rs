@@ -17,8 +17,7 @@ fn main() {
     let graph = Dataset::It.generate_scaled(0.25);
     let all = graph.edges();
     let cut = all.len() * 8 / 10;
-    let initial =
-        InMemoryGraph::with_num_vertices(all[..cut].to_vec(), graph.num_vertices());
+    let initial = InMemoryGraph::with_num_vertices(all[..cut].to_vec(), graph.num_vertices());
     let k = 32;
     let start = std::time::Instant::now();
     let mut live = IncrementalTwoPhase::bootstrap(
@@ -65,7 +64,13 @@ fn main() {
     // Compare against a full recompute at the same final state.
     let final_edges: Vec<_> = {
         let mut v = all[cut..].to_vec();
-        v.extend(all[..cut].iter().enumerate().filter(|(i, _)| i % 20 != 0).map(|(_, &e)| e));
+        v.extend(
+            all[..cut]
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 20 != 0)
+                .map(|(_, &e)| e),
+        );
         v
     };
     let final_graph = InMemoryGraph::with_num_vertices(final_edges, graph.num_vertices());

@@ -19,7 +19,10 @@ use tps_procsim::{ClusterCostModel, DistributedGraph, PageRankConfig};
 fn main() {
     let graph = Dataset::Ok.generate_scaled(0.25);
     let k = 32u32;
-    let pr = PageRankConfig { iterations: 100, ..Default::default() };
+    let pr = PageRankConfig {
+        iterations: 100,
+        ..Default::default()
+    };
     let cost = ClusterCostModel::spark_like();
     println!(
         "graph: {} vertices, {} edges; k = {k}; PageRank x {}\n",

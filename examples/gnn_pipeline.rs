@@ -25,7 +25,7 @@ fn main() {
     );
 
     let mut options: Vec<Box<dyn Partitioner>> = vec![
-        Box::new(DbhPartitioner::default()), // what P3-style systems do
+        Box::new(DbhPartitioner::default()),  // what P3-style systems do
         Box::new(HdrfPartitioner::default()), // classic stateful streaming
         Box::new(TwoPhasePartitioner::new(TwoPhaseConfig::default())),
     ];

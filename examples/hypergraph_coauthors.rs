@@ -44,8 +44,10 @@ fn main() {
         let mut tracker = HyperQualityTracker::new(corpus.num_vertices(), shards);
         let mut stream = corpus.stream();
         let start = std::time::Instant::now();
-        p.partition(&mut stream, shards, 1.05, &mut |h, part| tracker.record(h, part))
-            .expect("partitioning failed");
+        p.partition(&mut stream, shards, 1.05, &mut |h, part| {
+            tracker.record(h, part)
+        })
+        .expect("partitioning failed");
         let elapsed = start.elapsed();
         let m = tracker.finish();
         println!(

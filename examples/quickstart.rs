@@ -43,5 +43,8 @@ fn main() {
     for (name, d) in report.phases.phases() {
         println!("  phase {name:<13} {:>8.2} ms", d.as_secs_f64() * 1e3);
     }
-    assert!(metrics.alpha <= params.alpha + 1e-9, "the hard balance cap held");
+    assert!(
+        metrics.alpha <= params.alpha + 1e-9,
+        "the hard balance cap held"
+    );
 }

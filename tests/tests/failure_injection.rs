@@ -19,7 +19,11 @@ struct FailingStream {
 
 impl FailingStream {
     fn new(graph: &InMemoryGraph, fail_after: u64) -> Self {
-        FailingStream { inner: graph.stream(), reads: 0, fail_after }
+        FailingStream {
+            inner: graph.stream(),
+            reads: 0,
+            fail_after,
+        }
     }
 }
 
@@ -52,7 +56,10 @@ struct FailingSink {
 impl AssignmentSink for FailingSink {
     fn assign(&mut self, _edge: Edge, _p: u32) -> io::Result<()> {
         if self.assigned >= self.fail_after {
-            return Err(io::Error::new(io::ErrorKind::WriteZero, "injected sink error"));
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "injected sink error",
+            ));
         }
         self.assigned += 1;
         Ok(())
@@ -94,7 +101,11 @@ fn stream_errors_propagate_from_baselines() {
         let err = p
             .partition(&mut stream, &PartitionParams::new(4), &mut VecSink::new())
             .expect_err(&format!("{} must surface the injected error", p.name()));
-        assert!(err.to_string().contains("injected device error"), "{}: {err}", p.name());
+        assert!(
+            err.to_string().contains("injected device error"),
+            "{}: {err}",
+            p.name()
+        );
     }
 }
 
@@ -102,7 +113,10 @@ fn stream_errors_propagate_from_baselines() {
 fn sink_errors_propagate() {
     let g = graph();
     let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
-    let mut sink = FailingSink { assigned: 0, fail_after: 100 };
+    let mut sink = FailingSink {
+        assigned: 0,
+        fail_after: 100,
+    };
     let err = p
         .partition(&mut g.stream(), &PartitionParams::new(4), &mut sink)
         .expect_err("must surface the sink error");

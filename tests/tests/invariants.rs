@@ -30,7 +30,10 @@ fn check_graph(graph: &InMemoryGraph, k: u32) {
         );
         let mut got: Vec<Edge> = assignments.iter().map(|(e, _)| *e).collect();
         got.sort();
-        assert_eq!(got, want, "{name}: assignment is not a permutation of the edge set");
+        assert_eq!(
+            got, want,
+            "{name}: assignment is not a permutation of the edge set"
+        );
     }
 }
 
@@ -103,7 +106,11 @@ fn deterministic_roster_reproduces_exactly() {
         let mut b = VecSink::new();
         p.partition(&mut graph.stream(), &params, &mut a).unwrap();
         p.partition(&mut graph.stream(), &params, &mut b).unwrap();
-        assert_eq!(a.assignments(), b.assignments(), "{name} is not deterministic");
+        assert_eq!(
+            a.assignments(),
+            b.assignments(),
+            "{name} is not deterministic"
+        );
     }
 }
 
@@ -115,11 +122,14 @@ fn quality_ordering_on_clustered_graph() {
     let k = 16u32;
     let rf = |p: &mut dyn tps_core::partitioner::Partitioner| {
         let mut sink = tps_core::sink::QualitySink::new(graph.num_vertices(), k);
-        p.partition(&mut graph.stream(), &PartitionParams::new(k), &mut sink).unwrap();
+        p.partition(&mut graph.stream(), &PartitionParams::new(k), &mut sink)
+            .unwrap();
         sink.finish().replication_factor
     };
     let ne = rf(&mut tps_baselines::NePartitioner);
-    let tps = rf(&mut tps_core::two_phase::TwoPhasePartitioner::new(Default::default()));
+    let tps = rf(&mut tps_core::two_phase::TwoPhasePartitioner::new(
+        Default::default(),
+    ));
     let random = rf(&mut tps_baselines::RandomPartitioner::default());
     assert!(ne < tps, "NE {ne} should beat 2PS-L {tps}");
     assert!(tps < random, "2PS-L {tps} should beat random {random}");

@@ -44,7 +44,10 @@ fn file_stream_partitioning_matches_in_memory() {
 fn pagerank_correct_across_partitioners() {
     let graph = Dataset::Wi.generate_scaled(0.01);
     let k = 8u32;
-    let pr = PageRankConfig { iterations: 15, ..Default::default() };
+    let pr = PageRankConfig {
+        iterations: 15,
+        ..Default::default()
+    };
     let reference = reference_pagerank(graph.edges(), graph.num_vertices(), &pr);
 
     let mut partitioners: Vec<Box<dyn Partitioner>> = vec![
@@ -54,7 +57,8 @@ fn pagerank_correct_across_partitioners() {
     ];
     for p in partitioners.iter_mut() {
         let mut sink = VecSink::new();
-        p.partition(&mut graph.stream(), &PartitionParams::new(k), &mut sink).unwrap();
+        p.partition(&mut graph.stream(), &PartitionParams::new(k), &mut sink)
+            .unwrap();
         let layout =
             DistributedGraph::from_assignments(sink.assignments(), graph.num_vertices(), k);
         let result = tps_procsim::pagerank::run_distributed(&layout, &pr);
@@ -75,11 +79,15 @@ fn better_partitioning_never_simulates_slower_given_equal_balance() {
     // replication gap must translate into a simulated-time gap.
     let graph = Dataset::Gsh.generate_scaled(0.01);
     let k = 16u32;
-    let pr = PageRankConfig { iterations: 10, ..Default::default() };
+    let pr = PageRankConfig {
+        iterations: 10,
+        ..Default::default()
+    };
     let cost = ClusterCostModel::spark_like();
     let outcome = |p: &mut dyn Partitioner| {
         let mut sink = VecSink::new();
-        p.partition(&mut graph.stream(), &PartitionParams::new(k), &mut sink).unwrap();
+        p.partition(&mut graph.stream(), &PartitionParams::new(k), &mut sink)
+            .unwrap();
         let layout =
             DistributedGraph::from_assignments(sink.assignments(), graph.num_vertices(), k);
         simulate_pagerank(&layout, &pr, &cost).unwrap()

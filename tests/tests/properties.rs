@@ -22,7 +22,10 @@ fn assert_complete(
     assignments: &[(Edge, u32)],
     k: u32,
 ) -> Result<(), TestCaseError> {
-    prop_assert!(assignments.iter().all(|&(_, p)| p < k), "{name}: bad partition id");
+    prop_assert!(
+        assignments.iter().all(|&(_, p)| p < k),
+        "{name}: bad partition id"
+    );
     let mut got: Vec<Edge> = assignments.iter().map(|(e, _)| *e).collect();
     let mut want: Vec<Edge> = graph.edges().to_vec();
     got.sort();

@@ -13,7 +13,8 @@ fn two_phase_makes_three_plus_passes() {
     for passes in [1u32, 2, 4] {
         let mut stream = DeviceStream::new(graph.stream(), DeviceModel::page_cache());
         let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::with_passes(passes));
-        p.partition(&mut stream, &PartitionParams::new(8), &mut NullSink).unwrap();
+        p.partition(&mut stream, &PartitionParams::new(8), &mut NullSink)
+            .unwrap();
         assert_eq!(
             stream.account().passes,
             3 + passes as u64,
@@ -32,7 +33,8 @@ fn dbh_makes_two_passes() {
     let graph = Dataset::It.generate_scaled(0.005);
     let mut stream = DeviceStream::new(graph.stream(), DeviceModel::page_cache());
     let mut p = tps_baselines::DbhPartitioner::default();
-    p.partition(&mut stream, &PartitionParams::new(8), &mut NullSink).unwrap();
+    p.partition(&mut stream, &PartitionParams::new(8), &mut NullSink)
+        .unwrap();
     assert_eq!(stream.account().passes, 2); // degree pass + assignment pass
 }
 
@@ -44,12 +46,23 @@ fn table5_device_ordering_holds_for_full_runs() {
         let mut stream = DeviceStream::new(graph.stream(), device);
         let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
         let start = std::time::Instant::now();
-        p.partition(&mut stream, &PartitionParams::new(32), &mut NullSink).unwrap();
+        p.partition(&mut stream, &PartitionParams::new(32), &mut NullSink)
+            .unwrap();
         let total = start.elapsed() + stream.account().simulated_io;
         totals.push((device.name, total));
     }
-    assert!(totals[0].1 < totals[1].1, "page cache {:?} should beat SSD {:?}", totals[0], totals[1]);
-    assert!(totals[1].1 < totals[2].1, "SSD {:?} should beat HDD {:?}", totals[1], totals[2]);
+    assert!(
+        totals[0].1 < totals[1].1,
+        "page cache {:?} should beat SSD {:?}",
+        totals[0],
+        totals[1]
+    );
+    assert!(
+        totals[1].1 < totals[2].1,
+        "SSD {:?} should beat HDD {:?}",
+        totals[1],
+        totals[2]
+    );
 }
 
 #[test]
@@ -60,7 +73,8 @@ fn accounted_io_matches_model_prediction() {
     for device in [DeviceModel::ssd(), DeviceModel::hdd()] {
         let mut stream = DeviceStream::new(graph.stream(), device);
         let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
-        p.partition(&mut stream, &PartitionParams::new(8), &mut NullSink).unwrap();
+        p.partition(&mut stream, &PartitionParams::new(8), &mut NullSink)
+            .unwrap();
         let acc = stream.account();
         let per_pass_bytes = graph.num_edges() * 8;
         let predicted = device.pass_time(per_pass_bytes).as_secs_f64() * acc.passes as f64;

@@ -1,0 +1,188 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API subset used by `crates/bench/benches/*`: benchmark
+//! groups, `Bencher::iter`, `black_box`, element/byte throughput and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a simple
+//! best-of-samples wall-clock loop — enough to compare implementations and
+//! keep the bench targets compiling and runnable offline, not a statistics
+//! engine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported like criterion's.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Per-iteration timing state handed to the bench closure.
+pub struct Bencher {
+    samples: usize,
+    best: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, keeping the best (lowest-noise) sample.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // One warm-up call, then timed samples.
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            let d = start.elapsed();
+            if d < self.best {
+                self.best = d;
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Annotate throughput; reported as elem/s or MB/s.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.samples,
+            best: Duration::MAX,
+        };
+        f(&mut b);
+        let secs = b.best.as_secs_f64();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if secs > 0.0 => {
+                format!("  {:>10.1} Melem/s", n as f64 / secs / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if secs > 0.0 => {
+                format!("  {:>10.1} MB/s", n as f64 / secs / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: {:>12.3} ms/iter{rate}", self.name, secs * 1e3);
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id, &mut f);
+        self
+    }
+
+    /// Benchmark a closure parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = id.id.clone();
+        self.run(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Bundle bench functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u32;
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        group.bench_function("f", |b| b.iter(|| calls += 1));
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("two_choice", 32);
+        assert_eq!(id.id, "two_choice/32");
+    }
+}
