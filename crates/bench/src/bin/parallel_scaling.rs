@@ -1,0 +1,105 @@
+//! Parallel scaling: the chunk-parallel `ParallelRunner` against the serial
+//! 2PS-L runner, end to end.
+//!
+//! Generates the R-MAT-skewed OK stand-in, runs a full serial partition and
+//! full parallel partitions at 1/2/4/8 worker threads, and emits a JSON
+//! report of wall times, throughput and speedup plus the quality deltas
+//! (replication factor, balance) so the determinism/quality bounds of
+//! `tps-core::parallel` stay observable. One-thread parallel runs are
+//! asserted bit-compatible with serial quality (same RF, same loads).
+//!
+//! Run: `cargo run --release -p tps-bench --bin parallel_scaling -- [--scale f] [--repeats n] [--quick]`
+
+use tps_bench::harness::BenchArgs;
+use tps_core::parallel::ParallelRunner;
+use tps_core::partitioner::PartitionParams;
+use tps_core::runner::{run_parallel_partitioner, run_partitioner};
+use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_graph::datasets::Dataset;
+
+const K: u32 = 32;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let args = BenchArgs::from_env();
+    // The OK stand-in is R-MAT-derived: skewed degrees and ids.
+    let graph = Dataset::Ok.generate_scaled(args.scale);
+    let params = PartitionParams::new(K);
+
+    // Serial reference.
+    let mut serial_best: Option<tps_core::runner::RunOutcome> = None;
+    for _ in 0..args.repeats {
+        let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
+        let mut stream = graph.stream();
+        let out = run_partitioner(&mut p, &mut stream, graph.num_vertices(), &params)
+            .expect("serial partition");
+        if serial_best
+            .as_ref()
+            .is_none_or(|b| out.wall_time < b.wall_time)
+        {
+            serial_best = Some(out);
+        }
+    }
+    let serial = serial_best.expect("at least one repeat");
+    let serial_s = serial.seconds();
+    let medges = graph.num_edges() as f64 / 1e6;
+
+    let mut rows = Vec::new();
+    for threads in THREAD_COUNTS {
+        let runner = ParallelRunner::new(TwoPhaseConfig::default(), threads);
+        let mut best: Option<tps_core::runner::RunOutcome> = None;
+        for _ in 0..args.repeats {
+            let out =
+                run_parallel_partitioner(&runner, &graph, &params).expect("parallel partition");
+            if best.as_ref().is_none_or(|b| out.wall_time < b.wall_time) {
+                best = Some(out);
+            }
+        }
+        let out = best.expect("at least one repeat");
+        assert_eq!(
+            out.metrics.num_edges,
+            graph.num_edges(),
+            "parallel runner dropped edges at {threads} threads"
+        );
+        if threads == 1 {
+            // One worker executes the serial code path; quality must match
+            // exactly, not within epsilon.
+            assert_eq!(
+                out.metrics.replication_factor, serial.metrics.replication_factor,
+                "1-thread parallel RF diverged from serial"
+            );
+            assert_eq!(out.metrics.loads, serial.metrics.loads);
+        }
+        rows.push(format!(
+            "    {{\"threads\": {threads}, \"seconds\": {:.6}, \"medges_per_sec\": {:.3}, \"speedup\": {:.3}, \"rf\": {:.4}, \"rf_vs_serial\": {:.4}, \"alpha\": {:.4}, \"cap_overshoot\": {}}}",
+            out.seconds(),
+            medges / out.seconds(),
+            serial_s / out.seconds(),
+            out.metrics.replication_factor,
+            out.metrics.replication_factor / serial.metrics.replication_factor,
+            out.metrics.alpha,
+            out.report.counter("cap_overshoot"),
+        ));
+    }
+
+    println!("{{");
+    println!(
+        "  \"graph\": {{\"vertices\": {}, \"edges\": {}, \"scale\": {}, \"k\": {K}}},",
+        graph.num_vertices(),
+        graph.num_edges(),
+        args.scale
+    );
+    println!(
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    println!(
+        "  \"serial\": {{\"seconds\": {:.6}, \"medges_per_sec\": {:.3}, \"rf\": {:.4}, \"alpha\": {:.4}}},",
+        serial_s,
+        medges / serial_s,
+        serial.metrics.replication_factor,
+        serial.metrics.alpha
+    );
+    println!("  \"parallel\": [\n{}\n  ]", rows.join(",\n"));
+    println!("}}");
+}

@@ -1,0 +1,179 @@
+//! The CI perf-regression gate.
+//!
+//! Merges the JSON reports of `io_readers` and `parallel_scaling` into one
+//! `BENCH_ci.json`, extracts the throughput metrics, and compares them
+//! against a committed baseline (`bench/baselines/ci.json`): any metric
+//! below `baseline × (1 − tolerance)` fails the run with a non-zero exit.
+//!
+//! ```text
+//! # gate (CI):
+//! perf_gate --io io.json --scaling par.json \
+//!           --baseline bench/baselines/ci.json --out BENCH_ci.json
+//!
+//! # refresh the baseline (derated so other machines' jitter doesn't trip
+//! # the 25% gate — the committed floor is derate × measured):
+//! perf_gate --io io.json --scaling par.json --derate 0.5 \
+//!           --write-baseline bench/baselines/ci.json
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use tps_bench::gate::{compare, extract_metrics, parse_json, Json};
+
+struct Args {
+    io: Option<String>,
+    scaling: Option<String>,
+    baseline: Option<String>,
+    out: Option<String>,
+    write_baseline: Option<String>,
+    tolerance: f64,
+    derate: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        io: None,
+        scaling: None,
+        baseline: None,
+        out: None,
+        write_baseline: None,
+        tolerance: 0.25,
+        derate: 1.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("--{name} needs a value"));
+        match arg.as_str() {
+            "--io" => args.io = Some(value("io")?),
+            "--scaling" => args.scaling = Some(value("scaling")?),
+            "--baseline" => args.baseline = Some(value("baseline")?),
+            "--out" => args.out = Some(value("out")?),
+            "--write-baseline" => args.write_baseline = Some(value("write-baseline")?),
+            "--tolerance" => {
+                args.tolerance = value("tolerance")?
+                    .parse()
+                    .map_err(|_| "--tolerance: expected a fraction like 0.25")?
+            }
+            "--derate" => {
+                args.derate = value("derate")?
+                    .parse()
+                    .map_err(|_| "--derate: expected a fraction like 0.5")?
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.io.is_none() && args.scaling.is_none() {
+        return Err("need at least one of --io / --scaling".into());
+    }
+    if args.baseline.is_none() && args.write_baseline.is_none() {
+        return Err("need --baseline (gate mode) or --write-baseline".into());
+    }
+    Ok(args)
+}
+
+fn load_json(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+
+    // Merge the per-bench reports into one document.
+    let mut members = Vec::new();
+    if let Some(p) = &args.io {
+        members.push(("io_readers".to_string(), load_json(p)?));
+    }
+    if let Some(p) = &args.scaling {
+        members.push(("parallel_scaling".to_string(), load_json(p)?));
+    }
+    let merged = Json::Obj(members);
+    let current = extract_metrics(&merged);
+    if current.is_empty() {
+        return Err("no gated metrics found in the supplied reports".into());
+    }
+
+    if let Some(out) = &args.out {
+        std::fs::write(out, format!("{merged}\n")).map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("wrote {out} ({} gated metrics)", current.len());
+    }
+
+    if let Some(path) = &args.write_baseline {
+        // Baseline = derated current metrics, as a flat metric→floor map.
+        let floors = Json::Obj(
+            current
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(round3(v * args.derate))))
+                .collect(),
+        );
+        let doc = Json::Obj(vec![
+            (
+                "comment".to_string(),
+                Json::Str(format!(
+                    "perf-gate floors: measured medges/s derated by {} — refresh with \
+                     `perf_gate --write-baseline` (see crates/bench/src/bin/perf_gate.rs)",
+                    args.derate
+                )),
+            ),
+            ("metrics".to_string(), floors),
+        ]);
+        std::fs::write(path, format!("{doc}\n")).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote baseline {path} ({} metrics)", current.len());
+        return Ok(true);
+    }
+
+    let baseline_doc = load_json(args.baseline.as_deref().expect("checked above"))?;
+    let baseline: BTreeMap<String, f64> = match baseline_doc.get("metrics") {
+        Some(Json::Obj(members)) => members
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().map(|f| (k.clone(), f)))
+            .collect(),
+        _ => return Err("baseline file has no \"metrics\" object".into()),
+    };
+
+    eprintln!(
+        "{:<44} {:>10} {:>10} {:>7}",
+        "metric", "floor", "current", "ratio"
+    );
+    for (metric, &floor) in &baseline {
+        let cur = current.get(metric).copied().unwrap_or(0.0);
+        eprintln!(
+            "{metric:<44} {floor:>10.3} {cur:>10.3} {:>6.2}x",
+            if floor > 0.0 { cur / floor } else { 0.0 }
+        );
+    }
+
+    let regressions = compare(&baseline, &current, args.tolerance);
+    if regressions.is_empty() {
+        eprintln!(
+            "perf gate OK: {} metrics within {:.0}% of baseline floors",
+            baseline.len(),
+            args.tolerance * 100.0
+        );
+        Ok(true)
+    } else {
+        for r in &regressions {
+            eprintln!(
+                "REGRESSION {}: {:.3} < {:.3} × (1 − {:.2}) [ratio {:.2}]",
+                r.metric, r.current, r.baseline, args.tolerance, r.ratio
+            );
+        }
+        Ok(false)
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -2,4 +2,5 @@
 //!
 //! See the bin targets under `src/bin/` and `benches/` for the experiments.
 
+pub mod gate;
 pub mod harness;

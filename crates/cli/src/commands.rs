@@ -7,13 +7,16 @@ use tps_baselines::{
     HdrfPartitioner, HepPartitioner, MultilevelPartitioner, NePartitioner, RandomPartitioner,
     SnePartitioner,
 };
-use tps_core::partitioner::{PartitionParams, Partitioner};
-use tps_core::sink::{FileSink, QualitySink, TeeSink};
+use tps_core::parallel::ParallelRunner;
+use tps_core::partitioner::{PartitionParams, Partitioner, RunReport};
+use tps_core::sink::{AssignmentSink, FileSink, QualitySink, TeeSink};
 use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
 use tps_graph::datasets::Dataset;
 use tps_graph::formats::binary::write_binary_edge_list;
 use tps_graph::formats::text::TextEdgeFile;
+use tps_graph::ranged::RangedEdgeSource;
 use tps_graph::stream::{discover_info, EdgeStream};
+use tps_graph::types::GraphInfo;
 use tps_io::{EdgeFileFormat, ReaderBackend, SpillingFileSink};
 
 use crate::args::Flags;
@@ -40,6 +43,16 @@ partition options:
                       multilevel            (default: 2ps-l)
   --alpha F           balance factor (default 1.05)
   --passes N          clustering passes for 2ps-l/2ps-hdrf (default 1)
+  --threads N|auto|serial
+                      chunk-parallel 2ps-l/2ps-hdrf execution over N worker
+                      threads (default: auto = available parallelism; serial
+                      forces the single-cursor serial runner; binary inputs
+                      only — text inputs and other algorithms always run
+                      serial, and auto stays serial when --spill-budget-mb
+                      is set, since parallel workers buffer assignments).
+                      Results are deterministic for a fixed N; N=1 matches
+                      the serial runner bit for bit. Pin N for output that
+                      is reproducible across machines.
   --out DIR           write per-partition .bel files into DIR
   --spill-budget-mb N bound output buffering to N MiB (spilling sink)
   --quiet             only print the metrics line
@@ -64,23 +77,34 @@ profile options:
   --block-size N      read block bytes (default 100 MiB, fio-style)
 ";
 
-fn open_stream(
-    path: &str,
-    format: Option<&str>,
-    reader: ReaderBackend,
-) -> Result<Box<dyn EdgeStream>, String> {
-    let fmt = match format {
+/// Resolve the input format: the `--format` flag, else the file extension.
+fn resolve_format(path: &str, format: Option<&str>) -> String {
+    match format {
         Some(f) => f.to_string(),
         None => Path::new(path)
             .extension()
             .and_then(|e| e.to_str())
             .unwrap_or("bel")
             .to_string(),
-    };
+    }
+}
+
+/// Whether `fmt` names the binary container (v1/v2 — the chunk-parallel
+/// runner and reader backends apply to these only).
+fn is_binary_format(fmt: &str) -> bool {
+    matches!(fmt, "bel" | "bel2" | "v2")
+}
+
+fn open_stream(
+    path: &str,
+    format: Option<&str>,
+    reader: ReaderBackend,
+) -> Result<Box<dyn EdgeStream>, String> {
+    let fmt = resolve_format(path, format);
     match fmt.as_str() {
         // v1 and v2 binary files are auto-detected by magic; the reader
         // backend (buffered / mmap / prefetch) applies to both.
-        "bel" | "bel2" | "v2" => {
+        _ if is_binary_format(&fmt) => {
             tps_io::open_edge_stream(path, reader).map_err(|e| format!("{path}: {e}"))
         }
         "text" | "txt" | "el" | "edges" => Ok(Box::new(
@@ -98,15 +122,12 @@ fn parse_reader(flags: &Flags) -> Result<ReaderBackend, String> {
 }
 
 fn make_partitioner(name: &str, passes: u32) -> Result<Box<dyn Partitioner>, String> {
+    // Two-phase algorithms resolve through the same alias table the
+    // chunk-parallel path uses, so serial and parallel configs cannot drift.
+    if let Some(cfg) = two_phase_config(name, passes) {
+        return Ok(Box::new(TwoPhasePartitioner::new(cfg)));
+    }
     Ok(match name.to_ascii_lowercase().as_str() {
-        "2ps-l" | "2psl" | "2ps" => Box::new(TwoPhasePartitioner::new(TwoPhaseConfig {
-            clustering_passes: passes,
-            ..TwoPhaseConfig::default()
-        })),
-        "2ps-hdrf" => Box::new(TwoPhasePartitioner::new(TwoPhaseConfig {
-            clustering_passes: passes,
-            ..TwoPhaseConfig::hdrf_variant()
-        })),
         "hdrf" => Box::new(HdrfPartitioner::default()),
         "dbh" => Box::new(DbhPartitioner::default()),
         "grid" => Box::new(GridPartitioner::default()),
@@ -129,6 +150,159 @@ fn fail(msg: &str) -> i32 {
     2
 }
 
+/// How `--threads` was resolved.
+enum ThreadsChoice {
+    /// Default: one worker per available core (chunk-parallel runner).
+    Auto,
+    /// Force the single-cursor serial runner.
+    Serial,
+    /// An explicit worker count for the chunk-parallel runner.
+    Count(usize),
+}
+
+fn parse_threads(flags: &Flags) -> Result<ThreadsChoice, String> {
+    match flags.get("threads") {
+        None => Ok(ThreadsChoice::Auto),
+        Some("auto") => Ok(ThreadsChoice::Auto),
+        Some("serial") => Ok(ThreadsChoice::Serial),
+        Some(n) => match n.parse::<usize>() {
+            Ok(t) if t >= 1 => Ok(ThreadsChoice::Count(t)),
+            _ => Err(format!("--threads: expected auto|serial|N>=1, got {n:?}")),
+        },
+    }
+}
+
+/// The two-phase config for `algo`, if `algo` is a two-phase algorithm (the
+/// only family the chunk-parallel runner executes).
+fn two_phase_config(algo: &str, passes: u32) -> Option<TwoPhaseConfig> {
+    match algo.to_ascii_lowercase().as_str() {
+        "2ps-l" | "2psl" | "2ps" => Some(TwoPhaseConfig {
+            clustering_passes: passes,
+            ..TwoPhaseConfig::default()
+        }),
+        "2ps-hdrf" => Some(TwoPhaseConfig {
+            clustering_passes: passes,
+            ..TwoPhaseConfig::hdrf_variant()
+        }),
+        _ => None,
+    }
+}
+
+/// The resolved execution plan for `tps partition`.
+enum Exec {
+    Serial(Box<dyn Partitioner>, Box<dyn EdgeStream>),
+    Parallel(ParallelRunner, Box<dyn RangedEdgeSource>),
+}
+
+impl Exec {
+    fn name(&self) -> String {
+        match self {
+            Exec::Serial(p, _) => p.name(),
+            Exec::Parallel(r, _) => r.name(),
+        }
+    }
+
+    fn info(&mut self) -> Result<GraphInfo, String> {
+        match self {
+            Exec::Serial(_, stream) => discover_info(stream).map_err(|e| e.to_string()),
+            Exec::Parallel(_, source) => Ok(source.info()),
+        }
+    }
+
+    fn run(
+        &mut self,
+        params: &PartitionParams,
+        sink: &mut dyn AssignmentSink,
+    ) -> Result<RunReport, String> {
+        match self {
+            Exec::Serial(p, stream) => p.partition(stream, params, sink).map_err(|e| e.to_string()),
+            Exec::Parallel(r, source) => r
+                .partition(&**source, params, sink)
+                .map_err(|e| e.to_string()),
+        }
+    }
+}
+
+/// Resolve the execution plan: chunk-parallel for two-phase algorithms on
+/// binary inputs (unless `--threads serial`), serial otherwise.
+fn resolve_exec(flags: &Flags, input: &str, algo: &str, passes: u32) -> Result<Exec, String> {
+    let reader = parse_reader(flags)?;
+    let choice = parse_threads(flags)?;
+    let quiet = flags.has("quiet");
+    let note = |msg: &str| {
+        if !quiet {
+            eprintln!("note: {msg}");
+        }
+    };
+    let binary_input = is_binary_format(&resolve_format(input, flags.get("format")));
+    let cfg = two_phase_config(algo, passes);
+
+    // Work out whether this invocation can run chunk-parallel at all, so
+    // every note below describes what *this* command would actually do.
+    let serial_reason = match (&cfg, binary_input) {
+        (None, _) => Some("--threads applies to 2ps-l/2ps-hdrf only; running serial"),
+        (Some(_), false) => Some("--threads applies to binary inputs only; running serial"),
+        (Some(_), true) => None,
+    };
+    let requested = match choice {
+        ThreadsChoice::Serial => None,
+        ThreadsChoice::Count(n) => Some(n),
+        // The parallel runner buffers each worker's assignments until the
+        // emit barrier (O(|E|) memory) — a spill budget is an explicit
+        // request for bounded memory, so the default keeps the streaming
+        // serial runner unless the user *also* asks for threads.
+        ThreadsChoice::Auto if flags.get_or("spill-budget-mb", 0u64)? > 0 => {
+            if serial_reason.is_none() {
+                note(
+                    "--spill-budget-mb bounds memory; running serial \
+                     (pass --threads N to parallelize with buffered output)",
+                );
+            }
+            None
+        }
+        ThreadsChoice::Auto => Some(0),
+    };
+
+    match (requested, serial_reason) {
+        (Some(threads), None) => {
+            let cfg = cfg.expect("serial_reason is None only with a config");
+            let runner = ParallelRunner::new(cfg, threads);
+            if matches!(choice, ThreadsChoice::Auto) && runner.threads() > 1 {
+                note(&format!(
+                    "running chunk-parallel on {} threads (deterministic per thread \
+                     count; --threads serial for the paper-exact serial runner)",
+                    runner.threads()
+                ));
+            }
+            // The parallel runner opens its own per-worker cursors; the
+            // prefetch backend maps to per-worker prefetch threads, the
+            // others to per-worker buffered readers.
+            if reader == ReaderBackend::Mmap {
+                note(
+                    "mmap has no parallel range cursor yet; using buffered \
+                     per-worker readers (--threads serial honours --reader mmap)",
+                );
+            }
+            let source = match reader {
+                ReaderBackend::Prefetch => tps_io::open_ranged_prefetch(input),
+                _ => tps_io::open_ranged(input),
+            }
+            .map_err(|e| format!("{input}: {e}"))?;
+            Ok(Exec::Parallel(runner, source))
+        }
+        (_, serial_reason) => {
+            if let (Some(reason), true) = (
+                serial_reason,
+                matches!(choice, ThreadsChoice::Count(n) if n > 1),
+            ) {
+                note(reason);
+            }
+            let stream = open_stream(input, flags.get("format"), reader)?;
+            Ok(Exec::Serial(make_partitioner(algo, passes)?, stream))
+        }
+    }
+}
+
 /// `tps partition`
 pub fn partition(args: &[String]) -> i32 {
     let flags = match Flags::parse(args, &["quiet"]) {
@@ -144,10 +318,8 @@ pub fn partition(args: &[String]) -> i32 {
         let alpha: f64 = flags.get_or("alpha", 1.05)?;
         let passes: u32 = flags.get_or("passes", 1)?;
         let algo = flags.get("algorithm").unwrap_or("2ps-l");
-        let mut partitioner = make_partitioner(algo, passes)?;
-        let reader = parse_reader(&flags)?;
-        let mut stream = open_stream(input, flags.get("format"), reader)?;
-        let info = discover_info(&mut stream).map_err(|e| e.to_string())?;
+        let mut exec = resolve_exec(&flags, input, algo, passes)?;
+        let info = exec.info()?;
 
         let params = PartitionParams::with_alpha(k, alpha);
         let mut quality = QualitySink::new(info.num_vertices, k);
@@ -163,15 +335,12 @@ pub fn partition(args: &[String]) -> i32 {
                 let spill_budget: u64 = flags.get_or("spill-budget-mb", 0)?;
                 // The partition call is identical for both sinks; only the
                 // sink construction and finish differ.
-                let mut partition_into =
-                    |quality: &mut QualitySink,
-                     files: &mut dyn tps_core::sink::AssignmentSink|
-                     -> Result<tps_core::partitioner::RunReport, String> {
-                        let mut tee = TeeSink::new(quality, files);
-                        partitioner
-                            .partition(&mut stream, &params, &mut tee)
-                            .map_err(|e| e.to_string())
-                    };
+                let mut partition_into = |quality: &mut QualitySink,
+                                          files: &mut dyn AssignmentSink|
+                 -> Result<RunReport, String> {
+                    let mut tee = TeeSink::new(quality, files);
+                    exec.run(&params, &mut tee)
+                };
                 let (report, parts) = if spill_budget > 0 {
                     // Memory-bounded output: per-partition buffers spill to
                     // disk in large sequential writes (tps-io).
@@ -205,15 +374,13 @@ pub fn partition(args: &[String]) -> i32 {
                 }
                 report
             }
-            None => partitioner
-                .partition(&mut stream, &params, &mut quality)
-                .map_err(|e| e.to_string())?,
+            None => exec.run(&params, &mut quality)?,
         };
         let elapsed = start.elapsed();
         let metrics = quality.finish();
         println!(
             "algorithm={} k={k} edges={} rf={:.4} alpha={:.4} time_s={:.3}",
-            partitioner.name(),
+            exec.name(),
             metrics.num_edges,
             metrics.replication_factor,
             metrics.alpha,

@@ -7,8 +7,9 @@
 //!
 //! ```text
 //! tps partition --input graph.bel -k 32 [--algorithm 2ps-l] [--alpha 1.05]
-//!               [--passes 1] [--out DIR] [--format bel|text]
-//!               [--reader buffered|mmap|prefetch] [--spill-budget-mb N]
+//!               [--passes 1] [--threads N|auto|serial] [--out DIR]
+//!               [--format bel|text] [--reader buffered|mmap|prefetch]
+//!               [--spill-budget-mb N]
 //! tps generate  --dataset ok [--scale 1.0] --out graph.bel
 //! tps convert   --input graph.bel --out graph.bel2 [--to v1|v2] [--chunk-edges N]
 //! tps info      --input graph.bel [--format bel|text] [--reader NAME]

@@ -217,8 +217,10 @@ fn partition_with_spill_budget_matches_file_sink() {
 
     let plain = dir.join("plain");
     let spilled = dir.join("spilled");
+    // A spill budget keeps the run serial (bounded memory); pin the plain
+    // run to serial too so the comparison is hardware-independent.
     for (out_dir, extra) in [
-        (&plain, &[][..]),
+        (&plain, &["--threads", "serial"][..]),
         (&spilled, &["--spill-budget-mb", "1"][..]),
     ] {
         let out = tps()
@@ -263,6 +265,106 @@ fn partition_text_format() {
     );
     assert!(String::from_utf8_lossy(&out.stdout).contains("edges=4"));
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn threads_one_matches_serial_bit_for_bit() {
+    let dir = tmpdir("threads1");
+    let bel = dir.join("ok.bel");
+    tps()
+        .args(["generate", "--dataset", "ok", "--scale", "0.01", "--out"])
+        .arg(&bel)
+        .status()
+        .unwrap();
+
+    let serial = dir.join("serial");
+    let one = dir.join("one");
+    for (out_dir, threads) in [(&serial, "serial"), (&one, "1")] {
+        let out = tps()
+            .args(["partition", "--input"])
+            .arg(&bel)
+            .args(["--k", "4", "--threads", threads, "--out"])
+            .arg(out_dir)
+            .args(["--quiet"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "--threads {threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // One worker runs the exact serial code path: files must be identical.
+    for i in 0..4 {
+        let a = std::fs::read(serial.join(format!("ok.part{i}.bel"))).unwrap();
+        let b = std::fs::read(one.join(format!("ok.part{i}.bel"))).unwrap();
+        assert_eq!(a, b, "partition {i} diverged between serial and 1 thread");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn threads_parallel_is_deterministic_across_formats_and_readers() {
+    let dir = tmpdir("threads-par");
+    let bel = dir.join("ok.bel");
+    let bel2 = dir.join("ok.bel2");
+    tps()
+        .args(["generate", "--dataset", "ok", "--scale", "0.01", "--out"])
+        .arg(&bel)
+        .status()
+        .unwrap();
+    tps()
+        .args(["convert", "--input"])
+        .arg(&bel)
+        .arg("--out")
+        .arg(&bel2)
+        .status()
+        .unwrap();
+
+    // The same --threads value must give identical metrics regardless of
+    // run, input format, or reader backend (ranges are edge-indexed).
+    let mut lines = Vec::new();
+    for input in [&bel, &bel, &bel2] {
+        for reader in ["buffered", "prefetch"] {
+            let out = tps()
+                .args(["partition", "--input"])
+                .arg(input)
+                .args(["--k", "4", "--threads", "3", "--reader", reader, "--quiet"])
+                .output()
+                .unwrap();
+            assert!(
+                out.status.success(),
+                "{reader}: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+            lines.push(stdout.split(" time_s=").next().unwrap().to_string());
+        }
+    }
+    assert!(
+        lines.iter().all(|l| l == &lines[0]),
+        "parallel metrics diverged: {lines:?}"
+    );
+    assert!(lines[0].contains("algorithm=2PS-L×3"), "{}", lines[0]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn threads_flag_rejects_garbage() {
+    let out = tps()
+        .args([
+            "partition",
+            "--input",
+            "/nonexistent.bel",
+            "--k",
+            "4",
+            "--threads",
+            "many",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads"));
 }
 
 #[test]

@@ -35,9 +35,11 @@
 //! ```
 
 pub mod hollocou;
+pub mod merge;
 pub mod model;
 pub mod stats;
 pub mod streaming;
 
+pub use merge::merge_clusterings;
 pub use model::{Clustering, NO_CLUSTER};
 pub use streaming::{cluster_stream, ClusteringConfig, VolumeCap};

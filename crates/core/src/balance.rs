@@ -3,8 +3,150 @@
 //! 2PS-L enforces the cap strictly ("we guarantee that no partition gets more
 //! than α·|E|/k edges assigned", paper §III-B step 3); the stateful baselines
 //! (HDRF, Greedy) use the same structure for their balance terms.
+//!
+//! Three pieces live here:
+//!
+//! * [`PartitionLoads`] — the serial tracker: plain counters plus the cap.
+//! * [`LoadTracker`] — the trait over load state that the phase-2 edge
+//!   kernel ([`crate::two_phase`]) is generic over, so the serial runner and
+//!   the chunk-parallel runner ([`crate::parallel`]) share one decision
+//!   path (and one-thread parallel runs are bit-identical to serial runs).
+//! * [`AtomicLoads`] — the lock-free shared commit ledger of the parallel
+//!   runner. Worker threads *reserve* capacity deterministically up front
+//!   (each thread `t` of `T` owns the quota slice
+//!   `⌊(t+1)·cap/T⌋ − ⌊t·cap/T⌋` of every partition's cap, so the quotas
+//!   sum to the cap exactly) and then `reserve` each placement here with a
+//!   single relaxed `fetch_add`. Because the quota slices partition the cap,
+//!   a worker that respects its quota can never push the ledger past the
+//!   cap — the atomic counter is the runtime witness of that invariant and
+//!   the source of the merged per-partition loads, not a lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use tps_graph::types::PartitionId;
+
+/// Load state a phase-2 edge kernel can run against.
+///
+/// Semantics mirror [`PartitionLoads`]: `least_loaded` returns the lowest
+/// current load (lowest id on ties) *regardless of fullness* — the min-load
+/// partition can only be full when every partition is, which the cap
+/// arithmetic rules out for the serial tracker and makes a counted
+/// degenerate case for quota-sliced parallel trackers.
+pub trait LoadTracker {
+    /// Number of partitions.
+    fn k(&self) -> u32;
+    /// Current load of `p`.
+    fn load(&self, p: PartitionId) -> u64;
+    /// Whether `p` is at capacity.
+    fn is_full(&self, p: PartitionId) -> bool;
+    /// Record one edge on `p`.
+    fn add(&mut self, p: PartitionId);
+    /// The least-loaded partition (lowest id wins ties).
+    fn least_loaded(&self) -> PartitionId;
+    /// Largest current load.
+    fn max_load(&self) -> u64;
+    /// Smallest current load.
+    fn min_load(&self) -> u64;
+}
+
+impl LoadTracker for PartitionLoads {
+    fn k(&self) -> u32 {
+        PartitionLoads::k(self)
+    }
+    fn load(&self, p: PartitionId) -> u64 {
+        PartitionLoads::load(self, p)
+    }
+    fn is_full(&self, p: PartitionId) -> bool {
+        PartitionLoads::is_full(self, p)
+    }
+    fn add(&mut self, p: PartitionId) {
+        PartitionLoads::add(self, p)
+    }
+    fn least_loaded(&self) -> PartitionId {
+        PartitionLoads::least_loaded(self)
+    }
+    fn max_load(&self) -> u64 {
+        PartitionLoads::max_load(self)
+    }
+    fn min_load(&self) -> u64 {
+        PartitionLoads::min_load(self)
+    }
+}
+
+/// Lock-free shared per-partition load counters with the hard cap.
+///
+/// All mutation is a single `fetch_add` with relaxed ordering — worker
+/// threads never contend on a lock and never observe torn counts. The
+/// structure reports whether each reservation stayed within the cap; the
+/// deterministic quota slices held by the workers (see module docs)
+/// guarantee it except in counted degenerate cases (`|E|` not much larger
+/// than `k × threads`), which the parallel runner surfaces as a
+/// `cap_overshoot` counter rather than hiding.
+#[derive(Debug)]
+pub struct AtomicLoads {
+    loads: Vec<AtomicU64>,
+    cap: u64,
+}
+
+impl AtomicLoads {
+    /// Shared loads for `k` partitions of a graph with `num_edges` edges
+    /// under balance factor `alpha` (same cap formula as
+    /// [`PartitionLoads::new`]).
+    pub fn new(k: u32, num_edges: u64, alpha: f64) -> Self {
+        let cap = PartitionLoads::new(k, num_edges, alpha).cap();
+        AtomicLoads {
+            loads: (0..k).map(|_| AtomicU64::new(0)).collect(),
+            cap,
+        }
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.loads.len() as u32
+    }
+
+    /// The hard capacity per partition.
+    #[inline]
+    pub fn cap(&self) -> u64 {
+        self.cap
+    }
+
+    /// Current load of `p` (racy snapshot — exact once workers are joined).
+    #[inline]
+    pub fn load(&self, p: PartitionId) -> u64 {
+        self.loads[p as usize].load(Ordering::Relaxed)
+    }
+
+    /// Reserve one edge slot on `p`. Returns `false` when the reservation
+    /// pushed `p` past the cap (the slot is still recorded — every edge must
+    /// be placed somewhere; callers count the overshoot instead).
+    #[inline]
+    pub fn reserve(&self, p: PartitionId) -> bool {
+        self.loads[p as usize].fetch_add(1, Ordering::Relaxed) < self.cap
+    }
+
+    /// The quota slice of the cap owned by thread `t` of `threads`:
+    /// `⌊(t+1)·cap/T⌋ − ⌊t·cap/T⌋`. Slices are deterministic, differ by at
+    /// most one, and sum to exactly the cap over all threads.
+    pub fn quota_slice(cap: u64, t: usize, threads: usize) -> u64 {
+        let (cap, t, threads) = (cap as u128, t as u128, threads.max(1) as u128);
+        ((cap * (t + 1)) / threads - (cap * t) / threads) as u64
+    }
+
+    /// Final per-partition loads (call after all workers joined).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.loads
+            .iter()
+            .map(|l| l.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total edges reserved.
+    pub fn total(&self) -> u64 {
+        self.snapshot().iter().sum()
+    }
+}
 
 /// Edge counts per partition plus the hard capacity.
 #[derive(Clone, Debug)]
@@ -176,5 +318,56 @@ mod tests {
         l.add(2);
         assert_eq!(l.max_load(), 2);
         assert_eq!(l.min_load(), 0);
+    }
+
+    #[test]
+    fn atomic_reserve_reports_cap() {
+        let l = AtomicLoads::new(2, 4, 1.0);
+        assert_eq!(l.cap(), 2);
+        assert!(l.reserve(0));
+        assert!(l.reserve(0));
+        assert!(!l.reserve(0), "third reservation exceeds the cap");
+        assert_eq!(l.load(0), 3, "overshoot is still recorded");
+        assert_eq!(l.load(1), 0);
+        assert_eq!(l.total(), 3);
+    }
+
+    #[test]
+    fn atomic_matches_serial_cap_formula() {
+        let a = AtomicLoads::new(4, 1000, 1.05);
+        let s = PartitionLoads::new(4, 1000, 1.05);
+        assert_eq!(a.cap(), s.cap());
+        assert_eq!(a.k(), 4);
+    }
+
+    #[test]
+    fn quota_slices_partition_the_cap() {
+        for cap in [0u64, 1, 2, 7, 100, 1003] {
+            for threads in [1usize, 2, 3, 8, 17] {
+                let slices: Vec<u64> = (0..threads)
+                    .map(|t| AtomicLoads::quota_slice(cap, t, threads))
+                    .collect();
+                assert_eq!(slices.iter().sum::<u64>(), cap, "cap {cap} T {threads}");
+                let (lo, hi) = (*slices.iter().min().unwrap(), *slices.iter().max().unwrap());
+                assert!(hi - lo <= 1, "uneven slices {slices:?}");
+            }
+        }
+        // One thread owns the full cap — the T=1 ≡ serial precondition.
+        assert_eq!(AtomicLoads::quota_slice(262, 0, 1), 262);
+    }
+
+    #[test]
+    fn atomic_reservation_is_race_free() {
+        // 4 OS threads hammer one partition; exactly `cap` reservations may
+        // report in-cap regardless of interleaving.
+        let l = AtomicLoads::new(1, 1000, 1.0);
+        let in_cap: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| (0..500).filter(|_| l.reserve(0)).count() as u64))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(in_cap, 1000);
+        assert_eq!(l.load(0), 2000);
     }
 }

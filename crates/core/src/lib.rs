@@ -24,6 +24,11 @@
 //!   (quality tracking, in-memory collection, per-partition files).
 //! * [`balance`] — per-partition load accounting with the hard balance cap.
 //! * [`two_phase`] — the 2PS-L implementation (and its 2PS-HDRF variant).
+//! * [`parallel`] — the chunk-parallel execution layer: [`parallel::ParallelRunner`]
+//!   runs both phases with one worker per contiguous edge range (mergeable
+//!   clustering state, sharded replication matrices, quota-sliced lock-free
+//!   load reservation — see the module docs for the scheme and its
+//!   determinism/quality bounds).
 //! * [`runner`] — convenience harness used by tests, examples and benches.
 //!
 //! # Quickstart
@@ -47,11 +52,13 @@
 
 pub mod balance;
 pub mod incremental;
+pub mod parallel;
 pub mod partitioner;
 pub mod runner;
 pub mod sink;
 pub mod two_phase;
 
+pub use parallel::ParallelRunner;
 pub use partitioner::{PartitionParams, Partitioner, RunReport};
 pub use sink::{AssignmentSink, NullSink, QualitySink, VecSink};
 pub use two_phase::{RemainingStrategy, TwoPhaseConfig, TwoPhasePartitioner};

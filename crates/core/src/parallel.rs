@@ -1,0 +1,547 @@
+//! Chunk-parallel two-phase partitioning — the [`ParallelRunner`].
+//!
+//! Both phases of 2PS-L are embarrassingly parallel over contiguous edge
+//! ranges: phase 1's streaming clustering commutes up to a state merge, and
+//! phase 2 scores each edge against per-vertex state that can be sharded per
+//! worker. The runner splits the canonical edge order into `T` near-equal
+//! ranges (see [`tps_graph::ranged::split_even`]) and runs each phase with
+//! one worker per range over its own [`EdgeStream`], opened through a
+//! [`RangedEdgeSource`] — in-memory graphs, v1 `.bel` files and chunked v2
+//! files (via `tps-io`) all implement it, and because ranges are expressed
+//! in *edge indices* the result is identical for every storage backend.
+//!
+//! # Execution model
+//!
+//! 1. **degree** — each worker computes a [`DegreeTable`] over its range;
+//!    tables are summed. Exact — identical to the serial pass.
+//! 2. **clustering** — each worker runs `clustering_passes` local streaming
+//!    clustering passes over its range; the per-thread cluster maps are
+//!    combined with [`tps_clustering::merge_clusterings`] (union-by-volume,
+//!    in worker order — deterministic).
+//! 3. **mapping** — Graham scheduling of the merged clusters, serial (it is
+//!    `O(C log C)` on cluster counts, not edge counts).
+//! 4. **partition** — each worker runs the shared phase-2 edge kernel
+//!    ([`two_phase`]'s `EdgeAssigner`) over its range with a *sharded*
+//!    replication matrix (each worker tracks the replicas its own
+//!    assignments create) and quota-sliced load tracking (below). The
+//!    pre-partitioning and scoring subpasses are preserved per worker.
+//! 5. **emit** — per-worker assignment buffers are replayed into the caller's
+//!    [`AssignmentSink`] in worker order, so downstream files and metrics
+//!    are reproducible.
+//!
+//! # The load reservation scheme
+//!
+//! The hard balance cap `α·|E|/k` is enforced without locks and without
+//! cross-thread timing dependences: each worker `t` owns the deterministic
+//! quota slice `⌊(t+1)·cap/T⌋ − ⌊t·cap/T⌋` of every partition's capacity
+//! (slices sum to the cap exactly), treats a partition as *full* when its
+//! own slice is exhausted, and records every commit in a shared
+//! [`AtomicLoads`] ledger with one relaxed `fetch_add`. Within-quota commits
+//! can never push the ledger past the cap; the ledger verifies this at run
+//! time and yields the merged per-partition loads for the report.
+//!
+//! # Determinism and quality bounds
+//!
+//! * For a **fixed thread count** the run is fully deterministic: ranges,
+//!   merges and replay order depend only on the input. Two runs with the
+//!   same `--threads` produce identical assignments.
+//! * With **one thread** the runner is bit-for-bit identical to the serial
+//!   [`TwoPhasePartitioner`]: the ranges degenerate to the full stream, the
+//!   merge is the identity, the quota slice is the full cap, and phase 2
+//!   runs the same kernel code.
+//! * **Across thread counts** assignments differ (workers don't see each
+//!   other's clustering migrations or scoring-time replicas), but the
+//!   balance cap holds identically, and the replication factor degrades
+//!   only through range-straddling state — measured on the R-MAT `OK`
+//!   stand-in (400k edges, k = 32): ≈5 % at 2 threads, ≈25 % at 4 and
+//!   ≈40 % at 8, shrinking as the graph grows relative to the thread count
+//!   (the `parallel_scaling` bench reports `rf_vs_serial`; the `parallel`
+//!   integration tests pin per-thread-count epsilons).
+//! * **Degenerate tiny inputs**: when `|E|` is not much larger than
+//!   `k × T`, a worker's quota slices can all round to zero and it must
+//!   overshoot to place its edges. The overshoot is bounded by `k + 1`
+//!   edges per worker, never occurs when `⌊cap/T⌋·k ≥ ⌈|E|/T⌉`, and is
+//!   surfaced as the `cap_overshoot` counter in the [`RunReport`].
+//!
+//! # Memory
+//!
+//! Parallelism trades the paper's Table II bound for speed: per-worker
+//! degree tables and clustering maps during their phases, one replication
+//! matrix shard per worker in phase 2 (`O(T·|V|·k)` bits total vs the
+//! serial `O(|V|·k)`), and per-worker assignment buffers until the emit
+//! barrier (`O(|E|)` total). The ROADMAP tracks streaming emit and shard
+//! collapsing; until then, memory-bounded runs should use the serial
+//! [`TwoPhasePartitioner`] (the CLI keeps `--spill-budget-mb` serial by
+//! default for exactly this reason).
+
+use std::io;
+use std::time::Instant;
+
+use tps_clustering::merge::merge_clusterings;
+use tps_clustering::model::Clustering;
+use tps_clustering::streaming::{clustering_pass, VolumeCap};
+use tps_graph::degree::DegreeTable;
+use tps_graph::ranged::{split_even, RangedEdgeSource};
+use tps_graph::types::{Edge, PartitionId};
+
+use crate::balance::{AtomicLoads, LoadTracker};
+use crate::partitioner::{PartitionParams, RunReport};
+use crate::sink::AssignmentSink;
+use crate::two_phase::mapping::ClusterPlacement;
+use crate::two_phase::{AssignCounters, EdgeAssigner, MappingStrategy, TwoPhaseConfig};
+
+/// A worker's view of the shared loads: deterministic quota slice locally,
+/// atomic commit ledger globally (see module docs).
+struct QuotaLoads<'a> {
+    local: Vec<u64>,
+    quota: u64,
+    shared: &'a AtomicLoads,
+    overshoot: u64,
+}
+
+impl<'a> QuotaLoads<'a> {
+    fn new(shared: &'a AtomicLoads, thread: usize, threads: usize) -> Self {
+        QuotaLoads {
+            local: vec![0; shared.k() as usize],
+            quota: AtomicLoads::quota_slice(shared.cap(), thread, threads),
+            shared,
+            overshoot: 0,
+        }
+    }
+}
+
+impl LoadTracker for QuotaLoads<'_> {
+    fn k(&self) -> u32 {
+        self.local.len() as u32
+    }
+    fn load(&self, p: PartitionId) -> u64 {
+        self.local[p as usize]
+    }
+    fn is_full(&self, p: PartitionId) -> bool {
+        self.local[p as usize] >= self.quota
+    }
+    fn add(&mut self, p: PartitionId) {
+        self.local[p as usize] += 1;
+        if !self.shared.reserve(p) {
+            // Only reachable through the degenerate all-quotas-exhausted
+            // fallback; counted and reported, never silent.
+            self.overshoot += 1;
+        }
+    }
+    fn least_loaded(&self) -> PartitionId {
+        let mut best = 0u32;
+        let mut best_load = self.local[0];
+        for (i, &l) in self.local.iter().enumerate().skip(1) {
+            if l < best_load {
+                best = i as u32;
+                best_load = l;
+            }
+        }
+        best
+    }
+    fn max_load(&self) -> u64 {
+        self.local.iter().copied().max().unwrap_or(0)
+    }
+    fn min_load(&self) -> u64 {
+        self.local.iter().copied().min().unwrap_or(0)
+    }
+}
+
+/// The chunk-parallel two-phase partitioner.
+///
+/// Unlike [`crate::partitioner::Partitioner`] implementations it consumes a
+/// [`RangedEdgeSource`] rather than a single stream cursor — parallelism
+/// needs independent range streams, which a `&mut dyn EdgeStream` cannot
+/// provide.
+#[derive(Clone, Debug)]
+pub struct ParallelRunner {
+    config: TwoPhaseConfig,
+    threads: usize,
+}
+
+impl ParallelRunner {
+    /// A runner executing `config` on `threads` worker threads.
+    /// `threads = 0` selects [`std::thread::available_parallelism`].
+    pub fn new(config: TwoPhaseConfig, threads: usize) -> Self {
+        assert!(
+            config.clustering_passes >= 1,
+            "need at least one clustering pass"
+        );
+        assert!(
+            config.volume_cap_factor > 0.0,
+            "volume cap factor must be positive"
+        );
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        ParallelRunner { config, threads }
+    }
+
+    /// The worker thread count in use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The two-phase configuration in use.
+    pub fn config(&self) -> &TwoPhaseConfig {
+        &self.config
+    }
+
+    /// Algorithm name, matching the serial partitioner's with a thread tag.
+    pub fn name(&self) -> String {
+        let base = match self.config.strategy {
+            crate::two_phase::RemainingStrategy::TwoChoice => "2PS-L",
+            crate::two_phase::RemainingStrategy::Hdrf(_) => "2PS-HDRF",
+        };
+        format!("{base}×{}", self.threads)
+    }
+
+    /// Partition `source` into `params.k` parts, emitting every assignment
+    /// into `sink` (in deterministic worker order) and returning the merged
+    /// report.
+    pub fn partition(
+        &self,
+        source: &dyn RangedEdgeSource,
+        params: &PartitionParams,
+        sink: &mut dyn AssignmentSink,
+    ) -> io::Result<RunReport> {
+        let mut report = RunReport::default();
+        let info = source.info();
+        if info.num_edges == 0 {
+            return Ok(report);
+        }
+        let threads = self.threads.max(1);
+        let ranges = split_even(info.num_edges, threads);
+
+        // Phase 0: degrees, one worker per range, summed.
+        let t0 = Instant::now();
+        let tables = run_workers(&ranges, |_, (a, b)| {
+            let mut s = source.open_range(a, b)?;
+            DegreeTable::compute(&mut s, info.num_vertices)
+        })?;
+        let degrees = merge_degree_tables(tables);
+        report.phases.record("degree", t0.elapsed());
+
+        // Phase 1: local streaming clustering per range, merged by volume.
+        let t1 = Instant::now();
+        let cap = VolumeCap::FractionOfTotal(self.config.volume_cap_factor / params.k as f64)
+            .resolve(degrees.total_volume());
+        let locals = run_workers(&ranges, |_, (a, b)| {
+            let mut s = source.open_range(a, b)?;
+            let mut c = Clustering::empty(info.num_vertices);
+            for _ in 0..self.config.clustering_passes {
+                clustering_pass(&mut s, &degrees, cap, &mut c)?;
+            }
+            Ok(c)
+        })?;
+        let clustering = merge_clusterings(&locals, &degrees);
+        drop(locals);
+        report.phases.record("clustering", t1.elapsed());
+
+        // Phase 2 step 1: cluster→partition mapping (serial, edge-free).
+        let t2 = Instant::now();
+        let placement = match self.config.mapping {
+            MappingStrategy::SortedGraham => {
+                ClusterPlacement::sorted_list_schedule(&clustering, params.k)
+            }
+            MappingStrategy::UnsortedFirstFit => {
+                ClusterPlacement::unsorted_schedule(&clustering, params.k)
+            }
+        };
+        report.phases.record("mapping", t2.elapsed());
+
+        // Phase 2 step 2: the pre-partitioning subpass per range. Targets
+        // depend only on the (merged) clustering, placement and load quotas
+        // — not on replica state — so running it first and merging the
+        // per-worker replication shards afterwards is deterministic.
+        let t3 = Instant::now();
+        let shared = AtomicLoads::new(params.k, info.num_edges, params.alpha);
+        let mut states = run_workers(&ranges, |t, (a, b)| {
+            let mut assigner = EdgeAssigner::new(
+                &degrees,
+                &clustering,
+                &placement,
+                info.num_vertices,
+                QuotaLoads::new(&shared, t, threads),
+                self.config.hash_seed,
+            );
+            let mut out = BufferSink::default();
+            if self.config.prepartitioning {
+                let mut s = source.open_range(a, b)?;
+                s.reset()?;
+                while let Some(edge) = s.next_edge()? {
+                    assigner.prepartition_edge(edge, &mut out)?;
+                }
+            }
+            Ok((assigner, out))
+        })?;
+        report.phases.record("prepartition", t3.elapsed());
+
+        // Barrier: union the sharded replication matrices so every worker
+        // scores the remaining edges with global visibility of the replicas
+        // the pre-partitioning subpass created (OR is order-independent).
+        if threads > 1 && self.config.prepartitioning {
+            let (first, rest) = states.split_at_mut(1);
+            let merged = &mut first[0].0.v2p;
+            for (a, _) in rest.iter() {
+                merged.merge_from(&a.v2p);
+            }
+            let merged = merged.clone();
+            for (a, _) in &mut states[1..] {
+                a.v2p = merged.clone();
+            }
+        }
+
+        // Phase 2 step 3: score-and-assign the remaining edges per range.
+        let t4 = Instant::now();
+        let worker_out = run_workers_with(&ranges, states, |_, (a, b), state| {
+            let (mut assigner, mut out) = state;
+            let mut s = source.open_range(a, b)?;
+            s.reset()?;
+            while let Some(edge) = s.next_edge()? {
+                if self.config.prepartitioning && assigner.prepartition_target(edge).is_some() {
+                    continue; // handled by the pre-partitioning subpass
+                }
+                assigner.assign_remaining(edge, self.config.strategy, &mut out)?;
+            }
+            Ok((out.0, assigner.counters, assigner.loads.overshoot))
+        })?;
+        report.phases.record("partition", t4.elapsed());
+
+        // Emit: replay per-worker buffers in deterministic worker order.
+        let t5 = Instant::now();
+        let mut counters = AssignCounters::default();
+        let mut overshoot = 0u64;
+        for (buf, c, o) in worker_out {
+            counters.merge(&c);
+            overshoot += o;
+            for (edge, p) in buf {
+                sink.assign(edge, p)?;
+            }
+        }
+        report.phases.record("emit", t5.elapsed());
+
+        debug_assert_eq!(shared.total(), info.num_edges);
+        report.count("threads", threads as u64);
+        report.count("prepartitioned", counters.prepartitioned);
+        report.count("prepartition_overflow", counters.prepartition_overflow);
+        report.count("remaining", counters.remaining);
+        report.count("fallback_hash", counters.fallback_hash);
+        report.count("fallback_least_loaded", counters.fallback_least_loaded);
+        report.count("cap_overshoot", overshoot);
+        report.count("clusters", clustering.num_nonempty_clusters() as u64);
+        report.count("cluster_volume_cap", cap);
+        report.count("max_cluster_volume", clustering.max_volume());
+        Ok(report)
+    }
+}
+
+/// An in-memory [`AssignmentSink`] for worker-local buffering (replayed into
+/// the real sink after the barrier).
+#[derive(Default)]
+struct BufferSink(Vec<(Edge, PartitionId)>);
+
+impl AssignmentSink for BufferSink {
+    #[inline]
+    fn assign(&mut self, edge: Edge, p: PartitionId) -> io::Result<()> {
+        self.0.push((edge, p));
+        Ok(())
+    }
+}
+
+/// Run `work(t, range)` on one scoped thread per range, collecting results
+/// in range order and propagating the first error.
+fn run_workers<T, F>(ranges: &[(u64, u64)], work: F) -> io::Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize, (u64, u64)) -> io::Result<T> + Sync,
+{
+    run_workers_with(ranges, vec![(); ranges.len()], |t, range, ()| {
+        work(t, range)
+    })
+}
+
+/// Like [`run_workers`], additionally moving one element of `state` into
+/// each worker (resuming per-worker state across a barrier).
+fn run_workers_with<W, T, F>(ranges: &[(u64, u64)], state: Vec<W>, work: F) -> io::Result<Vec<T>>
+where
+    W: Send,
+    T: Send,
+    F: Fn(usize, (u64, u64), W) -> io::Result<T> + Sync,
+{
+    debug_assert_eq!(ranges.len(), state.len());
+    if ranges.len() == 1 {
+        // Skip thread spawn/join overhead on the single-worker path (also
+        // keeps one-thread runs trivially free of scheduler effects).
+        let w = state.into_iter().next().expect("one state per range");
+        return Ok(vec![work(0, ranges[0], w)?]);
+    }
+    let work = &work;
+    let results: Vec<io::Result<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .zip(state)
+            .enumerate()
+            .map(|(t, (&range, w))| scope.spawn(move || work(t, range, w)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+/// Sum per-worker degree tables (saturating, matching the serial pass).
+fn merge_degree_tables(tables: Vec<DegreeTable>) -> DegreeTable {
+    let mut it = tables.into_iter();
+    let first = it.next().expect("at least one worker");
+    let mut sum: Vec<u32> = first.as_slice().to_vec();
+    for t in it {
+        for (acc, &d) in sum.iter_mut().zip(t.as_slice()) {
+            *acc = acc.saturating_add(d);
+        }
+    }
+    DegreeTable::from_vec(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::Partitioner;
+    use crate::sink::{QualitySink, VecSink};
+    use crate::two_phase::TwoPhasePartitioner;
+    use tps_graph::datasets::Dataset;
+    use tps_graph::stream::InMemoryGraph;
+
+    fn serial_assignments(g: &InMemoryGraph, k: u32) -> Vec<(Edge, PartitionId)> {
+        let mut sink = VecSink::new();
+        TwoPhasePartitioner::new(TwoPhaseConfig::default())
+            .partition(&mut g.stream(), &PartitionParams::new(k), &mut sink)
+            .unwrap();
+        sink.into_assignments()
+    }
+
+    fn parallel_assignments(
+        g: &InMemoryGraph,
+        k: u32,
+        threads: usize,
+    ) -> (Vec<(Edge, PartitionId)>, RunReport) {
+        let mut sink = VecSink::new();
+        let runner = ParallelRunner::new(TwoPhaseConfig::default(), threads);
+        let report = runner
+            .partition(g, &PartitionParams::new(k), &mut sink)
+            .unwrap();
+        (sink.into_assignments(), report)
+    }
+
+    #[test]
+    fn one_thread_is_bit_identical_to_serial() {
+        let g = Dataset::It.generate_scaled(0.02);
+        let serial = serial_assignments(&g, 8);
+        let (parallel, report) = parallel_assignments(&g, 8, 1);
+        assert_eq!(serial, parallel);
+        assert_eq!(report.counter("cap_overshoot"), 0);
+    }
+
+    #[test]
+    fn every_edge_assigned_exactly_once_at_any_thread_count() {
+        let g = Dataset::Ok.generate_scaled(0.02);
+        let mut want: Vec<Edge> = g.edges().to_vec();
+        want.sort();
+        for threads in [1usize, 2, 3, 4, 8] {
+            let (assignments, _) = parallel_assignments(&g, 16, threads);
+            let mut got: Vec<Edge> = assignments.iter().map(|&(e, _)| e).collect();
+            got.sort();
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_thread_count() {
+        let g = Dataset::Uk.generate_scaled(0.01);
+        for threads in [2usize, 4] {
+            let (a, _) = parallel_assignments(&g, 16, threads);
+            let (b, _) = parallel_assignments(&g, 16, threads);
+            assert_eq!(a, b, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn balance_cap_holds_on_real_graphs() {
+        let g = Dataset::Ok.generate_scaled(0.02);
+        for threads in [2usize, 4, 8] {
+            let mut sink = QualitySink::new(g.num_vertices(), 16);
+            let runner = ParallelRunner::new(TwoPhaseConfig::default(), threads);
+            let report = runner
+                .partition(&g, &PartitionParams::new(16), &mut sink)
+                .unwrap();
+            let cap = crate::balance::PartitionLoads::new(16, g.num_edges(), 1.05).cap();
+            let m = sink.finish();
+            assert_eq!(report.counter("cap_overshoot"), 0);
+            assert!(
+                m.max_load <= cap,
+                "threads {threads}: max load {} > cap {cap}",
+                m.max_load
+            );
+            assert_eq!(m.num_edges, g.num_edges());
+        }
+    }
+
+    #[test]
+    fn empty_source_is_a_noop() {
+        let g = InMemoryGraph::from_edges(vec![]);
+        let (assignments, report) = parallel_assignments(&g, 4, 4);
+        assert!(assignments.is_empty());
+        assert_eq!(report.counter("threads"), 0);
+    }
+
+    #[test]
+    fn more_threads_than_edges_still_assigns_all() {
+        let g = InMemoryGraph::from_edges(vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)]);
+        let (assignments, _) = parallel_assignments(&g, 2, 8);
+        assert_eq!(assignments.len(), 3);
+    }
+
+    #[test]
+    fn zero_threads_selects_available_parallelism() {
+        let r = ParallelRunner::new(TwoPhaseConfig::default(), 0);
+        assert!(r.threads() >= 1);
+        assert!(r.name().starts_with("2PS-L×"));
+    }
+
+    #[test]
+    fn hdrf_variant_runs_parallel() {
+        let g = Dataset::Ok.generate_scaled(0.01);
+        let mut sink = VecSink::new();
+        let runner = ParallelRunner::new(TwoPhaseConfig::hdrf_variant(), 4);
+        runner
+            .partition(&g, &PartitionParams::new(8), &mut sink)
+            .unwrap();
+        assert_eq!(sink.assignments().len() as u64, g.num_edges());
+    }
+
+    #[test]
+    fn replication_factor_stays_close_to_serial() {
+        let g = Dataset::It.generate_scaled(0.05);
+        let k = 16;
+        let mut serial_sink = QualitySink::new(g.num_vertices(), k);
+        TwoPhasePartitioner::new(TwoPhaseConfig::default())
+            .partition(&mut g.stream(), &PartitionParams::new(k), &mut serial_sink)
+            .unwrap();
+        let serial_rf = serial_sink.finish().replication_factor;
+        for threads in [2usize, 4, 8] {
+            let mut sink = QualitySink::new(g.num_vertices(), k);
+            ParallelRunner::new(TwoPhaseConfig::default(), threads)
+                .partition(&g, &PartitionParams::new(k), &mut sink)
+                .unwrap();
+            let rf = sink.finish().replication_factor;
+            assert!(
+                rf <= serial_rf * 1.35 + 0.05,
+                "threads {threads}: rf {rf} vs serial {serial_rf}"
+            );
+        }
+    }
+}

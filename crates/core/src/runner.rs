@@ -97,6 +97,30 @@ pub fn run_partitioner_auto(
     run_partitioner(partitioner, stream, info.num_vertices, params)
 }
 
+/// Run a [`crate::parallel::ParallelRunner`] over a ranged source, measuring
+/// quality and time the same way [`run_partitioner`] does for serial
+/// partitioners (benches compare the two outcomes directly).
+pub fn run_parallel_partitioner(
+    runner: &crate::parallel::ParallelRunner,
+    source: &dyn tps_graph::ranged::RangedEdgeSource,
+    params: &PartitionParams,
+) -> io::Result<RunOutcome> {
+    let info = source.info();
+    let mut sink = QualitySink::new(info.num_vertices, params.k);
+    let start = Instant::now();
+    let (result, peak) =
+        tps_metrics::alloc::measure_peak(|| runner.partition(source, params, &mut sink));
+    let report = result?;
+    let wall_time = start.elapsed();
+    Ok(RunOutcome {
+        name: runner.name(),
+        metrics: sink.finish(),
+        report,
+        wall_time,
+        peak_heap_bytes: peak,
+    })
+}
+
 /// View any sized stream as `&mut dyn EdgeStream` (helper for generic fns).
 fn as_dyn<S: EdgeStream + ?Sized>(s: &mut S) -> &mut S {
     s

@@ -29,7 +29,7 @@ use tps_graph::stream::{discover_info, EdgeStream};
 use tps_graph::types::{Edge, PartitionId};
 use tps_metrics::bitmatrix::ReplicationMatrix;
 
-use crate::balance::PartitionLoads;
+use crate::balance::{LoadTracker, PartitionLoads};
 use crate::partitioner::{PartitionParams, Partitioner, RunReport};
 use crate::sink::AssignmentSink;
 use crate::two_phase::mapping::ClusterPlacement;
@@ -134,23 +134,64 @@ impl TwoPhasePartitioner {
     }
 }
 
-/// Internal per-run state of phase 2.
-struct Phase2State<'a> {
-    degrees: &'a DegreeTable,
-    clustering: &'a Clustering,
-    placement: &'a ClusterPlacement,
-    v2p: ReplicationMatrix,
-    loads: PartitionLoads,
-    hash_seed: u64,
-    // Counters
-    prepartitioned: u64,
-    prepartition_overflow: u64,
-    remaining: u64,
-    fallback_hash: u64,
-    fallback_least_loaded: u64,
+/// Counters of the phase-2 edge kernel (summed across workers when the
+/// kernel runs chunk-parallel).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct AssignCounters {
+    pub prepartitioned: u64,
+    pub prepartition_overflow: u64,
+    pub remaining: u64,
+    pub fallback_hash: u64,
+    pub fallback_least_loaded: u64,
 }
 
-impl Phase2State<'_> {
+impl AssignCounters {
+    /// Accumulate another worker's counters.
+    pub fn merge(&mut self, other: &AssignCounters) {
+        self.prepartitioned += other.prepartitioned;
+        self.prepartition_overflow += other.prepartition_overflow;
+        self.remaining += other.remaining;
+        self.fallback_hash += other.fallback_hash;
+        self.fallback_least_loaded += other.fallback_least_loaded;
+    }
+}
+
+/// The phase-2 per-edge decision kernel, generic over the load tracker so
+/// the serial runner ([`TwoPhasePartitioner`]) and the chunk-parallel runner
+/// ([`crate::parallel::ParallelRunner`]) execute the *same* decision path —
+/// a one-thread parallel run is bit-identical to a serial run by
+/// construction, not by testing alone.
+pub(crate) struct EdgeAssigner<'a, L: LoadTracker> {
+    pub(crate) degrees: &'a DegreeTable,
+    pub(crate) clustering: &'a Clustering,
+    pub(crate) placement: &'a ClusterPlacement,
+    pub(crate) v2p: ReplicationMatrix,
+    pub(crate) loads: L,
+    pub(crate) hash_seed: u64,
+    pub(crate) counters: AssignCounters,
+}
+
+impl<'a, L: LoadTracker> EdgeAssigner<'a, L> {
+    pub(crate) fn new(
+        degrees: &'a DegreeTable,
+        clustering: &'a Clustering,
+        placement: &'a ClusterPlacement,
+        num_vertices: u64,
+        loads: L,
+        hash_seed: u64,
+    ) -> Self {
+        let k = loads.k();
+        EdgeAssigner {
+            degrees,
+            clustering,
+            placement,
+            v2p: ReplicationMatrix::new(num_vertices, k),
+            loads,
+            hash_seed,
+            counters: AssignCounters::default(),
+        }
+    }
+
     /// Commit `edge` to `p`: update replication state, loads, and the sink.
     #[inline]
     fn commit(
@@ -173,10 +214,10 @@ impl Phase2State<'_> {
         let hv = if du >= dv { edge.src } else { edge.dst };
         let p = seeded_hash_to_partition(hv, self.hash_seed, self.loads.k());
         if !self.loads.is_full(p) {
-            self.fallback_hash += 1;
+            self.counters.fallback_hash += 1;
             p
         } else {
-            self.fallback_least_loaded += 1;
+            self.counters.fallback_least_loaded += 1;
             self.loads.least_loaded()
         }
     }
@@ -184,7 +225,7 @@ impl Phase2State<'_> {
     /// Whether `edge` satisfies the pre-partitioning condition: endpoints in
     /// the same cluster, or clusters mapped to the same partition.
     #[inline]
-    fn prepartition_target(&self, edge: Edge) -> Option<PartitionId> {
+    pub(crate) fn prepartition_target(&self, edge: Edge) -> Option<PartitionId> {
         let cu = self.clustering.raw_cluster_of(edge.src);
         let cv = self.clustering.raw_cluster_of(edge.dst);
         debug_assert_ne!(cu, NO_CLUSTER, "clustering must cover all stream vertices");
@@ -195,6 +236,106 @@ impl Phase2State<'_> {
         }
         let pv = self.placement.partition_of(cv);
         (pu == pv).then_some(pu)
+    }
+
+    /// Phase 2 step 2 for one edge: assign it if it satisfies the
+    /// pre-partitioning condition. Returns whether the edge was handled.
+    #[inline]
+    pub(crate) fn prepartition_edge(
+        &mut self,
+        edge: Edge,
+        sink: &mut dyn AssignmentSink,
+    ) -> io::Result<bool> {
+        let Some(target) = self.prepartition_target(edge) else {
+            return Ok(false);
+        };
+        let target = if self.loads.is_full(target) {
+            self.counters.prepartition_overflow += 1;
+            self.fallback_target(edge)
+        } else {
+            self.counters.prepartitioned += 1;
+            target
+        };
+        self.commit(edge, target, sink)?;
+        Ok(true)
+    }
+
+    /// Phase 2 step 3 for one edge that was *not* pre-partitioned: score the
+    /// candidate partitions and commit the winner (with the fallback chain
+    /// when candidates are full).
+    pub(crate) fn assign_remaining(
+        &mut self,
+        edge: Edge,
+        strategy: RemainingStrategy,
+        sink: &mut dyn AssignmentSink,
+    ) -> io::Result<()> {
+        self.counters.remaining += 1;
+        let cu = self.clustering.raw_cluster_of(edge.src);
+        let cv = self.clustering.raw_cluster_of(edge.dst);
+        let inputs = EdgeScoreInputs {
+            u: edge.src,
+            v: edge.dst,
+            du: self.degrees.degree(edge.src) as u64,
+            dv: self.degrees.degree(edge.dst) as u64,
+            vol_cu: self.clustering.volume(cu),
+            vol_cv: self.clustering.volume(cv),
+            pu: self.placement.partition_of(cu),
+            pv: self.placement.partition_of(cv),
+        };
+        let mut target = match strategy {
+            RemainingStrategy::TwoChoice => {
+                let best = two_choice_best(&inputs, &self.v2p);
+                // If the best of the two candidates is full, try the
+                // other before the generic fallback chain.
+                if !self.loads.is_full(best) {
+                    Some(best)
+                } else {
+                    let other = if best == inputs.pu {
+                        inputs.pv
+                    } else {
+                        inputs.pu
+                    };
+                    (!self.loads.is_full(other)).then_some(other)
+                }
+            }
+            RemainingStrategy::Hdrf(hdrf) => {
+                // O(k): score every non-full partition.
+                let (max_load, min_load) = (self.loads.max_load(), self.loads.min_load());
+                let mut best: Option<(f64, PartitionId)> = None;
+                for p in 0..self.loads.k() {
+                    if self.loads.is_full(p) {
+                        continue;
+                    }
+                    let s = hdrf_score(
+                        edge.src,
+                        edge.dst,
+                        inputs.du,
+                        inputs.dv,
+                        p,
+                        &self.v2p,
+                        self.loads.load(p),
+                        max_load,
+                        min_load,
+                        &hdrf,
+                    );
+                    if best.is_none_or(|(bs, _)| s > bs) {
+                        best = Some((s, p));
+                    }
+                }
+                best.map(|(_, p)| p)
+            }
+        };
+        if target.is_none() {
+            target = Some(self.fallback_target(edge));
+        }
+        let target = target.expect("fallback always yields a partition");
+        // The fallback itself may hand back a full hash target; re-check.
+        let target = if self.loads.is_full(target) {
+            self.loads.least_loaded()
+        } else {
+            target
+        };
+        self.commit(edge, target, sink)
     }
 }
 
@@ -245,42 +386,21 @@ impl Partitioner for TwoPhasePartitioner {
         };
         report.phases.record("mapping", t2.elapsed());
 
-        let mut state = Phase2State {
-            degrees: &degrees,
-            clustering: &clustering,
-            placement: &placement,
-            v2p: ReplicationMatrix::new(info.num_vertices, params.k),
-            loads: PartitionLoads::new(params.k, info.num_edges, params.alpha),
-            hash_seed: self.config.hash_seed,
-            prepartitioned: 0,
-            prepartition_overflow: 0,
-            remaining: 0,
-            fallback_hash: 0,
-            fallback_least_loaded: 0,
-        };
+        let mut state = EdgeAssigner::new(
+            &degrees,
+            &clustering,
+            &placement,
+            info.num_vertices,
+            PartitionLoads::new(params.k, info.num_edges, params.alpha),
+            self.config.hash_seed,
+        );
 
         // Phase 2 step 2: pre-partitioning pass.
         if self.config.prepartitioning {
             let t3 = Instant::now();
-            let mut first_err = None;
             stream.reset()?;
             while let Some(edge) = stream.next_edge()? {
-                if let Some(target) = state.prepartition_target(edge) {
-                    let target = if state.loads.is_full(target) {
-                        state.prepartition_overflow += 1;
-                        state.fallback_target(edge)
-                    } else {
-                        state.prepartitioned += 1;
-                        target
-                    };
-                    if let Err(e) = state.commit(edge, target, sink) {
-                        first_err = Some(e);
-                        break;
-                    }
-                }
-            }
-            if let Some(e) = first_err {
-                return Err(e);
+                state.prepartition_edge(edge, sink)?;
             }
             report.phases.record("prepartition", t3.elapsed());
         }
@@ -292,81 +412,21 @@ impl Partitioner for TwoPhasePartitioner {
             if self.config.prepartitioning && state.prepartition_target(edge).is_some() {
                 continue; // already assigned in the pre-partitioning pass
             }
-            state.remaining += 1;
-            let cu = state.clustering.raw_cluster_of(edge.src);
-            let cv = state.clustering.raw_cluster_of(edge.dst);
-            let inputs = EdgeScoreInputs {
-                u: edge.src,
-                v: edge.dst,
-                du: state.degrees.degree(edge.src) as u64,
-                dv: state.degrees.degree(edge.dst) as u64,
-                vol_cu: state.clustering.volume(cu),
-                vol_cv: state.clustering.volume(cv),
-                pu: state.placement.partition_of(cu),
-                pv: state.placement.partition_of(cv),
-            };
-            let mut target = match self.config.strategy {
-                RemainingStrategy::TwoChoice => {
-                    let best = two_choice_best(&inputs, &state.v2p);
-                    // If the best of the two candidates is full, try the
-                    // other before the generic fallback chain.
-                    if !state.loads.is_full(best) {
-                        Some(best)
-                    } else {
-                        let other = if best == inputs.pu {
-                            inputs.pv
-                        } else {
-                            inputs.pu
-                        };
-                        (!state.loads.is_full(other)).then_some(other)
-                    }
-                }
-                RemainingStrategy::Hdrf(hdrf) => {
-                    // O(k): score every non-full partition.
-                    let (max_load, min_load) = (state.loads.max_load(), state.loads.min_load());
-                    let mut best: Option<(f64, PartitionId)> = None;
-                    for p in 0..params.k {
-                        if state.loads.is_full(p) {
-                            continue;
-                        }
-                        let s = hdrf_score(
-                            edge.src,
-                            edge.dst,
-                            inputs.du,
-                            inputs.dv,
-                            p,
-                            &state.v2p,
-                            state.loads.load(p),
-                            max_load,
-                            min_load,
-                            &hdrf,
-                        );
-                        if best.is_none_or(|(bs, _)| s > bs) {
-                            best = Some((s, p));
-                        }
-                    }
-                    best.map(|(_, p)| p)
-                }
-            };
-            if target.is_none() {
-                target = Some(state.fallback_target(edge));
-            }
-            let target = target.expect("fallback always yields a partition");
-            // The fallback itself may hand back a full hash target; re-check.
-            let target = if state.loads.is_full(target) {
-                state.loads.least_loaded()
-            } else {
-                target
-            };
-            state.commit(edge, target, sink)?;
+            state.assign_remaining(edge, self.config.strategy, sink)?;
         }
         report.phases.record("partition", t4.elapsed());
 
-        report.count("prepartitioned", state.prepartitioned);
-        report.count("prepartition_overflow", state.prepartition_overflow);
-        report.count("remaining", state.remaining);
-        report.count("fallback_hash", state.fallback_hash);
-        report.count("fallback_least_loaded", state.fallback_least_loaded);
+        report.count("prepartitioned", state.counters.prepartitioned);
+        report.count(
+            "prepartition_overflow",
+            state.counters.prepartition_overflow,
+        );
+        report.count("remaining", state.counters.remaining);
+        report.count("fallback_hash", state.counters.fallback_hash);
+        report.count(
+            "fallback_least_loaded",
+            state.counters.fallback_least_loaded,
+        );
         report.count("clusters", clustering.num_nonempty_clusters() as u64);
         report.count("cluster_volume_cap", cap);
         report.count("max_cluster_volume", clustering.max_volume());

@@ -45,6 +45,7 @@ pub mod degree;
 pub mod formats;
 pub mod gen;
 pub mod hash;
+pub mod ranged;
 pub mod stream;
 pub mod types;
 

@@ -10,6 +10,10 @@
 //!   order-preserving v1↔v2 converters and chunk-parallel scans.
 //! * [`prefetch`] — a double-buffered background-thread reader that
 //!   overlaps disk reads with partitioning CPU work.
+//! * [`ranged`] — range-addressable sources for chunk-parallel execution:
+//!   every worker thread of `tps-core`'s `ParallelRunner` opens its own
+//!   cursor over a contiguous edge-index range (v1 record seeking, v2
+//!   chunk-index scheduling, optional per-worker prefetch).
 //! * [`spill`] — a memory-bounded spilling assignment sink for materialised
 //!   per-partition output at scale.
 //!
@@ -20,6 +24,7 @@
 
 pub mod mmap;
 pub mod prefetch;
+pub mod ranged;
 pub mod spill;
 pub mod v2;
 
@@ -32,6 +37,9 @@ use tps_graph::stream::EdgeStream;
 
 pub use mmap::MmapEdgeFile;
 pub use prefetch::{ChunkSource, PrefetchConfig, PrefetchReader, V1ChunkSource, V2ChunkSource};
+pub use ranged::{
+    open_ranged, open_ranged_prefetch, RangedPrefetchSource, RangedV1File, RangedV2File,
+};
 pub use spill::{SpillStats, SpillingFileSink};
 pub use v2::{convert_v1_to_v2, convert_v2_to_v1, write_v2_edge_list, MmapV2EdgeFile, V2EdgeFile};
 

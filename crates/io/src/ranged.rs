@@ -1,0 +1,539 @@
+//! Range-addressable file sources — chunk-range scheduling for the
+//! chunk-parallel partitioner.
+//!
+//! Implements [`RangedEdgeSource`] (see `tps_graph::ranged`) for both
+//! on-disk formats, so `tps-core`'s `ParallelRunner` can open one
+//! independent cursor per worker thread:
+//!
+//! * **v1** (`TPSBEL1`) — records are fixed-width, so a range `[a, b)` is a
+//!   single seek to `HEADER + 8·a` and a countdown.
+//! * **v2** (`TPSBEL2`) — the chunk **index footer** is read once at open
+//!   and a prefix-sum over per-chunk edge counts is kept; a range cursor
+//!   binary-searches the chunk containing its start edge, decodes whole
+//!   chunks (checksums verified as in a sequential pass) and skips the
+//!   intra-chunk prefix. Workers therefore schedule disjoint chunk ranges
+//!   off one shared index with no coordination.
+//!
+//! Ranges are expressed in *edge indices*, not storage offsets, so a
+//! parallel partitioning run makes identical per-thread decisions whether
+//! the graph lives in memory, in a v1 file or in a v2 file.
+//!
+//! [`open_ranged`] is the front door (format sniffing via
+//! [`crate::detect_format`]). [`RangedPrefetchSource`] wraps either source
+//! so each worker's range stream is additionally double-buffered by a
+//! background reader thread ([`crate::prefetch`]), overlapping chunk decode
+//! and disk I/O with partitioning CPU per worker.
+
+use std::fs::File;
+use std::io::{self, BufReader, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use tps_graph::formats::binary as v1;
+use tps_graph::ranged::{check_range, RangedEdgeSource};
+use tps_graph::stream::EdgeStream;
+use tps_graph::types::{Edge, GraphInfo};
+
+use crate::prefetch::{ChunkSource, PrefetchConfig, PrefetchReader};
+use crate::v2::{read_chunk_at, read_layout, ChunkMeta, V2Layout};
+use crate::EdgeFileFormat;
+
+/// A [`RangedEdgeSource`] over a v1 fixed-width `.bel` file.
+pub struct RangedV1File {
+    path: PathBuf,
+    info: GraphInfo,
+}
+
+impl RangedV1File {
+    /// Open `path` and validate the v1 header.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::open(&path)?;
+        let info = v1::read_header(&mut file)?;
+        Ok(RangedV1File { path, info })
+    }
+
+    fn open_range_stream(&self, start: u64, end: u64) -> io::Result<V1RangeStream> {
+        check_range(start, end, self.info.num_edges)?;
+        let file = File::open(&self.path)?;
+        let mut stream = V1RangeStream {
+            reader: BufReader::with_capacity(1 << 16, file),
+            start,
+            end,
+            pos: start,
+        };
+        stream.seek_to_start()?;
+        Ok(stream)
+    }
+}
+
+impl RangedEdgeSource for RangedV1File {
+    fn info(&self) -> GraphInfo {
+        self.info
+    }
+
+    fn open_range(&self, start: u64, end: u64) -> io::Result<Box<dyn EdgeStream + '_>> {
+        Ok(Box::new(self.open_range_stream(start, end)?))
+    }
+}
+
+struct V1RangeStream {
+    reader: BufReader<File>,
+    start: u64,
+    end: u64,
+    pos: u64,
+}
+
+impl V1RangeStream {
+    fn seek_to_start(&mut self) -> io::Result<()> {
+        self.reader.seek(SeekFrom::Start(
+            v1::HEADER_LEN + self.start * v1::EDGE_RECORD_LEN,
+        ))?;
+        self.pos = self.start;
+        Ok(())
+    }
+}
+
+impl EdgeStream for V1RangeStream {
+    fn reset(&mut self) -> io::Result<()> {
+        self.seek_to_start()
+    }
+
+    fn next_edge(&mut self) -> io::Result<Option<Edge>> {
+        if self.pos >= self.end {
+            return Ok(None);
+        }
+        let mut rec = [0u8; v1::EDGE_RECORD_LEN as usize];
+        self.reader.read_exact(&mut rec)?;
+        self.pos += 1;
+        Ok(Some(Edge {
+            src: u32::from_le_bytes(rec[0..4].try_into().unwrap()),
+            dst: u32::from_le_bytes(rec[4..8].try_into().unwrap()),
+        }))
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.end - self.start)
+    }
+}
+
+/// A [`RangedEdgeSource`] over a v2 chunked file, scheduling chunk ranges
+/// off the shared index footer.
+pub struct RangedV2File {
+    path: PathBuf,
+    layout: V2Layout,
+    /// `cum[i]` = edges in chunks `0..i`; `cum[num_chunks]` = `|E|`.
+    cum: Vec<u64>,
+}
+
+impl RangedV2File {
+    /// Open `path`, validating header, index and trailer.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::open(&path)?;
+        let layout = read_layout(&mut file)?;
+        let mut cum = Vec::with_capacity(layout.chunks.len() + 1);
+        let mut total = 0u64;
+        cum.push(0);
+        for c in &layout.chunks {
+            total += c.edge_count as u64;
+            cum.push(total);
+        }
+        Ok(RangedV2File { path, layout, cum })
+    }
+
+    /// The chunk directory (shared, read-only — workers schedule off it).
+    pub fn chunks(&self) -> &[ChunkMeta] {
+        &self.layout.chunks
+    }
+
+    fn open_range_with<C, U>(
+        &self,
+        chunks: C,
+        cum: U,
+        start: u64,
+        end: u64,
+    ) -> io::Result<V2RangeStream<C, U>>
+    where
+        C: AsRef<[ChunkMeta]>,
+        U: AsRef<[u64]>,
+    {
+        check_range(start, end, self.layout.info.num_edges)?;
+        let file = File::open(&self.path)?;
+        let mut stream = V2RangeStream {
+            reader: BufReader::with_capacity(1 << 16, file),
+            chunks,
+            cum,
+            start,
+            end,
+            next_chunk: 0,
+            emitted: 0,
+            scratch: Vec::new(),
+            buf: Vec::new(),
+            buf_pos: 0,
+        };
+        stream.rewind()?;
+        Ok(stream)
+    }
+}
+
+impl RangedEdgeSource for RangedV2File {
+    fn info(&self) -> GraphInfo {
+        self.layout.info
+    }
+
+    fn open_range(&self, start: u64, end: u64) -> io::Result<Box<dyn EdgeStream + '_>> {
+        Ok(Box::new(self.open_range_with(
+            self.layout.chunks.as_slice(),
+            self.cum.as_slice(),
+            start,
+            end,
+        )?))
+    }
+}
+
+/// A stream over edges `[start, end)` of a v2 file, decoding whole chunks
+/// and skipping the intra-chunk prefix. Generic over borrowed or owned
+/// chunk-directory storage (owned streams can migrate to a prefetch
+/// thread).
+struct V2RangeStream<C, U> {
+    reader: BufReader<File>,
+    chunks: C,
+    cum: U,
+    start: u64,
+    end: u64,
+    /// Next chunk index to decode sequentially.
+    next_chunk: usize,
+    /// Edges already handed out of this range.
+    emitted: u64,
+    scratch: Vec<u8>,
+    buf: Vec<Edge>,
+    buf_pos: usize,
+}
+
+impl<C: AsRef<[ChunkMeta]>, U: AsRef<[u64]>> V2RangeStream<C, U> {
+    /// Position at the chunk containing `start` and skip the intra-chunk
+    /// prefix (decoding is chunk-at-a-time; varints cannot be entered
+    /// mid-stream).
+    fn rewind(&mut self) -> io::Result<()> {
+        self.emitted = 0;
+        self.buf.clear();
+        self.buf_pos = 0;
+        if self.start >= self.end || self.chunks.as_ref().is_empty() {
+            return Ok(());
+        }
+        // Last chunk whose cumulative start is <= `start`.
+        self.next_chunk = self
+            .cum
+            .as_ref()
+            .partition_point(|&c| c <= self.start)
+            .saturating_sub(1);
+        self.reader.seek(SeekFrom::Start(
+            self.chunks.as_ref()[self.next_chunk].offset,
+        ))?;
+        let skip = self.start - self.cum.as_ref()[self.next_chunk];
+        self.decode_next_chunk()?;
+        self.buf_pos = skip as usize;
+        Ok(())
+    }
+
+    /// Decode chunk `next_chunk` into `buf` and advance the counter.
+    fn decode_next_chunk(&mut self) -> io::Result<()> {
+        let meta = self.chunks.as_ref()[self.next_chunk];
+        self.buf.clear();
+        self.buf_pos = 0;
+        let mut buf = std::mem::take(&mut self.buf);
+        let r = read_chunk_at(&mut self.reader, meta, &mut self.scratch, &mut buf);
+        self.buf = buf;
+        r?;
+        self.next_chunk += 1;
+        Ok(())
+    }
+}
+
+impl<C: AsRef<[ChunkMeta]>, U: AsRef<[u64]>> EdgeStream for V2RangeStream<C, U> {
+    fn reset(&mut self) -> io::Result<()> {
+        self.rewind()
+    }
+
+    fn next_edge(&mut self) -> io::Result<Option<Edge>> {
+        loop {
+            if self.emitted >= self.end - self.start {
+                return Ok(None);
+            }
+            if self.buf_pos < self.buf.len() {
+                let e = self.buf[self.buf_pos];
+                self.buf_pos += 1;
+                self.emitted += 1;
+                return Ok(Some(e));
+            }
+            if self.next_chunk >= self.chunks.as_ref().len() {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "v2 chunk directory exhausted before range end",
+                ));
+            }
+            self.decode_next_chunk()?;
+        }
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.end - self.start)
+    }
+}
+
+/// Open `path` (v1 or v2, sniffed by magic) as a ranged source.
+pub fn open_ranged<P: AsRef<Path>>(path: P) -> io::Result<Box<dyn RangedEdgeSource>> {
+    let path = path.as_ref();
+    match crate::detect_format(path)? {
+        EdgeFileFormat::V1 => Ok(Box::new(RangedV1File::open(path)?)),
+        EdgeFileFormat::V2 => Ok(Box::new(RangedV2File::open(path)?)),
+    }
+}
+
+/// Like [`open_ranged`], with every range stream double-buffered by a
+/// background prefetch thread.
+pub fn open_ranged_prefetch<P: AsRef<Path>>(path: P) -> io::Result<Box<dyn RangedEdgeSource>> {
+    let path = path.as_ref();
+    match crate::detect_format(path)? {
+        EdgeFileFormat::V1 => Ok(Box::new(RangedPrefetchSource::new(RangedV1File::open(
+            path,
+        )?))),
+        EdgeFileFormat::V2 => Ok(Box::new(RangedPrefetchSource::new(RangedV2File::open(
+            path,
+        )?))),
+    }
+}
+
+/// Sources that can open an *owned* (`'static` + [`Send`]) range stream, as
+/// required to move the stream onto a prefetch worker thread.
+pub trait RangedReopen {
+    /// Open `[start, end)` as an owned stream (fresh file handle, owned
+    /// metadata).
+    fn open_range_owned(
+        &self,
+        start: u64,
+        end: u64,
+    ) -> io::Result<Box<dyn EdgeStream + Send + 'static>>;
+}
+
+impl RangedReopen for RangedV1File {
+    fn open_range_owned(
+        &self,
+        start: u64,
+        end: u64,
+    ) -> io::Result<Box<dyn EdgeStream + Send + 'static>> {
+        Ok(Box::new(self.open_range_stream(start, end)?))
+    }
+}
+
+impl RangedReopen for RangedV2File {
+    fn open_range_owned(
+        &self,
+        start: u64,
+        end: u64,
+    ) -> io::Result<Box<dyn EdgeStream + Send + 'static>> {
+        Ok(Box::new(self.open_range_with(
+            self.layout.chunks.clone(),
+            self.cum.clone(),
+            start,
+            end,
+        )?))
+    }
+}
+
+/// Wraps a ranged source so each range stream is served by a background
+/// prefetch thread (double-buffered, see [`crate::prefetch`]): chunk decode
+/// and disk reads overlap with the consumer's partitioning work, per worker.
+pub struct RangedPrefetchSource<S> {
+    inner: S,
+    config: PrefetchConfig,
+}
+
+impl<S: RangedEdgeSource + RangedReopen> RangedPrefetchSource<S> {
+    /// Wrap `inner` with the default prefetch configuration.
+    pub fn new(inner: S) -> Self {
+        RangedPrefetchSource {
+            inner,
+            config: PrefetchConfig::default(),
+        }
+    }
+
+    /// Wrap `inner` with an explicit prefetch configuration.
+    pub fn with_config(inner: S, config: PrefetchConfig) -> Self {
+        RangedPrefetchSource { inner, config }
+    }
+}
+
+/// Adapts one owned range stream into a [`ChunkSource`] feeding a prefetch
+/// worker.
+struct RangeChunkSource {
+    stream: Box<dyn EdgeStream + Send + 'static>,
+}
+
+impl ChunkSource for RangeChunkSource {
+    fn reset(&mut self) -> io::Result<()> {
+        self.stream.reset()
+    }
+
+    fn fill_chunk(&mut self, buf: &mut Vec<Edge>, max_edges: usize) -> io::Result<usize> {
+        while buf.len() < max_edges {
+            match self.stream.next_edge()? {
+                Some(e) => buf.push(e),
+                None => break,
+            }
+        }
+        Ok(buf.len())
+    }
+}
+
+impl<S: RangedEdgeSource + RangedReopen> RangedEdgeSource for RangedPrefetchSource<S> {
+    fn info(&self) -> GraphInfo {
+        self.inner.info()
+    }
+
+    fn open_range(&self, start: u64, end: u64) -> io::Result<Box<dyn EdgeStream + '_>> {
+        let stream = self.inner.open_range_owned(start, end)?;
+        Ok(Box::new(PrefetchReader::new(
+            RangeChunkSource { stream },
+            self.config,
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_graph::formats::binary::write_binary_edge_list;
+    use tps_graph::ranged::split_even;
+    use tps_graph::stream::for_each_edge;
+
+    fn tmpfile(tag: &str, ext: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tps-io-ranged-{tag}-{}.{ext}", std::process::id()))
+    }
+
+    fn edges(n: u32) -> Vec<Edge> {
+        (0..n)
+            .map(|i| Edge::new(i % 517, (i * 31 + 7) % 4096))
+            .collect()
+    }
+
+    fn collect(s: &mut dyn EdgeStream) -> Vec<Edge> {
+        let mut out = Vec::new();
+        for_each_edge(s, |e| out.push(e)).unwrap();
+        out
+    }
+
+    #[test]
+    fn v1_ranges_reassemble_full_pass() {
+        let path = tmpfile("v1", "bel");
+        let es = edges(10_000);
+        write_binary_edge_list(&path, 4096, es.iter().copied()).unwrap();
+        let src = RangedV1File::open(&path).unwrap();
+        assert_eq!(src.info().num_edges, 10_000);
+        for parts in [1usize, 3, 7] {
+            let mut seen = Vec::new();
+            for (a, b) in split_even(10_000, parts) {
+                let mut s = src.open_range(a, b).unwrap();
+                seen.extend(collect(&mut *s));
+            }
+            assert_eq!(seen, es, "parts = {parts}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_ranges_reassemble_full_pass_across_chunk_sizes() {
+        let es = edges(10_000);
+        // Chunk sizes that do and do not divide the range boundaries.
+        for chunk_edges in [64u32, 1000, 4096, 20_000] {
+            let path = tmpfile(&format!("v2-{chunk_edges}"), "bel2");
+            crate::v2::write_v2_edge_list(&path, 4096, es.iter().copied(), chunk_edges).unwrap();
+            let src = RangedV2File::open(&path).unwrap();
+            for parts in [1usize, 2, 5, 13] {
+                let mut seen = Vec::new();
+                for (a, b) in split_even(10_000, parts) {
+                    let mut s = src.open_range(a, b).unwrap();
+                    seen.extend(collect(&mut *s));
+                }
+                assert_eq!(seen, es, "chunk {chunk_edges} parts {parts}");
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn v2_range_mid_chunk_resets_correctly() {
+        let es = edges(5_000);
+        let path = tmpfile("v2-reset", "bel2");
+        crate::v2::write_v2_edge_list(&path, 4096, es.iter().copied(), 777).unwrap();
+        let src = RangedV2File::open(&path).unwrap();
+        // A range starting and ending mid-chunk.
+        let mut s = src.open_range(1_000, 3_500).unwrap();
+        let first = collect(&mut *s);
+        let second = collect(&mut *s); // collect resets first
+        assert_eq!(first.len(), 2_500);
+        assert_eq!(first, second);
+        assert_eq!(first[0], es[1_000]);
+        assert_eq!(*first.last().unwrap(), es[3_499]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_ranged_sniffs_both_formats() {
+        let es = edges(2_000);
+        let p1 = tmpfile("sniff", "bel");
+        let p2 = tmpfile("sniff", "bel2");
+        write_binary_edge_list(&p1, 4096, es.iter().copied()).unwrap();
+        crate::v2::write_v2_edge_list(&p2, 4096, es.iter().copied(), 300).unwrap();
+        for p in [&p1, &p2] {
+            let src = open_ranged(p).unwrap();
+            let mut s = src.open_range(500, 1500).unwrap();
+            let seen = collect(&mut *s);
+            assert_eq!(seen, &es[500..1500], "{p:?}");
+        }
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn prefetch_wrapped_ranges_match_plain_ranges() {
+        let es = edges(8_000);
+        let p1 = tmpfile("pf", "bel");
+        let p2 = tmpfile("pf", "bel2");
+        write_binary_edge_list(&p1, 4096, es.iter().copied()).unwrap();
+        crate::v2::write_v2_edge_list(&p2, 4096, es.iter().copied(), 1000).unwrap();
+
+        let v1 = RangedPrefetchSource::new(RangedV1File::open(&p1).unwrap());
+        let v2 = RangedPrefetchSource::new(RangedV2File::open(&p2).unwrap());
+        for (a, b) in split_even(8_000, 4) {
+            let mut s1 = v1.open_range(a, b).unwrap();
+            let mut s2 = v2.open_range(a, b).unwrap();
+            assert_eq!(collect(&mut *s1), &es[a as usize..b as usize]);
+            assert_eq!(collect(&mut *s2), &es[a as usize..b as usize]);
+        }
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn out_of_bounds_ranges_rejected() {
+        let es = edges(100);
+        let path = tmpfile("oob", "bel");
+        write_binary_edge_list(&path, 4096, es.iter().copied()).unwrap();
+        let src = RangedV1File::open(&path).unwrap();
+        assert!(src.open_range(0, 101).is_err());
+        assert!(src.open_range(60, 50).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        let es = edges(100);
+        let path = tmpfile("emptyrange", "bel2");
+        crate::v2::write_v2_edge_list(&path, 4096, es.iter().copied(), 32).unwrap();
+        let src = RangedV2File::open(&path).unwrap();
+        let mut s = src.open_range(50, 50).unwrap();
+        assert_eq!(s.next_edge().unwrap(), None);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -365,7 +365,7 @@ pub fn read_layout(file: &mut File) -> io::Result<V2Layout> {
 
 /// Read + verify + decode the chunk described by `meta` from `r`, which must
 /// be positioned at `meta.offset`. Decoded edges are appended to `out`.
-fn read_chunk_at<R: Read>(
+pub(crate) fn read_chunk_at<R: Read>(
     r: &mut R,
     meta: ChunkMeta,
     scratch: &mut Vec<u8>,

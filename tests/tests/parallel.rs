@@ -1,0 +1,190 @@
+//! Parallel/serial equivalence of the chunk-parallel runner.
+//!
+//! Pins the contracts documented in `tps-core::parallel`:
+//!
+//! * completeness — every edge assigned exactly once at any thread count;
+//! * one-thread runs match the serial runner bit for bit;
+//! * determinism for a fixed thread count;
+//! * the balance cap holds (with the documented `k+1`-per-worker bound in
+//!   the degenerate tiny-graph regime, where `|E|` ≲ `k × threads`);
+//! * replication factor within a fixed epsilon of the serial runner on
+//!   generated R-MAT graphs;
+//! * storage-backend independence — in-memory, v1, v2 and prefetch-wrapped
+//!   sources produce identical parallel assignments.
+
+use proptest::prelude::*;
+use tps_core::balance::PartitionLoads;
+use tps_core::parallel::ParallelRunner;
+use tps_core::partitioner::{PartitionParams, Partitioner};
+use tps_core::sink::{QualitySink, VecSink};
+use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_graph::datasets::Dataset;
+use tps_graph::gen::rmat;
+use tps_graph::ranged::RangedEdgeSource;
+use tps_graph::stream::InMemoryGraph;
+use tps_graph::types::Edge;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn serial_assignments(g: &InMemoryGraph, k: u32) -> Vec<(Edge, u32)> {
+    let mut sink = VecSink::new();
+    TwoPhasePartitioner::new(TwoPhaseConfig::default())
+        .partition(&mut g.stream(), &PartitionParams::new(k), &mut sink)
+        .unwrap();
+    sink.into_assignments()
+}
+
+fn parallel_assignments(source: &dyn RangedEdgeSource, k: u32, threads: usize) -> Vec<(Edge, u32)> {
+    let mut sink = VecSink::new();
+    ParallelRunner::new(TwoPhaseConfig::default(), threads)
+        .partition(source, &PartitionParams::new(k), &mut sink)
+        .unwrap();
+    sink.into_assignments()
+}
+
+/// Arbitrary small graphs (duplicates and self-loops allowed).
+fn arb_graph() -> impl Strategy<Value = InMemoryGraph> {
+    proptest::collection::vec((0u32..64, 0u32..64), 1..200)
+        .prop_map(|pairs| InMemoryGraph::from_edges(pairs.into_iter().map(Edge::from).collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_invariants_across_thread_counts(graph in arb_graph(), k in 1u32..9) {
+        let serial = serial_assignments(&graph, k);
+        let cap = PartitionLoads::new(k, graph.num_edges(), 1.05).cap();
+        let mut want: Vec<Edge> = graph.edges().to_vec();
+        want.sort();
+        for threads in THREAD_COUNTS {
+            let got = parallel_assignments(&graph, k, threads);
+            // Completeness: the assigned multiset is the edge multiset.
+            let mut edges: Vec<Edge> = got.iter().map(|&(e, _)| e).collect();
+            edges.sort();
+            prop_assert_eq!(&edges, &want, "threads {}", threads);
+            prop_assert!(got.iter().all(|&(_, p)| p < k));
+            // Bit-for-bit serial equivalence at one thread.
+            if threads == 1 {
+                prop_assert_eq!(&got, &serial, "1-thread run diverged from serial");
+            }
+            // Determinism for a fixed thread count.
+            prop_assert_eq!(&got, &parallel_assignments(&graph, k, threads));
+            // Balance: hard cap, plus the documented degenerate bound of at
+            // most k+1 overshoot edges per worker on tiny graphs.
+            let mut loads = vec![0u64; k as usize];
+            for &(_, p) in &got {
+                loads[p as usize] += 1;
+            }
+            // Exact predicate from tps-core::parallel: a worker can stay
+            // within quota iff its quota slices cover its edge share.
+            let t = threads as u64;
+            let guaranteed = (cap / t) * k as u64 >= graph.num_edges().div_ceil(t);
+            let slack = if guaranteed { 0 } else { (k as u64 + 1) * t };
+            prop_assert!(
+                loads.iter().all(|&l| l <= cap + slack),
+                "threads {}: loads {:?} exceed cap {} + slack {}",
+                threads, loads, cap, slack
+            );
+        }
+    }
+}
+
+#[test]
+fn rmat_replication_factor_within_epsilon_of_serial() {
+    // A direct R-MAT generation (not just the dataset stand-ins).
+    let g = rmat::generate(&rmat::RmatConfig::social(14, 120_000), 7);
+    let k = 16;
+    let mut serial_sink = QualitySink::new(g.num_vertices(), k);
+    TwoPhasePartitioner::new(TwoPhaseConfig::default())
+        .partition(&mut g.stream(), &PartitionParams::new(k), &mut serial_sink)
+        .unwrap();
+    let serial = serial_sink.finish();
+    let cap = PartitionLoads::new(k, g.num_edges(), 1.05).cap();
+    for threads in THREAD_COUNTS {
+        let mut sink = QualitySink::new(g.num_vertices(), k);
+        let report = ParallelRunner::new(TwoPhaseConfig::default(), threads)
+            .partition(&g, &PartitionParams::new(k), &mut sink)
+            .unwrap();
+        let m = sink.finish();
+        assert_eq!(m.num_edges, g.num_edges());
+        assert_eq!(report.counter("cap_overshoot"), 0, "threads {threads}");
+        assert!(
+            m.max_load <= cap,
+            "threads {threads}: max load {} > cap {cap}",
+            m.max_load
+        );
+        // The epsilon bound documented in tps-core::parallel: the sharded
+        // run loses quality only on range-straddling state.
+        let eps = match threads {
+            1 => 1.0,
+            2 => 1.15,
+            4 => 1.30,
+            _ => 1.45,
+        };
+        assert!(
+            m.replication_factor <= serial.replication_factor * eps + 1e-9,
+            "threads {threads}: rf {} vs serial {} (eps {eps})",
+            m.replication_factor,
+            serial.replication_factor
+        );
+    }
+}
+
+#[test]
+fn parallel_result_is_independent_of_the_storage_backend() {
+    let g = Dataset::Ok.generate_scaled(0.02);
+    let dir = std::env::temp_dir().join(format!("tps-par-backend-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let v1_path = dir.join("g.bel");
+    let v2_path = dir.join("g.bel2");
+    tps_graph::formats::binary::write_binary_edge_list(
+        &v1_path,
+        g.num_vertices(),
+        g.edges().iter().copied(),
+    )
+    .unwrap();
+    // A chunk size that does not divide the thread ranges.
+    tps_io::write_v2_edge_list(&v2_path, g.num_vertices(), g.edges().iter().copied(), 777).unwrap();
+
+    let k = 8;
+    let threads = 3;
+    let reference = parallel_assignments(&g, k, threads);
+    assert_eq!(reference.len() as u64, g.num_edges());
+
+    let v1 = tps_io::RangedV1File::open(&v1_path).unwrap();
+    let v2 = tps_io::RangedV2File::open(&v2_path).unwrap();
+    assert_eq!(parallel_assignments(&v1, k, threads), reference, "v1 file");
+    assert_eq!(parallel_assignments(&v2, k, threads), reference, "v2 file");
+
+    let v1_pf = tps_io::RangedPrefetchSource::new(tps_io::RangedV1File::open(&v1_path).unwrap());
+    let v2_pf = tps_io::RangedPrefetchSource::new(tps_io::RangedV2File::open(&v2_path).unwrap());
+    assert_eq!(
+        parallel_assignments(&v1_pf, k, threads),
+        reference,
+        "v1 + prefetch"
+    );
+    assert_eq!(
+        parallel_assignments(&v2_pf, k, threads),
+        reference,
+        "v2 + prefetch"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restreaming_and_hdrf_variants_run_parallel() {
+    let g = Dataset::It.generate_scaled(0.01);
+    for cfg in [
+        TwoPhaseConfig::with_passes(2),
+        TwoPhaseConfig::hdrf_variant(),
+    ] {
+        for threads in [2usize, 4] {
+            let mut sink = VecSink::new();
+            ParallelRunner::new(cfg, threads)
+                .partition(&g, &PartitionParams::new(8), &mut sink)
+                .unwrap();
+            assert_eq!(sink.assignments().len() as u64, g.num_edges());
+        }
+    }
+}
