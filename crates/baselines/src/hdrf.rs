@@ -14,7 +14,75 @@ use tps_core::partitioner::{PartitionParams, Partitioner, RunReport};
 use tps_core::sink::AssignmentSink;
 use tps_core::two_phase::scoring::HdrfParams;
 use tps_graph::stream::{discover_info, EdgeStream};
+use tps_graph::types::{Edge, PartitionId, VertexId};
 use tps_metrics::bitmatrix::ReplicationMatrix;
+
+/// The HDRF per-edge decision kernel: scoring state plus the commit path,
+/// shared by the serial [`HdrfPartitioner`] and the chunk-parallel runner
+/// (`crate::parallel`) so both take identical decisions for identical
+/// degree inputs.
+pub(crate) struct HdrfScorer {
+    v2p: ReplicationMatrix,
+    loads: Vec<u64>,
+    max_load: u64,
+    min_load: u64,
+    params: HdrfParams,
+}
+
+impl HdrfScorer {
+    pub(crate) fn new(num_vertices: u64, k: u32, params: HdrfParams) -> Self {
+        HdrfScorer {
+            v2p: ReplicationMatrix::new(num_vertices, k),
+            loads: vec![0u64; k as usize],
+            max_load: 0,
+            min_load: 0,
+            params,
+        }
+    }
+
+    /// Score all `k` partitions for `(u, v)` with degrees `(du, dv)`,
+    /// commit the edge to the best one, and return it.
+    pub(crate) fn place(&mut self, e: Edge, du: u64, dv: u64) -> PartitionId {
+        let k = self.loads.len() as u32;
+        let d_sum = (du + dv) as f64;
+        let theta_u = du as f64 / d_sum;
+        let theta_v = dv as f64 / d_sum;
+        let bal_denom = self.params.epsilon + (self.max_load - self.min_load) as f64;
+
+        // O(k) scoring loop — the cost 2PS-L eliminates.
+        let mut best_p = 0u32;
+        let mut best_score = f64::NEG_INFINITY;
+        for p in 0..k {
+            let mut c_rep = 0.0;
+            if self.v2p.get(e.src as VertexId, p) {
+                c_rep += 1.0 + (1.0 - theta_u);
+            }
+            if self.v2p.get(e.dst as VertexId, p) {
+                c_rep += 1.0 + (1.0 - theta_v);
+            }
+            let c_bal = (self.max_load - self.loads[p as usize]) as f64 / bal_denom;
+            let score = c_rep + self.params.lambda * c_bal;
+            if score > best_score {
+                best_score = score;
+                best_p = p;
+            }
+        }
+
+        self.v2p.set(e.src, best_p);
+        self.v2p.set(e.dst, best_p);
+        let l = &mut self.loads[best_p as usize];
+        *l += 1;
+        if *l > self.max_load {
+            self.max_load = *l;
+        }
+        if self.loads[best_p as usize] - 1 == self.min_load {
+            // The minimum may have moved; recompute lazily only when the
+            // partition that held it grew. O(k), amortised rarely.
+            self.min_load = self.loads.iter().copied().min().unwrap_or(0);
+        }
+        best_p
+    }
+}
 
 /// The HDRF streaming partitioner.
 #[derive(Clone, Copy, Debug)]
@@ -61,13 +129,7 @@ impl Partitioner for HdrfPartitioner {
         }
 
         let t = Instant::now();
-        let mut v2p = ReplicationMatrix::new(info.num_vertices, k);
-        let mut loads = vec![0u64; k as usize];
-        let mut max_load = 0u64;
-        let mut min_load = 0u64;
-        let lambda = self.params.lambda;
-        let epsilon = self.params.epsilon;
-
+        let mut scorer = HdrfScorer::new(info.num_vertices, k, self.params);
         stream.reset()?;
         while let Some(e) = stream.next_edge()? {
             if self.partial_degrees {
@@ -76,43 +138,8 @@ impl Partitioner for HdrfPartitioner {
             }
             let du = degrees[e.src as usize];
             let dv = degrees[e.dst as usize];
-            let d_sum = (du + dv) as f64;
-            let theta_u = du as f64 / d_sum;
-            let theta_v = dv as f64 / d_sum;
-            let bal_denom = epsilon + (max_load - min_load) as f64;
-
-            // O(k) scoring loop — the cost 2PS-L eliminates.
-            let mut best_p = 0u32;
-            let mut best_score = f64::NEG_INFINITY;
-            for p in 0..k {
-                let mut c_rep = 0.0;
-                if v2p.get(e.src, p) {
-                    c_rep += 1.0 + (1.0 - theta_u);
-                }
-                if v2p.get(e.dst, p) {
-                    c_rep += 1.0 + (1.0 - theta_v);
-                }
-                let c_bal = (max_load - loads[p as usize]) as f64 / bal_denom;
-                let score = c_rep + lambda * c_bal;
-                if score > best_score {
-                    best_score = score;
-                    best_p = p;
-                }
-            }
-
-            v2p.set(e.src, best_p);
-            v2p.set(e.dst, best_p);
-            let l = &mut loads[best_p as usize];
-            *l += 1;
-            if *l > max_load {
-                max_load = *l;
-            }
-            if loads[best_p as usize] - 1 == min_load {
-                // The minimum may have moved; recompute lazily only when the
-                // partition that held it grew. O(k), amortised rarely.
-                min_load = loads.iter().copied().min().unwrap_or(0);
-            }
-            sink.assign(e, best_p)?;
+            let p = scorer.place(e, du, dv);
+            sink.assign(e, p)?;
         }
         report.phases.record("partition", t.elapsed());
         Ok(report)

@@ -1,0 +1,115 @@
+//! Distributed scaling: the loopback coordinator/worker runtime against the
+//! serial 2PS-L runner, end to end.
+//!
+//! Generates the R-MAT-skewed OK stand-in and runs full distributed
+//! partitions (`tps_dist::run_dist_local` — real protocol frames over
+//! loopback channel transports, one OS thread per worker) at 1/2/4 workers.
+//! The JSON schema is identical to `parallel_scaling`'s (a `serial`
+//! reference plus per-worker-count rows keyed `threads`), so the perf gate
+//! reads it with the same extractor under the `dist_scaling.*` prefix and
+//! speedup/overhead curves are directly comparable: the delta between a
+//! `parallel_scaling` row and a `dist_scaling` row at the same count is the
+//! protocol cost (serialisation + channel hops + coordinator merges).
+//!
+//! One-worker runs are asserted bit-compatible with serial quality, the
+//! distributed analogue of `parallel_scaling`'s T=1 check (T=1 loopback ≡
+//! T=1 in-process ≡ serial).
+//!
+//! Run: `cargo run --release -p tps-bench --bin dist_scaling -- [--scale f] [--repeats n] [--quick]`
+
+use std::time::Instant;
+
+use tps_bench::harness::BenchArgs;
+use tps_core::partitioner::PartitionParams;
+use tps_core::runner::run_partitioner;
+use tps_core::sink::QualitySink;
+use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_dist::run_dist_local;
+use tps_graph::datasets::Dataset;
+
+const K: u32 = 32;
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let graph = Dataset::Ok.generate_scaled(args.scale);
+    let params = PartitionParams::new(K);
+    let config = TwoPhaseConfig::default();
+
+    // Serial reference.
+    let mut serial_best: Option<tps_core::runner::RunOutcome> = None;
+    for _ in 0..args.repeats {
+        let mut p = TwoPhasePartitioner::new(config);
+        let mut stream = graph.stream();
+        let out = run_partitioner(&mut p, &mut stream, graph.num_vertices(), &params)
+            .expect("serial partition");
+        if serial_best
+            .as_ref()
+            .is_none_or(|b| out.wall_time < b.wall_time)
+        {
+            serial_best = Some(out);
+        }
+    }
+    let serial = serial_best.expect("at least one repeat");
+    let serial_s = serial.seconds();
+    let medges = graph.num_edges() as f64 / 1e6;
+
+    let mut rows = Vec::new();
+    for workers in WORKER_COUNTS {
+        let mut best: Option<(f64, tps_metrics::quality::PartitionMetrics, u64)> = None;
+        for _ in 0..args.repeats {
+            let mut sink = QualitySink::new(graph.num_vertices(), K);
+            let start = Instant::now();
+            let report = run_dist_local(&graph, &config, &params, workers, &mut sink)
+                .expect("distributed partition");
+            let seconds = start.elapsed().as_secs_f64();
+            if best.as_ref().is_none_or(|(s, _, _)| seconds < *s) {
+                best = Some((seconds, sink.finish(), report.counter("cap_overshoot")));
+            }
+        }
+        let (seconds, metrics, cap_overshoot) = best.expect("at least one repeat");
+        assert_eq!(
+            metrics.num_edges,
+            graph.num_edges(),
+            "distributed runner dropped edges at {workers} workers"
+        );
+        if workers == 1 {
+            // One worker runs the serial decision path end to end; quality
+            // must match exactly, protocol overhead aside.
+            assert_eq!(
+                metrics.replication_factor, serial.metrics.replication_factor,
+                "1-worker distributed RF diverged from serial"
+            );
+            assert_eq!(metrics.loads, serial.metrics.loads);
+        }
+        rows.push(format!(
+            "    {{\"threads\": {workers}, \"seconds\": {seconds:.6}, \"medges_per_sec\": {:.3}, \"speedup\": {:.3}, \"rf\": {:.4}, \"rf_vs_serial\": {:.4}, \"alpha\": {:.4}, \"cap_overshoot\": {cap_overshoot}}}",
+            medges / seconds,
+            serial_s / seconds,
+            metrics.replication_factor,
+            metrics.replication_factor / serial.metrics.replication_factor,
+            metrics.alpha,
+        ));
+    }
+
+    println!("{{");
+    println!(
+        "  \"graph\": {{\"vertices\": {}, \"edges\": {}, \"scale\": {}, \"k\": {K}}},",
+        graph.num_vertices(),
+        graph.num_edges(),
+        args.scale
+    );
+    println!(
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    println!(
+        "  \"serial\": {{\"seconds\": {:.6}, \"medges_per_sec\": {:.3}, \"rf\": {:.4}, \"alpha\": {:.4}}},",
+        serial_s,
+        medges / serial_s,
+        serial.metrics.replication_factor,
+        serial.metrics.alpha
+    );
+    println!("  \"parallel\": [\n{}\n  ]", rows.join(",\n"));
+    println!("}}");
+}

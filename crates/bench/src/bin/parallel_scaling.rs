@@ -1,5 +1,5 @@
-//! Parallel scaling: the chunk-parallel `ParallelRunner` against the serial
-//! 2PS-L runner, end to end.
+//! Parallel scaling: chunk-parallel runners against their serial
+//! references, end to end.
 //!
 //! Generates the R-MAT-skewed OK stand-in, runs a full serial partition and
 //! full parallel partitions at 1/2/4/8 worker threads, and emits a JSON
@@ -8,79 +8,57 @@
 //! `tps-core::parallel` stay observable. One-thread parallel runs are
 //! asserted bit-compatible with serial quality (same RF, same loads).
 //!
-//! Run: `cargo run --release -p tps-bench --bin parallel_scaling -- [--scale f] [--repeats n] [--quick]`
+//! `--algo` selects the algorithm (paper Fig. 4 with a threads axis):
+//!
+//! * `2ps` (default) — `ParallelRunner` vs the serial 2PS-L partitioner;
+//! * `hdrf` — `ParallelBaselineRunner` vs serial **exact-degree** HDRF
+//!   (partial degree counting is inherently sequential, so the parallel
+//!   runner and its serial reference both use exact degrees);
+//! * `dbh` — `ParallelBaselineRunner` vs serial DBH (whose output the
+//!   parallel runner reproduces identically at every thread count).
+//!
+//! Run: `cargo run --release -p tps-bench --bin parallel_scaling -- [--algo 2ps|hdrf|dbh] [--scale f] [--repeats n] [--quick]`
 
+use std::time::Instant;
+
+use tps_baselines::{DbhPartitioner, HdrfPartitioner, ParallelBaselineRunner, StreamingBaseline};
 use tps_bench::harness::BenchArgs;
 use tps_core::parallel::ParallelRunner;
-use tps_core::partitioner::PartitionParams;
+use tps_core::partitioner::{PartitionParams, Partitioner, RunReport};
 use tps_core::runner::{run_parallel_partitioner, run_partitioner};
+use tps_core::sink::QualitySink;
 use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
 use tps_graph::datasets::Dataset;
+use tps_graph::stream::InMemoryGraph;
+use tps_metrics::quality::PartitionMetrics;
 
 const K: u32 = 32;
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
+/// One measured run, serial or parallel.
+struct Measured {
+    seconds: f64,
+    metrics: PartitionMetrics,
+    report: RunReport,
+}
+
 fn main() {
-    let args = BenchArgs::from_env();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let algo = take_value(&mut argv, "--algo").unwrap_or_else(|| "2ps".to_string());
+    let args = BenchArgs::parse(argv);
     // The OK stand-in is R-MAT-derived: skewed degrees and ids.
     let graph = Dataset::Ok.generate_scaled(args.scale);
     let params = PartitionParams::new(K);
 
-    // Serial reference.
-    let mut serial_best: Option<tps_core::runner::RunOutcome> = None;
-    for _ in 0..args.repeats {
-        let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
-        let mut stream = graph.stream();
-        let out = run_partitioner(&mut p, &mut stream, graph.num_vertices(), &params)
-            .expect("serial partition");
-        if serial_best
-            .as_ref()
-            .is_none_or(|b| out.wall_time < b.wall_time)
-        {
-            serial_best = Some(out);
+    let (serial, rows) = match algo.as_str() {
+        "2ps" | "2ps-l" => run_2ps(&graph, &params, &args),
+        "hdrf" => run_baseline(StreamingBaseline::hdrf(), &graph, &params, &args),
+        "dbh" => run_baseline(StreamingBaseline::dbh(), &graph, &params, &args),
+        other => {
+            eprintln!("error: unknown --algo {other:?} (2ps|hdrf|dbh)");
+            std::process::exit(2);
         }
-    }
-    let serial = serial_best.expect("at least one repeat");
-    let serial_s = serial.seconds();
-    let medges = graph.num_edges() as f64 / 1e6;
-
-    let mut rows = Vec::new();
-    for threads in THREAD_COUNTS {
-        let runner = ParallelRunner::new(TwoPhaseConfig::default(), threads);
-        let mut best: Option<tps_core::runner::RunOutcome> = None;
-        for _ in 0..args.repeats {
-            let out =
-                run_parallel_partitioner(&runner, &graph, &params).expect("parallel partition");
-            if best.as_ref().is_none_or(|b| out.wall_time < b.wall_time) {
-                best = Some(out);
-            }
-        }
-        let out = best.expect("at least one repeat");
-        assert_eq!(
-            out.metrics.num_edges,
-            graph.num_edges(),
-            "parallel runner dropped edges at {threads} threads"
-        );
-        if threads == 1 {
-            // One worker executes the serial code path; quality must match
-            // exactly, not within epsilon.
-            assert_eq!(
-                out.metrics.replication_factor, serial.metrics.replication_factor,
-                "1-thread parallel RF diverged from serial"
-            );
-            assert_eq!(out.metrics.loads, serial.metrics.loads);
-        }
-        rows.push(format!(
-            "    {{\"threads\": {threads}, \"seconds\": {:.6}, \"medges_per_sec\": {:.3}, \"speedup\": {:.3}, \"rf\": {:.4}, \"rf_vs_serial\": {:.4}, \"alpha\": {:.4}, \"cap_overshoot\": {}}}",
-            out.seconds(),
-            medges / out.seconds(),
-            serial_s / out.seconds(),
-            out.metrics.replication_factor,
-            out.metrics.replication_factor / serial.metrics.replication_factor,
-            out.metrics.alpha,
-            out.report.counter("cap_overshoot"),
-        ));
-    }
+    };
 
     println!("{{");
     println!(
@@ -89,17 +67,156 @@ fn main() {
         graph.num_edges(),
         args.scale
     );
+    println!("  \"algo\": \"{algo}\",");
     println!(
         "  \"hardware_threads\": {},",
         std::thread::available_parallelism().map_or(1, |n| n.get())
     );
+    let medges = graph.num_edges() as f64 / 1e6;
     println!(
         "  \"serial\": {{\"seconds\": {:.6}, \"medges_per_sec\": {:.3}, \"rf\": {:.4}, \"alpha\": {:.4}}},",
-        serial_s,
-        medges / serial_s,
+        serial.seconds,
+        medges / serial.seconds,
         serial.metrics.replication_factor,
         serial.metrics.alpha
     );
     println!("  \"parallel\": [\n{}\n  ]", rows.join(",\n"));
     println!("}}");
+}
+
+/// Remove `--name value` from `argv`, returning the value.
+fn take_value(argv: &mut Vec<String>, name: &str) -> Option<String> {
+    let i = argv.iter().position(|a| a == name)?;
+    argv.remove(i);
+    if i < argv.len() {
+        Some(argv.remove(i))
+    } else {
+        eprintln!("error: {name} needs a value");
+        std::process::exit(2);
+    }
+}
+
+fn best_of<F: FnMut() -> Measured>(repeats: u32, mut run: F) -> Measured {
+    let mut best: Option<Measured> = None;
+    for _ in 0..repeats {
+        let out = run();
+        if best.as_ref().is_none_or(|b| out.seconds < b.seconds) {
+            best = Some(out);
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+fn row(threads: usize, out: &Measured, serial: &Measured, medges: f64) -> String {
+    format!(
+        "    {{\"threads\": {threads}, \"seconds\": {:.6}, \"medges_per_sec\": {:.3}, \"speedup\": {:.3}, \"rf\": {:.4}, \"rf_vs_serial\": {:.4}, \"alpha\": {:.4}, \"cap_overshoot\": {}}}",
+        out.seconds,
+        medges / out.seconds,
+        serial.seconds / out.seconds,
+        out.metrics.replication_factor,
+        out.metrics.replication_factor / serial.metrics.replication_factor,
+        out.metrics.alpha,
+        out.report.counter("cap_overshoot"),
+    )
+}
+
+fn run_2ps(
+    graph: &InMemoryGraph,
+    params: &PartitionParams,
+    args: &BenchArgs,
+) -> (Measured, Vec<String>) {
+    let serial = best_of(args.repeats, || {
+        let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
+        let mut stream = graph.stream();
+        let out = run_partitioner(&mut p, &mut stream, graph.num_vertices(), params)
+            .expect("serial partition");
+        Measured {
+            seconds: out.seconds(),
+            metrics: out.metrics,
+            report: out.report,
+        }
+    });
+    let medges = graph.num_edges() as f64 / 1e6;
+    let mut rows = Vec::new();
+    for threads in THREAD_COUNTS {
+        let runner = ParallelRunner::new(TwoPhaseConfig::default(), threads);
+        let out = best_of(args.repeats, || {
+            let out = run_parallel_partitioner(&runner, graph, params).expect("parallel partition");
+            Measured {
+                seconds: out.seconds(),
+                metrics: out.metrics,
+                report: out.report,
+            }
+        });
+        check_row(&out, &serial, graph, threads);
+        rows.push(row(threads, &out, &serial, medges));
+    }
+    (serial, rows)
+}
+
+fn run_baseline(
+    algo: StreamingBaseline,
+    graph: &InMemoryGraph,
+    params: &PartitionParams,
+    args: &BenchArgs,
+) -> (Measured, Vec<String>) {
+    let serial = best_of(args.repeats, || {
+        let mut sink = QualitySink::new(graph.num_vertices(), params.k);
+        let start = Instant::now();
+        let report = match algo {
+            // The parallel reference point uses exact degrees (see module
+            // docs), so the serial HDRF reference must too.
+            StreamingBaseline::Hdrf(h) => HdrfPartitioner {
+                params: h,
+                partial_degrees: false,
+            }
+            .partition(&mut graph.stream(), params, &mut sink)
+            .expect("serial hdrf"),
+            StreamingBaseline::Dbh { seed } => DbhPartitioner { seed }
+                .partition(&mut graph.stream(), params, &mut sink)
+                .expect("serial dbh"),
+        };
+        Measured {
+            seconds: start.elapsed().as_secs_f64(),
+            metrics: sink.finish(),
+            report,
+        }
+    });
+    let medges = graph.num_edges() as f64 / 1e6;
+    let mut rows = Vec::new();
+    for threads in THREAD_COUNTS {
+        let runner = ParallelBaselineRunner::new(algo, threads);
+        let out = best_of(args.repeats, || {
+            let mut sink = QualitySink::new(graph.num_vertices(), params.k);
+            let start = Instant::now();
+            let report = runner
+                .partition(graph, params, &mut sink)
+                .expect("parallel");
+            Measured {
+                seconds: start.elapsed().as_secs_f64(),
+                metrics: sink.finish(),
+                report,
+            }
+        });
+        check_row(&out, &serial, graph, threads);
+        rows.push(row(threads, &out, &serial, medges));
+    }
+    (serial, rows)
+}
+
+fn check_row(out: &Measured, serial: &Measured, graph: &InMemoryGraph, threads: usize) {
+    assert_eq!(
+        out.metrics.num_edges,
+        graph.num_edges(),
+        "parallel runner dropped edges at {threads} threads"
+    );
+    if threads == 1 {
+        // One worker executes the serial code path; quality must match
+        // exactly, not within epsilon.
+        assert_eq!(
+            out.metrics.replication_factor, serial.metrics.replication_factor,
+            "1-thread parallel RF diverged from serial"
+        );
+        assert_eq!(out.metrics.loads, serial.metrics.loads);
+    }
 }

@@ -9,21 +9,29 @@
 //! # gate (CI):
 //! perf_gate --io io.json --scaling par.json \
 //!           --baseline bench/baselines/ci.json --out BENCH_ci.json
+//! perf_gate --dist dist.json --baseline bench/baselines/ci.json   # dist-smoke job
 //!
 //! # refresh the baseline (derated so other machines' jitter doesn't trip
 //! # the 25% gate — the committed floor is derate × measured):
 //! perf_gate --io io.json --scaling par.json --derate 0.5 \
 //!           --write-baseline bench/baselines/ci.json
 //! ```
+//!
+//! The committed baseline may hold floors for more report families than one
+//! invocation supplies (CI gates io + scaling in `perf-smoke` and dist in
+//! `dist-smoke`); floors are scoped to the supplied sections, and when
+//! `--write-baseline` targets an existing file, floors of *unsupplied*
+//! sections are carried over instead of dropped.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use tps_bench::gate::{compare, extract_metrics, parse_json, Json};
+use tps_bench::gate::{compare, extract_metrics, parse_json, scope_baseline, Json};
 
 struct Args {
     io: Option<String>,
     scaling: Option<String>,
+    dist: Option<String>,
     baseline: Option<String>,
     out: Option<String>,
     write_baseline: Option<String>,
@@ -35,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         io: None,
         scaling: None,
+        dist: None,
         baseline: None,
         out: None,
         write_baseline: None,
@@ -47,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--io" => args.io = Some(value("io")?),
             "--scaling" => args.scaling = Some(value("scaling")?),
+            "--dist" => args.dist = Some(value("dist")?),
             "--baseline" => args.baseline = Some(value("baseline")?),
             "--out" => args.out = Some(value("out")?),
             "--write-baseline" => args.write_baseline = Some(value("write-baseline")?),
@@ -63,8 +73,8 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    if args.io.is_none() && args.scaling.is_none() {
-        return Err("need at least one of --io / --scaling".into());
+    if args.io.is_none() && args.scaling.is_none() && args.dist.is_none() {
+        return Err("need at least one of --io / --scaling / --dist".into());
     }
     if args.baseline.is_none() && args.write_baseline.is_none() {
         return Err("need --baseline (gate mode) or --write-baseline".into());
@@ -88,6 +98,10 @@ fn run() -> Result<bool, String> {
     if let Some(p) = &args.scaling {
         members.push(("parallel_scaling".to_string(), load_json(p)?));
     }
+    if let Some(p) = &args.dist {
+        members.push(("dist_scaling".to_string(), load_json(p)?));
+    }
+    let sections: Vec<String> = members.iter().map(|(k, _)| k.clone()).collect();
     let merged = Json::Obj(members);
     let current = extract_metrics(&merged);
     if current.is_empty() {
@@ -101,10 +115,26 @@ fn run() -> Result<bool, String> {
 
     if let Some(path) = &args.write_baseline {
         // Baseline = derated current metrics, as a flat metric→floor map.
+        // Floors of sections this invocation didn't run are carried over
+        // from the existing file so a partial refresh can't drop them.
+        let mut floors_map: BTreeMap<String, f64> = match load_json(path) {
+            Ok(existing) => match existing.get("metrics") {
+                Some(Json::Obj(members)) => members
+                    .iter()
+                    .filter(|(k, _)| !sections.iter().any(|s| k.starts_with(&format!("{s}."))))
+                    .filter_map(|(k, v)| v.as_f64().map(|f| (k.clone(), f)))
+                    .collect(),
+                _ => BTreeMap::new(),
+            },
+            Err(_) => BTreeMap::new(),
+        };
+        for (k, v) in &current {
+            floors_map.insert(k.clone(), round3(v * args.derate));
+        }
         let floors = Json::Obj(
-            current
-                .iter()
-                .map(|(k, v)| (k.clone(), Json::Num(round3(v * args.derate))))
+            floors_map
+                .into_iter()
+                .map(|(k, v)| (k, Json::Num(v)))
                 .collect(),
         );
         let doc = Json::Obj(vec![
@@ -131,6 +161,16 @@ fn run() -> Result<bool, String> {
             .collect(),
         _ => return Err("baseline file has no \"metrics\" object".into()),
     };
+    // Gate only the report families this invocation supplied (see module
+    // docs) — other jobs gate the rest.
+    let section_refs: Vec<&str> = sections.iter().map(String::as_str).collect();
+    let baseline = scope_baseline(&baseline, &section_refs);
+    if baseline.is_empty() {
+        return Err(format!(
+            "baseline has no floors for the supplied sections {section_refs:?} — \
+             refresh it with --write-baseline"
+        ));
+    }
 
     eprintln!(
         "{:<44} {:>10} {:>10} {:>7}",

@@ -270,24 +270,50 @@ pub fn extract_metrics(report: &Json) -> BTreeMap<String, f64> {
             }
         }
     }
-    if let Some(par) = report.get("parallel_scaling") {
+    // parallel_scaling and dist_scaling emit the same schema (serial
+    // reference + per-worker-count rows); gate both under their own prefix.
+    for section in ["parallel_scaling", "dist_scaling"] {
+        let Some(par) = report.get(section) else {
+            continue;
+        };
         if let Some(v) = par
             .get("serial")
             .and_then(|s| s.get("medges_per_sec"))
             .and_then(Json::as_f64)
         {
-            out.insert("parallel_scaling.serial.medges_per_sec".into(), v);
+            out.insert(format!("{section}.serial.medges_per_sec"), v);
         }
         for entry in par.get("parallel").and_then(Json::as_arr).unwrap_or(&[]) {
             if let (Some(t), Some(v)) = (
                 entry.get("threads").and_then(Json::as_f64),
                 entry.get("medges_per_sec").and_then(Json::as_f64),
             ) {
-                out.insert(format!("parallel_scaling.t{}.medges_per_sec", t as u64), v);
+                out.insert(format!("{section}.t{}.medges_per_sec", t as u64), v);
             }
         }
     }
     out
+}
+
+/// Restrict `baseline` to metrics whose section (the prefix before the
+/// first `.`) appears in `sections` — the report families this gate
+/// invocation actually ran. CI runs the gate from more than one job
+/// (perf-smoke gates io + scaling, dist-smoke gates dist) against one
+/// committed baseline file; without scoping, each job would flag the other
+/// job's floors as "missing bench" regressions. Within a supplied section,
+/// a missing metric still fails.
+pub fn scope_baseline(
+    baseline: &BTreeMap<String, f64>,
+    sections: &[&str],
+) -> BTreeMap<String, f64> {
+    baseline
+        .iter()
+        .filter(|(k, _)| {
+            let section = k.split('.').next().unwrap_or("");
+            sections.contains(&section)
+        })
+        .map(|(k, &v)| (k.clone(), v))
+        .collect()
 }
 
 /// One metric that fell below the gate.
@@ -419,5 +445,35 @@ mod tests {
         let regs = compare(&base, &BTreeMap::new(), 0.25);
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].current, 0.0);
+    }
+
+    #[test]
+    fn extracts_dist_scaling_like_parallel_scaling() {
+        let j = parse_json(
+            r#"{
+              "dist_scaling": {
+                "serial": {"medges_per_sec": 10.0},
+                "parallel": [{"threads": 2, "medges_per_sec": 8.0}]
+              }
+            }"#,
+        )
+        .unwrap();
+        let m = extract_metrics(&j);
+        assert_eq!(m["dist_scaling.serial.medges_per_sec"], 10.0);
+        assert_eq!(m["dist_scaling.t2.medges_per_sec"], 8.0);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn scoping_keeps_only_supplied_sections() {
+        let mut base = BTreeMap::new();
+        base.insert("io_readers.v1.mmap.medges_per_sec".to_string(), 1.0);
+        base.insert("parallel_scaling.t2.medges_per_sec".to_string(), 2.0);
+        base.insert("dist_scaling.t2.medges_per_sec".to_string(), 3.0);
+        let scoped = scope_baseline(&base, &["io_readers", "parallel_scaling"]);
+        assert_eq!(scoped.len(), 2);
+        assert!(!scoped.contains_key("dist_scaling.t2.medges_per_sec"));
+        let dist_only = scope_baseline(&base, &["dist_scaling"]);
+        assert_eq!(dist_only.len(), 1);
     }
 }

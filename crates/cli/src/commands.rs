@@ -1,6 +1,8 @@
 //! Implementations of the `tps` subcommands.
 
+use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use tps_baselines::{
     AdwisePartitioner, DbhPartitioner, DnePartitioner, GreedyPartitioner, GridPartitioner,
@@ -17,7 +19,7 @@ use tps_graph::formats::text::TextEdgeFile;
 use tps_graph::ranged::RangedEdgeSource;
 use tps_graph::stream::{discover_info, EdgeStream};
 use tps_graph::types::GraphInfo;
-use tps_io::{EdgeFileFormat, ReaderBackend, SpillingFileSink};
+use tps_io::{EdgeFileFormat, ReaderBackend, SpillSpoolFactory, SpillingFileSink};
 
 use crate::args::Flags;
 
@@ -27,6 +29,9 @@ tps — out-of-core edge partitioning (2PS-L, ICDE 2022) and friends
 
 USAGE:
   tps partition --input FILE -k N [options]   partition an edge list
+  tps dist coordinator --input FILE --k N --workers N [options]
+                                              distributed partition (coordinator)
+  tps dist worker --connect HOST:PORT         distributed partition (worker)
   tps generate  --dataset NAME --out FILE     write a synthetic dataset
   tps convert   --input FILE --out FILE       convert between .bel v1 and v2
   tps info      --input FILE                  print graph statistics
@@ -48,14 +53,30 @@ partition options:
                       threads (default: auto = available parallelism; serial
                       forces the single-cursor serial runner; binary inputs
                       only — text inputs and other algorithms always run
-                      serial, and auto stays serial when --spill-budget-mb
-                      is set, since parallel workers buffer assignments).
-                      Results are deterministic for a fixed N; N=1 matches
-                      the serial runner bit for bit. Pin N for output that
-                      is reproducible across machines.
+                      serial). Results are deterministic for a fixed N; N=1
+                      matches the serial runner bit for bit. Pin N for
+                      output that is reproducible across machines.
   --out DIR           write per-partition .bel files into DIR
-  --spill-budget-mb N bound output buffering to N MiB (spilling sink)
+  --spill-budget-mb N bound buffering to N MiB: output files spill through
+                      the spilling sink, and parallel replay runs spill
+                      through disk-backed spools (parallel stays parallel)
   --quiet             only print the metrics line
+
+dist coordinator options (2ps-l / 2ps-hdrf on binary inputs):
+  --input FILE        v1/v2 edge file on a filesystem all workers share
+  --k N               number of partitions (required)
+  --workers N         worker connections to wait for (default 2)
+  --listen ADDR       bind address (default 127.0.0.1:0 = ephemeral port)
+  --dist-local        spawn the N worker processes locally itself
+  --alpha/--passes/--algorithm/--reader/--out/--spill-budget-mb/--quiet
+                      as for tps partition; --reader selects the backend
+                      each worker opens its shard with. Output is
+                      bit-identical to `tps partition --threads N` for the
+                      same worker count.
+
+dist worker options:
+  --connect HOST:PORT coordinator address (retries for ~5 s)
+  --spill-budget-mb N bound this worker's replay run memory
 
 generate options:
   --dataset NAME      ok|it|tw|fr|uk|gsh|wdc|wi
@@ -188,10 +209,17 @@ fn two_phase_config(algo: &str, passes: u32) -> Option<TwoPhaseConfig> {
     }
 }
 
-/// The resolved execution plan for `tps partition`.
+/// The resolved execution plan for `tps partition` / `tps dist coordinator`.
 enum Exec {
     Serial(Box<dyn Partitioner>, Box<dyn EdgeStream>),
     Parallel(ParallelRunner, Box<dyn RangedEdgeSource>),
+    /// Coordinate a distributed job over connected worker transports.
+    Dist {
+        config: TwoPhaseConfig,
+        transports: Vec<Box<dyn tps_dist::Transport>>,
+        info: GraphInfo,
+        input: tps_dist::InputDescriptor,
+    },
 }
 
 impl Exec {
@@ -199,6 +227,15 @@ impl Exec {
         match self {
             Exec::Serial(p, _) => p.name(),
             Exec::Parallel(r, _) => r.name(),
+            Exec::Dist {
+                config, transports, ..
+            } => {
+                let base = match config.strategy {
+                    tps_core::two_phase::RemainingStrategy::TwoChoice => "2PS-L",
+                    tps_core::two_phase::RemainingStrategy::Hdrf(_) => "2PS-HDRF",
+                };
+                format!("{base}×{}w", transports.len())
+            }
         }
     }
 
@@ -206,6 +243,7 @@ impl Exec {
         match self {
             Exec::Serial(_, stream) => discover_info(stream).map_err(|e| e.to_string()),
             Exec::Parallel(_, source) => Ok(source.info()),
+            Exec::Dist { info, .. } => Ok(*info),
         }
     }
 
@@ -218,6 +256,13 @@ impl Exec {
             Exec::Serial(p, stream) => p.partition(stream, params, sink).map_err(|e| e.to_string()),
             Exec::Parallel(r, source) => r
                 .partition(&**source, params, sink)
+                .map_err(|e| e.to_string()),
+            Exec::Dist {
+                config,
+                transports,
+                info,
+                input,
+            } => tps_dist::run_coordinator(config, params, *info, input, transports, sink)
                 .map_err(|e| e.to_string()),
         }
     }
@@ -247,26 +292,13 @@ fn resolve_exec(flags: &Flags, input: &str, algo: &str, passes: u32) -> Result<E
     let requested = match choice {
         ThreadsChoice::Serial => None,
         ThreadsChoice::Count(n) => Some(n),
-        // The parallel runner buffers each worker's assignments until the
-        // emit barrier (O(|E|) memory) — a spill budget is an explicit
-        // request for bounded memory, so the default keeps the streaming
-        // serial runner unless the user *also* asks for threads.
-        ThreadsChoice::Auto if flags.get_or("spill-budget-mb", 0u64)? > 0 => {
-            if serial_reason.is_none() {
-                note(
-                    "--spill-budget-mb bounds memory; running serial \
-                     (pass --threads N to parallelize with buffered output)",
-                );
-            }
-            None
-        }
         ThreadsChoice::Auto => Some(0),
     };
 
     match (requested, serial_reason) {
         (Some(threads), None) => {
             let cfg = cfg.expect("serial_reason is None only with a config");
-            let runner = ParallelRunner::new(cfg, threads);
+            let mut runner = ParallelRunner::new(cfg, threads);
             if matches!(choice, ThreadsChoice::Auto) && runner.threads() > 1 {
                 note(&format!(
                     "running chunk-parallel on {} threads (deterministic per thread \
@@ -274,20 +306,26 @@ fn resolve_exec(flags: &Flags, input: &str, algo: &str, passes: u32) -> Result<E
                     runner.threads()
                 ));
             }
-            // The parallel runner opens its own per-worker cursors; the
-            // prefetch backend maps to per-worker prefetch threads, the
-            // others to per-worker buffered readers.
-            if reader == ReaderBackend::Mmap {
-                note(
-                    "mmap has no parallel range cursor yet; using buffered \
-                     per-worker readers (--threads serial honours --reader mmap)",
-                );
+            // Workers buffer their assignments until the emit barrier; a
+            // spill budget bounds those replay runs through disk-backed
+            // spools instead of dropping to the serial runner.
+            let spill_budget: u64 = flags.get_or("spill-budget-mb", 0)?;
+            if spill_budget > 0 {
+                let factory = SpillSpoolFactory::new(
+                    &std::env::temp_dir(),
+                    &format!("tps-par-{}", std::process::id()),
+                    spill_budget << 20,
+                    runner.threads(),
+                )
+                .map_err(|e| e.to_string())?;
+                runner = runner.with_spool_factory(Arc::new(factory));
+                note("--spill-budget-mb bounds parallel replay runs via spill-backed spools");
             }
-            let source = match reader {
-                ReaderBackend::Prefetch => tps_io::open_ranged_prefetch(input),
-                _ => tps_io::open_ranged(input),
-            }
-            .map_err(|e| format!("{input}: {e}"))?;
+            // The parallel runner opens its own per-worker cursors: mmap
+            // serves zero-copy range cursors over one shared mapping, the
+            // prefetch backend maps to per-worker prefetch threads.
+            let source =
+                tps_io::open_ranged_backend(input, reader).map_err(|e| format!("{input}: {e}"))?;
             Ok(Exec::Parallel(runner, source))
         }
         (_, serial_reason) => {
@@ -318,7 +356,25 @@ pub fn partition(args: &[String]) -> i32 {
         let alpha: f64 = flags.get_or("alpha", 1.05)?;
         let passes: u32 = flags.get_or("passes", 1)?;
         let algo = flags.get("algorithm").unwrap_or("2ps-l");
-        let mut exec = resolve_exec(&flags, input, algo, passes)?;
+        let exec = resolve_exec(&flags, input, algo, passes)?;
+        execute_and_report(&flags, exec, input, k, alpha)
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}
+
+/// Run a resolved execution plan and print metrics/outputs — shared by
+/// `tps partition` and `tps dist coordinator`.
+fn execute_and_report(
+    flags: &Flags,
+    mut exec: Exec,
+    input: &str,
+    k: u32,
+    alpha: f64,
+) -> Result<(), String> {
+    {
         let info = exec.info()?;
 
         let params = PartitionParams::with_alpha(k, alpha);
@@ -395,6 +451,147 @@ pub fn partition(args: &[String]) -> i32 {
             }
         }
         Ok(())
+    }
+}
+
+/// `tps dist` — distributed coordinator/worker execution.
+pub fn dist(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("coordinator") => dist_coordinator(&args[1..]),
+        Some("worker") => dist_worker(&args[1..]),
+        _ => fail("usage: tps dist coordinator|worker [options] (see tps help)"),
+    }
+}
+
+fn dist_coordinator(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args, &["quiet", "dist-local"]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let run = || -> Result<(), String> {
+        let input = flags.require("input")?;
+        let k: u32 = flags.get_or("k", 0)?;
+        if k == 0 {
+            return Err("--k is required and must be >= 1".into());
+        }
+        let alpha: f64 = flags.get_or("alpha", 1.05)?;
+        let passes: u32 = flags.get_or("passes", 1)?;
+        let algo = flags.get("algorithm").unwrap_or("2ps-l");
+        let config = two_phase_config(algo, passes)
+            .ok_or_else(|| format!("tps dist runs 2ps-l / 2ps-hdrf only, not {algo:?}"))?;
+        let workers: usize = flags.get_or("workers", 2)?;
+        if workers == 0 {
+            return Err("--workers must be >= 1".into());
+        }
+        let reader = parse_reader(&flags)?;
+        let quiet = flags.has("quiet");
+
+        // Workers resolve the path themselves, so ship it absolute.
+        let abs = std::fs::canonicalize(input).map_err(|e| format!("{input}: {e}"))?;
+        let info = tps_io::open_ranged(&abs)
+            .map_err(|e| format!("{input}: {e}"))?
+            .info();
+
+        let listener = TcpListener::bind(flags.get("listen").unwrap_or("127.0.0.1:0"))
+            .map_err(|e| format!("bind: {e}"))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        if !quiet {
+            eprintln!("note: coordinator listening on {addr}, waiting for {workers} worker(s)");
+        }
+
+        let mut children = Vec::new();
+        if flags.has("dist-local") {
+            let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+            // Memory-bound flags apply per worker too: forward the spill
+            // budget so spawned workers use spill-backed replay spools.
+            let spill_budget: u64 = flags.get_or("spill-budget-mb", 0)?;
+            for _ in 0..workers {
+                let mut cmd = std::process::Command::new(&exe);
+                cmd.args(["dist", "worker", "--connect"])
+                    .arg(addr.to_string());
+                if spill_budget > 0 {
+                    cmd.args(["--spill-budget-mb", &spill_budget.to_string()]);
+                }
+                children.push(cmd.spawn().map_err(|e| format!("spawning worker: {e}"))?);
+            }
+        }
+
+        let accept = || -> Result<Vec<Box<dyn tps_dist::Transport>>, String> {
+            let mut transports: Vec<Box<dyn tps_dist::Transport>> = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let (stream, peer) = listener.accept().map_err(|e| format!("accept: {e}"))?;
+                if !quiet {
+                    eprintln!("note: worker connected from {peer}");
+                }
+                transports.push(Box::new(
+                    tps_dist::TcpTransport::new(stream).map_err(|e| e.to_string())?,
+                ));
+            }
+            Ok(transports)
+        };
+        let result = accept().and_then(|transports| {
+            let exec = Exec::Dist {
+                config,
+                transports,
+                info,
+                input: tps_dist::InputDescriptor::Path {
+                    path: abs.to_string_lossy().into_owned(),
+                    reader,
+                },
+            };
+            execute_and_report(&flags, exec, input, k, alpha)
+        });
+        // Always reap spawned workers, even on failure (a coordinator error
+        // aborts them over the wire, so wait() terminates promptly).
+        for mut child in children {
+            let _ = child.wait();
+        }
+        result
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}
+
+fn dist_worker(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args, &["quiet"]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let run = || -> Result<(), String> {
+        let connect = flags.require("connect")?;
+        let spill_budget: u64 = flags.get_or("spill-budget-mb", 0)?;
+        // The coordinator may still be binding (or, with --dist-local, is
+        // our parent racing us) — retry for ~5 s before giving up.
+        let mut stream = None;
+        for attempt in 0..50 {
+            match TcpStream::connect(connect) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) if attempt == 49 => return Err(format!("{connect}: {e}")),
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(100)),
+            }
+        }
+        let mut transport = tps_dist::TcpTransport::new(stream.expect("connected or errored"))
+            .map_err(|e| e.to_string())?;
+        let spools: Box<dyn tps_core::sink::SpoolFactory> = if spill_budget > 0 {
+            Box::new(
+                SpillSpoolFactory::new(
+                    &std::env::temp_dir(),
+                    &format!("tps-dist-{}", std::process::id()),
+                    spill_budget << 20,
+                    1,
+                )
+                .map_err(|e| e.to_string())?,
+            )
+        } else {
+            Box::new(tps_core::sink::MemorySpoolFactory)
+        };
+        tps_dist::run_worker(&mut transport, &tps_dist::PathResolver, &*spools)
+            .map_err(|e| e.to_string())
     };
     match run() {
         Ok(()) => 0,

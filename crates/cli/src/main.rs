@@ -10,6 +10,9 @@
 //!               [--passes 1] [--threads N|auto|serial] [--out DIR]
 //!               [--format bel|text] [--reader buffered|mmap|prefetch]
 //!               [--spill-budget-mb N]
+//! tps dist coordinator --input graph.bel --k 32 --workers N
+//!               [--listen ADDR] [--dist-local] [partition options]
+//! tps dist worker --connect HOST:PORT [--spill-budget-mb N]
 //! tps generate  --dataset ok [--scale 1.0] --out graph.bel
 //! tps convert   --input graph.bel --out graph.bel2 [--to v1|v2] [--chunk-edges N]
 //! tps info      --input graph.bel [--format bel|text] [--reader NAME]
@@ -24,6 +27,7 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let code = match argv.first().map(String::as_str) {
         Some("partition") => commands::partition(&argv[1..]),
+        Some("dist") => commands::dist(&argv[1..]),
         Some("generate") => commands::generate(&argv[1..]),
         Some("convert") => commands::convert(&argv[1..]),
         Some("info") => commands::info(&argv[1..]),

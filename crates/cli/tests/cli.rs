@@ -217,11 +217,12 @@ fn partition_with_spill_budget_matches_file_sink() {
 
     let plain = dir.join("plain");
     let spilled = dir.join("spilled");
-    // A spill budget keeps the run serial (bounded memory); pin the plain
-    // run to serial too so the comparison is hardware-independent.
+    // Pin the thread count on both sides: the spill budget bounds memory
+    // (spilling sink + spill-backed replay spools) without changing the
+    // assignments, so equal --threads must give identical files.
     for (out_dir, extra) in [
-        (&plain, &["--threads", "serial"][..]),
-        (&spilled, &["--spill-budget-mb", "1"][..]),
+        (&plain, &["--threads", "2"][..]),
+        (&spilled, &["--threads", "2", "--spill-budget-mb", "1"][..]),
     ] {
         let out = tps()
             .args(["partition", "--input"])
@@ -325,7 +326,7 @@ fn threads_parallel_is_deterministic_across_formats_and_readers() {
     // run, input format, or reader backend (ranges are edge-indexed).
     let mut lines = Vec::new();
     for input in [&bel, &bel, &bel2] {
-        for reader in ["buffered", "prefetch"] {
+        for reader in ["buffered", "mmap", "prefetch"] {
             let out = tps()
                 .args(["partition", "--input"])
                 .arg(input)
@@ -347,6 +348,98 @@ fn threads_parallel_is_deterministic_across_formats_and_readers() {
     );
     assert!(lines[0].contains("algorithm=2PS-L×3"), "{}", lines[0]);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dist_local_two_workers_is_bit_identical_to_threads_two() {
+    let dir = tmpdir("dist");
+    let bel = dir.join("ok.bel");
+    tps()
+        .args(["generate", "--dataset", "ok", "--scale", "0.02", "--out"])
+        .arg(&bel)
+        .status()
+        .unwrap();
+
+    let t2 = dir.join("t2");
+    let out = tps()
+        .args(["partition", "--input"])
+        .arg(&bel)
+        .args(["--k", "8", "--threads", "2", "--out"])
+        .arg(&t2)
+        .arg("--quiet")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The acceptance contract: a 2-worker loopback-TCP distributed run on
+    // the same shard map writes byte-identical partition files.
+    let d2 = dir.join("d2");
+    let out = tps()
+        .args(["dist", "coordinator", "--input"])
+        .arg(&bel)
+        .args(["--k", "8", "--workers", "2", "--dist-local", "--out"])
+        .arg(&d2)
+        .arg("--quiet")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("algorithm=2PS-L×2w"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    for i in 0..8 {
+        let a = std::fs::read(t2.join(format!("ok.part{i}.bel"))).unwrap();
+        let b = std::fs::read(d2.join(format!("ok.part{i}.bel"))).unwrap();
+        assert_eq!(a, b, "partition {i} diverged between --threads 2 and dist");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dist_rejects_non_two_phase_algorithms_and_bad_worker_counts() {
+    let out = tps()
+        .args([
+            "dist",
+            "coordinator",
+            "--input",
+            "/nonexistent.bel",
+            "--k",
+            "4",
+            "--algorithm",
+            "hdrf",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("2ps-l"));
+
+    let out = tps()
+        .args([
+            "dist",
+            "coordinator",
+            "--input",
+            "/nonexistent.bel",
+            "--k",
+            "4",
+            "--workers",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--workers"));
+
+    let out = tps().args(["dist", "frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
 }
 
 #[test]

@@ -123,6 +123,61 @@ impl Clustering {
         self.volumes[c as usize] += delta;
     }
 
+    // ----- wire format (the distributed runtime ships clusterings between
+    // workers and the coordinator; see `tps-dist`) -----
+
+    /// Serialise into `out`: `|V|` (u64), `#cluster ids` (u32), the
+    /// vertex→cluster map as little-endian u32s, the volumes as u64s.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(12 + self.v2c.len() * 4 + self.volumes.len() * 8);
+        out.extend_from_slice(&(self.v2c.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.volumes.len() as u32).to_le_bytes());
+        for &c in &self.v2c {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        for &v in &self.volumes {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Inverse of [`Clustering::encode_into`]. Consumes exactly the encoded
+    /// bytes from the front of `bytes`, returning the rest; rejects
+    /// truncated input and out-of-range cluster ids.
+    pub fn decode_from(bytes: &[u8]) -> Result<(Clustering, &[u8]), String> {
+        let take = |b: &[u8], n: usize| -> Result<(), String> {
+            if b.len() < n {
+                Err(format!(
+                    "clustering truncated: need {n} bytes, have {}",
+                    b.len()
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        take(bytes, 12)?;
+        let num_vertices = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+        let num_ids = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let rest = &bytes[12..];
+        let v2c_bytes = (num_vertices as usize)
+            .checked_mul(4)
+            .ok_or("clustering vertex count overflow")?;
+        let vol_bytes = num_ids as usize * 8;
+        take(rest, v2c_bytes + vol_bytes)?;
+        let mut v2c = Vec::with_capacity(num_vertices as usize);
+        for rec in rest[..v2c_bytes].chunks_exact(4) {
+            let c = u32::from_le_bytes(rec.try_into().unwrap());
+            if c != NO_CLUSTER && c >= num_ids {
+                return Err(format!("cluster id {c} out of range ({num_ids} ids)"));
+            }
+            v2c.push(c);
+        }
+        let mut volumes = Vec::with_capacity(num_ids as usize);
+        for rec in rest[v2c_bytes..v2c_bytes + vol_bytes].chunks_exact(8) {
+            volumes.push(u64::from_le_bytes(rec.try_into().unwrap()));
+        }
+        Ok((Clustering { v2c, volumes }, &rest[v2c_bytes + vol_bytes..]))
+    }
+
     /// Verify that every cluster's volume equals the sum of its members'
     /// degrees. `O(|V| + #clusters)`; test/debug helper.
     pub fn check_volume_invariant(&self, degrees: &DegreeTable) -> Result<(), String> {
@@ -183,6 +238,34 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn from_parts_validates_ids() {
         Clustering::from_parts(vec![3], vec![1]);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_everything() {
+        let c = Clustering::from_parts(vec![1, 0, NO_CLUSTER, 1], vec![5, 9]);
+        let mut bytes = Vec::new();
+        c.encode_into(&mut bytes);
+        let (d, rest) = Clustering::decode_from(&bytes).unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(d.v2c, c.v2c);
+        assert_eq!(d.volumes, c.volumes);
+        // Trailing bytes are handed back, not consumed.
+        bytes.push(0xAB);
+        let (_, rest) = Clustering::decode_from(&bytes).unwrap();
+        assert_eq!(rest, &[0xAB]);
+    }
+
+    #[test]
+    fn wire_rejects_truncation_and_bad_ids() {
+        let c = Clustering::from_parts(vec![0, 0], vec![4]);
+        let mut bytes = Vec::new();
+        c.encode_into(&mut bytes);
+        for cut in [0, 5, bytes.len() - 1] {
+            assert!(Clustering::decode_from(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Corrupt a vertex's cluster id to an out-of-range value.
+        bytes[12..16].copy_from_slice(&7u32.to_le_bytes());
+        assert!(Clustering::decode_from(&bytes).is_err());
     }
 
     #[test]

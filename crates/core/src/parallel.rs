@@ -1,4 +1,5 @@
-//! Chunk-parallel two-phase partitioning — the [`ParallelRunner`].
+//! Chunk-parallel two-phase partitioning — the [`ParallelRunner`] — and the
+//! per-shard phase kernels it is built from.
 //!
 //! Both phases of 2PS-L are embarrassingly parallel over contiguous edge
 //! ranges: phase 1's streaming clustering commutes up to a state merge, and
@@ -9,6 +10,17 @@
 //! [`RangedEdgeSource`] — in-memory graphs, v1 `.bel` files and chunked v2
 //! files (via `tps-io`) all implement it, and because ranges are expressed
 //! in *edge indices* the result is identical for every storage backend.
+//!
+//! # Per-shard kernels
+//!
+//! The phase logic is deliberately **not** owned by the thread pool: the
+//! free functions [`shard_degrees`] and [`shard_clustering`] plus the
+//! [`ShardAssigner`] state machine run one shard of one phase each, and the
+//! runner merely schedules them onto scoped threads ([`run_workers`]) and
+//! merges between barriers. `tps-dist` schedules the *same* kernels onto
+//! worker processes connected over a socket, which is how a distributed run
+//! can be bit-identical to `--threads N` — both execute this module's code
+//! per shard; only the barrier transport differs.
 //!
 //! # Execution model
 //!
@@ -25,9 +37,11 @@
 //!    replication matrix (each worker tracks the replicas its own
 //!    assignments create) and quota-sliced load tracking (below). The
 //!    pre-partitioning and scoring subpasses are preserved per worker.
-//! 5. **emit** — per-worker assignment buffers are replayed into the caller's
+//! 5. **emit** — per-worker assignment spools are replayed into the caller's
 //!    [`AssignmentSink`] in worker order, so downstream files and metrics
-//!    are reproducible.
+//!    are reproducible. Spools default to in-memory buffers; a
+//!    [`SpoolFactory`] can bound them (`tps-io`'s spill-backed spools keep
+//!    parallel runs within `--spill-budget-mb`).
 //!
 //! # The load reservation scheme
 //!
@@ -38,7 +52,12 @@
 //! own slice is exhausted, and records every commit in a shared
 //! [`AtomicLoads`] ledger with one relaxed `fetch_add`. Within-quota commits
 //! can never push the ledger past the cap; the ledger verifies this at run
-//! time and yields the merged per-partition loads for the report.
+//! time and yields the merged per-partition loads for the report. Because
+//! every *decision* reads only the worker-local slice ([`ShardLoads`]), the
+//! ledger is optional: a distributed worker runs the identical decision path
+//! with [`ShardLoads::standalone`] and the coordinator recomputes the
+//! overshoot from the merged loads (`Σ_p max(0, load_p − cap)` — exactly
+//! what the in-process ledger counts, independent of interleaving).
 //!
 //! # Determinism and quality bounds
 //!
@@ -68,13 +87,13 @@
 //! Parallelism trades the paper's Table II bound for speed: per-worker
 //! degree tables and clustering maps during their phases, one replication
 //! matrix shard per worker in phase 2 (`O(T·|V|·k)` bits total vs the
-//! serial `O(|V|·k)`), and per-worker assignment buffers until the emit
-//! barrier (`O(|E|)` total). The ROADMAP tracks streaming emit and shard
-//! collapsing; until then, memory-bounded runs should use the serial
-//! [`TwoPhasePartitioner`] (the CLI keeps `--spill-budget-mb` serial by
-//! default for exactly this reason).
+//! serial `O(|V|·k)`), and per-worker assignment spools until the emit
+//! barrier (`O(|E|)` with the default in-memory spools; **bounded** when a
+//! spill-backed [`SpoolFactory`] is installed — the CLI wires
+//! `--spill-budget-mb` to `tps-io`'s spill spools for exactly this reason).
 
 use std::io;
+use std::sync::Arc;
 use std::time::Instant;
 
 use tps_clustering::merge::merge_clusterings;
@@ -82,35 +101,72 @@ use tps_clustering::model::Clustering;
 use tps_clustering::streaming::{clustering_pass, VolumeCap};
 use tps_graph::degree::DegreeTable;
 use tps_graph::ranged::{split_even, RangedEdgeSource};
-use tps_graph::types::{Edge, PartitionId};
+use tps_graph::stream::EdgeStream;
+use tps_graph::types::PartitionId;
+use tps_metrics::bitmatrix::ReplicationMatrix;
 
-use crate::balance::{AtomicLoads, LoadTracker};
+use crate::balance::{AtomicLoads, LoadTracker, PartitionLoads};
 use crate::partitioner::{PartitionParams, RunReport};
-use crate::sink::AssignmentSink;
+use crate::sink::{AssignmentSink, MemorySpoolFactory, SpoolFactory};
 use crate::two_phase::mapping::ClusterPlacement;
 use crate::two_phase::{AssignCounters, EdgeAssigner, MappingStrategy, TwoPhaseConfig};
 
-/// A worker's view of the shared loads: deterministic quota slice locally,
-/// atomic commit ledger globally (see module docs).
-struct QuotaLoads<'a> {
+/// A shard's view of the per-partition loads: deterministic quota slice
+/// locally, optional atomic commit ledger globally (see module docs).
+///
+/// Decisions (`is_full`, `least_loaded`, scoring reads) depend **only** on
+/// the local slice, so a tracker with and without the ledger takes identical
+/// decisions — the ledger adds run-time cap verification and overshoot
+/// counting for in-process runs.
+pub struct ShardLoads<'a> {
     local: Vec<u64>,
     quota: u64,
-    shared: &'a AtomicLoads,
+    ledger: Option<&'a AtomicLoads>,
     overshoot: u64,
 }
 
-impl<'a> QuotaLoads<'a> {
-    fn new(shared: &'a AtomicLoads, thread: usize, threads: usize) -> Self {
-        QuotaLoads {
-            local: vec![0; shared.k() as usize],
-            quota: AtomicLoads::quota_slice(shared.cap(), thread, threads),
-            shared,
+impl<'a> ShardLoads<'a> {
+    /// Loads for shard `shard` of `shards`, committing into `ledger`.
+    pub fn with_ledger(ledger: &'a AtomicLoads, shard: usize, shards: usize) -> ShardLoads<'a> {
+        ShardLoads {
+            local: vec![0; ledger.k() as usize],
+            quota: AtomicLoads::quota_slice(ledger.cap(), shard, shards),
+            ledger: Some(ledger),
             overshoot: 0,
         }
     }
+
+    /// Loads for shard `shard` of `shards` with no shared ledger — the
+    /// distributed worker's tracker (`cap` is the full `α·|E|/k` cap; the
+    /// quota slice is derived exactly as in [`ShardLoads::with_ledger`]).
+    pub fn standalone(k: u32, cap: u64, shard: usize, shards: usize) -> ShardLoads<'static> {
+        ShardLoads {
+            local: vec![0; k as usize],
+            quota: AtomicLoads::quota_slice(cap, shard, shards),
+            ledger: None,
+            overshoot: 0,
+        }
+    }
+
+    /// This shard's quota slice of the cap.
+    pub fn quota(&self) -> u64 {
+        self.quota
+    }
+
+    /// Edges this shard committed per partition.
+    pub fn local_loads(&self) -> &[u64] {
+        &self.local
+    }
+
+    /// Ledger-witnessed cap overshoots (always 0 without a ledger; the
+    /// coordinator of a ledger-free run recomputes the total from the merged
+    /// loads instead).
+    pub fn overshoot(&self) -> u64 {
+        self.overshoot
+    }
 }
 
-impl LoadTracker for QuotaLoads<'_> {
+impl LoadTracker for ShardLoads<'_> {
     fn k(&self) -> u32 {
         self.local.len() as u32
     }
@@ -122,10 +178,12 @@ impl LoadTracker for QuotaLoads<'_> {
     }
     fn add(&mut self, p: PartitionId) {
         self.local[p as usize] += 1;
-        if !self.shared.reserve(p) {
-            // Only reachable through the degenerate all-quotas-exhausted
-            // fallback; counted and reported, never silent.
-            self.overshoot += 1;
+        if let Some(ledger) = self.ledger {
+            if !ledger.reserve(p) {
+                // Only reachable through the degenerate all-quotas-exhausted
+                // fallback; counted and reported, never silent.
+                self.overshoot += 1;
+            }
         }
     }
     fn least_loaded(&self) -> PartitionId {
@@ -147,16 +205,181 @@ impl LoadTracker for QuotaLoads<'_> {
     }
 }
 
+/// Phase 0 for one shard: exact degrees over edge range `range`.
+pub fn shard_degrees(
+    source: &dyn RangedEdgeSource,
+    range: (u64, u64),
+    num_vertices: u64,
+) -> io::Result<DegreeTable> {
+    let mut s = source.open_range(range.0, range.1)?;
+    DegreeTable::compute(&mut s, num_vertices)
+}
+
+/// Sum per-worker degree tables (saturating, matching the serial pass).
+pub fn merge_degree_tables(tables: Vec<DegreeTable>) -> DegreeTable {
+    let mut it = tables.into_iter();
+    let first = it.next().expect("at least one worker");
+    let mut sum: Vec<u32> = first.as_slice().to_vec();
+    for t in it {
+        for (acc, &d) in sum.iter_mut().zip(t.as_slice()) {
+            *acc = acc.saturating_add(d);
+        }
+    }
+    DegreeTable::from_vec(sum)
+}
+
+/// The resolved cluster volume cap for this configuration (identical on
+/// every shard runner given the merged degrees).
+pub fn resolve_volume_cap(config: &TwoPhaseConfig, k: u32, degrees: &DegreeTable) -> u64 {
+    VolumeCap::FractionOfTotal(config.volume_cap_factor / k as f64).resolve(degrees.total_volume())
+}
+
+/// Phase 1 for one shard: `config.clustering_passes` local streaming
+/// clustering passes over edge range `range`, against the **merged** exact
+/// degrees.
+pub fn shard_clustering(
+    source: &dyn RangedEdgeSource,
+    range: (u64, u64),
+    config: &TwoPhaseConfig,
+    degrees: &DegreeTable,
+    volume_cap: u64,
+    num_vertices: u64,
+) -> io::Result<Clustering> {
+    let mut s = source.open_range(range.0, range.1)?;
+    let mut c = Clustering::empty(num_vertices);
+    for _ in 0..config.clustering_passes {
+        clustering_pass(&mut s, degrees, volume_cap, &mut c)?;
+    }
+    Ok(c)
+}
+
+/// Phase 2 step 1: the cluster→partition placement for `config` (serial,
+/// edge-free — runs once, on whichever node holds the merged clustering).
+pub fn cluster_placement(
+    config: &TwoPhaseConfig,
+    clustering: &Clustering,
+    k: u32,
+) -> ClusterPlacement {
+    match config.mapping {
+        MappingStrategy::SortedGraham => ClusterPlacement::sorted_list_schedule(clustering, k),
+        MappingStrategy::UnsortedFirstFit => ClusterPlacement::unsorted_schedule(clustering, k),
+    }
+}
+
+/// Phase 2 for one shard: the pre-partitioning and scoring subpasses with
+/// quota-sliced loads and a sharded replication matrix.
+///
+/// The assigner survives the replication barrier between the two subpasses
+/// — run [`prepartition_pass`](ShardAssigner::prepartition_pass), exchange
+/// [`replication_shard`](ShardAssigner::replication_shard) /
+/// [`install_replication`](ShardAssigner::install_replication), then run
+/// [`remaining_pass`](ShardAssigner::remaining_pass). Both the in-process
+/// runner and `tps-dist`'s workers drive exactly this sequence.
+pub struct ShardAssigner<'a> {
+    config: TwoPhaseConfig,
+    inner: EdgeAssigner<'a, ShardLoads<'a>>,
+}
+
+impl<'a> ShardAssigner<'a> {
+    /// An assigner over the merged phase-1 state for one shard.
+    pub fn new(
+        config: TwoPhaseConfig,
+        degrees: &'a DegreeTable,
+        clustering: &'a Clustering,
+        placement: &'a ClusterPlacement,
+        num_vertices: u64,
+        loads: ShardLoads<'a>,
+    ) -> Self {
+        let inner = EdgeAssigner::new(
+            degrees,
+            clustering,
+            placement,
+            num_vertices,
+            loads,
+            config.hash_seed,
+        );
+        ShardAssigner { config, inner }
+    }
+
+    /// The pre-partitioning subpass over this shard's edges.
+    pub fn prepartition_pass(
+        &mut self,
+        stream: &mut dyn EdgeStream,
+        sink: &mut dyn AssignmentSink,
+    ) -> io::Result<()> {
+        stream.reset()?;
+        while let Some(edge) = stream.next_edge()? {
+            self.inner.prepartition_edge(edge, sink)?;
+        }
+        Ok(())
+    }
+
+    /// The replicas this shard's assignments created so far (what crosses
+    /// the prepartition/scoring barrier).
+    pub fn replication_shard(&self) -> &ReplicationMatrix {
+        &self.inner.v2p
+    }
+
+    /// Replace this shard's replica view with the OR-merged global matrix.
+    pub fn install_replication(&mut self, merged: ReplicationMatrix) {
+        self.inner.v2p = merged;
+    }
+
+    /// The scoring subpass over this shard's edges (skipping edges the
+    /// pre-partitioning subpass already handled).
+    pub fn remaining_pass(
+        &mut self,
+        stream: &mut dyn EdgeStream,
+        sink: &mut dyn AssignmentSink,
+    ) -> io::Result<()> {
+        stream.reset()?;
+        while let Some(edge) = stream.next_edge()? {
+            if self.config.prepartitioning && self.inner.prepartition_target(edge).is_some() {
+                continue; // handled by the pre-partitioning subpass
+            }
+            self.inner
+                .assign_remaining(edge, self.config.strategy, sink)?;
+        }
+        Ok(())
+    }
+
+    /// This shard's phase-2 counters.
+    pub fn counters(&self) -> AssignCounters {
+        self.inner.counters
+    }
+
+    /// Edges this shard committed per partition.
+    pub fn local_loads(&self) -> &[u64] {
+        self.inner.loads.local_loads()
+    }
+
+    /// Ledger-witnessed cap overshoots (see [`ShardLoads::overshoot`]).
+    pub fn overshoot(&self) -> u64 {
+        self.inner.loads.overshoot()
+    }
+}
+
 /// The chunk-parallel two-phase partitioner.
 ///
 /// Unlike [`crate::partitioner::Partitioner`] implementations it consumes a
 /// [`RangedEdgeSource`] rather than a single stream cursor — parallelism
 /// needs independent range streams, which a `&mut dyn EdgeStream` cannot
 /// provide.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ParallelRunner {
     config: TwoPhaseConfig,
     threads: usize,
+    spool_factory: Option<Arc<dyn SpoolFactory + Send + Sync>>,
+}
+
+impl std::fmt::Debug for ParallelRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelRunner")
+            .field("config", &self.config)
+            .field("threads", &self.threads)
+            .field("spool_factory", &self.spool_factory.is_some())
+            .finish()
+    }
 }
 
 impl ParallelRunner {
@@ -176,7 +399,19 @@ impl ParallelRunner {
         } else {
             threads
         };
-        ParallelRunner { config, threads }
+        ParallelRunner {
+            config,
+            threads,
+            spool_factory: None,
+        }
+    }
+
+    /// Replace the default in-memory assignment spools with `factory`'s
+    /// (e.g. `tps-io`'s spill-backed spools for memory-bounded runs).
+    /// Replay order and contents are unaffected — only where the bytes wait.
+    pub fn with_spool_factory(mut self, factory: Arc<dyn SpoolFactory + Send + Sync>) -> Self {
+        self.spool_factory = Some(factory);
+        self
     }
 
     /// The worker thread count in use.
@@ -214,27 +449,31 @@ impl ParallelRunner {
         }
         let threads = self.threads.max(1);
         let ranges = split_even(info.num_edges, threads);
+        let factory: &dyn SpoolFactory = match &self.spool_factory {
+            Some(f) => &**f,
+            None => &MemorySpoolFactory,
+        };
 
         // Phase 0: degrees, one worker per range, summed.
         let t0 = Instant::now();
-        let tables = run_workers(&ranges, |_, (a, b)| {
-            let mut s = source.open_range(a, b)?;
-            DegreeTable::compute(&mut s, info.num_vertices)
+        let tables = run_workers(&ranges, |_, range| {
+            shard_degrees(source, range, info.num_vertices)
         })?;
         let degrees = merge_degree_tables(tables);
         report.phases.record("degree", t0.elapsed());
 
         // Phase 1: local streaming clustering per range, merged by volume.
         let t1 = Instant::now();
-        let cap = VolumeCap::FractionOfTotal(self.config.volume_cap_factor / params.k as f64)
-            .resolve(degrees.total_volume());
-        let locals = run_workers(&ranges, |_, (a, b)| {
-            let mut s = source.open_range(a, b)?;
-            let mut c = Clustering::empty(info.num_vertices);
-            for _ in 0..self.config.clustering_passes {
-                clustering_pass(&mut s, &degrees, cap, &mut c)?;
-            }
-            Ok(c)
+        let cap = resolve_volume_cap(&self.config, params.k, &degrees);
+        let locals = run_workers(&ranges, |_, range| {
+            shard_clustering(
+                source,
+                range,
+                &self.config,
+                &degrees,
+                cap,
+                info.num_vertices,
+            )
         })?;
         let clustering = merge_clusterings(&locals, &degrees);
         drop(locals);
@@ -242,14 +481,7 @@ impl ParallelRunner {
 
         // Phase 2 step 1: cluster→partition mapping (serial, edge-free).
         let t2 = Instant::now();
-        let placement = match self.config.mapping {
-            MappingStrategy::SortedGraham => {
-                ClusterPlacement::sorted_list_schedule(&clustering, params.k)
-            }
-            MappingStrategy::UnsortedFirstFit => {
-                ClusterPlacement::unsorted_schedule(&clustering, params.k)
-            }
-        };
+        let placement = cluster_placement(&self.config, &clustering, params.k);
         report.phases.record("mapping", t2.elapsed());
 
         // Phase 2 step 2: the pre-partitioning subpass per range. Targets
@@ -259,23 +491,20 @@ impl ParallelRunner {
         let t3 = Instant::now();
         let shared = AtomicLoads::new(params.k, info.num_edges, params.alpha);
         let mut states = run_workers(&ranges, |t, (a, b)| {
-            let mut assigner = EdgeAssigner::new(
+            let mut assigner = ShardAssigner::new(
+                self.config,
                 &degrees,
                 &clustering,
                 &placement,
                 info.num_vertices,
-                QuotaLoads::new(&shared, t, threads),
-                self.config.hash_seed,
+                ShardLoads::with_ledger(&shared, t, threads),
             );
-            let mut out = BufferSink::default();
+            let mut spool = factory.create_spool(t)?;
             if self.config.prepartitioning {
                 let mut s = source.open_range(a, b)?;
-                s.reset()?;
-                while let Some(edge) = s.next_edge()? {
-                    assigner.prepartition_edge(edge, &mut out)?;
-                }
+                assigner.prepartition_pass(&mut s, &mut *spool)?;
             }
-            Ok((assigner, out))
+            Ok((assigner, spool))
         })?;
         report.phases.record("prepartition", t3.elapsed());
 
@@ -283,77 +512,82 @@ impl ParallelRunner {
         // scores the remaining edges with global visibility of the replicas
         // the pre-partitioning subpass created (OR is order-independent).
         if threads > 1 && self.config.prepartitioning {
-            let (first, rest) = states.split_at_mut(1);
-            let merged = &mut first[0].0.v2p;
-            for (a, _) in rest.iter() {
-                merged.merge_from(&a.v2p);
+            let mut merged = states[0].0.replication_shard().clone();
+            for (assigner, _) in &states[1..] {
+                merged.merge_from(assigner.replication_shard());
             }
-            let merged = merged.clone();
-            for (a, _) in &mut states[1..] {
-                a.v2p = merged.clone();
+            // One matrix clone per shard total: the last install moves
+            // `merged` instead of cloning it (the matrices are O(|V|·k)
+            // bits, the dominant state at scale).
+            let last = states.len() - 1;
+            for (assigner, _) in &mut states[..last] {
+                assigner.install_replication(merged.clone());
             }
+            states[last].0.install_replication(merged);
         }
 
         // Phase 2 step 3: score-and-assign the remaining edges per range.
         let t4 = Instant::now();
         let worker_out = run_workers_with(&ranges, states, |_, (a, b), state| {
-            let (mut assigner, mut out) = state;
+            let (mut assigner, mut spool) = state;
             let mut s = source.open_range(a, b)?;
-            s.reset()?;
-            while let Some(edge) = s.next_edge()? {
-                if self.config.prepartitioning && assigner.prepartition_target(edge).is_some() {
-                    continue; // handled by the pre-partitioning subpass
-                }
-                assigner.assign_remaining(edge, self.config.strategy, &mut out)?;
-            }
-            Ok((out.0, assigner.counters, assigner.loads.overshoot))
+            assigner.remaining_pass(&mut s, &mut *spool)?;
+            Ok((spool, assigner.counters(), assigner.overshoot()))
         })?;
         report.phases.record("partition", t4.elapsed());
 
-        // Emit: replay per-worker buffers in deterministic worker order.
+        // Emit: replay per-worker spools in deterministic worker order.
         let t5 = Instant::now();
         let mut counters = AssignCounters::default();
         let mut overshoot = 0u64;
-        for (buf, c, o) in worker_out {
+        for (mut spool, c, o) in worker_out {
             counters.merge(&c);
             overshoot += o;
-            for (edge, p) in buf {
-                sink.assign(edge, p)?;
-            }
+            spool.replay(sink)?;
         }
         report.phases.record("emit", t5.elapsed());
 
         debug_assert_eq!(shared.total(), info.num_edges);
         report.count("threads", threads as u64);
-        report.count("prepartitioned", counters.prepartitioned);
-        report.count("prepartition_overflow", counters.prepartition_overflow);
-        report.count("remaining", counters.remaining);
-        report.count("fallback_hash", counters.fallback_hash);
-        report.count("fallback_least_loaded", counters.fallback_least_loaded);
-        report.count("cap_overshoot", overshoot);
-        report.count("clusters", clustering.num_nonempty_clusters() as u64);
-        report.count("cluster_volume_cap", cap);
-        report.count("max_cluster_volume", clustering.max_volume());
+        record_phase2_counters(&mut report, &counters, overshoot);
+        record_clustering_counters(&mut report, &clustering, cap);
         Ok(report)
     }
 }
 
-/// An in-memory [`AssignmentSink`] for worker-local buffering (replayed into
-/// the real sink after the barrier).
-#[derive(Default)]
-struct BufferSink(Vec<(Edge, PartitionId)>);
+/// Append the shared phase-2 counter block to `report` (one spelling for
+/// the parallel and distributed runners).
+pub fn record_phase2_counters(report: &mut RunReport, counters: &AssignCounters, overshoot: u64) {
+    report.count("prepartitioned", counters.prepartitioned);
+    report.count("prepartition_overflow", counters.prepartition_overflow);
+    report.count("remaining", counters.remaining);
+    report.count("fallback_hash", counters.fallback_hash);
+    report.count("fallback_least_loaded", counters.fallback_least_loaded);
+    report.count("cap_overshoot", overshoot);
+}
 
-impl AssignmentSink for BufferSink {
-    #[inline]
-    fn assign(&mut self, edge: Edge, p: PartitionId) -> io::Result<()> {
-        self.0.push((edge, p));
-        Ok(())
-    }
+/// Append the shared clustering counter block to `report`.
+pub fn record_clustering_counters(report: &mut RunReport, clustering: &Clustering, cap: u64) {
+    report.count("clusters", clustering.num_nonempty_clusters() as u64);
+    report.count("cluster_volume_cap", cap);
+    report.count("max_cluster_volume", clustering.max_volume());
+}
+
+/// The cap-overshoot total a ledger-free (distributed) run reconstructs
+/// from the merged per-partition loads: `Σ_p max(0, load_p − cap)`. For any
+/// interleaving this equals the sum of the in-process ledger's per-worker
+/// overshoot counts, because each reservation increments exactly one
+/// counter once.
+pub fn overshoot_from_loads(loads: &[u64], k: u32, num_edges: u64, alpha: f64) -> u64 {
+    let cap = PartitionLoads::new(k, num_edges, alpha).cap();
+    loads.iter().map(|&l| l.saturating_sub(cap)).sum()
 }
 
 /// Run `work(t, range)` on one scoped thread per range, collecting results
-/// in range order and propagating the first error.
-fn run_workers<T, F>(ranges: &[(u64, u64)], work: F) -> io::Result<Vec<T>>
+/// in range order and propagating the first error. Public so other shard
+/// schedulers (parallel stateless baselines, the loopback distributed
+/// runner) reuse the same deterministic fan-out.
+pub fn run_workers<T, F>(ranges: &[(u64, u64)], work: F) -> io::Result<Vec<T>>
 where
     T: Send,
     F: Fn(usize, (u64, u64)) -> io::Result<T> + Sync,
@@ -365,7 +599,11 @@ where
 
 /// Like [`run_workers`], additionally moving one element of `state` into
 /// each worker (resuming per-worker state across a barrier).
-fn run_workers_with<W, T, F>(ranges: &[(u64, u64)], state: Vec<W>, work: F) -> io::Result<Vec<T>>
+pub fn run_workers_with<W, T, F>(
+    ranges: &[(u64, u64)],
+    state: Vec<W>,
+    work: F,
+) -> io::Result<Vec<T>>
 where
     W: Send,
     T: Send,
@@ -394,19 +632,6 @@ where
     results.into_iter().collect()
 }
 
-/// Sum per-worker degree tables (saturating, matching the serial pass).
-fn merge_degree_tables(tables: Vec<DegreeTable>) -> DegreeTable {
-    let mut it = tables.into_iter();
-    let first = it.next().expect("at least one worker");
-    let mut sum: Vec<u32> = first.as_slice().to_vec();
-    for t in it {
-        for (acc, &d) in sum.iter_mut().zip(t.as_slice()) {
-            *acc = acc.saturating_add(d);
-        }
-    }
-    DegreeTable::from_vec(sum)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,6 +640,7 @@ mod tests {
     use crate::two_phase::TwoPhasePartitioner;
     use tps_graph::datasets::Dataset;
     use tps_graph::stream::InMemoryGraph;
+    use tps_graph::types::Edge;
 
     fn serial_assignments(g: &InMemoryGraph, k: u32) -> Vec<(Edge, PartitionId)> {
         let mut sink = VecSink::new();
@@ -543,5 +769,58 @@ mod tests {
                 "threads {threads}: rf {rf} vs serial {serial_rf}"
             );
         }
+    }
+
+    #[test]
+    fn standalone_loads_decide_like_ledgered_loads() {
+        // The distributed worker's tracker must take identical decisions.
+        let shared = AtomicLoads::new(4, 1000, 1.05);
+        let mut a = ShardLoads::with_ledger(&shared, 1, 3);
+        let mut b = ShardLoads::standalone(4, shared.cap(), 1, 3);
+        assert_eq!(a.quota(), b.quota());
+        for i in 0..50u32 {
+            let p = i % 4;
+            assert_eq!(a.is_full(p), b.is_full(p), "step {i}");
+            assert_eq!(a.least_loaded(), b.least_loaded());
+            a.add(p);
+            b.add(p);
+        }
+        assert_eq!(a.local_loads(), b.local_loads());
+        assert_eq!(b.overshoot(), 0);
+    }
+
+    #[test]
+    fn overshoot_reconstruction_matches_ledger_semantics() {
+        // 10 edges, k = 2, α = 1.0 → cap 5. Loads 7 + 3 → overshoot 2.
+        assert_eq!(overshoot_from_loads(&[7, 3], 2, 10, 1.0), 2);
+        assert_eq!(overshoot_from_loads(&[5, 5], 2, 10, 1.0), 0);
+    }
+
+    #[test]
+    fn custom_spool_factory_sees_every_assignment() {
+        // A factory that counts spools proves the runner routes all output
+        // through it (the spill-backed factory in tps-io relies on this).
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        #[derive(Default)]
+        struct CountingFactory(AtomicUsize);
+        impl SpoolFactory for CountingFactory {
+            fn create_spool(
+                &self,
+                _worker: usize,
+            ) -> io::Result<Box<dyn crate::sink::AssignmentSpool>> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                Ok(Box::new(crate::sink::VecSpool::new()))
+            }
+        }
+        let g = Dataset::Ok.generate_scaled(0.01);
+        let factory = Arc::new(CountingFactory::default());
+        let runner =
+            ParallelRunner::new(TwoPhaseConfig::default(), 3).with_spool_factory(factory.clone());
+        let mut sink = VecSink::new();
+        runner
+            .partition(&g, &PartitionParams::new(8), &mut sink)
+            .unwrap();
+        assert_eq!(sink.assignments().len() as u64, g.num_edges());
+        assert_eq!(factory.0.load(Ordering::Relaxed), 3);
     }
 }

@@ -168,6 +168,77 @@ impl AssignmentSink for FileSink {
     }
 }
 
+/// A replayable per-worker assignment buffer ("run").
+///
+/// Parallel and distributed runners buffer each worker's decisions until the
+/// emit barrier, then replay them in worker order so the output stream is
+/// deterministic. A spool is that buffer: an [`AssignmentSink`] whose
+/// contents can be drained back out in insertion order exactly once.
+/// Implementations may hold everything in memory ([`VecSpool`]) or spill to
+/// disk under a byte budget (`tps-io`'s `SpillSpool`).
+pub trait AssignmentSpool: AssignmentSink + Send {
+    /// Drain every buffered assignment into `sink` in insertion order,
+    /// consuming the spool's contents.
+    fn replay(&mut self, sink: &mut dyn AssignmentSink) -> io::Result<()>;
+}
+
+/// Creates one spool per worker (`tps-core`'s parallel runner and
+/// `tps-dist`'s workers are both parameterised over this).
+pub trait SpoolFactory: Sync {
+    /// A fresh, empty spool for worker `worker`.
+    fn create_spool(&self, worker: usize) -> io::Result<Box<dyn AssignmentSpool>>;
+}
+
+/// The default spool: an unbounded in-memory buffer.
+#[derive(Clone, Debug, Default)]
+pub struct VecSpool {
+    buf: Vec<(Edge, PartitionId)>,
+}
+
+impl VecSpool {
+    /// Empty spool.
+    pub fn new() -> Self {
+        VecSpool::default()
+    }
+
+    /// Buffered assignments (not yet replayed).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl AssignmentSink for VecSpool {
+    #[inline]
+    fn assign(&mut self, edge: Edge, p: PartitionId) -> io::Result<()> {
+        self.buf.push((edge, p));
+        Ok(())
+    }
+}
+
+impl AssignmentSpool for VecSpool {
+    fn replay(&mut self, sink: &mut dyn AssignmentSink) -> io::Result<()> {
+        for (edge, p) in self.buf.drain(..) {
+            sink.assign(edge, p)?;
+        }
+        Ok(())
+    }
+}
+
+/// A [`SpoolFactory`] handing out [`VecSpool`]s (the unbounded default).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemorySpoolFactory;
+
+impl SpoolFactory for MemorySpoolFactory {
+    fn create_spool(&self, _worker: usize) -> io::Result<Box<dyn AssignmentSpool>> {
+        Ok(Box::new(VecSpool::new()))
+    }
+}
+
 /// Duplicates assignments into two sinks (e.g. quality + files).
 pub struct TeeSink<'a> {
     first: &'a mut dyn AssignmentSink,

@@ -75,10 +75,44 @@ impl ClusterPlacement {
         }
     }
 
+    /// Reconstruct a placement from a shipped cluster→partition map (the
+    /// distributed runtime computes the placement once on the coordinator
+    /// and broadcasts `c2p`; workers rebuild the volume sums from the merged
+    /// clustering so makespan reporting stays exact).
+    ///
+    /// # Panics
+    /// Panics if a partition id in `c2p` is `>= k` or `c2p` is shorter than
+    /// the clustering's id space.
+    pub fn from_c2p(c2p: Vec<PartitionId>, clustering: &Clustering, k: u32) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(
+            c2p.len() >= clustering.num_cluster_ids() as usize,
+            "c2p covers {} clusters, clustering has {}",
+            c2p.len(),
+            clustering.num_cluster_ids()
+        );
+        let mut partition_volumes = vec![0u64; k as usize];
+        for (c, &p) in c2p.iter().enumerate() {
+            assert!(p < k, "partition id {p} out of range (k = {k})");
+            if let Some(&vol) = clustering.volumes().get(c) {
+                partition_volumes[p as usize] += vol;
+            }
+        }
+        ClusterPlacement {
+            c2p,
+            partition_volumes,
+        }
+    }
+
     /// Partition of cluster `c`.
     #[inline]
     pub fn partition_of(&self, c: ClusterId) -> PartitionId {
         self.c2p[c as usize]
+    }
+
+    /// The raw cluster→partition map (what the coordinator broadcasts).
+    pub fn c2p(&self) -> &[PartitionId] {
+        &self.c2p
     }
 
     /// Number of clusters this placement covers (clusters created after the
@@ -173,6 +207,23 @@ mod tests {
         let a = ClusterPlacement::sorted_list_schedule(&c, 4);
         let b = ClusterPlacement::sorted_list_schedule(&c, 4);
         assert_eq!(a.c2p, b.c2p);
+    }
+
+    #[test]
+    fn from_c2p_rebuilds_volumes() {
+        let c = clustering_with_volumes(vec![5, 2, 7]);
+        let original = ClusterPlacement::sorted_list_schedule(&c, 2);
+        let rebuilt = ClusterPlacement::from_c2p(original.c2p().to_vec(), &c, 2);
+        assert_eq!(rebuilt.c2p(), original.c2p());
+        assert_eq!(rebuilt.partition_volumes(), original.partition_volumes());
+        assert_eq!(rebuilt.makespan(), original.makespan());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_c2p_rejects_bad_partition() {
+        let c = clustering_with_volumes(vec![1]);
+        ClusterPlacement::from_c2p(vec![5], &c, 2);
     }
 
     #[test]

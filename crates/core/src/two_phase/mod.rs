@@ -135,13 +135,19 @@ impl TwoPhasePartitioner {
 }
 
 /// Counters of the phase-2 edge kernel (summed across workers when the
-/// kernel runs chunk-parallel).
-#[derive(Clone, Copy, Debug, Default)]
-pub(crate) struct AssignCounters {
+/// kernel runs chunk-parallel or distributed — the counters cross the wire
+/// in `tps-dist`'s shard-done message).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AssignCounters {
+    /// Edges placed by the pre-partitioning condition.
     pub prepartitioned: u64,
+    /// Pre-partitionable edges bounced off a full target partition.
     pub prepartition_overflow: u64,
+    /// Edges handled by the scoring pass.
     pub remaining: u64,
+    /// Fallback placements via the degree-based hash.
     pub fallback_hash: u64,
+    /// Last-resort least-loaded placements.
     pub fallback_least_loaded: u64,
 }
 

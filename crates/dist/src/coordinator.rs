@@ -1,0 +1,305 @@
+//! The coordinator: shard-map owner, barrier merger, emit sequencer.
+//!
+//! The coordinator mirrors `tps_core::parallel::ParallelRunner` exactly,
+//! with transports where the in-process runner has scoped threads:
+//!
+//! * the shard map is [`tps_graph::ranged::split_even`] over the edge count
+//!   — the same ranges `--threads N` uses, which is the precondition for
+//!   bit-identical output;
+//! * degree tables, clusterings and replication shards are merged in worker
+//!   order with the same merge functions (`merge_degree_tables`,
+//!   `merge_clusterings`, `ReplicationMatrix::merge_from`);
+//! * assignments are pulled back worker-by-worker in shard order as bounded
+//!   [`Run`](crate::protocol::Message::Run) batches, so the coordinator
+//!   never materialises a full shard's output and the emitted stream equals
+//!   the in-process runner's worker-order replay;
+//! * the `cap_overshoot` counter is reconstructed from the merged loads
+//!   (`tps_core::parallel::overshoot_from_loads`) — provably equal to the
+//!   in-process ledger's count for every interleaving.
+
+use std::io;
+use std::time::Instant;
+
+use tps_clustering::merge::merge_clusterings;
+use tps_core::parallel::{
+    cluster_placement, merge_degree_tables, overshoot_from_loads, record_clustering_counters,
+    record_phase2_counters, resolve_volume_cap,
+};
+use tps_core::partitioner::{PartitionParams, RunReport};
+use tps_core::sink::AssignmentSink;
+use tps_core::two_phase::{AssignCounters, TwoPhaseConfig};
+use tps_graph::degree::DegreeTable;
+use tps_graph::ranged::split_even;
+use tps_graph::types::GraphInfo;
+use tps_metrics::bitmatrix::ReplicationMatrix;
+
+use crate::protocol::{InputDescriptor, Job, Message, PROTOCOL_VERSION};
+use crate::transport::{recv_msg, send_msg, Transport};
+use crate::wire::corrupt;
+
+/// Receive a message from worker `w`, turning `Abort` into an error.
+fn expect(t: &mut dyn Transport, w: usize, phase: &str) -> io::Result<Message> {
+    match recv_msg(t) {
+        Ok(Message::Abort { reason }) => Err(io::Error::other(format!(
+            "worker {w} aborted during {phase}: {reason}"
+        ))),
+        Ok(m) => Ok(m),
+        Err(e) => Err(io::Error::new(
+            e.kind(),
+            format!("worker {w}, {phase}: {e}"),
+        )),
+    }
+}
+
+fn protocol_err(w: usize, phase: &str, got: &Message) -> io::Error {
+    corrupt(format!(
+        "worker {w}, {phase}: unexpected {} message",
+        Message::tag_name(got.tag())
+    ))
+}
+
+/// Run one distributed partitioning job over `workers` connected
+/// transports, emitting every assignment into `sink` in shard order.
+///
+/// `info` must describe the same graph every worker will open via `input`.
+/// On error the coordinator best-effort broadcasts an `Abort` so workers
+/// exit instead of blocking on a barrier.
+pub fn run_coordinator(
+    config: &TwoPhaseConfig,
+    params: &PartitionParams,
+    info: GraphInfo,
+    input: &InputDescriptor,
+    workers: &mut [Box<dyn Transport + '_>],
+    sink: &mut dyn AssignmentSink,
+) -> io::Result<RunReport> {
+    let result = drive(config, params, info, input, workers, sink);
+    if let Err(e) = &result {
+        let abort = Message::Abort {
+            reason: e.to_string(),
+        };
+        for t in workers.iter_mut() {
+            let _ = send_msg(&mut **t, &abort);
+        }
+    }
+    result
+}
+
+fn drive(
+    config: &TwoPhaseConfig,
+    params: &PartitionParams,
+    info: GraphInfo,
+    input: &InputDescriptor,
+    workers: &mut [Box<dyn Transport + '_>],
+    sink: &mut dyn AssignmentSink,
+) -> io::Result<RunReport> {
+    let n = workers.len();
+    assert!(n >= 1, "need at least one worker transport");
+    let mut report = RunReport::default();
+
+    // Handshake: every worker announces itself before any work is assigned.
+    for (w, t) in workers.iter_mut().enumerate() {
+        match expect(&mut **t, w, "handshake")? {
+            Message::Hello { version } if version == PROTOCOL_VERSION => {}
+            Message::Hello { version } => {
+                return Err(corrupt(format!(
+                    "worker {w} speaks protocol {version}, coordinator {PROTOCOL_VERSION}"
+                )));
+            }
+            other => return Err(protocol_err(w, "handshake", &other)),
+        }
+    }
+
+    if info.num_edges == 0 {
+        for t in workers.iter_mut() {
+            send_msg(&mut **t, &Message::Shutdown)?;
+        }
+        return Ok(report);
+    }
+
+    // Shard map: the same even edge-index split as `--threads N`.
+    let ranges = split_even(info.num_edges, n);
+    for (w, t) in workers.iter_mut().enumerate() {
+        send_msg(
+            &mut **t,
+            &Message::Job(Job {
+                worker_index: w as u32,
+                num_workers: n as u32,
+                k: params.k,
+                alpha: params.alpha,
+                config: *config,
+                num_vertices: info.num_vertices,
+                num_edges: info.num_edges,
+                shard: ranges[w],
+                input: input.clone(),
+            }),
+        )?;
+    }
+
+    // Phase 0: merge per-shard degree tables in worker order.
+    let t0 = Instant::now();
+    let mut tables = Vec::with_capacity(n);
+    for (w, t) in workers.iter_mut().enumerate() {
+        match expect(&mut **t, w, "degree")? {
+            Message::Degrees(d) => {
+                if d.len() as u64 != info.num_vertices {
+                    return Err(corrupt(format!(
+                        "worker {w} sent degrees for {} vertices, expected {}",
+                        d.len(),
+                        info.num_vertices
+                    )));
+                }
+                tables.push(DegreeTable::from_vec(d));
+            }
+            other => return Err(protocol_err(w, "degree", &other)),
+        }
+    }
+    let degrees = merge_degree_tables(tables);
+    report.phases.record("degree", t0.elapsed());
+    let volume_cap = resolve_volume_cap(config, params.k, &degrees);
+    let globals = Message::Globals {
+        degrees: degrees.as_slice().to_vec(),
+        volume_cap,
+    };
+    for t in workers.iter_mut() {
+        send_msg(&mut **t, &globals)?;
+    }
+
+    // Phase 1: merge per-shard clusterings (union-by-volume, worker order).
+    let t1 = Instant::now();
+    let mut locals = Vec::with_capacity(n);
+    for (w, t) in workers.iter_mut().enumerate() {
+        match expect(&mut **t, w, "clustering")? {
+            Message::LocalClustering(c) => {
+                if c.num_vertices() != info.num_vertices {
+                    return Err(corrupt(format!(
+                        "worker {w} clustered {} vertices, expected {}",
+                        c.num_vertices(),
+                        info.num_vertices
+                    )));
+                }
+                locals.push(c);
+            }
+            other => return Err(protocol_err(w, "clustering", &other)),
+        }
+    }
+    let clustering = merge_clusterings(&locals, &degrees);
+    drop(locals);
+    report.phases.record("clustering", t1.elapsed());
+
+    // Phase 2 step 1: placement, computed once here, broadcast to shards.
+    let t2 = Instant::now();
+    let placement = cluster_placement(config, &clustering, params.k);
+    report.phases.record("mapping", t2.elapsed());
+    let plan = Message::Plan {
+        clustering: clustering.clone(),
+        c2p: placement.c2p().to_vec(),
+    };
+    for t in workers.iter_mut() {
+        send_msg(&mut **t, &plan)?;
+    }
+
+    // Phase 2 step 2 barrier: OR the replication shards (skipped exactly
+    // when the in-process runner skips its merge).
+    let t3 = Instant::now();
+    if config.prepartitioning && n > 1 {
+        let mut merged: Option<ReplicationMatrix> = None;
+        for (w, t) in workers.iter_mut().enumerate() {
+            match expect(&mut **t, w, "prepartition")? {
+                Message::ReplicationShard(m) => {
+                    if m.num_vertices() != info.num_vertices || m.k() != params.k {
+                        return Err(corrupt(format!(
+                            "worker {w} sent a {}×{} replication shard, expected {}×{}",
+                            m.num_vertices(),
+                            m.k(),
+                            info.num_vertices,
+                            params.k
+                        )));
+                    }
+                    match &mut merged {
+                        None => merged = Some(m),
+                        Some(acc) => acc.merge_from(&m),
+                    }
+                }
+                other => return Err(protocol_err(w, "prepartition", &other)),
+            }
+        }
+        let merged = Message::MergedReplication(merged.expect("n > 1 shards merged"));
+        for t in workers.iter_mut() {
+            send_msg(&mut **t, &merged)?;
+        }
+    }
+    report.phases.record("prepartition", t3.elapsed());
+
+    // Phase 2 step 3: collect shard summaries.
+    let t4 = Instant::now();
+    let mut counters = AssignCounters::default();
+    let mut loads = vec![0u64; params.k as usize];
+    let mut assigned_total = 0u64;
+    for (w, t) in workers.iter_mut().enumerate() {
+        match expect(&mut **t, w, "partition")? {
+            Message::ShardDone {
+                counters: c,
+                loads: l,
+                assigned,
+            } => {
+                if l.len() != params.k as usize {
+                    return Err(corrupt(format!(
+                        "worker {w} reported loads for {} partitions, expected {}",
+                        l.len(),
+                        params.k
+                    )));
+                }
+                counters.merge(&c);
+                for (acc, v) in loads.iter_mut().zip(l) {
+                    *acc += v;
+                }
+                assigned_total += assigned;
+            }
+            other => return Err(protocol_err(w, "partition", &other)),
+        }
+    }
+    report.phases.record("partition", t4.elapsed());
+
+    // Emit: pull each worker's runs in shard order — bounded batches, one
+    // worker at a time, so coordinator memory stays O(RUN_BATCH_EDGES).
+    let t5 = Instant::now();
+    let mut emitted = 0u64;
+    for (w, t) in workers.iter_mut().enumerate() {
+        send_msg(&mut **t, &Message::Pull)?;
+        loop {
+            match expect(&mut **t, w, "emit")? {
+                Message::Run(batch) => {
+                    emitted += batch.len() as u64;
+                    for (edge, p) in batch {
+                        if p >= params.k {
+                            return Err(corrupt(format!(
+                                "worker {w} assigned partition {p} (k = {})",
+                                params.k
+                            )));
+                        }
+                        sink.assign(edge, p)?;
+                    }
+                }
+                Message::RunsDone => break,
+                other => return Err(protocol_err(w, "emit", &other)),
+            }
+        }
+    }
+    report.phases.record("emit", t5.elapsed());
+    for t in workers.iter_mut() {
+        send_msg(&mut **t, &Message::Shutdown)?;
+    }
+
+    if emitted != info.num_edges || assigned_total != info.num_edges {
+        return Err(corrupt(format!(
+            "assignment count mismatch: |E| = {}, shards reported {assigned_total}, emitted {emitted}",
+            info.num_edges
+        )));
+    }
+
+    report.count("workers", n as u64);
+    let overshoot = overshoot_from_loads(&loads, params.k, info.num_edges, params.alpha);
+    record_phase2_counters(&mut report, &counters, overshoot);
+    record_clustering_counters(&mut report, &clustering, volume_cap);
+    Ok(report)
+}

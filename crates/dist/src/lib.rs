@@ -1,0 +1,62 @@
+//! `tps-dist` — coordinator/worker distributed two-phase partitioning over
+//! a network-addressable shard map.
+//!
+//! The paper's two-phase design decomposes into per-range passes joined at
+//! two state merges (degrees + clustering after phase 1, replication shards
+//! inside phase 2). The in-process `ParallelRunner` exploits that with
+//! threads; this crate promotes the same decomposition across processes:
+//!
+//! ```text
+//!                      coordinator
+//!        shard map: split_even(|E|, N) edge-index ranges
+//!      ┌───────────────┬───────────────┬───────────────┐
+//!      │ worker 0      │ worker 1      │ worker N−1    │
+//!      │ [0, |E|/N)    │ [|E|/N, …)    │ […, |E|)      │
+//!      └──────┬────────┴──────┬────────┴──────┬────────┘
+//!             │   degrees ↑ / merged ↓        │      barrier 1
+//!             │   clustering ↑ / plan ↓       │      barrier 2
+//!             │   replication ↑ / merged ↓    │      barrier 3
+//!             │   runs ↑ (bounded batches)    │      emit, shard order
+//! ```
+//!
+//! Each worker opens its contiguous edge-index range through any
+//! [`RangedEdgeSource`](tps_graph::ranged::RangedEdgeSource) backend (v1
+//! record seeks, v2 chunk-index scheduling, mmap, prefetch) and runs the
+//! *same* per-shard kernels as `--threads N` (`tps_core::parallel`). The
+//! coordinator owns the shard map, performs the merges in worker order, and
+//! replays per-worker assignment runs in shard order — so for a fixed shard
+//! map the output is **bit-identical** to the in-process runner's, whatever
+//! the transport.
+//!
+//! # Crate layout
+//!
+//! * [`wire`] — length-prefixed frames and primitive codecs; all corrupt
+//!   input surfaces as `io::Error`, never a panic.
+//! * [`protocol`] — the message schema (see its table) and the pinned
+//!   [`PROTOCOL_VERSION`](protocol::PROTOCOL_VERSION).
+//! * [`transport`] — the [`Transport`](transport::Transport) trait with
+//!   [`TcpTransport`](transport::TcpTransport) (std `TcpStream`, no async
+//!   runtime), [`loopback_pair`](transport::loopback_pair) channels, and a
+//!   tracing wrapper proving both carry identical frames.
+//! * [`coordinator`] / [`worker`] — the two state machines.
+//! * [`local`] — [`run_dist_local`](local::run_dist_local): a full job over
+//!   loopback transports in one process (tests, benches, CI smoke).
+//!
+//! The CLI front ends live in `tps`: `tps dist coordinator` /
+//! `tps dist worker`, plus `--dist-local` to spawn the worker processes
+//! automatically.
+
+pub mod coordinator;
+pub mod local;
+pub mod protocol;
+pub mod transport;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::run_coordinator;
+pub use local::run_dist_local;
+pub use protocol::{InputDescriptor, Job, Message, PROTOCOL_VERSION};
+pub use transport::{
+    loopback_pair, LoopbackTransport, TcpTransport, TraceEvent, TraceTransport, Transport,
+};
+pub use worker::{run_worker, AttachedResolver, PathResolver, SourceResolver};

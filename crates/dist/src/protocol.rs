@@ -1,0 +1,594 @@
+//! The coordinator/worker message schema.
+//!
+//! One partitioning job exchanges the following messages per worker, in
+//! lockstep with the two-phase algorithm's barriers (tags in parentheses):
+//!
+//! | # | direction | message (tag) | carries |
+//! |---|-----------|---------------|---------|
+//! | 1 | W → C | `Hello` (1) | protocol version |
+//! | 2 | C → W | `Job` (2) | shard descriptor: config, k/α, graph info, edge range, input |
+//! | 3 | W → C | `Degrees` (3) | the shard's exact degree counts |
+//! | 4 | C → W | `Globals` (4) | merged degrees + resolved cluster volume cap |
+//! | 5 | W → C | `LocalClustering` (5) | the shard's phase-1 clustering |
+//! | 6 | C → W | `Plan` (6) | merged clustering + cluster→partition map |
+//! | 7 | W → C | `ReplicationShard` (7) | pre-partitioning replica bits (N > 1 only) |
+//! | 8 | C → W | `MergedReplication` (8) | OR of all shards (N > 1 only) |
+//! | 9 | W → C | `ShardDone` (9) | phase-2 counters + per-partition loads |
+//! | 10 | C → W | `Pull` (10) | request this worker's assignment runs |
+//! | 11 | W → C | `Run` (11) | one bounded batch of `(edge, partition)` records |
+//! | 12 | W → C | `RunsDone` (12) | end of this worker's runs |
+//! | 13 | C → W | `Shutdown` (13) | job complete |
+//! | 14 | either | `Abort` (14) | fatal error with reason |
+//!
+//! Steps 7/8 are skipped when pre-partitioning is disabled or there is only
+//! one worker — both sides derive that from the `Job`, so the trace stays
+//! deterministic. The coordinator pulls runs worker-by-worker in shard
+//! order (step 10), which is what makes the emitted stream bit-identical to
+//! the in-process runner's worker-order replay without the coordinator ever
+//! holding more than one `Run` batch in memory.
+
+use std::io;
+
+use tps_clustering::model::Clustering;
+use tps_core::two_phase::scoring::HdrfParams;
+use tps_core::two_phase::{AssignCounters, MappingStrategy, RemainingStrategy, TwoPhaseConfig};
+use tps_graph::types::{Edge, PartitionId};
+use tps_io::ReaderBackend;
+use tps_metrics::bitmatrix::ReplicationMatrix;
+
+use crate::wire::{
+    corrupt, put_f64, put_string, put_u32, put_u64, put_vec_u32, put_vec_u64, Reader,
+};
+
+/// Protocol version pinned by the `Hello` handshake. Bump on any schema
+/// change — there is no in-band negotiation.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Edges per `Run` frame (bounded so neither side buffers a full shard:
+/// 8192 records ≈ 96 KiB on the wire).
+pub const RUN_BATCH_EDGES: usize = 8192;
+
+/// How a worker obtains its edge source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InputDescriptor {
+    /// The worker already holds the source (in-process loopback workers).
+    Attached,
+    /// Open `path` — a v1/v2 edge file on a filesystem shared with the
+    /// coordinator — with the given reader backend.
+    Path {
+        /// Absolute path of the input file.
+        path: String,
+        /// Reader backend for the worker's range cursors.
+        reader: ReaderBackend,
+    },
+}
+
+/// Everything a worker needs to run its shard.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// This worker's index in shard order.
+    pub worker_index: u32,
+    /// Total workers in the job.
+    pub num_workers: u32,
+    /// Number of partitions.
+    pub k: u32,
+    /// Balance factor α.
+    pub alpha: f64,
+    /// The two-phase configuration (identical on every worker).
+    pub config: TwoPhaseConfig,
+    /// Vertices in the full graph.
+    pub num_vertices: u64,
+    /// Edges in the full graph.
+    pub num_edges: u64,
+    /// This worker's edge-index range `[start, end)`.
+    pub shard: (u64, u64),
+    /// Where the edges come from.
+    pub input: InputDescriptor,
+}
+
+/// A protocol message. See the module docs for the exchange order.
+#[derive(Clone, Debug)]
+pub enum Message {
+    /// Worker handshake.
+    Hello {
+        /// Must equal [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Shard assignment.
+    Job(Job),
+    /// A shard's exact degree counts.
+    Degrees(Vec<u32>),
+    /// Merged degrees and the resolved cluster volume cap.
+    Globals {
+        /// Exact degrees over the full graph.
+        degrees: Vec<u32>,
+        /// The resolved per-cluster volume cap.
+        volume_cap: u64,
+    },
+    /// A shard's local phase-1 clustering.
+    LocalClustering(Clustering),
+    /// The merged clustering and its cluster→partition placement.
+    Plan {
+        /// Union-by-volume merged clustering.
+        clustering: Clustering,
+        /// Cluster id → partition id.
+        c2p: Vec<PartitionId>,
+    },
+    /// A shard's pre-partitioning replication matrix.
+    ReplicationShard(ReplicationMatrix),
+    /// The OR of every shard's replication matrix.
+    MergedReplication(ReplicationMatrix),
+    /// A shard's phase-2 summary.
+    ShardDone {
+        /// The shard's assignment counters.
+        counters: AssignCounters,
+        /// Edges the shard committed per partition.
+        loads: Vec<u64>,
+        /// Total edges the shard assigned.
+        assigned: u64,
+    },
+    /// Request the worker's assignment runs.
+    Pull,
+    /// One bounded batch of assignments, in decision order.
+    Run(Vec<(Edge, PartitionId)>),
+    /// End of this worker's runs.
+    RunsDone,
+    /// Job complete; the worker may exit.
+    Shutdown,
+    /// Fatal error.
+    Abort {
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+impl Message {
+    /// The message's wire tag.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 1,
+            Message::Job(_) => 2,
+            Message::Degrees(_) => 3,
+            Message::Globals { .. } => 4,
+            Message::LocalClustering(_) => 5,
+            Message::Plan { .. } => 6,
+            Message::ReplicationShard(_) => 7,
+            Message::MergedReplication(_) => 8,
+            Message::ShardDone { .. } => 9,
+            Message::Pull => 10,
+            Message::Run(_) => 11,
+            Message::RunsDone => 12,
+            Message::Shutdown => 13,
+            Message::Abort { .. } => 14,
+        }
+    }
+
+    /// Human-readable name of a wire tag (diagnostics and traces).
+    pub fn tag_name(tag: u8) -> &'static str {
+        match tag {
+            1 => "Hello",
+            2 => "Job",
+            3 => "Degrees",
+            4 => "Globals",
+            5 => "LocalClustering",
+            6 => "Plan",
+            7 => "ReplicationShard",
+            8 => "MergedReplication",
+            9 => "ShardDone",
+            10 => "Pull",
+            11 => "Run",
+            12 => "RunsDone",
+            13 => "Shutdown",
+            14 => "Abort",
+            _ => "unknown",
+        }
+    }
+
+    /// Serialise into a frame body (tag byte + message body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![self.tag()];
+        match self {
+            Message::Hello { version } => put_u32(&mut out, *version),
+            Message::Job(job) => encode_job(&mut out, job),
+            Message::Degrees(d) => put_vec_u32(&mut out, d),
+            Message::Globals {
+                degrees,
+                volume_cap,
+            } => {
+                put_u64(&mut out, *volume_cap);
+                put_vec_u32(&mut out, degrees);
+            }
+            Message::LocalClustering(c) => c.encode_into(&mut out),
+            Message::Plan { clustering, c2p } => {
+                clustering.encode_into(&mut out);
+                put_vec_u32(&mut out, c2p);
+            }
+            Message::ReplicationShard(m) | Message::MergedReplication(m) => m.encode_into(&mut out),
+            Message::ShardDone {
+                counters,
+                loads,
+                assigned,
+            } => {
+                put_u64(&mut out, counters.prepartitioned);
+                put_u64(&mut out, counters.prepartition_overflow);
+                put_u64(&mut out, counters.remaining);
+                put_u64(&mut out, counters.fallback_hash);
+                put_u64(&mut out, counters.fallback_least_loaded);
+                put_u64(&mut out, *assigned);
+                put_vec_u64(&mut out, loads);
+            }
+            Message::Pull | Message::RunsDone | Message::Shutdown => {}
+            Message::Run(batch) => {
+                put_u32(&mut out, batch.len() as u32);
+                for (e, p) in batch {
+                    put_u32(&mut out, e.src);
+                    put_u32(&mut out, e.dst);
+                    put_u32(&mut out, *p);
+                }
+            }
+            Message::Abort { reason } => put_string(&mut out, reason),
+        }
+        out
+    }
+
+    /// Parse a frame body. Every malformed input is an `InvalidData` error.
+    pub fn decode(frame: &[u8]) -> io::Result<Message> {
+        let (&tag, body) = frame
+            .split_first()
+            .ok_or_else(|| corrupt("empty frame (missing message tag)"))?;
+        let mut r = Reader::new(body);
+        let msg = match tag {
+            1 => Message::Hello { version: r.u32()? },
+            2 => Message::Job(decode_job(&mut r)?),
+            3 => Message::Degrees(r.vec_u32()?),
+            4 => {
+                let volume_cap = r.u64()?;
+                let degrees = r.vec_u32()?;
+                Message::Globals {
+                    degrees,
+                    volume_cap,
+                }
+            }
+            5 => Message::LocalClustering(decode_clustering(&mut r)?),
+            6 => {
+                let clustering = decode_clustering(&mut r)?;
+                let c2p = r.vec_u32()?;
+                Message::Plan { clustering, c2p }
+            }
+            7 | 8 => {
+                let (m, rest) = ReplicationMatrix::decode_from(r.tail()).map_err(corrupt)?;
+                r.set_tail(rest);
+                if tag == 7 {
+                    Message::ReplicationShard(m)
+                } else {
+                    Message::MergedReplication(m)
+                }
+            }
+            9 => {
+                let counters = AssignCounters {
+                    prepartitioned: r.u64()?,
+                    prepartition_overflow: r.u64()?,
+                    remaining: r.u64()?,
+                    fallback_hash: r.u64()?,
+                    fallback_least_loaded: r.u64()?,
+                };
+                let assigned = r.u64()?;
+                let loads = r.vec_u64()?;
+                Message::ShardDone {
+                    counters,
+                    loads,
+                    assigned,
+                }
+            }
+            10 => Message::Pull,
+            11 => {
+                let n = r.u32()? as usize;
+                if n > RUN_BATCH_EDGES {
+                    return Err(corrupt(format!(
+                        "run batch of {n} edges exceeds bound {RUN_BATCH_EDGES}"
+                    )));
+                }
+                let mut batch = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let src = r.u32()?;
+                    let dst = r.u32()?;
+                    let p = r.u32()?;
+                    batch.push((Edge { src, dst }, p));
+                }
+                Message::Run(batch)
+            }
+            12 => Message::RunsDone,
+            13 => Message::Shutdown,
+            14 => Message::Abort {
+                reason: r.string()?,
+            },
+            other => return Err(corrupt(format!("unknown message tag {other}"))),
+        };
+        r.expect_empty()?;
+        Ok(msg)
+    }
+}
+
+fn decode_clustering<'a>(r: &mut Reader<'a>) -> io::Result<Clustering> {
+    let (c, rest) = Clustering::decode_from(r.tail()).map_err(corrupt)?;
+    r.set_tail(rest);
+    Ok(c)
+}
+
+fn encode_job(out: &mut Vec<u8>, job: &Job) {
+    put_u32(out, job.worker_index);
+    put_u32(out, job.num_workers);
+    put_u32(out, job.k);
+    put_f64(out, job.alpha);
+    // TwoPhaseConfig, field by field.
+    put_u32(out, job.config.clustering_passes);
+    put_f64(out, job.config.volume_cap_factor);
+    match job.config.strategy {
+        RemainingStrategy::TwoChoice => out.push(0),
+        RemainingStrategy::Hdrf(h) => {
+            out.push(1);
+            put_f64(out, h.lambda);
+            put_f64(out, h.epsilon);
+        }
+    }
+    out.push(match job.config.mapping {
+        MappingStrategy::SortedGraham => 0,
+        MappingStrategy::UnsortedFirstFit => 1,
+    });
+    out.push(job.config.prepartitioning as u8);
+    put_u64(out, job.config.hash_seed);
+    put_u64(out, job.num_vertices);
+    put_u64(out, job.num_edges);
+    put_u64(out, job.shard.0);
+    put_u64(out, job.shard.1);
+    match &job.input {
+        InputDescriptor::Attached => out.push(0),
+        InputDescriptor::Path { path, reader } => {
+            out.push(1);
+            out.push(match reader {
+                ReaderBackend::Buffered => 0,
+                ReaderBackend::Mmap => 1,
+                ReaderBackend::Prefetch => 2,
+            });
+            put_string(out, path);
+        }
+    }
+}
+
+fn decode_job(r: &mut Reader) -> io::Result<Job> {
+    let worker_index = r.u32()?;
+    let num_workers = r.u32()?;
+    let k = r.u32()?;
+    let alpha = r.f64()?;
+    let clustering_passes = r.u32()?;
+    let volume_cap_factor = r.f64()?;
+    let strategy = match r.u8()? {
+        0 => RemainingStrategy::TwoChoice,
+        1 => RemainingStrategy::Hdrf(HdrfParams {
+            lambda: r.f64()?,
+            epsilon: r.f64()?,
+        }),
+        other => return Err(corrupt(format!("unknown scoring strategy {other}"))),
+    };
+    let mapping = match r.u8()? {
+        0 => MappingStrategy::SortedGraham,
+        1 => MappingStrategy::UnsortedFirstFit,
+        other => return Err(corrupt(format!("unknown mapping strategy {other}"))),
+    };
+    let prepartitioning = match r.u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(corrupt(format!("bad prepartitioning flag {other}"))),
+    };
+    let hash_seed = r.u64()?;
+    let num_vertices = r.u64()?;
+    let num_edges = r.u64()?;
+    let shard = (r.u64()?, r.u64()?);
+    let input = match r.u8()? {
+        0 => InputDescriptor::Attached,
+        1 => {
+            let reader = match r.u8()? {
+                0 => ReaderBackend::Buffered,
+                1 => ReaderBackend::Mmap,
+                2 => ReaderBackend::Prefetch,
+                other => return Err(corrupt(format!("unknown reader backend {other}"))),
+            };
+            InputDescriptor::Path {
+                path: r.string()?,
+                reader,
+            }
+        }
+        other => return Err(corrupt(format!("unknown input descriptor {other}"))),
+    };
+    if num_workers == 0 || worker_index >= num_workers {
+        return Err(corrupt(format!(
+            "worker index {worker_index} out of range for {num_workers} workers"
+        )));
+    }
+    if k == 0
+        || alpha < 1.0
+        || alpha.is_nan()
+        || volume_cap_factor <= 0.0
+        || volume_cap_factor.is_nan()
+        || clustering_passes == 0
+    {
+        return Err(corrupt("job parameters out of range"));
+    }
+    if shard.0 > shard.1 || shard.1 > num_edges {
+        return Err(corrupt(format!(
+            "shard [{}, {}) out of bounds for |E| = {num_edges}",
+            shard.0, shard.1
+        )));
+    }
+    Ok(Job {
+        worker_index,
+        num_workers,
+        k,
+        alpha,
+        config: TwoPhaseConfig {
+            clustering_passes,
+            volume_cap_factor,
+            strategy,
+            mapping,
+            prepartitioning,
+            hash_seed,
+        },
+        num_vertices,
+        num_edges,
+        shard,
+        input,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: &Message) -> Message {
+        let bytes = msg.encode();
+        let decoded = Message::decode(&bytes).unwrap();
+        assert_eq!(decoded.encode(), bytes, "re-encode must be stable");
+        decoded
+    }
+
+    #[test]
+    fn job_roundtrips_both_strategies_and_inputs() {
+        for (config, input) in [
+            (TwoPhaseConfig::default(), InputDescriptor::Attached),
+            (
+                TwoPhaseConfig::hdrf_variant(),
+                InputDescriptor::Path {
+                    path: "/data/graph.bel".into(),
+                    reader: ReaderBackend::Mmap,
+                },
+            ),
+        ] {
+            let job = Job {
+                worker_index: 1,
+                num_workers: 4,
+                k: 32,
+                alpha: 1.05,
+                config,
+                num_vertices: 1000,
+                num_edges: 5000,
+                shard: (1250, 2500),
+                input: input.clone(),
+            };
+            let Message::Job(back) = roundtrip(&Message::Job(job)) else {
+                panic!("tag changed");
+            };
+            assert_eq!(back.shard, (1250, 2500));
+            assert_eq!(back.input, input);
+            assert_eq!(back.config.hash_seed, TwoPhaseConfig::default().hash_seed);
+        }
+    }
+
+    #[test]
+    fn every_fixed_message_roundtrips() {
+        for msg in [
+            Message::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Message::Degrees(vec![0, 3, 7]),
+            Message::Globals {
+                degrees: vec![1, 2],
+                volume_cap: 99,
+            },
+            Message::ShardDone {
+                counters: AssignCounters {
+                    prepartitioned: 1,
+                    prepartition_overflow: 2,
+                    remaining: 3,
+                    fallback_hash: 4,
+                    fallback_least_loaded: 5,
+                },
+                loads: vec![7, 8],
+                assigned: 15,
+            },
+            Message::Pull,
+            Message::Run(vec![(Edge::new(1, 2), 0), (Edge::new(3, 4), 7)]),
+            Message::RunsDone,
+            Message::Shutdown,
+            Message::Abort {
+                reason: "boom".into(),
+            },
+        ] {
+            let tag = msg.tag();
+            assert_eq!(roundtrip(&msg).tag(), tag);
+        }
+    }
+
+    #[test]
+    fn clustering_and_matrix_messages_roundtrip() {
+        let c = Clustering::from_parts(vec![0, 1, u32::MAX], vec![3, 4]);
+        let Message::Plan { clustering, c2p } = roundtrip(&Message::Plan {
+            clustering: c,
+            c2p: vec![1, 0],
+        }) else {
+            panic!("tag changed");
+        };
+        assert_eq!(clustering.volumes(), &[3, 4]);
+        assert_eq!(c2p, vec![1, 0]);
+
+        let mut m = ReplicationMatrix::new(4, 70);
+        m.set(2, 65);
+        let Message::ReplicationShard(back) = roundtrip(&Message::ReplicationShard(m)) else {
+            panic!("tag changed");
+        };
+        assert!(back.get(2, 65));
+    }
+
+    #[test]
+    fn corrupt_bodies_error_not_panic() {
+        // Empty frame, unknown tag, truncated bodies, trailing garbage,
+        // out-of-range enum values.
+        assert!(Message::decode(&[]).is_err());
+        assert!(Message::decode(&[99]).is_err());
+        assert!(Message::decode(&[1, 0, 0]).is_err(), "Hello cut short");
+        let mut hello = Message::Hello { version: 1 }.encode();
+        hello.push(0);
+        assert!(Message::decode(&hello).is_err(), "trailing byte");
+        let mut job = Message::Job(Job {
+            worker_index: 0,
+            num_workers: 1,
+            k: 2,
+            alpha: 1.05,
+            config: TwoPhaseConfig::default(),
+            num_vertices: 10,
+            num_edges: 10,
+            shard: (0, 10),
+            input: InputDescriptor::Attached,
+        })
+        .encode();
+        for cut in [1, 5, job.len() / 2, job.len() - 1] {
+            assert!(Message::decode(&job[..cut]).is_err(), "cut {cut}");
+        }
+        // Strategy byte out of range (offset: tag 1 + 3×u32 12 + f64 8 +
+        // u32 4 + f64 8 = byte 33).
+        job[33] = 9;
+        assert!(Message::decode(&job).is_err());
+    }
+
+    #[test]
+    fn shard_bounds_are_validated_on_decode() {
+        let job = Job {
+            worker_index: 0,
+            num_workers: 2,
+            k: 4,
+            alpha: 1.05,
+            config: TwoPhaseConfig::default(),
+            num_vertices: 10,
+            num_edges: 10,
+            shard: (8, 20),
+            input: InputDescriptor::Attached,
+        };
+        assert!(Message::decode(&Message::Job(job).encode()).is_err());
+    }
+
+    #[test]
+    fn oversized_run_batch_rejected() {
+        let mut out = vec![11u8];
+        put_u32(&mut out, (RUN_BATCH_EDGES + 1) as u32);
+        assert!(Message::decode(&out).is_err());
+    }
+}

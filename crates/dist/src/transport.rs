@@ -1,0 +1,242 @@
+//! Pluggable frame transports: TCP, in-process loopback, and tracing.
+//!
+//! The protocol above ([`crate::protocol`]) encodes messages to frame bytes;
+//! a [`Transport`] only moves those bytes. Because *all* serialisation
+//! happens above the transport, a loopback channel pair and a TCP socket
+//! carry byte-identical frames — the trace proptests in
+//! `tests/tests/dist.rs` pin exactly that, which is what makes the
+//! socket-free loopback runner a faithful test double for multi-process
+//! deployments.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+use crate::protocol::Message;
+use crate::wire::{read_frame, write_frame};
+
+/// Moves opaque frames between a coordinator and one worker.
+pub trait Transport: Send {
+    /// Send one frame.
+    fn send(&mut self, frame: &[u8]) -> io::Result<()>;
+    /// Receive one frame, blocking.
+    fn recv(&mut self) -> io::Result<Vec<u8>>;
+}
+
+/// Encode and send `msg`.
+pub fn send_msg(t: &mut dyn Transport, msg: &Message) -> io::Result<()> {
+    t.send(&msg.encode())
+}
+
+/// Receive and decode one message.
+pub fn recv_msg(t: &mut dyn Transport) -> io::Result<Message> {
+    Message::decode(&t.recv()?)
+}
+
+/// A [`Transport`] over a connected TCP stream, length-prefix framed.
+///
+/// Reads and writes are buffered independently (the protocol is
+/// request/response at phase barriers but streams `Run` frames during
+/// emit); every send flushes, since each message unblocks the peer.
+pub struct TcpTransport {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl TcpTransport {
+    /// Wrap a connected stream. `TCP_NODELAY` is set — the barrier messages
+    /// are latency-bound, not bandwidth-bound.
+    pub fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nodelay(true).ok();
+        let write_half = stream.try_clone()?;
+        Ok(TcpTransport {
+            reader: BufReader::with_capacity(1 << 16, stream),
+            writer: BufWriter::with_capacity(1 << 16, write_half),
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.writer, frame)?;
+        self.writer.flush()
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        read_frame(&mut self.reader)
+    }
+}
+
+/// One end of an in-process loopback channel pair.
+///
+/// Frames cross unchanged through unbounded channels — no sockets, no
+/// syscalls, deterministic and deadlock-free for this protocol (each side
+/// has at most a bounded number of unconsumed frames in flight).
+pub struct LoopbackTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+/// A connected pair of loopback transports (coordinator side, worker side).
+pub fn loopback_pair() -> (LoopbackTransport, LoopbackTransport) {
+    let (a_tx, a_rx) = channel();
+    let (b_tx, b_rx) = channel();
+    (
+        LoopbackTransport { tx: a_tx, rx: b_rx },
+        LoopbackTransport { tx: b_tx, rx: a_rx },
+    )
+}
+
+impl Transport for LoopbackTransport {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "loopback peer disconnected"))
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        self.rx.recv().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "loopback peer closed mid-protocol",
+            )
+        })
+    }
+}
+
+/// One observed frame: direction, message tag, frame length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// `true` for frames this side sent, `false` for received.
+    pub sent: bool,
+    /// The frame's message tag byte (0 for an empty frame).
+    pub tag: u8,
+    /// Total frame bytes.
+    pub len: usize,
+}
+
+impl TraceEvent {
+    /// The tag's message name.
+    pub fn name(&self) -> &'static str {
+        Message::tag_name(self.tag)
+    }
+}
+
+/// Wraps any transport, recording a [`TraceEvent`] per frame into a shared
+/// log — the instrument behind the loopback-equals-TCP protocol tests.
+pub struct TraceTransport<T: Transport> {
+    inner: T,
+    trace: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl<T: Transport> TraceTransport<T> {
+    /// Wrap `inner`, appending events to `trace`.
+    pub fn new(inner: T, trace: Arc<Mutex<Vec<TraceEvent>>>) -> Self {
+        TraceTransport { inner, trace }
+    }
+}
+
+impl<T: Transport> Transport for TraceTransport<T> {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.trace.lock().expect("trace lock").push(TraceEvent {
+            sent: true,
+            tag: frame.first().copied().unwrap_or(0),
+            len: frame.len(),
+        });
+        self.inner.send(frame)
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        let frame = self.inner.recv()?;
+        self.trace.lock().expect("trace lock").push(TraceEvent {
+            sent: false,
+            tag: frame.first().copied().unwrap_or(0),
+            len: frame.len(),
+        });
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_moves_frames_both_ways() {
+        let (mut a, mut b) = loopback_pair();
+        a.send(b"ping").unwrap();
+        assert_eq!(b.recv().unwrap(), b"ping");
+        b.send(b"pong").unwrap();
+        assert_eq!(a.recv().unwrap(), b"pong");
+    }
+
+    #[test]
+    fn loopback_disconnect_is_an_error_not_a_hang() {
+        let (mut a, b) = loopback_pair();
+        drop(b);
+        assert!(a.send(b"x").is_err());
+        assert_eq!(a.recv().unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn tcp_transport_roundtrips_frames() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut t = TcpTransport::new(TcpStream::connect(addr).unwrap()).unwrap();
+            t.send(b"hello over tcp").unwrap();
+            t.recv().unwrap()
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = TcpTransport::new(stream).unwrap();
+        assert_eq!(server.recv().unwrap(), b"hello over tcp");
+        server.send(b"ack").unwrap();
+        assert_eq!(client.join().unwrap(), b"ack");
+    }
+
+    #[test]
+    fn tcp_recv_on_truncated_stream_errors() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            use std::io::Write;
+            let mut s = TcpStream::connect(addr).unwrap();
+            // Promise 100 bytes, deliver 3, hang up.
+            s.write_all(&100u32.to_le_bytes()).unwrap();
+            s.write_all(b"abc").unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = TcpTransport::new(stream).unwrap();
+        let err = server.recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn trace_records_direction_tag_and_length() {
+        let trace = Arc::new(Mutex::new(Vec::new()));
+        let (a, mut b) = loopback_pair();
+        let mut a = TraceTransport::new(a, trace.clone());
+        a.send(&[7, 1, 2]).unwrap();
+        b.send(&[13]).unwrap();
+        a.recv().unwrap();
+        let events = trace.lock().unwrap().clone();
+        assert_eq!(
+            events,
+            vec![
+                TraceEvent {
+                    sent: true,
+                    tag: 7,
+                    len: 3
+                },
+                TraceEvent {
+                    sent: false,
+                    tag: 13,
+                    len: 1
+                },
+            ]
+        );
+        assert_eq!(events[1].name(), "Shutdown");
+    }
+}

@@ -1,0 +1,280 @@
+//! The worker: one shard of every phase, driven by coordinator messages.
+//!
+//! A worker is a thin state machine around `tps-core`'s per-shard kernels
+//! ([`shard_degrees`], [`shard_clustering`], [`ShardAssigner`]) — the same
+//! code the in-process `ParallelRunner` schedules onto threads, which is
+//! why a distributed run is bit-identical to `--threads N`. The worker
+//! never sees the whole graph's assignments: its decisions accumulate in an
+//! [`AssignmentSpool`](tps_core::sink::AssignmentSpool) (in-memory or
+//! spill-backed) and stream back as bounded `Run` batches when the
+//! coordinator pulls them.
+
+use std::io;
+
+use tps_core::balance::PartitionLoads;
+use tps_core::parallel::{shard_clustering, shard_degrees, ShardAssigner, ShardLoads};
+use tps_core::sink::{AssignmentSink, SpoolFactory};
+use tps_core::two_phase::mapping::ClusterPlacement;
+use tps_graph::degree::DegreeTable;
+use tps_graph::ranged::RangedEdgeSource;
+use tps_graph::stream::EdgeStream;
+use tps_graph::types::{Edge, GraphInfo, PartitionId};
+
+use crate::protocol::{InputDescriptor, Message, PROTOCOL_VERSION, RUN_BATCH_EDGES};
+use crate::transport::{recv_msg, send_msg, Transport};
+use crate::wire::corrupt;
+
+/// Resolves a [`Job`]'s input descriptor to an edge source.
+pub trait SourceResolver {
+    /// Open the source named by `input`.
+    fn open<'s>(&'s self, input: &InputDescriptor) -> io::Result<Box<dyn RangedEdgeSource + 's>>;
+}
+
+/// Resolver for out-of-process workers: opens `Path` descriptors through
+/// `tps-io` (shared-filesystem deployment); rejects `Attached`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PathResolver;
+
+impl SourceResolver for PathResolver {
+    fn open<'s>(&'s self, input: &InputDescriptor) -> io::Result<Box<dyn RangedEdgeSource + 's>> {
+        match input {
+            InputDescriptor::Path { path, reader } => tps_io::open_ranged_backend(path, *reader),
+            InputDescriptor::Attached => Err(corrupt(
+                "job says the input is attached, but this worker is out-of-process",
+            )),
+        }
+    }
+}
+
+/// Resolver for in-process loopback workers: every job reads the one
+/// attached source (and `Path` descriptors are honoured too, so mixed tests
+/// can reuse it).
+pub struct AttachedResolver<'g>(pub &'g dyn RangedEdgeSource);
+
+impl SourceResolver for AttachedResolver<'_> {
+    fn open<'s>(&'s self, input: &InputDescriptor) -> io::Result<Box<dyn RangedEdgeSource + 's>> {
+        match input {
+            InputDescriptor::Attached => Ok(Box::new(BorrowedSource(self.0))),
+            InputDescriptor::Path { path, reader } => tps_io::open_ranged_backend(path, *reader),
+        }
+    }
+}
+
+/// Forwarding wrapper so a borrowed source can be boxed as a trait object.
+struct BorrowedSource<'a>(&'a dyn RangedEdgeSource);
+
+impl RangedEdgeSource for BorrowedSource<'_> {
+    fn info(&self) -> GraphInfo {
+        self.0.info()
+    }
+
+    fn open_range(&self, start: u64, end: u64) -> io::Result<Box<dyn EdgeStream + '_>> {
+        self.0.open_range(start, end)
+    }
+}
+
+/// Serve one job over `transport`, then return.
+///
+/// On internal failure the worker sends an `Abort` with the cause (so the
+/// coordinator fails its current barrier instead of hanging) and returns
+/// the error.
+pub fn run_worker(
+    transport: &mut dyn Transport,
+    resolver: &dyn SourceResolver,
+    spools: &dyn SpoolFactory,
+) -> io::Result<()> {
+    let result = serve(transport, resolver, spools);
+    if let Err(e) = &result {
+        let _ = send_msg(
+            transport,
+            &Message::Abort {
+                reason: e.to_string(),
+            },
+        );
+    }
+    result
+}
+
+/// Receive, mapping `Abort` and `Shutdown` appropriately for mid-job steps.
+fn expect(transport: &mut dyn Transport, phase: &str) -> io::Result<Message> {
+    match recv_msg(transport)? {
+        Message::Abort { reason } => Err(io::Error::other(format!(
+            "coordinator aborted during {phase}: {reason}"
+        ))),
+        m => Ok(m),
+    }
+}
+
+fn protocol_err(phase: &str, got: &Message) -> io::Error {
+    corrupt(format!(
+        "{phase}: unexpected {} message from coordinator",
+        Message::tag_name(got.tag())
+    ))
+}
+
+fn serve(
+    transport: &mut dyn Transport,
+    resolver: &dyn SourceResolver,
+    spools: &dyn SpoolFactory,
+) -> io::Result<()> {
+    send_msg(
+        transport,
+        &Message::Hello {
+            version: PROTOCOL_VERSION,
+        },
+    )?;
+    let job = match expect(transport, "assignment")? {
+        Message::Job(job) => job,
+        // An empty graph (or a drained queue) shuts workers down directly.
+        Message::Shutdown => return Ok(()),
+        other => return Err(protocol_err("assignment", &other)),
+    };
+    let source = resolver.open(&job.input)?;
+    let info = source.info();
+    if info.num_vertices != job.num_vertices || info.num_edges != job.num_edges {
+        return Err(corrupt(format!(
+            "input mismatch: job says {}V/{}E, opened source has {}V/{}E",
+            job.num_vertices, job.num_edges, info.num_vertices, info.num_edges
+        )));
+    }
+
+    // Phase 0: shard degrees up, merged degrees + volume cap down.
+    let local_degrees = shard_degrees(&*source, job.shard, job.num_vertices)?;
+    send_msg(
+        transport,
+        &Message::Degrees(local_degrees.as_slice().to_vec()),
+    )?;
+    drop(local_degrees);
+    let (degrees, volume_cap) = match expect(transport, "degree barrier")? {
+        Message::Globals {
+            degrees,
+            volume_cap,
+        } => {
+            if degrees.len() as u64 != job.num_vertices {
+                return Err(corrupt("merged degree table has the wrong vertex count"));
+            }
+            (DegreeTable::from_vec(degrees), volume_cap)
+        }
+        other => return Err(protocol_err("degree barrier", &other)),
+    };
+
+    // Phase 1: shard clustering up, merged clustering + placement down.
+    let local_clustering = shard_clustering(
+        &*source,
+        job.shard,
+        &job.config,
+        &degrees,
+        volume_cap,
+        job.num_vertices,
+    )?;
+    send_msg(transport, &Message::LocalClustering(local_clustering))?;
+    let (clustering, c2p) = match expect(transport, "clustering barrier")? {
+        Message::Plan { clustering, c2p } => (clustering, c2p),
+        other => return Err(protocol_err("clustering barrier", &other)),
+    };
+    if clustering.num_vertices() != job.num_vertices {
+        return Err(corrupt("merged clustering has the wrong vertex count"));
+    }
+    if c2p.len() < clustering.num_cluster_ids() as usize || c2p.iter().any(|&p| p >= job.k) {
+        return Err(corrupt("cluster placement is inconsistent with the plan"));
+    }
+    let placement = ClusterPlacement::from_c2p(c2p, &clustering, job.k);
+
+    // Phase 2: prepartition + score with the quota-sliced standalone loads
+    // (identical decisions to the in-process ledger tracker).
+    let cap = PartitionLoads::new(job.k, job.num_edges, job.alpha).cap();
+    let loads = ShardLoads::standalone(
+        job.k,
+        cap,
+        job.worker_index as usize,
+        job.num_workers as usize,
+    );
+    let mut assigner = ShardAssigner::new(
+        job.config,
+        &degrees,
+        &clustering,
+        &placement,
+        job.num_vertices,
+        loads,
+    );
+    let mut spool = spools.create_spool(job.worker_index as usize)?;
+    if job.config.prepartitioning {
+        let mut s = source.open_range(job.shard.0, job.shard.1)?;
+        assigner.prepartition_pass(&mut s, &mut *spool)?;
+        if job.num_workers > 1 {
+            send_msg(
+                transport,
+                &Message::ReplicationShard(assigner.replication_shard().clone()),
+            )?;
+            match expect(transport, "prepartition barrier")? {
+                Message::MergedReplication(m) => {
+                    if m.num_vertices() != job.num_vertices || m.k() != job.k {
+                        return Err(corrupt("merged replication matrix has wrong dimensions"));
+                    }
+                    assigner.install_replication(m);
+                }
+                other => return Err(protocol_err("prepartition barrier", &other)),
+            }
+        }
+    }
+    {
+        let mut s = source.open_range(job.shard.0, job.shard.1)?;
+        assigner.remaining_pass(&mut s, &mut *spool)?;
+    }
+    let assigned: u64 = assigner.local_loads().iter().sum();
+    send_msg(
+        transport,
+        &Message::ShardDone {
+            counters: assigner.counters(),
+            loads: assigner.local_loads().to_vec(),
+            assigned,
+        },
+    )?;
+
+    // Emit: stream the spool back as bounded Run batches when pulled.
+    match expect(transport, "emit")? {
+        Message::Pull => {}
+        other => return Err(protocol_err("emit", &other)),
+    }
+    {
+        let mut sender = RunSender {
+            transport,
+            batch: Vec::with_capacity(RUN_BATCH_EDGES),
+        };
+        spool.replay(&mut sender)?;
+        sender.flush()?;
+    }
+    send_msg(transport, &Message::RunsDone)?;
+    match expect(transport, "shutdown")? {
+        Message::Shutdown => Ok(()),
+        other => Err(protocol_err("shutdown", &other)),
+    }
+}
+
+/// An [`AssignmentSink`] that ships batches of [`RUN_BATCH_EDGES`] records
+/// as `Run` frames.
+struct RunSender<'a> {
+    transport: &'a mut dyn Transport,
+    batch: Vec<(Edge, PartitionId)>,
+}
+
+impl RunSender<'_> {
+    fn flush(&mut self) -> io::Result<()> {
+        if self.batch.is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::replace(&mut self.batch, Vec::with_capacity(RUN_BATCH_EDGES));
+        send_msg(self.transport, &Message::Run(batch))
+    }
+}
+
+impl AssignmentSink for RunSender<'_> {
+    #[inline]
+    fn assign(&mut self, edge: Edge, p: PartitionId) -> io::Result<()> {
+        self.batch.push((edge, p));
+        if self.batch.len() >= RUN_BATCH_EDGES {
+            self.flush()?;
+        }
+        Ok(())
+    }
+}

@@ -26,6 +26,7 @@ pub mod mmap;
 pub mod prefetch;
 pub mod ranged;
 pub mod spill;
+pub mod spool;
 pub mod v2;
 
 use std::fs::File;
@@ -38,9 +39,11 @@ use tps_graph::stream::EdgeStream;
 pub use mmap::MmapEdgeFile;
 pub use prefetch::{ChunkSource, PrefetchConfig, PrefetchReader, V1ChunkSource, V2ChunkSource};
 pub use ranged::{
-    open_ranged, open_ranged_prefetch, RangedPrefetchSource, RangedV1File, RangedV2File,
+    open_ranged, open_ranged_backend, open_ranged_mmap, open_ranged_prefetch, RangedMmapV1File,
+    RangedMmapV2File, RangedPrefetchSource, RangedV1File, RangedV2File,
 };
 pub use spill::{SpillStats, SpillingFileSink};
+pub use spool::{SpillSpool, SpillSpoolFactory};
 pub use v2::{convert_v1_to_v2, convert_v2_to_v1, write_v2_edge_list, MmapV2EdgeFile, V2EdgeFile};
 
 /// How to read an edge file from disk.

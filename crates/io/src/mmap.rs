@@ -165,7 +165,21 @@ impl MmapEdgeFile {
         let bytes = map.as_slice();
         let mut cursor = bytes;
         let info = tps_graph::formats::binary::read_header(&mut cursor)?;
-        let need = HEADER_LEN + info.num_edges * EDGE_RECORD_LEN;
+        // The edge count is untrusted file input: a corrupt header must
+        // become an error here, not a wrapped multiply and a later panic.
+        let need = info
+            .num_edges
+            .checked_mul(EDGE_RECORD_LEN)
+            .and_then(|payload| payload.checked_add(HEADER_LEN))
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "header promises an impossible edge count {}",
+                        info.num_edges
+                    ),
+                )
+            })?;
         if (bytes.len() as u64) < need {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,

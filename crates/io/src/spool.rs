@@ -1,0 +1,296 @@
+//! Spill-backed assignment spools: bounded-memory replay runs.
+//!
+//! The parallel runner and the distributed workers buffer each worker's
+//! `(edge, partition)` decisions until the emit barrier, then replay them in
+//! worker order (`tps_core::sink::AssignmentSpool`). The default in-memory
+//! spool costs `O(|E|)` memory across workers; [`SpillSpool`] bounds it:
+//! assignments are buffered up to a per-worker record budget and appended to
+//! a private run file in one large sequential write per spill — the same
+//! big-sequential-writes discipline as [`crate::spill::SpillingFileSink`],
+//! applied to the replay path instead of the output files. Replay streams
+//! the run file front-to-back and then drains the in-memory tail, so
+//! insertion order is preserved exactly and a spilled run replays
+//! byte-identically to an in-memory one.
+//!
+//! Run files live in a caller-chosen directory (typically the system temp
+//! dir), are never read before their spool's replay, and are removed on
+//! replay completion or drop.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use tps_core::sink::{AssignmentSink, AssignmentSpool, SpoolFactory};
+use tps_graph::types::{Edge, PartitionId};
+
+/// Bytes one spooled record occupies on disk: src, dst, partition.
+const RECORD_BYTES: usize = 12;
+
+/// A memory-bounded [`AssignmentSpool`] spilling to a private run file.
+pub struct SpillSpool {
+    buf: Vec<(Edge, PartitionId)>,
+    /// Records buffered in memory before a spill.
+    cap_records: usize,
+    path: PathBuf,
+    file: Option<File>,
+    spilled_records: u64,
+    spills: u64,
+    scratch: Vec<u8>,
+}
+
+impl SpillSpool {
+    /// A spool buffering at most `budget_bytes` of records in memory before
+    /// spilling to `path` (minimum one record).
+    pub fn create(path: PathBuf, budget_bytes: u64) -> SpillSpool {
+        let cap_records = (budget_bytes as usize / RECORD_BYTES).clamp(1, 1 << 26);
+        SpillSpool {
+            buf: Vec::new(),
+            cap_records,
+            path,
+            file: None,
+            spilled_records: 0,
+            spills: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The in-memory record capacity.
+    pub fn cap_records(&self) -> usize {
+        self.cap_records
+    }
+
+    /// Budget-pressure spills so far.
+    pub fn spills(&self) -> u64 {
+        self.spills
+    }
+
+    fn spill(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let file = match &mut self.file {
+            Some(f) => f,
+            None => {
+                let f = OpenOptions::new()
+                    .create(true)
+                    .truncate(true)
+                    .read(true)
+                    .write(true)
+                    .open(&self.path)?;
+                self.file.insert(f)
+            }
+        };
+        self.scratch.clear();
+        self.scratch.reserve(self.buf.len() * RECORD_BYTES);
+        for (e, p) in &self.buf {
+            self.scratch.extend_from_slice(&e.src.to_le_bytes());
+            self.scratch.extend_from_slice(&e.dst.to_le_bytes());
+            self.scratch.extend_from_slice(&p.to_le_bytes());
+        }
+        file.write_all(&self.scratch)?;
+        self.spilled_records += self.buf.len() as u64;
+        self.spills += 1;
+        self.buf.clear();
+        Ok(())
+    }
+}
+
+impl AssignmentSink for SpillSpool {
+    #[inline]
+    fn assign(&mut self, edge: Edge, p: PartitionId) -> io::Result<()> {
+        self.buf.push((edge, p));
+        if self.buf.len() >= self.cap_records {
+            self.spill()?;
+        }
+        Ok(())
+    }
+}
+
+impl AssignmentSpool for SpillSpool {
+    fn replay(&mut self, sink: &mut dyn AssignmentSink) -> io::Result<()> {
+        // Spills happen in insertion order, so the file holds the oldest
+        // prefix and `buf` the newest tail.
+        if let Some(mut file) = self.file.take() {
+            file.flush()?;
+            file.seek(SeekFrom::Start(0))?;
+            let mut reader = BufReader::with_capacity(1 << 16, file);
+            let mut rec = [0u8; RECORD_BYTES];
+            for _ in 0..self.spilled_records {
+                reader.read_exact(&mut rec)?;
+                let edge = Edge {
+                    src: u32::from_le_bytes(rec[0..4].try_into().unwrap()),
+                    dst: u32::from_le_bytes(rec[4..8].try_into().unwrap()),
+                };
+                let p = u32::from_le_bytes(rec[8..12].try_into().unwrap());
+                sink.assign(edge, p)?;
+            }
+            self.spilled_records = 0;
+            drop(reader);
+            std::fs::remove_file(&self.path).ok();
+        }
+        for (edge, p) in self.buf.drain(..) {
+            sink.assign(edge, p)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for SpillSpool {
+    fn drop(&mut self) {
+        if self.file.take().is_some() {
+            std::fs::remove_file(&self.path).ok();
+        }
+    }
+}
+
+/// A [`SpoolFactory`] splitting `budget_bytes` evenly across `workers`
+/// spill-backed spools. With this factory installed, `--threads N` runs
+/// stay within the spill budget end to end: output files through
+/// [`crate::spill::SpillingFileSink`], replay runs through here.
+pub struct SpillSpoolFactory {
+    dir: PathBuf,
+    per_worker_bytes: u64,
+    tag: String,
+}
+
+impl SpillSpoolFactory {
+    /// A factory writing run files `<tag>.run<worker>.spool` into `dir`
+    /// (created if missing), giving each of `workers` spools an even share
+    /// of `budget_bytes`.
+    pub fn new(dir: &Path, tag: &str, budget_bytes: u64, workers: usize) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(SpillSpoolFactory {
+            dir: dir.to_path_buf(),
+            per_worker_bytes: budget_bytes / workers.max(1) as u64,
+            tag: tag.to_string(),
+        })
+    }
+
+    /// The per-spool byte budget.
+    pub fn per_worker_bytes(&self) -> u64 {
+        self.per_worker_bytes
+    }
+}
+
+impl SpoolFactory for SpillSpoolFactory {
+    fn create_spool(&self, worker: usize) -> io::Result<Box<dyn AssignmentSpool>> {
+        let path = self.dir.join(format!("{}.run{worker}.spool", self.tag));
+        Ok(Box::new(SpillSpool::create(path, self.per_worker_bytes)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_core::sink::VecSink;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tps-io-spool-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn records(n: u32) -> Vec<(Edge, PartitionId)> {
+        (0..n).map(|i| (Edge::new(i, i * 7 + 1), i % 5)).collect()
+    }
+
+    #[test]
+    fn replay_preserves_order_without_spilling() {
+        let dir = tmpdir("mem");
+        let mut spool = SpillSpool::create(dir.join("a.spool"), 1 << 20);
+        let want = records(100);
+        for &(e, p) in &want {
+            spool.assign(e, p).unwrap();
+        }
+        assert_eq!(spool.spills(), 0);
+        let mut sink = VecSink::new();
+        spool.replay(&mut sink).unwrap();
+        assert_eq!(sink.assignments(), &want[..]);
+        assert!(!dir.join("a.spool").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tiny_budget_spills_and_replays_identically() {
+        let dir = tmpdir("tiny");
+        // 36 bytes -> 3 records in memory.
+        let mut spool = SpillSpool::create(dir.join("b.spool"), 36);
+        assert_eq!(spool.cap_records(), 3);
+        let want = records(1000);
+        for &(e, p) in &want {
+            spool.assign(e, p).unwrap();
+        }
+        assert!(spool.spills() > 300, "spills {}", spool.spills());
+        assert!(dir.join("b.spool").exists());
+        let mut sink = VecSink::new();
+        spool.replay(&mut sink).unwrap();
+        assert_eq!(sink.assignments(), &want[..]);
+        assert!(
+            !dir.join("b.spool").exists(),
+            "run file removed after replay"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drop_removes_run_file() {
+        let dir = tmpdir("drop");
+        let path = dir.join("c.spool");
+        {
+            let mut spool = SpillSpool::create(path.clone(), 12);
+            for &(e, p) in &records(10) {
+                spool.assign(e, p).unwrap();
+            }
+            assert!(path.exists());
+        }
+        assert!(!path.exists(), "dropping an unreplayed spool cleans up");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn factory_splits_budget_and_isolates_workers() {
+        let dir = tmpdir("factory");
+        let f = SpillSpoolFactory::new(&dir, "g", 240, 4).unwrap();
+        assert_eq!(f.per_worker_bytes(), 60);
+        let mut a = f.create_spool(0).unwrap();
+        let mut b = f.create_spool(1).unwrap();
+        let wa = records(50);
+        let wb: Vec<_> = records(50).into_iter().map(|(e, p)| (e, p + 10)).collect();
+        for (&(e, p), &(e2, p2)) in wa.iter().zip(&wb) {
+            a.assign(e, p).unwrap();
+            b.assign(e2, p2).unwrap();
+        }
+        let mut sa = VecSink::new();
+        let mut sb = VecSink::new();
+        a.replay(&mut sa).unwrap();
+        b.replay(&mut sb).unwrap();
+        assert_eq!(sa.assignments(), &wa[..]);
+        assert_eq!(sb.assignments(), &wb[..]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_runner_with_spill_spools_matches_default() {
+        use std::sync::Arc;
+        use tps_core::parallel::ParallelRunner;
+        use tps_core::partitioner::PartitionParams;
+        use tps_core::two_phase::TwoPhaseConfig;
+        use tps_graph::datasets::Dataset;
+
+        let dir = tmpdir("runner");
+        let g = Dataset::Ok.generate_scaled(0.01);
+        let params = PartitionParams::new(8);
+        let mut plain = VecSink::new();
+        ParallelRunner::new(TwoPhaseConfig::default(), 3)
+            .partition(&g, &params, &mut plain)
+            .unwrap();
+        let factory = Arc::new(SpillSpoolFactory::new(&dir, "pr", 4096, 3).unwrap());
+        let mut spilled = VecSink::new();
+        ParallelRunner::new(TwoPhaseConfig::default(), 3)
+            .with_spool_factory(factory)
+            .partition(&g, &params, &mut spilled)
+            .unwrap();
+        assert_eq!(plain.assignments(), spilled.assignments());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

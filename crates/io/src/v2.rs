@@ -391,7 +391,11 @@ pub(crate) fn read_chunk_at<R: Read>(
 }
 
 /// Decode the chunk described by `meta` from an in-memory byte view.
-fn decode_chunk_slice(bytes: &[u8], meta: ChunkMeta, out: &mut Vec<Edge>) -> io::Result<()> {
+pub(crate) fn decode_chunk_slice(
+    bytes: &[u8],
+    meta: ChunkMeta,
+    out: &mut Vec<Edge>,
+) -> io::Result<()> {
     let start = meta.offset as usize;
     let end = start + (CHUNK_HEADER_LEN + meta.payload_len as u64) as usize;
     let chunk = bytes
