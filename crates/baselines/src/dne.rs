@@ -154,8 +154,18 @@ impl Worker<'_> {
                 }
             }
             // Expand a bounded batch of the lowest-external-score boundary
-            // vertices per round (the expansion-ratio knob).
-            boundary.sort_by_key(|&v| self.external_score(v));
+            // vertices per round (the expansion-ratio knob). Scores read
+            // the shared assignment bits, which other workers mutate
+            // concurrently — snapshot them once, or the comparator is not
+            // a total order (std's sort detects that and panics).
+            let mut scored: Vec<(u32, VertexId)> = boundary
+                .drain(..)
+                .map(|v| (self.external_score(v), v))
+                .collect();
+            // Stable, score-only key: equal scores keep insertion order,
+            // exactly as the pre-snapshot sort behaved.
+            scored.sort_by_key(|&(score, _)| score);
+            boundary.extend(scored.into_iter().map(|(_, v)| v));
             let batch = ((boundary.len() as f64 * expansion_ratio).ceil() as usize).max(1);
             let round: Vec<VertexId> = boundary.drain(..batch.min(boundary.len())).collect();
             for x in round {

@@ -1,9 +1,11 @@
 //! The CI perf-regression gate.
 //!
 //! Merges the JSON reports of `io_readers` and `parallel_scaling` into one
-//! `BENCH_ci.json`, extracts the throughput metrics, and compares them
-//! against a committed baseline (`bench/baselines/ci.json`): any metric
-//! below `baseline × (1 − tolerance)` fails the run with a non-zero exit.
+//! `BENCH_ci.json`, extracts the gated metrics, and compares them against a
+//! committed baseline (`bench/baselines/ci.json`): any throughput metric
+//! below `floor × (1 − tolerance)` — or any replication-factor ceiling
+//! (`*.rf_vs_serial`, lower is better) above `ceiling × (1 + tolerance)` —
+//! fails the run with a non-zero exit.
 //!
 //! ```text
 //! # gate (CI):
@@ -26,7 +28,7 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use tps_bench::gate::{compare, extract_metrics, parse_json, scope_baseline, Json};
+use tps_bench::gate::{compare, extract_metrics, is_ceiling, parse_json, scope_baseline, Json};
 
 struct Args {
     io: Option<String>,
@@ -129,7 +131,10 @@ fn run() -> Result<bool, String> {
             Err(_) => BTreeMap::new(),
         };
         for (k, v) in &current {
-            floors_map.insert(k.clone(), round3(v * args.derate));
+            // Ceilings (RF ratios) are deterministic per worker count:
+            // committed as measured, never derated.
+            let bound = if is_ceiling(k) { *v } else { v * args.derate };
+            floors_map.insert(k.clone(), round3(bound));
         }
         let floors = Json::Obj(
             floors_map
@@ -173,31 +178,39 @@ fn run() -> Result<bool, String> {
     }
 
     eprintln!(
-        "{:<44} {:>10} {:>10} {:>7}",
-        "metric", "floor", "current", "ratio"
+        "{:<44} {:>6} {:>10} {:>10} {:>7}",
+        "metric", "kind", "bound", "current", "ratio"
     );
-    for (metric, &floor) in &baseline {
+    for (metric, &bound) in &baseline {
         let cur = current.get(metric).copied().unwrap_or(0.0);
+        let kind = if is_ceiling(metric) { "ceil" } else { "floor" };
         eprintln!(
-            "{metric:<44} {floor:>10.3} {cur:>10.3} {:>6.2}x",
-            if floor > 0.0 { cur / floor } else { 0.0 }
+            "{metric:<44} {kind:>6} {bound:>10.3} {cur:>10.3} {:>6.2}x",
+            if bound > 0.0 { cur / bound } else { 0.0 }
         );
     }
 
     let regressions = compare(&baseline, &current, args.tolerance);
     if regressions.is_empty() {
         eprintln!(
-            "perf gate OK: {} metrics within {:.0}% of baseline floors",
+            "perf gate OK: {} metrics within {:.0}% of their baseline bounds",
             baseline.len(),
             args.tolerance * 100.0
         );
         Ok(true)
     } else {
         for r in &regressions {
-            eprintln!(
-                "REGRESSION {}: {:.3} < {:.3} × (1 − {:.2}) [ratio {:.2}]",
-                r.metric, r.current, r.baseline, args.tolerance, r.ratio
-            );
+            if is_ceiling(&r.metric) {
+                eprintln!(
+                    "REGRESSION {}: {:.3} > {:.3} × (1 + {:.2}) [ratio {:.2}]",
+                    r.metric, r.current, r.baseline, args.tolerance, r.ratio
+                );
+            } else {
+                eprintln!(
+                    "REGRESSION {}: {:.3} < {:.3} × (1 − {:.2}) [ratio {:.2}]",
+                    r.metric, r.current, r.baseline, args.tolerance, r.ratio
+                );
+            }
         }
         Ok(false)
     }

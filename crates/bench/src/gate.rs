@@ -6,11 +6,19 @@
 //! binaries emit (objects, arrays, strings, numbers, booleans, null), but
 //! it is a complete parser of that grammar, with tests.
 //!
-//! Metrics are **throughput-shaped** (higher is better): the gate fails
-//! when `current < baseline × (1 − tolerance)`. Absolute numbers vary
-//! across machines, so committed baselines should be *derated* (the
-//! `perf_gate --write-baseline --derate f` flow) — the gate then catches
-//! genuine regressions without tripping on runner jitter.
+//! Metrics come in two directions:
+//!
+//! * **floors** (throughput-shaped, higher is better — the default): the
+//!   gate fails when `current < floor × (1 − tolerance)`. Absolute numbers
+//!   vary across machines, so committed floors should be *derated* (the
+//!   `perf_gate --write-baseline --derate f` flow) — the gate then catches
+//!   genuine regressions without tripping on runner jitter.
+//! * **ceilings** (quality-shaped, lower is better — metric names ending
+//!   in `.rf_vs_serial`, see [`is_ceiling`]): the gate fails when
+//!   `current > ceiling × (1 + tolerance)`. Replication-factor ratios are
+//!   deterministic for a fixed worker count, so ceilings are committed
+//!   as measured (never derated) and guard the parallel/dist quality
+//!   epsilons from silently regressing.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -284,15 +292,26 @@ pub fn extract_metrics(report: &Json) -> BTreeMap<String, f64> {
             out.insert(format!("{section}.serial.medges_per_sec"), v);
         }
         for entry in par.get("parallel").and_then(Json::as_arr).unwrap_or(&[]) {
-            if let (Some(t), Some(v)) = (
-                entry.get("threads").and_then(Json::as_f64),
-                entry.get("medges_per_sec").and_then(Json::as_f64),
-            ) {
+            let Some(t) = entry.get("threads").and_then(Json::as_f64) else {
+                continue;
+            };
+            if let Some(v) = entry.get("medges_per_sec").and_then(Json::as_f64) {
                 out.insert(format!("{section}.t{}.medges_per_sec", t as u64), v);
+            }
+            // Replication-factor quality ratio: a ceiling metric (lower is
+            // better), guarding the measured per-worker-count RF epsilons.
+            if let Some(v) = entry.get("rf_vs_serial").and_then(Json::as_f64) {
+                out.insert(format!("{section}.t{}.rf_vs_serial", t as u64), v);
             }
         }
     }
     out
+}
+
+/// Whether `metric` is a **ceiling** (lower is better): replication-factor
+/// ratios, vs the default throughput floors (higher is better).
+pub fn is_ceiling(metric: &str) -> bool {
+    metric.ends_with(".rf_vs_serial")
 }
 
 /// Restrict `baseline` to metrics whose section (the prefix before the
@@ -326,11 +345,12 @@ pub struct Regression {
     pub ratio: f64,
 }
 
-/// Compare `current` metrics against `baseline`: a metric regresses when it
-/// drops below `baseline × (1 − tolerance)`, and a baseline metric missing
-/// from the current report is a regression outright (a silently dropped
-/// bench must not pass the gate). Extra current metrics are allowed — new
-/// benches land before their baselines.
+/// Compare `current` metrics against `baseline`: a floor metric regresses
+/// when it drops below `baseline × (1 − tolerance)`, a ceiling metric (see
+/// [`is_ceiling`]) when it rises above `baseline × (1 + tolerance)`, and a
+/// baseline metric missing from the current report is a regression outright
+/// (a silently dropped bench must not pass the gate). Extra current metrics
+/// are allowed — new benches land before their baselines.
 pub fn compare(
     baseline: &BTreeMap<String, f64>,
     current: &BTreeMap<String, f64>,
@@ -338,8 +358,13 @@ pub fn compare(
 ) -> Vec<Regression> {
     let mut out = Vec::new();
     for (metric, &base) in baseline {
-        let cur = current.get(metric).copied().unwrap_or(0.0);
-        if cur < base * (1.0 - tolerance) {
+        let regressed = match current.get(metric) {
+            None => true,
+            Some(&cur) if is_ceiling(metric) => cur > base * (1.0 + tolerance),
+            Some(&cur) => cur < base * (1.0 - tolerance),
+        };
+        if regressed {
+            let cur = current.get(metric).copied().unwrap_or(0.0);
             out.push(Regression {
                 metric: metric.clone(),
                 baseline: base,
@@ -402,8 +427,8 @@ mod tests {
               "parallel_scaling": {
                 "serial": {"seconds": 1.0, "medges_per_sec": 15.0},
                 "parallel": [
-                  {"threads": 1, "medges_per_sec": 14.0},
-                  {"threads": 4, "medges_per_sec": 50.0}
+                  {"threads": 1, "medges_per_sec": 14.0, "rf_vs_serial": 1.0},
+                  {"threads": 4, "medges_per_sec": 50.0, "rf_vs_serial": 1.24}
                 ]
               }
             }"#,
@@ -418,7 +443,9 @@ mod tests {
         assert_eq!(m["io_readers.v2.buffered.medges_per_sec"], 20.0);
         assert_eq!(m["parallel_scaling.serial.medges_per_sec"], 15.0);
         assert_eq!(m["parallel_scaling.t4.medges_per_sec"], 50.0);
-        assert_eq!(m.len(), 5);
+        assert_eq!(m["parallel_scaling.t1.rf_vs_serial"], 1.0);
+        assert_eq!(m["parallel_scaling.t4.rf_vs_serial"], 1.24);
+        assert_eq!(m.len(), 7);
     }
 
     #[test]
@@ -445,6 +472,40 @@ mod tests {
         let regs = compare(&base, &BTreeMap::new(), 0.25);
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].current, 0.0);
+    }
+
+    #[test]
+    fn rf_ceilings_fail_upward_not_downward() {
+        let mut base = BTreeMap::new();
+        base.insert("parallel_scaling.t4.rf_vs_serial".to_string(), 1.24);
+        base.insert("dist_scaling.t2.rf_vs_serial".to_string(), 1.05);
+        base.insert("parallel_scaling.t4.medges_per_sec".to_string(), 10.0);
+
+        // Better (lower) RF and faster throughput: no regressions.
+        let mut good = BTreeMap::new();
+        good.insert("parallel_scaling.t4.rf_vs_serial".to_string(), 1.10);
+        good.insert("dist_scaling.t2.rf_vs_serial".to_string(), 1.05);
+        good.insert("parallel_scaling.t4.medges_per_sec".to_string(), 12.0);
+        assert!(compare(&base, &good, 0.25).is_empty());
+
+        // RF blowing past ceiling × (1 + tolerance) fails, throughput-style
+        // "higher is fine" must NOT apply to a ceiling.
+        let mut bad = BTreeMap::new();
+        bad.insert("parallel_scaling.t4.rf_vs_serial".to_string(), 1.60);
+        bad.insert("dist_scaling.t2.rf_vs_serial".to_string(), 1.05);
+        bad.insert("parallel_scaling.t4.medges_per_sec".to_string(), 12.0);
+        let regs = compare(&base, &bad, 0.25);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "parallel_scaling.t4.rf_vs_serial");
+        assert!(regs[0].ratio > 1.0);
+
+        // A ceiling missing from the current report is a regression too —
+        // 0.0 would trivially pass an upper bound otherwise.
+        let mut gone = good.clone();
+        gone.remove("dist_scaling.t2.rf_vs_serial");
+        let regs = compare(&base, &gone, 0.25);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "dist_scaling.t2.rf_vs_serial");
     }
 
     #[test]

@@ -65,17 +65,32 @@ partition options:
 dist coordinator options (2ps-l / 2ps-hdrf on binary inputs):
   --input FILE        v1/v2 edge file on a filesystem all workers share
   --k N               number of partitions (required)
-  --workers N         worker connections to wait for (default 2)
+  --workers N         shards = worker connections to wait for (default 2)
+  --standby N         extra idle worker connections to accept up-front;
+                      failed shards are re-issued to them first (default 0)
+  --max-retries N     shard re-issues allowed across the job before the
+                      run fails (default 2; 0 = fail on first worker loss)
+  --frame-timeout-ms N
+                      presume a worker dead when one frame takes longer
+                      than this to arrive (default 0 = wait forever)
   --listen ADDR       bind address (default 127.0.0.1:0 = ephemeral port)
-  --dist-local        spawn the N worker processes locally itself
+  --dist-local        spawn the worker processes locally itself, and
+                      respawn clean replacements on worker failure
+  --kill-worker I / --kill-at SPEC
+                      fault injection (--dist-local only): worker I dies at
+                      SPEC = recv:TAG[:N] | send:TAG[:N] | frames:N
+                      (the CI dist-chaos job drives this)
   --alpha/--passes/--algorithm/--reader/--out/--spill-budget-mb/--quiet
                       as for tps partition; --reader selects the backend
                       each worker opens its shard with. Output is
                       bit-identical to `tps partition --threads N` for the
-                      same worker count.
+                      same worker count, even across worker failures.
 
 dist worker options:
   --connect HOST:PORT coordinator address (retries for ~5 s)
+  --reconnect N       on failure, reconnect to the coordinator up to N
+                      times (handshakes with Rejoin; default 0)
+  --kill-at SPEC      fault injection: die at the given protocol point
   --spill-budget-mb N bound this worker's replay run memory
 
 generate options:
@@ -209,17 +224,11 @@ fn two_phase_config(algo: &str, passes: u32) -> Option<TwoPhaseConfig> {
     }
 }
 
-/// The resolved execution plan for `tps partition` / `tps dist coordinator`.
+/// The resolved execution plan for `tps partition` (`tps dist coordinator`
+/// drives [`execute_and_report`] with its own runner closure).
 enum Exec {
     Serial(Box<dyn Partitioner>, Box<dyn EdgeStream>),
     Parallel(ParallelRunner, Box<dyn RangedEdgeSource>),
-    /// Coordinate a distributed job over connected worker transports.
-    Dist {
-        config: TwoPhaseConfig,
-        transports: Vec<Box<dyn tps_dist::Transport>>,
-        info: GraphInfo,
-        input: tps_dist::InputDescriptor,
-    },
 }
 
 impl Exec {
@@ -227,15 +236,6 @@ impl Exec {
         match self {
             Exec::Serial(p, _) => p.name(),
             Exec::Parallel(r, _) => r.name(),
-            Exec::Dist {
-                config, transports, ..
-            } => {
-                let base = match config.strategy {
-                    tps_core::two_phase::RemainingStrategy::TwoChoice => "2PS-L",
-                    tps_core::two_phase::RemainingStrategy::Hdrf(_) => "2PS-HDRF",
-                };
-                format!("{base}×{}w", transports.len())
-            }
         }
     }
 
@@ -243,7 +243,6 @@ impl Exec {
         match self {
             Exec::Serial(_, stream) => discover_info(stream).map_err(|e| e.to_string()),
             Exec::Parallel(_, source) => Ok(source.info()),
-            Exec::Dist { info, .. } => Ok(*info),
         }
     }
 
@@ -256,13 +255,6 @@ impl Exec {
             Exec::Serial(p, stream) => p.partition(stream, params, sink).map_err(|e| e.to_string()),
             Exec::Parallel(r, source) => r
                 .partition(&**source, params, sink)
-                .map_err(|e| e.to_string()),
-            Exec::Dist {
-                config,
-                transports,
-                info,
-                input,
-            } => tps_dist::run_coordinator(config, params, *info, input, transports, sink)
                 .map_err(|e| e.to_string()),
         }
     }
@@ -356,8 +348,12 @@ pub fn partition(args: &[String]) -> i32 {
         let alpha: f64 = flags.get_or("alpha", 1.05)?;
         let passes: u32 = flags.get_or("passes", 1)?;
         let algo = flags.get("algorithm").unwrap_or("2ps-l");
-        let exec = resolve_exec(&flags, input, algo, passes)?;
-        execute_and_report(&flags, exec, input, k, alpha)
+        let mut exec = resolve_exec(&flags, input, algo, passes)?;
+        let name = exec.name();
+        let info = exec.info()?;
+        execute_and_report(&flags, &name, info, input, k, alpha, &mut |params, sink| {
+            exec.run(params, sink)
+        })
     };
     match run() {
         Ok(()) => 0,
@@ -365,18 +361,19 @@ pub fn partition(args: &[String]) -> i32 {
     }
 }
 
-/// Run a resolved execution plan and print metrics/outputs — shared by
-/// `tps partition` and `tps dist coordinator`.
+/// Run a partitioning job and print metrics/outputs — shared by
+/// `tps partition` and `tps dist coordinator` (which supply their own
+/// runner closures).
 fn execute_and_report(
     flags: &Flags,
-    mut exec: Exec,
+    name: &str,
+    info: GraphInfo,
     input: &str,
     k: u32,
     alpha: f64,
+    run: &mut dyn FnMut(&PartitionParams, &mut dyn AssignmentSink) -> Result<RunReport, String>,
 ) -> Result<(), String> {
     {
-        let info = exec.info()?;
-
         let params = PartitionParams::with_alpha(k, alpha);
         let mut quality = QualitySink::new(info.num_vertices, k);
         let start = std::time::Instant::now();
@@ -395,7 +392,7 @@ fn execute_and_report(
                                           files: &mut dyn AssignmentSink|
                  -> Result<RunReport, String> {
                     let mut tee = TeeSink::new(quality, files);
-                    exec.run(&params, &mut tee)
+                    run(&params, &mut tee)
                 };
                 let (report, parts) = if spill_budget > 0 {
                     // Memory-bounded output: per-partition buffers spill to
@@ -430,13 +427,12 @@ fn execute_and_report(
                 }
                 report
             }
-            None => exec.run(&params, &mut quality)?,
+            None => run(&params, &mut quality)?,
         };
         let elapsed = start.elapsed();
         let metrics = quality.finish();
         println!(
-            "algorithm={} k={k} edges={} rf={:.4} alpha={:.4} time_s={:.3}",
-            exec.name(),
+            "algorithm={name} k={k} edges={} rf={:.4} alpha={:.4} time_s={:.3}",
             metrics.num_edges,
             metrics.replication_factor,
             metrics.alpha,
@@ -463,6 +459,89 @@ pub fn dist(args: &[String]) -> i32 {
     }
 }
 
+/// How `--dist-local` respawns replacement workers on demand.
+struct RespawnSpec {
+    exe: PathBuf,
+    addr: String,
+    spill_budget: u64,
+}
+
+impl RespawnSpec {
+    /// The worker command line — one builder for initial spawns and
+    /// replacements, so the two can't drift apart.
+    fn command(&self) -> std::process::Command {
+        let mut cmd = std::process::Command::new(&self.exe);
+        cmd.args(["dist", "worker", "--connect"]).arg(&self.addr);
+        if self.spill_budget > 0 {
+            cmd.args(["--spill-budget-mb", &self.spill_budget.to_string()]);
+        }
+        cmd
+    }
+}
+
+/// The coordinator's replacement source: optionally respawn a clean local
+/// worker process, then accept one connection within a bounded window.
+/// Reconnecting workers (`tps dist worker --reconnect`) arrive here too.
+struct CliSupply<'a> {
+    listener: &'a TcpListener,
+    respawn: Option<&'a RespawnSpec>,
+    children: &'a mut Vec<std::process::Child>,
+    quiet: bool,
+}
+
+/// How long the coordinator waits for a replacement connection before
+/// giving up on a shard (respawned local workers connect within
+/// milliseconds; remote standbys get a grace period).
+const ACCEPT_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+
+impl CliSupply<'_> {
+    fn accept_deadline(&mut self) -> std::io::Result<Option<TcpStream>> {
+        let deadline = std::time::Instant::now() + ACCEPT_TIMEOUT;
+        self.listener.set_nonblocking(true)?;
+        let result = loop {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    if !self.quiet {
+                        eprintln!("note: replacement worker connected from {peer}");
+                    }
+                    break Some(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if std::time::Instant::now() >= deadline {
+                        break None;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                Err(e) => {
+                    self.listener.set_nonblocking(false).ok();
+                    return Err(e);
+                }
+            }
+        };
+        self.listener.set_nonblocking(false)?;
+        if let Some(stream) = &result {
+            stream.set_nonblocking(false)?;
+        }
+        Ok(result)
+    }
+}
+
+impl tps_dist::WorkerSupply for CliSupply<'_> {
+    fn replacement(&mut self) -> std::io::Result<Option<Box<dyn tps_dist::Transport>>> {
+        if let Some(spec) = self.respawn {
+            // Replacements are spawned clean: no fault-injection flags.
+            self.children.push(spec.command().spawn()?);
+            if !self.quiet {
+                eprintln!("note: respawned a replacement worker");
+            }
+        }
+        match self.accept_deadline()? {
+            Some(stream) => Ok(Some(Box::new(tps_dist::TcpTransport::new(stream)?))),
+            None => Ok(None),
+        }
+    }
+}
+
 fn dist_coordinator(args: &[String]) -> i32 {
     let flags = match Flags::parse(args, &["quiet", "dist-local"]) {
         Ok(f) => f,
@@ -483,6 +562,36 @@ fn dist_coordinator(args: &[String]) -> i32 {
         if workers == 0 {
             return Err("--workers must be >= 1".into());
         }
+        let standby: usize = flags.get_or("standby", 0)?;
+        let max_retries: u32 = flags.get_or("max-retries", 2)?;
+        let frame_timeout_ms: u64 = flags.get_or("frame-timeout-ms", 0)?;
+        let policy = tps_dist::FaultPolicy {
+            max_retries,
+            frame_timeout: (frame_timeout_ms > 0)
+                .then(|| std::time::Duration::from_millis(frame_timeout_ms)),
+        };
+        // Fault-injection hooks for the chaos tests: forward --kill-at to
+        // the --dist-local worker with spawn index --kill-worker.
+        let kill_at = flags.get("kill-at");
+        let kill_worker: usize = flags.get_or("kill-worker", 0)?;
+        if let Some(spec) = kill_at {
+            tps_dist::KillSpec::parse(spec)?; // validate before spawning anything
+            if !flags.has("dist-local") {
+                return Err(
+                    "--kill-at requires --dist-local (it is forwarded to a spawned worker)".into(),
+                );
+            }
+            // A mistargeted kill would silently test nothing.
+            if kill_worker >= workers + standby {
+                return Err(format!(
+                    "--kill-worker {kill_worker} is out of range: only {} workers are spawned \
+                     ({workers} shards + {standby} standby)",
+                    workers + standby
+                ));
+            }
+        } else if flags.get("kill-worker").is_some() {
+            return Err("--kill-worker does nothing without --kill-at".into());
+        }
         let reader = parse_reader(&flags)?;
         let quiet = flags.has("quiet");
 
@@ -495,52 +604,101 @@ fn dist_coordinator(args: &[String]) -> i32 {
         let listener = TcpListener::bind(flags.get("listen").unwrap_or("127.0.0.1:0"))
             .map_err(|e| format!("bind: {e}"))?;
         let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        let initial = workers + standby;
         if !quiet {
-            eprintln!("note: coordinator listening on {addr}, waiting for {workers} worker(s)");
+            eprintln!(
+                "note: coordinator listening on {addr}, waiting for {initial} worker(s) \
+                 ({workers} shards + {standby} standby)"
+            );
         }
 
+        let spill_budget: u64 = flags.get_or("spill-budget-mb", 0)?;
+        let respawn = RespawnSpec {
+            exe: std::env::current_exe().map_err(|e| e.to_string())?,
+            addr: addr.to_string(),
+            spill_budget,
+        };
         let mut children = Vec::new();
-        if flags.has("dist-local") {
-            let exe = std::env::current_exe().map_err(|e| e.to_string())?;
-            // Memory-bound flags apply per worker too: forward the spill
-            // budget so spawned workers use spill-backed replay spools.
-            let spill_budget: u64 = flags.get_or("spill-budget-mb", 0)?;
-            for _ in 0..workers {
-                let mut cmd = std::process::Command::new(&exe);
-                cmd.args(["dist", "worker", "--connect"])
-                    .arg(addr.to_string());
-                if spill_budget > 0 {
-                    cmd.args(["--spill-budget-mb", &spill_budget.to_string()]);
-                }
-                children.push(cmd.spawn().map_err(|e| format!("spawning worker: {e}"))?);
-            }
-        }
 
-        let accept = || -> Result<Vec<Box<dyn tps_dist::Transport>>, String> {
-            let mut transports: Vec<Box<dyn tps_dist::Transport>> = Vec::with_capacity(workers);
-            for _ in 0..workers {
-                let (stream, peer) = listener.accept().map_err(|e| format!("accept: {e}"))?;
-                if !quiet {
-                    eprintln!("note: worker connected from {peer}");
+        let accept_one = || -> Result<Box<dyn tps_dist::Transport>, String> {
+            let (stream, peer) = listener.accept().map_err(|e| format!("accept: {e}"))?;
+            if !quiet {
+                eprintln!("note: worker connected from {peer}");
+            }
+            Ok(Box::new(
+                tps_dist::TcpTransport::new(stream).map_err(|e| e.to_string())?,
+            ))
+        };
+        // Immediately-invoked so the mutable borrow of `children` ends
+        // before the supply takes it.
+        let accepted = (|| -> Result<Vec<Box<dyn tps_dist::Transport>>, String> {
+            let mut transports: Vec<Box<dyn tps_dist::Transport>> = Vec::with_capacity(initial);
+            if flags.has("dist-local") {
+                // Spawn and accept one worker at a time so spawn index ==
+                // connection order == role: workers 0..N-1 hold shards
+                // 0..N-1 and the rest are standbys. This is what makes
+                // --kill-worker target a *specific* role deterministically
+                // (the chaos gate depends on it). Memory-bound flags apply
+                // per worker too: forward the spill budget so spawned
+                // workers use spill-backed replay spools.
+                for i in 0..initial {
+                    let mut cmd = respawn.command();
+                    if let (Some(spec), true) = (kill_at, i == kill_worker) {
+                        cmd.args(["--kill-at", spec]);
+                    }
+                    children.push(cmd.spawn().map_err(|e| format!("spawning worker: {e}"))?);
+                    transports.push(accept_one()?);
                 }
-                transports.push(Box::new(
-                    tps_dist::TcpTransport::new(stream).map_err(|e| e.to_string())?,
-                ));
+            } else {
+                for _ in 0..initial {
+                    transports.push(accept_one()?);
+                }
             }
             Ok(transports)
-        };
-        let result = accept().and_then(|transports| {
-            let exec = Exec::Dist {
-                config,
-                transports,
-                info,
-                input: tps_dist::InputDescriptor::Path {
-                    path: abs.to_string_lossy().into_owned(),
-                    reader,
-                },
+        })();
+        let result = accepted.and_then(|transports| {
+            let input_desc = tps_dist::InputDescriptor::Path {
+                path: abs.to_string_lossy().into_owned(),
+                reader,
             };
-            execute_and_report(&flags, exec, input, k, alpha)
+            let base = match config.strategy {
+                tps_core::two_phase::RemainingStrategy::TwoChoice => "2PS-L",
+                tps_core::two_phase::RemainingStrategy::Hdrf(_) => "2PS-HDRF",
+            };
+            let name = format!("{base}×{workers}w");
+            let mut transports = Some(transports);
+            let mut supply = CliSupply {
+                listener: &listener,
+                respawn: flags.has("dist-local").then_some(&respawn),
+                children: &mut children,
+                quiet,
+            };
+            execute_and_report(&flags, &name, info, input, k, alpha, &mut |params, sink| {
+                tps_dist::run_coordinator(
+                    &config,
+                    params,
+                    info,
+                    &input_desc,
+                    workers,
+                    transports.take().ok_or("coordinator can only run once")?,
+                    &mut supply,
+                    &policy,
+                    sink,
+                )
+                .map_err(|e| e.to_string())
+            })
         });
+        // Reconnecting workers may still sit in the accept backlog with no
+        // job to serve: drain them with a Shutdown so they exit.
+        if listener.set_nonblocking(true).is_ok() {
+            while let Ok((stream, _)) = listener.accept() {
+                stream.set_nonblocking(false).ok();
+                if let Ok(mut t) = tps_dist::TcpTransport::new(stream) {
+                    use tps_dist::Transport as _;
+                    let _ = t.send(&tps_dist::Message::Shutdown.encode());
+                }
+            }
+        }
         // Always reap spawned workers, even on failure (a coordinator error
         // aborts them over the wire, so wait() terminates promptly).
         for mut child in children {
@@ -562,21 +720,12 @@ fn dist_worker(args: &[String]) -> i32 {
     let run = || -> Result<(), String> {
         let connect = flags.require("connect")?;
         let spill_budget: u64 = flags.get_or("spill-budget-mb", 0)?;
-        // The coordinator may still be binding (or, with --dist-local, is
-        // our parent racing us) — retry for ~5 s before giving up.
-        let mut stream = None;
-        for attempt in 0..50 {
-            match TcpStream::connect(connect) {
-                Ok(s) => {
-                    stream = Some(s);
-                    break;
-                }
-                Err(e) if attempt == 49 => return Err(format!("{connect}: {e}")),
-                Err(_) => std::thread::sleep(std::time::Duration::from_millis(100)),
-            }
-        }
-        let mut transport = tps_dist::TcpTransport::new(stream.expect("connected or errored"))
-            .map_err(|e| e.to_string())?;
+        let reconnects: u32 = flags.get_or("reconnect", 0)?;
+        let kill = flags
+            .get("kill-at")
+            .map(tps_dist::KillSpec::parse)
+            .transpose()?;
+        let quiet = flags.has("quiet");
         let spools: Box<dyn tps_core::sink::SpoolFactory> = if spill_budget > 0 {
             Box::new(
                 SpillSpoolFactory::new(
@@ -590,8 +739,53 @@ fn dist_worker(args: &[String]) -> i32 {
         } else {
             Box::new(tps_core::sink::MemorySpoolFactory)
         };
-        tps_dist::run_worker(&mut transport, &tps_dist::PathResolver, &*spools)
-            .map_err(|e| e.to_string())
+        let connect_stream = || -> Result<TcpStream, String> {
+            // The coordinator may still be binding (or, with --dist-local,
+            // is our parent racing us) — retry for ~5 s before giving up.
+            for attempt in 0..50 {
+                match TcpStream::connect(connect) {
+                    Ok(s) => return Ok(s),
+                    Err(e) if attempt == 49 => return Err(format!("{connect}: {e}")),
+                    Err(_) => std::thread::sleep(std::time::Duration::from_millis(100)),
+                }
+            }
+            unreachable!("connect loop returns or errors")
+        };
+        let mut handshake = tps_dist::Handshake::Hello;
+        let mut attempt = 0u32;
+        loop {
+            let tcp = tps_dist::TcpTransport::new(connect_stream()?).map_err(|e| e.to_string())?;
+            // The kill switch hard-exits the process when it fires, so the
+            // socket closes exactly as a crashed worker's would.
+            let mut transport: Box<dyn tps_dist::Transport> = match kill {
+                Some(spec) => Box::new(tps_dist::FaultTransport::new(
+                    tcp,
+                    spec,
+                    tps_dist::KillMode::Exit,
+                )),
+                None => Box::new(tcp),
+            };
+            match tps_dist::run_worker_handshake(
+                &mut *transport,
+                &tps_dist::PathResolver,
+                &*spools,
+                handshake,
+            ) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt > reconnects {
+                        return Err(e.to_string());
+                    }
+                    if !quiet {
+                        eprintln!(
+                            "note: worker failed ({e}); reconnecting ({attempt}/{reconnects})"
+                        );
+                    }
+                    handshake = tps_dist::Handshake::Rejoin;
+                }
+            }
+        }
     };
     match run() {
         Ok(()) => 0,

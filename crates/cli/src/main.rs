@@ -11,8 +11,9 @@
 //!               [--format bel|text] [--reader buffered|mmap|prefetch]
 //!               [--spill-budget-mb N]
 //! tps dist coordinator --input graph.bel --k 32 --workers N
-//!               [--listen ADDR] [--dist-local] [partition options]
-//! tps dist worker --connect HOST:PORT [--spill-budget-mb N]
+//!               [--listen ADDR] [--dist-local] [--standby N]
+//!               [--max-retries N] [--frame-timeout-ms N] [partition options]
+//! tps dist worker --connect HOST:PORT [--reconnect N] [--spill-budget-mb N]
 //! tps generate  --dataset ok [--scale 1.0] --out graph.bel
 //! tps convert   --input graph.bel --out graph.bel2 [--to v1|v2] [--chunk-edges N]
 //! tps info      --input graph.bel [--format bel|text] [--reader NAME]

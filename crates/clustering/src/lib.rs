@@ -13,7 +13,7 @@
 //!
 //! Modules:
 //!
-//! * [`model`] — the [`Clustering`](model::Clustering) result type
+//! * [`model`] — the [`Clustering`] result type
 //!   (vertex→cluster map + cluster volumes) and its invariants.
 //! * [`streaming`] — the 2PS-L clustering pass (Algorithm 1).
 //! * [`hollocou`] — the original unbounded, partial-degree algorithm, kept

@@ -17,7 +17,7 @@
 //!
 //! # Crate layout
 //!
-//! * [`partitioner`] — the [`Partitioner`](partitioner::Partitioner) trait,
+//! * [`partitioner`] — the [`Partitioner`] trait,
 //!   run parameters and reports; implemented by 2PS-L here and by every
 //!   baseline in `tps-baselines`.
 //! * [`sink`] — assignment sinks: where `(edge, partition)` decisions go

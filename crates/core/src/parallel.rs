@@ -22,6 +22,14 @@
 //! can be bit-identical to `--threads N` — both execute this module's code
 //! per shard; only the barrier transport differs.
 //!
+//! The kernels are **restartable**: they keep no state outside their own
+//! instances (no globals, no cross-call caches), so re-running a kernel
+//! from the source with the same merged inputs reproduces its output bit
+//! for bit. `tps-dist`'s fault tolerance leans on this — when a worker
+//! dies mid-shard, the coordinator re-issues the shard and the replacement
+//! recomputes an identical contribution (pinned by
+//! `shard_kernels_are_restartable_mid_job` below).
+//!
 //! # Execution model
 //!
 //! 1. **degree** — each worker computes a [`DegreeTable`] over its range;
@@ -33,7 +41,7 @@
 //! 3. **mapping** — Graham scheduling of the merged clusters, serial (it is
 //!    `O(C log C)` on cluster counts, not edge counts).
 //! 4. **partition** — each worker runs the shared phase-2 edge kernel
-//!    ([`two_phase`]'s `EdgeAssigner`) over its range with a *sharded*
+//!    ([`crate::two_phase`]'s `EdgeAssigner`) over its range with a *sharded*
 //!    replication matrix (each worker tracks the replicas its own
 //!    assignments create) and quota-sliced load tracking (below). The
 //!    pre-partitioning and scoring subpasses are preserved per worker.
@@ -65,7 +73,7 @@
 //!   merges and replay order depend only on the input. Two runs with the
 //!   same `--threads` produce identical assignments.
 //! * With **one thread** the runner is bit-for-bit identical to the serial
-//!   [`TwoPhasePartitioner`]: the ranges degenerate to the full stream, the
+//!   [`TwoPhasePartitioner`](crate::two_phase::TwoPhasePartitioner): the ranges degenerate to the full stream, the
 //!   merge is the identity, the quota slice is the full cap, and phase 2
 //!   runs the same kernel code.
 //! * **Across thread counts** assignments differ (workers don't see each
@@ -794,6 +802,87 @@ mod tests {
         // 10 edges, k = 2, α = 1.0 → cap 5. Loads 7 + 3 → overshoot 2.
         assert_eq!(overshoot_from_loads(&[7, 3], 2, 10, 1.0), 2);
         assert_eq!(overshoot_from_loads(&[5, 5], 2, 10, 1.0), 0);
+    }
+
+    #[test]
+    fn shard_kernels_are_restartable_mid_job() {
+        // The distributed coordinator recovers a dead worker by re-running
+        // its shard from the source against the same merged state. That is
+        // only sound if the kernels keep no hidden cross-call state: a
+        // second run — including one abandoned partway — must reproduce
+        // the first bit for bit.
+        let g = Dataset::Ok.generate_scaled(0.01);
+        let k = 8;
+        let threads = 3;
+        let shard = 1usize;
+        let ranges = split_even(g.num_edges(), threads);
+        let config = TwoPhaseConfig::default();
+
+        // Degrees and clustering: pure functions of (source, range, inputs).
+        let d1 = shard_degrees(&g, ranges[shard], g.num_vertices()).unwrap();
+        let d2 = shard_degrees(&g, ranges[shard], g.num_vertices()).unwrap();
+        assert_eq!(d1.as_slice(), d2.as_slice());
+        let merged = merge_degree_tables(vec![
+            shard_degrees(&g, ranges[0], g.num_vertices()).unwrap(),
+            d1,
+            shard_degrees(&g, ranges[2], g.num_vertices()).unwrap(),
+        ]);
+        let cap = resolve_volume_cap(&config, k, &merged);
+        let c1 =
+            shard_clustering(&g, ranges[shard], &config, &merged, cap, g.num_vertices()).unwrap();
+        let c2 =
+            shard_clustering(&g, ranges[shard], &config, &merged, cap, g.num_vertices()).unwrap();
+        let mut e1 = Vec::new();
+        c1.encode_into(&mut e1);
+        let mut e2 = Vec::new();
+        c2.encode_into(&mut e2);
+        assert_eq!(e1, e2, "restarted clustering diverged");
+
+        // Phase 2: a fresh assigner re-driven from the source reproduces an
+        // abandoned assigner's decisions (merged plan held fixed).
+        let clustering = merge_clusterings(&[c1.clone(), c1.clone(), c2], &merged);
+        let placement = cluster_placement(&config, &clustering, k);
+        let cap2 = crate::balance::PartitionLoads::new(k, g.num_edges(), 1.05).cap();
+        let run = |abandon_first: bool| {
+            if abandon_first {
+                // A first attempt that dies after the prepartition pass —
+                // its partial state must not leak anywhere.
+                let mut doomed = ShardAssigner::new(
+                    config,
+                    &merged,
+                    &clustering,
+                    &placement,
+                    g.num_vertices(),
+                    ShardLoads::standalone(k, cap2, shard, threads),
+                );
+                let mut sink = VecSink::new();
+                let mut s = g.open_range(ranges[shard].0, ranges[shard].1).unwrap();
+                doomed.prepartition_pass(&mut s, &mut sink).unwrap();
+            }
+            let mut assigner = ShardAssigner::new(
+                config,
+                &merged,
+                &clustering,
+                &placement,
+                g.num_vertices(),
+                ShardLoads::standalone(k, cap2, shard, threads),
+            );
+            let mut sink = VecSink::new();
+            let mut s = g.open_range(ranges[shard].0, ranges[shard].1).unwrap();
+            assigner.prepartition_pass(&mut s, &mut sink).unwrap();
+            let mut s = g.open_range(ranges[shard].0, ranges[shard].1).unwrap();
+            assigner.remaining_pass(&mut s, &mut sink).unwrap();
+            (
+                sink.into_assignments(),
+                assigner.counters(),
+                assigner.local_loads().to_vec(),
+            )
+        };
+        let (a1, counters1, loads1) = run(false);
+        let (a2, counters2, loads2) = run(true);
+        assert_eq!(a1, a2, "restarted shard diverged");
+        assert_eq!(counters1, counters2);
+        assert_eq!(loads1, loads2);
     }
 
     #[test]

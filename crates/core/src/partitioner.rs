@@ -3,7 +3,7 @@
 //!
 //! A partitioner consumes a resettable [`EdgeStream`] (it may take several
 //! passes), emits one `(edge, partition)` decision per stream edge into an
-//! [`AssignmentSink`](crate::sink::AssignmentSink), and returns a
+//! [`AssignmentSink`], and returns a
 //! [`RunReport`] with its phase timings and internal counters. Quality
 //! metrics are *not* produced by the partitioner — the harness recomputes
 //! them from the sink so they are ground truth.

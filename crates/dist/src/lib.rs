@@ -28,18 +28,35 @@
 //! map the output is **bit-identical** to the in-process runner's, whatever
 //! the transport.
 //!
+//! # Fault tolerance
+//!
+//! Worker loss at any protocol point is recovered per shard (protocol v2):
+//! the coordinator detects a dead or aborting worker (read error, frame
+//! timeout, explicit `Abort`), bumps the shard's **epoch** so stale frames
+//! from the presumed-dead worker are discarded, and re-issues the shard to
+//! a standby, an idle completed worker, or a connection produced by a
+//! [`WorkerSupply`] (reconnecting workers handshake with `Rejoin`). Phase-1
+//! state is recomputed from the source per range; phase 2 is re-entered by
+//! re-broadcasting the stored encoded `Globals`/`Plan`/`MergedReplication`
+//! frames; a shard that died mid-`Run` stream resumes by skipping the
+//! records already emitted. Output stays **bit-identical to `--threads N`**
+//! no matter which worker dies where — see [`coordinator`] and the chaos
+//! tests in `tests/tests/dist_fault.rs`.
+//!
 //! # Crate layout
 //!
 //! * [`wire`] — length-prefixed frames and primitive codecs; all corrupt
 //!   input surfaces as `io::Error`, never a panic.
 //! * [`protocol`] — the message schema (see its table) and the pinned
-//!   [`PROTOCOL_VERSION`](protocol::PROTOCOL_VERSION).
-//! * [`transport`] — the [`Transport`](transport::Transport) trait with
-//!   [`TcpTransport`](transport::TcpTransport) (std `TcpStream`, no async
-//!   runtime), [`loopback_pair`](transport::loopback_pair) channels, and a
+//!   [`PROTOCOL_VERSION`].
+//! * [`transport`] — the [`Transport`] trait with
+//!   [`TcpTransport`] (std `TcpStream`, no async
+//!   runtime), [`loopback_pair`] channels, and a
 //!   tracing wrapper proving both carry identical frames.
-//! * [`coordinator`] / [`worker`] — the two state machines.
-//! * [`local`] — [`run_dist_local`](local::run_dist_local): a full job over
+//! * [`coordinator`] / [`worker`] — the two state machines (the
+//!   coordinator owns retry, catch-up and epoch bookkeeping).
+//! * [`fault`] — kill-injection transports (`--kill-at`, chaos tests).
+//! * [`local`] — [`run_dist_local`]: a full job over
 //!   loopback transports in one process (tests, benches, CI smoke).
 //!
 //! The CLI front ends live in `tps`: `tps dist coordinator` /
@@ -47,16 +64,20 @@
 //! automatically.
 
 pub mod coordinator;
+pub mod fault;
 pub mod local;
 pub mod protocol;
 pub mod transport;
 pub mod wire;
 pub mod worker;
 
-pub use coordinator::run_coordinator;
+pub use coordinator::{run_coordinator, FaultPolicy, NoReplacements, WorkerSupply};
+pub use fault::{FaultTransport, KillMode, KillPoint, KillSpec};
 pub use local::run_dist_local;
 pub use protocol::{InputDescriptor, Job, Message, PROTOCOL_VERSION};
 pub use transport::{
     loopback_pair, LoopbackTransport, TcpTransport, TraceEvent, TraceTransport, Transport,
 };
-pub use worker::{run_worker, AttachedResolver, PathResolver, SourceResolver};
+pub use worker::{
+    run_worker, run_worker_handshake, AttachedResolver, Handshake, PathResolver, SourceResolver,
+};

@@ -14,7 +14,7 @@ use tps_core::sink::{AssignmentSink, MemorySpoolFactory};
 use tps_core::two_phase::TwoPhaseConfig;
 use tps_graph::ranged::RangedEdgeSource;
 
-use crate::coordinator::run_coordinator;
+use crate::coordinator::{run_coordinator, FaultPolicy, NoReplacements};
 use crate::protocol::InputDescriptor;
 use crate::transport::{loopback_pair, Transport};
 use crate::worker::{run_worker, AttachedResolver};
@@ -22,6 +22,9 @@ use crate::worker::{run_worker, AttachedResolver};
 /// Partition `source` with `workers` loopback workers, emitting into `sink`
 /// in shard order. Deterministic for a fixed worker count and bit-identical
 /// to `ParallelRunner` at the same `--threads` (see `tests/tests/dist.rs`).
+/// Loopback workers cannot die spontaneously, so the run uses the fail-fast
+/// [`FaultPolicy`]; the chaos tests drive `run_coordinator` directly with
+/// fault-injecting transports and a respawning supply.
 pub fn run_dist_local(
     source: &dyn RangedEdgeSource,
     config: &TwoPhaseConfig,
@@ -51,7 +54,10 @@ pub fn run_dist_local(
             params,
             source.info(),
             &InputDescriptor::Attached,
-            &mut coordinator_sides,
+            workers,
+            coordinator_sides,
+            &mut NoReplacements,
+            &FaultPolicy::default(),
             sink,
         );
         // Coordinator failures drop the channels, so workers always unblock;

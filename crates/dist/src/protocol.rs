@@ -1,31 +1,51 @@
 //! The coordinator/worker message schema.
 //!
-//! One partitioning job exchanges the following messages per worker, in
+//! One partitioning job exchanges the following messages per shard, in
 //! lockstep with the two-phase algorithm's barriers (tags in parentheses):
 //!
 //! | # | direction | message (tag) | carries |
 //! |---|-----------|---------------|---------|
-//! | 1 | W → C | `Hello` (1) | protocol version |
-//! | 2 | C → W | `Job` (2) | shard descriptor: config, k/α, graph info, edge range, input |
-//! | 3 | W → C | `Degrees` (3) | the shard's exact degree counts |
+//! | 1 | W → C | `Hello` (1) / `Rejoin` (15) | protocol version |
+//! | 2 | C → W | `Job` (2) / `Reissue` (16) | shard descriptor: config, k/α, graph info, edge range, epoch, input |
+//! | 3 | W → C | `Degrees` (3) | shard/epoch + the shard's exact degree counts |
 //! | 4 | C → W | `Globals` (4) | merged degrees + resolved cluster volume cap |
-//! | 5 | W → C | `LocalClustering` (5) | the shard's phase-1 clustering |
+//! | 5 | W → C | `LocalClustering` (5) | shard/epoch + the shard's phase-1 clustering |
 //! | 6 | C → W | `Plan` (6) | merged clustering + cluster→partition map |
-//! | 7 | W → C | `ReplicationShard` (7) | pre-partitioning replica bits (N > 1 only) |
+//! | 7 | W → C | `ReplicationShard` (7) | shard/epoch + pre-partitioning replica bits (N > 1 only) |
 //! | 8 | C → W | `MergedReplication` (8) | OR of all shards (N > 1 only) |
-//! | 9 | W → C | `ShardDone` (9) | phase-2 counters + per-partition loads |
-//! | 10 | C → W | `Pull` (10) | request this worker's assignment runs |
-//! | 11 | W → C | `Run` (11) | one bounded batch of `(edge, partition)` records |
-//! | 12 | W → C | `RunsDone` (12) | end of this worker's runs |
+//! | 9 | W → C | `ShardDone` (9) | shard/epoch + phase-2 counters + per-partition loads |
+//! | 10 | C → W | `Pull` (10) | request this shard's assignment runs |
+//! | 11 | W → C | `Run` (11) | shard/epoch + one bounded batch of `(edge, partition)` records |
+//! | 12 | W → C | `RunsDone` (12) | shard/epoch: end of this shard's runs |
 //! | 13 | C → W | `Shutdown` (13) | job complete |
 //! | 14 | either | `Abort` (14) | fatal error with reason |
 //!
 //! Steps 7/8 are skipped when pre-partitioning is disabled or there is only
-//! one worker — both sides derive that from the `Job`, so the trace stays
-//! deterministic. The coordinator pulls runs worker-by-worker in shard
-//! order (step 10), which is what makes the emitted stream bit-identical to
-//! the in-process runner's worker-order replay without the coordinator ever
+//! one shard — both sides derive that from the `Job`, so the trace stays
+//! deterministic. The coordinator pulls runs shard-by-shard in shard order
+//! (step 10), which is what makes the emitted stream bit-identical to the
+//! in-process runner's worker-order replay without the coordinator ever
 //! holding more than one `Run` batch in memory.
+//!
+//! # Fault tolerance (protocol v2)
+//!
+//! Worker loss is routine, not fatal. Three additions make recovery safe:
+//!
+//! * **Per-shard epochs** — every issuance of a shard carries an epoch
+//!   number (0 on first issue), and every worker→coordinator frame echoes
+//!   `(shard, epoch)`. The coordinator discards frames tagged with an older
+//!   epoch of the shard it is collecting — a presumed-dead worker's late
+//!   frames are dropped, never merged twice.
+//! * **`Reissue` (16)** — re-assignment of a shard whose previous worker
+//!   failed, sent to a standby, an idle worker that already completed its
+//!   own shard, or a reconnecting worker. Body is identical to `Job`; the
+//!   distinct tag keeps traces self-describing.
+//! * **`Rejoin` (15)** — the handshake of a worker that was previously
+//!   connected (its connection broke, or its job aborted) and is offering
+//!   itself for re-assignment. Body is identical to `Hello`.
+//!
+//! A worker serves jobs in a loop: after `RunsDone` it waits for another
+//! `Reissue` or a `Shutdown`, so completed workers double as standbys.
 
 use std::io;
 
@@ -40,9 +60,10 @@ use crate::wire::{
     corrupt, put_f64, put_string, put_u32, put_u64, put_vec_u32, put_vec_u64, Reader,
 };
 
-/// Protocol version pinned by the `Hello` handshake. Bump on any schema
-/// change — there is no in-band negotiation.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Protocol version pinned by the `Hello`/`Rejoin` handshake. Bump on any
+/// schema change — there is no in-band negotiation. v2 added per-shard
+/// epochs and the `Rejoin`/`Reissue` recovery frames.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Edges per `Run` frame (bounded so neither side buffers a full shard:
 /// 8192 records ≈ 96 KiB on the wire).
@@ -66,10 +87,14 @@ pub enum InputDescriptor {
 /// Everything a worker needs to run its shard.
 #[derive(Clone, Debug)]
 pub struct Job {
-    /// This worker's index in shard order.
+    /// This shard's index in shard order.
     pub worker_index: u32,
-    /// Total workers in the job.
+    /// Total shards in the job.
     pub num_workers: u32,
+    /// Issuance epoch of this shard: 0 on first issue, incremented on every
+    /// re-issue after a worker failure. Echoed in every frame the worker
+    /// sends for this job, so stale frames are identifiable.
+    pub epoch: u32,
     /// Number of partitions.
     pub k: u32,
     /// Balance factor α.
@@ -94,10 +119,25 @@ pub enum Message {
         /// Must equal [`PROTOCOL_VERSION`].
         version: u32,
     },
-    /// Shard assignment.
+    /// Handshake of a worker that was previously connected and is offering
+    /// itself for re-assignment (reconnection or post-abort).
+    Rejoin {
+        /// Must equal [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// First shard assignment (epoch 0).
     Job(Job),
+    /// Re-assignment of a shard after a worker failure (epoch > 0).
+    Reissue(Job),
     /// A shard's exact degree counts.
-    Degrees(Vec<u32>),
+    Degrees {
+        /// Shard index this contribution is for.
+        shard: u32,
+        /// Issuance epoch the sender is serving.
+        epoch: u32,
+        /// Exact degrees over the shard's edge range.
+        degrees: Vec<u32>,
+    },
     /// Merged degrees and the resolved cluster volume cap.
     Globals {
         /// Exact degrees over the full graph.
@@ -106,7 +146,14 @@ pub enum Message {
         volume_cap: u64,
     },
     /// A shard's local phase-1 clustering.
-    LocalClustering(Clustering),
+    LocalClustering {
+        /// Shard index this contribution is for.
+        shard: u32,
+        /// Issuance epoch the sender is serving.
+        epoch: u32,
+        /// The shard's streaming clustering.
+        clustering: Clustering,
+    },
     /// The merged clustering and its cluster→partition placement.
     Plan {
         /// Union-by-volume merged clustering.
@@ -115,11 +162,22 @@ pub enum Message {
         c2p: Vec<PartitionId>,
     },
     /// A shard's pre-partitioning replication matrix.
-    ReplicationShard(ReplicationMatrix),
+    ReplicationShard {
+        /// Shard index this contribution is for.
+        shard: u32,
+        /// Issuance epoch the sender is serving.
+        epoch: u32,
+        /// The shard's replica bits.
+        matrix: ReplicationMatrix,
+    },
     /// The OR of every shard's replication matrix.
     MergedReplication(ReplicationMatrix),
     /// A shard's phase-2 summary.
     ShardDone {
+        /// Shard index this summary is for.
+        shard: u32,
+        /// Issuance epoch the sender is serving.
+        epoch: u32,
         /// The shard's assignment counters.
         counters: AssignCounters,
         /// Edges the shard committed per partition.
@@ -130,9 +188,21 @@ pub enum Message {
     /// Request the worker's assignment runs.
     Pull,
     /// One bounded batch of assignments, in decision order.
-    Run(Vec<(Edge, PartitionId)>),
-    /// End of this worker's runs.
-    RunsDone,
+    Run {
+        /// Shard index these assignments belong to.
+        shard: u32,
+        /// Issuance epoch the sender is serving.
+        epoch: u32,
+        /// The assignment records, in decision order.
+        batch: Vec<(Edge, PartitionId)>,
+    },
+    /// End of this shard's runs.
+    RunsDone {
+        /// Shard index whose runs are complete.
+        shard: u32,
+        /// Issuance epoch the sender is serving.
+        epoch: u32,
+    },
     /// Job complete; the worker may exit.
     Shutdown,
     /// Fatal error.
@@ -148,18 +218,20 @@ impl Message {
         match self {
             Message::Hello { .. } => 1,
             Message::Job(_) => 2,
-            Message::Degrees(_) => 3,
+            Message::Degrees { .. } => 3,
             Message::Globals { .. } => 4,
-            Message::LocalClustering(_) => 5,
+            Message::LocalClustering { .. } => 5,
             Message::Plan { .. } => 6,
-            Message::ReplicationShard(_) => 7,
+            Message::ReplicationShard { .. } => 7,
             Message::MergedReplication(_) => 8,
             Message::ShardDone { .. } => 9,
             Message::Pull => 10,
-            Message::Run(_) => 11,
-            Message::RunsDone => 12,
+            Message::Run { .. } => 11,
+            Message::RunsDone { .. } => 12,
             Message::Shutdown => 13,
             Message::Abort { .. } => 14,
+            Message::Rejoin { .. } => 15,
+            Message::Reissue(_) => 16,
         }
     }
 
@@ -180,7 +252,23 @@ impl Message {
             12 => "RunsDone",
             13 => "Shutdown",
             14 => "Abort",
+            15 => "Rejoin",
+            16 => "Reissue",
             _ => "unknown",
+        }
+    }
+
+    /// The `(shard, epoch)` envelope of worker→coordinator data frames, if
+    /// this message carries one — the coordinator's staleness check.
+    pub fn shard_epoch(&self) -> Option<(u32, u32)> {
+        match self {
+            Message::Degrees { shard, epoch, .. }
+            | Message::LocalClustering { shard, epoch, .. }
+            | Message::ReplicationShard { shard, epoch, .. }
+            | Message::ShardDone { shard, epoch, .. }
+            | Message::Run { shard, epoch, .. }
+            | Message::RunsDone { shard, epoch } => Some((*shard, *epoch)),
+            _ => None,
         }
     }
 
@@ -188,9 +276,17 @@ impl Message {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = vec![self.tag()];
         match self {
-            Message::Hello { version } => put_u32(&mut out, *version),
-            Message::Job(job) => encode_job(&mut out, job),
-            Message::Degrees(d) => put_vec_u32(&mut out, d),
+            Message::Hello { version } | Message::Rejoin { version } => put_u32(&mut out, *version),
+            Message::Job(job) | Message::Reissue(job) => encode_job(&mut out, job),
+            Message::Degrees {
+                shard,
+                epoch,
+                degrees,
+            } => {
+                put_u32(&mut out, *shard);
+                put_u32(&mut out, *epoch);
+                put_vec_u32(&mut out, degrees);
+            }
             Message::Globals {
                 degrees,
                 volume_cap,
@@ -198,17 +294,38 @@ impl Message {
                 put_u64(&mut out, *volume_cap);
                 put_vec_u32(&mut out, degrees);
             }
-            Message::LocalClustering(c) => c.encode_into(&mut out),
+            Message::LocalClustering {
+                shard,
+                epoch,
+                clustering,
+            } => {
+                put_u32(&mut out, *shard);
+                put_u32(&mut out, *epoch);
+                clustering.encode_into(&mut out);
+            }
             Message::Plan { clustering, c2p } => {
                 clustering.encode_into(&mut out);
                 put_vec_u32(&mut out, c2p);
             }
-            Message::ReplicationShard(m) | Message::MergedReplication(m) => m.encode_into(&mut out),
+            Message::ReplicationShard {
+                shard,
+                epoch,
+                matrix,
+            } => {
+                put_u32(&mut out, *shard);
+                put_u32(&mut out, *epoch);
+                matrix.encode_into(&mut out);
+            }
+            Message::MergedReplication(m) => m.encode_into(&mut out),
             Message::ShardDone {
+                shard,
+                epoch,
                 counters,
                 loads,
                 assigned,
             } => {
+                put_u32(&mut out, *shard);
+                put_u32(&mut out, *epoch);
                 put_u64(&mut out, counters.prepartitioned);
                 put_u64(&mut out, counters.prepartition_overflow);
                 put_u64(&mut out, counters.remaining);
@@ -217,8 +334,18 @@ impl Message {
                 put_u64(&mut out, *assigned);
                 put_vec_u64(&mut out, loads);
             }
-            Message::Pull | Message::RunsDone | Message::Shutdown => {}
-            Message::Run(batch) => {
+            Message::Pull | Message::Shutdown => {}
+            Message::RunsDone { shard, epoch } => {
+                put_u32(&mut out, *shard);
+                put_u32(&mut out, *epoch);
+            }
+            Message::Run {
+                shard,
+                epoch,
+                batch,
+            } => {
+                put_u32(&mut out, *shard);
+                put_u32(&mut out, *epoch);
                 put_u32(&mut out, batch.len() as u32);
                 for (e, p) in batch {
                     put_u32(&mut out, e.src);
@@ -239,8 +366,18 @@ impl Message {
         let mut r = Reader::new(body);
         let msg = match tag {
             1 => Message::Hello { version: r.u32()? },
+            15 => Message::Rejoin { version: r.u32()? },
             2 => Message::Job(decode_job(&mut r)?),
-            3 => Message::Degrees(r.vec_u32()?),
+            16 => Message::Reissue(decode_job(&mut r)?),
+            3 => {
+                let shard = r.u32()?;
+                let epoch = r.u32()?;
+                Message::Degrees {
+                    shard,
+                    epoch,
+                    degrees: r.vec_u32()?,
+                }
+            }
             4 => {
                 let volume_cap = r.u64()?;
                 let degrees = r.vec_u32()?;
@@ -249,22 +386,39 @@ impl Message {
                     volume_cap,
                 }
             }
-            5 => Message::LocalClustering(decode_clustering(&mut r)?),
+            5 => {
+                let shard = r.u32()?;
+                let epoch = r.u32()?;
+                Message::LocalClustering {
+                    shard,
+                    epoch,
+                    clustering: decode_clustering(&mut r)?,
+                }
+            }
             6 => {
                 let clustering = decode_clustering(&mut r)?;
                 let c2p = r.vec_u32()?;
                 Message::Plan { clustering, c2p }
             }
-            7 | 8 => {
-                let (m, rest) = ReplicationMatrix::decode_from(r.tail()).map_err(corrupt)?;
+            7 => {
+                let shard = r.u32()?;
+                let epoch = r.u32()?;
+                let (matrix, rest) = ReplicationMatrix::decode_from(r.tail()).map_err(corrupt)?;
                 r.set_tail(rest);
-                if tag == 7 {
-                    Message::ReplicationShard(m)
-                } else {
-                    Message::MergedReplication(m)
+                Message::ReplicationShard {
+                    shard,
+                    epoch,
+                    matrix,
                 }
             }
+            8 => {
+                let (m, rest) = ReplicationMatrix::decode_from(r.tail()).map_err(corrupt)?;
+                r.set_tail(rest);
+                Message::MergedReplication(m)
+            }
             9 => {
+                let shard = r.u32()?;
+                let epoch = r.u32()?;
                 let counters = AssignCounters {
                     prepartitioned: r.u64()?,
                     prepartition_overflow: r.u64()?,
@@ -275,6 +429,8 @@ impl Message {
                 let assigned = r.u64()?;
                 let loads = r.vec_u64()?;
                 Message::ShardDone {
+                    shard,
+                    epoch,
                     counters,
                     loads,
                     assigned,
@@ -282,6 +438,8 @@ impl Message {
             }
             10 => Message::Pull,
             11 => {
+                let shard = r.u32()?;
+                let epoch = r.u32()?;
                 let n = r.u32()? as usize;
                 if n > RUN_BATCH_EDGES {
                     return Err(corrupt(format!(
@@ -295,9 +453,16 @@ impl Message {
                     let p = r.u32()?;
                     batch.push((Edge { src, dst }, p));
                 }
-                Message::Run(batch)
+                Message::Run {
+                    shard,
+                    epoch,
+                    batch,
+                }
             }
-            12 => Message::RunsDone,
+            12 => Message::RunsDone {
+                shard: r.u32()?,
+                epoch: r.u32()?,
+            },
             13 => Message::Shutdown,
             14 => Message::Abort {
                 reason: r.string()?,
@@ -318,6 +483,7 @@ fn decode_clustering<'a>(r: &mut Reader<'a>) -> io::Result<Clustering> {
 fn encode_job(out: &mut Vec<u8>, job: &Job) {
     put_u32(out, job.worker_index);
     put_u32(out, job.num_workers);
+    put_u32(out, job.epoch);
     put_u32(out, job.k);
     put_f64(out, job.alpha);
     // TwoPhaseConfig, field by field.
@@ -358,6 +524,7 @@ fn encode_job(out: &mut Vec<u8>, job: &Job) {
 fn decode_job(r: &mut Reader) -> io::Result<Job> {
     let worker_index = r.u32()?;
     let num_workers = r.u32()?;
+    let epoch = r.u32()?;
     let k = r.u32()?;
     let alpha = r.f64()?;
     let clustering_passes = r.u32()?;
@@ -423,6 +590,7 @@ fn decode_job(r: &mut Reader) -> io::Result<Job> {
     Ok(Job {
         worker_index,
         num_workers,
+        epoch,
         k,
         alpha,
         config: TwoPhaseConfig {
@@ -466,6 +634,7 @@ mod tests {
             let job = Job {
                 worker_index: 1,
                 num_workers: 4,
+                epoch: 3,
                 k: 32,
                 alpha: 1.05,
                 config,
@@ -474,12 +643,18 @@ mod tests {
                 shard: (1250, 2500),
                 input: input.clone(),
             };
-            let Message::Job(back) = roundtrip(&Message::Job(job)) else {
+            let Message::Job(back) = roundtrip(&Message::Job(job.clone())) else {
                 panic!("tag changed");
             };
             assert_eq!(back.shard, (1250, 2500));
+            assert_eq!(back.epoch, 3);
             assert_eq!(back.input, input);
             assert_eq!(back.config.hash_seed, TwoPhaseConfig::default().hash_seed);
+            // A Reissue carries the identical body under its own tag.
+            let Message::Reissue(again) = roundtrip(&Message::Reissue(job)) else {
+                panic!("tag changed");
+            };
+            assert_eq!(again.epoch, 3);
         }
     }
 
@@ -489,12 +664,21 @@ mod tests {
             Message::Hello {
                 version: PROTOCOL_VERSION,
             },
-            Message::Degrees(vec![0, 3, 7]),
+            Message::Rejoin {
+                version: PROTOCOL_VERSION,
+            },
+            Message::Degrees {
+                shard: 1,
+                epoch: 2,
+                degrees: vec![0, 3, 7],
+            },
             Message::Globals {
                 degrees: vec![1, 2],
                 volume_cap: 99,
             },
             Message::ShardDone {
+                shard: 3,
+                epoch: 1,
                 counters: AssignCounters {
                     prepartitioned: 1,
                     prepartition_overflow: 2,
@@ -506,8 +690,12 @@ mod tests {
                 assigned: 15,
             },
             Message::Pull,
-            Message::Run(vec![(Edge::new(1, 2), 0), (Edge::new(3, 4), 7)]),
-            Message::RunsDone,
+            Message::Run {
+                shard: 0,
+                epoch: 4,
+                batch: vec![(Edge::new(1, 2), 0), (Edge::new(3, 4), 7)],
+            },
+            Message::RunsDone { shard: 2, epoch: 0 },
             Message::Shutdown,
             Message::Abort {
                 reason: "boom".into(),
@@ -519,10 +707,36 @@ mod tests {
     }
 
     #[test]
+    fn shard_epoch_envelope_is_exposed_on_worker_data_frames() {
+        assert_eq!(
+            Message::Degrees {
+                shard: 2,
+                epoch: 5,
+                degrees: vec![],
+            }
+            .shard_epoch(),
+            Some((2, 5))
+        );
+        assert_eq!(
+            Message::RunsDone { shard: 1, epoch: 9 }.shard_epoch(),
+            Some((1, 9))
+        );
+        assert_eq!(Message::Pull.shard_epoch(), None);
+        assert_eq!(Message::Shutdown.shard_epoch(), None);
+        assert_eq!(
+            Message::Hello {
+                version: PROTOCOL_VERSION
+            }
+            .shard_epoch(),
+            None
+        );
+    }
+
+    #[test]
     fn clustering_and_matrix_messages_roundtrip() {
         let c = Clustering::from_parts(vec![0, 1, u32::MAX], vec![3, 4]);
         let Message::Plan { clustering, c2p } = roundtrip(&Message::Plan {
-            clustering: c,
+            clustering: c.clone(),
             c2p: vec![1, 0],
         }) else {
             panic!("tag changed");
@@ -530,12 +744,37 @@ mod tests {
         assert_eq!(clustering.volumes(), &[3, 4]);
         assert_eq!(c2p, vec![1, 0]);
 
-        let mut m = ReplicationMatrix::new(4, 70);
-        m.set(2, 65);
-        let Message::ReplicationShard(back) = roundtrip(&Message::ReplicationShard(m)) else {
+        let Message::LocalClustering {
+            shard,
+            epoch,
+            clustering,
+        } = roundtrip(&Message::LocalClustering {
+            shard: 1,
+            epoch: 2,
+            clustering: c,
+        })
+        else {
             panic!("tag changed");
         };
-        assert!(back.get(2, 65));
+        assert_eq!((shard, epoch), (1, 2));
+        assert_eq!(clustering.volumes(), &[3, 4]);
+
+        let mut m = ReplicationMatrix::new(4, 70);
+        m.set(2, 65);
+        let Message::ReplicationShard {
+            shard,
+            epoch,
+            matrix,
+        } = roundtrip(&Message::ReplicationShard {
+            shard: 3,
+            epoch: 1,
+            matrix: m,
+        })
+        else {
+            panic!("tag changed");
+        };
+        assert_eq!((shard, epoch), (3, 1));
+        assert!(matrix.get(2, 65));
     }
 
     #[test]
@@ -545,12 +784,14 @@ mod tests {
         assert!(Message::decode(&[]).is_err());
         assert!(Message::decode(&[99]).is_err());
         assert!(Message::decode(&[1, 0, 0]).is_err(), "Hello cut short");
+        assert!(Message::decode(&[15, 0]).is_err(), "Rejoin cut short");
         let mut hello = Message::Hello { version: 1 }.encode();
         hello.push(0);
         assert!(Message::decode(&hello).is_err(), "trailing byte");
         let mut job = Message::Job(Job {
             worker_index: 0,
             num_workers: 1,
+            epoch: 0,
             k: 2,
             alpha: 1.05,
             config: TwoPhaseConfig::default(),
@@ -563,9 +804,9 @@ mod tests {
         for cut in [1, 5, job.len() / 2, job.len() - 1] {
             assert!(Message::decode(&job[..cut]).is_err(), "cut {cut}");
         }
-        // Strategy byte out of range (offset: tag 1 + 3×u32 12 + f64 8 +
-        // u32 4 + f64 8 = byte 33).
-        job[33] = 9;
+        // Strategy byte out of range (offset: tag 1 + 4×u32 16 + f64 8 +
+        // u32 4 + f64 8 = byte 37).
+        job[37] = 9;
         assert!(Message::decode(&job).is_err());
     }
 
@@ -574,6 +815,7 @@ mod tests {
         let job = Job {
             worker_index: 0,
             num_workers: 2,
+            epoch: 0,
             k: 4,
             alpha: 1.05,
             config: TwoPhaseConfig::default(),
@@ -588,6 +830,8 @@ mod tests {
     #[test]
     fn oversized_run_batch_rejected() {
         let mut out = vec![11u8];
+        put_u32(&mut out, 0);
+        put_u32(&mut out, 0);
         put_u32(&mut out, (RUN_BATCH_EDGES + 1) as u32);
         assert!(Message::decode(&out).is_err());
     }

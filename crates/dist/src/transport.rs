@@ -10,8 +10,9 @@
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::TcpStream;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use crate::protocol::Message;
 use crate::wire::{read_frame, write_frame};
@@ -22,6 +23,21 @@ pub trait Transport: Send {
     fn send(&mut self, frame: &[u8]) -> io::Result<()>;
     /// Receive one frame, blocking.
     fn recv(&mut self) -> io::Result<Vec<u8>>;
+    /// Bound how long [`recv`](Transport::recv) blocks; `None` waits
+    /// forever. A timed-out receive fails with
+    /// [`io::ErrorKind::TimedOut`]/[`WouldBlock`](io::ErrorKind::WouldBlock)
+    /// and may leave the stream mid-frame — the fault-tolerant coordinator
+    /// treats any timeout as a dead worker and drops the connection.
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()>;
+}
+
+/// Whether an I/O error indicates the receive deadline elapsed (the two
+/// kinds platforms map socket read timeouts to).
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+    )
 }
 
 /// Encode and send `msg`.
@@ -66,6 +82,10 @@ impl Transport for TcpTransport {
     fn recv(&mut self) -> io::Result<Vec<u8>> {
         read_frame(&mut self.reader)
     }
+
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
 }
 
 /// One end of an in-process loopback channel pair.
@@ -76,6 +96,7 @@ impl Transport for TcpTransport {
 pub struct LoopbackTransport {
     tx: Sender<Vec<u8>>,
     rx: Receiver<Vec<u8>>,
+    timeout: Option<Duration>,
 }
 
 /// A connected pair of loopback transports (coordinator side, worker side).
@@ -83,8 +104,16 @@ pub fn loopback_pair() -> (LoopbackTransport, LoopbackTransport) {
     let (a_tx, a_rx) = channel();
     let (b_tx, b_rx) = channel();
     (
-        LoopbackTransport { tx: a_tx, rx: b_rx },
-        LoopbackTransport { tx: b_tx, rx: a_rx },
+        LoopbackTransport {
+            tx: a_tx,
+            rx: b_rx,
+            timeout: None,
+        },
+        LoopbackTransport {
+            tx: b_tx,
+            rx: a_rx,
+            timeout: None,
+        },
     )
 }
 
@@ -96,12 +125,27 @@ impl Transport for LoopbackTransport {
     }
 
     fn recv(&mut self) -> io::Result<Vec<u8>> {
-        self.rx.recv().map_err(|_| {
+        let closed = || {
             io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "loopback peer closed mid-protocol",
             )
-        })
+        };
+        match self.timeout {
+            None => self.rx.recv().map_err(|_| closed()),
+            Some(t) => self.rx.recv_timeout(t).map_err(|e| match e {
+                RecvTimeoutError::Timeout => io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "loopback peer sent nothing within the receive timeout",
+                ),
+                RecvTimeoutError::Disconnected => closed(),
+            }),
+        }
+    }
+
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.timeout = timeout;
+        Ok(())
     }
 }
 
@@ -156,6 +200,10 @@ impl<T: Transport> Transport for TraceTransport<T> {
         });
         Ok(frame)
     }
+
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_recv_timeout(timeout)
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +217,33 @@ mod tests {
         assert_eq!(b.recv().unwrap(), b"ping");
         b.send(b"pong").unwrap();
         assert_eq!(a.recv().unwrap(), b"pong");
+    }
+
+    #[test]
+    fn loopback_recv_timeout_fires_and_clears() {
+        let (mut a, mut b) = loopback_pair();
+        a.set_recv_timeout(Some(Duration::from_millis(10))).unwrap();
+        let err = a.recv().unwrap_err();
+        assert!(is_timeout(&err), "{err}");
+        b.send(b"late").unwrap();
+        assert_eq!(a.recv().unwrap(), b"late");
+        a.set_recv_timeout(None).unwrap();
+        b.send(b"untimed").unwrap();
+        assert_eq!(a.recv().unwrap(), b"untimed");
+    }
+
+    #[test]
+    fn tcp_recv_timeout_is_a_timeout_error() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = TcpTransport::new(stream).unwrap();
+        server
+            .set_recv_timeout(Some(Duration::from_millis(20)))
+            .unwrap();
+        let err = server.recv().unwrap_err();
+        assert!(is_timeout(&err), "{err}");
     }
 
     #[test]

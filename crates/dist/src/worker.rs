@@ -8,6 +8,15 @@
 //! [`AssignmentSpool`](tps_core::sink::AssignmentSpool) (in-memory or
 //! spill-backed) and stream back as bounded `Run` batches when the
 //! coordinator pulls them.
+//!
+//! Workers serve **jobs in a loop**: after a shard's runs are pulled the
+//! worker waits for either a [`Reissue`](Message::Reissue) — another
+//! shard whose previous worker failed — or a `Shutdown`. Each job is
+//! self-contained (the kernels keep no cross-job state), and every frame a
+//! worker sends for a job echoes the job's `(shard, epoch)` so the
+//! coordinator can discard stale frames from an issuance it has abandoned.
+//! A worker that reconnects after losing its coordinator handshakes with
+//! [`Rejoin`](Message::Rejoin) instead of `Hello`.
 
 use std::io;
 
@@ -20,7 +29,7 @@ use tps_graph::ranged::RangedEdgeSource;
 use tps_graph::stream::EdgeStream;
 use tps_graph::types::{Edge, GraphInfo, PartitionId};
 
-use crate::protocol::{InputDescriptor, Message, PROTOCOL_VERSION, RUN_BATCH_EDGES};
+use crate::protocol::{InputDescriptor, Job, Message, PROTOCOL_VERSION, RUN_BATCH_EDGES};
 use crate::transport::{recv_msg, send_msg, Transport};
 use crate::wire::corrupt;
 
@@ -73,17 +82,38 @@ impl RangedEdgeSource for BorrowedSource<'_> {
     }
 }
 
-/// Serve one job over `transport`, then return.
+/// Which handshake a worker opens with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Handshake {
+    /// A fresh worker's first connection.
+    Hello,
+    /// A worker that was previously connected (its connection broke or its
+    /// job aborted) offering itself for re-assignment.
+    Rejoin,
+}
+
+/// Serve jobs over `transport` until the coordinator sends `Shutdown`.
 ///
 /// On internal failure the worker sends an `Abort` with the cause (so the
-/// coordinator fails its current barrier instead of hanging) and returns
-/// the error.
+/// coordinator fails the shard's current barrier instead of hanging) and
+/// returns the error — the process-level worker can then reconnect with
+/// [`Handshake::Rejoin`].
 pub fn run_worker(
     transport: &mut dyn Transport,
     resolver: &dyn SourceResolver,
     spools: &dyn SpoolFactory,
 ) -> io::Result<()> {
-    let result = serve(transport, resolver, spools);
+    run_worker_handshake(transport, resolver, spools, Handshake::Hello)
+}
+
+/// [`run_worker`] with an explicit handshake kind (reconnections `Rejoin`).
+pub fn run_worker_handshake(
+    transport: &mut dyn Transport,
+    resolver: &dyn SourceResolver,
+    spools: &dyn SpoolFactory,
+    handshake: Handshake,
+) -> io::Result<()> {
+    let result = serve(transport, resolver, spools, handshake);
     if let Err(e) = &result {
         let _ = send_msg(
             transport,
@@ -95,7 +125,7 @@ pub fn run_worker(
     result
 }
 
-/// Receive, mapping `Abort` and `Shutdown` appropriately for mid-job steps.
+/// Receive, mapping `Abort` appropriately for mid-job steps.
 fn expect(transport: &mut dyn Transport, phase: &str) -> io::Result<Message> {
     match recv_msg(transport)? {
         Message::Abort { reason } => Err(io::Error::other(format!(
@@ -116,19 +146,40 @@ fn serve(
     transport: &mut dyn Transport,
     resolver: &dyn SourceResolver,
     spools: &dyn SpoolFactory,
+    handshake: Handshake,
 ) -> io::Result<()> {
     send_msg(
         transport,
-        &Message::Hello {
-            version: PROTOCOL_VERSION,
+        &match handshake {
+            Handshake::Hello => Message::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Handshake::Rejoin => Message::Rejoin {
+                version: PROTOCOL_VERSION,
+            },
         },
     )?;
-    let job = match expect(transport, "assignment")? {
-        Message::Job(job) => job,
-        // An empty graph (or a drained queue) shuts workers down directly.
-        Message::Shutdown => return Ok(()),
-        other => return Err(protocol_err("assignment", &other)),
-    };
+    loop {
+        match expect(transport, "assignment")? {
+            // First issuance and re-issue run the identical job body.
+            Message::Job(job) | Message::Reissue(job) => {
+                serve_job(transport, resolver, spools, job)?
+            }
+            // The job is complete (or the graph was empty).
+            Message::Shutdown => return Ok(()),
+            other => return Err(protocol_err("assignment", &other)),
+        }
+    }
+}
+
+fn serve_job(
+    transport: &mut dyn Transport,
+    resolver: &dyn SourceResolver,
+    spools: &dyn SpoolFactory,
+    job: Job,
+) -> io::Result<()> {
+    let shard = job.worker_index;
+    let epoch = job.epoch;
     let source = resolver.open(&job.input)?;
     let info = source.info();
     if info.num_vertices != job.num_vertices || info.num_edges != job.num_edges {
@@ -142,7 +193,11 @@ fn serve(
     let local_degrees = shard_degrees(&*source, job.shard, job.num_vertices)?;
     send_msg(
         transport,
-        &Message::Degrees(local_degrees.as_slice().to_vec()),
+        &Message::Degrees {
+            shard,
+            epoch,
+            degrees: local_degrees.as_slice().to_vec(),
+        },
     )?;
     drop(local_degrees);
     let (degrees, volume_cap) = match expect(transport, "degree barrier")? {
@@ -167,7 +222,14 @@ fn serve(
         volume_cap,
         job.num_vertices,
     )?;
-    send_msg(transport, &Message::LocalClustering(local_clustering))?;
+    send_msg(
+        transport,
+        &Message::LocalClustering {
+            shard,
+            epoch,
+            clustering: local_clustering,
+        },
+    )?;
     let (clustering, c2p) = match expect(transport, "clustering barrier")? {
         Message::Plan { clustering, c2p } => (clustering, c2p),
         other => return Err(protocol_err("clustering barrier", &other)),
@@ -204,7 +266,11 @@ fn serve(
         if job.num_workers > 1 {
             send_msg(
                 transport,
-                &Message::ReplicationShard(assigner.replication_shard().clone()),
+                &Message::ReplicationShard {
+                    shard,
+                    epoch,
+                    matrix: assigner.replication_shard().clone(),
+                },
             )?;
             match expect(transport, "prepartition barrier")? {
                 Message::MergedReplication(m) => {
@@ -225,6 +291,8 @@ fn serve(
     send_msg(
         transport,
         &Message::ShardDone {
+            shard,
+            epoch,
             counters: assigner.counters(),
             loads: assigner.local_loads().to_vec(),
             assigned,
@@ -239,22 +307,23 @@ fn serve(
     {
         let mut sender = RunSender {
             transport,
+            shard,
+            epoch,
             batch: Vec::with_capacity(RUN_BATCH_EDGES),
         };
         spool.replay(&mut sender)?;
         sender.flush()?;
     }
-    send_msg(transport, &Message::RunsDone)?;
-    match expect(transport, "shutdown")? {
-        Message::Shutdown => Ok(()),
-        other => Err(protocol_err("shutdown", &other)),
-    }
+    send_msg(transport, &Message::RunsDone { shard, epoch })?;
+    Ok(())
 }
 
 /// An [`AssignmentSink`] that ships batches of [`RUN_BATCH_EDGES`] records
 /// as `Run` frames.
 struct RunSender<'a> {
     transport: &'a mut dyn Transport,
+    shard: u32,
+    epoch: u32,
     batch: Vec<(Edge, PartitionId)>,
 }
 
@@ -264,7 +333,14 @@ impl RunSender<'_> {
             return Ok(());
         }
         let batch = std::mem::replace(&mut self.batch, Vec::with_capacity(RUN_BATCH_EDGES));
-        send_msg(self.transport, &Message::Run(batch))
+        send_msg(
+            self.transport,
+            &Message::Run {
+                shard: self.shard,
+                epoch: self.epoch,
+                batch,
+            },
+        )
     }
 }
 

@@ -19,7 +19,7 @@
 //!
 //! This buffered reader is the *baseline* backend. The `tps-io` crate layers
 //! faster paths over the same on-disk bytes, all behind
-//! [`EdgeStream`](crate::stream::EdgeStream):
+//! [`EdgeStream`]:
 //!
 //! * `tps_io::MmapEdgeFile` — zero-copy memory-mapped reads of this v1
 //!   format (fastest on a warm page cache).

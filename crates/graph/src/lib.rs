@@ -5,7 +5,7 @@
 //!
 //! * [`types`] — vertex / edge / partition identifier types shared by the
 //!   whole workspace.
-//! * [`stream`] — the [`EdgeStream`](stream::EdgeStream) abstraction: a
+//! * [`stream`] — the [`EdgeStream`] abstraction: a
 //!   resettable, multi-pass, one-edge-at-a-time view of an edge list. This is
 //!   the out-of-core contract from the paper: space consumption of a consumer
 //!   must be independent of `|E|`.

@@ -524,7 +524,7 @@ pub fn open_ranged_mmap<P: AsRef<Path>>(path: P) -> io::Result<Box<dyn RangedEdg
     }
 }
 
-/// Open `path` as a ranged source with the requested [`ReaderBackend`] —
+/// Open `path` as a ranged source with the requested [`ReaderBackend`](crate::ReaderBackend) —
 /// the parallel/distributed analogue of [`crate::open_edge_stream`].
 pub fn open_ranged_backend<P: AsRef<Path>>(
     path: P,

@@ -7,7 +7,7 @@
 //!
 //! We model this with a **virtual clock**: [`DeviceModel`] charges each byte
 //! streamed at the device's sequential bandwidth plus a per-pass seek
-//! penalty, and [`DeviceStream`] wraps any [`EdgeStream`] to account every
+//! penalty, and [`DeviceStream`] wraps any [`EdgeStream`](tps_graph::stream::EdgeStream) to account every
 //! pass. The simulated I/O time is added to the measured CPU time, which
 //! matches the paper's single-threaded read-process loop (no overlap).
 //! The virtual clock keeps the benches deterministic and fast — no actual

@@ -19,8 +19,8 @@ use tps_core::sink::{MemorySpoolFactory, VecSink};
 use tps_core::two_phase::TwoPhaseConfig;
 use tps_dist::transport::TraceEvent;
 use tps_dist::{
-    loopback_pair, run_coordinator, run_worker, AttachedResolver, InputDescriptor, TcpTransport,
-    TraceTransport, Transport,
+    loopback_pair, run_coordinator, run_worker, AttachedResolver, FaultPolicy, InputDescriptor,
+    NoReplacements, TcpTransport, TraceTransport, Transport,
 };
 use tps_graph::ranged::RangedEdgeSource;
 use tps_graph::stream::InMemoryGraph;
@@ -87,7 +87,10 @@ fn dist_traced(
             &params,
             source.info(),
             &InputDescriptor::Attached,
-            &mut coordinator_sides,
+            workers,
+            coordinator_sides,
+            &mut NoReplacements,
+            &FaultPolicy::default(),
             &mut sink,
         )
         .unwrap();
@@ -236,7 +239,7 @@ fn dist_handles_the_prefetch_and_mmap_backends_too() {
 fn coordinator_rejects_garbage_handshake() {
     let g = InMemoryGraph::from_edges(vec![Edge::new(0, 1)]);
     let (c, mut w) = loopback_pair();
-    let mut transports: Vec<Box<dyn Transport>> = vec![Box::new(c)];
+    let transports: Vec<Box<dyn Transport>> = vec![Box::new(c)];
     w.send(&[250, 1, 2, 3]).unwrap(); // unknown tag
     let mut sink = VecSink::new();
     let err = run_coordinator(
@@ -244,7 +247,10 @@ fn coordinator_rejects_garbage_handshake() {
         &PartitionParams::new(2),
         g.info(),
         &InputDescriptor::Attached,
-        &mut transports,
+        1,
+        transports,
+        &mut NoReplacements,
+        &FaultPolicy::default(),
         &mut sink,
     )
     .unwrap_err();
@@ -276,7 +282,7 @@ fn mismatched_job_info_aborts_the_run() {
     let g = InMemoryGraph::from_edges(vec![Edge::new(0, 1), Edge::new(1, 2)]);
     let lying = InMemoryGraph::from_edges(vec![Edge::new(0, 1)]);
     let (c, w) = loopback_pair();
-    let mut transports: Vec<Box<dyn Transport>> = vec![Box::new(c)];
+    let transports: Vec<Box<dyn Transport>> = vec![Box::new(c)];
     let mut sink = VecSink::new();
     std::thread::scope(|scope| {
         let handle = scope.spawn(move || {
@@ -288,7 +294,10 @@ fn mismatched_job_info_aborts_the_run() {
             &PartitionParams::new(2),
             g.info(),
             &InputDescriptor::Attached,
-            &mut transports,
+            1,
+            transports,
+            &mut NoReplacements,
+            &FaultPolicy::default(),
             &mut sink,
         )
         .unwrap_err();
@@ -314,8 +323,7 @@ fn abort_propagates_over_tcp() {
         tps_dist::Message::decode(&t.recv().unwrap()).unwrap()
     });
     let (stream, _) = listener.accept().unwrap();
-    let mut transports: Vec<Box<dyn Transport>> =
-        vec![Box::new(TcpTransport::new(stream).unwrap())];
+    let transports: Vec<Box<dyn Transport>> = vec![Box::new(TcpTransport::new(stream).unwrap())];
     let g = InMemoryGraph::from_edges(vec![Edge::new(0, 1)]);
     let mut sink = VecSink::new();
     let err = run_coordinator(
@@ -323,7 +331,10 @@ fn abort_propagates_over_tcp() {
         &PartitionParams::new(2),
         g.info(),
         &InputDescriptor::Attached,
-        &mut transports,
+        1,
+        transports,
+        &mut NoReplacements,
+        &FaultPolicy::default(),
         &mut sink,
     )
     .unwrap_err();
