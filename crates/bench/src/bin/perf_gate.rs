@@ -3,8 +3,9 @@
 //! Merges the JSON reports of `io_readers` and `parallel_scaling` into one
 //! `BENCH_ci.json`, extracts the gated metrics, and compares them against a
 //! committed baseline (`bench/baselines/ci.json`): any throughput metric
-//! below `floor × (1 − tolerance)` — or any replication-factor ceiling
-//! (`*.rf_vs_serial`, lower is better) above `ceiling × (1 + tolerance)` —
+//! below `floor × (1 − tolerance)` — or any lower-is-better ceiling
+//! (`*.rf_vs_serial` replication ratios, `*.peak_rss_mb` memory bounds;
+//! see `tps_bench::gate::direction`) above `ceiling × (1 + tolerance)` —
 //! fails the run with a non-zero exit.
 //!
 //! ```text
@@ -12,6 +13,7 @@
 //! perf_gate --io io.json --scaling par.json \
 //!           --baseline bench/baselines/ci.json --out BENCH_ci.json
 //! perf_gate --dist dist.json --baseline bench/baselines/ci.json   # dist-smoke job
+//! perf_gate --mem mem_peak.json --baseline bench/baselines/ci.json # mem-smoke job
 //!
 //! # refresh the baseline (derated so other machines' jitter doesn't trip
 //! # the 25% gate — the committed floor is derate × measured):
@@ -34,6 +36,7 @@ struct Args {
     io: Option<String>,
     scaling: Option<String>,
     dist: Option<String>,
+    mem: Option<String>,
     baseline: Option<String>,
     out: Option<String>,
     write_baseline: Option<String>,
@@ -46,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         io: None,
         scaling: None,
         dist: None,
+        mem: None,
         baseline: None,
         out: None,
         write_baseline: None,
@@ -59,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
             "--io" => args.io = Some(value("io")?),
             "--scaling" => args.scaling = Some(value("scaling")?),
             "--dist" => args.dist = Some(value("dist")?),
+            "--mem" => args.mem = Some(value("mem")?),
             "--baseline" => args.baseline = Some(value("baseline")?),
             "--out" => args.out = Some(value("out")?),
             "--write-baseline" => args.write_baseline = Some(value("write-baseline")?),
@@ -75,8 +80,8 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    if args.io.is_none() && args.scaling.is_none() && args.dist.is_none() {
-        return Err("need at least one of --io / --scaling / --dist".into());
+    if args.io.is_none() && args.scaling.is_none() && args.dist.is_none() && args.mem.is_none() {
+        return Err("need at least one of --io / --scaling / --dist / --mem".into());
     }
     if args.baseline.is_none() && args.write_baseline.is_none() {
         return Err("need --baseline (gate mode) or --write-baseline".into());
@@ -103,6 +108,9 @@ fn run() -> Result<bool, String> {
     if let Some(p) = &args.dist {
         members.push(("dist_scaling".to_string(), load_json(p)?));
     }
+    if let Some(p) = &args.mem {
+        members.push(("mem_peak".to_string(), load_json(p)?));
+    }
     let sections: Vec<String> = members.iter().map(|(k, _)| k.clone()).collect();
     let merged = Json::Obj(members);
     let current = extract_metrics(&merged);
@@ -117,24 +125,46 @@ fn run() -> Result<bool, String> {
 
     if let Some(path) = &args.write_baseline {
         // Baseline = derated current metrics, as a flat metric→floor map.
-        // Floors of sections this invocation didn't run are carried over
-        // from the existing file so a partial refresh can't drop them.
-        let mut floors_map: BTreeMap<String, f64> = match load_json(path) {
-            Ok(existing) => match existing.get("metrics") {
-                Some(Json::Obj(members)) => members
+        // Floors of sections this invocation didn't run — and the file's
+        // policy comment — are carried over from the existing file so a
+        // partial refresh can't drop them.
+        let existing = load_json(path).ok();
+        let mut floors_map: BTreeMap<String, f64> =
+            match existing.as_ref().map(|e| e.get("metrics")) {
+                Some(Some(Json::Obj(members))) => members
                     .iter()
-                    .filter(|(k, _)| !sections.iter().any(|s| k.starts_with(&format!("{s}."))))
+                    .filter(|(k, _)| {
+                        // Hand-set peak-RSS ceilings survive a refresh of
+                        // their own section too (see the skip below).
+                        k.ends_with(".peak_rss_mb")
+                            || !sections.iter().any(|s| k.starts_with(&format!("{s}.")))
+                    })
                     .filter_map(|(k, v)| v.as_f64().map(|f| (k.clone(), f)))
                     .collect(),
                 _ => BTreeMap::new(),
-            },
-            Err(_) => BTreeMap::new(),
-        };
+            };
+        let mut skipped_rss = 0usize;
         for (k, v) in &current {
-            // Ceilings (RF ratios) are deterministic per worker count:
-            // committed as measured, never derated.
+            if k.ends_with(".peak_rss_mb") {
+                // RF ceilings are deterministic and written as measured;
+                // peak-RSS ceilings are NOT — RSS varies with allocator
+                // and runner, so their headroom is set by hand (see the
+                // baseline comment). Writing the measured value verbatim
+                // would commit a zero-headroom ceiling that flakes on the
+                // next runner; keep whatever the file already holds.
+                skipped_rss += 1;
+                continue;
+            }
+            // Remaining ceilings (RF ratios) are deterministic per worker
+            // count: committed as measured, never derated.
             let bound = if is_ceiling(k) { *v } else { v * args.derate };
             floors_map.insert(k.clone(), round3(bound));
+        }
+        if skipped_rss > 0 {
+            eprintln!(
+                "note: {skipped_rss} *.peak_rss_mb ceilings left untouched — set their \
+                 headroom by hand (see the baseline comment)"
+            );
         }
         let floors = Json::Obj(
             floors_map
@@ -142,15 +172,20 @@ fn run() -> Result<bool, String> {
                 .map(|(k, v)| (k, Json::Num(v)))
                 .collect(),
         );
-        let doc = Json::Obj(vec![
-            (
-                "comment".to_string(),
-                Json::Str(format!(
+        let comment = existing
+            .as_ref()
+            .and_then(|e| e.get("comment"))
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| {
+                format!(
                     "perf-gate floors: measured medges/s derated by {} — refresh with \
                      `perf_gate --write-baseline` (see crates/bench/src/bin/perf_gate.rs)",
                     args.derate
-                )),
-            ),
+                )
+            });
+        let doc = Json::Obj(vec![
+            ("comment".to_string(), Json::Str(comment)),
             ("metrics".to_string(), floors),
         ]);
         std::fs::write(path, format!("{doc}\n")).map_err(|e| format!("{path}: {e}"))?;

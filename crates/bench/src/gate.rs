@@ -6,19 +6,22 @@
 //! binaries emit (objects, arrays, strings, numbers, booleans, null), but
 //! it is a complete parser of that grammar, with tests.
 //!
-//! Metrics come in two directions:
+//! Metrics come in two directions, resolved per key by [`direction`]'s
+//! suffix table:
 //!
-//! * **floors** (throughput-shaped, higher is better — the default): the
-//!   gate fails when `current < floor × (1 − tolerance)`. Absolute numbers
-//!   vary across machines, so committed floors should be *derated* (the
-//!   `perf_gate --write-baseline --derate f` flow) — the gate then catches
-//!   genuine regressions without tripping on runner jitter.
-//! * **ceilings** (quality-shaped, lower is better — metric names ending
-//!   in `.rf_vs_serial`, see [`is_ceiling`]): the gate fails when
-//!   `current > ceiling × (1 + tolerance)`. Replication-factor ratios are
-//!   deterministic for a fixed worker count, so ceilings are committed
-//!   as measured (never derated) and guard the parallel/dist quality
-//!   epsilons from silently regressing.
+//! * **floors** ([`Direction::Floor`], throughput-shaped, higher is better
+//!   — the default): the gate fails when `current < floor × (1 −
+//!   tolerance)`. Absolute numbers vary across machines, so committed
+//!   floors should be *derated* (the `perf_gate --write-baseline
+//!   --derate f` flow) — the gate then catches genuine regressions
+//!   without tripping on runner jitter.
+//! * **ceilings** ([`Direction::Ceiling`], lower is better — the
+//!   replication-factor ratios `*.rf_vs_serial` and the peak-memory
+//!   bounds `*.peak_rss_mb`): the gate fails when `current > ceiling ×
+//!   (1 + tolerance)`. RF ratios are deterministic for a fixed worker
+//!   count and committed as measured; peak-RSS ceilings are committed
+//!   with explicit headroom (see `bench/baselines/ci.json`). Neither is
+//!   derated by `--write-baseline`.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -263,8 +266,8 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-/// Extract the gated throughput metrics (higher-is-better, in M edges/s)
-/// from a *merged* report `{"io_readers": ..., "parallel_scaling": ...}`.
+/// Extract the gated metrics from a *merged* report
+/// `{"io_readers": ..., "parallel_scaling": ..., "mem_peak": ...}`.
 pub fn extract_metrics(report: &Json) -> BTreeMap<String, f64> {
     let mut out = BTreeMap::new();
     if let Some(io) = report.get("io_readers") {
@@ -305,13 +308,52 @@ pub fn extract_metrics(report: &Json) -> BTreeMap<String, f64> {
             }
         }
     }
+    // mem_peak emits one row per execution mode; the gated number is the
+    // peak-RSS ceiling.
+    if let Some(mem) = report.get("mem_peak") {
+        for entry in mem.get("modes").and_then(Json::as_arr).unwrap_or(&[]) {
+            if let (Some(mode), Some(v)) = (
+                entry.get("mode").and_then(Json::as_str),
+                entry.get("peak_rss_mb").and_then(Json::as_f64),
+            ) {
+                out.insert(format!("mem_peak.{mode}.peak_rss_mb"), v);
+            }
+        }
+    }
     out
 }
 
-/// Whether `metric` is a **ceiling** (lower is better): replication-factor
-/// ratios, vs the default throughput floors (higher is better).
+/// Compare direction of one gated metric (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Higher is better; the gate bounds regressions from below.
+    Floor,
+    /// Lower is better; the gate bounds regressions from above.
+    Ceiling,
+}
+
+/// The per-key direction table: metrics whose key ends with a listed
+/// suffix take its direction; everything else is a throughput-shaped
+/// floor. One table, shared by the gate comparison and the baseline
+/// writer — adding a new lower-is-better metric family is one entry here,
+/// not another suffix special-case at each call site.
+const DIRECTION_SUFFIXES: &[(&str, Direction)] = &[
+    (".rf_vs_serial", Direction::Ceiling),
+    (".peak_rss_mb", Direction::Ceiling),
+];
+
+/// The compare direction of `metric`, per the suffix table above.
+pub fn direction(metric: &str) -> Direction {
+    DIRECTION_SUFFIXES
+        .iter()
+        .find(|(suffix, _)| metric.ends_with(suffix))
+        .map(|&(_, d)| d)
+        .unwrap_or(Direction::Floor)
+}
+
+/// Whether `metric` is a **ceiling** (lower is better).
 pub fn is_ceiling(metric: &str) -> bool {
-    metric.ends_with(".rf_vs_serial")
+    direction(metric) == Direction::Ceiling
 }
 
 /// Restrict `baseline` to metrics whose section (the prefix before the
@@ -506,6 +548,68 @@ mod tests {
         let regs = compare(&base, &gone, 0.25);
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].metric, "dist_scaling.t2.rf_vs_serial");
+    }
+
+    #[test]
+    fn direction_table_routes_by_suffix() {
+        assert_eq!(
+            direction("parallel_scaling.t4.rf_vs_serial"),
+            Direction::Ceiling
+        );
+        assert_eq!(
+            direction("dist_scaling.t2.rf_vs_serial"),
+            Direction::Ceiling
+        );
+        assert_eq!(direction("mem_peak.t8.peak_rss_mb"), Direction::Ceiling);
+        assert_eq!(direction("mem_peak.serial.peak_rss_mb"), Direction::Ceiling);
+        assert_eq!(
+            direction("parallel_scaling.t4.medges_per_sec"),
+            Direction::Floor
+        );
+        assert_eq!(
+            direction("io_readers.v1.mmap.medges_per_sec"),
+            Direction::Floor
+        );
+        // A suffix must match the *end* of the key, not a substring.
+        assert_eq!(direction("x.peak_rss_mb.note"), Direction::Floor);
+        assert!(is_ceiling("mem_peak.dist2.peak_rss_mb"));
+        assert!(!is_ceiling("mem_peak.dist2.seconds"));
+    }
+
+    #[test]
+    fn extracts_mem_peak_modes() {
+        let j = parse_json(
+            r#"{
+              "mem_peak": {
+                "graph": {"vertices": 10, "edges": 20, "k": 4},
+                "modes": [
+                  {"mode": "serial", "peak_rss_mb": 10.5, "seconds": 0.1},
+                  {"mode": "t8", "peak_rss_mb": 12.0, "pre_partition_mb": 2.0},
+                  {"mode": "dist2", "peak_rss_mb": 21.0}
+                ]
+              }
+            }"#,
+        )
+        .unwrap();
+        let m = extract_metrics(&j);
+        assert_eq!(m["mem_peak.serial.peak_rss_mb"], 10.5);
+        assert_eq!(m["mem_peak.t8.peak_rss_mb"], 12.0);
+        assert_eq!(m["mem_peak.dist2.peak_rss_mb"], 21.0);
+        assert_eq!(m.len(), 3, "seconds/pre_partition are not gated");
+    }
+
+    #[test]
+    fn peak_rss_ceilings_fail_upward() {
+        let mut base = BTreeMap::new();
+        base.insert("mem_peak.t8.peak_rss_mb".to_string(), 100.0);
+        let mut good = BTreeMap::new();
+        good.insert("mem_peak.t8.peak_rss_mb".to_string(), 80.0);
+        assert!(compare(&base, &good, 0.25).is_empty(), "lower RSS passes");
+        let mut bad = BTreeMap::new();
+        bad.insert("mem_peak.t8.peak_rss_mb".to_string(), 130.0);
+        let regs = compare(&base, &bad, 0.25);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "mem_peak.t8.peak_rss_mb");
     }
 
     #[test]

@@ -33,10 +33,20 @@ use crate::model::{Clustering, NO_CLUSTER};
 /// assignments by larger current cluster volume (ties prefer the earlier
 /// part). All parts must cover the same vertex-id space.
 ///
-/// Cluster ids of part `t` are offset by the total id count of parts
-/// `0..t`, so the merged id space is the concatenation of the parts' id
-/// spaces — no renumbering pass is needed and volumes can be looked up
-/// directly during phase 2.
+/// Cluster ids of part `t` are first offset by the total id count of parts
+/// `0..t` (the merged id space is the concatenation of the parts' id
+/// spaces); after the merge the id space is **compacted** to the clusters
+/// that survived with volume > 0, renumbered in ascending old-id order.
+/// The concatenated space is `T`× the serial one, and its `volumes` array
+/// (plus every structure indexed by it: the placement's `c2p`, the
+/// distributed `Plan` frame) would otherwise stay `O(T·C)` through all of
+/// phase 2. Order-preserving renumbering is decision-invariant: the
+/// pre-partition test compares cluster ids for equality only, volumes
+/// travel with their cluster, and both mapping strategies break ties on
+/// ascending id while zero-volume clusters contribute no load — so the
+/// placement of surviving clusters is unchanged. A single part is returned
+/// as-is (identity), which is what keeps one-thread parallel runs
+/// bit-identical to the serial runner.
 ///
 /// # Panics
 /// Panics if the parts disagree on `num_vertices`, or `parts` is empty.
@@ -97,7 +107,14 @@ pub fn merge_clusterings(parts: &[Clustering], degrees: &DegreeTable) -> Cluster
         }
     }
 
-    Clustering::from_parts(v2c, volumes)
+    let mut merged = Clustering::from_parts(v2c, volumes);
+    if parts.len() > 1 {
+        // Compact the concatenated id space to the surviving clusters (see
+        // the function docs); a single part stays the identity so
+        // one-thread runs match serial bit for bit, including cluster ids.
+        merged.compact_ids();
+    }
+    merged
 }
 
 #[cfg(test)]
@@ -228,6 +245,38 @@ mod tests {
                     "cluster {c} volume {} > cap {cap}",
                     merged.volume(c as u32)
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_compacts_emptied_cluster_ids() {
+        // Part 0's cluster empties entirely (its only member defects to
+        // part 1's higher-volume cluster): the merged id space must skip
+        // it, renumbering survivors in old-id order.
+        let degrees = DegreeTable::from_vec(vec![3, 5, 4]);
+        let a = Clustering::from_parts(vec![0, NO_CLUSTER, 1], vec![3, 4]);
+        let b = Clustering::from_parts(vec![0, 0, NO_CLUSTER], vec![8]);
+        let merged = merge_clusterings(&[a, b], &degrees);
+        // Concatenated ids: part 0 → {0, 1}, part 1 → {2}. Vertex 0
+        // (degree 3) defects from cluster 0 (vol 3) to cluster 2 (vol 8),
+        // emptying cluster 0. Survivors {1, 2} renumber to {0, 1}.
+        assert_eq!(merged.num_cluster_ids(), 2);
+        assert_eq!(merged.raw_cluster_of(0), 1, "defector follows part 1");
+        assert_eq!(merged.raw_cluster_of(1), 1);
+        assert_eq!(merged.raw_cluster_of(2), 0, "old id 1 renumbers to 0");
+        assert_eq!(merged.volumes(), &[4, 8]);
+        merged.check_volume_invariant(&degrees).unwrap();
+    }
+
+    #[test]
+    fn merged_id_space_stays_compact_on_real_splits() {
+        let g = test_graph();
+        for parts in [2usize, 3, 4, 8] {
+            let merged = cluster_in_parts(&g, parts, 40);
+            // Every id in the compacted space is live.
+            for c in 0..merged.num_cluster_ids() {
+                assert!(merged.volume(c) > 0, "{parts} parts: empty id {c} survived");
             }
         }
     }

@@ -91,6 +91,36 @@ impl Clustering {
         self.volumes.iter().copied().max().unwrap_or(0)
     }
 
+    /// Drop since-emptied cluster ids, renumbering the survivors
+    /// (volume > 0) in ascending old-id order. Multi-pass streaming
+    /// clustering abandons ids as vertices migrate, so on fragmented
+    /// graphs the id space — and everything indexed by it (the merged
+    /// volumes, the `c2p` placement, the distributed `Plan` frame) — can
+    /// grow far past the live cluster count; compaction restores `O(live)`
+    /// at `O(|V| + ids)` cost. The volume invariant guarantees no member
+    /// references an emptied id (members have degree ≥ 1).
+    pub fn compact_ids(&mut self) {
+        let mut remap = vec![NO_CLUSTER; self.volumes.len()];
+        let mut next = 0u32;
+        for (old, &vol) in self.volumes.iter().enumerate() {
+            if vol > 0 {
+                remap[old] = next;
+                next += 1;
+            }
+        }
+        if next as usize == self.volumes.len() {
+            return; // already compact
+        }
+        self.volumes.retain(|&v| v > 0);
+        self.volumes.shrink_to_fit(); // retain keeps capacity; release it
+        for c in self.v2c.iter_mut() {
+            if *c != NO_CLUSTER {
+                debug_assert_ne!(remap[*c as usize], NO_CLUSTER, "member of an empty cluster");
+                *c = remap[*c as usize];
+            }
+        }
+    }
+
     // ----- mutation API used by the streaming algorithms (public so
     // downstream extensions, e.g. the hypergraph generalisation, can drive
     // their own clustering passes over the same state) -----

@@ -41,10 +41,19 @@
 //! 3. **mapping** — Graham scheduling of the merged clusters, serial (it is
 //!    `O(C log C)` on cluster counts, not edge counts).
 //! 4. **partition** — each worker runs the shared phase-2 edge kernel
-//!    ([`crate::two_phase`]'s `EdgeAssigner`) over its range with a *sharded*
-//!    replication matrix (each worker tracks the replicas its own
-//!    assignments create) and quota-sliced load tracking (below). The
-//!    pre-partitioning and scoring subpasses are preserved per worker.
+//!    ([`crate::two_phase`]'s `EdgeAssigner`) over its range against **one
+//!    shared** [`AtomicReplicationMatrix`] (word-level relaxed `fetch_or`)
+//!    and quota-sliced load tracking (below). The pre-partitioning subpass
+//!    writes replication state but never reads it (targets depend only on
+//!    the merged clustering, placement and quotas), so all workers writing
+//!    the same words is race-free by construction; at the barrier the
+//!    shared matrix *is* the OR-merge of the old per-worker shards — OR is
+//!    commutative, associative and idempotent — with no merge pass and no
+//!    copies. Each worker's view is then **frozen**: scoring-subpass
+//!    writes land in a private sparse overlay, so every worker scores
+//!    against "merged state ∪ its own scoring replicas" — exactly the
+//!    sharded semantics, bit for bit, at `O(|V|·k)` total instead of
+//!    `O(T·|V|·k)`.
 //! 5. **emit** — per-worker assignment spools are replayed into the caller's
 //!    [`AssignmentSink`] in worker order, so downstream files and metrics
 //!    are reproducible. Spools default to in-memory buffers; a
@@ -92,13 +101,16 @@
 //!
 //! # Memory
 //!
-//! Parallelism trades the paper's Table II bound for speed: per-worker
-//! degree tables and clustering maps during their phases, one replication
-//! matrix shard per worker in phase 2 (`O(T·|V|·k)` bits total vs the
-//! serial `O(|V|·k)`), and per-worker assignment spools until the emit
-//! barrier (`O(|E|)` with the default in-memory spools; **bounded** when a
-//! spill-backed [`SpoolFactory`] is installed — the CLI wires
-//! `--spill-budget-mb` to `tps-io`'s spill spools for exactly this reason).
+//! Phase 2 keeps the paper's Table II replication bound at any thread
+//! count: **one** shared `O(|V|·k)`-bit [`AtomicReplicationMatrix`] plus a
+//! per-worker sparse overlay proportional to the worker's own
+//! scoring-time replicas (measured by the `mem_peak` bench and gated in
+//! CI). The remaining per-worker state is transient — degree tables and
+//! clustering maps during their phases — plus the assignment spools until
+//! the emit barrier (`O(|E|)` with the default in-memory spools;
+//! **bounded** when a spill-backed [`SpoolFactory`] is installed — the CLI
+//! wires `--spill-budget-mb` to `tps-io`'s spill spools for exactly this
+//! reason).
 
 use std::io;
 use std::sync::Arc;
@@ -111,7 +123,8 @@ use tps_graph::degree::DegreeTable;
 use tps_graph::ranged::{split_even, RangedEdgeSource};
 use tps_graph::stream::EdgeStream;
 use tps_graph::types::PartitionId;
-use tps_metrics::bitmatrix::ReplicationMatrix;
+use tps_metrics::atomic::{AtomicReplicationMatrix, SharedReplicaView};
+use tps_metrics::bitmatrix::{ReplicaSet, ReplicationMatrix};
 
 use crate::balance::{AtomicLoads, LoadTracker, PartitionLoads};
 use crate::partitioner::{PartitionParams, RunReport};
@@ -245,6 +258,15 @@ pub fn resolve_volume_cap(config: &TwoPhaseConfig, k: u32, degrees: &DegreeTable
 /// Phase 1 for one shard: `config.clustering_passes` local streaming
 /// clustering passes over edge range `range`, against the **merged** exact
 /// degrees.
+///
+/// `compact_ids` drops since-emptied cluster ids from the local result
+/// (multi-pass clustering abandons ids as vertices migrate) — pass `true`
+/// whenever more than one shard will be merged: it shrinks the local
+/// state, the distributed `LocalClustering` frame, and the merge's
+/// concatenated id space, and the merged (and re-compacted) clustering is
+/// bit-identical either way because local compaction preserves the
+/// relative order of surviving ids. Single-shard runs must pass `false` so
+/// the ids match the serial runner's exactly.
 pub fn shard_clustering(
     source: &dyn RangedEdgeSource,
     range: (u64, u64),
@@ -252,11 +274,15 @@ pub fn shard_clustering(
     degrees: &DegreeTable,
     volume_cap: u64,
     num_vertices: u64,
+    compact_ids: bool,
 ) -> io::Result<Clustering> {
     let mut s = source.open_range(range.0, range.1)?;
     let mut c = Clustering::empty(num_vertices);
     for _ in 0..config.clustering_passes {
         clustering_pass(&mut s, degrees, volume_cap, &mut c)?;
+    }
+    if compact_ids {
+        c.compact_ids();
     }
     Ok(c)
 }
@@ -275,34 +301,38 @@ pub fn cluster_placement(
 }
 
 /// Phase 2 for one shard: the pre-partitioning and scoring subpasses with
-/// quota-sliced loads and a sharded replication matrix.
+/// quota-sliced loads, generic over the replication state.
 ///
-/// The assigner survives the replication barrier between the two subpasses
-/// — run [`prepartition_pass`](ShardAssigner::prepartition_pass), exchange
-/// [`replication_shard`](ShardAssigner::replication_shard) /
-/// [`install_replication`](ShardAssigner::install_replication), then run
-/// [`remaining_pass`](ShardAssigner::remaining_pass). Both the in-process
-/// runner and `tps-dist`'s workers drive exactly this sequence.
-pub struct ShardAssigner<'a> {
+/// The assigner survives the replication barrier between the two subpasses.
+/// With an owned [`ReplicationMatrix`] (the default — `tps-dist`'s
+/// workers): run [`prepartition_pass`](ShardAssigner::prepartition_pass),
+/// exchange [`replication_shard`](ShardAssigner::replication_shard) /
+/// [`install_replication`](ShardAssigner::install_replication) (or the
+/// chunked [`install_replication_range`](ShardAssigner::install_replication_range)),
+/// then run [`remaining_pass`](ShardAssigner::remaining_pass). With a
+/// [`SharedReplicaView`] (the in-process runner): the barrier is just
+/// [`freeze_replication`](ShardAssigner::freeze_replication) — the shared
+/// matrix already holds the union of every worker's pre-partition writes.
+pub struct ShardAssigner<'a, R: ReplicaSet = ReplicationMatrix> {
     config: TwoPhaseConfig,
-    inner: EdgeAssigner<'a, ShardLoads<'a>>,
+    inner: EdgeAssigner<'a, ShardLoads<'a>, R>,
 }
 
-impl<'a> ShardAssigner<'a> {
+impl<'a, R: ReplicaSet> ShardAssigner<'a, R> {
     /// An assigner over the merged phase-1 state for one shard.
     pub fn new(
         config: TwoPhaseConfig,
         degrees: &'a DegreeTable,
         clustering: &'a Clustering,
         placement: &'a ClusterPlacement,
-        num_vertices: u64,
+        replicas: R,
         loads: ShardLoads<'a>,
     ) -> Self {
         let inner = EdgeAssigner::new(
             degrees,
             clustering,
             placement,
-            num_vertices,
+            replicas,
             loads,
             config.hash_seed,
         );
@@ -320,17 +350,6 @@ impl<'a> ShardAssigner<'a> {
             self.inner.prepartition_edge(edge, sink)?;
         }
         Ok(())
-    }
-
-    /// The replicas this shard's assignments created so far (what crosses
-    /// the prepartition/scoring barrier).
-    pub fn replication_shard(&self) -> &ReplicationMatrix {
-        &self.inner.v2p
-    }
-
-    /// Replace this shard's replica view with the OR-merged global matrix.
-    pub fn install_replication(&mut self, merged: ReplicationMatrix) {
-        self.inner.v2p = merged;
     }
 
     /// The scoring subpass over this shard's edges (skipping edges the
@@ -364,6 +383,44 @@ impl<'a> ShardAssigner<'a> {
     /// Ledger-witnessed cap overshoots (see [`ShardLoads::overshoot`]).
     pub fn overshoot(&self) -> u64 {
         self.inner.loads.overshoot()
+    }
+}
+
+impl<'a> ShardAssigner<'a, ReplicationMatrix> {
+    /// The replicas this shard's assignments created so far (what crosses
+    /// the prepartition/scoring barrier in a distributed run).
+    pub fn replication_shard(&self) -> &ReplicationMatrix {
+        &self.inner.v2p
+    }
+
+    /// Replace this shard's replica view with the OR-merged global matrix.
+    pub fn install_replication(&mut self, merged: ReplicationMatrix) {
+        self.inner.v2p = merged;
+    }
+
+    /// Replace the packed words of the vertex range starting at `v0` with
+    /// the merged words of one replication chunk (`tps-dist` protocol v3:
+    /// the barrier arrives as bounded vertex-range frames rather than one
+    /// whole-matrix message).
+    pub fn install_replication_range(&mut self, v0: u64, words: &[u64]) -> Result<(), String> {
+        self.inner.v2p.install_range_words(v0, words)
+    }
+}
+
+impl<'a> ShardAssigner<'a, SharedReplicaView<'a>> {
+    /// The in-process replication barrier: stop writing through to the
+    /// shared matrix (it now holds the union of every worker's
+    /// pre-partition replicas) and keep scoring-subpass writes in this
+    /// worker's private overlay. Must be called after *all* workers'
+    /// pre-partition passes have joined.
+    pub fn freeze_replication(&mut self) {
+        self.inner.v2p.freeze();
+    }
+
+    /// Words held privately by this worker's post-freeze overlay (memory
+    /// accounting: the worker's own scoring-time replicas).
+    pub fn overlay_words(&self) -> usize {
+        self.inner.v2p.overlay_words()
     }
 }
 
@@ -481,6 +538,7 @@ impl ParallelRunner {
                 &degrees,
                 cap,
                 info.num_vertices,
+                threads > 1,
             )
         })?;
         let clustering = merge_clusterings(&locals, &degrees);
@@ -494,17 +552,20 @@ impl ParallelRunner {
 
         // Phase 2 step 2: the pre-partitioning subpass per range. Targets
         // depend only on the (merged) clustering, placement and load quotas
-        // — not on replica state — so running it first and merging the
-        // per-worker replication shards afterwards is deterministic.
+        // — not on replica state — so every worker writing its replicas
+        // into the one shared atomic matrix (relaxed fetch_or, no reads)
+        // is deterministic, and the matrix at the barrier equals the
+        // OR-merge of the old per-worker shards for any interleaving.
         let t3 = Instant::now();
         let shared = AtomicLoads::new(params.k, info.num_edges, params.alpha);
+        let replicas = AtomicReplicationMatrix::new(info.num_vertices, params.k);
         let mut states = run_workers(&ranges, |t, (a, b)| {
             let mut assigner = ShardAssigner::new(
                 self.config,
                 &degrees,
                 &clustering,
                 &placement,
-                info.num_vertices,
+                SharedReplicaView::new(&replicas),
                 ShardLoads::with_ledger(&shared, t, threads),
             );
             let mut spool = factory.create_spool(t)?;
@@ -516,22 +577,13 @@ impl ParallelRunner {
         })?;
         report.phases.record("prepartition", t3.elapsed());
 
-        // Barrier: union the sharded replication matrices so every worker
-        // scores the remaining edges with global visibility of the replicas
-        // the pre-partitioning subpass created (OR is order-independent).
-        if threads > 1 && self.config.prepartitioning {
-            let mut merged = states[0].0.replication_shard().clone();
-            for (assigner, _) in &states[1..] {
-                merged.merge_from(assigner.replication_shard());
-            }
-            // One matrix clone per shard total: the last install moves
-            // `merged` instead of cloning it (the matrices are O(|V|·k)
-            // bits, the dominant state at scale).
-            let last = states.len() - 1;
-            for (assigner, _) in &mut states[..last] {
-                assigner.install_replication(merged.clone());
-            }
-            states[last].0.install_replication(merged);
+        // Barrier: freeze every worker's view. No merge and no copies —
+        // the shared matrix already holds the union; scoring-subpass
+        // writes go to per-worker sparse overlays so each worker sees
+        // exactly "merged ∪ its own scoring replicas" (the sharded-path
+        // semantics, at the serial memory bound).
+        for (assigner, _) in &mut states {
+            assigner.freeze_replication();
         }
 
         // Phase 2 step 3: score-and-assign the remaining edges per range.
@@ -828,10 +880,26 @@ mod tests {
             shard_degrees(&g, ranges[2], g.num_vertices()).unwrap(),
         ]);
         let cap = resolve_volume_cap(&config, k, &merged);
-        let c1 =
-            shard_clustering(&g, ranges[shard], &config, &merged, cap, g.num_vertices()).unwrap();
-        let c2 =
-            shard_clustering(&g, ranges[shard], &config, &merged, cap, g.num_vertices()).unwrap();
+        let c1 = shard_clustering(
+            &g,
+            ranges[shard],
+            &config,
+            &merged,
+            cap,
+            g.num_vertices(),
+            true,
+        )
+        .unwrap();
+        let c2 = shard_clustering(
+            &g,
+            ranges[shard],
+            &config,
+            &merged,
+            cap,
+            g.num_vertices(),
+            true,
+        )
+        .unwrap();
         let mut e1 = Vec::new();
         c1.encode_into(&mut e1);
         let mut e2 = Vec::new();
@@ -852,7 +920,7 @@ mod tests {
                     &merged,
                     &clustering,
                     &placement,
-                    g.num_vertices(),
+                    ReplicationMatrix::new(g.num_vertices(), k),
                     ShardLoads::standalone(k, cap2, shard, threads),
                 );
                 let mut sink = VecSink::new();
@@ -864,7 +932,7 @@ mod tests {
                 &merged,
                 &clustering,
                 &placement,
-                g.num_vertices(),
+                ReplicationMatrix::new(g.num_vertices(), k),
                 ShardLoads::standalone(k, cap2, shard, threads),
             );
             let mut sink = VecSink::new();

@@ -27,7 +27,7 @@ use tps_graph::degree::DegreeTable;
 use tps_graph::hash::seeded_hash_to_partition;
 use tps_graph::stream::{discover_info, EdgeStream};
 use tps_graph::types::{Edge, PartitionId};
-use tps_metrics::bitmatrix::ReplicationMatrix;
+use tps_metrics::bitmatrix::{ReplicaSet, ReplicationMatrix};
 
 use crate::balance::{LoadTracker, PartitionLoads};
 use crate::partitioner::{PartitionParams, Partitioner, RunReport};
@@ -162,36 +162,36 @@ impl AssignCounters {
     }
 }
 
-/// The phase-2 per-edge decision kernel, generic over the load tracker so
-/// the serial runner ([`TwoPhasePartitioner`]) and the chunk-parallel runner
-/// ([`crate::parallel::ParallelRunner`]) execute the *same* decision path —
-/// a one-thread parallel run is bit-identical to a serial run by
-/// construction, not by testing alone.
-pub(crate) struct EdgeAssigner<'a, L: LoadTracker> {
+/// The phase-2 per-edge decision kernel, generic over the load tracker and
+/// the replication state so the serial runner ([`TwoPhasePartitioner`]),
+/// the chunk-parallel runner ([`crate::parallel::ParallelRunner`], over a
+/// shared atomic matrix) and the distributed worker (owned per-shard
+/// matrix) execute the *same* decision path — a one-thread parallel run is
+/// bit-identical to a serial run by construction, not by testing alone.
+pub(crate) struct EdgeAssigner<'a, L: LoadTracker, R: ReplicaSet> {
     pub(crate) degrees: &'a DegreeTable,
     pub(crate) clustering: &'a Clustering,
     pub(crate) placement: &'a ClusterPlacement,
-    pub(crate) v2p: ReplicationMatrix,
+    pub(crate) v2p: R,
     pub(crate) loads: L,
     pub(crate) hash_seed: u64,
     pub(crate) counters: AssignCounters,
 }
 
-impl<'a, L: LoadTracker> EdgeAssigner<'a, L> {
+impl<'a, L: LoadTracker, R: ReplicaSet> EdgeAssigner<'a, L, R> {
     pub(crate) fn new(
         degrees: &'a DegreeTable,
         clustering: &'a Clustering,
         placement: &'a ClusterPlacement,
-        num_vertices: u64,
+        replicas: R,
         loads: L,
         hash_seed: u64,
     ) -> Self {
-        let k = loads.k();
         EdgeAssigner {
             degrees,
             clustering,
             placement,
-            v2p: ReplicationMatrix::new(num_vertices, k),
+            v2p: replicas,
             loads,
             hash_seed,
             counters: AssignCounters::default(),
@@ -206,8 +206,8 @@ impl<'a, L: LoadTracker> EdgeAssigner<'a, L> {
         p: PartitionId,
         sink: &mut dyn AssignmentSink,
     ) -> io::Result<()> {
-        self.v2p.set(edge.src, p);
-        self.v2p.set(edge.dst, p);
+        self.v2p.insert(edge.src, p);
+        self.v2p.insert(edge.dst, p);
         self.loads.add(p);
         sink.assign(edge, p)
     }
@@ -396,7 +396,7 @@ impl Partitioner for TwoPhasePartitioner {
             &degrees,
             &clustering,
             &placement,
-            info.num_vertices,
+            ReplicationMatrix::new(info.num_vertices, params.k),
             PartitionLoads::new(params.k, info.num_edges, params.alpha),
             self.config.hash_seed,
         );

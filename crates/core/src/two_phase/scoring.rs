@@ -27,7 +27,7 @@
 //! k** partitions (Petroni et al., CIKM'15).
 
 use tps_graph::types::{PartitionId, VertexId};
-use tps_metrics::bitmatrix::ReplicationMatrix;
+use tps_metrics::bitmatrix::ReplicaSet;
 
 /// Everything the two-choice score needs to know about one edge.
 #[derive(Clone, Copy, Debug)]
@@ -62,9 +62,12 @@ fn g_term(replicated: bool, d_self: u64, d_sum: u64) -> f64 {
     }
 }
 
-/// The 2PS-L score `s(u, v, p)` for candidate partition `p`.
+/// The 2PS-L score `s(u, v, p)` for candidate partition `p`. Generic over
+/// the replication state so the owned-matrix (serial, dist worker) and
+/// shared-matrix (chunk-parallel) kernels score identically by
+/// construction.
 #[inline]
-pub fn two_choice_score(inputs: &EdgeScoreInputs, p: PartitionId, v2p: &ReplicationMatrix) -> f64 {
+pub fn two_choice_score<R: ReplicaSet>(inputs: &EdgeScoreInputs, p: PartitionId, v2p: &R) -> f64 {
     let d_sum = inputs.du + inputs.dv;
     let vol_sum = (inputs.vol_cu + inputs.vol_cv) as f64;
     debug_assert!(
@@ -72,8 +75,8 @@ pub fn two_choice_score(inputs: &EdgeScoreInputs, p: PartitionId, v2p: &Replicat
         "clusters of edge endpoints cannot both be empty"
     );
     let mut score = 0.0;
-    score += g_term(v2p.get(inputs.u, p), inputs.du, d_sum);
-    score += g_term(v2p.get(inputs.v, p), inputs.dv, d_sum);
+    score += g_term(v2p.contains(inputs.u, p), inputs.du, d_sum);
+    score += g_term(v2p.contains(inputs.v, p), inputs.dv, d_sum);
     if inputs.pu == p {
         score += inputs.vol_cu as f64 / vol_sum;
     }
@@ -87,7 +90,7 @@ pub fn two_choice_score(inputs: &EdgeScoreInputs, p: PartitionId, v2p: &Replicat
 /// Ties favour `pu` (the first endpoint's cluster partition), matching the
 /// strict `>` comparison of Algorithm 2.
 #[inline]
-pub fn two_choice_best(inputs: &EdgeScoreInputs, v2p: &ReplicationMatrix) -> PartitionId {
+pub fn two_choice_best<R: ReplicaSet>(inputs: &EdgeScoreInputs, v2p: &R) -> PartitionId {
     if inputs.pu == inputs.pv {
         return inputs.pu;
     }
@@ -124,20 +127,20 @@ impl Default for HdrfParams {
 /// params struct would only obscure the correspondence.
 #[allow(clippy::too_many_arguments)]
 #[inline]
-pub fn hdrf_score(
+pub fn hdrf_score<R: ReplicaSet>(
     u: VertexId,
     v: VertexId,
     du: u64,
     dv: u64,
     p: PartitionId,
-    v2p: &ReplicationMatrix,
+    v2p: &R,
     load: u64,
     max_load: u64,
     min_load: u64,
     params: &HdrfParams,
 ) -> f64 {
     let d_sum = du + dv;
-    let c_rep = g_term(v2p.get(u, p), du, d_sum) + g_term(v2p.get(v, p), dv, d_sum);
+    let c_rep = g_term(v2p.contains(u, p), du, d_sum) + g_term(v2p.contains(v, p), dv, d_sum);
     let c_bal =
         (max_load as f64 - load as f64) / (params.epsilon + max_load as f64 - min_load as f64);
     c_rep + params.lambda * c_bal
@@ -146,6 +149,7 @@ pub fn hdrf_score(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tps_metrics::bitmatrix::ReplicationMatrix;
 
     fn inputs(du: u64, dv: u64, vol_cu: u64, vol_cv: u64) -> EdgeScoreInputs {
         EdgeScoreInputs {

@@ -7,9 +7,17 @@
 //! * the shard map is [`tps_graph::ranged::split_even`] over the edge count
 //!   — the same ranges `--threads N` uses, which is the precondition for
 //!   bit-identical output;
-//! * degree tables, clusterings and replication shards are merged in shard
-//!   order with the same merge functions (`merge_degree_tables`,
-//!   `merge_clusterings`, `ReplicationMatrix::merge_from`);
+//! * degree tables and clusterings are merged in shard order with the same
+//!   merge functions (`merge_degree_tables`, `merge_clusterings`);
+//!   replication state is merged **one vertex-range chunk at a time**
+//!   (protocol v3): for each chunk the coordinator ORs every shard's
+//!   contribution into one bounded word buffer, encodes the merged chunk
+//!   once, broadcasts it, and drops the buffer — it never materialises a
+//!   whole `O(|V|·k)` matrix, and no barrier frame can outgrow
+//!   [`MAX_FRAME_LEN`](crate::wire::MAX_FRAME_LEN) (OR is commutative,
+//!   associative *and idempotent*, so chunk-at-a-time merging — and even
+//!   re-merging a recovering worker's identical resends — cannot change
+//!   the result);
 //! * assignments are pulled back shard-by-shard in shard order as bounded
 //!   [`Run`](crate::protocol::Message::Run) batches, so the coordinator
 //!   never materialises a full shard's output and the emitted stream equals
@@ -35,7 +43,8 @@
 //!    the source for that range (its `Degrees`/`LocalClustering` resends
 //!    are byte-identical by determinism and discarded when the barrier
 //!    already passed), and phase-2 state is re-entered by re-broadcasting
-//!    the stored encoded `Globals`/`Plan`/`MergedReplication` frames;
+//!    the stored encoded `Globals`/`Plan` frames and the merged
+//!    replication chunks the barrier has completed so far;
 //! 4. a shard that died mid-`Run` stream resumes exactly: the coordinator
 //!    skips the records it already emitted (the replacement's replay is
 //!    bit-identical, so the skip is a provably safe fast-forward).
@@ -64,9 +73,8 @@ use tps_core::two_phase::{AssignCounters, TwoPhaseConfig};
 use tps_graph::degree::DegreeTable;
 use tps_graph::ranged::split_even;
 use tps_graph::types::GraphInfo;
-use tps_metrics::bitmatrix::ReplicationMatrix;
 
-use crate::protocol::{InputDescriptor, Job, Message, PROTOCOL_VERSION};
+use crate::protocol::{InputDescriptor, Job, Message, ReplChunks, PROTOCOL_VERSION};
 use crate::transport::{recv_msg, send_msg, Transport};
 use crate::wire::corrupt;
 
@@ -123,10 +131,10 @@ impl WorkerSupply for NoReplacements {
 }
 
 /// The per-shard protocol step the coordinator is about to perform; every
-/// step strictly before it has completed for that shard (the global barrier
-/// loops guarantee this), which is exactly what a replacement worker must
-/// be caught up through.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+/// step strictly before it (in [`Stage::rank`] order) has completed for
+/// that shard (the global barrier loops guarantee this), which is exactly
+/// what a replacement worker must be caught up through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Stage {
     /// Receive the shard's degree table.
     Degrees,
@@ -136,14 +144,45 @@ enum Stage {
     Clustering,
     /// Send the merged plan frame.
     Plan,
-    /// Receive the shard's replication matrix (pre-partitioning, N > 1).
-    Replication,
-    /// Send the merged replication frame (pre-partitioning, N > 1).
-    MergedRepl,
+    /// Receive the shard's replication chunk `c` (pre-partitioning, N > 1).
+    Replication(u32),
+    /// Send the merged replication chunk `c` (pre-partitioning, N > 1).
+    MergedRepl(u32),
     /// Receive the shard's phase-2 summary.
     Done,
     /// Pull the shard's assignment runs.
     Emit,
+}
+
+impl Stage {
+    /// Protocol-order rank. The chunked replication rounds *interleave*
+    /// (`Replication(0) < MergedRepl(0) < Replication(1) < …`), so a
+    /// derived enum ordering — all `Replication` before all `MergedRepl` —
+    /// would mis-order them; catch-up depends on this rank.
+    fn rank(self) -> (u8, u64) {
+        match self {
+            Stage::Degrees => (0, 0),
+            Stage::Globals => (1, 0),
+            Stage::Clustering => (2, 0),
+            Stage::Plan => (3, 0),
+            Stage::Replication(c) => (4, 2 * c as u64),
+            Stage::MergedRepl(c) => (4, 2 * c as u64 + 1),
+            Stage::Done => (5, 0),
+            Stage::Emit => (6, 0),
+        }
+    }
+}
+
+impl PartialOrd for Stage {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Stage {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rank().cmp(&other.rank())
+    }
 }
 
 /// An error during one shard step, classified for the retry loop.
@@ -165,7 +204,6 @@ enum StageOut {
     None,
     Degrees(DegreeTable),
     Clustering(Clustering),
-    Replication(ReplicationMatrix),
 }
 
 struct ShardState {
@@ -224,7 +262,9 @@ pub fn run_coordinator(
         last_handshake_err: None,
         globals_frame: None,
         plan_frame: None,
-        merged_repl_frame: None,
+        repl_chunks: ReplChunks::new(info.num_vertices, params.k),
+        repl_acc: Vec::new(),
+        merged_repl_frames: Vec::new(),
     };
     let result = co.drive(sink);
     if let Err(e) = &result {
@@ -260,7 +300,16 @@ struct Coordinator<'a> {
     /// worker and every catch-up (ROADMAP "transport efficiency").
     globals_frame: Option<Vec<u8>>,
     plan_frame: Option<Vec<u8>>,
-    merged_repl_frame: Option<Vec<u8>>,
+    /// The deterministic vertex-range chunking of the replication barrier.
+    repl_chunks: ReplChunks,
+    /// The chunk currently being merged: one bounded word buffer, ORed
+    /// into by every shard's `Replication(c)` stage, then encoded and
+    /// dropped — the coordinator never holds a whole matrix.
+    repl_acc: Vec<u64>,
+    /// Merged replication chunks, encoded once per completed round and
+    /// reused for every worker and every catch-up (zero-word-run encoded,
+    /// so this recovery state is small on sparse graphs).
+    merged_repl_frames: Vec<Vec<u8>>,
 }
 
 impl Coordinator<'_> {
@@ -348,24 +397,24 @@ impl Coordinator<'_> {
             self.advance(s, Stage::Plan, sink)?;
         }
 
-        // Phase 2 step 2 barrier: OR the replication shards (skipped exactly
-        // when the in-process runner skips its merge).
+        // Phase 2 step 2 barrier: OR the replication state one vertex-range
+        // chunk at a time (skipped exactly when the in-process runner skips
+        // its barrier). Each round merges every shard's chunk into one
+        // bounded buffer, encodes the merged chunk once, broadcasts it, and
+        // drops the buffer — `O(chunk)` live merge state, never `O(|V|·k)`.
         let t3 = Instant::now();
         if self.replication_active() {
-            let mut merged: Option<ReplicationMatrix> = None;
-            for s in 0..self.n {
-                match self.advance(s, Stage::Replication, sink)? {
-                    StageOut::Replication(m) => match &mut merged {
-                        None => merged = Some(m),
-                        Some(acc) => acc.merge_from(&m),
-                    },
-                    _ => unreachable!("Replication stage yields a matrix"),
+            for c in 0..self.repl_chunks.count() {
+                self.repl_acc = vec![0u64; self.repl_chunks.words_in_chunk(c)];
+                for s in 0..self.n {
+                    self.advance(s, Stage::Replication(c), sink)?;
                 }
-            }
-            let merged = merged.expect("n > 1 shards merged");
-            self.merged_repl_frame = Some(Message::MergedReplication(merged).encode());
-            for s in 0..self.n {
-                self.advance(s, Stage::MergedRepl, sink)?;
+                let words = std::mem::take(&mut self.repl_acc);
+                self.merged_repl_frames
+                    .push(Message::MergedReplicationChunk { chunk: c, words }.encode());
+                for s in 0..self.n {
+                    self.advance(s, Stage::MergedRepl(c), sink)?;
+                }
             }
         }
         report.phases.record("prepartition", t3.elapsed());
@@ -589,24 +638,42 @@ impl Coordinator<'_> {
         }
         t.send(self.plan_frame.as_ref().expect("past clustering barrier"))?;
         if self.replication_active() {
-            if target <= Stage::Replication {
-                return Ok(());
+            // Replay the completed chunk rounds: the replacement resends
+            // every chunk eagerly (bit-identical by determinism), so the
+            // already-merged ones are consumed and discarded, and the
+            // stored merged frames re-enter it into the barrier exactly
+            // where the round loop stands.
+            for c in 0..self.repl_chunks.count() {
+                if target <= Stage::Replication(c) {
+                    return Ok(());
+                }
+                self.replay_recv_chunk(t, s, c)?;
+                if target <= Stage::MergedRepl(c) {
+                    return Ok(());
+                }
+                t.send(&self.merged_repl_frames[c as usize])?;
             }
-            self.replay_recv(t, s, 7, "catch-up replication")?;
-            if target <= Stage::MergedRepl {
-                return Ok(());
-            }
-            t.send(
-                self.merged_repl_frame
-                    .as_ref()
-                    .expect("past replication barrier"),
-            )?;
         }
         if target <= Stage::Done {
             return Ok(());
         }
         self.replay_recv(t, s, 9, "catch-up summary")?;
         Ok(())
+    }
+
+    /// Receive and discard a replayed replication chunk whose round already
+    /// completed, insisting on the expected chunk index and current epoch.
+    fn replay_recv_chunk(&self, t: &mut dyn Transport, s: usize, c: u32) -> io::Result<()> {
+        match self.recv_current(t, s, "catch-up replication")? {
+            Message::ReplicationChunk { chunk, .. } if chunk == c => Ok(()),
+            Message::ReplicationChunk { chunk, .. } => Err(corrupt(format!(
+                "catch-up replication: chunk {chunk} arrived out of order (expected {c})"
+            ))),
+            other => Err(corrupt(format!(
+                "catch-up replication: expected ReplicationChunk, got {}",
+                Message::tag_name(other.tag())
+            ))),
+        }
     }
 
     /// Receive and discard a replayed contribution whose barrier already
@@ -708,33 +775,52 @@ impl Coordinator<'_> {
                     .map_err(StageErr::Worker)?;
                 Ok(StageOut::None)
             }
-            Stage::Replication => {
+            Stage::Replication(c) => {
                 match self
                     .recv_current(t, s, "prepartition")
                     .map_err(StageErr::Worker)?
                 {
-                    Message::ReplicationShard { matrix, .. } => {
-                        if matrix.num_vertices() != self.info.num_vertices || matrix.k() != self.k {
+                    Message::ReplicationChunk { chunk, words, .. } => {
+                        if chunk != c {
                             return Err(StageErr::worker(format!(
-                                "shard {s} sent a {}×{} replication shard, expected {}×{}",
-                                matrix.num_vertices(),
-                                matrix.k(),
-                                self.info.num_vertices,
-                                self.k
+                                "shard {s} sent replication chunk {chunk} out of order \
+                                 (expected {c})"
                             )));
                         }
-                        Ok(StageOut::Replication(matrix))
+                        if words.len() != self.repl_acc.len() {
+                            return Err(StageErr::worker(format!(
+                                "shard {s} sent {} words for replication chunk {c}, expected {}",
+                                words.len(),
+                                self.repl_acc.len()
+                            )));
+                        }
+                        // Reject malformed rows *before* merging: the
+                        // accumulator is immutable once encoded, so one
+                        // poisoned contribution (e.g. stray bits beyond
+                        // partition k−1) would otherwise fail every
+                        // worker's install of the merged chunk (and every
+                        // catch-up replay of it) — a whole-job failure
+                        // where dropping the one faulty worker suffices.
+                        if let Err(e) = tps_metrics::bitmatrix::validate_packed_rows(&words, self.k)
+                        {
+                            return Err(StageErr::worker(format!(
+                                "shard {s}, replication chunk {c}: {e}"
+                            )));
+                        }
+                        // OR into the round's accumulator. Idempotent, so a
+                        // recovering worker's identical re-send of an
+                        // already-merged chunk cannot change the result.
+                        for (acc, &w) in self.repl_acc.iter_mut().zip(&words) {
+                            *acc |= w;
+                        }
+                        Ok(StageOut::None)
                     }
                     other => Err(unexpected(s, "prepartition", &other)),
                 }
             }
-            Stage::MergedRepl => {
-                t.send(
-                    self.merged_repl_frame
-                        .as_ref()
-                        .expect("encoded at the barrier"),
-                )
-                .map_err(StageErr::Worker)?;
+            Stage::MergedRepl(c) => {
+                t.send(&self.merged_repl_frames[c as usize])
+                    .map_err(StageErr::Worker)?;
                 Ok(StageOut::None)
             }
             Stage::Done => match self

@@ -37,8 +37,11 @@
 //! a standby, an idle completed worker, or a connection produced by a
 //! [`WorkerSupply`] (reconnecting workers handshake with `Rejoin`). Phase-1
 //! state is recomputed from the source per range; phase 2 is re-entered by
-//! re-broadcasting the stored encoded `Globals`/`Plan`/`MergedReplication`
-//! frames; a shard that died mid-`Run` stream resumes by skipping the
+//! re-broadcasting the stored encoded `Globals`/`Plan` frames and the
+//! merged replication chunks (protocol v3 splits that barrier into
+//! bounded vertex-range `ReplicationChunk`/`MergedReplicationChunk`
+//! frames) through exactly the chunk rounds the barrier has completed;
+//! a shard that died mid-`Run` stream resumes by skipping the
 //! records already emitted. Output stays **bit-identical to `--threads N`**
 //! no matter which worker dies where — see [`coordinator`] and the chaos
 //! tests in `tests/tests/dist_fault.rs`.
@@ -74,7 +77,7 @@ pub mod worker;
 pub use coordinator::{run_coordinator, FaultPolicy, NoReplacements, WorkerSupply};
 pub use fault::{FaultTransport, KillMode, KillPoint, KillSpec};
 pub use local::run_dist_local;
-pub use protocol::{InputDescriptor, Job, Message, PROTOCOL_VERSION};
+pub use protocol::{InputDescriptor, Job, Message, ReplChunks, PROTOCOL_VERSION};
 pub use transport::{
     loopback_pair, LoopbackTransport, TcpTransport, TraceEvent, TraceTransport, Transport,
 };

@@ -11,8 +11,8 @@
 //! | 4 | C → W | `Globals` (4) | merged degrees + resolved cluster volume cap |
 //! | 5 | W → C | `LocalClustering` (5) | shard/epoch + the shard's phase-1 clustering |
 //! | 6 | C → W | `Plan` (6) | merged clustering + cluster→partition map |
-//! | 7 | W → C | `ReplicationShard` (7) | shard/epoch + pre-partitioning replica bits (N > 1 only) |
-//! | 8 | C → W | `MergedReplication` (8) | OR of all shards (N > 1 only) |
+//! | 7 | W → C | `ReplicationChunk` (7) × c | shard/epoch + one vertex-range of pre-partitioning replica bits (N > 1 only) |
+//! | 8 | C → W | `MergedReplicationChunk` (8) × c | OR of all shards over that vertex range (N > 1 only) |
 //! | 9 | W → C | `ShardDone` (9) | shard/epoch + phase-2 counters + per-partition loads |
 //! | 10 | C → W | `Pull` (10) | request this shard's assignment runs |
 //! | 11 | W → C | `Run` (11) | shard/epoch + one bounded batch of `(edge, partition)` records |
@@ -26,6 +26,23 @@
 //! (step 10), which is what makes the emitted stream bit-identical to the
 //! in-process runner's worker-order replay without the coordinator ever
 //! holding more than one `Run` batch in memory.
+//!
+//! # Vertex-range-chunked replication barrier (protocol v3)
+//!
+//! The replication barrier used to ship the whole `O(|V|·k)`-bit matrix as
+//! one frame each way, which overflows the 1 GiB `MAX_FRAME_LEN` sanity
+//! cap around `|V|·⌈k/64⌉ ≈ 134M` words. v3 splits the barrier into
+//! deterministic **vertex-range chunks** ([`ReplChunks`], derived
+//! identically on both sides from `(|V|, k)`): a worker sends one
+//! [`ReplicationChunk`](Message::ReplicationChunk) per range, the
+//! coordinator ORs each range across shards and broadcasts one
+//! [`MergedReplicationChunk`](Message::MergedReplicationChunk) back per
+//! range — merging and re-broadcasting *ranges* instead of whole matrices,
+//! so every barrier frame is bounded (~[`REPL_CHUNK_WORDS`] words) and the
+//! coordinator's live merge state is one range, not one matrix. Chunk
+//! payloads use zero-word-run encoding ([`crate::wire::put_word_runs`]):
+//! replication rows are mostly zero on sparse graphs, so the frames are
+//! usually far below the bound too.
 //!
 //! # Fault tolerance (protocol v2)
 //!
@@ -54,20 +71,77 @@ use tps_core::two_phase::scoring::HdrfParams;
 use tps_core::two_phase::{AssignCounters, MappingStrategy, RemainingStrategy, TwoPhaseConfig};
 use tps_graph::types::{Edge, PartitionId};
 use tps_io::ReaderBackend;
-use tps_metrics::bitmatrix::ReplicationMatrix;
 
 use crate::wire::{
-    corrupt, put_f64, put_string, put_u32, put_u64, put_vec_u32, put_vec_u64, Reader,
+    corrupt, put_f64, put_string, put_u32, put_u64, put_vec_u32, put_vec_u64, put_word_runs, Reader,
 };
 
 /// Protocol version pinned by the `Hello`/`Rejoin` handshake. Bump on any
 /// schema change — there is no in-band negotiation. v2 added per-shard
-/// epochs and the `Rejoin`/`Reissue` recovery frames.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// epochs and the `Rejoin`/`Reissue` recovery frames; v3 replaced the
+/// whole-matrix `ReplicationShard`/`MergedReplication` barrier with
+/// vertex-range `ReplicationChunk`/`MergedReplicationChunk` frames
+/// (zero-word-run encoded, bounded size).
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Edges per `Run` frame (bounded so neither side buffers a full shard:
 /// 8192 records ≈ 96 KiB on the wire).
 pub const RUN_BATCH_EDGES: usize = 8192;
+
+/// Target packed words per replication chunk (1 MiB of bits). The actual
+/// per-frame word count is `chunk_vertices × ⌈k/64⌉ ≤ max(this, ⌈k/64⌉)`
+/// — a chunk never splits a vertex row, so a single row larger than the
+/// target (k beyond 8M partitions) becomes one chunk by itself.
+pub const REPL_CHUNK_WORDS: usize = 1 << 17;
+
+/// The deterministic vertex-range chunking of the replication barrier,
+/// derived identically by the coordinator and every worker from the job's
+/// `(num_vertices, k)` — chunk geometry never crosses the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplChunks {
+    num_vertices: u64,
+    words_per_vertex: usize,
+    chunk_vertices: u64,
+}
+
+impl ReplChunks {
+    /// The chunking for a `num_vertices × k` replication matrix.
+    pub fn new(num_vertices: u64, k: u32) -> ReplChunks {
+        assert!(k > 0, "k must be positive");
+        let words_per_vertex = (k as usize).div_ceil(64);
+        let chunk_vertices = (REPL_CHUNK_WORDS / words_per_vertex).max(1) as u64;
+        ReplChunks {
+            num_vertices,
+            words_per_vertex,
+            chunk_vertices,
+        }
+    }
+
+    /// Number of chunks (0 for an empty vertex set).
+    pub fn count(&self) -> u32 {
+        let n = self.num_vertices.div_ceil(self.chunk_vertices);
+        debug_assert!(n <= u32::MAX as u64, "chunk count overflows u32");
+        n as u32
+    }
+
+    /// The vertex range `[v0, v1)` of `chunk`.
+    pub fn vertex_range(&self, chunk: u32) -> (u64, u64) {
+        let v0 = chunk as u64 * self.chunk_vertices;
+        debug_assert!(v0 < self.num_vertices, "chunk {chunk} out of range");
+        (v0, (v0 + self.chunk_vertices).min(self.num_vertices))
+    }
+
+    /// Packed words carried by `chunk`.
+    pub fn words_in_chunk(&self, chunk: u32) -> usize {
+        let (v0, v1) = self.vertex_range(chunk);
+        (v1 - v0) as usize * self.words_per_vertex
+    }
+
+    /// Packed words per vertex row (`⌈k/64⌉`).
+    pub fn words_per_vertex(&self) -> usize {
+        self.words_per_vertex
+    }
+}
 
 /// How a worker obtains its edge source.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -161,17 +235,26 @@ pub enum Message {
         /// Cluster id → partition id.
         c2p: Vec<PartitionId>,
     },
-    /// A shard's pre-partitioning replication matrix.
-    ReplicationShard {
+    /// One vertex-range chunk of a shard's pre-partitioning replication
+    /// bits (chunk geometry: [`ReplChunks`]; sent in chunk order).
+    ReplicationChunk {
         /// Shard index this contribution is for.
         shard: u32,
         /// Issuance epoch the sender is serving.
         epoch: u32,
-        /// The shard's replica bits.
-        matrix: ReplicationMatrix,
+        /// Chunk index in `0..ReplChunks::count()`.
+        chunk: u32,
+        /// The chunk's packed words (zero-word-run encoded on the wire).
+        words: Vec<u64>,
     },
-    /// The OR of every shard's replication matrix.
-    MergedReplication(ReplicationMatrix),
+    /// One merged vertex-range chunk: the OR of every shard's
+    /// [`ReplicationChunk`](Message::ReplicationChunk) for that range.
+    MergedReplicationChunk {
+        /// Chunk index in `0..ReplChunks::count()`.
+        chunk: u32,
+        /// The merged packed words (zero-word-run encoded on the wire).
+        words: Vec<u64>,
+    },
     /// A shard's phase-2 summary.
     ShardDone {
         /// Shard index this summary is for.
@@ -222,8 +305,8 @@ impl Message {
             Message::Globals { .. } => 4,
             Message::LocalClustering { .. } => 5,
             Message::Plan { .. } => 6,
-            Message::ReplicationShard { .. } => 7,
-            Message::MergedReplication(_) => 8,
+            Message::ReplicationChunk { .. } => 7,
+            Message::MergedReplicationChunk { .. } => 8,
             Message::ShardDone { .. } => 9,
             Message::Pull => 10,
             Message::Run { .. } => 11,
@@ -244,8 +327,8 @@ impl Message {
             4 => "Globals",
             5 => "LocalClustering",
             6 => "Plan",
-            7 => "ReplicationShard",
-            8 => "MergedReplication",
+            7 => "ReplicationChunk",
+            8 => "MergedReplicationChunk",
             9 => "ShardDone",
             10 => "Pull",
             11 => "Run",
@@ -264,7 +347,7 @@ impl Message {
         match self {
             Message::Degrees { shard, epoch, .. }
             | Message::LocalClustering { shard, epoch, .. }
-            | Message::ReplicationShard { shard, epoch, .. }
+            | Message::ReplicationChunk { shard, epoch, .. }
             | Message::ShardDone { shard, epoch, .. }
             | Message::Run { shard, epoch, .. }
             | Message::RunsDone { shard, epoch } => Some((*shard, *epoch)),
@@ -307,16 +390,21 @@ impl Message {
                 clustering.encode_into(&mut out);
                 put_vec_u32(&mut out, c2p);
             }
-            Message::ReplicationShard {
+            Message::ReplicationChunk {
                 shard,
                 epoch,
-                matrix,
+                chunk,
+                words,
             } => {
                 put_u32(&mut out, *shard);
                 put_u32(&mut out, *epoch);
-                matrix.encode_into(&mut out);
+                put_u32(&mut out, *chunk);
+                put_word_runs(&mut out, words);
             }
-            Message::MergedReplication(m) => m.encode_into(&mut out),
+            Message::MergedReplicationChunk { chunk, words } => {
+                put_u32(&mut out, *chunk);
+                put_word_runs(&mut out, words);
+            }
             Message::ShardDone {
                 shard,
                 epoch,
@@ -403,19 +491,18 @@ impl Message {
             7 => {
                 let shard = r.u32()?;
                 let epoch = r.u32()?;
-                let (matrix, rest) = ReplicationMatrix::decode_from(r.tail()).map_err(corrupt)?;
-                r.set_tail(rest);
-                Message::ReplicationShard {
+                let chunk = r.u32()?;
+                Message::ReplicationChunk {
                     shard,
                     epoch,
-                    matrix,
+                    chunk,
+                    words: r.word_runs()?,
                 }
             }
-            8 => {
-                let (m, rest) = ReplicationMatrix::decode_from(r.tail()).map_err(corrupt)?;
-                r.set_tail(rest);
-                Message::MergedReplication(m)
-            }
+            8 => Message::MergedReplicationChunk {
+                chunk: r.u32()?,
+                words: r.word_runs()?,
+            },
             9 => {
                 let shard = r.u32()?;
                 let epoch = r.u32()?;
@@ -733,7 +820,7 @@ mod tests {
     }
 
     #[test]
-    fn clustering_and_matrix_messages_roundtrip() {
+    fn clustering_and_replication_messages_roundtrip() {
         let c = Clustering::from_parts(vec![0, 1, u32::MAX], vec![3, 4]);
         let Message::Plan { clustering, c2p } = roundtrip(&Message::Plan {
             clustering: c.clone(),
@@ -759,22 +846,102 @@ mod tests {
         assert_eq!((shard, epoch), (1, 2));
         assert_eq!(clustering.volumes(), &[3, 4]);
 
-        let mut m = ReplicationMatrix::new(4, 70);
-        m.set(2, 65);
-        let Message::ReplicationShard {
-            shard,
-            epoch,
-            matrix,
-        } = roundtrip(&Message::ReplicationShard {
-            shard: 3,
-            epoch: 1,
-            matrix: m,
-        })
-        else {
-            panic!("tag changed");
-        };
-        assert_eq!((shard, epoch), (3, 1));
-        assert!(matrix.get(2, 65));
+        // Chunk payloads: empty, all-zero, and mixed-run words roundtrip.
+        for words in [vec![], vec![0u64; 9], vec![0, 7, 0, 0, 9]] {
+            let Message::ReplicationChunk {
+                shard,
+                epoch,
+                chunk,
+                words: back,
+            } = roundtrip(&Message::ReplicationChunk {
+                shard: 3,
+                epoch: 1,
+                chunk: 2,
+                words: words.clone(),
+            })
+            else {
+                panic!("tag changed");
+            };
+            assert_eq!((shard, epoch, chunk), (3, 1, 2));
+            assert_eq!(back, words);
+
+            let Message::MergedReplicationChunk { chunk, words: back } =
+                roundtrip(&Message::MergedReplicationChunk {
+                    chunk: 4,
+                    words: words.clone(),
+                })
+            else {
+                panic!("tag changed");
+            };
+            assert_eq!(chunk, 4);
+            assert_eq!(back, words);
+        }
+    }
+
+    #[test]
+    fn corrupt_replication_chunks_error_not_panic() {
+        let good = Message::ReplicationChunk {
+            shard: 0,
+            epoch: 0,
+            chunk: 1,
+            words: vec![0, 0, 5, 6],
+        }
+        .encode();
+        for cut in [1, 8, 13, good.len() - 1] {
+            assert!(Message::decode(&good[..cut]).is_err(), "cut {cut}");
+        }
+        // A word count past the sanity cap is corruption, not an
+        // allocation request.
+        let mut out = vec![7u8];
+        put_u32(&mut out, 0);
+        put_u32(&mut out, 0);
+        put_u32(&mut out, 0);
+        put_u32(&mut out, (crate::wire::MAX_RUN_WORDS + 1) as u32);
+        assert!(Message::decode(&out).is_err());
+        // Trailing garbage after a complete chunk body.
+        let mut trailing = good.clone();
+        trailing.push(9);
+        assert!(Message::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn chunk_geometry_is_deterministic_and_bounded() {
+        // Small graphs: one chunk covering everything.
+        let small = ReplChunks::new(1000, 8);
+        assert_eq!(small.count(), 1);
+        assert_eq!(small.vertex_range(0), (0, 1000));
+        assert_eq!(small.words_in_chunk(0), 1000);
+
+        // Empty vertex set: no chunks.
+        assert_eq!(ReplChunks::new(0, 8).count(), 0);
+
+        // Beyond the target: multiple chunks, exact cover, bounded words,
+        // ragged tail.
+        let big = ReplChunks::new(300_000, 8);
+        assert_eq!(big.count(), 3);
+        let mut covered = 0;
+        for c in 0..big.count() {
+            let (v0, v1) = big.vertex_range(c);
+            assert_eq!(v0, covered, "chunks must tile the vertex space");
+            assert!(big.words_in_chunk(c) <= REPL_CHUNK_WORDS);
+            covered = v1;
+        }
+        assert_eq!(covered, 300_000);
+        assert_eq!(big.words_in_chunk(2), 300_000 - 2 * REPL_CHUNK_WORDS);
+
+        // Wide k: fewer vertices per chunk, same bound.
+        let wide = ReplChunks::new(300_000, 130);
+        assert_eq!(wide.words_per_vertex(), 3);
+        assert!(wide.count() > big.count());
+        for c in 0..wide.count() {
+            assert!(wide.words_in_chunk(c) <= REPL_CHUNK_WORDS);
+        }
+
+        // Absurdly wide k (a vertex row larger than the target): one
+        // vertex per chunk, frame = one row.
+        let row = ReplChunks::new(4, u32::MAX);
+        assert_eq!(row.count(), 4);
+        assert_eq!(row.words_in_chunk(0), row.words_per_vertex());
     }
 
     #[test]

@@ -202,6 +202,75 @@ pub fn put_string(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
+/// Cap on the decoded length of one [`put_word_runs`] sequence (2^24 words
+/// = 128 MiB of packed bits). Replication chunks are far smaller (the
+/// chunking targets [`crate::protocol::REPL_CHUNK_WORDS`] words, and a
+/// single vertex row `⌈k/64⌉` can only exceed that for k in the millions);
+/// a count beyond this cap is treated as stream corruption rather than an
+/// allocation request — zero runs compress, so a tiny frame could
+/// otherwise demand an enormous buffer.
+pub const MAX_RUN_WORDS: usize = 1 << 24;
+
+/// Append a `u64`-word sequence with **zero-word-run encoding**: a `u32`
+/// total count, then greedy groups of `u32 zeros`, `u32 literals`,
+/// `literals × u64`. Replication-matrix rows are mostly zero on sparse
+/// graphs, so the run groups collapse the bulk of a chunk to a few bytes;
+/// the encoding is canonical (maximal runs), so equal word sequences
+/// encode to equal bytes.
+pub fn put_word_runs(out: &mut Vec<u8>, words: &[u64]) {
+    put_u32(out, words.len() as u32);
+    let mut i = 0;
+    while i < words.len() {
+        let zeros_start = i;
+        while i < words.len() && words[i] == 0 {
+            i += 1;
+        }
+        let lit_start = i;
+        while i < words.len() && words[i] != 0 {
+            i += 1;
+        }
+        put_u32(out, (lit_start - zeros_start) as u32);
+        put_u32(out, (i - lit_start) as u32);
+        for &w in &words[lit_start..i] {
+            put_u64(out, w);
+        }
+    }
+}
+
+impl<'a> Reader<'a> {
+    /// Inverse of [`put_word_runs`]. Rejects counts beyond
+    /// [`MAX_RUN_WORDS`], groups that overflow the declared count, empty
+    /// groups (no progress), and truncation.
+    pub fn word_runs(&mut self) -> io::Result<Vec<u64>> {
+        let total = self.u32()? as usize;
+        if total > MAX_RUN_WORDS {
+            return Err(corrupt(format!(
+                "word-run sequence of {total} words exceeds cap {MAX_RUN_WORDS}"
+            )));
+        }
+        let mut out = Vec::with_capacity(total);
+        while out.len() < total {
+            let zeros = self.u32()? as usize;
+            let lits = self.u32()? as usize;
+            if zeros == 0 && lits == 0 {
+                return Err(corrupt("empty word-run group"));
+            }
+            let new_len = out
+                .len()
+                .checked_add(zeros)
+                .and_then(|n| n.checked_add(lits))
+                .filter(|&n| n <= total)
+                .ok_or_else(|| corrupt("word-run group overflows the declared count"))?;
+            out.resize(out.len() + zeros, 0u64);
+            for _ in 0..lits {
+                out.push(self.u64()?);
+            }
+            debug_assert_eq!(out.len(), new_len);
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +338,67 @@ mod tests {
         let mut r = Reader::new(&[1, 2, 3]);
         r.u8().unwrap();
         assert!(r.expect_empty().is_err());
+    }
+
+    #[test]
+    fn word_runs_roundtrip_all_shapes() {
+        for words in [
+            vec![],
+            vec![0u64; 7],
+            vec![1, 2, 3],
+            vec![0, 0, 5, 0, 6, 7, 0, 0, 0],
+            vec![u64::MAX; 3],
+            vec![0, 1, 0, 1, 0],
+        ] {
+            let mut out = Vec::new();
+            put_word_runs(&mut out, &words);
+            let mut r = Reader::new(&out);
+            assert_eq!(r.word_runs().unwrap(), words, "{words:?}");
+            r.expect_empty().unwrap();
+            // Canonical: re-encoding the decoded words is byte-stable.
+            let mut again = Vec::new();
+            put_word_runs(&mut again, &words);
+            assert_eq!(again, out);
+        }
+    }
+
+    #[test]
+    fn word_runs_compress_zero_heavy_sequences() {
+        let mut sparse = vec![0u64; 100_000];
+        sparse[40_000] = 7;
+        let mut out = Vec::new();
+        put_word_runs(&mut out, &sparse);
+        assert!(
+            out.len() < 64,
+            "sparse sequence should collapse: {} bytes",
+            out.len()
+        );
+        let mut r = Reader::new(&out);
+        assert_eq!(r.word_runs().unwrap(), sparse);
+    }
+
+    #[test]
+    fn word_runs_reject_corruption() {
+        // Count beyond the cap.
+        let mut out = Vec::new();
+        put_u32(&mut out, (MAX_RUN_WORDS + 1) as u32);
+        assert!(Reader::new(&out).word_runs().is_err());
+        // Empty group: no progress.
+        let mut out = Vec::new();
+        put_u32(&mut out, 4);
+        put_u32(&mut out, 0);
+        put_u32(&mut out, 0);
+        assert!(Reader::new(&out).word_runs().is_err());
+        // Group overflowing the declared count.
+        let mut out = Vec::new();
+        put_u32(&mut out, 2);
+        put_u32(&mut out, 5);
+        put_u32(&mut out, 0);
+        assert!(Reader::new(&out).word_runs().is_err());
+        // Truncated literals.
+        let mut out = Vec::new();
+        put_word_runs(&mut out, &[1, 2, 3]);
+        assert!(Reader::new(&out[..out.len() - 1]).word_runs().is_err());
     }
 
     #[test]

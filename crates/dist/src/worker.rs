@@ -29,7 +29,9 @@ use tps_graph::ranged::RangedEdgeSource;
 use tps_graph::stream::EdgeStream;
 use tps_graph::types::{Edge, GraphInfo, PartitionId};
 
-use crate::protocol::{InputDescriptor, Job, Message, PROTOCOL_VERSION, RUN_BATCH_EDGES};
+use crate::protocol::{
+    InputDescriptor, Job, Message, ReplChunks, PROTOCOL_VERSION, RUN_BATCH_EDGES,
+};
 use crate::transport::{recv_msg, send_msg, Transport};
 use crate::wire::corrupt;
 
@@ -221,6 +223,7 @@ fn serve_job(
         &degrees,
         volume_cap,
         job.num_vertices,
+        job.num_workers > 1,
     )?;
     send_msg(
         transport,
@@ -256,7 +259,7 @@ fn serve_job(
         &degrees,
         &clustering,
         &placement,
-        job.num_vertices,
+        tps_metrics::bitmatrix::ReplicationMatrix::new(job.num_vertices, job.k),
         loads,
     );
     let mut spool = spools.create_spool(job.worker_index as usize)?;
@@ -264,22 +267,49 @@ fn serve_job(
         let mut s = source.open_range(job.shard.0, job.shard.1)?;
         assigner.prepartition_pass(&mut s, &mut *spool)?;
         if job.num_workers > 1 {
-            send_msg(
-                transport,
-                &Message::ReplicationShard {
-                    shard,
-                    epoch,
-                    matrix: assigner.replication_shard().clone(),
-                },
-            )?;
-            match expect(transport, "prepartition barrier")? {
-                Message::MergedReplication(m) => {
-                    if m.num_vertices() != job.num_vertices || m.k() != job.k {
-                        return Err(corrupt("merged replication matrix has wrong dimensions"));
+            // The replication barrier, in bounded vertex-range chunks
+            // (protocol v3), strictly **interleaved**: send chunk `c`,
+            // then block for merged chunk `c`. The coordinator's rounds
+            // run in lockstep (collect chunk `c` from every shard, then
+            // broadcast merged `c`), so interleaving keeps at most one
+            // frame in flight per direction — sending every chunk up
+            // front could deadlock a TCP transport once the unread merged
+            // frames overflow the socket buffers, with both sides stuck
+            // in blocking sends.
+            let chunks = ReplChunks::new(job.num_vertices, job.k);
+            for c in 0..chunks.count() {
+                let (v0, v1) = chunks.vertex_range(c);
+                send_msg(
+                    transport,
+                    &Message::ReplicationChunk {
+                        shard,
+                        epoch,
+                        chunk: c,
+                        words: assigner.replication_shard().range_words(v0, v1).to_vec(),
+                    },
+                )?;
+                match expect(transport, "prepartition barrier")? {
+                    Message::MergedReplicationChunk { chunk, words } => {
+                        if chunk != c {
+                            return Err(corrupt(format!(
+                                "merged replication chunk {chunk} arrived out of order \
+                                 (expected {c})"
+                            )));
+                        }
+                        if words.len() != chunks.words_in_chunk(c) {
+                            return Err(corrupt(format!(
+                                "merged replication chunk {c} has {} words, expected {}",
+                                words.len(),
+                                chunks.words_in_chunk(c)
+                            )));
+                        }
+                        let (v0, _) = chunks.vertex_range(c);
+                        assigner
+                            .install_replication_range(v0, &words)
+                            .map_err(corrupt)?;
                     }
-                    assigner.install_replication(m);
+                    other => return Err(protocol_err("prepartition barrier", &other)),
                 }
-                other => return Err(protocol_err("prepartition barrier", &other)),
             }
         }
     }

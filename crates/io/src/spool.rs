@@ -80,14 +80,19 @@ impl SpillSpool {
                 self.file.insert(f)
             }
         };
-        self.scratch.clear();
-        self.scratch.reserve(self.buf.len() * RECORD_BYTES);
-        for (e, p) in &self.buf {
-            self.scratch.extend_from_slice(&e.src.to_le_bytes());
-            self.scratch.extend_from_slice(&e.dst.to_le_bytes());
-            self.scratch.extend_from_slice(&p.to_le_bytes());
+        // Encode through a bounded chunk: a full-buffer scratch would
+        // transiently double the spool's memory, defeating the budget.
+        const CHUNK_RECORDS: usize = (64 << 10) / RECORD_BYTES;
+        for chunk in self.buf.chunks(CHUNK_RECORDS) {
+            self.scratch.clear();
+            self.scratch.reserve(chunk.len() * RECORD_BYTES);
+            for (e, p) in chunk {
+                self.scratch.extend_from_slice(&e.src.to_le_bytes());
+                self.scratch.extend_from_slice(&e.dst.to_le_bytes());
+                self.scratch.extend_from_slice(&p.to_le_bytes());
+            }
+            file.write_all(&self.scratch)?;
         }
-        file.write_all(&self.scratch)?;
         self.spilled_records += self.buf.len() as u64;
         self.spills += 1;
         self.buf.clear();

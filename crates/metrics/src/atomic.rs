@@ -1,0 +1,385 @@
+//! The shared-memory replication matrix of the chunk-parallel runner.
+//!
+//! Phase 2 of 2PS-L keeps one bit per (vertex, partition) pair —
+//! `O(|V|·k)` bits, the dominant term of Table II. The chunk-parallel
+//! runner used to shard that state per worker thread (`O(T·|V|·k)` bits)
+//! and OR-merge the shards at the pre-partition/scoring barrier; this
+//! module restores the serial bound for any thread count:
+//!
+//! * [`AtomicReplicationMatrix`] — **one** shared packed bit matrix whose
+//!   words are set with relaxed `fetch_or`. The pre-partitioning subpass
+//!   only ever *writes* replication state (targets depend on the merged
+//!   clustering and load quotas, never on replica bits), and OR is
+//!   commutative, associative and idempotent — so when every worker
+//!   `fetch_or`s into the same words, the matrix at the barrier equals the
+//!   OR-merge of per-worker shards for **every** interleaving, and no
+//!   merge (and no per-worker copy) is needed at all.
+//! * [`SharedReplicaView`] — one worker's handle on the shared matrix.
+//!   Before [`freeze`](SharedReplicaView::freeze) (the pre-partitioning
+//!   subpass) inserts write through to the shared words. After freeze (the
+//!   scoring subpass) inserts land in a private **sparse overlay** and
+//!   reads see `shared ∪ overlay` — exactly the "merged matrix plus my own
+//!   scoring-time replicas" view a sharded worker had, which is what keeps
+//!   the output bit-identical to the sharded path (and to `tps-dist`,
+//!   whose workers still run owned per-shard matrices). The overlay holds
+//!   only words this worker's scoring commits touch, so per-worker state
+//!   is proportional to its own new replicas, not to `|V|·k`.
+//!
+//! Memory ordering: relaxed operations suffice. All workers join at the
+//! barrier between the two subpasses (thread join is a happens-before
+//! edge), so every pre-partition write is visible to every scoring read,
+//! and bits are only ever set — a racy read during the write phase could
+//! at worst miss a concurrent set, and no decision reads the matrix during
+//! that phase.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tps_graph::types::{PartitionId, VertexId};
+
+use crate::bitmatrix::{ReplicaSet, ReplicationMatrix};
+
+/// A compact word-index → bits map: open addressing, linear probing,
+/// power-of-two capacity, 12 bytes per slot (`u32` key + `u64` bits in
+/// parallel arrays). The overlay is the per-worker memory term of the
+/// shared-matrix design, so its constant factor matters — a std `HashMap`
+/// spends ~3× more per entry once growth slack and SipHash are counted.
+///
+/// Keys are word indices into the shared matrix and must fit `u32`; the
+/// matrix constructor enforces that bound (`|V|·⌈k/64⌉ < 2^32` words ≈
+/// 32 GiB of packed bits — beyond in-process scale).
+struct WordOverlay {
+    /// Word index per slot; `EMPTY` marks a free slot.
+    keys: Vec<u32>,
+    /// Overlay bits per slot (parallel to `keys`).
+    bits: Vec<u64>,
+    len: usize,
+}
+
+/// Free-slot sentinel. Unreachable as a key: word indices are `< 2^32 − 1`
+/// by the matrix-size bound.
+const EMPTY: u32 = u32::MAX;
+
+impl WordOverlay {
+    fn new() -> Self {
+        WordOverlay {
+            keys: Vec::new(),
+            bits: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Multiplicative hash (Fibonacci): word indices are near-sequential
+    /// per vertex row, which pure masking would clump.
+    #[inline]
+    fn slot_of(&self, key: u32) -> usize {
+        let h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & (self.keys.len() - 1)
+    }
+
+    #[inline]
+    fn get(&self, key: u32) -> u64 {
+        if self.len == 0 {
+            return 0;
+        }
+        let mut slot = self.slot_of(key);
+        loop {
+            match self.keys[slot] {
+                k if k == key => return self.bits[slot],
+                EMPTY => return 0,
+                _ => slot = (slot + 1) & (self.keys.len() - 1),
+            }
+        }
+    }
+
+    #[inline]
+    fn or_insert(&mut self, key: u32, mask: u64) {
+        if self.keys.len() < 2 || self.len * 8 >= self.keys.len() * 7 {
+            self.grow();
+        }
+        let mut slot = self.slot_of(key);
+        loop {
+            match self.keys[slot] {
+                k if k == key => {
+                    self.bits[slot] |= mask;
+                    return;
+                }
+                EMPTY => {
+                    self.keys[slot] = key;
+                    self.bits[slot] = mask;
+                    self.len += 1;
+                    return;
+                }
+                _ => slot = (slot + 1) & (self.keys.len() - 1),
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.keys.len() * 2).max(64);
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
+        let old_bits = std::mem::take(&mut self.bits);
+        self.bits = vec![0u64; new_cap];
+        self.len = 0;
+        for (key, bits) in old_keys.into_iter().zip(old_bits) {
+            if key != EMPTY {
+                self.or_insert(key, bits);
+            }
+        }
+    }
+}
+
+/// A packed `O(|V|·k)`-bit replication matrix shared by all phase-2
+/// workers, written with relaxed word-level `fetch_or`.
+pub struct AtomicReplicationMatrix {
+    words_per_vertex: usize,
+    bits: Vec<AtomicU64>,
+    k: u32,
+    num_vertices: u64,
+}
+
+impl AtomicReplicationMatrix {
+    /// An all-zero shared matrix for `num_vertices` vertices and `k`
+    /// partitions.
+    pub fn new(num_vertices: u64, k: u32) -> Self {
+        assert!(k > 0, "k must be positive");
+        let words_per_vertex = (k as usize).div_ceil(64);
+        let total = words_per_vertex
+            .checked_mul(num_vertices as usize)
+            .expect("replication matrix size overflow");
+        assert!(
+            total < u32::MAX as usize,
+            "shared replication matrix of {total} words exceeds the in-process bound \
+             (2^32 − 1 words); use the distributed runtime for matrices this large"
+        );
+        let mut bits = Vec::with_capacity(total);
+        bits.resize_with(total, || AtomicU64::new(0));
+        AtomicReplicationMatrix {
+            words_per_vertex,
+            bits,
+            k,
+            num_vertices,
+        }
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    #[inline]
+    fn index(&self, v: VertexId, p: PartitionId) -> (usize, u64) {
+        debug_assert!(p < self.k, "partition {p} out of range (k = {})", self.k);
+        let word = v as usize * self.words_per_vertex + (p as usize >> 6);
+        let mask = 1u64 << (p & 63);
+        (word, mask)
+    }
+
+    /// Mark `v` as replicated on `p` — one relaxed `fetch_or`, callable
+    /// from any thread through a shared reference.
+    #[inline]
+    pub fn set(&self, v: VertexId, p: PartitionId) {
+        let (word, mask) = self.index(v, p);
+        self.bits[word].fetch_or(mask, Ordering::Relaxed);
+    }
+
+    /// Whether `v` is replicated on `p` (relaxed load).
+    #[inline]
+    pub fn get(&self, v: VertexId, p: PartitionId) -> bool {
+        let (word, mask) = self.index(v, p);
+        self.bits[word].load(Ordering::Relaxed) & mask != 0
+    }
+
+    /// Approximate heap footprint in bytes (for the memory experiments).
+    pub fn heap_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// An owned snapshot with exact cover counts — for inspection and
+    /// tests; the hot paths never materialise one.
+    pub fn snapshot(&self) -> ReplicationMatrix {
+        let words: Vec<u64> = self
+            .bits
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect();
+        ReplicationMatrix::from_raw_words(self.num_vertices, self.k, words)
+            .expect("set() never writes stray bits")
+    }
+}
+
+/// One worker's view of the shared matrix: write-through before the
+/// barrier, private sparse overlay after it (see the module docs).
+pub struct SharedReplicaView<'m> {
+    shared: &'m AtomicReplicationMatrix,
+    /// Post-freeze writes: word index → additional bits. Sparse — only
+    /// words this worker's own scoring commits touch.
+    overlay: WordOverlay,
+    frozen: bool,
+}
+
+impl<'m> SharedReplicaView<'m> {
+    /// A thawed view: inserts write through to `shared`.
+    pub fn new(shared: &'m AtomicReplicationMatrix) -> Self {
+        SharedReplicaView {
+            shared,
+            overlay: WordOverlay::new(),
+            frozen: false,
+        }
+    }
+
+    /// Stop writing through: subsequent inserts stay in this view's
+    /// private overlay. Called at the pre-partition/scoring barrier, after
+    /// every worker's write-through pass has joined.
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Whether the view is frozen (overlay-writing).
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Words held privately by this view's overlay.
+    pub fn overlay_words(&self) -> usize {
+        self.overlay.len
+    }
+}
+
+impl ReplicaSet for SharedReplicaView<'_> {
+    #[inline]
+    fn k(&self) -> u32 {
+        self.shared.k()
+    }
+
+    #[inline]
+    fn num_vertices(&self) -> u64 {
+        self.shared.num_vertices()
+    }
+
+    #[inline]
+    fn contains(&self, v: VertexId, p: PartitionId) -> bool {
+        let (word, mask) = self.shared.index(v, p);
+        if self.shared.bits[word].load(Ordering::Relaxed) & mask != 0 {
+            return true;
+        }
+        self.overlay.get(word as u32) & mask != 0
+    }
+
+    #[inline]
+    fn insert(&mut self, v: VertexId, p: PartitionId) {
+        if self.frozen {
+            let (word, mask) = self.shared.index(v, p);
+            // A bit the frozen shared matrix already holds needs no
+            // private copy — `contains` reads `shared ∪ overlay` either
+            // way, and on prepartition-heavy graphs this keeps the
+            // overlay near-empty.
+            if self.shared.bits[word].load(Ordering::Relaxed) & mask != 0 {
+                return;
+            }
+            self.overlay.or_insert(word as u32, mask);
+        } else {
+            self.shared.set(v, p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_and_snapshot() {
+        let m = AtomicReplicationMatrix::new(5, 130);
+        assert!(!m.get(3, 129));
+        m.set(3, 129);
+        m.set(3, 129); // idempotent
+        m.set(0, 0);
+        m.set(4, 64);
+        assert!(m.get(3, 129) && m.get(0, 0) && m.get(4, 64));
+        assert!(!m.get(3, 128));
+        let snap = m.snapshot();
+        assert_eq!(snap.total_replicas(), 3);
+        assert_eq!(snap.cover_count(129), 1);
+        assert!(snap.get(4, 64));
+    }
+
+    #[test]
+    fn concurrent_sets_equal_sharded_or_merge() {
+        // The tentpole claim in miniature: T threads writing disjoint and
+        // overlapping bits through fetch_or produce exactly the OR of the
+        // per-thread shards.
+        let shared = AtomicReplicationMatrix::new(64, 96);
+        let mut shards: Vec<ReplicationMatrix> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..4u32 {
+                let shared = &shared;
+                handles.push(scope.spawn(move || {
+                    let mut own = ReplicationMatrix::new(64, 96);
+                    for i in 0..200u32 {
+                        let v = (t * 37 + i * 13) % 64;
+                        let p = (t * 11 + i * 7) % 96;
+                        shared.set(v, p);
+                        own.set(v, p);
+                    }
+                    own
+                }));
+            }
+            for h in handles {
+                shards.push(h.join().unwrap());
+            }
+        });
+        let mut merged = shards.remove(0);
+        for s in &shards {
+            merged.merge_from(s);
+        }
+        let snap = shared.snapshot();
+        for v in 0..64u32 {
+            for p in 0..96u32 {
+                assert_eq!(snap.get(v, p), merged.get(v, p), "({v},{p})");
+            }
+        }
+        assert_eq!(snap.total_replicas(), merged.total_replicas());
+    }
+
+    #[test]
+    fn view_writes_through_until_frozen_then_overlays() {
+        let shared = AtomicReplicationMatrix::new(8, 4);
+        let mut view = SharedReplicaView::new(&shared);
+        view.insert(1, 2);
+        assert!(shared.get(1, 2), "thawed insert writes through");
+        assert!(view.contains(1, 2));
+        view.freeze();
+        view.insert(3, 1);
+        assert!(!shared.get(3, 1), "frozen insert stays private");
+        assert!(view.contains(3, 1), "…but is visible to this view");
+        assert!(view.contains(1, 2), "shared bits stay visible");
+        assert_eq!(view.overlay_words(), 1);
+
+        // A second frozen view does not see the first view's overlay —
+        // the sharded-path semantics the bit-identity proptests pin.
+        let other = SharedReplicaView::new(&shared);
+        assert!(!other.contains(3, 1));
+        assert!(other.contains(1, 2));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = AtomicReplicationMatrix::new(0, 7);
+        assert_eq!(m.snapshot().total_replicas(), 0);
+        assert_eq!(m.heap_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_k() {
+        AtomicReplicationMatrix::new(10, 0);
+    }
+}

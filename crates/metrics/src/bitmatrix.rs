@@ -9,6 +9,29 @@
 
 use tps_graph::types::{PartitionId, VertexId};
 
+/// The membership interface phase 2's edge kernel needs from its
+/// replication state: "is vertex `v` replicated on partition `p`?" and
+/// "record that it now is".
+///
+/// Implemented by the owned [`ReplicationMatrix`] (the serial partitioner
+/// and the distributed worker) and by
+/// [`SharedReplicaView`](crate::atomic::SharedReplicaView) (the chunk-
+/// parallel runner's view of one shared
+/// [`AtomicReplicationMatrix`](crate::atomic::AtomicReplicationMatrix)),
+/// so the per-edge decision code is written once and the replication
+/// state's memory layout — owned, shared, or shared-plus-overlay — is the
+/// caller's choice.
+pub trait ReplicaSet {
+    /// Number of partitions.
+    fn k(&self) -> u32;
+    /// Number of vertices.
+    fn num_vertices(&self) -> u64;
+    /// Whether `v` is replicated on `p`.
+    fn contains(&self, v: VertexId, p: PartitionId) -> bool;
+    /// Mark `v` as replicated on `p` (idempotent).
+    fn insert(&mut self, v: VertexId, p: PartitionId);
+}
+
 /// Packed replication matrix with incremental cover counts.
 #[derive(Clone, Debug)]
 pub struct ReplicationMatrix {
@@ -48,6 +71,109 @@ impl ReplicationMatrix {
     #[inline]
     pub fn num_vertices(&self) -> u64 {
         self.num_vertices
+    }
+
+    /// Packed words per vertex row (`⌈k/64⌉`).
+    #[inline]
+    pub fn words_per_vertex(&self) -> usize {
+        self.words_per_vertex
+    }
+
+    /// Build a matrix from raw packed words (cover counts are recounted).
+    /// Rejects a word count that does not match `num_vertices × ⌈k/64⌉`,
+    /// `k = 0`, and stray bits beyond partition `k − 1` — the validation
+    /// every word-level ingress (wire decode, range install) shares.
+    pub fn from_raw_words(
+        num_vertices: u64,
+        k: u32,
+        bits: Vec<u64>,
+    ) -> Result<ReplicationMatrix, String> {
+        if k == 0 {
+            return Err("replication matrix with k = 0".into());
+        }
+        let words_per_vertex = (k as usize).div_ceil(64);
+        let total = words_per_vertex
+            .checked_mul(num_vertices as usize)
+            .ok_or("replication matrix size overflow")?;
+        if bits.len() != total {
+            return Err(format!(
+                "replication matrix has {} words, expected {total}",
+                bits.len()
+            ));
+        }
+        validate_packed_rows(&bits, k)?;
+        let mut cover_counts = vec![0u64; k as usize];
+        for (i, &w) in bits.iter().enumerate() {
+            let mut w = w;
+            let base = ((i % words_per_vertex) as u32) * 64;
+            while w != 0 {
+                let b = w.trailing_zeros();
+                cover_counts[(base + b) as usize] += 1;
+                w &= w - 1;
+            }
+        }
+        Ok(ReplicationMatrix {
+            words_per_vertex,
+            bits,
+            cover_counts,
+            k,
+            num_vertices,
+        })
+    }
+
+    /// The packed words of the vertex range `[v0, v1)` — what one
+    /// vertex-range chunk of the distributed replication barrier carries.
+    pub fn range_words(&self, v0: u64, v1: u64) -> &[u64] {
+        assert!(
+            v0 <= v1 && v1 <= self.num_vertices,
+            "vertex range [{v0}, {v1}) out of bounds for |V| = {}",
+            self.num_vertices
+        );
+        &self.bits[v0 as usize * self.words_per_vertex..v1 as usize * self.words_per_vertex]
+    }
+
+    /// Replace the packed words of the vertex range starting at `v0` with
+    /// `words`, keeping the cover counts exact (per-word bit deltas). The
+    /// inverse of [`ReplicationMatrix::range_words`] — how a distributed
+    /// worker installs one merged vertex-range chunk. Rejects misaligned
+    /// or out-of-bounds ranges and stray bits beyond partition `k − 1`.
+    pub fn install_range_words(&mut self, v0: u64, words: &[u64]) -> Result<(), String> {
+        let wpv = self.words_per_vertex;
+        let start = (v0 as usize)
+            .checked_mul(wpv)
+            .filter(|s| s + words.len() <= self.bits.len())
+            .ok_or_else(|| {
+                format!(
+                    "chunk at vertex {v0} ({} words) exceeds |V| = {}",
+                    words.len(),
+                    self.num_vertices
+                )
+            })?;
+        validate_packed_rows(words, self.k)?;
+        for (i, (dst, &src)) in self.bits[start..start + words.len()]
+            .iter_mut()
+            .zip(words)
+            .enumerate()
+        {
+            if *dst == src {
+                continue;
+            }
+            let base = (((start + i) % wpv) as u32) * 64;
+            let mut added = src & !*dst;
+            while added != 0 {
+                let b = added.trailing_zeros();
+                self.cover_counts[(base + b) as usize] += 1;
+                added &= added - 1;
+            }
+            let mut removed = *dst & !src;
+            while removed != 0 {
+                let b = removed.trailing_zeros();
+                self.cover_counts[(base + b) as usize] -= 1;
+                removed &= removed - 1;
+            }
+            *dst = src;
+        }
+        Ok(())
     }
 
     #[inline]
@@ -162,38 +288,8 @@ impl ReplicationMatrix {
         for rec in rest[..total * 8].chunks_exact(8) {
             bits.push(u64::from_le_bytes(rec.try_into().unwrap()));
         }
-        // Bits at positions ≥ k within a vertex's last word would corrupt
-        // the cover counts silently; reject them. `words_per_vertex` is
-        // `⌈k/64⌉`, so the tail is always shorter than one word.
-        let tail_bits = (words_per_vertex * 64 - k as usize) as u32;
-        if tail_bits > 0 {
-            let stray_mask = !0u64 << (64 - tail_bits);
-            for v in 0..num_vertices as usize {
-                if bits[(v + 1) * words_per_vertex - 1] & stray_mask != 0 {
-                    return Err("replication matrix has bits beyond partition k-1".into());
-                }
-            }
-        }
-        let mut cover_counts = vec![0u64; k as usize];
-        for (i, &w) in bits.iter().enumerate() {
-            let mut w = w;
-            let base = ((i % words_per_vertex) as u32) * 64;
-            while w != 0 {
-                let b = w.trailing_zeros();
-                cover_counts[(base + b) as usize] += 1;
-                w &= w - 1;
-            }
-        }
-        Ok((
-            ReplicationMatrix {
-                words_per_vertex,
-                bits,
-                cover_counts,
-                k,
-                num_vertices,
-            },
-            &rest[total * 8..],
-        ))
+        let matrix = ReplicationMatrix::from_raw_words(num_vertices, k, bits)?;
+        Ok((matrix, &rest[total * 8..]))
     }
 
     /// Bitwise-OR `other` into `self`, keeping the cover counts exact.
@@ -223,6 +319,58 @@ impl ReplicationMatrix {
             }
         }
     }
+}
+
+impl ReplicaSet for ReplicationMatrix {
+    #[inline]
+    fn k(&self) -> u32 {
+        ReplicationMatrix::k(self)
+    }
+    #[inline]
+    fn num_vertices(&self) -> u64 {
+        ReplicationMatrix::num_vertices(self)
+    }
+    #[inline]
+    fn contains(&self, v: VertexId, p: PartitionId) -> bool {
+        self.get(v, p)
+    }
+    #[inline]
+    fn insert(&mut self, v: VertexId, p: PartitionId) {
+        self.set(v, p);
+    }
+}
+
+/// Mask of the unused high bits in a vertex's last packed word, if any
+/// (`None` when `k` is a multiple of 64). Bits at positions ≥ k would
+/// corrupt the cover counts silently; every word-level ingress — wire
+/// decode, range install, the distributed coordinator's chunk merge —
+/// rejects rows where `last_word & mask != 0`.
+#[inline]
+pub fn stray_bit_mask(k: u32) -> Option<u64> {
+    let tail_bits = ((k as usize).div_ceil(64) * 64 - k as usize) as u32;
+    (tail_bits > 0).then(|| !0u64 << (64 - tail_bits))
+}
+
+/// Validate a packed word sequence as whole `⌈k/64⌉`-word vertex rows
+/// with no stray bits beyond partition `k − 1` — the one rule every
+/// word-level ingress shares (wire decode, range install, the distributed
+/// coordinator's chunk merge), kept here so the ingresses cannot diverge.
+pub fn validate_packed_rows(words: &[u64], k: u32) -> Result<(), String> {
+    let wpv = (k as usize).div_ceil(64);
+    if !words.len().is_multiple_of(wpv) {
+        return Err(format!(
+            "chunk of {} words is not a whole number of {wpv}-word vertex rows",
+            words.len()
+        ));
+    }
+    if let Some(mask) = stray_bit_mask(k) {
+        for row in words.chunks_exact(wpv) {
+            if row[wpv - 1] & mask != 0 {
+                return Err("packed rows have bits beyond partition k-1".into());
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -375,5 +523,81 @@ mod tests {
         let mut a = ReplicationMatrix::new(4, 8);
         let b = ReplicationMatrix::new(4, 9);
         a.merge_from(&b);
+    }
+
+    #[test]
+    fn range_words_roundtrip_through_install() {
+        let mut src = ReplicationMatrix::new(10, 130);
+        src.set(0, 0);
+        src.set(3, 64);
+        src.set(4, 129);
+        src.set(9, 63);
+        let mut dst = ReplicationMatrix::new(10, 130);
+        dst.set(4, 1); // overwritten by the install of [3, 7)
+        dst.set(9, 2); // outside the range: survives
+        dst.install_range_words(3, src.range_words(3, 7)).unwrap();
+        assert!(dst.get(3, 64));
+        assert!(dst.get(4, 129));
+        assert!(!dst.get(4, 1), "install replaces, not ORs");
+        assert!(dst.get(9, 2));
+        assert!(!dst.get(0, 0), "outside the range: untouched");
+        // Cover counts stay exact through the replacement.
+        let mut recount = vec![0u64; 130];
+        for v in 0..10u32 {
+            for p in dst.partitions_of(v) {
+                recount[p as usize] += 1;
+            }
+        }
+        for p in 0..130u32 {
+            assert_eq!(dst.cover_count(p), recount[p as usize], "partition {p}");
+        }
+        assert_eq!(dst.total_replicas(), 3);
+    }
+
+    #[test]
+    fn install_range_rejects_bad_shapes_and_stray_bits() {
+        let mut m = ReplicationMatrix::new(4, 10);
+        assert!(m.install_range_words(0, &[0, 0, 0]).is_ok());
+        assert!(m.install_range_words(3, &[0, 0]).is_err(), "out of bounds");
+        let wide = ReplicationMatrix::new(4, 130);
+        let mut m2 = ReplicationMatrix::new(4, 130);
+        assert!(
+            m2.install_range_words(0, &wide.range_words(0, 1)[..1])
+                .is_err(),
+            "not a whole vertex row"
+        );
+        assert!(
+            m.install_range_words(1, &[1u64 << 13]).is_err(),
+            "bit beyond k-1"
+        );
+    }
+
+    #[test]
+    fn from_raw_words_validates_and_recounts() {
+        let mut src = ReplicationMatrix::new(3, 70);
+        src.set(0, 0);
+        src.set(2, 65);
+        let words = src.range_words(0, 3).to_vec();
+        let back = ReplicationMatrix::from_raw_words(3, 70, words.clone()).unwrap();
+        assert!(back.get(0, 0) && back.get(2, 65));
+        assert_eq!(back.total_replicas(), 2);
+        assert!(ReplicationMatrix::from_raw_words(3, 0, vec![]).is_err());
+        assert!(ReplicationMatrix::from_raw_words(3, 70, words[..4].to_vec()).is_err());
+        let mut stray = words;
+        stray[1] |= 1 << 70u32.rem_euclid(64); // bit for partition 70 of k=70
+        assert!(ReplicationMatrix::from_raw_words(3, 70, stray).is_err());
+    }
+
+    #[test]
+    fn replica_set_trait_is_usable_generically() {
+        fn touch<R: ReplicaSet>(r: &mut R) {
+            r.insert(1, 2);
+            assert!(r.contains(1, 2));
+            assert!(!r.contains(0, 2));
+            assert_eq!(r.k(), 4);
+            assert_eq!(r.num_vertices(), 3);
+        }
+        let mut m = ReplicationMatrix::new(3, 4);
+        touch(&mut m);
     }
 }

@@ -6,7 +6,11 @@
 //! internals:
 //!
 //! * [`bitmatrix`] — the vertex×partition replication bit matrix (the
-//!   `O(|V|·k)` structure of Table II).
+//!   `O(|V|·k)` structure of Table II) and the [`bitmatrix::ReplicaSet`]
+//!   interface the phase-2 kernels are generic over.
+//! * [`atomic`] — the **shared** atomic variant of that matrix (word-level
+//!   `fetch_or`), which keeps the chunk-parallel runner at the serial
+//!   `O(|V|·k)` bound instead of `O(T·|V|·k)`.
 //! * [`quality`] — replication factor, balance and load metrics
 //!   (paper §II-A), accumulated edge by edge.
 //! * [`alloc`] — a counting global allocator: the repo-local proxy for the
@@ -17,11 +21,13 @@
 //! * [`table`] — aligned text tables and CSV output for the bench binaries.
 
 pub mod alloc;
+pub mod atomic;
 pub mod bitmatrix;
 pub mod quality;
 pub mod stats;
 pub mod table;
 pub mod timer;
 
-pub use bitmatrix::ReplicationMatrix;
+pub use atomic::{AtomicReplicationMatrix, SharedReplicaView};
+pub use bitmatrix::{ReplicaSet, ReplicationMatrix};
 pub use quality::{PartitionMetrics, QualityTracker};

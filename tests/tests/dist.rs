@@ -198,8 +198,8 @@ fn traces_follow_the_documented_message_sequence() {
                 "Globals",
                 "LocalClustering",
                 "Plan",
-                "ReplicationShard",
-                "MergedReplication",
+                "ReplicationChunk",
+                "MergedReplicationChunk",
                 "ShardDone",
                 "Pull",
                 "Run",
@@ -208,6 +208,69 @@ fn traces_follow_the_documented_message_sequence() {
             ],
             "full trace: {names:?}"
         );
+    }
+}
+
+/// A graph whose vertex-id space spans several replication chunks
+/// (`ReplChunks` targets 2^17 words per frame; at k = 8 that is 131072
+/// vertices per chunk), with edges scattered across the whole range so
+/// every chunk carries bits.
+#[test]
+fn replication_barrier_spans_multiple_chunks_bit_identically() {
+    let num_vertices: u32 = 300_000;
+    let mut edges = Vec::new();
+    for i in 0..400u32 {
+        let u = (i * 1_499) % num_vertices;
+        let v = (u + 137_003) % num_vertices;
+        edges.push(Edge::new(u, v));
+    }
+    edges.push(Edge::new(0, num_vertices - 1)); // pin the id space
+    let g = InMemoryGraph::from_edges(edges);
+    let k = 8;
+    let chunks = tps_dist::ReplChunks::new(g.num_vertices(), k);
+    assert!(
+        chunks.count() >= 3,
+        "test graph must span several chunks, got {}",
+        chunks.count()
+    );
+
+    for workers in [2usize, 3] {
+        let want = parallel_reference(&g, k, workers);
+        let (got, traces) = dist_traced(&g, k, workers, Wire::Loopback);
+        assert_eq!(got, want, "{workers} workers");
+        for (w, trace) in traces.iter().enumerate() {
+            let recv_chunks = trace
+                .iter()
+                .filter(|e| !e.sent && e.name() == "ReplicationChunk")
+                .count();
+            let sent_merged = trace
+                .iter()
+                .filter(|e| e.sent && e.name() == "MergedReplicationChunk")
+                .count();
+            assert_eq!(
+                recv_chunks,
+                chunks.count() as usize,
+                "worker {w}: one ReplicationChunk per vertex range"
+            );
+            assert_eq!(
+                sent_merged,
+                chunks.count() as usize,
+                "worker {w}: one MergedReplicationChunk per vertex range"
+            );
+            // Every barrier frame stays far below the frame cap — the
+            // point of chunking (zero-run encoding shrinks them further).
+            for e in trace
+                .iter()
+                .filter(|e| e.name() == "ReplicationChunk" || e.name() == "MergedReplicationChunk")
+            {
+                assert!(
+                    e.len < 1 << 21,
+                    "worker {w}: {} frame of {} bytes",
+                    e.name(),
+                    e.len
+                );
+            }
+        }
     }
 }
 

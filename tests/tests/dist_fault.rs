@@ -176,12 +176,12 @@ fn named_kill_points_recover_including_mid_run_stream() {
     let want = parallel_reference(&g, 8, workers);
     let policy = FaultPolicy::with_retries(2);
     for (spec, want_retries) in [
-        ("recv:globals", 1),           // dies while phase 1 runs
-        ("send:localclustering", 1),   // dies pre-plan
-        ("recv:mergedreplication", 1), // dies mid phase 2
-        ("send:run:1", 1),             // dies mid-Run stream, after one batch
-        ("send:run:2", 1),             // deeper into the stream
-        ("send:runsdone", 0),          // dies with its work fully delivered
+        ("recv:globals", 1),                // dies while phase 1 runs
+        ("send:localclustering", 1),        // dies pre-plan
+        ("recv:mergedreplicationchunk", 1), // dies mid phase 2
+        ("send:run:1", 1),                  // dies mid-Run stream, after one batch
+        ("send:run:2", 1),                  // deeper into the stream
+        ("send:runsdone", 0),               // dies with its work fully delivered
     ] {
         let kill = KillSpec::parse(spec).unwrap();
         let (got, report) = dist_chaos(&g, 8, workers, 1, kill, &policy).unwrap();
@@ -241,10 +241,16 @@ fn with_epoch(msg: &Message, epoch: u32) -> Message {
             epoch,
             clustering,
         },
-        Message::ReplicationShard { shard, matrix, .. } => Message::ReplicationShard {
+        Message::ReplicationChunk {
+            shard,
+            chunk,
+            words,
+            ..
+        } => Message::ReplicationChunk {
             shard,
             epoch,
-            matrix,
+            chunk,
+            words,
         },
         Message::ShardDone {
             shard,

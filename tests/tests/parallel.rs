@@ -13,16 +13,21 @@
 //!   sources produce identical parallel assignments.
 
 use proptest::prelude::*;
+use tps_clustering::merge::merge_clusterings;
 use tps_core::balance::PartitionLoads;
-use tps_core::parallel::ParallelRunner;
+use tps_core::parallel::{
+    cluster_placement, merge_degree_tables, resolve_volume_cap, shard_clustering, shard_degrees,
+    ParallelRunner, ShardAssigner, ShardLoads,
+};
 use tps_core::partitioner::{PartitionParams, Partitioner};
 use tps_core::sink::{QualitySink, VecSink};
 use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
 use tps_graph::datasets::Dataset;
 use tps_graph::gen::rmat;
-use tps_graph::ranged::RangedEdgeSource;
+use tps_graph::ranged::{split_even, RangedEdgeSource};
 use tps_graph::stream::InMemoryGraph;
 use tps_graph::types::Edge;
+use tps_metrics::bitmatrix::ReplicationMatrix;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -46,6 +51,79 @@ fn parallel_assignments(source: &dyn RangedEdgeSource, k: u32, threads: usize) -
 fn arb_graph() -> impl Strategy<Value = InMemoryGraph> {
     proptest::collection::vec((0u32..64, 0u32..64), 1..200)
         .prop_map(|pairs| InMemoryGraph::from_edges(pairs.into_iter().map(Edge::from).collect()))
+}
+
+/// The pre-atomic **sharded** phase 2, hand-driven through the public
+/// kernels: one owned replication-matrix shard per worker, OR-merged with
+/// `merge_from` at the barrier and installed back into every worker — the
+/// reference the shared `AtomicReplicationMatrix` path must reproduce bit
+/// for bit (and exactly what a distributed worker still executes).
+fn sharded_reference(source: &dyn RangedEdgeSource, k: u32, threads: usize) -> Vec<(Edge, u32)> {
+    let config = TwoPhaseConfig::default();
+    let info = source.info();
+    let ranges = split_even(info.num_edges, threads);
+
+    let tables: Vec<_> = ranges
+        .iter()
+        .map(|&r| shard_degrees(source, r, info.num_vertices).unwrap())
+        .collect();
+    let degrees = merge_degree_tables(tables);
+    let volume_cap = resolve_volume_cap(&config, k, &degrees);
+    let locals: Vec<_> = ranges
+        .iter()
+        .map(|&r| {
+            shard_clustering(
+                source,
+                r,
+                &config,
+                &degrees,
+                volume_cap,
+                info.num_vertices,
+                threads > 1,
+            )
+            .unwrap()
+        })
+        .collect();
+    let clustering = merge_clusterings(&locals, &degrees);
+    let placement = cluster_placement(&config, &clustering, k);
+
+    let edge_cap = PartitionLoads::new(k, info.num_edges, 1.05).cap();
+    let mut workers: Vec<(ShardAssigner<ReplicationMatrix>, VecSink)> = (0..threads)
+        .map(|t| {
+            (
+                ShardAssigner::new(
+                    config,
+                    &degrees,
+                    &clustering,
+                    &placement,
+                    ReplicationMatrix::new(info.num_vertices, k),
+                    ShardLoads::standalone(k, edge_cap, t, threads),
+                ),
+                VecSink::new(),
+            )
+        })
+        .collect();
+    for (t, (assigner, sink)) in workers.iter_mut().enumerate() {
+        let mut s = source.open_range(ranges[t].0, ranges[t].1).unwrap();
+        assigner.prepartition_pass(&mut s, sink).unwrap();
+    }
+    if threads > 1 {
+        let mut merged = workers[0].0.replication_shard().clone();
+        for (assigner, _) in &workers[1..] {
+            merged.merge_from(assigner.replication_shard());
+        }
+        for (assigner, _) in workers.iter_mut() {
+            assigner.install_replication(merged.clone());
+        }
+    }
+    for (t, (assigner, sink)) in workers.iter_mut().enumerate() {
+        let mut s = source.open_range(ranges[t].0, ranges[t].1).unwrap();
+        assigner.remaining_pass(&mut s, sink).unwrap();
+    }
+    workers
+        .into_iter()
+        .flat_map(|(_, sink)| sink.into_assignments())
+        .collect()
 }
 
 proptest! {
@@ -87,6 +165,66 @@ proptest! {
                 threads, loads, cap, slack
             );
         }
+    }
+}
+
+proptest! {
+    // Each case runs 4 thread counts × (3 backends + 1 reference) of full
+    // partitions; keep the count modest (nightly soaks scale it up).
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole invariant of the shared `AtomicReplicationMatrix`
+    /// design: phase 2 over one shared `O(|V|·k)` matrix (write-through
+    /// prepartition, frozen + private overlays for scoring) is
+    /// **bit-identical** to the old sharded+`merge_from` path, at every
+    /// thread count and for every storage backend.
+    #[test]
+    fn atomic_phase2_is_bit_identical_to_the_sharded_merge_path(
+        graph in arb_graph(),
+        k in 1u32..9,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "tps-atomic-shard-{}-{:x}",
+            std::process::id(),
+            graph.num_edges() * 31 + k as u64
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let v1_path = dir.join("g.bel");
+        let v2_path = dir.join("g.bel2");
+        tps_graph::formats::binary::write_binary_edge_list(
+            &v1_path,
+            graph.num_vertices(),
+            graph.edges().iter().copied(),
+        )
+        .unwrap();
+        tps_io::write_v2_edge_list(
+            &v2_path,
+            graph.num_vertices(),
+            graph.edges().iter().copied(),
+            7,
+        )
+        .unwrap();
+        let v1 = tps_io::RangedV1File::open(&v1_path).unwrap();
+        let v2 = tps_io::RangedV2File::open(&v2_path).unwrap();
+
+        for threads in THREAD_COUNTS {
+            let want = sharded_reference(&graph, k, threads);
+            let atomic = parallel_assignments(&graph, k, threads);
+            prop_assert_eq!(&atomic, &want, "mem backend, {} threads", threads);
+            prop_assert_eq!(
+                &parallel_assignments(&v1, k, threads),
+                &want,
+                "v1 backend, {} threads",
+                threads
+            );
+            prop_assert_eq!(
+                &parallel_assignments(&v2, k, threads),
+                &want,
+                "v2 backend, {} threads",
+                threads
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
 

@@ -8,6 +8,22 @@
 //! Cases are generated from a fixed-seed deterministic RNG so failures
 //! reproduce exactly; there is **no shrinking** — a failing case panics with
 //! the case index and the failed assertion.
+//!
+//! # Environment knobs (nightly soak support)
+//!
+//! * `PROPTEST_CASES` — scales every `proptest!` block **proportionally**:
+//!   a block configured for `n` cases runs `⌈n × PROPTEST_CASES / 64⌉`
+//!   (64 is the default case count), so `PROPTEST_CASES=640` is a 10×
+//!   soak of the whole suite while each block keeps its relative weight.
+//!   (Real proptest treats the variable as an absolute default that
+//!   explicit configs override — which would make it a no-op for suites
+//!   like ours that configure every block.)
+//! * `PROPTEST_SEED` — overrides the fixed seed, so scheduled runs
+//!   explore fresh cases (e.g. `PROPTEST_SEED=$GITHUB_RUN_ID`).
+//! * `PROPTEST_FAILURE_DIR` — on a failed case, a `<test>.seed` file with
+//!   the seed, case index and failure message is written there (the
+//!   nightly workflow uploads the directory as the failure-seed
+//!   artifact); the panic message carries the same seed either way.
 
 use std::fmt;
 use std::ops::Range;
@@ -15,16 +31,94 @@ use std::ops::Range;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// The fixed default seed of [`TestRng::deterministic`].
+pub const DEFAULT_SEED: u64 = 0x5EED_0F7E_57CA_5E00;
+
+/// The seed `proptest!` expansions run with: `PROPTEST_SEED` if set and
+/// parseable (decimal, or hex with a `0x` prefix — failure messages print
+/// the seed in hex, so the printed form must round-trip), else
+/// [`DEFAULT_SEED`].
+pub fn env_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| parse_seed(&v))
+        .unwrap_or(DEFAULT_SEED)
+}
+
+/// Parse a seed in decimal or `0x`-prefixed hex.
+pub fn parse_seed(text: &str) -> Option<u64> {
+    let text = text.trim();
+    match text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => text.parse().ok(),
+    }
+}
+
+/// The effective case count for a block configured with `base` cases:
+/// scaled by `PROPTEST_CASES / 64` when the variable is set (see the
+/// module docs).
+pub fn resolved_cases(base: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+    {
+        Some(env) => scaled_cases(base, env),
+        None => base.max(1),
+    }
+}
+
+/// The pure scaling rule behind [`resolved_cases`].
+pub fn scaled_cases(base: u32, env_cases: u64) -> u32 {
+    let scaled = (base as u64)
+        .checked_mul(env_cases)
+        .map_or(u64::MAX, |n| n.div_ceil(64));
+    scaled.clamp(1, u32::MAX as u64) as u32
+}
+
+/// Write a failure-seed file to `PROPTEST_FAILURE_DIR` (best-effort, no-op
+/// when the variable is unset) so CI can upload reproduction instructions.
+pub fn record_failure(test: &str, seed: u64, case: u32, cases: u32, message: &str) {
+    let Some(dir) = std::env::var_os("PROPTEST_FAILURE_DIR") else {
+        return;
+    };
+    record_failure_to(std::path::Path::new(&dir), test, seed, case, cases, message);
+}
+
+/// [`record_failure`] with an explicit directory (separated so tests never
+/// have to mutate the process environment — `setenv` racing the harness's
+/// concurrent `getenv`s is undefined behaviour on glibc).
+pub fn record_failure_to(
+    dir: &std::path::Path,
+    test: &str,
+    seed: u64,
+    case: u32,
+    cases: u32,
+    message: &str,
+) {
+    let _ = std::fs::create_dir_all(dir);
+    let body = format!(
+        "test: {test}\nseed: {seed:#x}\nfailed case: {case} of {cases}\n\
+         reproduce: PROPTEST_SEED={seed:#x} cargo test {test}\nfailure: {message}\n"
+    );
+    let _ = std::fs::write(dir.join(format!("{test}.seed")), body);
+}
+
 /// Deterministic source of test data.
 pub struct TestRng {
     rng: SmallRng,
 }
 
 impl TestRng {
-    /// The fixed-seed RNG used by `proptest!` expansions.
+    /// The fixed-seed RNG used by `proptest!` expansions (honouring
+    /// `PROPTEST_SEED`).
     pub fn deterministic() -> Self {
+        Self::seeded(env_seed())
+    }
+
+    /// An RNG with an explicit seed.
+    pub fn seeded(seed: u64) -> Self {
         TestRng {
-            rng: SmallRng::seed_from_u64(0x5EED_0F7E_57CA_5E00),
+            rng: SmallRng::seed_from_u64(seed),
         }
     }
 
@@ -232,14 +326,18 @@ macro_rules! proptest {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            let mut test_rng = $crate::TestRng::deterministic();
-            for case in 0..config.cases {
+            let cases = $crate::resolved_cases(config.cases);
+            let seed = $crate::env_seed();
+            let mut test_rng = $crate::TestRng::seeded(seed);
+            for case in 0..cases {
                 $(let $arg = $crate::Strategy::new_value(&($strat), &mut test_rng);)*
                 let outcome: ::std::result::Result<(), $crate::TestCaseError> =
                     (|| { $body ::std::result::Result::Ok(()) })();
                 if let Err(e) = outcome {
-                    panic!("proptest {} failed at case {}/{}: {}",
-                           stringify!($name), case + 1, config.cases, e);
+                    $crate::record_failure(
+                        stringify!($name), seed, case + 1, cases, &e.to_string());
+                    panic!("proptest {} failed at case {}/{} (seed {:#x}): {}",
+                           stringify!($name), case + 1, cases, seed, e);
                 }
             }
         }
@@ -257,6 +355,7 @@ macro_rules! proptest {
 mod tests {
     use crate::prelude::*;
     use crate::Strategy;
+    use crate::{record_failure, record_failure_to, scaled_cases};
 
     #[test]
     fn ranges_and_vecs_generate_in_bounds() {
@@ -294,5 +393,40 @@ mod tests {
         fn default_config_form(x in 0u64..3) {
             prop_assert!(x < 3, "x was {}", x);
         }
+    }
+
+    #[test]
+    fn case_scaling_is_proportional_with_a_floor_of_one() {
+        // Unset env: identity (resolved_cases may be affected by the
+        // environment, so pin the pure rule).
+        assert_eq!(scaled_cases(64, 64), 64);
+        assert_eq!(scaled_cases(64, 640), 640, "default blocks scale 10×");
+        assert_eq!(scaled_cases(8, 640), 80, "explicit blocks keep weight");
+        assert_eq!(scaled_cases(48, 640), 480);
+        assert_eq!(scaled_cases(1, 640), 10);
+        assert_eq!(scaled_cases(100, 1), 2, "rounds up");
+        assert_eq!(scaled_cases(1, 1), 1, "never zero");
+        assert_eq!(scaled_cases(0, 640), 1, "never zero");
+        assert_eq!(scaled_cases(u32::MAX, u64::MAX), u32::MAX, "saturates");
+    }
+
+    #[test]
+    fn failure_records_are_written_and_seeds_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("proptest-fail-{}", std::process::id()));
+        record_failure_to(&dir, "some_test", 0xABCD, 3, 64, "boom");
+        let body = std::fs::read_to_string(dir.join("some_test.seed")).unwrap();
+        assert!(body.contains("seed: 0xabcd"), "{body}");
+        assert!(body.contains("PROPTEST_SEED=0xabcd"), "{body}");
+        assert!(body.contains("failed case: 3 of 64"), "{body}");
+        assert!(body.contains("boom"), "{body}");
+        std::fs::remove_dir_all(&dir).ok();
+        // The printed (hex) form and plain decimal both parse back.
+        assert_eq!(crate::parse_seed("0xabcd"), Some(0xABCD));
+        assert_eq!(crate::parse_seed("0XABCD"), Some(0xABCD));
+        assert_eq!(crate::parse_seed(" 43981 "), Some(0xABCD));
+        assert_eq!(crate::parse_seed("nope"), None);
+        // Unset dir: a silent no-op (no env mutation in tests — the env
+        // path is exercised by the nightly workflow itself).
+        record_failure("other_test", 1, 1, 1, "x");
     }
 }
