@@ -19,7 +19,6 @@
 //! degrades toward HDRF when the graph vastly exceeds the buffer.
 
 use std::io;
-use std::time::Instant;
 
 use tps_core::partitioner::{PartitionParams, Partitioner, RunReport};
 use tps_core::sink::AssignmentSink;
@@ -101,7 +100,7 @@ impl Partitioner for AdwisePartitioner {
         let info = discover_info(stream)?;
         let k = params.k;
 
-        let t = Instant::now();
+        let t = tps_obs::span("partition");
         // Degrees are discovered on ingestion into the window (partial, as in
         // the original single-pass setting).
         let mut degrees = vec![0u64; info.num_vertices as usize];
@@ -155,7 +154,7 @@ impl Partitioner for AdwisePartitioner {
             max_load = max_load.max(loads[p as usize]);
             sink.assign(edge, p)?;
         }
-        report.phases.record("partition", t.elapsed());
+        report.phases.record("partition", t.end());
         report.count("window", self.window as u64);
         report.count("probe", self.probe as u64);
         Ok(report)

@@ -17,7 +17,6 @@
 
 use std::io;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::time::Instant;
 
 use tps_core::partitioner::{PartitionParams, Partitioner, RunReport};
 use tps_core::sink::AssignmentSink;
@@ -204,13 +203,13 @@ impl Partitioner for DnePartitioner {
             return Ok(report);
         }
 
-        let t0 = Instant::now();
+        let t0 = tps_obs::span("build");
         let mut edges = Vec::with_capacity(info.num_edges as usize);
         for_each_edge(stream, |e| edges.push(e))?;
         let csr = Csr::from_stream(stream, info.num_vertices)?;
-        report.phases.record("build", t0.elapsed());
+        report.phases.record("build", t0.end());
 
-        let t1 = Instant::now();
+        let t1 = tps_obs::span("expand");
         let threads = if self.threads == 0 {
             std::thread::available_parallelism()
                 .map_or(4, |n| n.get())
@@ -260,10 +259,10 @@ impl Partitioner for DnePartitioner {
                 .map(|h| h.join().expect("worker panicked"))
                 .collect()
         });
-        report.phases.record("expand", t1.elapsed());
+        report.phases.record("expand", t1.end());
 
         // Emit claimed edges, then sweep leftovers to least-loaded parts.
-        let t2 = Instant::now();
+        let t2 = tps_obs::span("sweep");
         for out in outputs {
             for (e, p) in out {
                 sink.assign(e, p)?;
@@ -284,7 +283,7 @@ impl Partitioner for DnePartitioner {
                 sink.assign(edges[idx], p as u32)?;
             }
         }
-        report.phases.record("sweep", t2.elapsed());
+        report.phases.record("sweep", t2.end());
         report.count("threads", threads as u64);
         report.count("leftover_sweep", swept);
         Ok(report)

@@ -16,7 +16,6 @@
 //! completeness and ablations.
 
 use std::io;
-use std::time::Instant;
 
 use tps_core::partitioner::{PartitionParams, Partitioner, RunReport};
 use tps_core::sink::AssignmentSink;
@@ -61,7 +60,7 @@ impl Partitioner for GreedyPartitioner {
         let info = discover_info(stream)?;
         let k = params.k;
 
-        let t = Instant::now();
+        let t = tps_obs::span("partition");
         let mut v2p = ReplicationMatrix::new(info.num_vertices, k);
         let mut loads = vec![0u64; k as usize];
 
@@ -95,7 +94,7 @@ impl Partitioner for GreedyPartitioner {
             loads[target as usize] += 1;
             sink.assign(e, target)?;
         }
-        report.phases.record("partition", t.elapsed());
+        report.phases.record("partition", t.end());
         Ok(report)
     }
 }

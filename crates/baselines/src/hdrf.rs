@@ -8,7 +8,6 @@
 //! original (single pass, no preprocessing).
 
 use std::io;
-use std::time::Instant;
 
 use tps_core::partitioner::{PartitionParams, Partitioner, RunReport};
 use tps_core::sink::AssignmentSink;
@@ -120,15 +119,15 @@ impl Partitioner for HdrfPartitioner {
 
         let mut degrees = vec![0u64; info.num_vertices as usize];
         if !self.partial_degrees {
-            let t = Instant::now();
+            let t = tps_obs::span("degree");
             let exact = tps_graph::degree::DegreeTable::compute(stream, info.num_vertices)?;
             for (d, &e) in degrees.iter_mut().zip(exact.as_slice()) {
                 *d = e as u64;
             }
-            report.phases.record("degree", t.elapsed());
+            report.phases.record("degree", t.end());
         }
 
-        let t = Instant::now();
+        let t = tps_obs::span("partition");
         let mut scorer = HdrfScorer::new(info.num_vertices, k, self.params);
         stream.reset()?;
         while let Some(e) = stream.next_edge()? {
@@ -141,7 +140,7 @@ impl Partitioner for HdrfPartitioner {
             let p = scorer.place(e, du, dv);
             sink.assign(e, p)?;
         }
-        report.phases.record("partition", t.elapsed());
+        report.phases.record("partition", t.end());
         Ok(report)
     }
 }

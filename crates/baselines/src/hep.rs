@@ -15,7 +15,6 @@
 //! can still respect the global `α` cap.
 
 use std::io;
-use std::time::Instant;
 
 use tps_core::partitioner::{PartitionParams, Partitioner, RunReport};
 use tps_core::sink::AssignmentSink;
@@ -97,14 +96,14 @@ impl Partitioner for HepPartitioner {
         let k = params.k;
 
         // Degree pass.
-        let t0 = Instant::now();
+        let t0 = tps_obs::span("degree");
         let degrees = DegreeTable::compute(stream, info.num_vertices)?;
-        report.phases.record("degree", t0.elapsed());
+        report.phases.record("degree", t0.end());
 
         let threshold = (self.tau * info.mean_degree()).max(1.0) as u32;
 
         // Split pass: materialise the low-degree subgraph.
-        let t1 = Instant::now();
+        let t1 = tps_obs::span("split");
         let mut low_edges: Vec<Edge> = Vec::new();
         for_each_edge(stream, |e| {
             if degrees.degree(e.src) <= threshold && degrees.degree(e.dst) <= threshold {
@@ -112,7 +111,7 @@ impl Partitioner for HepPartitioner {
             }
         })?;
         let low_count = low_edges.len() as u64;
-        report.phases.record("split", t1.elapsed());
+        report.phases.record("split", t1.end());
 
         let mut v2p = ReplicationMatrix::new(info.num_vertices, k);
         let mut loads = vec![0u64; k as usize];
@@ -122,7 +121,7 @@ impl Partitioner for HepPartitioner {
 
         // In-memory phase: NE over the low-degree subgraph. Each partition
         // gets a fair share of the subgraph so the streaming phase has room.
-        let t2 = Instant::now();
+        let t2 = tps_obs::span("memory_phase");
         if !low_edges.is_empty() {
             let csr = Csr::from_edges(&low_edges, info.num_vertices);
             let mut core = NeCore::new(&csr, &low_edges, k);
@@ -146,11 +145,11 @@ impl Partitioner for HepPartitioner {
                 })?;
             }
         }
-        report.phases.record("memory_phase", t2.elapsed());
+        report.phases.record("memory_phase", t2.end());
 
         // Streaming phase: HDRF over the remaining (high-degree) edges with
         // the shared state and a hard cap.
-        let t3 = Instant::now();
+        let t3 = tps_obs::span("stream_phase");
         let lambda = self.hdrf.lambda;
         let epsilon = self.hdrf.epsilon;
         let mut streamed = 0u64;
@@ -200,7 +199,7 @@ impl Partitioner for HepPartitioner {
             loads[p as usize] += 1;
             sink.assign(e, p)?;
         }
-        report.phases.record("stream_phase", t3.elapsed());
+        report.phases.record("stream_phase", t3.end());
         report.count("low_degree_edges", low_count);
         report.count("streamed_edges", streamed);
         report.count("degree_threshold", threshold as u64);

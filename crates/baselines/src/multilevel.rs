@@ -16,7 +16,6 @@
 
 use std::collections::HashMap;
 use std::io;
-use std::time::Instant;
 
 use tps_core::partitioner::{PartitionParams, Partitioner, RunReport};
 use tps_core::sink::AssignmentSink;
@@ -278,16 +277,16 @@ impl Partitioner for MultilevelPartitioner {
         let k = params.k;
 
         // Materialise level 0.
-        let t0 = Instant::now();
+        let t0 = tps_obs::span("build");
         let mut edges: Vec<Edge> = Vec::with_capacity(info.num_edges as usize);
         for_each_edge(stream, |e| edges.push(e))?;
         let n0 = info.num_vertices as usize;
         let mut pairs: Vec<(u32, u32, u64)> = edges.iter().map(|e| (e.src, e.dst, 1u64)).collect();
         let mut levels = vec![Level::from_pairs(n0, &mut pairs, vec![1u64; n0])];
-        report.phases.record("build", t0.elapsed());
+        report.phases.record("build", t0.end());
 
         // Coarsening.
-        let t1 = Instant::now();
+        let t1 = tps_obs::span("coarsen");
         let target = (self.coarsen_target_per_part * k as usize).max(128);
         loop {
             let last = levels.last_mut().expect("at least level 0");
@@ -302,10 +301,10 @@ impl Partitioner for MultilevelPartitioner {
                 break; // diminishing returns (e.g. star graphs)
             }
         }
-        report.phases.record("coarsen", t1.elapsed());
+        report.phases.record("coarsen", t1.end());
 
         // Initial partition on the coarsest level, then project + refine.
-        let t2 = Instant::now();
+        let t2 = tps_obs::span("refine");
         let coarsest = levels.last().expect("non-empty");
         let mut part = coarsest.initial_partition(k);
         coarsest.refine(&mut part, k, self.refine_passes, self.balance);
@@ -318,11 +317,11 @@ impl Partitioner for MultilevelPartitioner {
             part = fine_part;
             levels[li].refine(&mut part, k, self.refine_passes, self.balance);
         }
-        report.phases.record("refine", t2.elapsed());
+        report.phases.record("refine", t2.end());
 
         // Derive the edge partition: common part, else the less edge-loaded
         // of the two endpoint parts.
-        let t3 = Instant::now();
+        let t3 = tps_obs::span("derive");
         let mut loads = vec![0u64; k as usize];
         for &e in &edges {
             let (pu, pv) = (part[e.src as usize], part[e.dst as usize]);
@@ -334,7 +333,7 @@ impl Partitioner for MultilevelPartitioner {
             loads[p as usize] += 1;
             sink.assign(e, p)?;
         }
-        report.phases.record("derive", t3.elapsed());
+        report.phases.record("derive", t3.end());
         report.count("levels", levels.len() as u64);
         report.count(
             "coarsest_vertices",

@@ -25,7 +25,6 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::io;
-use std::time::Instant;
 
 use tps_core::partitioner::{PartitionParams, Partitioner, RunReport};
 use tps_core::sink::AssignmentSink;
@@ -284,13 +283,13 @@ impl Partitioner for NePartitioner {
 
         // Materialise the graph (this is the in-memory ≥ O(|E|) footprint of
         // Table II).
-        let t0 = Instant::now();
+        let t0 = tps_obs::span("build");
         let mut edges = Vec::with_capacity(info.num_edges as usize);
         for_each_edge(stream, |e| edges.push(e))?;
         let csr = Csr::from_stream(stream, info.num_vertices)?;
-        report.phases.record("build", t0.elapsed());
+        report.phases.record("build", t0.end());
 
-        let t1 = Instant::now();
+        let t1 = tps_obs::span("partition");
         let cap = (params.alpha * info.num_edges as f64 / params.k as f64)
             .floor()
             .max(1.0) as u64;
@@ -299,7 +298,7 @@ impl Partitioner for NePartitioner {
             core.expand(p, cap, sink)?;
         }
         let swept = core.sweep_leftovers(sink)?;
-        report.phases.record("partition", t1.elapsed());
+        report.phases.record("partition", t1.end());
         report.count("leftover_sweep", swept);
         Ok(report)
     }

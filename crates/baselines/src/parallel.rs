@@ -27,7 +27,6 @@
 //! enforce no hard cap, so the ledger's cap is only a reporting reference).
 
 use std::io;
-use std::time::Instant;
 
 use tps_core::balance::AtomicLoads;
 use tps_core::parallel::{merge_degree_tables, run_workers, shard_degrees};
@@ -120,15 +119,15 @@ impl ParallelBaselineRunner {
 
         // Exact degree pass, parallel and merged (both baselines share it;
         // serial DBH computes the identical table from one cursor).
-        let t0 = Instant::now();
+        let t0 = tps_obs::span("degree");
         let tables = run_workers(&ranges, |_, range| {
             shard_degrees(source, range, info.num_vertices)
         })?;
         let degrees = merge_degree_tables(tables);
-        report.phases.record("degree", t0.elapsed());
+        report.phases.record("degree", t0.end());
 
         // Assignment pass: per-worker streaming state, shared load ledger.
-        let t1 = Instant::now();
+        let t1 = tps_obs::span("partition");
         let ledger = AtomicLoads::new(params.k, info.num_edges, params.alpha);
         let algo = self.algo;
         let buffers = run_workers(&ranges, |_, (a, b)| {
@@ -155,16 +154,16 @@ impl ParallelBaselineRunner {
             }
             Ok(out)
         })?;
-        report.phases.record("partition", t1.elapsed());
+        report.phases.record("partition", t1.end());
 
         // Emit in worker order (= input order: the ranges are contiguous).
-        let t2 = Instant::now();
+        let t2 = tps_obs::span("emit");
         for buf in buffers {
             for (e, p) in buf {
                 sink.assign(e, p)?;
             }
         }
-        report.phases.record("emit", t2.elapsed());
+        report.phases.record("emit", t2.end());
 
         debug_assert_eq!(ledger.total(), info.num_edges);
         report.count("threads", threads as u64);

@@ -18,7 +18,6 @@
 //! cannot host `k` seeds (`chunk_edges < 4·k`).
 
 use std::io;
-use std::time::Instant;
 
 use tps_core::partitioner::{PartitionParams, Partitioner, RunReport};
 use tps_core::sink::AssignmentSink;
@@ -75,7 +74,7 @@ impl Partitioner for SnePartitioner {
             ));
         }
 
-        let t = Instant::now();
+        let t = tps_obs::span("partition");
         let cap = (params.alpha * info.num_edges as f64 / params.k as f64)
             .floor()
             .max(1.0) as u64;
@@ -141,7 +140,7 @@ impl Partitioner for SnePartitioner {
                 p
             })?;
         }
-        report.phases.record("partition", t.elapsed());
+        report.phases.record("partition", t.end());
         report.count("chunks", chunks);
         Ok(report)
     }

@@ -15,7 +15,6 @@
 //!   `O(1)` state.
 
 use std::io;
-use std::time::Instant;
 
 use tps_core::partitioner::{PartitionParams, Partitioner, RunReport};
 use tps_core::sink::AssignmentSink;
@@ -48,7 +47,7 @@ impl Partitioner for RandomPartitioner {
         sink: &mut dyn AssignmentSink,
     ) -> io::Result<RunReport> {
         let mut report = RunReport::default();
-        let t = Instant::now();
+        let t = tps_obs::span("partition");
         stream.reset()?;
         while let Some(e) = stream.next_edge()? {
             let c = e.canonical();
@@ -56,7 +55,7 @@ impl Partitioner for RandomPartitioner {
             let p = seeded_hash_to_partition((key ^ key >> 32) as u32, self.seed, params.k);
             sink.assign(e, p)?;
         }
-        report.phases.record("partition", t.elapsed());
+        report.phases.record("partition", t.end());
         Ok(report)
     }
 }
@@ -88,11 +87,11 @@ impl Partitioner for DbhPartitioner {
         let mut report = RunReport::default();
         let info = discover_info(stream)?;
 
-        let t0 = Instant::now();
+        let t0 = tps_obs::span("degree");
         let degrees = DegreeTable::compute(stream, info.num_vertices)?;
-        report.phases.record("degree", t0.elapsed());
+        report.phases.record("degree", t0.end());
 
-        let t1 = Instant::now();
+        let t1 = tps_obs::span("partition");
         stream.reset()?;
         while let Some(e) = stream.next_edge()? {
             // Hash the lower-degree endpoint; ties keep the first endpoint,
@@ -105,7 +104,7 @@ impl Partitioner for DbhPartitioner {
             let p = seeded_hash_to_partition(v, self.seed, params.k);
             sink.assign(e, p)?;
         }
-        report.phases.record("partition", t1.elapsed());
+        report.phases.record("partition", t1.end());
         Ok(report)
     }
 }
@@ -145,14 +144,14 @@ impl Partitioner for GridPartitioner {
     ) -> io::Result<RunReport> {
         let mut report = RunReport::default();
         let r = Self::side(params.k);
-        let t = Instant::now();
+        let t = tps_obs::span("partition");
         stream.reset()?;
         while let Some(e) = stream.next_edge()? {
             let row = (mix64(e.src as u64 ^ self.seed) % r as u64) as u32;
             let col = (mix64(e.dst as u64 ^ self.seed.rotate_left(17)) % r as u64) as u32;
             sink.assign(e, row * r + col)?;
         }
-        report.phases.record("partition", t.elapsed());
+        report.phases.record("partition", t.end());
         report.count("grid_side", r as u64);
         Ok(report)
     }

@@ -17,7 +17,15 @@
 //! * `dbh` — `ParallelBaselineRunner` vs serial DBH (whose output the
 //!   parallel runner reproduces identically at every thread count).
 //!
-//! Run: `cargo run --release -p tps-bench --bin parallel_scaling -- [--algo 2ps|hdrf|dbh] [--scale f] [--repeats n] [--quick]`
+//! For the default `2ps` algorithm the report also carries a
+//! `trace_overhead` section: the same 4-thread run measured untraced and
+//! with `tps-obs` event recording enabled, plus their wall-time ratio
+//! (`slowdown`) — the CI perf gate holds that ratio under the committed
+//! `parallel_scaling.trace_overhead.slowdown` ceiling. `--trace FILE`
+//! additionally writes the traced run's JSON-lines trace to FILE
+//! (`tps report FILE` renders it).
+//!
+//! Run: `cargo run --release -p tps-bench --bin parallel_scaling -- [--algo 2ps|hdrf|dbh] [--trace file] [--scale f] [--repeats n] [--quick]`
 
 use std::time::Instant;
 
@@ -45,6 +53,7 @@ struct Measured {
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let algo = take_value(&mut argv, "--algo").unwrap_or_else(|| "2ps".to_string());
+    let trace_path = take_value(&mut argv, "--trace");
     let args = BenchArgs::parse(argv);
     // The OK stand-in is R-MAT-derived: skewed degrees and ids.
     let graph = Dataset::Ok.generate_scaled(args.scale);
@@ -80,7 +89,16 @@ fn main() {
         serial.metrics.replication_factor,
         serial.metrics.alpha
     );
-    println!("  \"parallel\": [\n{}\n  ]", rows.join(",\n"));
+    println!("  \"parallel\": [\n{}\n  ],", rows.join(",\n"));
+    if matches!(algo.as_str(), "2ps" | "2ps-l") {
+        println!(
+            "  {}",
+            trace_overhead(&graph, &params, &args, trace_path.as_deref())
+        );
+    } else {
+        // Keep the document shape stable across algorithms.
+        println!("  \"trace_overhead\": null");
+    }
     println!("}}");
 }
 
@@ -219,4 +237,106 @@ fn check_row(out: &Measured, serial: &Measured, graph: &InMemoryGraph, threads: 
         );
         assert_eq!(out.metrics.loads, serial.metrics.loads);
     }
+}
+
+/// Measure the cost of `tps-obs` event recording on the 4-thread 2PS-L
+/// run. At `--quick` scale a single run lasts milliseconds, so each sample
+/// times a batch of back-to-back runs (calibrated to ≥ ~0.3 s) and the
+/// reported `slowdown` is the ratio of the best traced sample to the best
+/// untraced sample — stable enough for the perf gate's exact-tolerance
+/// ceiling. Tracing must never change output, so the traced run's quality
+/// is asserted identical to the untraced run's.
+fn trace_overhead(
+    graph: &InMemoryGraph,
+    params: &PartitionParams,
+    args: &BenchArgs,
+    trace_path: Option<&str>,
+) -> String {
+    const THREADS: usize = 4;
+    const TARGET_SAMPLE_SECS: f64 = 0.3;
+    let samples = args.repeats.max(3);
+    let runner = ParallelRunner::new(TwoPhaseConfig::default(), THREADS);
+    let run_once = || {
+        let out = run_parallel_partitioner(&runner, graph, params).expect("parallel partition");
+        Measured {
+            seconds: out.seconds(),
+            metrics: out.metrics,
+            report: out.report,
+        }
+    };
+
+    // Warm up and calibrate the batch size on an untraced run.
+    tps_obs::set_enabled(false);
+    tps_obs::reset_events();
+    let cal = run_once();
+    let iters = ((TARGET_SAMPLE_SECS / cal.seconds.max(1e-9)).ceil() as usize).clamp(1, 50);
+
+    // One sample = the summed partition time of `iters` back-to-back runs.
+    let sample = |traced: bool| -> f64 {
+        tps_obs::set_enabled(traced);
+        let mut total = 0.0;
+        for _ in 0..iters {
+            // Each run starts with empty buffers, like a CLI run would.
+            tps_obs::reset_events();
+            total += run_once().seconds;
+        }
+        tps_obs::set_enabled(false);
+        total
+    };
+    // Alternate untraced/traced samples so machine-load drift hits both.
+    let mut best_untraced = f64::INFINITY;
+    let mut best_traced = f64::INFINITY;
+    for _ in 0..samples {
+        best_untraced = best_untraced.min(sample(false));
+        best_traced = best_traced.min(sample(true));
+    }
+
+    // Bit-identical guarantee: one traced and one untraced run must agree.
+    let untraced_out = run_once();
+    tps_obs::set_enabled(true);
+    tps_obs::reset_events();
+    let traced_out = run_once();
+    tps_obs::set_enabled(false);
+    assert_eq!(
+        traced_out.metrics.replication_factor, untraced_out.metrics.replication_factor,
+        "tracing changed partitioning output (RF)"
+    );
+    assert_eq!(
+        traced_out.metrics.loads, untraced_out.metrics.loads,
+        "tracing changed partitioning output (loads)"
+    );
+
+    if let Some(path) = trace_path {
+        // One clean traced run for the artifact, from fresh buffers so the
+        // file describes exactly one run.
+        tps_obs::reset_events();
+        tps_obs::reset_counters();
+        tps_obs::set_enabled(true);
+        let _ = run_once();
+        tps_obs::set_enabled(false);
+        let events = tps_obs::take_events();
+        let counters: Vec<(u32, String, u64)> = tps_obs::counters_snapshot()
+            .into_iter()
+            .map(|(n, v)| (0, n, v))
+            .collect();
+        let meta = tps_obs::TraceMeta {
+            cmd: "bench".to_string(),
+            algo: format!("2PS-L×{THREADS}"),
+            k: K,
+            alpha: params.alpha,
+            vertices: graph.num_vertices(),
+            edges: graph.num_edges(),
+        };
+        tps_obs::write_trace(std::path::Path::new(path), &meta, &events, &counters)
+            .expect("writing trace");
+        eprintln!("trace: {} events -> {path}", events.len());
+    }
+
+    let medges = graph.num_edges() as f64 * iters as f64 / 1e6;
+    format!(
+        "\"trace_overhead\": {{\"threads\": {THREADS}, \"untraced_medges_per_sec\": {:.3}, \"traced_medges_per_sec\": {:.3}, \"slowdown\": {:.4}}}",
+        medges / best_untraced,
+        medges / best_traced,
+        best_traced / best_untraced
+    )
 }

@@ -4,9 +4,11 @@
 //! `BENCH_ci.json`, extracts the gated metrics, and compares them against a
 //! committed baseline (`bench/baselines/ci.json`): any throughput metric
 //! below `floor × (1 − tolerance)` — or any lower-is-better ceiling
-//! (`*.rf_vs_serial` replication ratios, `*.peak_rss_mb` memory bounds;
-//! see `tps_bench::gate::direction`) above `ceiling × (1 + tolerance)` —
-//! fails the run with a non-zero exit.
+//! (`*.rf_vs_serial` replication ratios, `*.peak_rss_mb` memory bounds,
+//! `*.trace_overhead.slowdown` tracing-overhead ratios; see
+//! `tps_bench::gate::direction`) above `ceiling × (1 + tolerance)` —
+//! fails the run with a non-zero exit. Slowdown ceilings compare exactly:
+//! their committed value already encodes the headroom.
 //!
 //! ```text
 //! # gate (CI):
@@ -134,9 +136,11 @@ fn run() -> Result<bool, String> {
                 Some(Some(Json::Obj(members))) => members
                     .iter()
                     .filter(|(k, _)| {
-                        // Hand-set peak-RSS ceilings survive a refresh of
+                        // Hand-set policy ceilings (peak-RSS headroom,
+                        // tracing-overhead budgets) survive a refresh of
                         // their own section too (see the skip below).
                         k.ends_with(".peak_rss_mb")
+                            || k.ends_with(".slowdown")
                             || !sections.iter().any(|s| k.starts_with(&format!("{s}.")))
                     })
                     .filter_map(|(k, v)| v.as_f64().map(|f| (k.clone(), f)))
@@ -145,13 +149,13 @@ fn run() -> Result<bool, String> {
             };
         let mut skipped_rss = 0usize;
         for (k, v) in &current {
-            if k.ends_with(".peak_rss_mb") {
+            if k.ends_with(".peak_rss_mb") || k.ends_with(".slowdown") {
                 // RF ceilings are deterministic and written as measured;
-                // peak-RSS ceilings are NOT — RSS varies with allocator
-                // and runner, so their headroom is set by hand (see the
-                // baseline comment). Writing the measured value verbatim
-                // would commit a zero-headroom ceiling that flakes on the
-                // next runner; keep whatever the file already holds.
+                // peak-RSS and tracing-slowdown ceilings are NOT — they
+                // vary with allocator/runner, so their headroom is set by
+                // hand (see the baseline comment). Writing the measured
+                // value verbatim would commit a zero-headroom ceiling that
+                // flakes on the next runner; keep whatever the file holds.
                 skipped_rss += 1;
                 continue;
             }
@@ -162,8 +166,8 @@ fn run() -> Result<bool, String> {
         }
         if skipped_rss > 0 {
             eprintln!(
-                "note: {skipped_rss} *.peak_rss_mb ceilings left untouched — set their \
-                 headroom by hand (see the baseline comment)"
+                "note: {skipped_rss} *.peak_rss_mb / *.slowdown ceilings left untouched — \
+                 set their headroom by hand (see the baseline comment)"
             );
         }
         let floors = Json::Obj(

@@ -16,8 +16,9 @@
 //!   --derate f` flow) — the gate then catches genuine regressions
 //!   without tripping on runner jitter.
 //! * **ceilings** ([`Direction::Ceiling`], lower is better — the
-//!   replication-factor ratios `*.rf_vs_serial` and the peak-memory
-//!   bounds `*.peak_rss_mb`): the gate fails when `current > ceiling ×
+//!   replication-factor ratios `*.rf_vs_serial`, the peak-memory
+//!   bounds `*.peak_rss_mb`, and the tracing-overhead ratios
+//!   `*.trace_overhead.slowdown`): the gate fails when `current > ceiling ×
 //!   (1 + tolerance)`. RF ratios are deterministic for a fixed worker
 //!   count and committed as measured; peak-RSS ceilings are committed
 //!   with explicit headroom (see `bench/baselines/ci.json`). Neither is
@@ -307,6 +308,14 @@ pub fn extract_metrics(report: &Json) -> BTreeMap<String, f64> {
                 out.insert(format!("{section}.t{}.rf_vs_serial", t as u64), v);
             }
         }
+        // Tracing-overhead ceiling: traced ÷ untraced wall time.
+        if let Some(v) = par
+            .get("trace_overhead")
+            .and_then(|t| t.get("slowdown"))
+            .and_then(Json::as_f64)
+        {
+            out.insert(format!("{section}.trace_overhead.slowdown"), v);
+        }
     }
     // mem_peak emits one row per execution mode; the gated number is the
     // peak-RSS ceiling.
@@ -340,6 +349,7 @@ pub enum Direction {
 const DIRECTION_SUFFIXES: &[(&str, Direction)] = &[
     (".rf_vs_serial", Direction::Ceiling),
     (".peak_rss_mb", Direction::Ceiling),
+    (".slowdown", Direction::Ceiling),
 ];
 
 /// The compare direction of `metric`, per the suffix table above.
@@ -354,6 +364,14 @@ pub fn direction(metric: &str) -> Direction {
 /// Whether `metric` is a **ceiling** (lower is better).
 pub fn is_ceiling(metric: &str) -> bool {
     direction(metric) == Direction::Ceiling
+}
+
+/// Per-metric tolerance override. The `*.slowdown` tracing-overhead
+/// ceilings are ratios whose committed baseline already encodes the allowed
+/// headroom (e.g. 1.03 = "traced within 3% of untraced"), so the global
+/// jitter tolerance must not widen them: they compare exactly.
+pub fn tolerance_override(metric: &str) -> Option<f64> {
+    metric.ends_with(".slowdown").then_some(0.0)
 }
 
 /// Restrict `baseline` to metrics whose section (the prefix before the
@@ -400,6 +418,7 @@ pub fn compare(
 ) -> Vec<Regression> {
     let mut out = Vec::new();
     for (metric, &base) in baseline {
+        let tolerance = tolerance_override(metric).unwrap_or(tolerance);
         let regressed = match current.get(metric) {
             None => true,
             Some(&cur) if is_ceiling(metric) => cur > base * (1.0 + tolerance),
@@ -574,6 +593,48 @@ mod tests {
         assert_eq!(direction("x.peak_rss_mb.note"), Direction::Floor);
         assert!(is_ceiling("mem_peak.dist2.peak_rss_mb"));
         assert!(!is_ceiling("mem_peak.dist2.seconds"));
+    }
+
+    #[test]
+    fn slowdown_ceiling_ignores_global_tolerance() {
+        assert_eq!(
+            direction("parallel_scaling.trace_overhead.slowdown"),
+            Direction::Ceiling
+        );
+        assert_eq!(
+            tolerance_override("parallel_scaling.trace_overhead.slowdown"),
+            Some(0.0)
+        );
+        assert_eq!(tolerance_override("mem_peak.t8.peak_rss_mb"), None);
+        let mut base = BTreeMap::new();
+        // 1.03 IS the headroom: the global 25% tolerance must not widen it.
+        base.insert("parallel_scaling.trace_overhead.slowdown".to_string(), 1.03);
+        let mut ok = BTreeMap::new();
+        ok.insert("parallel_scaling.trace_overhead.slowdown".to_string(), 1.02);
+        assert!(compare(&base, &ok, 0.25).is_empty());
+        let mut bad = BTreeMap::new();
+        bad.insert("parallel_scaling.trace_overhead.slowdown".to_string(), 1.05);
+        let regs = compare(&base, &bad, 0.25);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "parallel_scaling.trace_overhead.slowdown");
+    }
+
+    #[test]
+    fn extracts_trace_overhead_slowdown() {
+        let j = parse_json(
+            r#"{
+              "parallel_scaling": {
+                "serial": {"medges_per_sec": 10.0},
+                "parallel": [{"threads": 4, "medges_per_sec": 30.0}],
+                "trace_overhead": {"threads": 4, "untraced_medges_per_sec": 30.0,
+                                   "traced_medges_per_sec": 29.5, "slowdown": 1.017}
+              }
+            }"#,
+        )
+        .unwrap();
+        let m = extract_metrics(&j);
+        assert_eq!(m["parallel_scaling.trace_overhead.slowdown"], 1.017);
+        assert_eq!(m.len(), 3);
     }
 
     #[test]

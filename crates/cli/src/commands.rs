@@ -36,6 +36,7 @@ USAGE:
   tps convert   --input FILE --out FILE       convert between .bel v1 and v2
   tps info      --input FILE                  print graph statistics
   tps profile   --path FILE                   measure sequential read speed
+  tps report    TRACE.jsonl                   render a trace file's run report
   tps help                                    show this text
 
 partition options:
@@ -60,6 +61,9 @@ partition options:
   --spill-budget-mb N bound buffering to N MiB: output files spill through
                       the spilling sink, and parallel replay runs spill
                       through disk-backed spools (parallel stays parallel)
+  --trace FILE        record a structured trace (JSON lines: phase spans,
+                      counters) to FILE; `tps report FILE` renders it.
+                      Tracing never changes partitioning output.
   --quiet             only print the metrics line
 
 dist coordinator options (2ps-l / 2ps-hdrf on binary inputs):
@@ -80,9 +84,12 @@ dist coordinator options (2ps-l / 2ps-hdrf on binary inputs):
                       fault injection (--dist-local only): worker I dies at
                       SPEC = recv:TAG[:N] | send:TAG[:N] | frames:N
                       (the CI dist-chaos job drives this)
-  --alpha/--passes/--algorithm/--reader/--out/--spill-budget-mb/--quiet
-                      as for tps partition; --reader selects the backend
-                      each worker opens its shard with. Output is
+  --alpha/--passes/--algorithm/--reader/--out/--spill-budget-mb/
+  --trace/--quiet     as for tps partition; --reader selects the backend
+                      each worker opens its shard with. With --trace,
+                      workers record their shard phases too and ship them
+                      in the ShardDone barrier frame, so the one trace
+                      file covers the whole cluster. Output is
                       bit-identical to `tps partition --threads N` for the
                       same worker count, even across worker failures.
 
@@ -111,6 +118,12 @@ info options:
 profile options:
   --path FILE         file to read
   --block-size N      read block bytes (default 100 MiB, fio-style)
+
+report options:
+  tps report TRACE.jsonl
+                      parse a --trace file and print the phase breakdown
+                      (per worker, plus the per-shard critical path for
+                      dist runs), top counters, and fault timeline
 ";
 
 /// Resolve the input format: the `--format` flag, else the file extension.
@@ -351,9 +364,16 @@ pub fn partition(args: &[String]) -> i32 {
         let mut exec = resolve_exec(&flags, input, algo, passes)?;
         let name = exec.name();
         let info = exec.info()?;
-        execute_and_report(&flags, &name, info, input, k, alpha, &mut |params, sink| {
-            exec.run(params, sink)
-        })
+        execute_and_report(
+            &flags,
+            "partition",
+            &name,
+            info,
+            input,
+            k,
+            alpha,
+            &mut |params, sink| exec.run(params, sink),
+        )
     };
     match run() {
         Ok(()) => 0,
@@ -364,8 +384,10 @@ pub fn partition(args: &[String]) -> i32 {
 /// Run a partitioning job and print metrics/outputs — shared by
 /// `tps partition` and `tps dist coordinator` (which supply their own
 /// runner closures).
+#[allow(clippy::too_many_arguments)] // two call sites; the args mirror the CLI surface
 fn execute_and_report(
     flags: &Flags,
+    cmd: &str,
     name: &str,
     info: GraphInfo,
     input: &str,
@@ -374,6 +396,14 @@ fn execute_and_report(
     run: &mut dyn FnMut(&PartitionParams, &mut dyn AssignmentSink) -> Result<RunReport, String>,
 ) -> Result<(), String> {
     {
+        let trace_path = flags.get("trace");
+        if trace_path.is_some() {
+            // Start the trace from a clean slate so the file describes this
+            // run only. Counters are always on; events need the switch.
+            tps_obs::reset_events();
+            tps_obs::reset_counters();
+            tps_obs::set_enabled(true);
+        }
         let params = PartitionParams::with_alpha(k, alpha);
         let mut quality = QualitySink::new(info.num_vertices, k);
         let start = std::time::Instant::now();
@@ -444,6 +474,36 @@ fn execute_and_report(
             }
             for (name, v) in &report.counters {
                 eprintln!("counter {name}: {v}");
+            }
+        }
+        if let Some(path) = trace_path {
+            tps_obs::set_enabled(false);
+            let events = tps_obs::take_events();
+            // Local counters are worker 0; dist shard snapshots keep the
+            // worker id the coordinator tagged them with.
+            let mut counters: Vec<(u32, String, u64)> = tps_obs::counters_snapshot()
+                .into_iter()
+                .map(|(n, v)| (0, n, v))
+                .collect();
+            counters.extend(tps_obs::take_remote_counters());
+            let meta = tps_obs::TraceMeta {
+                cmd: cmd.to_string(),
+                algo: name.to_string(),
+                k,
+                alpha,
+                vertices: info.num_vertices,
+                edges: info.num_edges,
+            };
+            let path = PathBuf::from(path);
+            tps_obs::write_trace(&path, &meta, &events, &counters)
+                .map_err(|e| format!("writing trace {}: {e}", path.display()))?;
+            if !flags.has("quiet") {
+                eprintln!(
+                    "trace: {} events, {} counters -> {}",
+                    events.len(),
+                    counters.len(),
+                    path.display()
+                );
             }
         }
         Ok(())
@@ -673,20 +733,29 @@ fn dist_coordinator(args: &[String]) -> i32 {
                 children: &mut children,
                 quiet,
             };
-            execute_and_report(&flags, &name, info, input, k, alpha, &mut |params, sink| {
-                tps_dist::run_coordinator(
-                    &config,
-                    params,
-                    info,
-                    &input_desc,
-                    workers,
-                    transports.take().ok_or("coordinator can only run once")?,
-                    &mut supply,
-                    &policy,
-                    sink,
-                )
-                .map_err(|e| e.to_string())
-            })
+            execute_and_report(
+                &flags,
+                "dist",
+                &name,
+                info,
+                input,
+                k,
+                alpha,
+                &mut |params, sink| {
+                    tps_dist::run_coordinator(
+                        &config,
+                        params,
+                        info,
+                        &input_desc,
+                        workers,
+                        transports.take().ok_or("coordinator can only run once")?,
+                        &mut supply,
+                        &policy,
+                        sink,
+                    )
+                    .map_err(|e| e.to_string())
+                },
+            )
         });
         // Reconnecting workers may still sit in the accept backlog with no
         // job to serve: drain them with a Shutdown so they exit.
@@ -923,6 +992,24 @@ pub fn profile(args: &[String]) -> i32 {
             p.seconds,
             p.bandwidth() / 1e6
         );
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}
+
+/// `tps report` — render a `--trace` file's phase breakdown, counters and
+/// fault timeline.
+pub fn report(args: &[String]) -> i32 {
+    let path = match args.first() {
+        Some(p) if !p.starts_with('-') => PathBuf::from(p),
+        _ => return fail("usage: tps report TRACE.jsonl"),
+    };
+    let run = || -> Result<(), String> {
+        let trace = tps_obs::Trace::load(&path)?;
+        print!("{}", tps_obs::render_report(&trace)?);
         Ok(())
     };
     match run() {

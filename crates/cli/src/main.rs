@@ -18,6 +18,7 @@
 //! tps convert   --input graph.bel --out graph.bel2 [--to v1|v2] [--chunk-edges N]
 //! tps info      --input graph.bel [--format bel|text] [--reader NAME]
 //! tps profile   --path some.file [--block-size 104857600]
+//! tps report    trace.jsonl
 //! tps help
 //! ```
 
@@ -33,6 +34,7 @@ fn main() {
         Some("convert") => commands::convert(&argv[1..]),
         Some("info") => commands::info(&argv[1..]),
         Some("profile") => commands::profile(&argv[1..]),
+        Some("report") => commands::report(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             0

@@ -114,7 +114,6 @@
 
 use std::io;
 use std::sync::Arc;
-use std::time::Instant;
 
 use tps_clustering::merge::merge_clusterings;
 use tps_clustering::model::Clustering;
@@ -520,15 +519,15 @@ impl ParallelRunner {
         };
 
         // Phase 0: degrees, one worker per range, summed.
-        let t0 = Instant::now();
+        let s0 = tps_obs::span("degree");
         let tables = run_workers(&ranges, |_, range| {
             shard_degrees(source, range, info.num_vertices)
         })?;
         let degrees = merge_degree_tables(tables);
-        report.phases.record("degree", t0.elapsed());
+        report.phases.record("degree", s0.end());
 
         // Phase 1: local streaming clustering per range, merged by volume.
-        let t1 = Instant::now();
+        let s1 = tps_obs::span("clustering");
         let cap = resolve_volume_cap(&self.config, params.k, &degrees);
         let locals = run_workers(&ranges, |_, range| {
             shard_clustering(
@@ -543,12 +542,12 @@ impl ParallelRunner {
         })?;
         let clustering = merge_clusterings(&locals, &degrees);
         drop(locals);
-        report.phases.record("clustering", t1.elapsed());
+        report.phases.record("clustering", s1.end());
 
         // Phase 2 step 1: cluster→partition mapping (serial, edge-free).
-        let t2 = Instant::now();
+        let s2 = tps_obs::span("mapping");
         let placement = cluster_placement(&self.config, &clustering, params.k);
-        report.phases.record("mapping", t2.elapsed());
+        report.phases.record("mapping", s2.end());
 
         // Phase 2 step 2: the pre-partitioning subpass per range. Targets
         // depend only on the (merged) clustering, placement and load quotas
@@ -556,7 +555,7 @@ impl ParallelRunner {
         // into the one shared atomic matrix (relaxed fetch_or, no reads)
         // is deterministic, and the matrix at the barrier equals the
         // OR-merge of the old per-worker shards for any interleaving.
-        let t3 = Instant::now();
+        let s3 = tps_obs::span("prepartition");
         let shared = AtomicLoads::new(params.k, info.num_edges, params.alpha);
         let replicas = AtomicReplicationMatrix::new(info.num_vertices, params.k);
         let mut states = run_workers(&ranges, |t, (a, b)| {
@@ -575,7 +574,7 @@ impl ParallelRunner {
             }
             Ok((assigner, spool))
         })?;
-        report.phases.record("prepartition", t3.elapsed());
+        report.phases.record("prepartition", s3.end());
 
         // Barrier: freeze every worker's view. No merge and no copies —
         // the shared matrix already holds the union; scoring-subpass
@@ -587,17 +586,17 @@ impl ParallelRunner {
         }
 
         // Phase 2 step 3: score-and-assign the remaining edges per range.
-        let t4 = Instant::now();
+        let s4 = tps_obs::span("partition");
         let worker_out = run_workers_with(&ranges, states, |_, (a, b), state| {
             let (mut assigner, mut spool) = state;
             let mut s = source.open_range(a, b)?;
             assigner.remaining_pass(&mut s, &mut *spool)?;
             Ok((spool, assigner.counters(), assigner.overshoot()))
         })?;
-        report.phases.record("partition", t4.elapsed());
+        report.phases.record("partition", s4.end());
 
         // Emit: replay per-worker spools in deterministic worker order.
-        let t5 = Instant::now();
+        let s5 = tps_obs::span("emit");
         let mut counters = AssignCounters::default();
         let mut overshoot = 0u64;
         for (mut spool, c, o) in worker_out {
@@ -605,7 +604,7 @@ impl ParallelRunner {
             overshoot += o;
             spool.replay(sink)?;
         }
-        report.phases.record("emit", t5.elapsed());
+        report.phases.record("emit", s5.end());
 
         debug_assert_eq!(shared.total(), info.num_edges);
         report.count("threads", threads as u64);
@@ -624,7 +623,10 @@ pub fn record_phase2_counters(report: &mut RunReport, counters: &AssignCounters,
     report.count("fallback_hash", counters.fallback_hash);
     report.count("fallback_least_loaded", counters.fallback_least_loaded);
     report.count("cap_overshoot", overshoot);
+    CORE_CAP_OVERSHOOT.add(overshoot);
 }
+
+static CORE_CAP_OVERSHOOT: tps_obs::Counter = tps_obs::Counter::new("core.cap.overshoot");
 
 /// Append the shared clustering counter block to `report`.
 pub fn record_clustering_counters(report: &mut RunReport, clustering: &Clustering, cap: u64) {
@@ -682,7 +684,15 @@ where
             .iter()
             .zip(state)
             .enumerate()
-            .map(|(t, (&range, w))| scope.spawn(move || work(t, range, w)))
+            .map(|(t, (&range, w))| {
+                scope.spawn(move || {
+                    let out = work(t, range, w);
+                    // Barrier drain: events a kernel recorded on this
+                    // thread must survive the thread's exit.
+                    tps_obs::drain_local();
+                    out
+                })
+            })
             .collect();
         handles
             .into_iter()

@@ -1,5 +1,9 @@
 //! Convenience harness for running a partitioner and collecting ground-truth
 //! metrics — used by tests, examples and every bench binary.
+//!
+//! Each run ends with a `tps_obs::drain_local()` barrier so span events
+//! recorded on the harness thread are flushed before the caller snapshots
+//! the trace.
 
 use std::io;
 use std::time::{Duration, Instant};
@@ -47,6 +51,7 @@ pub fn run_partitioner<S: EdgeStream + ?Sized>(
     });
     let report = result?;
     let wall_time = start.elapsed();
+    tps_obs::drain_local();
     Ok(RunOutcome {
         name: partitioner.name(),
         metrics: sink.finish(),
@@ -73,6 +78,7 @@ pub fn run_partitioner_with_sink<S: EdgeStream + ?Sized>(
         partitioner.partition(&mut as_dyn(stream), params, &mut tee)?
     };
     let wall_time = start.elapsed();
+    tps_obs::drain_local();
     Ok(RunOutcome {
         name: partitioner.name(),
         metrics: quality.finish(),
@@ -112,6 +118,7 @@ pub fn run_parallel_partitioner(
         tps_metrics::alloc::measure_peak(|| runner.partition(source, params, &mut sink));
     let report = result?;
     let wall_time = start.elapsed();
+    tps_obs::drain_local();
     Ok(RunOutcome {
         name: runner.name(),
         metrics: sink.finish(),

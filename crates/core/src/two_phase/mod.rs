@@ -19,7 +19,6 @@ pub mod mapping;
 pub mod scoring;
 
 use std::io;
-use std::time::Instant;
 
 use tps_clustering::model::{Clustering, NO_CLUSTER};
 use tps_clustering::streaming::{clustering_pass, VolumeCap};
@@ -34,6 +33,12 @@ use crate::partitioner::{PartitionParams, Partitioner, RunReport};
 use crate::sink::AssignmentSink;
 use crate::two_phase::mapping::ClusterPlacement;
 use crate::two_phase::scoring::{hdrf_score, two_choice_best, EdgeScoreInputs, HdrfParams};
+
+static CLUSTERING_CLUSTERS: tps_obs::Counter = tps_obs::Counter::new("clustering.clusters");
+static CORE_ASSIGN_PREPARTITIONED: tps_obs::Counter =
+    tps_obs::Counter::new("core.assign.prepartitioned");
+static CORE_ASSIGN_REMAINING: tps_obs::Counter = tps_obs::Counter::new("core.assign.remaining");
+static CORE_ASSIGN_FALLBACK: tps_obs::Counter = tps_obs::Counter::new("core.assign.fallback");
 
 /// How edges that were not pre-partitioned are scored.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -366,22 +371,24 @@ impl Partitioner for TwoPhasePartitioner {
         }
 
         // Phase 0: exact degrees (one streaming pass).
-        let t0 = Instant::now();
+        let s0 = tps_obs::span("degree");
         let degrees = DegreeTable::compute(stream, info.num_vertices)?;
-        report.phases.record("degree", t0.elapsed());
+        report.phases.record("degree", s0.end());
 
         // Phase 1: streaming clustering (`passes` streaming passes).
-        let t1 = Instant::now();
+        let s1 = tps_obs::span("clustering");
         let cap = VolumeCap::FractionOfTotal(self.config.volume_cap_factor / params.k as f64)
             .resolve(degrees.total_volume());
         let mut clustering = Clustering::empty(info.num_vertices);
         for _ in 0..self.config.clustering_passes {
+            let pass = tps_obs::span("clustering.pass");
             clustering_pass(stream, &degrees, cap, &mut clustering)?;
+            pass.end();
         }
-        report.phases.record("clustering", t1.elapsed());
+        report.phases.record("clustering", s1.end());
 
         // Phase 2 step 1: map clusters to partitions (no streaming pass).
-        let t2 = Instant::now();
+        let s2 = tps_obs::span("mapping");
         let placement = match self.config.mapping {
             MappingStrategy::SortedGraham => {
                 ClusterPlacement::sorted_list_schedule(&clustering, params.k)
@@ -390,7 +397,7 @@ impl Partitioner for TwoPhasePartitioner {
                 ClusterPlacement::unsorted_schedule(&clustering, params.k)
             }
         };
-        report.phases.record("mapping", t2.elapsed());
+        report.phases.record("mapping", s2.end());
 
         let mut state = EdgeAssigner::new(
             &degrees,
@@ -403,16 +410,16 @@ impl Partitioner for TwoPhasePartitioner {
 
         // Phase 2 step 2: pre-partitioning pass.
         if self.config.prepartitioning {
-            let t3 = Instant::now();
+            let s3 = tps_obs::span("prepartition");
             stream.reset()?;
             while let Some(edge) = stream.next_edge()? {
                 state.prepartition_edge(edge, sink)?;
             }
-            report.phases.record("prepartition", t3.elapsed());
+            report.phases.record("prepartition", s3.end());
         }
 
         // Phase 2 step 3: score-and-assign the remaining edges.
-        let t4 = Instant::now();
+        let s4 = tps_obs::span("partition");
         stream.reset()?;
         while let Some(edge) = stream.next_edge()? {
             if self.config.prepartitioning && state.prepartition_target(edge).is_some() {
@@ -420,7 +427,7 @@ impl Partitioner for TwoPhasePartitioner {
             }
             state.assign_remaining(edge, self.config.strategy, sink)?;
         }
-        report.phases.record("partition", t4.elapsed());
+        report.phases.record("partition", s4.end());
 
         report.count("prepartitioned", state.counters.prepartitioned);
         report.count(
@@ -436,6 +443,11 @@ impl Partitioner for TwoPhasePartitioner {
         report.count("clusters", clustering.num_nonempty_clusters() as u64);
         report.count("cluster_volume_cap", cap);
         report.count("max_cluster_volume", clustering.max_volume());
+        CLUSTERING_CLUSTERS.add(clustering.num_nonempty_clusters() as u64);
+        CORE_ASSIGN_PREPARTITIONED.add(state.counters.prepartitioned);
+        CORE_ASSIGN_REMAINING.add(state.counters.remaining);
+        CORE_ASSIGN_FALLBACK
+            .add(state.counters.fallback_hash + state.counters.fallback_least_loaded);
         Ok(report)
     }
 }

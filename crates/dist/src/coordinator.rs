@@ -59,7 +59,6 @@
 
 use std::collections::VecDeque;
 use std::io;
-use std::time::Instant;
 
 use tps_clustering::merge::merge_clusterings;
 use tps_clustering::model::Clustering;
@@ -75,8 +74,13 @@ use tps_graph::ranged::split_even;
 use tps_graph::types::GraphInfo;
 
 use crate::protocol::{InputDescriptor, Job, Message, ReplChunks, PROTOCOL_VERSION};
-use crate::transport::{recv_msg, send_msg, Transport};
+use crate::transport::{is_timeout, recv_msg, send_frame, send_msg, Transport};
 use crate::wire::corrupt;
+
+/// Shard re-issues after a worker failure (each bumps the shard's epoch).
+static DIST_EPOCH_REISSUES: tps_obs::Counter = tps_obs::Counter::new("dist.epoch.reissues");
+/// Failed workers that reconnected with `Rejoin` after an `Abort`.
+static DIST_WORKER_REJOINS: tps_obs::Counter = tps_obs::Counter::new("dist.worker.rejoins");
 
 /// How the coordinator reacts to worker failure. The default is the
 /// pre-v2 fail-fast behaviour: no retries, no frame timeout.
@@ -346,7 +350,7 @@ impl Coordinator<'_> {
         }
 
         // Phase 0: merge per-shard degree tables in shard order.
-        let t0 = Instant::now();
+        let s0 = tps_obs::span("degree");
         let mut tables: Vec<DegreeTable> = Vec::with_capacity(self.n);
         for s in 0..self.n {
             match self.advance(s, Stage::Degrees, sink)? {
@@ -355,7 +359,7 @@ impl Coordinator<'_> {
             }
         }
         let degrees = merge_degree_tables(tables);
-        report.phases.record("degree", t0.elapsed());
+        report.phases.record("degree", s0.end());
         let volume_cap = resolve_volume_cap(&self.config, self.k, &degrees);
         self.globals_frame = Some(
             Message::Globals {
@@ -369,7 +373,7 @@ impl Coordinator<'_> {
         }
 
         // Phase 1: merge per-shard clusterings (union-by-volume, shard order).
-        let t1 = Instant::now();
+        let s1 = tps_obs::span("clustering");
         let mut locals: Vec<Clustering> = Vec::with_capacity(self.n);
         for s in 0..self.n {
             match self.advance(s, Stage::Clustering, sink)? {
@@ -380,12 +384,12 @@ impl Coordinator<'_> {
         let clustering = merge_clusterings(&locals, &degrees);
         drop(locals);
         drop(degrees);
-        report.phases.record("clustering", t1.elapsed());
+        report.phases.record("clustering", s1.end());
 
         // Phase 2 step 1: placement, computed once here, broadcast to shards.
-        let t2 = Instant::now();
+        let s2 = tps_obs::span("mapping");
         let placement = cluster_placement(&self.config, &clustering, self.k);
-        report.phases.record("mapping", t2.elapsed());
+        report.phases.record("mapping", s2.end());
         self.plan_frame = Some(
             Message::Plan {
                 clustering: clustering.clone(),
@@ -402,7 +406,7 @@ impl Coordinator<'_> {
         // its barrier). Each round merges every shard's chunk into one
         // bounded buffer, encodes the merged chunk once, broadcasts it, and
         // drops the buffer — `O(chunk)` live merge state, never `O(|V|·k)`.
-        let t3 = Instant::now();
+        let s3 = tps_obs::span("prepartition");
         if self.replication_active() {
             for c in 0..self.repl_chunks.count() {
                 self.repl_acc = vec![0u64; self.repl_chunks.words_in_chunk(c)];
@@ -417,10 +421,10 @@ impl Coordinator<'_> {
                 }
             }
         }
-        report.phases.record("prepartition", t3.elapsed());
+        report.phases.record("prepartition", s3.end());
 
         // Phase 2 step 3: collect shard summaries.
-        let t4 = Instant::now();
+        let s4 = tps_obs::span("partition");
         for s in 0..self.n {
             self.advance(s, Stage::Done, sink)?;
         }
@@ -435,11 +439,11 @@ impl Coordinator<'_> {
             }
             assigned_total += assigned;
         }
-        report.phases.record("partition", t4.elapsed());
+        report.phases.record("partition", s4.end());
 
         // Emit: pull each shard's runs in shard order — bounded batches, one
         // worker at a time, so coordinator memory stays O(RUN_BATCH_EDGES).
-        let t5 = Instant::now();
+        let s5 = tps_obs::span("emit");
         for s in 0..self.n {
             self.advance(s, Stage::Emit, sink)?;
             // This shard is complete; its worker becomes a standby for any
@@ -448,7 +452,7 @@ impl Coordinator<'_> {
                 self.idle.push_back(t);
             }
         }
-        report.phases.record("emit", t5.elapsed());
+        report.phases.record("emit", s5.end());
         self.shutdown_all();
 
         let emitted: u64 = self.states.iter().map(|s| s.emitted).sum();
@@ -497,6 +501,8 @@ impl Coordinator<'_> {
                     // arrived as stale.
                     drop_failed(t, &e);
                     self.states[s].epoch += 1;
+                    DIST_EPOCH_REISSUES.incr();
+                    tps_obs::instant_with("dist.fault.reissue", format!("shard {s} {stage:?}"));
                     self.note_failure(&format!("shard {s} {stage:?}"), e)?;
                 }
                 Err(StageErr::Fatal(e)) => return Err(e),
@@ -507,6 +513,10 @@ impl Coordinator<'_> {
     /// Count one worker failure against the retry budget.
     fn note_failure(&mut self, what: &str, e: io::Error) -> io::Result<()> {
         self.retries += 1;
+        if is_timeout(&e) {
+            tps_obs::instant_with("dist.fault.timeout", format!("{what}: {e}"));
+        }
+        tps_obs::instant_with("dist.fault.retry", format!("{what}: {e}"));
         if self.retries > self.policy.max_retries {
             return Err(io::Error::new(
                 e.kind(),
@@ -559,6 +569,8 @@ impl Coordinator<'_> {
                 Err(e) => {
                     drop_failed(t, &e);
                     self.states[s].epoch += 1;
+                    DIST_EPOCH_REISSUES.incr();
+                    tps_obs::instant_with("dist.fault.reissue", format!("shard {s} catch-up"));
                     self.note_failure(&format!("shard {s} catch-up"), e)?;
                 }
             }
@@ -579,6 +591,8 @@ impl Coordinator<'_> {
             Message::Hello { .. } => Ok(()),
             Message::Rejoin { .. } => {
                 self.rejoined += 1;
+                DIST_WORKER_REJOINS.incr();
+                tps_obs::instant("dist.fault.rejoin");
                 Ok(())
             }
             Message::Abort { reason } => Err(io::Error::other(format!(
@@ -604,6 +618,7 @@ impl Coordinator<'_> {
             num_edges: self.info.num_edges,
             shard: self.ranges[s],
             input: self.input.clone(),
+            trace: tps_obs::enabled(),
         }
     }
 
@@ -628,7 +643,7 @@ impl Coordinator<'_> {
         if target <= Stage::Globals {
             return Ok(());
         }
-        t.send(self.globals_frame.as_ref().expect("past degree barrier"))?;
+        send_frame(t, self.globals_frame.as_ref().expect("past degree barrier"))?;
         if target <= Stage::Clustering {
             return Ok(());
         }
@@ -636,7 +651,10 @@ impl Coordinator<'_> {
         if target <= Stage::Plan {
             return Ok(());
         }
-        t.send(self.plan_frame.as_ref().expect("past clustering barrier"))?;
+        send_frame(
+            t,
+            self.plan_frame.as_ref().expect("past clustering barrier"),
+        )?;
         if self.replication_active() {
             // Replay the completed chunk rounds: the replacement resends
             // every chunk eagerly (bit-identical by determinism), so the
@@ -651,7 +669,7 @@ impl Coordinator<'_> {
                 if target <= Stage::MergedRepl(c) {
                     return Ok(());
                 }
-                t.send(&self.merged_repl_frames[c as usize])?;
+                send_frame(t, &self.merged_repl_frames[c as usize])?;
             }
         }
         if target <= Stage::Done {
@@ -709,6 +727,10 @@ impl Coordinator<'_> {
                 Some((ms, me)) if ms == s as u32 && me < epoch => {
                     // Stale frame from a previous issuance of this shard:
                     // discard, never merge twice.
+                    tps_obs::instant_with(
+                        "dist.fault.stale_frame",
+                        format!("shard {s}, {phase}: epoch {me} < {epoch}"),
+                    );
                     continue;
                 }
                 Some((ms, me)) => {
@@ -748,8 +770,11 @@ impl Coordinator<'_> {
                 other => Err(unexpected(s, "degree", &other)),
             },
             Stage::Globals => {
-                t.send(self.globals_frame.as_ref().expect("encoded at the barrier"))
-                    .map_err(StageErr::Worker)?;
+                send_frame(
+                    t,
+                    self.globals_frame.as_ref().expect("encoded at the barrier"),
+                )
+                .map_err(StageErr::Worker)?;
                 Ok(StageOut::None)
             }
             Stage::Clustering => {
@@ -771,7 +796,7 @@ impl Coordinator<'_> {
                 }
             }
             Stage::Plan => {
-                t.send(self.plan_frame.as_ref().expect("encoded at the barrier"))
+                send_frame(t, self.plan_frame.as_ref().expect("encoded at the barrier"))
                     .map_err(StageErr::Worker)?;
                 Ok(StageOut::None)
             }
@@ -819,8 +844,7 @@ impl Coordinator<'_> {
                 }
             }
             Stage::MergedRepl(c) => {
-                t.send(&self.merged_repl_frames[c as usize])
-                    .map_err(StageErr::Worker)?;
+                send_frame(t, &self.merged_repl_frames[c as usize]).map_err(StageErr::Worker)?;
                 Ok(StageOut::None)
             }
             Stage::Done => match self
@@ -831,6 +855,8 @@ impl Coordinator<'_> {
                     counters,
                     loads,
                     assigned,
+                    trace,
+                    counter_snap,
                     ..
                 } => {
                     if loads.len() != self.k as usize {
@@ -839,6 +865,14 @@ impl Coordinator<'_> {
                             loads.len(),
                             self.k
                         )));
+                    }
+                    // Accepted exactly once per shard: replayed frames are
+                    // consumed by catch_up, so per-shard spans never double.
+                    if !trace.is_empty() {
+                        tps_obs::record_remote(s as u32 + 1, trace);
+                    }
+                    if !counter_snap.is_empty() {
+                        tps_obs::record_remote_counters(s as u32 + 1, counter_snap);
                     }
                     self.states[s].done = Some((counters, loads, assigned));
                     Ok(StageOut::None)

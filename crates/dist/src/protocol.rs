@@ -13,7 +13,7 @@
 //! | 6 | C → W | `Plan` (6) | merged clustering + cluster→partition map |
 //! | 7 | W → C | `ReplicationChunk` (7) × c | shard/epoch + one vertex-range of pre-partitioning replica bits (N > 1 only) |
 //! | 8 | C → W | `MergedReplicationChunk` (8) × c | OR of all shards over that vertex range (N > 1 only) |
-//! | 9 | W → C | `ShardDone` (9) | shard/epoch + phase-2 counters + per-partition loads |
+//! | 9 | W → C | `ShardDone` (9) | shard/epoch + phase-2 counters + per-partition loads + drained trace events + counter snapshot (v4) |
 //! | 10 | C → W | `Pull` (10) | request this shard's assignment runs |
 //! | 11 | W → C | `Run` (11) | shard/epoch + one bounded batch of `(edge, partition)` records |
 //! | 12 | W → C | `RunsDone` (12) | shard/epoch: end of this shard's runs |
@@ -81,8 +81,10 @@ use crate::wire::{
 /// epochs and the `Rejoin`/`Reissue` recovery frames; v3 replaced the
 /// whole-matrix `ReplicationShard`/`MergedReplication` barrier with
 /// vertex-range `ReplicationChunk`/`MergedReplicationChunk` frames
-/// (zero-word-run encoded, bounded size).
-pub const PROTOCOL_VERSION: u32 = 3;
+/// (zero-word-run encoded, bounded size); v4 appended the `trace` flag to
+/// `Job` and the drained trace events + counter snapshot to `ShardDone`
+/// (additive fields, but the frames are not v3-compatible, hence the bump).
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Edges per `Run` frame (bounded so neither side buffers a full shard:
 /// 8192 records ≈ 96 KiB on the wire).
@@ -183,6 +185,10 @@ pub struct Job {
     pub shard: (u64, u64),
     /// Where the edges come from.
     pub input: InputDescriptor,
+    /// Whether the worker should record span events and ship them (with a
+    /// counter snapshot) in its `ShardDone` frame. Mirrors the
+    /// coordinator's `--trace` state; does not change assignment output.
+    pub trace: bool,
 }
 
 /// A protocol message. See the module docs for the exchange order.
@@ -267,6 +273,12 @@ pub enum Message {
         loads: Vec<u64>,
         /// Total edges the shard assigned.
         assigned: u64,
+        /// The worker's drained span/mark events (empty unless the job was
+        /// traced). The `worker` field is assigned coordinator-side.
+        trace: Vec<tps_obs::TraceEvent>,
+        /// The worker's counter values at the barrier (empty unless
+        /// traced).
+        counter_snap: Vec<(String, u64)>,
     },
     /// Request the worker's assignment runs.
     Pull,
@@ -411,6 +423,8 @@ impl Message {
                 counters,
                 loads,
                 assigned,
+                trace,
+                counter_snap,
             } => {
                 put_u32(&mut out, *shard);
                 put_u32(&mut out, *epoch);
@@ -421,6 +435,8 @@ impl Message {
                 put_u64(&mut out, counters.fallback_least_loaded);
                 put_u64(&mut out, *assigned);
                 put_vec_u64(&mut out, loads);
+                put_trace_events(&mut out, trace);
+                put_counter_snap(&mut out, counter_snap);
             }
             Message::Pull | Message::Shutdown => {}
             Message::RunsDone { shard, epoch } => {
@@ -515,12 +531,16 @@ impl Message {
                 };
                 let assigned = r.u64()?;
                 let loads = r.vec_u64()?;
+                let trace = read_trace_events(&mut r)?;
+                let counter_snap = read_counter_snap(&mut r)?;
                 Message::ShardDone {
                     shard,
                     epoch,
                     counters,
                     loads,
                     assigned,
+                    trace,
+                    counter_snap,
                 }
             }
             10 => Message::Pull,
@@ -559,6 +579,91 @@ impl Message {
         r.expect_empty()?;
         Ok(msg)
     }
+}
+
+/// Sanity cap on shipped trace events per `ShardDone` (a traced worker
+/// records a handful of spans per phase; anything near this is corruption).
+const MAX_TRACE_EVENTS: usize = 1 << 16;
+/// Sanity cap on shipped counter snapshot entries.
+const MAX_TRACE_COUNTERS: usize = 1 << 12;
+
+fn put_trace_events(out: &mut Vec<u8>, events: &[tps_obs::TraceEvent]) {
+    put_u32(out, events.len() as u32);
+    for e in events {
+        out.push(match e.kind {
+            tps_obs::EventKind::Open => 0,
+            tps_obs::EventKind::Close => 1,
+            tps_obs::EventKind::Mark => 2,
+        });
+        put_string(out, &e.name);
+        put_u32(out, e.tid);
+        put_u64(out, e.ns);
+        match &e.detail {
+            None => out.push(0),
+            Some(d) => {
+                out.push(1);
+                put_string(out, d);
+            }
+        }
+    }
+}
+
+fn read_trace_events(r: &mut Reader) -> io::Result<Vec<tps_obs::TraceEvent>> {
+    let n = r.u32()? as usize;
+    if n > MAX_TRACE_EVENTS {
+        return Err(corrupt(format!(
+            "trace event count {n} exceeds bound {MAX_TRACE_EVENTS}"
+        )));
+    }
+    let mut events = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let kind = match r.u8()? {
+            0 => tps_obs::EventKind::Open,
+            1 => tps_obs::EventKind::Close,
+            2 => tps_obs::EventKind::Mark,
+            other => return Err(corrupt(format!("unknown trace event kind {other}"))),
+        };
+        let name = r.string()?;
+        let tid = r.u32()?;
+        let ns = r.u64()?;
+        let detail = match r.u8()? {
+            0 => None,
+            1 => Some(r.string()?),
+            other => return Err(corrupt(format!("bad trace detail flag {other}"))),
+        };
+        events.push(tps_obs::TraceEvent {
+            kind,
+            name,
+            worker: 0, // assigned by the coordinator on receipt
+            tid,
+            ns,
+            detail,
+        });
+    }
+    Ok(events)
+}
+
+fn put_counter_snap(out: &mut Vec<u8>, snap: &[(String, u64)]) {
+    put_u32(out, snap.len() as u32);
+    for (name, value) in snap {
+        put_string(out, name);
+        put_u64(out, *value);
+    }
+}
+
+fn read_counter_snap(r: &mut Reader) -> io::Result<Vec<(String, u64)>> {
+    let n = r.u32()? as usize;
+    if n > MAX_TRACE_COUNTERS {
+        return Err(corrupt(format!(
+            "counter snapshot of {n} entries exceeds bound {MAX_TRACE_COUNTERS}"
+        )));
+    }
+    let mut snap = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = r.string()?;
+        snap.push((name, r.u64()?));
+    }
+    Ok(snap)
 }
 
 fn decode_clustering<'a>(r: &mut Reader<'a>) -> io::Result<Clustering> {
@@ -606,6 +711,8 @@ fn encode_job(out: &mut Vec<u8>, job: &Job) {
             put_string(out, path);
         }
     }
+    // v4: appended last so every fixed field keeps its v3 offset.
+    out.push(job.trace as u8);
 }
 
 fn decode_job(r: &mut Reader) -> io::Result<Job> {
@@ -654,6 +761,11 @@ fn decode_job(r: &mut Reader) -> io::Result<Job> {
         }
         other => return Err(corrupt(format!("unknown input descriptor {other}"))),
     };
+    let trace = match r.u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(corrupt(format!("bad trace flag {other}"))),
+    };
     if num_workers == 0 || worker_index >= num_workers {
         return Err(corrupt(format!(
             "worker index {worker_index} out of range for {num_workers} workers"
@@ -692,6 +804,7 @@ fn decode_job(r: &mut Reader) -> io::Result<Job> {
         num_edges,
         shard,
         input,
+        trace,
     })
 }
 
@@ -729,6 +842,7 @@ mod tests {
                 num_edges: 5000,
                 shard: (1250, 2500),
                 input: input.clone(),
+                trace: true,
             };
             let Message::Job(back) = roundtrip(&Message::Job(job.clone())) else {
                 panic!("tag changed");
@@ -736,6 +850,7 @@ mod tests {
             assert_eq!(back.shard, (1250, 2500));
             assert_eq!(back.epoch, 3);
             assert_eq!(back.input, input);
+            assert!(back.trace);
             assert_eq!(back.config.hash_seed, TwoPhaseConfig::default().hash_seed);
             // A Reissue carries the identical body under its own tag.
             let Message::Reissue(again) = roundtrip(&Message::Reissue(job)) else {
@@ -775,6 +890,8 @@ mod tests {
                 },
                 loads: vec![7, 8],
                 assigned: 15,
+                trace: vec![],
+                counter_snap: vec![],
             },
             Message::Pull,
             Message::Run {
@@ -966,6 +1083,7 @@ mod tests {
             num_edges: 10,
             shard: (0, 10),
             input: InputDescriptor::Attached,
+            trace: false,
         })
         .encode();
         for cut in [1, 5, job.len() / 2, job.len() - 1] {
@@ -990,6 +1108,7 @@ mod tests {
             num_edges: 10,
             shard: (8, 20),
             input: InputDescriptor::Attached,
+            trace: false,
         };
         assert!(Message::decode(&Message::Job(job).encode()).is_err());
     }
@@ -1000,6 +1119,68 @@ mod tests {
         put_u32(&mut out, 0);
         put_u32(&mut out, 0);
         put_u32(&mut out, (RUN_BATCH_EDGES + 1) as u32);
+        assert!(Message::decode(&out).is_err());
+    }
+
+    #[test]
+    fn shard_done_trace_payload_roundtrips() {
+        let msg = Message::ShardDone {
+            shard: 2,
+            epoch: 1,
+            counters: AssignCounters::default(),
+            loads: vec![3, 4],
+            assigned: 7,
+            trace: vec![
+                tps_obs::TraceEvent {
+                    kind: tps_obs::EventKind::Open,
+                    name: "degree".into(),
+                    worker: 0,
+                    tid: 1,
+                    ns: 100,
+                    detail: None,
+                },
+                tps_obs::TraceEvent {
+                    kind: tps_obs::EventKind::Close,
+                    name: "degree".into(),
+                    worker: 0,
+                    tid: 1,
+                    ns: 900,
+                    detail: Some("note".into()),
+                },
+            ],
+            counter_snap: vec![("io.v2.chunks_decoded".into(), 12)],
+        };
+        let Message::ShardDone {
+            trace,
+            counter_snap,
+            ..
+        } = roundtrip(&msg)
+        else {
+            panic!("tag changed");
+        };
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[1].detail.as_deref(), Some("note"));
+        assert_eq!(counter_snap, vec![("io.v2.chunks_decoded".to_string(), 12)]);
+    }
+
+    #[test]
+    fn corrupt_trace_payload_rejected() {
+        // An event count past the sanity cap is corruption, not an
+        // allocation request.
+        let mut out = Message::ShardDone {
+            shard: 0,
+            epoch: 0,
+            counters: AssignCounters::default(),
+            loads: vec![],
+            assigned: 0,
+            trace: vec![],
+            counter_snap: vec![],
+        }
+        .encode();
+        // Strip the two empty v4 vec headers (4 bytes each) and splice in
+        // an oversized event count with no payload.
+        out.truncate(out.len() - 8);
+        put_u32(&mut out, u32::MAX);
         assert!(Message::decode(&out).is_err());
     }
 }

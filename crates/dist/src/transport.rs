@@ -40,14 +40,31 @@ pub fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
+/// Frame traffic counters, fed by every [`send_msg`] / [`send_frame`] /
+/// [`recv_msg`] call. `dist.frames.bytes` totals both directions.
+static DIST_FRAMES_SENT: tps_obs::Counter = tps_obs::Counter::new("dist.frames.sent");
+static DIST_FRAMES_RECV: tps_obs::Counter = tps_obs::Counter::new("dist.frames.recv");
+static DIST_FRAMES_BYTES: tps_obs::Counter = tps_obs::Counter::new("dist.frames.bytes");
+
 /// Encode and send `msg`.
 pub fn send_msg(t: &mut dyn Transport, msg: &Message) -> io::Result<()> {
-    t.send(&msg.encode())
+    send_frame(t, &msg.encode())
+}
+
+/// Send one pre-encoded frame (broadcast replays reuse encoded barrier
+/// frames), counted like [`send_msg`].
+pub fn send_frame(t: &mut dyn Transport, frame: &[u8]) -> io::Result<()> {
+    DIST_FRAMES_SENT.incr();
+    DIST_FRAMES_BYTES.add(frame.len() as u64);
+    t.send(frame)
 }
 
 /// Receive and decode one message.
 pub fn recv_msg(t: &mut dyn Transport) -> io::Result<Message> {
-    Message::decode(&t.recv()?)
+    let frame = t.recv()?;
+    DIST_FRAMES_RECV.incr();
+    DIST_FRAMES_BYTES.add(frame.len() as u64);
+    Message::decode(&frame)
 }
 
 /// A [`Transport`] over a connected TCP stream, length-prefix framed.

@@ -182,6 +182,13 @@ fn serve_job(
 ) -> io::Result<()> {
     let shard = job.worker_index;
     let epoch = job.epoch;
+    if job.trace {
+        // Enable recording and discard anything a previous (failed) job
+        // left on this serving thread, so the shipped events describe
+        // exactly this issuance.
+        tps_obs::set_enabled(true);
+        let _ = tps_obs::take_thread_events();
+    }
     let source = resolver.open(&job.input)?;
     let info = source.info();
     if info.num_vertices != job.num_vertices || info.num_edges != job.num_edges {
@@ -192,7 +199,9 @@ fn serve_job(
     }
 
     // Phase 0: shard degrees up, merged degrees + volume cap down.
+    let sp = tps_obs::span("degree");
     let local_degrees = shard_degrees(&*source, job.shard, job.num_vertices)?;
+    sp.end();
     send_msg(
         transport,
         &Message::Degrees {
@@ -216,6 +225,7 @@ fn serve_job(
     };
 
     // Phase 1: shard clustering up, merged clustering + placement down.
+    let sp = tps_obs::span("clustering");
     let local_clustering = shard_clustering(
         &*source,
         job.shard,
@@ -225,6 +235,7 @@ fn serve_job(
         job.num_vertices,
         job.num_workers > 1,
     )?;
+    sp.end();
     send_msg(
         transport,
         &Message::LocalClustering {
@@ -264,6 +275,7 @@ fn serve_job(
     );
     let mut spool = spools.create_spool(job.worker_index as usize)?;
     if job.config.prepartitioning {
+        let sp = tps_obs::span("prepartition");
         let mut s = source.open_range(job.shard.0, job.shard.1)?;
         assigner.prepartition_pass(&mut s, &mut *spool)?;
         if job.num_workers > 1 {
@@ -312,12 +324,24 @@ fn serve_job(
                 }
             }
         }
+        sp.end();
     }
     {
+        let sp = tps_obs::span("partition");
         let mut s = source.open_range(job.shard.0, job.shard.1)?;
         assigner.remaining_pass(&mut s, &mut *spool)?;
+        sp.end();
     }
     let assigned: u64 = assigner.local_loads().iter().sum();
+    // Ship this thread's drained events and a counter snapshot with the
+    // barrier frame (v4) — the coordinator folds them into one trace. With
+    // in-process (loopback) workers the counter snapshot is process-wide;
+    // the coordinator keeps only per-worker *events* in that case.
+    let (trace, counter_snap) = if job.trace {
+        (tps_obs::take_thread_events(), tps_obs::counters_snapshot())
+    } else {
+        (Vec::new(), Vec::new())
+    };
     send_msg(
         transport,
         &Message::ShardDone {
@@ -326,6 +350,8 @@ fn serve_job(
             counters: assigner.counters(),
             loads: assigner.local_loads().to_vec(),
             assigned,
+            trace,
+            counter_snap,
         },
     )?;
 

@@ -47,6 +47,9 @@ pub struct SpillingFileSink {
 /// Bytes one buffered edge occupies on disk.
 const EDGE_BYTES: u64 = 8;
 
+static IO_SPILL_SPILLS: tps_obs::Counter = tps_obs::Counter::new("io.spill.spills");
+static IO_SPILL_BYTES: tps_obs::Counter = tps_obs::Counter::new("io.spill.bytes");
+
 impl SpillingFileSink {
     /// Create `k` files named `<stem>.part<i>.bel` in `dir`, buffering at
     /// most `budget_bytes` of edge records in memory (shared evenly across
@@ -113,6 +116,8 @@ impl SpillingFileSink {
         self.files[p].write_all(&self.scratch)?;
         self.stats.bytes_written += self.scratch.len() as u64;
         self.stats.spills += 1;
+        IO_SPILL_SPILLS.incr();
+        IO_SPILL_BYTES.add(self.scratch.len() as u64);
         self.buffered_edges -= buf.len() as u64;
         buf.clear();
         Ok(())

@@ -26,6 +26,9 @@ use tps_graph::types::{Edge, PartitionId};
 /// Bytes one spooled record occupies on disk: src, dst, partition.
 const RECORD_BYTES: usize = 12;
 
+static IO_SPOOL_SPILLS: tps_obs::Counter = tps_obs::Counter::new("io.spool.spills");
+static IO_SPOOL_BYTES: tps_obs::Counter = tps_obs::Counter::new("io.spool.bytes");
+
 /// A memory-bounded [`AssignmentSpool`] spilling to a private run file.
 pub struct SpillSpool {
     buf: Vec<(Edge, PartitionId)>,
@@ -95,6 +98,8 @@ impl SpillSpool {
         }
         self.spilled_records += self.buf.len() as u64;
         self.spills += 1;
+        IO_SPOOL_SPILLS.incr();
+        IO_SPOOL_BYTES.add(self.buf.len() as u64 * RECORD_BYTES as u64);
         self.buf.clear();
         Ok(())
     }

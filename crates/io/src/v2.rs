@@ -135,6 +135,9 @@ pub struct V2Layout {
 }
 
 /// Encode `edges` into a chunk payload.
+static IO_V2_CHUNKS_ENCODED: tps_obs::Counter = tps_obs::Counter::new("io.v2.chunks_encoded");
+static IO_V2_CHUNKS_DECODED: tps_obs::Counter = tps_obs::Counter::new("io.v2.chunks_decoded");
+
 fn encode_payload(edges: &[Edge], out: &mut Vec<u8>) {
     out.clear();
     for e in edges {
@@ -145,6 +148,7 @@ fn encode_payload(edges: &[Edge], out: &mut Vec<u8>) {
 
 /// Decode `count` edges from a checked chunk payload into `out`.
 fn decode_payload(payload: &[u8], count: u32, out: &mut Vec<Edge>) -> io::Result<()> {
+    IO_V2_CHUNKS_DECODED.incr();
     let mut pos = 0usize;
     for _ in 0..count {
         let src = read_varint(payload, &mut pos)?;
@@ -223,6 +227,7 @@ impl V2Writer {
         if self.pending.is_empty() {
             return Ok(());
         }
+        IO_V2_CHUNKS_ENCODED.incr();
         encode_payload(&self.pending, &mut self.payload);
         let meta = ChunkMeta {
             offset: self.offset,

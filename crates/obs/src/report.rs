@@ -1,0 +1,355 @@
+//! Span-forest reconstruction and the `tps report` renderer.
+//!
+//! [`build_span_forest`] replays a trace's events per `(worker, thread)`
+//! timeline with strict stack discipline: every close must match the most
+//! recent open on that thread, timestamps must be monotonic per thread, and
+//! no span may be left open. This is the invariant the recorder's ring
+//! drains are tested against, and it is what makes a trace trustworthy
+//! enough to reproduce the paper's Fig. 5 phase breakdown.
+
+use std::collections::BTreeMap;
+
+use crate::recorder::{EventKind, TraceEvent};
+use crate::trace::Trace;
+
+/// A reconstructed span: name, bounds, nested children.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: String,
+    /// Open timestamp (ns, worker-local epoch).
+    pub start_ns: u64,
+    /// Close timestamp (ns, worker-local epoch).
+    pub end_ns: u64,
+    /// Spans opened and closed while this one was open.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// All root spans recorded by one `(worker, thread)` timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThreadSpans {
+    /// Worker id (0 = local process / coordinator).
+    pub worker: u32,
+    /// Thread id within the worker.
+    pub tid: u32,
+    /// Top-level spans in chronological order.
+    pub roots: Vec<SpanNode>,
+}
+
+/// Rebuild the span forest from events, validating stack discipline and
+/// per-thread timestamp monotonicity. Mark events only participate in the
+/// monotonicity check.
+pub fn build_span_forest(events: &[TraceEvent]) -> Result<Vec<ThreadSpans>, String> {
+    let mut by_thread: BTreeMap<(u32, u32), Vec<&TraceEvent>> = BTreeMap::new();
+    for e in events {
+        by_thread.entry((e.worker, e.tid)).or_default().push(e);
+    }
+    let mut forest = Vec::new();
+    for ((worker, tid), events) in by_thread {
+        let mut stack: Vec<SpanNode> = Vec::new();
+        let mut roots: Vec<SpanNode> = Vec::new();
+        let mut last_ns = 0u64;
+        for e in events {
+            if e.ns < last_ns {
+                return Err(format!(
+                    "worker {worker} tid {tid}: timestamp goes backwards at {:?} ({} < {last_ns})",
+                    e.name, e.ns
+                ));
+            }
+            last_ns = e.ns;
+            match e.kind {
+                EventKind::Open => stack.push(SpanNode {
+                    name: e.name.clone(),
+                    start_ns: e.ns,
+                    end_ns: e.ns,
+                    children: Vec::new(),
+                }),
+                EventKind::Close => {
+                    let mut node = stack.pop().ok_or_else(|| {
+                        format!("worker {worker} tid {tid}: orphan close of {:?}", e.name)
+                    })?;
+                    if node.name != e.name {
+                        return Err(format!(
+                            "worker {worker} tid {tid}: close of {:?} while {:?} is open",
+                            e.name, node.name
+                        ));
+                    }
+                    node.end_ns = e.ns;
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(node),
+                        None => roots.push(node),
+                    }
+                }
+                EventKind::Mark => {}
+            }
+        }
+        if let Some(open) = stack.last() {
+            return Err(format!(
+                "worker {worker} tid {tid}: span {:?} never closed",
+                open.name
+            ));
+        }
+        forest.push(ThreadSpans { worker, tid, roots });
+    }
+    Ok(forest)
+}
+
+fn secs(ns: u64) -> f64 {
+    ns as f64 / 1e9
+}
+
+/// Per-worker root-span durations aggregated by name, preserving
+/// first-appearance order within each worker.
+fn phase_rows(forest: &[ThreadSpans]) -> BTreeMap<u32, Vec<(String, u64)>> {
+    let mut per_worker: BTreeMap<u32, Vec<(String, u64)>> = BTreeMap::new();
+    for thread in forest {
+        let rows = per_worker.entry(thread.worker).or_default();
+        for root in &thread.roots {
+            match rows.iter_mut().find(|(n, _)| *n == root.name) {
+                Some((_, d)) => *d += root.duration_ns(),
+                None => rows.push((root.name.clone(), root.duration_ns())),
+            }
+        }
+    }
+    per_worker
+}
+
+fn render_phase_table(out: &mut String, title: &str, rows: &[(String, u64)]) {
+    let total: u64 = rows.iter().map(|(_, d)| *d).sum();
+    out.push_str(title);
+    out.push('\n');
+    let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(5).max(5);
+    for (name, d) in rows {
+        let frac = if total == 0 {
+            0.0
+        } else {
+            100.0 * *d as f64 / total as f64
+        };
+        out.push_str(&format!(
+            "  {name:<width$}  {:>10.3} s  {frac:>5.1}%\n",
+            secs(*d)
+        ));
+    }
+    out.push_str(&format!("  {:<width$}  {:>10.3} s\n", "total", secs(total)));
+}
+
+/// Render the human-readable report for a parsed trace: phase breakdown per
+/// worker (plus the across-worker critical path for dist runs), top
+/// counters, and the fault/retry timeline.
+pub fn render_report(trace: &Trace) -> Result<String, String> {
+    let mut out = String::new();
+    if let Some(meta) = &trace.meta {
+        out.push_str(&format!(
+            "trace: cmd={} algo={} k={} alpha={}",
+            meta.cmd, meta.algo, meta.k, meta.alpha
+        ));
+        if meta.edges > 0 {
+            out.push_str(&format!(" vertices={} edges={}", meta.vertices, meta.edges));
+        }
+        out.push('\n');
+    }
+    if trace.truncated {
+        out.push_str("warning: trace file was truncated (torn final line dropped)\n");
+    }
+
+    let forest = build_span_forest(&trace.events)?;
+    let per_worker = phase_rows(&forest);
+    let workers: Vec<u32> = per_worker.keys().copied().collect();
+
+    for (worker, rows) in &per_worker {
+        if rows.is_empty() {
+            continue;
+        }
+        let title = if *worker == 0 {
+            if workers.len() > 1 {
+                "\nphases (coordinator, w0):".to_string()
+            } else {
+                "\nphases:".to_string()
+            }
+        } else {
+            format!("\nphases (worker w{worker}, shard {}):", worker - 1)
+        };
+        render_phase_table(&mut out, &title, rows);
+    }
+
+    // Dist runs: the per-phase critical path is the slowest worker in each
+    // phase — the quantity the linear run-time claim bounds.
+    if workers.iter().filter(|w| **w > 0).count() > 1 {
+        let mut critical: Vec<(String, u64)> = Vec::new();
+        for (worker, rows) in &per_worker {
+            if *worker == 0 {
+                continue;
+            }
+            for (name, d) in rows {
+                match critical.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, max)) => *max = (*max).max(*d),
+                    None => critical.push((name.clone(), *d)),
+                }
+            }
+        }
+        render_phase_table(
+            &mut out,
+            "\nper-shard critical path (max across workers):",
+            &critical,
+        );
+    }
+
+    if !trace.counters.is_empty() {
+        let mut counters = trace.counters.clone();
+        counters.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| (a.0, &a.1).cmp(&(b.0, &b.1))));
+        out.push_str("\ntop counters:\n");
+        let shown = counters.len().min(20);
+        for (worker, name, value) in &counters[..shown] {
+            out.push_str(&format!("  w{worker}  {name:<32}  {value:>14}\n"));
+        }
+        if counters.len() > shown {
+            out.push_str(&format!("  … {} more\n", counters.len() - shown));
+        }
+    }
+
+    let faults: Vec<&TraceEvent> = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::Mark && e.name.starts_with("dist.fault."))
+        .collect();
+    if !faults.is_empty() {
+        let mut faults = faults;
+        faults.sort_by_key(|e| e.ns);
+        out.push_str("\nfault timeline:\n");
+        for e in faults {
+            out.push_str(&format!(
+                "  [+{:>9.3} s] w{} {}{}\n",
+                secs(e.ns),
+                e.worker,
+                e.name,
+                e.detail
+                    .as_deref()
+                    .map(|d| format!(" — {d}"))
+                    .unwrap_or_default()
+            ));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, name: &str, worker: u32, tid: u32, ns: u64) -> TraceEvent {
+        TraceEvent {
+            kind,
+            name: name.into(),
+            worker,
+            tid,
+            ns,
+            detail: None,
+        }
+    }
+
+    #[test]
+    fn builds_nested_forest() {
+        let events = vec![
+            ev(EventKind::Open, "outer", 0, 1, 0),
+            ev(EventKind::Open, "inner", 0, 1, 10),
+            ev(EventKind::Close, "inner", 0, 1, 20),
+            ev(EventKind::Close, "outer", 0, 1, 30),
+            ev(EventKind::Open, "solo", 0, 2, 5),
+            ev(EventKind::Close, "solo", 0, 2, 6),
+        ];
+        let forest = build_span_forest(&events).unwrap();
+        assert_eq!(forest.len(), 2);
+        assert_eq!(forest[0].roots.len(), 1);
+        assert_eq!(forest[0].roots[0].children.len(), 1);
+        assert_eq!(forest[0].roots[0].children[0].name, "inner");
+        assert_eq!(forest[0].roots[0].duration_ns(), 30);
+    }
+
+    #[test]
+    fn orphan_close_is_rejected() {
+        let events = vec![ev(EventKind::Close, "x", 0, 1, 5)];
+        let err = build_span_forest(&events).unwrap_err();
+        assert!(err.contains("orphan close"), "got: {err}");
+    }
+
+    #[test]
+    fn mismatched_close_is_rejected() {
+        let events = vec![
+            ev(EventKind::Open, "a", 0, 1, 0),
+            ev(EventKind::Close, "b", 0, 1, 1),
+        ];
+        assert!(build_span_forest(&events).is_err());
+    }
+
+    #[test]
+    fn unclosed_span_is_rejected() {
+        let events = vec![ev(EventKind::Open, "a", 0, 1, 0)];
+        let err = build_span_forest(&events).unwrap_err();
+        assert!(err.contains("never closed"), "got: {err}");
+    }
+
+    #[test]
+    fn backwards_timestamps_are_rejected() {
+        let events = vec![
+            ev(EventKind::Open, "a", 0, 1, 10),
+            ev(EventKind::Close, "a", 0, 1, 5),
+        ];
+        let err = build_span_forest(&events).unwrap_err();
+        assert!(err.contains("backwards"), "got: {err}");
+    }
+
+    #[test]
+    fn report_renders_phases_counters_and_faults() {
+        let trace = Trace {
+            events: vec![
+                ev(EventKind::Open, "degree", 0, 1, 0),
+                ev(EventKind::Close, "degree", 0, 1, 1_000_000),
+                ev(EventKind::Open, "clustering", 0, 1, 1_000_000),
+                ev(EventKind::Close, "clustering", 0, 1, 4_000_000),
+                ev(EventKind::Mark, "dist.fault.retry", 0, 1, 4_100_000),
+                // two dist workers with the same phase
+                ev(EventKind::Open, "degree", 1, 1, 0),
+                ev(EventKind::Close, "degree", 1, 1, 2_000_000),
+                ev(EventKind::Open, "degree", 2, 1, 0),
+                ev(EventKind::Close, "degree", 2, 1, 3_000_000),
+            ],
+            counters: vec![
+                (0, "io.v2.chunks_decoded".into(), 100),
+                (1, "dist.frames.sent".into(), 7),
+            ],
+            ..Trace::default()
+        };
+        let report = render_report(&trace).unwrap();
+        assert!(report.contains("degree"));
+        assert!(report.contains("critical path"));
+        assert!(report.contains("dist.fault.retry"));
+        assert!(report.contains("io.v2.chunks_decoded"));
+        // critical path for degree is the slower worker: 3ms
+        assert!(report.contains("0.003"), "got:\n{report}");
+    }
+
+    #[test]
+    fn phase_durations_match_fig5_fractions() {
+        // A serial run whose phases are 25% / 75% must report those
+        // fractions — the same numbers PhaseTimer::fraction produces.
+        let trace = Trace {
+            events: vec![
+                ev(EventKind::Open, "degree", 0, 1, 0),
+                ev(EventKind::Close, "degree", 0, 1, 25_000_000),
+                ev(EventKind::Open, "clustering", 0, 1, 25_000_000),
+                ev(EventKind::Close, "clustering", 0, 1, 100_000_000),
+            ],
+            ..Trace::default()
+        };
+        let report = render_report(&trace).unwrap();
+        assert!(report.contains("25.0%"), "got:\n{report}");
+        assert!(report.contains("75.0%"), "got:\n{report}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Phase timers for run-time dissection (Fig. 5 of the paper).
+//!
+//! [`PhaseTimer`] records named, ordered phases of a run. 2PS-L reports
+//! `degree → clustering → partitioning`; other partitioners report whatever
+//! phases they have. Durations are wall-clock, measured by
+//! [`Span::end`](crate::Span::end) — the timer is the human-readable summary
+//! of the same measurements the trace records as span events (see the
+//! [`phase_span!`](crate::phase_span) macro).
+
+use std::time::Duration;
+
+/// Ordered list of named phase durations.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTimer {
+    phases: Vec<(String, Duration)>,
+}
+
+impl PhaseTimer {
+    /// Empty timer.
+    pub fn new() -> Self {
+        PhaseTimer::default()
+    }
+
+    /// Record an externally measured duration.
+    pub fn record(&mut self, name: &str, d: Duration) {
+        self.phases.push((name.to_string(), d));
+    }
+
+    /// All recorded phases in order.
+    pub fn phases(&self) -> &[(String, Duration)] {
+        &self.phases
+    }
+
+    /// Total duration across phases.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Duration of the phase named `name` (sums duplicates, e.g. repeated
+    /// clustering passes).
+    pub fn get(&self, name: &str) -> Duration {
+        self.phases
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+            .sum()
+    }
+
+    /// Fraction of total time spent in `name` (0 when the total is zero).
+    pub fn fraction(&self, name: &str) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.get(name).as_secs_f64() / total
+        }
+    }
+
+    /// Merge another timer's phases after this one's.
+    pub fn extend(&mut self, other: PhaseTimer) {
+        self.phases.extend(other.phases);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = PhaseTimer::new();
+        t.record("a", Duration::from_millis(10));
+        t.record("b", Duration::from_millis(30));
+        assert_eq!(t.phases().len(), 2);
+        assert_eq!(t.phases()[0].0, "a");
+        assert_eq!(t.total(), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn duplicate_phases_sum() {
+        let mut t = PhaseTimer::new();
+        t.record("cluster", Duration::from_millis(5));
+        t.record("cluster", Duration::from_millis(7));
+        assert_eq!(t.get("cluster"), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut t = PhaseTimer::new();
+        t.record("x", Duration::from_millis(25));
+        t.record("y", Duration::from_millis(75));
+        assert!((t.fraction("x") - 0.25).abs() < 1e-9);
+        assert!((t.fraction("y") - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_timer_fraction_is_zero() {
+        let t = PhaseTimer::new();
+        assert_eq!(t.fraction("anything"), 0.0);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = PhaseTimer::new();
+        a.record("a", Duration::from_millis(1));
+        let mut b = PhaseTimer::new();
+        b.record("b", Duration::from_millis(2));
+        a.extend(b);
+        assert_eq!(a.phases().len(), 2);
+    }
+
+    #[test]
+    fn span_duration_feeds_timer() {
+        let mut t = PhaseTimer::new();
+        let s = crate::span("measured");
+        t.record("measured", s.end());
+        assert_eq!(t.phases().len(), 1);
+    }
+}

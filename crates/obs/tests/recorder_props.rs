@@ -1,0 +1,173 @@
+//! Property tests for the recorder and trace layers.
+//!
+//! The core invariant: per-thread rings drained at barriers reconstruct a
+//! consistent span tree — no orphan closes, matching open/close names,
+//! monotonic per-thread timestamps — across 1/2/4/8 recording threads. Plus:
+//! any byte-prefix of a rendered trace parses without panicking (torn-write
+//! tolerance for `tps report`).
+
+use std::sync::Mutex;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tps_obs::{
+    build_span_forest, drain_local, instant, render_trace, reset_events, set_enabled, span,
+    take_events, EventKind, Span, SpanNode, Trace, TraceEvent, TraceMeta,
+};
+
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+// The recorder is process-global; serialise test bodies that enable it.
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+/// Interpret a script of ops on the calling thread: open a span, close the
+/// innermost span, or record a mark (occasionally draining mid-script, as a
+/// barrier would). Returns `(opens, marks)` executed.
+fn run_script(script: &[u32]) -> (usize, usize) {
+    let mut stack: Vec<Span> = Vec::new();
+    let mut opens = 0usize;
+    let mut marks = 0usize;
+    for &op in script {
+        match op % 3 {
+            0 => {
+                stack.push(span(NAMES[(op as usize / 3) % NAMES.len()]));
+                opens += 1;
+            }
+            1 => {
+                if let Some(s) = stack.pop() {
+                    s.end();
+                }
+            }
+            _ => {
+                instant("mark");
+                marks += 1;
+                if op % 2 == 0 {
+                    drain_local();
+                }
+            }
+        }
+    }
+    while let Some(s) = stack.pop() {
+        s.end();
+    }
+    drain_local();
+    (opens, marks)
+}
+
+fn count_spans(nodes: &[SpanNode]) -> usize {
+    nodes.iter().map(|n| 1 + count_spans(&n.children)).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn drained_rings_reconstruct_consistent_span_tree(
+        tsel in 0usize..4,
+        scripts in vec(vec(0u32..12, 0..48), 8..9),
+    ) {
+        let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        let threads = [1usize, 2, 4, 8][tsel];
+        reset_events();
+        set_enabled(true);
+        let handles: Vec<_> = scripts
+            .iter()
+            .take(threads)
+            .cloned()
+            .map(|s| std::thread::spawn(move || run_script(&s)))
+            .collect();
+        let mut opens = 0usize;
+        let mut marks = 0usize;
+        for h in handles {
+            let (o, m) = h.join().unwrap();
+            opens += o;
+            marks += m;
+        }
+        set_enabled(false);
+        let events = take_events();
+
+        // Every open got a close, every mark survived the drains.
+        prop_assert_eq!(events.len(), opens * 2 + marks);
+
+        // Stack discipline + per-thread monotonicity hold after the drains.
+        let forest = build_span_forest(&events);
+        prop_assert!(forest.is_ok(), "inconsistent span tree: {:?}", forest.err());
+        let forest = forest.unwrap();
+        let rebuilt: usize = forest.iter().map(|t| count_spans(&t.roots)).sum();
+        prop_assert_eq!(rebuilt, opens);
+
+        // Events came from at most `threads` distinct timelines.
+        prop_assert!(forest.len() <= threads);
+    }
+
+    #[test]
+    fn any_trace_prefix_parses_without_panicking(
+        script in vec(0u32..8, 0..64),
+        cut in 0usize..1 << 16,
+    ) {
+        // Build a synthetic well-nested event stream (no recorder needed).
+        let mut events: Vec<TraceEvent> = Vec::new();
+        let mut depth = 0u32;
+        let mut open_names: Vec<&str> = Vec::new();
+        let mut ns = 0u64;
+        for &op in &script {
+            ns += u64::from(op) + 1;
+            if op % 2 == 0 || depth == 0 {
+                let name = NAMES[(op as usize / 2) % NAMES.len()];
+                open_names.push(name);
+                depth += 1;
+                events.push(TraceEvent {
+                    kind: EventKind::Open,
+                    name: name.into(),
+                    worker: 0,
+                    tid: 1,
+                    ns,
+                    detail: None,
+                });
+            } else {
+                let name = open_names.pop().unwrap();
+                depth -= 1;
+                events.push(TraceEvent {
+                    kind: EventKind::Close,
+                    name: name.into(),
+                    worker: 0,
+                    tid: 1,
+                    ns,
+                    detail: None,
+                });
+            }
+        }
+        while let Some(name) = open_names.pop() {
+            ns += 1;
+            events.push(TraceEvent {
+                kind: EventKind::Close,
+                name: name.into(),
+                worker: 0,
+                tid: 1,
+                ns,
+                detail: None,
+            });
+        }
+        let meta = TraceMeta {
+            cmd: "partition".into(),
+            algo: "2PS-L".into(),
+            k: 8,
+            alpha: 1.05,
+            vertices: 10,
+            edges: 20,
+        };
+        let counters = vec![(0u32, "io.v2.chunks_decoded".to_string(), 42u64)];
+        let text = render_trace(&meta, &events, &counters);
+
+        // The rendered trace is pure ASCII, so any byte cut is a char cut.
+        let cut = cut % (text.len() + 1);
+        let prefix = &text[..cut];
+        let parsed = Trace::parse(prefix);
+        // A prefix can only tear the final line, which parse tolerates.
+        prop_assert!(parsed.is_ok(), "prefix rejected: {:?}", parsed.err());
+        let parsed = parsed.unwrap();
+        prop_assert!(parsed.events.len() <= events.len());
+        // Whatever events survived are an exact prefix of the originals.
+        prop_assert_eq!(&parsed.events[..], &events[..parsed.events.len()]);
+    }
+}

@@ -257,6 +257,8 @@ fn with_epoch(msg: &Message, epoch: u32) -> Message {
             counters,
             loads,
             assigned,
+            trace,
+            counter_snap,
             ..
         } => Message::ShardDone {
             shard,
@@ -264,6 +266,8 @@ fn with_epoch(msg: &Message, epoch: u32) -> Message {
             counters,
             loads,
             assigned,
+            trace,
+            counter_snap,
         },
         Message::Run { shard, batch, .. } => Message::Run {
             shard,
