@@ -10,9 +10,9 @@
 //! Run: `cargo run --release -p tps-bench --bin ablations`
 
 use tps_bench::harness::BenchArgs;
+use tps_core::job::JobSpec;
 use tps_core::partitioner::PartitionParams;
-use tps_core::runner::run_partitioner;
-use tps_core::two_phase::{MappingStrategy, TwoPhaseConfig, TwoPhasePartitioner};
+use tps_core::two_phase::{MappingStrategy, TwoPhaseConfig};
 use tps_graph::datasets::Dataset;
 use tps_metrics::table::Table;
 
@@ -20,15 +20,13 @@ use tps_metrics::table::Table;
 static ALLOC: tps_metrics::alloc::CountingAllocator = tps_metrics::alloc::CountingAllocator;
 
 fn run_config(graph: &tps_graph::InMemoryGraph, config: TwoPhaseConfig, k: u32) -> (f64, f64, f64) {
-    let mut p = TwoPhasePartitioner::new(config);
     let mut stream = graph.stream();
-    let out = run_partitioner(
-        &mut p,
-        &mut stream,
-        graph.num_vertices(),
-        &PartitionParams::new(k),
-    )
-    .expect("partitioning failed");
+    let out = JobSpec::stream(&mut stream)
+        .two_phase(config)
+        .params(&PartitionParams::new(k))
+        .num_vertices(graph.num_vertices())
+        .run()
+        .expect("partitioning failed");
     let pre = out.report.counter("prepartitioned") as f64;
     let total = graph.num_edges().max(1) as f64;
     (out.metrics.replication_factor, out.seconds(), pre / total)

@@ -20,10 +20,10 @@
 use std::time::Instant;
 
 use tps_bench::harness::BenchArgs;
+use tps_core::job::JobSpec;
 use tps_core::partitioner::PartitionParams;
-use tps_core::runner::run_partitioner;
 use tps_core::sink::QualitySink;
-use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_core::two_phase::TwoPhaseConfig;
 use tps_dist::run_dist_local;
 use tps_graph::datasets::Dataset;
 
@@ -39,9 +39,12 @@ fn main() {
     // Serial reference.
     let mut serial_best: Option<tps_core::runner::RunOutcome> = None;
     for _ in 0..args.repeats {
-        let mut p = TwoPhasePartitioner::new(config);
         let mut stream = graph.stream();
-        let out = run_partitioner(&mut p, &mut stream, graph.num_vertices(), &params)
+        let out = JobSpec::stream(&mut stream)
+            .two_phase(config)
+            .params(&params)
+            .num_vertices(graph.num_vertices())
+            .run()
             .expect("serial partition");
         if serial_best
             .as_ref()

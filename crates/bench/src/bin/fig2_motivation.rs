@@ -9,8 +9,8 @@
 
 use tps_baselines::{DbhPartitioner, HdrfPartitioner};
 use tps_bench::harness::BenchArgs;
+use tps_core::job::JobSpec;
 use tps_core::partitioner::{PartitionParams, Partitioner};
-use tps_core::runner::run_partitioner;
 use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
 use tps_graph::datasets::Dataset;
 use tps_metrics::stats::Summary;
@@ -48,13 +48,12 @@ fn main() {
             let mut alpha = Summary::new();
             for _ in 0..args.repeats {
                 let mut stream = graph.stream();
-                let out = run_partitioner(
-                    p.as_mut(),
-                    &mut stream,
-                    graph.num_vertices(),
-                    &PartitionParams::new(k),
-                )
-                .expect("partitioning failed");
+                let out = JobSpec::stream(&mut stream)
+                    .partitioner(p.as_mut())
+                    .params(&PartitionParams::new(k))
+                    .num_vertices(graph.num_vertices())
+                    .run()
+                    .expect("partitioning failed");
                 rf.add(out.metrics.replication_factor);
                 time.add(out.seconds());
                 alpha.add(out.metrics.alpha);

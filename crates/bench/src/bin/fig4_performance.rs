@@ -15,8 +15,8 @@ use tps_baselines::{
     MultilevelPartitioner, NePartitioner, SnePartitioner,
 };
 use tps_bench::harness::BenchArgs;
+use tps_core::job::JobSpec;
 use tps_core::partitioner::{PartitionParams, Partitioner};
-use tps_core::runner::run_partitioner;
 use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
 use tps_graph::datasets::Dataset;
 use tps_metrics::stats::Summary;
@@ -89,12 +89,12 @@ fn main() {
                 let mut failed = None;
                 for _ in 0..repeats {
                     let mut stream = graph.stream();
-                    match run_partitioner(
-                        p.as_mut(),
-                        &mut stream,
-                        graph.num_vertices(),
-                        &PartitionParams::new(k),
-                    ) {
+                    match JobSpec::stream(&mut stream)
+                        .partitioner(p.as_mut())
+                        .params(&PartitionParams::new(k))
+                        .num_vertices(graph.num_vertices())
+                        .run()
+                    {
                         Ok(out) => {
                             rf.add(out.metrics.replication_factor);
                             time.add(out.seconds());

@@ -8,9 +8,9 @@
 //! Run: `cargo run --release -p tps-bench --bin fig5_phase_breakdown`
 
 use tps_bench::harness::BenchArgs;
+use tps_core::job::JobSpec;
 use tps_core::partitioner::PartitionParams;
-use tps_core::runner::run_partitioner;
-use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_core::two_phase::TwoPhaseConfig;
 use tps_graph::datasets::Dataset;
 use tps_metrics::table::Table;
 
@@ -34,15 +34,13 @@ fn main() {
         let mut partitioning = tps_metrics::stats::Summary::new();
         let mut total = tps_metrics::stats::Summary::new();
         for _ in 0..args.repeats {
-            let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
             let mut stream = graph.stream();
-            let out = run_partitioner(
-                &mut p,
-                &mut stream,
-                graph.num_vertices(),
-                &PartitionParams::new(k),
-            )
-            .expect("partitioning failed");
+            let out = JobSpec::stream(&mut stream)
+                .two_phase(TwoPhaseConfig::default())
+                .params(&PartitionParams::new(k))
+                .num_vertices(graph.num_vertices())
+                .run()
+                .expect("partitioning failed");
             let phases = &out.report.phases;
             // "Partitioning" covers mapping + pre-partitioning + the scoring
             // pass, matching the paper's three-way split.

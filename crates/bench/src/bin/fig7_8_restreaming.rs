@@ -8,9 +8,9 @@
 //! Run: `cargo run --release -p tps-bench --bin fig7_8_restreaming`
 
 use tps_bench::harness::BenchArgs;
+use tps_core::job::JobSpec;
 use tps_core::partitioner::PartitionParams;
-use tps_core::runner::run_partitioner;
-use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_core::two_phase::TwoPhaseConfig;
 use tps_graph::datasets::Dataset;
 use tps_metrics::stats::Summary;
 use tps_metrics::table::Table;
@@ -38,15 +38,13 @@ fn main() {
             let mut rf = Summary::new();
             let mut time = Summary::new();
             for _ in 0..args.repeats {
-                let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::with_passes(passes));
                 let mut stream = graph.stream();
-                let out = run_partitioner(
-                    &mut p,
-                    &mut stream,
-                    graph.num_vertices(),
-                    &PartitionParams::new(k),
-                )
-                .expect("partitioning failed");
+                let out = JobSpec::stream(&mut stream)
+                    .two_phase(TwoPhaseConfig::with_passes(passes))
+                    .params(&PartitionParams::new(k))
+                    .num_vertices(graph.num_vertices())
+                    .run()
+                    .expect("partitioning failed");
                 rf.add(out.metrics.replication_factor);
                 time.add(out.seconds());
             }

@@ -31,11 +31,10 @@ use std::time::Instant;
 
 use tps_baselines::{DbhPartitioner, HdrfPartitioner, ParallelBaselineRunner, StreamingBaseline};
 use tps_bench::harness::BenchArgs;
-use tps_core::parallel::ParallelRunner;
+use tps_core::job::{JobSpec, ThreadMode};
 use tps_core::partitioner::{PartitionParams, Partitioner, RunReport};
-use tps_core::runner::{run_parallel_partitioner, run_partitioner};
 use tps_core::sink::QualitySink;
-use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_core::two_phase::TwoPhaseConfig;
 use tps_graph::datasets::Dataset;
 use tps_graph::stream::InMemoryGraph;
 use tps_metrics::quality::PartitionMetrics;
@@ -144,9 +143,12 @@ fn run_2ps(
     args: &BenchArgs,
 ) -> (Measured, Vec<String>) {
     let serial = best_of(args.repeats, || {
-        let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
         let mut stream = graph.stream();
-        let out = run_partitioner(&mut p, &mut stream, graph.num_vertices(), params)
+        let out = JobSpec::stream(&mut stream)
+            .two_phase(TwoPhaseConfig::default())
+            .params(params)
+            .num_vertices(graph.num_vertices())
+            .run()
             .expect("serial partition");
         Measured {
             seconds: out.seconds(),
@@ -157,9 +159,13 @@ fn run_2ps(
     let medges = graph.num_edges() as f64 / 1e6;
     let mut rows = Vec::new();
     for threads in THREAD_COUNTS {
-        let runner = ParallelRunner::new(TwoPhaseConfig::default(), threads);
         let out = best_of(args.repeats, || {
-            let out = run_parallel_partitioner(&runner, graph, params).expect("parallel partition");
+            let out = JobSpec::ranged(graph)
+                .two_phase(TwoPhaseConfig::default())
+                .params(params)
+                .threads(ThreadMode::Count(threads))
+                .run()
+                .expect("parallel partition");
             Measured {
                 seconds: out.seconds(),
                 metrics: out.metrics,
@@ -255,9 +261,13 @@ fn trace_overhead(
     const THREADS: usize = 4;
     const TARGET_SAMPLE_SECS: f64 = 0.3;
     let samples = args.repeats.max(3);
-    let runner = ParallelRunner::new(TwoPhaseConfig::default(), THREADS);
     let run_once = || {
-        let out = run_parallel_partitioner(&runner, graph, params).expect("parallel partition");
+        let out = JobSpec::ranged(graph)
+            .two_phase(TwoPhaseConfig::default())
+            .params(params)
+            .threads(ThreadMode::Count(THREADS))
+            .run()
+            .expect("parallel partition");
         Measured {
             seconds: out.seconds(),
             metrics: out.metrics,

@@ -39,6 +39,7 @@ struct Args {
     scaling: Option<String>,
     dist: Option<String>,
     mem: Option<String>,
+    serve: Option<String>,
     baseline: Option<String>,
     out: Option<String>,
     write_baseline: Option<String>,
@@ -52,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
         scaling: None,
         dist: None,
         mem: None,
+        serve: None,
         baseline: None,
         out: None,
         write_baseline: None,
@@ -66,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
             "--scaling" => args.scaling = Some(value("scaling")?),
             "--dist" => args.dist = Some(value("dist")?),
             "--mem" => args.mem = Some(value("mem")?),
+            "--serve" => args.serve = Some(value("serve")?),
             "--baseline" => args.baseline = Some(value("baseline")?),
             "--out" => args.out = Some(value("out")?),
             "--write-baseline" => args.write_baseline = Some(value("write-baseline")?),
@@ -82,8 +85,13 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    if args.io.is_none() && args.scaling.is_none() && args.dist.is_none() && args.mem.is_none() {
-        return Err("need at least one of --io / --scaling / --dist / --mem".into());
+    if args.io.is_none()
+        && args.scaling.is_none()
+        && args.dist.is_none()
+        && args.mem.is_none()
+        && args.serve.is_none()
+    {
+        return Err("need at least one of --io / --scaling / --dist / --mem / --serve".into());
     }
     if args.baseline.is_none() && args.write_baseline.is_none() {
         return Err("need --baseline (gate mode) or --write-baseline".into());
@@ -113,6 +121,9 @@ fn run() -> Result<bool, String> {
     if let Some(p) = &args.mem {
         members.push(("mem_peak".to_string(), load_json(p)?));
     }
+    if let Some(p) = &args.serve {
+        members.push(("serve_scaling".to_string(), load_json(p)?));
+    }
     let sections: Vec<String> = members.iter().map(|(k, _)| k.clone()).collect();
     let merged = Json::Obj(members);
     let current = extract_metrics(&merged);
@@ -137,10 +148,13 @@ fn run() -> Result<bool, String> {
                     .iter()
                     .filter(|(k, _)| {
                         // Hand-set policy ceilings (peak-RSS headroom,
-                        // tracing-overhead budgets) survive a refresh of
-                        // their own section too (see the skip below).
+                        // tracing-overhead budgets, serve update-cost
+                        // bounds) survive a refresh of their own section
+                        // too (see the skip below).
                         k.ends_with(".peak_rss_mb")
                             || k.ends_with(".slowdown")
+                            || k.ends_with(".update_ms_per_edge")
+                            || k.ends_with(".update_scale_ratio")
                             || !sections.iter().any(|s| k.starts_with(&format!("{s}.")))
                     })
                     .filter_map(|(k, v)| v.as_f64().map(|f| (k.clone(), f)))
@@ -149,13 +163,18 @@ fn run() -> Result<bool, String> {
             };
         let mut skipped_rss = 0usize;
         for (k, v) in &current {
-            if k.ends_with(".peak_rss_mb") || k.ends_with(".slowdown") {
+            if k.ends_with(".peak_rss_mb")
+                || k.ends_with(".slowdown")
+                || k.ends_with(".update_ms_per_edge")
+                || k.ends_with(".update_scale_ratio")
+            {
                 // RF ceilings are deterministic and written as measured;
-                // peak-RSS and tracing-slowdown ceilings are NOT — they
-                // vary with allocator/runner, so their headroom is set by
-                // hand (see the baseline comment). Writing the measured
-                // value verbatim would commit a zero-headroom ceiling that
-                // flakes on the next runner; keep whatever the file holds.
+                // peak-RSS, tracing-slowdown and serve update-cost
+                // ceilings are NOT — they vary with allocator/runner, so
+                // their headroom is set by hand (see the baseline
+                // comment). Writing the measured value verbatim would
+                // commit a zero-headroom ceiling that flakes on the next
+                // runner; keep whatever the file holds.
                 skipped_rss += 1;
                 continue;
             }
@@ -166,7 +185,8 @@ fn run() -> Result<bool, String> {
         }
         if skipped_rss > 0 {
             eprintln!(
-                "note: {skipped_rss} *.peak_rss_mb / *.slowdown ceilings left untouched — \
+                "note: {skipped_rss} hand-set ceilings (*.peak_rss_mb / *.slowdown / \
+                 *.update_ms_per_edge / *.update_scale_ratio) left untouched — \
                  set their headroom by hand (see the baseline comment)"
             );
         }

@@ -12,8 +12,8 @@
 
 use tps_baselines::{DbhPartitioner, HdrfPartitioner};
 use tps_bench::harness::BenchArgs;
+use tps_core::job::JobSpec;
 use tps_core::partitioner::{PartitionParams, Partitioner};
-use tps_core::runner::run_partitioner;
 use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
 use tps_graph::datasets::Dataset;
 use tps_metrics::stats::Summary;
@@ -26,13 +26,12 @@ fn time_of(p: &mut dyn Partitioner, graph: &tps_graph::InMemoryGraph, k: u32, re
     let mut time = Summary::new();
     for _ in 0..repeats {
         let mut stream = graph.stream();
-        let out = run_partitioner(
-            p,
-            &mut stream,
-            graph.num_vertices(),
-            &PartitionParams::new(k),
-        )
-        .expect("partitioning failed");
+        let out = JobSpec::stream(&mut stream)
+            .partitioner(p)
+            .params(&PartitionParams::new(k))
+            .num_vertices(graph.num_vertices())
+            .run()
+            .expect("partitioning failed");
         time.add(out.seconds());
     }
     time.mean()

@@ -9,8 +9,8 @@
 
 use tps_baselines::{DbhPartitioner, GridPartitioner, HdrfPartitioner, NePartitioner};
 use tps_bench::harness::BenchArgs;
+use tps_core::job::JobSpec;
 use tps_core::partitioner::{PartitionParams, Partitioner};
-use tps_core::runner::run_partitioner;
 use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
 use tps_graph::datasets::Dataset;
 use tps_metrics::table::Table;
@@ -50,13 +50,12 @@ fn main() {
         let mut peaks = Vec::new();
         for &k in &[4u32, 64, 256] {
             let mut stream = graph.stream();
-            let out = run_partitioner(
-                p.as_mut(),
-                &mut stream,
-                graph.num_vertices(),
-                &PartitionParams::new(k),
-            )
-            .expect("partitioning failed");
+            let out = JobSpec::stream(&mut stream)
+                .partitioner(p.as_mut())
+                .params(&PartitionParams::new(k))
+                .num_vertices(graph.num_vertices())
+                .run()
+                .expect("partitioning failed");
             peaks.push(out.peak_heap_bytes as f64 / 1e6);
         }
         table.row(vec![

@@ -11,8 +11,8 @@
 
 use tps_baselines::{DbhPartitioner, HdrfPartitioner, HepPartitioner, SnePartitioner};
 use tps_bench::harness::BenchArgs;
+use tps_core::job::JobSpec;
 use tps_core::partitioner::{PartitionParams, Partitioner};
-use tps_core::runner::run_partitioner_with_sink;
 use tps_core::sink::VecSink;
 use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
 use tps_graph::datasets::Dataset;
@@ -65,14 +65,13 @@ fn main() {
         for mut p in roster() {
             let mut sink = VecSink::new();
             let mut stream = graph.stream();
-            let out = run_partitioner_with_sink(
-                p.as_mut(),
-                &mut stream,
-                graph.num_vertices(),
-                &PartitionParams::new(k),
-                &mut sink,
-            )
-            .expect("partitioning failed");
+            let out = JobSpec::stream(&mut stream)
+                .partitioner(p.as_mut())
+                .params(&PartitionParams::new(k))
+                .num_vertices(graph.num_vertices())
+                .extra_sink(&mut sink)
+                .run()
+                .expect("partitioning failed");
             let layout =
                 DistributedGraph::from_assignments(sink.assignments(), graph.num_vertices(), k);
             let part_s = out.seconds();

@@ -1,7 +1,10 @@
 //! Minimal flag parsing for the `tps` subcommands (no CLI crate in the
-//! offline dependency set).
+//! offline dependency set), plus the one shared [`CommonOpts`] parser for
+//! the flags every partitioning-adjacent subcommand accepts.
 
 use std::collections::HashMap;
+
+use tps_core::job::{ReaderKind, ThreadMode};
 
 /// Parsed `--flag value` pairs plus boolean switches.
 #[derive(Clone, Debug, Default)]
@@ -12,7 +15,11 @@ pub struct Flags {
 
 impl Flags {
     /// Parse `--key value` and `--switch` style arguments.
-    pub fn parse(args: &[String], switches: &[&str]) -> Result<Flags, String> {
+    ///
+    /// `switches` lists the boolean flags, `valued` the value-taking ones;
+    /// anything else is rejected by name together with the valid set, so a
+    /// typo (`--treads 4`) fails loudly instead of being silently ignored.
+    pub fn parse(args: &[String], switches: &[&str], valued: &[&str]) -> Result<Flags, String> {
         let mut out = Flags::default();
         let mut it = args.iter().peekable();
         while let Some(arg) = it.next() {
@@ -21,9 +28,17 @@ impl Flags {
             };
             if switches.contains(&name) {
                 out.switches.push(name.to_string());
-            } else {
+            } else if valued.contains(&name) {
                 let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                 out.values.insert(name.to_string(), value.clone());
+            } else {
+                let mut valid: Vec<&str> = switches.iter().chain(valued).copied().collect();
+                valid.sort_unstable();
+                let valid: Vec<String> = valid.iter().map(|f| format!("--{f}")).collect();
+                return Err(format!(
+                    "unknown flag --{name} (valid: {})",
+                    valid.join(", ")
+                ));
             }
         }
         Ok(out)
@@ -58,6 +73,62 @@ impl Flags {
     }
 }
 
+/// The flag names [`CommonOpts::from_flags`] consumes — splice into a
+/// subcommand's `valued` list so no command re-declares them by hand.
+pub const COMMON_VALUED: &[&str] = &[
+    "algorithm",
+    "alpha",
+    "passes",
+    "reader",
+    "threads",
+    "spill-budget-mb",
+    "format",
+];
+
+/// The typed options shared by every subcommand that runs or configures a
+/// partitioning job (`partition`, `dist`, `serve`, `info`): one parser, so
+/// defaults and error messages cannot drift between subcommands.
+#[derive(Clone, Debug)]
+pub struct CommonOpts {
+    /// `--algorithm` (default `2ps-l`).
+    pub algorithm: String,
+    /// `--alpha` balance factor (default 1.05).
+    pub alpha: f64,
+    /// `--passes` clustering passes (default 1).
+    pub passes: u32,
+    /// `--reader` backend for file inputs (default buffered).
+    pub reader: ReaderKind,
+    /// `--threads` execution policy (default auto).
+    pub threads: ThreadMode,
+    /// `--spill-budget-mb` memory bound (default 0 = unbounded).
+    pub spill_budget_mb: u64,
+    /// `--format` input-format override (default: by file extension).
+    pub format: Option<String>,
+}
+
+impl CommonOpts {
+    /// Parse the shared flags out of `flags`.
+    pub fn from_flags(flags: &Flags) -> Result<CommonOpts, String> {
+        let reader = match flags.get("reader") {
+            None => ReaderKind::Buffered,
+            Some(name) => name.parse().map_err(|e| format!("--reader: {e}"))?,
+        };
+        let threads = match flags.get("threads") {
+            None => ThreadMode::Auto,
+            Some(mode) => mode.parse().map_err(|e| format!("--threads: {e}"))?,
+        };
+        Ok(CommonOpts {
+            algorithm: flags.get("algorithm").unwrap_or("2ps-l").to_string(),
+            alpha: flags.get_or("alpha", 1.05)?,
+            passes: flags.get_or("passes", 1)?,
+            reader,
+            threads,
+            spill_budget_mb: flags.get_or("spill-budget-mb", 0)?,
+            format: flags.get("format").map(String::from),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,7 +139,12 @@ mod tests {
 
     #[test]
     fn parses_values_and_switches() {
-        let f = Flags::parse(&argv(&["--input", "g.bel", "--quiet"]), &["quiet"]).unwrap();
+        let f = Flags::parse(
+            &argv(&["--input", "g.bel", "--quiet"]),
+            &["quiet"],
+            &["input"],
+        )
+        .unwrap();
         assert_eq!(f.require("input").unwrap(), "g.bel");
         assert!(f.has("quiet"));
         assert!(!f.has("other"));
@@ -76,18 +152,28 @@ mod tests {
 
     #[test]
     fn missing_value_is_error() {
-        let err = Flags::parse(&argv(&["--input"]), &[]).unwrap_err();
+        let err = Flags::parse(&argv(&["--input"]), &[], &["input"]).unwrap_err();
         assert!(err.contains("--input"));
     }
 
     #[test]
     fn positional_rejected() {
-        assert!(Flags::parse(&argv(&["oops"]), &[]).is_err());
+        assert!(Flags::parse(&argv(&["oops"]), &[], &[]).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_names_itself_and_the_valid_set() {
+        let err =
+            Flags::parse(&argv(&["--treads", "4"]), &["quiet"], &["input", "threads"]).unwrap_err();
+        assert!(err.contains("--treads"), "{err}");
+        assert!(err.contains("--input"), "{err}");
+        assert!(err.contains("--quiet"), "{err}");
+        assert!(err.contains("--threads"), "{err}");
     }
 
     #[test]
     fn typed_defaults() {
-        let f = Flags::parse(&argv(&["--k", "32"]), &[]).unwrap();
+        let f = Flags::parse(&argv(&["--k", "32"]), &[], &["k"]).unwrap();
         assert_eq!(f.get_or("k", 4u32).unwrap(), 32);
         assert_eq!(f.get_or("alpha", 1.05f64).unwrap(), 1.05);
         assert!(f.get_or::<u32>("k-bad", 1).is_ok());
@@ -95,7 +181,56 @@ mod tests {
 
     #[test]
     fn unparsable_value_is_error() {
-        let f = Flags::parse(&argv(&["--k", "many"]), &[]).unwrap();
+        let f = Flags::parse(&argv(&["--k", "many"]), &[], &["k"]).unwrap();
         assert!(f.get_or::<u32>("k", 1).is_err());
+    }
+
+    #[test]
+    fn common_opts_defaults_and_parsing() {
+        let f = Flags::parse(&argv(&[]), &[], COMMON_VALUED).unwrap();
+        let c = CommonOpts::from_flags(&f).unwrap();
+        assert_eq!(c.algorithm, "2ps-l");
+        assert_eq!(c.alpha, 1.05);
+        assert_eq!(c.passes, 1);
+        assert_eq!(c.reader, ReaderKind::Buffered);
+        assert_eq!(c.threads, ThreadMode::Auto);
+        assert_eq!(c.spill_budget_mb, 0);
+        assert_eq!(c.format, None);
+
+        let f = Flags::parse(
+            &argv(&[
+                "--reader",
+                "mmap",
+                "--threads",
+                "serial",
+                "--alpha",
+                "1.2",
+                "--passes",
+                "3",
+                "--algorithm",
+                "2ps-hdrf",
+                "--spill-budget-mb",
+                "64",
+                "--format",
+                "text",
+            ]),
+            &[],
+            COMMON_VALUED,
+        )
+        .unwrap();
+        let c = CommonOpts::from_flags(&f).unwrap();
+        assert_eq!(c.reader, ReaderKind::Mmap);
+        assert_eq!(c.threads, ThreadMode::Serial);
+        assert_eq!(c.alpha, 1.2);
+        assert_eq!(c.passes, 3);
+        assert_eq!(c.algorithm, "2ps-hdrf");
+        assert_eq!(c.spill_budget_mb, 64);
+        assert_eq!(c.format.as_deref(), Some("text"));
+
+        let f = Flags::parse(&argv(&["--reader", "floppy"]), &[], COMMON_VALUED).unwrap();
+        let err = CommonOpts::from_flags(&f).unwrap_err();
+        assert!(err.contains("--reader"), "{err}");
+        let f = Flags::parse(&argv(&["--threads", "zero"]), &[], COMMON_VALUED).unwrap();
+        assert!(CommonOpts::from_flags(&f).is_err());
     }
 }

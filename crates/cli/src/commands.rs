@@ -2,26 +2,25 @@
 
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
 
 use tps_baselines::{
     AdwisePartitioner, DbhPartitioner, DnePartitioner, GreedyPartitioner, GridPartitioner,
     HdrfPartitioner, HepPartitioner, MultilevelPartitioner, NePartitioner, RandomPartitioner,
     SnePartitioner,
 };
-use tps_core::parallel::ParallelRunner;
+use tps_core::job::{ExecPlan, JobSpec, ThreadMode};
 use tps_core::partitioner::{PartitionParams, Partitioner, RunReport};
 use tps_core::sink::{AssignmentSink, FileSink, QualitySink, TeeSink};
 use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_core::RunOutcome;
 use tps_graph::datasets::Dataset;
 use tps_graph::formats::binary::write_binary_edge_list;
 use tps_graph::formats::text::TextEdgeFile;
-use tps_graph::ranged::RangedEdgeSource;
 use tps_graph::stream::{discover_info, EdgeStream};
 use tps_graph::types::GraphInfo;
 use tps_io::{EdgeFileFormat, ReaderBackend, SpillSpoolFactory, SpillingFileSink};
 
-use crate::args::Flags;
+use crate::args::{CommonOpts, Flags, COMMON_VALUED};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -32,6 +31,8 @@ USAGE:
   tps dist coordinator --input FILE --k N --workers N [options]
                                               distributed partition (coordinator)
   tps dist worker --connect HOST:PORT         distributed partition (worker)
+  tps serve     --parts DIR [options]         serve a finished partitioning
+  tps lookup    --connect HOST:PORT [options] query / update a running daemon
   tps generate  --dataset NAME --out FILE     write a synthetic dataset
   tps convert   --input FILE --out FILE       convert between .bel v1 and v2
   tps info      --input FILE                  print graph statistics
@@ -100,6 +101,39 @@ dist worker options:
   --kill-at SPEC      fault injection: die at the given protocol point
   --spill-budget-mb N bound this worker's replay run memory
 
+serve options (the online serving daemon — see crates/serve/README.md):
+  --parts DIR         a tps partition --out directory of <stem>.part<i>.bel
+                      files (required); loaded once into a packed lookup
+                      table and adopted by the incremental write path
+  --listen ADDR       bind address (default 127.0.0.1:0 = ephemeral port)
+  --addr-file FILE    write the bound address to FILE once listening
+                      (written atomically; scripts poll for it)
+  --state FILE        restore the write-path engine from a snapshot
+                      written by --save-state (the packed table still
+                      comes from --parts)
+  --save-state FILE   write an engine snapshot to FILE on shutdown
+  --cache N           per-connection replica-set LRU entries (default
+                      4096; 0 disables)
+  --headroom F        extra insert capacity multiplier over --alpha
+                      (default 1.2)
+  --alpha/--passes/--algorithm
+                      scoring knobs for streamed insertions (2ps-l /
+                      2ps-hdrf only)
+  --quiet             only print the listening line
+
+lookup options (client for a running tps serve):
+  --connect HOST:PORT daemon address (required)
+  --edge S,D[;S,D…]   look up edge partitions, one line per edge
+  --replicas V[,V…]   print each vertex's replica set
+  --insert S,D[;…]    stream edge insertions (before removals)
+  --remove S,D[;…]    stream edge removals
+  --insert-file FILE / --remove-file FILE
+                      whitespace-separated \"src dst\" lines; # comments
+  --verify-parts DIR  re-read a --out directory and assert every edge's
+                      served partition matches the files bit for bit
+  --stats             print a server statistics snapshot
+  --shutdown          ask the daemon to exit (runs last)
+
 generate options:
   --dataset NAME      ok|it|tw|fr|uk|gsh|wdc|wi
   --scale F           size factor (default 1.0)
@@ -163,13 +197,6 @@ fn open_stream(
     }
 }
 
-fn parse_reader(flags: &Flags) -> Result<ReaderBackend, String> {
-    match flags.get("reader") {
-        None => Ok(ReaderBackend::Buffered),
-        Some(name) => name.parse(),
-    }
-}
-
 fn make_partitioner(name: &str, passes: u32) -> Result<Box<dyn Partitioner>, String> {
     // Two-phase algorithms resolve through the same alias table the
     // chunk-parallel path uses, so serial and parallel configs cannot drift.
@@ -194,36 +221,14 @@ fn make_partitioner(name: &str, passes: u32) -> Result<Box<dyn Partitioner>, Str
     })
 }
 
-fn fail(msg: &str) -> i32 {
+pub(crate) fn fail(msg: &str) -> i32 {
     eprintln!("error: {msg}");
     2
 }
 
-/// How `--threads` was resolved.
-enum ThreadsChoice {
-    /// Default: one worker per available core (chunk-parallel runner).
-    Auto,
-    /// Force the single-cursor serial runner.
-    Serial,
-    /// An explicit worker count for the chunk-parallel runner.
-    Count(usize),
-}
-
-fn parse_threads(flags: &Flags) -> Result<ThreadsChoice, String> {
-    match flags.get("threads") {
-        None => Ok(ThreadsChoice::Auto),
-        Some("auto") => Ok(ThreadsChoice::Auto),
-        Some("serial") => Ok(ThreadsChoice::Serial),
-        Some(n) => match n.parse::<usize>() {
-            Ok(t) if t >= 1 => Ok(ThreadsChoice::Count(t)),
-            _ => Err(format!("--threads: expected auto|serial|N>=1, got {n:?}")),
-        },
-    }
-}
-
 /// The two-phase config for `algo`, if `algo` is a two-phase algorithm (the
 /// only family the chunk-parallel runner executes).
-fn two_phase_config(algo: &str, passes: u32) -> Option<TwoPhaseConfig> {
+pub(crate) fn two_phase_config(algo: &str, passes: u32) -> Option<TwoPhaseConfig> {
     match algo.to_ascii_lowercase().as_str() {
         "2ps-l" | "2psl" | "2ps" => Some(TwoPhaseConfig {
             clustering_passes: passes,
@@ -237,143 +242,158 @@ fn two_phase_config(algo: &str, passes: u32) -> Option<TwoPhaseConfig> {
     }
 }
 
-/// The resolved execution plan for `tps partition` (`tps dist coordinator`
-/// drives [`execute_and_report`] with its own runner closure).
-enum Exec {
-    Serial(Box<dyn Partitioner>, Box<dyn EdgeStream>),
-    Parallel(ParallelRunner, Box<dyn RangedEdgeSource>),
-}
-
-impl Exec {
-    fn name(&self) -> String {
-        match self {
-            Exec::Serial(p, _) => p.name(),
-            Exec::Parallel(r, _) => r.name(),
+/// Print the standard metrics line (and phases/counters when not quiet)
+/// for a finished job.
+fn print_outcome(outcome: &RunOutcome, k: u32, quiet: bool) {
+    println!(
+        "algorithm={} k={k} edges={} rf={:.4} alpha={:.4} time_s={:.3}",
+        outcome.name,
+        outcome.metrics.num_edges,
+        outcome.metrics.replication_factor,
+        outcome.metrics.alpha,
+        outcome.seconds()
+    );
+    if !quiet {
+        for (name, d) in outcome.report.phases.phases() {
+            eprintln!("phase {name}: {:.3} s", d.as_secs_f64());
         }
-    }
-
-    fn info(&mut self) -> Result<GraphInfo, String> {
-        match self {
-            Exec::Serial(_, stream) => discover_info(stream).map_err(|e| e.to_string()),
-            Exec::Parallel(_, source) => Ok(source.info()),
-        }
-    }
-
-    fn run(
-        &mut self,
-        params: &PartitionParams,
-        sink: &mut dyn AssignmentSink,
-    ) -> Result<RunReport, String> {
-        match self {
-            Exec::Serial(p, stream) => p.partition(stream, params, sink).map_err(|e| e.to_string()),
-            Exec::Parallel(r, source) => r
-                .partition(&**source, params, sink)
-                .map_err(|e| e.to_string()),
+        for (name, v) in &outcome.report.counters {
+            eprintln!("counter {name}: {v}");
         }
     }
 }
 
-/// Resolve the execution plan: chunk-parallel for two-phase algorithms on
-/// binary inputs (unless `--threads serial`), serial otherwise.
-fn resolve_exec(flags: &Flags, input: &str, algo: &str, passes: u32) -> Result<Exec, String> {
-    let reader = parse_reader(flags)?;
-    let choice = parse_threads(flags)?;
-    let quiet = flags.has("quiet");
-    let note = |msg: &str| {
-        if !quiet {
-            eprintln!("note: {msg}");
-        }
-    };
-    let binary_input = is_binary_format(&resolve_format(input, flags.get("format")));
-    let cfg = two_phase_config(algo, passes);
-
-    // Work out whether this invocation can run chunk-parallel at all, so
-    // every note below describes what *this* command would actually do.
-    let serial_reason = match (&cfg, binary_input) {
-        (None, _) => Some("--threads applies to 2ps-l/2ps-hdrf only; running serial"),
-        (Some(_), false) => Some("--threads applies to binary inputs only; running serial"),
-        (Some(_), true) => None,
-    };
-    let requested = match choice {
-        ThreadsChoice::Serial => None,
-        ThreadsChoice::Count(n) => Some(n),
-        ThreadsChoice::Auto => Some(0),
-    };
-
-    match (requested, serial_reason) {
-        (Some(threads), None) => {
-            let cfg = cfg.expect("serial_reason is None only with a config");
-            let mut runner = ParallelRunner::new(cfg, threads);
-            if matches!(choice, ThreadsChoice::Auto) && runner.threads() > 1 {
-                note(&format!(
-                    "running chunk-parallel on {} threads (deterministic per thread \
-                     count; --threads serial for the paper-exact serial runner)",
-                    runner.threads()
-                ));
-            }
-            // Workers buffer their assignments until the emit barrier; a
-            // spill budget bounds those replay runs through disk-backed
-            // spools instead of dropping to the serial runner.
-            let spill_budget: u64 = flags.get_or("spill-budget-mb", 0)?;
-            if spill_budget > 0 {
-                let factory = SpillSpoolFactory::new(
-                    &std::env::temp_dir(),
-                    &format!("tps-par-{}", std::process::id()),
-                    spill_budget << 20,
-                    runner.threads(),
-                )
-                .map_err(|e| e.to_string())?;
-                runner = runner.with_spool_factory(Arc::new(factory));
-                note("--spill-budget-mb bounds parallel replay runs via spill-backed spools");
-            }
-            // The parallel runner opens its own per-worker cursors: mmap
-            // serves zero-copy range cursors over one shared mapping, the
-            // prefetch backend maps to per-worker prefetch threads.
-            let source =
-                tps_io::open_ranged_backend(input, reader).map_err(|e| format!("{input}: {e}"))?;
-            Ok(Exec::Parallel(runner, source))
-        }
-        (_, serial_reason) => {
-            if let (Some(reason), true) = (
-                serial_reason,
-                matches!(choice, ThreadsChoice::Count(n) if n > 1),
-            ) {
-                note(reason);
-            }
-            let stream = open_stream(input, flags.get("format"), reader)?;
-            Ok(Exec::Serial(make_partitioner(algo, passes)?, stream))
-        }
-    }
-}
-
-/// `tps partition`
+/// `tps partition` — a thin front-end over [`JobSpec`]: the flags map onto
+/// builder calls, the spec resolves the execution plan, and the only CLI
+/// value-add is the output sinks and the printed notes.
 pub fn partition(args: &[String]) -> i32 {
-    let flags = match Flags::parse(args, &["quiet"]) {
+    let valued: Vec<&str> = ["input", "k", "out", "trace"]
+        .iter()
+        .chain(COMMON_VALUED)
+        .copied()
+        .collect();
+    let flags = match Flags::parse(args, &["quiet"], &valued) {
         Ok(f) => f,
         Err(e) => return fail(&e),
     };
     let run = || -> Result<(), String> {
+        let common = CommonOpts::from_flags(&flags)?;
         let input = flags.require("input")?;
         let k: u32 = flags.get_or("k", 0)?;
         if k == 0 {
             return Err("--k is required and must be >= 1".into());
         }
-        let alpha: f64 = flags.get_or("alpha", 1.05)?;
-        let passes: u32 = flags.get_or("passes", 1)?;
-        let algo = flags.get("algorithm").unwrap_or("2ps-l");
-        let mut exec = resolve_exec(&flags, input, algo, passes)?;
-        let name = exec.name();
-        let info = exec.info()?;
-        execute_and_report(
-            &flags,
-            "partition",
-            &name,
-            info,
-            input,
-            k,
-            alpha,
-            &mut |params, sink| exec.run(params, sink),
-        )
+        let quiet = flags.has("quiet");
+        let note = |msg: &str| {
+            if !quiet {
+                eprintln!("note: {msg}");
+            }
+        };
+
+        // Binary inputs go in as path inputs (chunk-parallel eligible; the
+        // provider opens per-worker cursors itself); text inputs run as
+        // plain serial streams.
+        let mut owned_partitioner;
+        let mut text_stream = None;
+        let info: GraphInfo;
+        let binary_input = is_binary_format(&resolve_format(input, common.format.as_deref()));
+        let mut spec = if binary_input {
+            info = tps_io::open_ranged(input)
+                .map_err(|e| format!("{input}: {e}"))?
+                .info();
+            JobSpec::path(input)
+        } else {
+            let mut s = open_stream(input, common.format.as_deref(), common.reader.into())?;
+            info = discover_info(&mut *s).map_err(|e| e.to_string())?;
+            let s = text_stream.insert(s);
+            JobSpec::stream(&mut **s)
+        };
+        spec = match two_phase_config(&common.algorithm, common.passes) {
+            Some(cfg) => spec.two_phase(cfg),
+            None => {
+                owned_partitioner = make_partitioner(&common.algorithm, common.passes)?;
+                spec.partitioner(&mut *owned_partitioner)
+            }
+        };
+        spec = spec
+            .params(&PartitionParams::with_alpha(k, common.alpha))
+            .num_vertices(info.num_vertices)
+            .threads(common.threads)
+            .reader(common.reader)
+            .spill_budget_mb(common.spill_budget_mb);
+        if let Some(path) = flags.get("trace") {
+            spec = spec.trace(path).trace_cmd("partition");
+        }
+
+        match spec.plan() {
+            ExecPlan::Parallel { threads } => {
+                if threads > 1 && common.threads == ThreadMode::Auto {
+                    note(&format!(
+                        "running chunk-parallel on {threads} threads (deterministic per \
+                         thread count; --threads serial for the paper-exact serial runner)"
+                    ));
+                }
+                if common.spill_budget_mb > 0 {
+                    note("--spill-budget-mb bounds parallel replay runs via spill-backed spools");
+                }
+            }
+            ExecPlan::Serial {
+                reason: Some(reason),
+            } => {
+                if matches!(common.threads, ThreadMode::Count(n) if n > 1) {
+                    note(reason);
+                }
+            }
+            ExecPlan::Serial { reason: None } => {}
+        }
+
+        let outcome = match flags.get("out") {
+            Some(dir) => {
+                let dir = PathBuf::from(dir);
+                std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+                let stem = Path::new(input)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("graph");
+                let (outcome, parts) = if common.spill_budget_mb > 0 {
+                    // Memory-bounded output: per-partition buffers spill to
+                    // disk in large sequential writes (tps-io).
+                    let mut files = SpillingFileSink::create(
+                        &dir,
+                        stem,
+                        k,
+                        info.num_vertices,
+                        common.spill_budget_mb << 20,
+                    )
+                    .map_err(|e| e.to_string())?;
+                    let outcome =
+                        tps_io::run_job(spec.extra_sink(&mut files)).map_err(|e| e.to_string())?;
+                    let (parts, stats) = files.finish().map_err(|e| e.to_string())?;
+                    if !quiet {
+                        eprintln!(
+                            "spill stats: {} spills, peak {} buffered bytes, {} written",
+                            stats.spills, stats.peak_buffered_bytes, stats.bytes_written
+                        );
+                    }
+                    (outcome, parts)
+                } else {
+                    let mut files = FileSink::create(&dir, stem, k, info.num_vertices)
+                        .map_err(|e| e.to_string())?;
+                    let outcome =
+                        tps_io::run_job(spec.extra_sink(&mut files)).map_err(|e| e.to_string())?;
+                    (outcome, files.finish().map_err(|e| e.to_string())?)
+                };
+                if !quiet {
+                    for (path, count) in parts {
+                        eprintln!("wrote {} ({count} edges)", path.display());
+                    }
+                }
+                outcome
+            }
+            None => tps_io::run_job(spec).map_err(|e| e.to_string())?,
+        };
+        print_outcome(&outcome, k, quiet);
+        Ok(())
     };
     match run() {
         Ok(()) => 0,
@@ -381,10 +401,11 @@ pub fn partition(args: &[String]) -> i32 {
     }
 }
 
-/// Run a partitioning job and print metrics/outputs — shared by
-/// `tps partition` and `tps dist coordinator` (which supply their own
-/// runner closures).
-#[allow(clippy::too_many_arguments)] // two call sites; the args mirror the CLI surface
+/// Run a partitioning job and print metrics/outputs for
+/// `tps dist coordinator`, which supplies its own runner closure
+/// (`tps partition` builds a [`JobSpec`] instead — the coordinator cannot
+/// yet, because its runner spans a worker fleet, not a local stream).
+#[allow(clippy::too_many_arguments)] // the args mirror the CLI surface
 fn execute_and_report(
     flags: &Flags,
     cmd: &str,
@@ -603,20 +624,37 @@ impl tps_dist::WorkerSupply for CliSupply<'_> {
 }
 
 fn dist_coordinator(args: &[String]) -> i32 {
-    let flags = match Flags::parse(args, &["quiet", "dist-local"]) {
+    let valued: Vec<&str> = [
+        "input",
+        "k",
+        "workers",
+        "standby",
+        "max-retries",
+        "frame-timeout-ms",
+        "listen",
+        "kill-worker",
+        "kill-at",
+        "out",
+        "trace",
+    ]
+    .iter()
+    .chain(COMMON_VALUED)
+    .copied()
+    .collect();
+    let flags = match Flags::parse(args, &["quiet", "dist-local"], &valued) {
         Ok(f) => f,
         Err(e) => return fail(&e),
     };
     let run = || -> Result<(), String> {
+        let common = CommonOpts::from_flags(&flags)?;
         let input = flags.require("input")?;
         let k: u32 = flags.get_or("k", 0)?;
         if k == 0 {
             return Err("--k is required and must be >= 1".into());
         }
-        let alpha: f64 = flags.get_or("alpha", 1.05)?;
-        let passes: u32 = flags.get_or("passes", 1)?;
-        let algo = flags.get("algorithm").unwrap_or("2ps-l");
-        let config = two_phase_config(algo, passes)
+        let alpha = common.alpha;
+        let algo = common.algorithm.as_str();
+        let config = two_phase_config(algo, common.passes)
             .ok_or_else(|| format!("tps dist runs 2ps-l / 2ps-hdrf only, not {algo:?}"))?;
         let workers: usize = flags.get_or("workers", 2)?;
         if workers == 0 {
@@ -652,7 +690,7 @@ fn dist_coordinator(args: &[String]) -> i32 {
         } else if flags.get("kill-worker").is_some() {
             return Err("--kill-worker does nothing without --kill-at".into());
         }
-        let reader = parse_reader(&flags)?;
+        let reader: ReaderBackend = common.reader.into();
         let quiet = flags.has("quiet");
 
         // Workers resolve the path themselves, so ship it absolute.
@@ -672,7 +710,7 @@ fn dist_coordinator(args: &[String]) -> i32 {
             );
         }
 
-        let spill_budget: u64 = flags.get_or("spill-budget-mb", 0)?;
+        let spill_budget = common.spill_budget_mb;
         let respawn = RespawnSpec {
             exe: std::env::current_exe().map_err(|e| e.to_string())?,
             addr: addr.to_string(),
@@ -782,7 +820,11 @@ fn dist_coordinator(args: &[String]) -> i32 {
 }
 
 fn dist_worker(args: &[String]) -> i32 {
-    let flags = match Flags::parse(args, &["quiet"]) {
+    let flags = match Flags::parse(
+        args,
+        &["quiet"],
+        &["connect", "spill-budget-mb", "reconnect", "kill-at"],
+    ) {
         Ok(f) => f,
         Err(e) => return fail(&e),
     };
@@ -864,7 +906,7 @@ fn dist_worker(args: &[String]) -> i32 {
 
 /// `tps generate`
 pub fn generate(args: &[String]) -> i32 {
-    let flags = match Flags::parse(args, &[]) {
+    let flags = match Flags::parse(args, &[], &["dataset", "scale", "out"]) {
         Ok(f) => f,
         Err(e) => return fail(&e),
     };
@@ -895,7 +937,7 @@ pub fn generate(args: &[String]) -> i32 {
 
 /// `tps convert`
 pub fn convert(args: &[String]) -> i32 {
-    let flags = match Flags::parse(args, &[]) {
+    let flags = match Flags::parse(args, &[], &["input", "out", "to", "chunk-edges"]) {
         Ok(f) => f,
         Err(e) => return fail(&e),
     };
@@ -950,14 +992,15 @@ pub fn convert(args: &[String]) -> i32 {
 
 /// `tps info`
 pub fn info(args: &[String]) -> i32 {
-    let flags = match Flags::parse(args, &[]) {
+    let valued: Vec<&str> = ["input"].iter().chain(COMMON_VALUED).copied().collect();
+    let flags = match Flags::parse(args, &[], &valued) {
         Ok(f) => f,
         Err(e) => return fail(&e),
     };
     let run = || -> Result<(), String> {
+        let common = CommonOpts::from_flags(&flags)?;
         let input = flags.require("input")?;
-        let reader = parse_reader(&flags)?;
-        let mut stream = open_stream(input, flags.get("format"), reader)?;
+        let mut stream = open_stream(input, common.format.as_deref(), common.reader.into())?;
         let info = discover_info(&mut stream).map_err(|e| e.to_string())?;
         // One more pass for degree statistics.
         let degrees = tps_graph::degree::DegreeTable::compute(&mut stream, info.num_vertices)
@@ -977,7 +1020,7 @@ pub fn info(args: &[String]) -> i32 {
 
 /// `tps profile`
 pub fn profile(args: &[String]) -> i32 {
-    let flags = match Flags::parse(args, &[]) {
+    let flags = match Flags::parse(args, &[], &["path", "block-size"]) {
         Ok(f) => f,
         Err(e) => return fail(&e),
     };

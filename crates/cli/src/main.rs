@@ -14,6 +14,10 @@
 //!               [--listen ADDR] [--dist-local] [--standby N]
 //!               [--max-retries N] [--frame-timeout-ms N] [partition options]
 //! tps dist worker --connect HOST:PORT [--reconnect N] [--spill-budget-mb N]
+//! tps serve     --parts DIR [--listen ADDR] [--addr-file FILE] [--cache N]
+//!               [--state FILE] [--save-state FILE] [--headroom F]
+//! tps lookup    --connect HOST:PORT [--edge S,D] [--replicas V] [--insert S,D]
+//!               [--remove S,D] [--verify-parts DIR] [--stats] [--shutdown]
 //! tps generate  --dataset ok [--scale 1.0] --out graph.bel
 //! tps convert   --input graph.bel --out graph.bel2 [--to v1|v2] [--chunk-edges N]
 //! tps info      --input graph.bel [--format bel|text] [--reader NAME]
@@ -24,12 +28,15 @@
 
 mod args;
 mod commands;
+mod serve_cmd;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let code = match argv.first().map(String::as_str) {
         Some("partition") => commands::partition(&argv[1..]),
         Some("dist") => commands::dist(&argv[1..]),
+        Some("serve") => serve_cmd::serve(&argv[1..]),
+        Some("lookup") => serve_cmd::lookup(&argv[1..]),
         Some("generate") => commands::generate(&argv[1..]),
         Some("convert") => commands::convert(&argv[1..]),
         Some("info") => commands::info(&argv[1..]),

@@ -1,0 +1,332 @@
+//! `tps serve` / `tps lookup` — the online serving daemon and its client.
+//!
+//! `serve` loads a `tps partition --out` directory into a
+//! [`tps_serve::ServeState`] and answers point queries and streamed edge
+//! deltas over TCP; `lookup` is the matching command-line client (and the
+//! CI smoke test's driver: `--verify-parts` re-reads the partition files
+//! and asserts the served answers match them bit for bit).
+
+use std::net::TcpListener;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+use tps_graph::types::Edge;
+use tps_serve::{ServeClient, ServeHandle, ServeOptions, ServeState, ServerConfig};
+
+use crate::args::{CommonOpts, Flags};
+use crate::commands::{fail, two_phase_config};
+
+/// `tps serve`
+pub fn serve(args: &[String]) -> i32 {
+    let flags = match Flags::parse(
+        args,
+        &["quiet"],
+        &[
+            "parts",
+            "listen",
+            "addr-file",
+            "state",
+            "save-state",
+            "cache",
+            "headroom",
+            "alpha",
+            "passes",
+            "algorithm",
+        ],
+    ) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let run = || -> Result<(), String> {
+        let common = CommonOpts::from_flags(&flags)?;
+        let parts = flags.require("parts")?;
+        let quiet = flags.has("quiet");
+        let config = two_phase_config(&common.algorithm, common.passes).ok_or_else(|| {
+            format!(
+                "tps serve scores insertions with 2ps-l / 2ps-hdrf only, not {:?}",
+                common.algorithm
+            )
+        })?;
+        let opts = ServeOptions {
+            alpha: common.alpha,
+            headroom: flags.get_or("headroom", 1.2)?,
+            config,
+        };
+
+        let loaded =
+            tps_io::load_partition_dir(Path::new(parts)).map_err(|e| format!("{parts}: {e}"))?;
+        let state = match flags.get("state") {
+            // Restore the write path (every post-load decision) from a
+            // snapshot; a missing file is a first boot, not an error.
+            Some(path) if Path::new(path).exists() => {
+                let mut f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+                let st =
+                    ServeState::restore(&loaded, &mut f).map_err(|e| format!("{path}: {e}"))?;
+                if !quiet {
+                    eprintln!(
+                        "note: restored engine snapshot from {path} ({} overlay entries)",
+                        st.overlay_len()
+                    );
+                }
+                st
+            }
+            _ => ServeState::from_loaded(&loaded, &opts).map_err(|e| format!("{parts}: {e}"))?,
+        };
+        if !quiet {
+            eprintln!(
+                "note: loaded {} edges, k={}, staleness {:.4}",
+                state.num_edges(),
+                state.k(),
+                state.staleness()
+            );
+        }
+        let state = Arc::new(RwLock::new(state));
+
+        let listener = TcpListener::bind(flags.get("listen").unwrap_or("127.0.0.1:0"))
+            .map_err(|e| format!("bind: {e}"))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        println!("serving {parts} on {addr}");
+        if let Some(path) = flags.get("addr-file") {
+            // Written atomically (tmp + rename) so pollers never observe a
+            // partially written address.
+            let tmp = format!("{path}.tmp");
+            std::fs::write(&tmp, format!("{addr}\n")).map_err(|e| format!("{tmp}: {e}"))?;
+            std::fs::rename(&tmp, path).map_err(|e| format!("{path}: {e}"))?;
+        }
+
+        let cfg = ServerConfig {
+            cache_capacity: flags.get_or("cache", 4096)?,
+            ..ServerConfig::default()
+        };
+        let handle = ServeHandle::new();
+        tps_serve::serve_listener(listener, state.clone(), cfg, &handle)
+            .map_err(|e| e.to_string())?;
+
+        let st = state.read().unwrap_or_else(|e| e.into_inner());
+        if let Some(path) = flags.get("save-state") {
+            let mut f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            st.write_snapshot(&mut f)
+                .map_err(|e| format!("{path}: {e}"))?;
+            if !quiet {
+                eprintln!("note: wrote engine snapshot to {path}");
+            }
+        }
+        let stats = st.stats();
+        println!(
+            "served {} lookups, {} mutations; staleness {:.4}, epoch {}",
+            stats.lookups, stats.updates, stats.staleness, stats.epoch
+        );
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}
+
+/// Parse `S,D[;S,D…]` into edges.
+fn parse_edge_list(spec: &str) -> Result<Vec<Edge>, String> {
+    spec.split(';')
+        .filter(|s| !s.trim().is_empty())
+        .map(|pair| {
+            let (s, d) = pair
+                .split_once(',')
+                .ok_or_else(|| format!("bad edge {pair:?} (want SRC,DST)"))?;
+            let src = s
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad vertex {s:?} in {pair:?}"))?;
+            let dst = d
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad vertex {d:?} in {pair:?}"))?;
+            Ok(Edge::new(src, dst))
+        })
+        .collect()
+}
+
+/// Read whitespace-separated `src dst` lines (`#` comments allowed).
+fn read_edge_file(path: &str) -> Result<Vec<Edge>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut edges = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(s), Some(d), None) = (it.next(), it.next(), it.next()) else {
+            return Err(format!("{path}:{}: want \"src dst\"", lineno + 1));
+        };
+        let src = s
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad vertex {s:?}", lineno + 1))?;
+        let dst = d
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad vertex {d:?}", lineno + 1))?;
+        edges.push(Edge::new(src, dst));
+    }
+    Ok(edges)
+}
+
+/// `tps lookup`
+pub fn lookup(args: &[String]) -> i32 {
+    let flags = match Flags::parse(
+        args,
+        &["stats", "shutdown"],
+        &[
+            "connect",
+            "edge",
+            "replicas",
+            "insert",
+            "remove",
+            "insert-file",
+            "remove-file",
+            "verify-parts",
+        ],
+    ) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let run = || -> Result<(), String> {
+        let connect = flags.require("connect")?;
+        let mut client = ServeClient::connect(connect).map_err(|e| format!("{connect}: {e}"))?;
+
+        if let Some(spec) = flags.get("edge") {
+            let edges = parse_edge_list(spec)?;
+            let parts = client.lookup_batch(&edges).map_err(|e| e.to_string())?;
+            for (e, p) in edges.iter().zip(parts) {
+                match p {
+                    Some(p) => println!("{},{} -> {p}", e.src, e.dst),
+                    None => println!("{},{} -> not found", e.src, e.dst),
+                }
+            }
+        }
+
+        if let Some(spec) = flags.get("replicas") {
+            let vertices: Vec<u32> = spec
+                .split(',')
+                .map(|v| v.trim().parse().map_err(|_| format!("bad vertex {v:?}")))
+                .collect::<Result<_, String>>()?;
+            let sets = client.replica_sets(&vertices).map_err(|e| e.to_string())?;
+            for (v, set) in vertices.iter().zip(sets) {
+                let list: Vec<String> = set.iter().map(|p| p.to_string()).collect();
+                println!("{v} -> [{}]", list.join(","));
+            }
+        }
+
+        let mut inserts = Vec::new();
+        let mut removes = Vec::new();
+        if let Some(spec) = flags.get("insert") {
+            inserts.extend(parse_edge_list(spec)?);
+        }
+        if let Some(path) = flags.get("insert-file") {
+            inserts.extend(read_edge_file(path)?);
+        }
+        if let Some(spec) = flags.get("remove") {
+            removes.extend(parse_edge_list(spec)?);
+        }
+        if let Some(path) = flags.get("remove-file") {
+            removes.extend(read_edge_file(path)?);
+        }
+        if !inserts.is_empty() || !removes.is_empty() {
+            let out = client
+                .update(&inserts, &removes)
+                .map_err(|e| e.to_string())?;
+            let ins = out.inserted.iter().filter(|p| p.is_some()).count();
+            let rem = out.removed.iter().filter(|p| p.is_some()).count();
+            println!(
+                "applied {ins}/{} inserts, {rem}/{} removes; staleness {:.4}, epoch {}",
+                inserts.len(),
+                removes.len(),
+                out.staleness,
+                out.epoch
+            );
+        }
+
+        if let Some(dir) = flags.get("verify-parts") {
+            let loaded =
+                tps_io::load_partition_dir(Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
+            let mut mismatches = 0u64;
+            for chunk in loaded.assignments.chunks(1024) {
+                let edges: Vec<Edge> = chunk.iter().map(|&(e, _)| e).collect();
+                let got = client.lookup_batch(&edges).map_err(|e| e.to_string())?;
+                for (&(e, want), got) in chunk.iter().zip(got) {
+                    if got != Some(want) {
+                        mismatches += 1;
+                        if mismatches <= 5 {
+                            eprintln!(
+                                "mismatch: {},{} served {:?}, files say {want}",
+                                e.src, e.dst, got
+                            );
+                        }
+                    }
+                }
+            }
+            if mismatches > 0 {
+                return Err(format!(
+                    "{mismatches} of {} served partitions disagree with {dir}",
+                    loaded.assignments.len()
+                ));
+            }
+            println!(
+                "verified {} edges against {dir}: all match",
+                loaded.assignments.len()
+            );
+        }
+
+        if flags.has("stats") {
+            let s = client.stats().map_err(|e| e.to_string())?;
+            println!("k: {}", s.k);
+            println!("vertices: {}", s.num_vertices);
+            println!("edges: {}", s.num_edges);
+            println!("replication factor: {:.4}", s.replication_factor);
+            println!("staleness: {:.4}", s.staleness);
+            println!("epoch: {}", s.epoch);
+            let loads: Vec<String> = s.loads.iter().map(|l| l.to_string()).collect();
+            println!("loads: [{}]", loads.join(","));
+            println!("lookups: {}", s.lookups);
+            println!("updates: {}", s.updates);
+            println!("cache: {} hits / {} misses", s.cache_hits, s.cache_misses);
+        }
+
+        if flags.has("shutdown") {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("daemon shut down");
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_syntax() {
+        assert_eq!(
+            parse_edge_list("1,2;3, 4").unwrap(),
+            vec![Edge::new(1, 2), Edge::new(3, 4)]
+        );
+        assert!(parse_edge_list("1").is_err());
+        assert!(parse_edge_list("a,b").is_err());
+        assert!(parse_edge_list("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn edge_file_syntax() {
+        let dir = std::env::temp_dir().join(format!("tps-serve-cmd-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("delta.txt");
+        std::fs::write(&path, "# delta\n1 2\n 3 4 # trailing\n\n").unwrap();
+        let edges = read_edge_file(path.to_str().unwrap()).unwrap();
+        assert_eq!(edges, vec![Edge::new(1, 2), Edge::new(3, 4)]);
+        std::fs::write(&path, "1 2 3\n").unwrap();
+        assert!(read_edge_file(path.to_str().unwrap()).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

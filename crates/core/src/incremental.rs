@@ -35,7 +35,7 @@ use tps_graph::types::{Edge, PartitionId, VertexId};
 
 use crate::two_phase::mapping::ClusterPlacement;
 use crate::two_phase::scoring::{two_choice_best, EdgeScoreInputs};
-use crate::two_phase::TwoPhaseConfig;
+use crate::two_phase::{MappingStrategy, RemainingStrategy, TwoPhaseConfig};
 
 /// Replica reference counts per (vertex, partition): the incremental
 /// replacement for the boolean `v2p` matrix, so deletions can retract
@@ -116,7 +116,7 @@ pub struct IncrementalTwoPhase {
     /// dynamic graphs inherently requires an edge→partition lookup (see Fan
     /// et al.), which deployments keep in the DB/storage layer.
     assignment: HashMap<Edge, PartitionId>,
-    inserted_since_bootstrap: u64,
+    mutations_since_bootstrap: u64,
     bootstrap_edges: u64,
 }
 
@@ -158,7 +158,7 @@ impl IncrementalTwoPhase {
             replicas: ReplicaCounts::new(info.num_vertices, k),
             loads: vec![0; k as usize],
             assignment: HashMap::with_capacity(info.num_edges as usize),
-            inserted_since_bootstrap: 0,
+            mutations_since_bootstrap: 0,
             bootstrap_edges: info.num_edges,
         };
         // Assign the bootstrap edges with the standard two passes.
@@ -358,7 +358,7 @@ impl IncrementalTwoPhase {
         self.cluster_on_first_contact(e.dst, e.src);
         let p = self.choose_partition(e);
         self.commit(e, p);
-        self.inserted_since_bootstrap += 1;
+        self.mutations_since_bootstrap += 1;
         p
     }
 
@@ -371,6 +371,7 @@ impl IncrementalTwoPhase {
         self.degrees[e.dst as usize] -= 1;
         self.replicas.remove(e.src, p);
         self.replicas.remove(e.dst, p);
+        self.mutations_since_bootstrap += 1;
         Some(p)
     }
 
@@ -399,10 +400,360 @@ impl IncrementalTwoPhase {
         }
     }
 
-    /// Mutations since bootstrap relative to the bootstrap size — the drift
-    /// signal for scheduling a re-bootstrap.
+    /// Mutations (insertions *and* deletions) since bootstrap relative to
+    /// the bootstrap size — the drift signal for scheduling a re-bootstrap.
     pub fn staleness(&self) -> f64 {
-        self.inserted_since_bootstrap as f64 / self.bootstrap_edges.max(1) as f64
+        self.mutations_since_bootstrap as f64 / self.bootstrap_edges.max(1) as f64
+    }
+
+    /// Number of partitions.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Vertex-id space currently tracked (`max id + 1`).
+    pub fn num_vertices(&self) -> u64 {
+        self.degrees.len() as u64
+    }
+
+    /// Whether vertex `v` currently has a replica on partition `p`.
+    pub fn has_replica(&self, v: VertexId, p: PartitionId) -> bool {
+        (v as u64) < self.num_vertices() && self.replicas.get(v, p)
+    }
+
+    /// The partitions vertex `v` currently has replicas on, ascending.
+    /// Exact under churn (counts-backed, unlike a sticky bit matrix).
+    pub fn replicas_of(&self, v: VertexId) -> Vec<PartitionId> {
+        if (v as u64) >= self.num_vertices() {
+            return Vec::new();
+        }
+        (0..self.k).filter(|&p| self.replicas.get(v, p)).collect()
+    }
+
+    /// Every live `(edge, partition)` pair, canonicalised, in hash order.
+    pub fn assignments(&self) -> impl Iterator<Item = (Edge, PartitionId)> + '_ {
+        self.assignment.iter().map(|(&e, &p)| (e, p))
+    }
+
+    /// Adopt a finished partitioning as the bootstrap state: the retained
+    /// phase state (degrees, clustering, placement) is re-derived from the
+    /// edges exactly as [`IncrementalTwoPhase::bootstrap`] would, but every
+    /// edge keeps the partition it was given — the live assignment equals
+    /// `assignments` bit for bit. This is how the serving daemon promotes a
+    /// partition loaded from disk to the incremental write path.
+    pub fn adopt(
+        assignments: &[(Edge, PartitionId)],
+        num_vertices: u64,
+        k: u32,
+        alpha: f64,
+        extra_capacity_factor: f64,
+        config: TwoPhaseConfig,
+    ) -> io::Result<Self> {
+        assert!(k > 0);
+        assert!(extra_capacity_factor >= 1.0);
+        let edges: Vec<Edge> = assignments.iter().map(|&(e, _)| e).collect();
+        let graph = tps_graph::stream::InMemoryGraph::with_num_vertices(edges, num_vertices);
+        let mut stream = graph.stream();
+        let num_edges = assignments.len() as u64;
+        let degrees_table = DegreeTable::compute(&mut stream, num_vertices)?;
+        let volume_cap = VolumeCap::FractionOfTotal(config.volume_cap_factor / k as f64)
+            .resolve(degrees_table.total_volume().max(1));
+        let mut clustering = Clustering::empty(num_vertices);
+        for _ in 0..config.clustering_passes {
+            clustering_pass(&mut stream, &degrees_table, volume_cap, &mut clustering)?;
+        }
+        let placement = ClusterPlacement::sorted_list_schedule(&clustering, k);
+        let cap = ((alpha * num_edges as f64 / k as f64).floor() as u64)
+            .max(num_edges.div_ceil(k as u64));
+        let mut this = IncrementalTwoPhase {
+            config,
+            k,
+            cap_per_partition: ((cap as f64) * extra_capacity_factor).ceil() as u64,
+            volume_cap,
+            degrees: degrees_table.as_slice().to_vec(),
+            clustering,
+            placement,
+            late_cluster_partitions: Vec::new(),
+            replicas: ReplicaCounts::new(num_vertices, k),
+            loads: vec![0; k as usize],
+            assignment: HashMap::with_capacity(assignments.len()),
+            mutations_since_bootstrap: 0,
+            bootstrap_edges: num_edges,
+        };
+        for &(e, p) in assignments {
+            assert!(p < k, "partition id {p} out of range (k = {k})");
+            assert!(
+                !this.assignment.contains_key(&e.canonical()),
+                "duplicate edge {e:?} in adopted assignment"
+            );
+            this.commit(e, p);
+        }
+        Ok(this)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot / restore of the retained phase state.
+//
+// A serving daemon re-bootstrapping on every restart would pay the full
+// two-pass cost; the snapshot persists everything `insert`/`remove` touch so
+// a restarted daemon resumes with *identical* future decisions. The format
+// is a little-endian byte stream behind an 8-byte magic; clusterings reuse
+// their wire codec.
+// ---------------------------------------------------------------------------
+
+/// Magic + version prefix of the snapshot format.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"TPSINCR1";
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked little-endian reader over the snapshot bytes.
+struct SnapReader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> SnapReader<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.bytes.len() < n {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!(
+                    "snapshot truncated: need {n} bytes, have {}",
+                    self.bytes.len()
+                ),
+            ));
+        }
+        let (head, rest) = self.bytes.split_at(n);
+        self.bytes = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn len(&mut self, what: &str) -> io::Result<usize> {
+        let n = self.u64()?;
+        // A length can never exceed the remaining bytes (every element is
+        // at least one byte) — reject early instead of allocating.
+        if n > self.bytes.len() as u64 {
+            return Err(bad_snapshot(format!("{what} length {n} exceeds input")));
+        }
+        Ok(n as usize)
+    }
+}
+
+fn bad_snapshot(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+impl IncrementalTwoPhase {
+    /// Serialise the full retained state (config, degrees, clustering,
+    /// placement, replica counts are *re-derivable* — they are rebuilt from
+    /// the assignment on read — loads, assignment, drift counters).
+    ///
+    /// The assignment is written sorted by `(src, dst)` so identical state
+    /// produces identical bytes.
+    pub fn write_snapshot<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut out = Vec::new();
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        // Config.
+        put_u32(&mut out, self.config.clustering_passes);
+        put_f64(&mut out, self.config.volume_cap_factor);
+        match self.config.strategy {
+            RemainingStrategy::TwoChoice => out.push(0),
+            RemainingStrategy::Hdrf(p) => {
+                out.push(1);
+                put_f64(&mut out, p.lambda);
+                put_f64(&mut out, p.epsilon);
+            }
+        }
+        out.push(match self.config.mapping {
+            MappingStrategy::SortedGraham => 0,
+            MappingStrategy::UnsortedFirstFit => 1,
+        });
+        out.push(self.config.prepartitioning as u8);
+        put_u64(&mut out, self.config.hash_seed);
+        // Scalars.
+        put_u32(&mut out, self.k);
+        put_u64(&mut out, self.cap_per_partition);
+        put_u64(&mut out, self.volume_cap);
+        // Degrees.
+        put_u64(&mut out, self.degrees.len() as u64);
+        for &d in &self.degrees {
+            put_u32(&mut out, d);
+        }
+        // Clustering (wire codec).
+        self.clustering.encode_into(&mut out);
+        // Placement, with post-bootstrap cluster pins merged in: behaviour
+        // is identical (`cluster_partition` resolves the same partition for
+        // every cluster id) and the merged form round-trips bit-stably.
+        put_u64(
+            &mut out,
+            (self.placement.num_clusters() as usize + self.late_cluster_partitions.len()) as u64,
+        );
+        for &p in self.placement.c2p() {
+            put_u32(&mut out, p);
+        }
+        for &p in &self.late_cluster_partitions {
+            put_u32(&mut out, p);
+        }
+        // Loads.
+        for &l in &self.loads {
+            put_u64(&mut out, l);
+        }
+        // Assignment, sorted for deterministic bytes.
+        let mut pairs: Vec<(Edge, PartitionId)> =
+            self.assignment.iter().map(|(&e, &p)| (e, p)).collect();
+        pairs.sort_unstable_by_key(|&(e, _)| (e.src, e.dst));
+        put_u64(&mut out, pairs.len() as u64);
+        for (e, p) in pairs {
+            put_u32(&mut out, e.src);
+            put_u32(&mut out, e.dst);
+            put_u32(&mut out, p);
+        }
+        // Drift counters.
+        put_u64(&mut out, self.mutations_since_bootstrap);
+        put_u64(&mut out, self.bootstrap_edges);
+        w.write_all(&out)
+    }
+
+    /// Restore a partitioning from [`IncrementalTwoPhase::write_snapshot`]
+    /// bytes. Future `insert`/`remove` decisions are identical to the
+    /// snapshotted instance's.
+    pub fn read_snapshot<R: io::Read>(r: &mut R) -> io::Result<Self> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        let mut rd = SnapReader { bytes: &bytes };
+        if rd.take(8)? != SNAPSHOT_MAGIC {
+            return Err(bad_snapshot("not an incremental-state snapshot"));
+        }
+        let clustering_passes = rd.u32()?;
+        let volume_cap_factor = rd.f64()?;
+        let strategy = match rd.u8()? {
+            0 => RemainingStrategy::TwoChoice,
+            1 => {
+                let lambda = rd.f64()?;
+                let epsilon = rd.f64()?;
+                RemainingStrategy::Hdrf(crate::two_phase::scoring::HdrfParams { lambda, epsilon })
+            }
+            t => return Err(bad_snapshot(format!("unknown strategy tag {t}"))),
+        };
+        let mapping = match rd.u8()? {
+            0 => MappingStrategy::SortedGraham,
+            1 => MappingStrategy::UnsortedFirstFit,
+            t => return Err(bad_snapshot(format!("unknown mapping tag {t}"))),
+        };
+        let prepartitioning = rd.u8()? != 0;
+        let hash_seed = rd.u64()?;
+        let config = TwoPhaseConfig {
+            clustering_passes,
+            volume_cap_factor,
+            strategy,
+            mapping,
+            prepartitioning,
+            hash_seed,
+        };
+        let k = rd.u32()?;
+        if k == 0 {
+            return Err(bad_snapshot("snapshot has k = 0"));
+        }
+        let cap_per_partition = rd.u64()?;
+        let volume_cap = rd.u64()?;
+        let n_deg = rd.len("degrees")?;
+        let mut degrees = Vec::with_capacity(n_deg);
+        for _ in 0..n_deg {
+            degrees.push(rd.u32()?);
+        }
+        let (clustering, rest) = Clustering::decode_from(rd.bytes).map_err(bad_snapshot)?;
+        rd.bytes = rest;
+        let n_c2p = rd.len("placement")?;
+        let mut c2p = Vec::with_capacity(n_c2p);
+        for _ in 0..n_c2p {
+            let p = rd.u32()?;
+            if p >= k {
+                return Err(bad_snapshot(format!("placement partition {p} >= k {k}")));
+            }
+            c2p.push(p);
+        }
+        if c2p.len() < clustering.num_cluster_ids() as usize {
+            return Err(bad_snapshot(
+                "placement covers fewer clusters than clustering",
+            ));
+        }
+        let placement = ClusterPlacement::from_c2p(c2p, &clustering, k);
+        let mut loads = Vec::with_capacity(k as usize);
+        for _ in 0..k {
+            loads.push(rd.u64()?);
+        }
+        let n_edges = rd.len("assignment")?;
+        let mut this = IncrementalTwoPhase {
+            config,
+            k,
+            cap_per_partition,
+            volume_cap,
+            degrees,
+            clustering,
+            placement,
+            late_cluster_partitions: Vec::new(),
+            replicas: ReplicaCounts::new(0, k),
+            loads,
+            assignment: HashMap::with_capacity(n_edges),
+            mutations_since_bootstrap: 0,
+            bootstrap_edges: 0,
+        };
+        this.replicas.grow_vertices(this.degrees.len() as u64);
+        for _ in 0..n_edges {
+            let src = rd.u32()?;
+            let dst = rd.u32()?;
+            let p = rd.u32()?;
+            if p >= k {
+                return Err(bad_snapshot(format!("assignment partition {p} >= k {k}")));
+            }
+            let e = Edge { src, dst };
+            if (e.src.max(e.dst) as usize) >= this.degrees.len() {
+                return Err(bad_snapshot(format!("edge {e:?} outside the vertex space")));
+            }
+            // Rebuild replica counts from the assignment (they are fully
+            // determined by it); keep the loads as written and cross-check.
+            this.replicas.add(e.src, p);
+            this.replicas.add(e.dst, p);
+            if this.assignment.insert(e.canonical(), p).is_some() {
+                return Err(bad_snapshot(format!("duplicate edge {e:?} in snapshot")));
+            }
+        }
+        let mut counted = vec![0u64; k as usize];
+        for &p in this.assignment.values() {
+            counted[p as usize] += 1;
+        }
+        if counted != this.loads {
+            return Err(bad_snapshot("snapshot loads disagree with its assignment"));
+        }
+        this.mutations_since_bootstrap = rd.u64()?;
+        this.bootstrap_edges = rd.u64()?;
+        Ok(this)
     }
 }
 
@@ -508,6 +859,66 @@ mod tests {
             "incremental rf {incr} drifted too far from full recompute {full}"
         );
         assert!((inc.staleness() - 0.25).abs() < 0.01); // 20 %/80 %
+    }
+
+    #[test]
+    fn adopt_preserves_every_assignment() {
+        let (inc, g) = bootstrap(0.01, 8);
+        let pairs: Vec<(Edge, tps_graph::types::PartitionId)> = inc.assignments().collect();
+        let adopted = IncrementalTwoPhase::adopt(
+            &pairs,
+            g.num_vertices(),
+            8,
+            1.05,
+            1.5,
+            TwoPhaseConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(adopted.num_edges(), inc.num_edges());
+        for &(e, p) in &pairs {
+            assert_eq!(adopted.partition_of(e), Some(p));
+        }
+        assert_eq!(adopted.loads(), inc.loads());
+        assert!((adopted.replication_factor() - inc.replication_factor()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_future_decisions() {
+        let (mut inc, _) = bootstrap(0.01, 8);
+        // Drift a little so late clusters and counters are exercised.
+        for i in 0..50u32 {
+            inc.insert(Edge::new(2_000_000 + i, 2_000_001 + i));
+        }
+        inc.remove(Edge::new(2_000_000, 2_000_001)).unwrap();
+        let mut bytes = Vec::new();
+        inc.write_snapshot(&mut bytes).unwrap();
+        let mut restored = IncrementalTwoPhase::read_snapshot(&mut &bytes[..]).unwrap();
+        assert_eq!(restored.num_edges(), inc.num_edges());
+        assert_eq!(restored.loads(), inc.loads());
+        assert!((restored.staleness() - inc.staleness()).abs() < 1e-12);
+        // Same future decisions on both instances.
+        for i in 0..200u32 {
+            let e = Edge::new(3 * i + 1, 7 * i + 2);
+            match (inc.partition_of(e), restored.partition_of(e)) {
+                (None, None) => assert_eq!(inc.insert(e), restored.insert(e), "edge {e:?}"),
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+        // And a re-snapshot of the restored instance is byte-identical to a
+        // re-snapshot of the original.
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        inc.write_snapshot(&mut a).unwrap();
+        restored.write_snapshot(&mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn staleness_counts_removals() {
+        let (mut inc, g) = bootstrap(0.01, 8);
+        let before = inc.staleness();
+        let e = g.edges()[0];
+        inc.remove(e).unwrap();
+        assert!(inc.staleness() > before);
     }
 
     #[test]

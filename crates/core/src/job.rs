@@ -1,0 +1,606 @@
+//! The unified job API: one builder — [`JobSpec`] — that every execution
+//! mode (serial, chunk-parallel, distributed coordinator front-ends, the
+//! serving daemon) uses to describe a partitioning run.
+//!
+//! Historically the workspace grew four ad-hoc entry points
+//! (`run_partitioner`, `run_partitioner_with_sink`, `run_partitioner_auto`,
+//! `run_parallel_partitioner`) plus per-subcommand flag plumbing in the CLI.
+//! `JobSpec` replaces them: callers state *what* to run (input, algorithm,
+//! `k`/`α`) and *how* (threads, reader backend, spill budget, trace) and the
+//! spec resolves the execution plan itself.
+//!
+//! ```
+//! use tps_core::job::JobSpec;
+//! use tps_graph::datasets::Dataset;
+//!
+//! let g = Dataset::Ok.generate_scaled(0.01);
+//! let mut stream = g.stream();
+//! let outcome = JobSpec::stream(&mut stream)
+//!     .k(8)
+//!     .num_vertices(g.num_vertices())
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(outcome.metrics.num_edges, g.num_edges());
+//! ```
+//!
+//! File-path inputs need an [`InputProvider`] that knows how to open edge
+//! files; `tps-core` cannot depend on `tps-io` (the dependency points the
+//! other way), so `tps_io::run_job` / `tps_io::FileInput` supply the
+//! standard provider and `JobSpec::run` handles the in-memory cases.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use tps_graph::ranged::RangedEdgeSource;
+use tps_graph::stream::{discover_info, EdgeStream};
+
+use crate::parallel::ParallelRunner;
+use crate::partitioner::{PartitionParams, Partitioner, RunReport};
+use crate::runner::RunOutcome;
+use crate::sink::{AssignmentSink, QualitySink, SpoolFactory, TeeSink};
+use crate::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+
+/// Reader backend for file inputs, named in core so specs can be built
+/// without a `tps-io` dependency (the provider maps it onto its own
+/// backend enum).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReaderKind {
+    /// Plain buffered sequential reads (the default).
+    #[default]
+    Buffered,
+    /// Memory-mapped input.
+    Mmap,
+    /// Background prefetch thread ahead of the consumer.
+    Prefetch,
+}
+
+impl ReaderKind {
+    /// Stable lower-case name (CLI flag value / JSON field).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReaderKind::Buffered => "buffered",
+            ReaderKind::Mmap => "mmap",
+            ReaderKind::Prefetch => "prefetch",
+        }
+    }
+}
+
+impl std::str::FromStr for ReaderKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "buffered" => Ok(ReaderKind::Buffered),
+            "mmap" => Ok(ReaderKind::Mmap),
+            "prefetch" => Ok(ReaderKind::Prefetch),
+            other => Err(format!(
+                "unknown reader {other:?} (buffered | mmap | prefetch)"
+            )),
+        }
+    }
+}
+
+/// How many workers a job runs with.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ThreadMode {
+    /// Force the single-cursor serial runner (paper-exact execution).
+    Serial,
+    /// One worker per available core (the default).
+    #[default]
+    Auto,
+    /// An explicit chunk-parallel worker count (deterministic per count).
+    Count(usize),
+}
+
+impl std::str::FromStr for ThreadMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" => Ok(ThreadMode::Auto),
+            "serial" => Ok(ThreadMode::Serial),
+            n => match n.parse::<usize>() {
+                Ok(t) if t >= 1 => Ok(ThreadMode::Count(t)),
+                _ => Err(format!("expected auto|serial|N>=1, got {n:?}")),
+            },
+        }
+    }
+}
+
+/// Where the edges come from.
+pub enum JobInput<'a> {
+    /// Any edge stream (serial execution only).
+    Stream(&'a mut dyn EdgeStream),
+    /// A ranged source (eligible for chunk-parallel execution).
+    Ranged(&'a dyn RangedEdgeSource),
+    /// A file path, opened through the [`InputProvider`].
+    Path(PathBuf),
+}
+
+/// Which algorithm runs.
+pub enum JobEngine<'a> {
+    /// 2PS-L / 2PS-HDRF — the only family with a chunk-parallel runner.
+    TwoPhase(TwoPhaseConfig),
+    /// Any other [`Partitioner`] (always serial).
+    Custom(&'a mut dyn Partitioner),
+}
+
+/// Opens path inputs and spill spools on behalf of a [`JobSpec`] — the
+/// seam that lets `tps-core` describe file jobs without depending on
+/// `tps-io` (which implements the standard provider as `FileInput`).
+pub trait InputProvider {
+    /// Open `path` as a plain edge stream with the given reader backend.
+    fn open_stream(&self, path: &Path, reader: ReaderKind) -> io::Result<Box<dyn EdgeStream>>;
+    /// Open `path` as a ranged source for chunk-parallel execution.
+    fn open_ranged(&self, path: &Path, reader: ReaderKind)
+        -> io::Result<Box<dyn RangedEdgeSource>>;
+    /// A spool factory bounding parallel replay memory to `budget_bytes`.
+    fn spool_factory(
+        &self,
+        budget_bytes: u64,
+        threads: usize,
+    ) -> io::Result<Arc<dyn SpoolFactory + Send + Sync>>;
+}
+
+/// The provider used by [`JobSpec::run`]: rejects path inputs and spill
+/// budgets, which need a real I/O layer (`tps_io::run_job`).
+pub struct NoFiles;
+
+impl InputProvider for NoFiles {
+    fn open_stream(&self, path: &Path, _reader: ReaderKind) -> io::Result<Box<dyn EdgeStream>> {
+        Err(unsupported(path))
+    }
+    fn open_ranged(
+        &self,
+        path: &Path,
+        _reader: ReaderKind,
+    ) -> io::Result<Box<dyn RangedEdgeSource>> {
+        Err(unsupported(path))
+    }
+    fn spool_factory(
+        &self,
+        _budget_bytes: u64,
+        _threads: usize,
+    ) -> io::Result<Arc<dyn SpoolFactory + Send + Sync>> {
+        Err(io::Error::other(
+            "spill budgets need an I/O provider (use tps_io::run_job)",
+        ))
+    }
+}
+
+fn unsupported(path: &Path) -> io::Error {
+    io::Error::other(format!(
+        "path input {} needs an I/O provider (use tps_io::run_job)",
+        path.display()
+    ))
+}
+
+/// The execution plan a spec resolves to (exposed so front-ends can tell
+/// the user what will happen before running).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecPlan {
+    /// Single-cursor serial execution, with the reason when parallelism was
+    /// requested but is not applicable.
+    Serial { reason: Option<&'static str> },
+    /// Chunk-parallel execution over this many workers.
+    Parallel { threads: usize },
+}
+
+/// A declarative partitioning job: input + engine + parameters + execution
+/// knobs, resolved and run by [`JobSpec::run`] / [`JobSpec::run_with`].
+pub struct JobSpec<'a> {
+    input: JobInput<'a>,
+    engine: JobEngine<'a>,
+    params: PartitionParams,
+    num_vertices: Option<u64>,
+    threads: ThreadMode,
+    reader: ReaderKind,
+    spill_budget_bytes: u64,
+    spool_factory: Option<Arc<dyn SpoolFactory + Send + Sync>>,
+    trace: Option<PathBuf>,
+    trace_cmd: String,
+    extra_sink: Option<&'a mut dyn AssignmentSink>,
+}
+
+impl<'a> JobSpec<'a> {
+    /// A job over an arbitrary input.
+    pub fn new(input: JobInput<'a>) -> Self {
+        JobSpec {
+            input,
+            engine: JobEngine::TwoPhase(TwoPhaseConfig::default()),
+            params: PartitionParams::new(2),
+            num_vertices: None,
+            threads: ThreadMode::default(),
+            reader: ReaderKind::default(),
+            spill_budget_bytes: 0,
+            spool_factory: None,
+            trace: None,
+            trace_cmd: "job".to_string(),
+            extra_sink: None,
+        }
+    }
+
+    /// A job over a plain edge stream (serial execution).
+    pub fn stream(stream: &'a mut dyn EdgeStream) -> Self {
+        JobSpec::new(JobInput::Stream(stream))
+    }
+
+    /// A job over a ranged source (chunk-parallel eligible).
+    pub fn ranged(source: &'a dyn RangedEdgeSource) -> Self {
+        JobSpec::new(JobInput::Ranged(source))
+    }
+
+    /// A job over an edge file (resolved by the [`InputProvider`]).
+    pub fn path(path: impl Into<PathBuf>) -> Self {
+        JobSpec::new(JobInput::Path(path.into()))
+    }
+
+    /// Number of partitions (default 2).
+    pub fn k(mut self, k: u32) -> Self {
+        self.params.k = k;
+        self
+    }
+
+    /// Balance factor α (default 1.05).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.params.alpha = alpha;
+        self
+    }
+
+    /// Replace both `k` and `α` at once.
+    pub fn params(mut self, params: &PartitionParams) -> Self {
+        self.params = *params;
+        self
+    }
+
+    /// Pin the vertex count (skips the discovery pass for plain streams).
+    pub fn num_vertices(mut self, n: u64) -> Self {
+        self.num_vertices = Some(n);
+        self
+    }
+
+    /// Worker-thread policy (default [`ThreadMode::Auto`]).
+    pub fn threads(mut self, mode: ThreadMode) -> Self {
+        self.threads = mode;
+        self
+    }
+
+    /// Reader backend for path inputs (default [`ReaderKind::Buffered`]).
+    pub fn reader(mut self, reader: ReaderKind) -> Self {
+        self.reader = reader;
+        self
+    }
+
+    /// Bound parallel replay memory to `mb` MiB via spill-backed spools
+    /// (0 = unbounded in-memory spools).
+    pub fn spill_budget_mb(mut self, mb: u64) -> Self {
+        self.spill_budget_bytes = mb << 20;
+        self
+    }
+
+    /// Use a specific spool factory (overrides `spill_budget_mb`).
+    pub fn spool_factory(mut self, factory: Arc<dyn SpoolFactory + Send + Sync>) -> Self {
+        self.spool_factory = Some(factory);
+        self
+    }
+
+    /// Record a structured trace (phase spans + counters) to `path`.
+    /// Tracing never changes partitioning output.
+    pub fn trace(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace = Some(path.into());
+        self
+    }
+
+    /// The `cmd` tag written into the trace metadata (default `"job"`).
+    pub fn trace_cmd(mut self, cmd: impl Into<String>) -> Self {
+        self.trace_cmd = cmd.into();
+        self
+    }
+
+    /// An additional sink receiving every `(edge, partition)` assignment
+    /// (per-partition files, in-memory collection, …) while ground-truth
+    /// quality metrics are still collected.
+    pub fn extra_sink(mut self, sink: &'a mut dyn AssignmentSink) -> Self {
+        self.extra_sink = Some(sink);
+        self
+    }
+
+    /// Run 2PS-L / 2PS-HDRF with this config (the default engine).
+    pub fn two_phase(mut self, config: TwoPhaseConfig) -> Self {
+        self.engine = JobEngine::TwoPhase(config);
+        self
+    }
+
+    /// Run an arbitrary partitioner (always serial).
+    pub fn partitioner(mut self, p: &'a mut dyn Partitioner) -> Self {
+        self.engine = JobEngine::Custom(p);
+        self
+    }
+
+    /// Resolve the execution plan without running: chunk-parallel for
+    /// two-phase engines on ranged/path inputs (unless `threads = Serial`),
+    /// serial otherwise.
+    pub fn plan(&self) -> ExecPlan {
+        let reason = match (&self.engine, &self.input) {
+            (JobEngine::Custom(_), _) => Some("custom partitioners run serial"),
+            (JobEngine::TwoPhase(_), JobInput::Stream(_)) => {
+                Some("plain streams run serial (ranged or path input required)")
+            }
+            (JobEngine::TwoPhase(_), _) => None,
+        };
+        match (reason, self.threads) {
+            (None, ThreadMode::Serial) => ExecPlan::Serial { reason: None },
+            (None, mode) => {
+                let requested = match mode {
+                    ThreadMode::Count(n) => n,
+                    _ => 0, // 0 = auto inside ParallelRunner
+                };
+                let cfg = match &self.engine {
+                    JobEngine::TwoPhase(cfg) => *cfg,
+                    JobEngine::Custom(_) => unreachable!("reason is None only for TwoPhase"),
+                };
+                ExecPlan::Parallel {
+                    threads: ParallelRunner::new(cfg, requested).threads(),
+                }
+            }
+            (Some(reason), _) => ExecPlan::Serial {
+                reason: Some(reason),
+            },
+        }
+    }
+
+    /// Run the job with the in-memory provider ([`NoFiles`]) — path inputs
+    /// and spill budgets need [`JobSpec::run_with`] and a real provider
+    /// (`tps_io::run_job`).
+    pub fn run(self) -> io::Result<RunOutcome> {
+        self.run_with(&NoFiles)
+    }
+
+    /// Run the job, opening path inputs through `provider`.
+    pub fn run_with(self, provider: &dyn InputProvider) -> io::Result<RunOutcome> {
+        let plan = self.plan();
+        let JobSpec {
+            input,
+            engine,
+            params,
+            num_vertices,
+            reader,
+            spill_budget_bytes,
+            spool_factory,
+            trace,
+            trace_cmd,
+            mut extra_sink,
+            ..
+        } = self;
+
+        if trace.is_some() {
+            // Start from a clean slate so the file describes this run only.
+            // Counters are always on; events need the switch.
+            tps_obs::reset_events();
+            tps_obs::reset_counters();
+            tps_obs::set_enabled(true);
+        }
+
+        let run = |quality: &mut QualitySink,
+                   extra: &mut Option<&'a mut dyn AssignmentSink>,
+                   run_into: &mut dyn FnMut(&mut dyn AssignmentSink) -> io::Result<RunReport>|
+         -> io::Result<RunReport> {
+            match extra {
+                Some(extra) => {
+                    let mut tee = TeeSink::new(quality, &mut **extra);
+                    run_into(&mut tee)
+                }
+                None => run_into(quality),
+            }
+        };
+
+        let start = Instant::now();
+        let (name, info_v, info_e, result) = match plan {
+            ExecPlan::Parallel { .. } => {
+                let cfg = match engine {
+                    JobEngine::TwoPhase(cfg) => cfg,
+                    JobEngine::Custom(_) => unreachable!("plan() keeps custom engines serial"),
+                };
+                let mut runner = ParallelRunner::new(cfg, self_threads(&plan));
+                let factory = match (spool_factory, spill_budget_bytes) {
+                    (Some(f), _) => Some(f),
+                    (None, 0) => None,
+                    (None, budget) => Some(provider.spool_factory(budget, runner.threads())?),
+                };
+                if let Some(f) = factory {
+                    runner = runner.with_spool_factory(f);
+                }
+                let owned;
+                let source: &dyn RangedEdgeSource = match input {
+                    JobInput::Ranged(s) => s,
+                    JobInput::Path(p) => {
+                        owned = provider.open_ranged(&p, reader)?;
+                        &*owned
+                    }
+                    JobInput::Stream(_) => unreachable!("plan() keeps streams serial"),
+                };
+                let info = source.info();
+                let nv = num_vertices.unwrap_or(info.num_vertices);
+                let mut quality = QualitySink::new(nv, params.k);
+                let (result, peak) = tps_metrics::alloc::measure_peak(|| {
+                    run(&mut quality, &mut extra_sink, &mut |sink| {
+                        runner.partition(source, &params, sink)
+                    })
+                });
+                (
+                    runner.name(),
+                    nv,
+                    info.num_edges,
+                    result.map(|report| (report, quality.finish(), peak)),
+                )
+            }
+            ExecPlan::Serial { .. } => {
+                let mut owned_partitioner;
+                let partitioner: &mut dyn Partitioner = match engine {
+                    JobEngine::Custom(p) => p,
+                    JobEngine::TwoPhase(cfg) => {
+                        owned_partitioner = TwoPhasePartitioner::new(cfg);
+                        &mut owned_partitioner
+                    }
+                };
+                // Resolve the stream (and a vertex count for the sink).
+                let mut owned_stream;
+                let mut ranged_stream;
+                let (stream, known): (&mut dyn EdgeStream, Option<(u64, u64)>) = match input {
+                    JobInput::Stream(s) => (s, None),
+                    JobInput::Ranged(src) => {
+                        let info = src.info();
+                        ranged_stream = src.open_range(0, info.num_edges)?;
+                        (
+                            &mut *ranged_stream,
+                            Some((info.num_vertices, info.num_edges)),
+                        )
+                    }
+                    JobInput::Path(p) => {
+                        owned_stream = provider.open_stream(&p, reader)?;
+                        (&mut *owned_stream, None)
+                    }
+                };
+                let (nv, ne) = match (num_vertices, known) {
+                    (Some(nv), Some((_, ne))) => (nv, ne),
+                    (Some(nv), None) => (nv, 0),
+                    (None, Some((nv, ne))) => (nv, ne),
+                    (None, None) => {
+                        let info = discover_info(stream)?;
+                        (info.num_vertices, info.num_edges)
+                    }
+                };
+                let mut quality = QualitySink::new(nv, params.k);
+                let (result, peak) = tps_metrics::alloc::measure_peak(|| {
+                    run(&mut quality, &mut extra_sink, &mut |sink| {
+                        partitioner.partition(&mut *stream, &params, sink)
+                    })
+                });
+                (
+                    partitioner.name(),
+                    nv,
+                    ne,
+                    result.map(|report| (report, quality.finish(), peak)),
+                )
+            }
+        };
+        let (report, metrics, peak) = result?;
+        let wall_time = start.elapsed();
+        tps_obs::drain_local();
+
+        if let Some(path) = trace {
+            tps_obs::set_enabled(false);
+            let events = tps_obs::take_events();
+            // Local counters are worker 0; dist shard snapshots keep the
+            // worker id the coordinator tagged them with.
+            let mut counters: Vec<(u32, String, u64)> = tps_obs::counters_snapshot()
+                .into_iter()
+                .map(|(n, v)| (0, n, v))
+                .collect();
+            counters.extend(tps_obs::take_remote_counters());
+            let meta = tps_obs::TraceMeta {
+                cmd: trace_cmd,
+                algo: name.clone(),
+                k: params.k,
+                alpha: params.alpha,
+                vertices: info_v,
+                edges: if info_e > 0 {
+                    info_e
+                } else {
+                    metrics.num_edges
+                },
+            };
+            tps_obs::write_trace(&path, &meta, &events, &counters)?;
+        }
+
+        Ok(RunOutcome {
+            name,
+            metrics,
+            report,
+            wall_time,
+            peak_heap_bytes: peak,
+        })
+    }
+}
+
+/// The worker count a resolved parallel plan requested (helper so the match
+/// above stays readable).
+fn self_threads(plan: &ExecPlan) -> usize {
+    match plan {
+        ExecPlan::Parallel { threads } => *threads,
+        ExecPlan::Serial { .. } => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::VecSink;
+    use tps_graph::datasets::Dataset;
+
+    #[test]
+    fn stream_job_matches_serial_runner() {
+        let g = Dataset::Ok.generate_scaled(0.01);
+        let mut stream = g.stream();
+        let out = JobSpec::stream(&mut stream)
+            .k(4)
+            .num_vertices(g.num_vertices())
+            .run()
+            .unwrap();
+        assert_eq!(out.name, "2PS-L");
+        assert_eq!(out.metrics.num_edges, g.num_edges());
+    }
+
+    #[test]
+    fn ranged_job_runs_parallel_and_serial_identically() {
+        let g = Dataset::Ok.generate_scaled(0.02);
+        let par = JobSpec::ranged(&g)
+            .k(8)
+            .threads(ThreadMode::Count(2))
+            .run()
+            .unwrap();
+        let mut par2_sink = VecSink::new();
+        let par2 = JobSpec::ranged(&g)
+            .k(8)
+            .threads(ThreadMode::Count(2))
+            .extra_sink(&mut par2_sink)
+            .run()
+            .unwrap();
+        assert_eq!(par.name, "2PS-L×2");
+        // Deterministic per thread count, with or without an extra sink.
+        assert_eq!(
+            par.metrics.replication_factor,
+            par2.metrics.replication_factor
+        );
+        assert_eq!(par2_sink.assignments().len() as u64, g.num_edges());
+
+        let serial = JobSpec::ranged(&g)
+            .k(8)
+            .threads(ThreadMode::Serial)
+            .run()
+            .unwrap();
+        assert_eq!(serial.name, "2PS-L");
+        assert_eq!(serial.metrics.num_edges, par.metrics.num_edges);
+    }
+
+    #[test]
+    fn plan_reports_serial_reasons() {
+        let g = Dataset::Ok.generate_scaled(0.01);
+        let mut stream = g.stream();
+        let spec = JobSpec::stream(&mut stream).threads(ThreadMode::Count(4));
+        assert!(matches!(spec.plan(), ExecPlan::Serial { reason: Some(_) }));
+        let spec = JobSpec::ranged(&g).threads(ThreadMode::Count(4));
+        assert_eq!(spec.plan(), ExecPlan::Parallel { threads: 4 });
+        let spec = JobSpec::ranged(&g).threads(ThreadMode::Serial);
+        assert_eq!(spec.plan(), ExecPlan::Serial { reason: None });
+    }
+
+    #[test]
+    fn path_input_without_provider_errors() {
+        let err = JobSpec::path("/no/such/file.bel")
+            .threads(ThreadMode::Serial)
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains("I/O provider"));
+    }
+}

@@ -29,7 +29,14 @@
 //!   clustering state, sharded replication matrices, quota-sliced lock-free
 //!   load reservation — see the module docs for the scheme and its
 //!   determinism/quality bounds).
-//! * [`runner`] — convenience harness used by tests, examples and benches.
+//! * [`job`] — the unified [`JobSpec`] builder describing a run (input,
+//!   engine, execution knobs) for every front-end; the four historical
+//!   `run_partitioner*` entry points in [`runner`] are deprecated shims
+//!   over it.
+//! * [`runner`] — [`RunOutcome`] plus the deprecated convenience shims.
+//! * [`incremental`] — the dynamic-graph transformation (§VI): retained
+//!   phase state, O(1) insert/remove, snapshot/restore — the write path of
+//!   the `tps serve` daemon.
 //!
 //! # Quickstart
 //!
@@ -52,13 +59,16 @@
 
 pub mod balance;
 pub mod incremental;
+pub mod job;
 pub mod parallel;
 pub mod partitioner;
 pub mod runner;
 pub mod sink;
 pub mod two_phase;
 
+pub use job::{ExecPlan, InputProvider, JobEngine, JobInput, JobSpec, ReaderKind, ThreadMode};
 pub use parallel::ParallelRunner;
 pub use partitioner::{PartitionParams, Partitioner, RunReport};
+pub use runner::RunOutcome;
 pub use sink::{AssignmentSink, NullSink, QualitySink, VecSink};
 pub use two_phase::{RemainingStrategy, TwoPhaseConfig, TwoPhasePartitioner};

@@ -483,6 +483,12 @@ impl ParallelRunner {
         self.threads
     }
 
+    /// The configured spool factory, if one replaced the in-memory default
+    /// (lets `JobSpec` shims rebuild an equivalent run).
+    pub fn spool_factory_handle(&self) -> Option<Arc<dyn SpoolFactory + Send + Sync>> {
+        self.spool_factory.clone()
+    }
+
     /// The two-phase configuration in use.
     pub fn config(&self) -> &TwoPhaseConfig {
         &self.config

@@ -1,18 +1,19 @@
-//! Convenience harness for running a partitioner and collecting ground-truth
-//! metrics — used by tests, examples and every bench binary.
+//! Run outcomes, plus the deprecated convenience shims that predate the
+//! unified [`crate::job::JobSpec`] builder.
 //!
 //! Each run ends with a `tps_obs::drain_local()` barrier so span events
 //! recorded on the harness thread are flushed before the caller snapshots
 //! the trace.
 
 use std::io;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use tps_graph::stream::EdgeStream;
 use tps_metrics::quality::PartitionMetrics;
 
+use crate::job::{JobSpec, ThreadMode};
 use crate::partitioner::{PartitionParams, Partitioner, RunReport};
-use crate::sink::{AssignmentSink, QualitySink, TeeSink};
+use crate::sink::AssignmentSink;
 
 /// Everything one partitioning run produces.
 #[derive(Clone, Debug)]
@@ -38,32 +39,27 @@ impl RunOutcome {
 }
 
 /// Run `partitioner` over `stream`, measuring quality, time and peak heap.
+#[deprecated(note = "build the run through `tps_core::job::JobSpec` instead")]
 pub fn run_partitioner<S: EdgeStream + ?Sized>(
     partitioner: &mut dyn Partitioner,
     stream: &mut S,
     num_vertices: u64,
     params: &PartitionParams,
 ) -> io::Result<RunOutcome> {
-    let mut sink = QualitySink::new(num_vertices, params.k);
-    let start = Instant::now();
-    let (result, peak) = tps_metrics::alloc::measure_peak(|| {
-        partitioner.partition(&mut as_dyn(stream), params, &mut sink)
-    });
-    let report = result?;
-    let wall_time = start.elapsed();
-    tps_obs::drain_local();
-    Ok(RunOutcome {
-        name: partitioner.name(),
-        metrics: sink.finish(),
-        report,
-        wall_time,
-        peak_heap_bytes: peak,
-    })
+    // `&mut S` is itself an `EdgeStream` (blanket impl), giving a sized
+    // handle castable to `&mut dyn EdgeStream` even for `S: ?Sized`.
+    let mut stream = stream;
+    JobSpec::stream(&mut stream)
+        .partitioner(partitioner)
+        .params(params)
+        .num_vertices(num_vertices)
+        .run()
 }
 
 /// Run with an additional sink receiving every assignment (e.g. a
 /// [`crate::sink::VecSink`] feeding the processing simulator) while still
 /// collecting ground-truth metrics.
+#[deprecated(note = "use `tps_core::job::JobSpec` with `.extra_sink(..)` instead")]
 pub fn run_partitioner_with_sink<S: EdgeStream + ?Sized>(
     partitioner: &mut dyn Partitioner,
     stream: &mut S,
@@ -71,69 +67,50 @@ pub fn run_partitioner_with_sink<S: EdgeStream + ?Sized>(
     params: &PartitionParams,
     extra: &mut dyn AssignmentSink,
 ) -> io::Result<RunOutcome> {
-    let mut quality = QualitySink::new(num_vertices, params.k);
-    let start = Instant::now();
-    let report = {
-        let mut tee = TeeSink::new(&mut quality, extra);
-        partitioner.partition(&mut as_dyn(stream), params, &mut tee)?
-    };
-    let wall_time = start.elapsed();
-    tps_obs::drain_local();
-    Ok(RunOutcome {
-        name: partitioner.name(),
-        metrics: quality.finish(),
-        report,
-        wall_time,
-        peak_heap_bytes: 0,
-    })
+    let mut stream = stream;
+    JobSpec::stream(&mut stream)
+        .partitioner(partitioner)
+        .params(params)
+        .num_vertices(num_vertices)
+        .extra_sink(extra)
+        .run()
 }
 
 /// Run `partitioner` over `stream`, resolving the vertex count from the
 /// stream's hints (or a discovery pass when a hint is missing).
-///
-/// This is the entry point for externally opened streams — `tps-io` reader
-/// backends, boxed streams from the CLI — where the caller has a
-/// `dyn EdgeStream` and no separate graph handle.
+#[deprecated(note = "build the run through `tps_core::job::JobSpec` instead")]
 pub fn run_partitioner_auto(
     partitioner: &mut dyn Partitioner,
     stream: &mut dyn EdgeStream,
     params: &PartitionParams,
 ) -> io::Result<RunOutcome> {
-    let info = tps_graph::stream::discover_info(stream)?;
-    run_partitioner(partitioner, stream, info.num_vertices, params)
+    JobSpec::stream(stream)
+        .partitioner(partitioner)
+        .params(params)
+        .run()
 }
 
 /// Run a [`crate::parallel::ParallelRunner`] over a ranged source, measuring
-/// quality and time the same way [`run_partitioner`] does for serial
-/// partitioners (benches compare the two outcomes directly).
+/// quality and time the same way the serial path does (benches compare the
+/// two outcomes directly).
+#[deprecated(note = "use `tps_core::job::JobSpec` with `.threads(..)` instead")]
 pub fn run_parallel_partitioner(
     runner: &crate::parallel::ParallelRunner,
     source: &dyn tps_graph::ranged::RangedEdgeSource,
     params: &PartitionParams,
 ) -> io::Result<RunOutcome> {
-    let info = source.info();
-    let mut sink = QualitySink::new(info.num_vertices, params.k);
-    let start = Instant::now();
-    let (result, peak) =
-        tps_metrics::alloc::measure_peak(|| runner.partition(source, params, &mut sink));
-    let report = result?;
-    let wall_time = start.elapsed();
-    tps_obs::drain_local();
-    Ok(RunOutcome {
-        name: runner.name(),
-        metrics: sink.finish(),
-        report,
-        wall_time,
-        peak_heap_bytes: peak,
-    })
-}
-
-/// View any sized stream as `&mut dyn EdgeStream` (helper for generic fns).
-fn as_dyn<S: EdgeStream + ?Sized>(s: &mut S) -> &mut S {
-    s
+    let mut spec = JobSpec::ranged(source)
+        .two_phase(*runner.config())
+        .params(params)
+        .threads(ThreadMode::Count(runner.threads()));
+    if let Some(factory) = runner.spool_factory_handle() {
+        spec = spec.spool_factory(factory);
+    }
+    spec.run()
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims stay covered until their last caller is gone
 mod tests {
     use super::*;
     use crate::sink::VecSink;

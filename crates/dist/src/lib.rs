@@ -77,7 +77,7 @@ pub mod worker;
 pub use coordinator::{run_coordinator, FaultPolicy, NoReplacements, WorkerSupply};
 pub use fault::{FaultTransport, KillMode, KillPoint, KillSpec};
 pub use local::run_dist_local;
-pub use protocol::{InputDescriptor, Job, Message, ReplChunks, PROTOCOL_VERSION};
+pub use protocol::{InputDescriptor, Job, Message, ReplChunks, PROTOCOL_VERSION, SERVE_TAG_BASE};
 pub use transport::{
     loopback_pair, LoopbackTransport, TcpTransport, TraceEvent, TraceTransport, Transport,
 };

@@ -84,7 +84,16 @@ use crate::wire::{
 /// (zero-word-run encoded, bounded size); v4 appended the `trace` flag to
 /// `Job` and the drained trace events + counter snapshot to `ShardDone`
 /// (additive fields, but the frames are not v3-compatible, hence the bump).
-pub const PROTOCOL_VERSION: u32 = 4;
+/// v5 partitioned the tag space: tags 1–31 stay with this partitioning
+/// protocol, tags 32+ are reserved for the `tps-serve` request frames
+/// (`tps_serve::proto`), which ride the same length-prefixed transport —
+/// a v5 endpoint can therefore tell a misdirected serve frame from a
+/// corrupt one.
+pub const PROTOCOL_VERSION: u32 = 5;
+
+/// First message tag reserved for the `tps-serve` frame family (see the
+/// v5 note on [`PROTOCOL_VERSION`]).
+pub const SERVE_TAG_BASE: u8 = 32;
 
 /// Edges per `Run` frame (bounded so neither side buffers a full shard:
 /// 8192 records ≈ 96 KiB on the wire).
@@ -574,6 +583,13 @@ impl Message {
             14 => Message::Abort {
                 reason: r.string()?,
             },
+            other if other >= SERVE_TAG_BASE => {
+                return Err(corrupt(format!(
+                    "message tag {other} belongs to the tps-serve frame family \
+                     (tags {SERVE_TAG_BASE}+) — this endpoint speaks the \
+                     partitioning protocol"
+                )))
+            }
             other => return Err(corrupt(format!("unknown message tag {other}"))),
         };
         r.expect_empty()?;

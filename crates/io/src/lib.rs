@@ -23,6 +23,7 @@
 //! guide.
 
 pub mod mmap;
+pub mod partread;
 pub mod prefetch;
 pub mod ranged;
 pub mod spill;
@@ -32,9 +33,16 @@ pub mod v2;
 use std::fs::File;
 use std::io::{self, Read};
 use std::path::Path;
+use std::sync::Arc;
 
+use tps_core::job::{InputProvider, JobSpec, ReaderKind};
+use tps_core::runner::RunOutcome;
+use tps_core::sink::SpoolFactory;
 use tps_graph::formats::binary::BinaryEdgeFile;
+use tps_graph::ranged::RangedEdgeSource;
 use tps_graph::stream::EdgeStream;
+
+pub use partread::{load_partition_dir, LoadedPartition};
 
 pub use mmap::MmapEdgeFile;
 pub use prefetch::{ChunkSource, PrefetchConfig, PrefetchReader, V1ChunkSource, V2ChunkSource};
@@ -137,6 +145,56 @@ pub fn open_edge_stream<P: AsRef<Path>>(
             Ok(Box::new(PrefetchReader::open_v2(path)?))
         }
     }
+}
+
+impl From<ReaderKind> for ReaderBackend {
+    fn from(kind: ReaderKind) -> Self {
+        match kind {
+            ReaderKind::Buffered => ReaderBackend::Buffered,
+            ReaderKind::Mmap => ReaderBackend::Mmap,
+            ReaderKind::Prefetch => ReaderBackend::Prefetch,
+        }
+    }
+}
+
+/// The standard [`InputProvider`]: opens path inputs through this crate's
+/// format sniffing and reader backends, and serves spill-backed spools out
+/// of the system temp directory.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FileInput;
+
+impl InputProvider for FileInput {
+    fn open_stream(&self, path: &Path, reader: ReaderKind) -> io::Result<Box<dyn EdgeStream>> {
+        open_edge_stream(path, reader.into())
+    }
+
+    fn open_ranged(
+        &self,
+        path: &Path,
+        reader: ReaderKind,
+    ) -> io::Result<Box<dyn RangedEdgeSource>> {
+        ranged::open_ranged_backend(path, reader.into())
+    }
+
+    fn spool_factory(
+        &self,
+        budget_bytes: u64,
+        threads: usize,
+    ) -> io::Result<Arc<dyn SpoolFactory + Send + Sync>> {
+        let factory = SpillSpoolFactory::new(
+            &std::env::temp_dir(),
+            &format!("tps-job-{}", std::process::id()),
+            budget_bytes,
+            threads,
+        )?;
+        Ok(Arc::new(factory))
+    }
+}
+
+/// Run a [`JobSpec`] with file support: path inputs are opened through
+/// [`FileInput`] and `spill_budget_mb` budgets get disk-backed spools.
+pub fn run_job(spec: JobSpec<'_>) -> io::Result<RunOutcome> {
+    spec.run_with(&FileInput)
 }
 
 #[cfg(test)]

@@ -1,0 +1,192 @@
+//! A blocking client for the serving protocol.
+//!
+//! Wraps any [`Transport`] (TCP or in-process loopback) behind typed
+//! request methods. All requests are batched — the wire cost of a frame is
+//! amortised over up to thousands of lookups — and strictly
+//! request/reply, so one client is one outstanding request.
+
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use tps_dist::{TcpTransport, Transport};
+use tps_graph::types::{Edge, PartitionId};
+
+use crate::packed::NOT_FOUND;
+use crate::proto::{ServeMessage, ServeStats, SERVE_PROTOCOL_VERSION};
+
+/// Result of one [`ServeClient::update`] batch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UpdateOutcome {
+    /// Partition each insert landed on; `None` = rejected duplicate.
+    pub inserted: Vec<Option<PartitionId>>,
+    /// Partition each removal vacated; `None` = the edge was not live.
+    pub removed: Vec<Option<PartitionId>>,
+    /// Drift since load after this batch.
+    pub staleness: f64,
+    /// The server epoch after this batch.
+    pub epoch: u64,
+}
+
+/// A connected, handshaken serving client.
+pub struct ServeClient {
+    t: Box<dyn Transport>,
+    k: u32,
+    num_vertices: u64,
+    num_edges: u64,
+}
+
+impl ServeClient {
+    /// Connect over TCP and handshake.
+    pub fn connect(addr: &str) -> io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        ServeClient::over(Box::new(TcpTransport::new(stream)?))
+    }
+
+    /// Handshake over an already-established transport (e.g. one end of
+    /// [`loopback_pair`](tps_dist::loopback_pair)).
+    pub fn over(mut t: Box<dyn Transport>) -> io::Result<ServeClient> {
+        t.set_recv_timeout(Some(Duration::from_secs(30)))?;
+        t.send(
+            &ServeMessage::Hello {
+                version: SERVE_PROTOCOL_VERSION,
+            }
+            .encode(),
+        )?;
+        match ServeMessage::decode(&t.recv()?)? {
+            ServeMessage::Welcome {
+                version,
+                k,
+                num_vertices,
+                num_edges,
+            } if version == SERVE_PROTOCOL_VERSION => Ok(ServeClient {
+                t,
+                k,
+                num_vertices,
+                num_edges,
+            }),
+            ServeMessage::Welcome { version, .. } => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "server speaks serve protocol v{version}, client v{SERVE_PROTOCOL_VERSION}"
+                ),
+            )),
+            ServeMessage::Error { message } => {
+                Err(io::Error::new(io::ErrorKind::InvalidData, message))
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Welcome, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Number of partitions the server is serving.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Vertex-id space at handshake time.
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    /// Live edge count at handshake time.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    fn request(&mut self, msg: &ServeMessage) -> io::Result<ServeMessage> {
+        self.t.send(&msg.encode())?;
+        let reply = ServeMessage::decode(&self.t.recv()?)?;
+        if let ServeMessage::Error { message } = reply {
+            return Err(io::Error::other(format!("server: {message}")));
+        }
+        Ok(reply)
+    }
+
+    fn unexpected<T>(reply: ServeMessage) -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected reply frame {reply:?}"),
+        ))
+    }
+
+    /// The partition of each edge (`None` = not in the partitioning).
+    pub fn lookup_batch(&mut self, edges: &[Edge]) -> io::Result<Vec<Option<PartitionId>>> {
+        let n = edges.len();
+        match self.request(&ServeMessage::Lookup {
+            edges: edges.to_vec(),
+        })? {
+            ServeMessage::Parts { parts } if parts.len() == n => Ok(parts
+                .into_iter()
+                .map(|p| (p != NOT_FOUND).then_some(p))
+                .collect()),
+            ServeMessage::Parts { parts } => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("lookup reply has {} answers for {n} edges", parts.len()),
+            )),
+            other => ServeClient::unexpected(other),
+        }
+    }
+
+    /// The replica set (ascending partition list) of each vertex.
+    pub fn replica_sets(&mut self, vertices: &[u32]) -> io::Result<Vec<Vec<PartitionId>>> {
+        let n = vertices.len();
+        match self.request(&ServeMessage::Replicas {
+            vertices: vertices.to_vec(),
+        })? {
+            ServeMessage::ReplicaSets { sets } if sets.len() == n => Ok(sets),
+            ServeMessage::ReplicaSets { sets } => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("replica reply has {} answers for {n} vertices", sets.len()),
+            )),
+            other => ServeClient::unexpected(other),
+        }
+    }
+
+    /// Stream one delta batch (inserts applied first, then removes).
+    pub fn update(&mut self, inserts: &[Edge], removes: &[Edge]) -> io::Result<UpdateOutcome> {
+        match self.request(&ServeMessage::Update {
+            inserts: inserts.to_vec(),
+            removes: removes.to_vec(),
+        })? {
+            ServeMessage::UpdateDone {
+                inserted,
+                removed,
+                staleness,
+                epoch,
+            } if inserted.len() == inserts.len() && removed.len() == removes.len() => {
+                let opt = |p: u32| (p != NOT_FOUND).then_some(p);
+                Ok(UpdateOutcome {
+                    inserted: inserted.into_iter().map(opt).collect(),
+                    removed: removed.into_iter().map(opt).collect(),
+                    staleness,
+                    epoch,
+                })
+            }
+            ServeMessage::UpdateDone { .. } => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "update reply sizes disagree with the request".to_string(),
+            )),
+            other => ServeClient::unexpected(other),
+        }
+    }
+
+    /// A server statistics snapshot.
+    pub fn stats(&mut self) -> io::Result<ServeStats> {
+        match self.request(&ServeMessage::Stats)? {
+            ServeMessage::StatsReply(s) => Ok(s),
+            other => ServeClient::unexpected(other),
+        }
+    }
+
+    /// Ask the daemon to exit; consumes the client.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        match self.request(&ServeMessage::Shutdown)? {
+            ServeMessage::Bye => Ok(()),
+            other => ServeClient::unexpected(other),
+        }
+    }
+}

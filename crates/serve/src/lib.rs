@@ -1,0 +1,133 @@
+//! `tps-serve` — online assignment serving and incremental repartitioning.
+//!
+//! A finished 2PS-L run materialises a static partitioning; this crate
+//! keeps it **live**. The daemon loads the run output once, answers
+//! edge→partition and vertex→replica-set point queries at memory speed,
+//! and ingests streamed edge insertions/deletions through the paper's own
+//! two-phase scoring (`tps_core::incremental`) — reassigning only the
+//! delta, never re-partitioning the graph. Drift is exposed as
+//! `staleness` so an operator (or the CI loop) can schedule a full
+//! re-partition when churn erodes quality.
+//!
+//! # Crate layout
+//!
+//! * [`packed`] — [`PackedAssignment`]: sorted-key arrays, 12 bytes/edge,
+//!   binary-search reads; the read-optimised mapping loaded from the
+//!   `--out` directory.
+//! * [`state`] — [`ServeState`]: packed read path + adopted
+//!   [`IncrementalTwoPhase`](tps_core::incremental::IncrementalTwoPhase)
+//!   write path + a minimal overlay diff between them, plus snapshot
+//!   save/restore.
+//! * [`proto`] — [`ServeMessage`]: the request frames (tags 32+, the
+//!   space dist protocol v5 reserves) over the same length-prefixed
+//!   transport as `tps-dist`.
+//! * [`server`] — the daemon: accept loop, thread-per-connection handler,
+//!   per-connection epoch-validated replica cache.
+//! * [`client`] — [`ServeClient`]: typed batched requests over any
+//!   [`Transport`](tps_dist::Transport).
+//! * [`lru`] — [`VertexLru`]: the hand-rolled epoch-validated LRU behind
+//!   the hot-vertex cache.
+//!
+//! The CLI front ends live in `tps`: `tps serve` and `tps lookup`.
+
+pub mod client;
+pub mod lru;
+pub mod packed;
+pub mod proto;
+pub mod server;
+pub mod state;
+
+pub use client::{ServeClient, UpdateOutcome};
+pub use lru::VertexLru;
+pub use packed::{edge_key, key_edge, PackedAssignment, NOT_FOUND};
+pub use proto::{ServeMessage, ServeStats, SERVE_PROTOCOL_VERSION};
+pub use server::{serve_connection, serve_listener, spawn_loopback, ServeHandle, ServerConfig};
+pub use state::{ApplyOutcome, ServeOptions, ServeState};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, RwLock};
+    use tps_dist::Transport;
+    use tps_graph::types::Edge;
+
+    #[test]
+    fn loopback_end_to_end() {
+        let pairs: Vec<(Edge, u32)> = (0..400u32)
+            .map(|i| (Edge::new(i % 40, 40 + i), i % 4))
+            .collect();
+        let state = Arc::new(RwLock::new(
+            ServeState::from_assignments(&pairs, 512, 4, &ServeOptions::default()).unwrap(),
+        ));
+        let (client_t, server) = spawn_loopback(state.clone(), ServerConfig::default());
+        let mut client = ServeClient::over(Box::new(client_t)).unwrap();
+        assert_eq!(client.k(), 4);
+        assert_eq!(client.num_edges(), 400);
+
+        // Bit-correct batched lookups, including both orientations and a miss.
+        let edges: Vec<Edge> = pairs.iter().map(|&(e, _)| e).collect();
+        let got = client.lookup_batch(&edges).unwrap();
+        for (i, &(_, p)) in pairs.iter().enumerate() {
+            assert_eq!(got[i], Some(p));
+        }
+        assert_eq!(
+            client.lookup_batch(&[Edge::new(500, 501)]).unwrap(),
+            vec![None]
+        );
+
+        // Replica sets agree with the engine, twice (second hit cached).
+        for _ in 0..2 {
+            let sets = client.replica_sets(&[0, 1, 499]).unwrap();
+            let st = state.read().unwrap();
+            assert_eq!(sets[0], st.replicas_of(0));
+            assert_eq!(sets[1], st.replicas_of(1));
+            assert!(sets[2].is_empty());
+        }
+
+        // A delta batch: the insert is visible, the removal gone, and the
+        // epoch/staleness move.
+        let out = client
+            .update(&[Edge::new(100, 200)], &[pairs[0].0, Edge::new(300, 301)])
+            .unwrap();
+        assert!(out.inserted[0].is_some());
+        assert!(out.removed[0].is_some());
+        assert_eq!(out.removed[1], None);
+        assert_eq!(out.epoch, 1);
+        assert!(out.staleness > 0.0);
+        assert_eq!(
+            client.lookup_batch(&[Edge::new(200, 100)]).unwrap()[0],
+            out.inserted[0]
+        );
+        assert_eq!(client.lookup_batch(&[pairs[0].0]).unwrap()[0], None);
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.epoch, 1);
+        assert!(stats.lookups > 0);
+        assert_eq!(stats.updates, 2);
+        assert!(stats.cache_hits == 0); // folded in at connection end
+
+        client.shutdown().unwrap();
+        server.join().unwrap().unwrap();
+        let (hits, misses) = (
+            state.read().unwrap().stats().cache_hits,
+            state.read().unwrap().stats().cache_misses,
+        );
+        assert!(hits >= 3, "expected cached replica hits, got {hits}");
+        assert!(misses >= 3);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let pairs = [(Edge::new(0, 1), 0u32)];
+        let state = Arc::new(RwLock::new(
+            ServeState::from_assignments(&pairs, 2, 1, &ServeOptions::default()).unwrap(),
+        ));
+        let (mut client_t, server) = spawn_loopback(state, ServerConfig::default());
+        client_t
+            .send(&ServeMessage::Hello { version: 999 }.encode())
+            .unwrap();
+        let reply = ServeMessage::decode(&client_t.recv().unwrap()).unwrap();
+        assert!(matches!(reply, ServeMessage::Error { .. }), "{reply:?}");
+        assert!(server.join().unwrap().is_err());
+    }
+}

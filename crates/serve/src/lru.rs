@@ -1,0 +1,219 @@
+//! A hot-vertex LRU cache for replica-set queries.
+//!
+//! Replica sets change only when an update batch commits, so every
+//! connection keeps a small LRU of `vertex → replica set` answers tagged
+//! with the state **epoch** they were computed at. The server bumps the
+//! epoch once per committed update batch; a cached entry from an older
+//! epoch is treated as a miss, which makes invalidation one integer
+//! compare instead of any cross-connection bookkeeping.
+//!
+//! Hand-rolled intrusive doubly-linked list over a slab — O(1) get/insert,
+//! no dependencies.
+
+use std::collections::HashMap;
+
+use tps_graph::types::{PartitionId, VertexId};
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: VertexId,
+    epoch: u64,
+    val: Vec<PartitionId>,
+    prev: usize,
+    next: usize,
+}
+
+/// An epoch-validated LRU mapping vertices to their replica sets.
+pub struct VertexLru {
+    cap: usize,
+    map: HashMap<VertexId, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used (eviction end).
+    tail: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl VertexLru {
+    /// An empty cache holding at most `cap` entries (`cap == 0` disables
+    /// caching entirely).
+    pub fn new(cap: usize) -> VertexLru {
+        VertexLru {
+            cap,
+            map: HashMap::with_capacity(cap.min(1 << 20)),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// The cached replica set of `v` computed at `epoch`, promoting it to
+    /// most-recently-used. An entry from any other epoch counts as a miss
+    /// (and is dropped).
+    pub fn get(&mut self, v: VertexId, epoch: u64) -> Option<&[PartitionId]> {
+        let Some(&idx) = self.map.get(&v) else {
+            self.misses += 1;
+            return None;
+        };
+        if self.slab[idx].epoch != epoch {
+            self.unlink(idx);
+            self.map.remove(&v);
+            self.free.push(idx);
+            self.misses += 1;
+            return None;
+        }
+        self.hits += 1;
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+        Some(&self.slab[idx].val)
+    }
+
+    /// Cache the replica set of `v` as of `epoch`, evicting the least
+    /// recently used entry when full.
+    pub fn insert(&mut self, v: VertexId, epoch: u64, val: Vec<PartitionId>) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&v) {
+            self.slab[idx].epoch = epoch;
+            self.slab[idx].val = val;
+            if self.head != idx {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return;
+        }
+        if self.map.len() >= self.cap {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.free.push(victim);
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Entry {
+                    key: v,
+                    epoch,
+                    val,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slab.push(Entry {
+                    key: v,
+                    epoch,
+                    val,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(v, idx);
+        self.push_front(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = VertexLru::new(2);
+        lru.insert(1, 0, vec![0]);
+        lru.insert(2, 0, vec![1]);
+        assert_eq!(lru.get(1, 0), Some(&[0u32][..])); // 1 is now MRU
+        lru.insert(3, 0, vec![2]); // evicts 2
+        assert_eq!(lru.get(2, 0), None);
+        assert_eq!(lru.get(1, 0), Some(&[0u32][..]));
+        assert_eq!(lru.get(3, 0), Some(&[2u32][..]));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn stale_epoch_is_a_miss() {
+        let mut lru = VertexLru::new(4);
+        lru.insert(7, 0, vec![0, 1]);
+        assert!(lru.get(7, 0).is_some());
+        assert_eq!(lru.get(7, 1), None); // epoch bumped -> invalid
+        assert_eq!(lru.len(), 0); // and dropped
+        lru.insert(7, 1, vec![0, 2]);
+        assert_eq!(lru.get(7, 1), Some(&[0u32, 2][..]));
+        let (hits, misses) = lru.stats();
+        assert_eq!((hits, misses), (2, 1));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut lru = VertexLru::new(0);
+        lru.insert(1, 0, vec![0]);
+        assert!(lru.is_empty());
+        assert_eq!(lru.get(1, 0), None);
+    }
+
+    #[test]
+    fn reinsert_updates_value_in_place() {
+        let mut lru = VertexLru::new(2);
+        lru.insert(1, 0, vec![0]);
+        lru.insert(2, 0, vec![1]);
+        lru.insert(2, 0, vec![1, 3]);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(2, 0), Some(&[1u32, 3][..]));
+        // 1 is the LRU now; inserting a third key evicts it.
+        lru.insert(4, 0, vec![2]);
+        assert_eq!(lru.get(1, 0), None);
+    }
+}

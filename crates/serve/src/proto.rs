@@ -1,0 +1,395 @@
+//! The serving request protocol.
+//!
+//! Frames travel over the same length-prefixed transport as the
+//! distributed partitioning protocol (`tps_dist::wire` / `Transport`), but
+//! form their own message family in the tag space the dist protocol v5
+//! reserved for them: every serve tag is `>=`
+//! [`SERVE_TAG_BASE`], so a frame accidentally
+//! sent to the wrong endpoint decodes to a precise error on either side
+//! instead of a silent misparse.
+//!
+//! | tag | frame | direction | payload |
+//! |-----|-------|-----------|---------|
+//! | 32  | `Hello` | client → server | protocol version |
+//! | 33  | `Welcome` | server → client | version, `k`, \|V\|, live \|E\| |
+//! | 34  | `Lookup` | client → server | edge batch (u32 src/dst pairs) |
+//! | 35  | `Parts` | server → client | one partition per edge ([`NOT_FOUND`] = absent) |
+//! | 36  | `Replicas` | client → server | vertex batch |
+//! | 37  | `ReplicaSets` | server → client | one ascending partition list per vertex |
+//! | 38  | `Update` | client → server | insert batch + remove batch |
+//! | 39  | `UpdateDone` | server → client | per-op partitions, staleness, epoch |
+//! | 40  | `Stats` | client → server | — |
+//! | 41  | `StatsReply` | server → client | sizes, loads, staleness, cache counters |
+//! | 42  | `Shutdown` | client → server | — |
+//! | 43  | `Bye` | server → client | — |
+//! | 44  | `Error` | server → client | message |
+
+use std::io;
+
+use tps_dist::wire::{self, corrupt, Reader};
+use tps_dist::SERVE_TAG_BASE;
+use tps_graph::types::Edge;
+
+pub use crate::packed::NOT_FOUND;
+
+/// Version of the serving protocol itself (independent of the dist
+/// partitioning protocol's version).
+pub const SERVE_PROTOCOL_VERSION: u32 = 1;
+
+/// Server-side statistics snapshot carried by [`ServeMessage::StatsReply`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeStats {
+    /// Number of partitions.
+    pub k: u32,
+    /// Vertex-id space.
+    pub num_vertices: u64,
+    /// Live edge count (after applied deltas).
+    pub num_edges: u64,
+    /// Mutations since bootstrap over bootstrap size — the re-bootstrap
+    /// drift signal.
+    pub staleness: f64,
+    /// Current replication factor.
+    pub replication_factor: f64,
+    /// Update-batch epoch (bumped once per committed batch).
+    pub epoch: u64,
+    /// Per-partition live edge counts.
+    pub loads: Vec<u64>,
+    /// Point lookups served since start.
+    pub lookups: u64,
+    /// Mutations applied since start.
+    pub updates: u64,
+    /// Replica-set cache hits across all connections.
+    pub cache_hits: u64,
+    /// Replica-set cache misses across all connections.
+    pub cache_misses: u64,
+}
+
+/// One frame of the serving protocol. See the module table.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeMessage {
+    /// Client handshake: the protocol version it speaks.
+    Hello { version: u32 },
+    /// Server handshake reply: version plus the loaded partition's shape.
+    Welcome {
+        version: u32,
+        k: u32,
+        num_vertices: u64,
+        num_edges: u64,
+    },
+    /// Point/batch edge→partition lookup.
+    Lookup { edges: Vec<Edge> },
+    /// Lookup reply: `parts[i]` answers `edges[i]`; [`NOT_FOUND`] = absent.
+    Parts { parts: Vec<u32> },
+    /// Batch vertex→replica-set query.
+    Replicas { vertices: Vec<u32> },
+    /// Replica reply: `sets[i]` lists the partitions of `vertices[i]`,
+    /// ascending (empty = vertex unknown or replica-free).
+    ReplicaSets { sets: Vec<Vec<u32>> },
+    /// Streamed delta: edges to insert and edges to remove, applied as one
+    /// atomic batch.
+    Update {
+        inserts: Vec<Edge>,
+        removes: Vec<Edge>,
+    },
+    /// Update reply: the partition each insert landed on ([`NOT_FOUND`] =
+    /// rejected duplicate), the partition each removal vacated
+    /// ([`NOT_FOUND`] = was absent), then drift + the new epoch.
+    UpdateDone {
+        inserted: Vec<u32>,
+        removed: Vec<u32>,
+        staleness: f64,
+        epoch: u64,
+    },
+    /// Statistics request.
+    Stats,
+    /// Statistics reply.
+    StatsReply(ServeStats),
+    /// Ask the daemon to stop accepting and exit.
+    Shutdown,
+    /// Shutdown acknowledged; the server closes after sending this.
+    Bye,
+    /// Request-level failure (the connection stays usable).
+    Error { message: String },
+}
+
+const TAG_HELLO: u8 = SERVE_TAG_BASE;
+const TAG_WELCOME: u8 = SERVE_TAG_BASE + 1;
+const TAG_LOOKUP: u8 = SERVE_TAG_BASE + 2;
+const TAG_PARTS: u8 = SERVE_TAG_BASE + 3;
+const TAG_REPLICAS: u8 = SERVE_TAG_BASE + 4;
+const TAG_REPLICA_SETS: u8 = SERVE_TAG_BASE + 5;
+const TAG_UPDATE: u8 = SERVE_TAG_BASE + 6;
+const TAG_UPDATE_DONE: u8 = SERVE_TAG_BASE + 7;
+const TAG_STATS: u8 = SERVE_TAG_BASE + 8;
+const TAG_STATS_REPLY: u8 = SERVE_TAG_BASE + 9;
+const TAG_SHUTDOWN: u8 = SERVE_TAG_BASE + 10;
+const TAG_BYE: u8 = SERVE_TAG_BASE + 11;
+const TAG_ERROR: u8 = SERVE_TAG_BASE + 12;
+
+fn put_edges(out: &mut Vec<u8>, edges: &[Edge]) {
+    wire::put_u32(out, edges.len() as u32);
+    for e in edges {
+        wire::put_u32(out, e.src);
+        wire::put_u32(out, e.dst);
+    }
+}
+
+fn read_edges(r: &mut Reader<'_>) -> io::Result<Vec<Edge>> {
+    let n = r.u32()? as usize;
+    if n > r.remaining() / 8 {
+        return Err(corrupt(format!("edge batch length {n} exceeds frame")));
+    }
+    let mut edges = Vec::with_capacity(n);
+    for _ in 0..n {
+        let src = r.u32()?;
+        let dst = r.u32()?;
+        edges.push(Edge::new(src, dst));
+    }
+    Ok(edges)
+}
+
+impl ServeMessage {
+    /// Serialise to one frame body (tag byte + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            ServeMessage::Hello { version } => {
+                out.push(TAG_HELLO);
+                wire::put_u32(&mut out, *version);
+            }
+            ServeMessage::Welcome {
+                version,
+                k,
+                num_vertices,
+                num_edges,
+            } => {
+                out.push(TAG_WELCOME);
+                wire::put_u32(&mut out, *version);
+                wire::put_u32(&mut out, *k);
+                wire::put_u64(&mut out, *num_vertices);
+                wire::put_u64(&mut out, *num_edges);
+            }
+            ServeMessage::Lookup { edges } => {
+                out.push(TAG_LOOKUP);
+                put_edges(&mut out, edges);
+            }
+            ServeMessage::Parts { parts } => {
+                out.push(TAG_PARTS);
+                wire::put_vec_u32(&mut out, parts);
+            }
+            ServeMessage::Replicas { vertices } => {
+                out.push(TAG_REPLICAS);
+                wire::put_vec_u32(&mut out, vertices);
+            }
+            ServeMessage::ReplicaSets { sets } => {
+                out.push(TAG_REPLICA_SETS);
+                wire::put_u32(&mut out, sets.len() as u32);
+                for set in sets {
+                    wire::put_vec_u32(&mut out, set);
+                }
+            }
+            ServeMessage::Update { inserts, removes } => {
+                out.push(TAG_UPDATE);
+                put_edges(&mut out, inserts);
+                put_edges(&mut out, removes);
+            }
+            ServeMessage::UpdateDone {
+                inserted,
+                removed,
+                staleness,
+                epoch,
+            } => {
+                out.push(TAG_UPDATE_DONE);
+                wire::put_vec_u32(&mut out, inserted);
+                wire::put_vec_u32(&mut out, removed);
+                wire::put_f64(&mut out, *staleness);
+                wire::put_u64(&mut out, *epoch);
+            }
+            ServeMessage::Stats => out.push(TAG_STATS),
+            ServeMessage::StatsReply(s) => {
+                out.push(TAG_STATS_REPLY);
+                wire::put_u32(&mut out, s.k);
+                wire::put_u64(&mut out, s.num_vertices);
+                wire::put_u64(&mut out, s.num_edges);
+                wire::put_f64(&mut out, s.staleness);
+                wire::put_f64(&mut out, s.replication_factor);
+                wire::put_u64(&mut out, s.epoch);
+                wire::put_vec_u64(&mut out, &s.loads);
+                wire::put_u64(&mut out, s.lookups);
+                wire::put_u64(&mut out, s.updates);
+                wire::put_u64(&mut out, s.cache_hits);
+                wire::put_u64(&mut out, s.cache_misses);
+            }
+            ServeMessage::Shutdown => out.push(TAG_SHUTDOWN),
+            ServeMessage::Bye => out.push(TAG_BYE),
+            ServeMessage::Error { message } => {
+                out.push(TAG_ERROR);
+                wire::put_string(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Parse one frame body. Corrupt input surfaces as
+    /// `io::ErrorKind::InvalidData`, never a panic; a tag below
+    /// [`SERVE_TAG_BASE`] is reported as a strayed partitioning-protocol
+    /// frame.
+    pub fn decode(frame: &[u8]) -> io::Result<ServeMessage> {
+        let mut r = Reader::new(frame);
+        let tag = r.u8()?;
+        let msg = match tag {
+            TAG_HELLO => ServeMessage::Hello { version: r.u32()? },
+            TAG_WELCOME => ServeMessage::Welcome {
+                version: r.u32()?,
+                k: r.u32()?,
+                num_vertices: r.u64()?,
+                num_edges: r.u64()?,
+            },
+            TAG_LOOKUP => ServeMessage::Lookup {
+                edges: read_edges(&mut r)?,
+            },
+            TAG_PARTS => ServeMessage::Parts {
+                parts: r.vec_u32()?,
+            },
+            TAG_REPLICAS => ServeMessage::Replicas {
+                vertices: r.vec_u32()?,
+            },
+            TAG_REPLICA_SETS => {
+                let n = r.u32()? as usize;
+                if n > r.remaining() / 4 {
+                    return Err(corrupt(format!("replica-set count {n} exceeds frame")));
+                }
+                let mut sets = Vec::with_capacity(n);
+                for _ in 0..n {
+                    sets.push(r.vec_u32()?);
+                }
+                ServeMessage::ReplicaSets { sets }
+            }
+            TAG_UPDATE => ServeMessage::Update {
+                inserts: read_edges(&mut r)?,
+                removes: read_edges(&mut r)?,
+            },
+            TAG_UPDATE_DONE => ServeMessage::UpdateDone {
+                inserted: r.vec_u32()?,
+                removed: r.vec_u32()?,
+                staleness: r.f64()?,
+                epoch: r.u64()?,
+            },
+            TAG_STATS => ServeMessage::Stats,
+            TAG_STATS_REPLY => ServeMessage::StatsReply(ServeStats {
+                k: r.u32()?,
+                num_vertices: r.u64()?,
+                num_edges: r.u64()?,
+                staleness: r.f64()?,
+                replication_factor: r.f64()?,
+                epoch: r.u64()?,
+                loads: r.vec_u64()?,
+                lookups: r.u64()?,
+                updates: r.u64()?,
+                cache_hits: r.u64()?,
+                cache_misses: r.u64()?,
+            }),
+            TAG_SHUTDOWN => ServeMessage::Shutdown,
+            TAG_BYE => ServeMessage::Bye,
+            TAG_ERROR => ServeMessage::Error {
+                message: r.string()?,
+            },
+            other if other < SERVE_TAG_BASE => {
+                return Err(corrupt(format!(
+                    "message tag {other} belongs to the dist partitioning protocol \
+                     (tags < {SERVE_TAG_BASE}) — this endpoint speaks the serve protocol"
+                )));
+            }
+            other => return Err(corrupt(format!("unknown serve message tag {other}"))),
+        };
+        r.expect_empty()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: ServeMessage) {
+        let frame = msg.encode();
+        assert!(frame[0] >= SERVE_TAG_BASE, "{msg:?} tag below serve base");
+        assert_eq!(ServeMessage::decode(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn every_frame_roundtrips() {
+        roundtrip(ServeMessage::Hello { version: 1 });
+        roundtrip(ServeMessage::Welcome {
+            version: 1,
+            k: 4,
+            num_vertices: 1000,
+            num_edges: 5000,
+        });
+        roundtrip(ServeMessage::Lookup {
+            edges: vec![Edge::new(1, 2), Edge::new(9, 3)],
+        });
+        roundtrip(ServeMessage::Parts {
+            parts: vec![0, NOT_FOUND, 3],
+        });
+        roundtrip(ServeMessage::Replicas {
+            vertices: vec![5, 6, 7],
+        });
+        roundtrip(ServeMessage::ReplicaSets {
+            sets: vec![vec![0, 2], vec![], vec![1]],
+        });
+        roundtrip(ServeMessage::Update {
+            inserts: vec![Edge::new(1, 9)],
+            removes: vec![Edge::new(2, 2), Edge::new(0, 1)],
+        });
+        roundtrip(ServeMessage::UpdateDone {
+            inserted: vec![2],
+            removed: vec![NOT_FOUND, 0],
+            staleness: 0.25,
+            epoch: 7,
+        });
+        roundtrip(ServeMessage::Stats);
+        roundtrip(ServeMessage::StatsReply(ServeStats {
+            k: 4,
+            num_vertices: 100,
+            num_edges: 400,
+            staleness: 0.1,
+            replication_factor: 1.7,
+            epoch: 3,
+            loads: vec![100, 100, 100, 100],
+            lookups: 12,
+            updates: 5,
+            cache_hits: 9,
+            cache_misses: 2,
+        }));
+        roundtrip(ServeMessage::Shutdown);
+        roundtrip(ServeMessage::Bye);
+        roundtrip(ServeMessage::Error {
+            message: "nope".into(),
+        });
+    }
+
+    #[test]
+    fn rejects_dist_tags_and_junk() {
+        let err = ServeMessage::decode(&[1, 0, 0, 0, 1]).unwrap_err();
+        assert!(err.to_string().contains("partitioning protocol"), "{err}");
+        assert!(ServeMessage::decode(&[200]).is_err());
+        assert!(ServeMessage::decode(&[]).is_err());
+        // Truncated payload.
+        assert!(ServeMessage::decode(&[TAG_LOOKUP, 1, 0, 0, 0]).is_err());
+        // Trailing garbage.
+        let mut frame = ServeMessage::Stats.encode();
+        frame.push(0);
+        assert!(ServeMessage::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn oversized_batch_counts_are_rejected_not_allocated() {
+        let mut frame = vec![TAG_LOOKUP];
+        tps_dist::wire::put_u32(&mut frame, u32::MAX);
+        assert!(ServeMessage::decode(&frame).is_err());
+        let mut frame = vec![TAG_REPLICA_SETS];
+        tps_dist::wire::put_u32(&mut frame, u32::MAX);
+        assert!(ServeMessage::decode(&frame).is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! The serving daemon: accept loop + per-connection request handler.
+//!
+//! One OS thread per connection over the shared
+//! `Arc<RwLock<ServeState>>` — lookups and replica queries take the read
+//! side (and run concurrently across connections), update batches take the
+//! write side. Each connection keeps its own epoch-validated
+//! [`VertexLru`], so replica-set answers cached before an update batch
+//! become one-integer-compare misses after it, with no cross-connection
+//! invalidation traffic.
+//!
+//! Shutdown is cooperative: a `Shutdown` frame (or
+//! [`ServeHandle::shutdown`]) raises a flag; the accept loop polls it
+//! non-blockingly and connection handlers observe it through their receive
+//! timeout.
+
+use std::io;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
+
+use tps_dist::transport::is_timeout;
+use tps_dist::{TcpTransport, Transport};
+use tps_obs::Counter;
+
+use crate::lru::VertexLru;
+use crate::packed::NOT_FOUND;
+use crate::proto::{ServeMessage, SERVE_PROTOCOL_VERSION};
+use crate::state::ServeState;
+
+static SERVE_CONNECTIONS: Counter = Counter::new("serve.connections");
+static SERVE_REQUESTS: Counter = Counter::new("serve.requests");
+
+/// Knobs for the daemon's request handling.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Per-connection replica-set cache capacity in entries (0 disables).
+    pub cache_capacity: usize,
+    /// How often blocked receives wake up to check the shutdown flag.
+    pub recv_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            cache_capacity: 4096,
+            recv_timeout: Duration::from_millis(200),
+        }
+    }
+}
+
+fn read_state(state: &RwLock<ServeState>) -> RwLockReadGuard<'_, ServeState> {
+    state.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_state(state: &RwLock<ServeState>) -> RwLockWriteGuard<'_, ServeState> {
+    state.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether an I/O error means the peer simply went away (a clean end of a
+/// serving connection, not a fault).
+fn is_disconnect(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+    )
+}
+
+/// Drive one client connection to completion: handshake, then a
+/// request/reply loop until the client disconnects, asks for shutdown, or
+/// the daemon-wide `shutdown` flag is raised.
+///
+/// Public so benches and tests can serve an in-process
+/// [`loopback_pair`](tps_dist::loopback_pair) end without a socket.
+pub fn serve_connection(
+    t: &mut dyn Transport,
+    state: &RwLock<ServeState>,
+    cfg: &ServerConfig,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    SERVE_CONNECTIONS.incr();
+    t.set_recv_timeout(Some(cfg.recv_timeout))?;
+    let mut cache = VertexLru::new(cfg.cache_capacity);
+
+    // Handshake: the first frame must be a version-compatible Hello.
+    let hello = loop {
+        match t.recv() {
+            Ok(frame) => break frame,
+            Err(e) if is_timeout(&e) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(e) if is_disconnect(&e) => return Ok(()),
+            Err(e) => return Err(e),
+        }
+    };
+    match ServeMessage::decode(&hello) {
+        Ok(ServeMessage::Hello { version }) if version == SERVE_PROTOCOL_VERSION => {}
+        Ok(ServeMessage::Hello { version }) => {
+            let msg = format!(
+                "serve protocol version mismatch: client speaks v{version}, server v{SERVE_PROTOCOL_VERSION}"
+            );
+            t.send(
+                &ServeMessage::Error {
+                    message: msg.clone(),
+                }
+                .encode(),
+            )?;
+            return Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+        }
+        Ok(other) => {
+            let msg = format!("expected Hello to open the connection, got {other:?}");
+            t.send(
+                &ServeMessage::Error {
+                    message: msg.clone(),
+                }
+                .encode(),
+            )?;
+            return Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+        }
+        Err(e) => {
+            t.send(
+                &ServeMessage::Error {
+                    message: e.to_string(),
+                }
+                .encode(),
+            )?;
+            return Err(e);
+        }
+    }
+    {
+        let st = read_state(state);
+        t.send(
+            &ServeMessage::Welcome {
+                version: SERVE_PROTOCOL_VERSION,
+                k: st.k(),
+                num_vertices: st.num_vertices(),
+                num_edges: st.num_edges(),
+            }
+            .encode(),
+        )?;
+    }
+
+    let result = loop {
+        let frame = match t.recv() {
+            Ok(frame) => frame,
+            Err(e) if is_timeout(&e) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break Ok(());
+                }
+                continue;
+            }
+            Err(e) if is_disconnect(&e) => break Ok(()),
+            Err(e) => break Err(e),
+        };
+        SERVE_REQUESTS.incr();
+        let reply = match ServeMessage::decode(&frame) {
+            Ok(ServeMessage::Lookup { edges }) => {
+                let st = read_state(state);
+                let parts = edges
+                    .iter()
+                    .map(|&e| st.lookup(e).unwrap_or(NOT_FOUND))
+                    .collect();
+                ServeMessage::Parts { parts }
+            }
+            Ok(ServeMessage::Replicas { vertices }) => {
+                let st = read_state(state);
+                let epoch = st.epoch();
+                let sets = vertices
+                    .iter()
+                    .map(|&v| {
+                        if let Some(hit) = cache.get(v, epoch) {
+                            return hit.to_vec();
+                        }
+                        let set = st.replicas_of(v);
+                        cache.insert(v, epoch, set.clone());
+                        set
+                    })
+                    .collect();
+                ServeMessage::ReplicaSets { sets }
+            }
+            Ok(ServeMessage::Update { inserts, removes }) => {
+                let mut st = write_state(state);
+                let out = st.apply(&inserts, &removes);
+                ServeMessage::UpdateDone {
+                    inserted: out.inserted,
+                    removed: out.removed,
+                    staleness: st.staleness(),
+                    epoch: out.epoch,
+                }
+            }
+            Ok(ServeMessage::Stats) => ServeMessage::StatsReply(read_state(state).stats()),
+            Ok(ServeMessage::Shutdown) => {
+                shutdown.store(true, Ordering::SeqCst);
+                t.send(&ServeMessage::Bye.encode())?;
+                break Ok(());
+            }
+            Ok(other) => ServeMessage::Error {
+                message: format!("unexpected request frame {other:?}"),
+            },
+            Err(e) => ServeMessage::Error {
+                message: e.to_string(),
+            },
+        };
+        match t.send(&reply.encode()) {
+            Ok(()) => {}
+            Err(e) if is_disconnect(&e) => break Ok(()),
+            Err(e) => break Err(e),
+        }
+    };
+    let (hits, misses) = cache.stats();
+    read_state(state).record_cache(hits, misses);
+    result
+}
+
+/// A handle to a running [`serve_listener`] loop, usable from other
+/// threads to request a stop.
+#[derive(Clone, Default)]
+pub struct ServeHandle {
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServeHandle {
+    /// A fresh handle with the flag lowered.
+    pub fn new() -> ServeHandle {
+        ServeHandle::default()
+    }
+
+    /// Ask the accept loop (and every connection) to wind down.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn flag(&self) -> Arc<AtomicBool> {
+        self.shutdown.clone()
+    }
+}
+
+/// Accept connections on `listener` until shutdown, serving each on its
+/// own thread. Blocks the calling thread; returns once the flag is raised
+/// and every connection handler has finished.
+pub fn serve_listener(
+    listener: TcpListener,
+    state: Arc<RwLock<ServeState>>,
+    cfg: ServerConfig,
+    handle: &ServeHandle,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut workers = Vec::new();
+    while !handle.is_shutdown() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stream.set_nodelay(true).ok();
+                stream.set_nonblocking(false)?;
+                let state = state.clone();
+                let shutdown = handle.flag();
+                workers.push(std::thread::spawn(move || {
+                    let mut t = match TcpTransport::new(stream) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("serve: connection setup failed: {e}");
+                            return;
+                        }
+                    };
+                    if let Err(e) = serve_connection(&mut t, &state, &cfg, &shutdown) {
+                        eprintln!("serve: connection error: {e}");
+                    }
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for w in workers {
+        w.join().ok();
+    }
+    Ok(())
+}
+
+/// Serve one in-process loopback connection on a background thread and
+/// return the client-side transport — the zero-syscall path benches and
+/// tests use.
+pub fn spawn_loopback(
+    state: Arc<RwLock<ServeState>>,
+    cfg: ServerConfig,
+) -> (
+    tps_dist::LoopbackTransport,
+    std::thread::JoinHandle<io::Result<()>>,
+) {
+    let (client, mut server) = tps_dist::loopback_pair();
+    let handle = std::thread::spawn(move || {
+        let shutdown = AtomicBool::new(false);
+        serve_connection(&mut server, &state, &cfg, &shutdown)
+    });
+    (client, handle)
+}

@@ -8,8 +8,8 @@
 //! Run: `cargo run --release -p tps-examples --bin endtoend_pagerank`
 
 use tps_baselines::{DbhPartitioner, SnePartitioner};
+use tps_core::job::JobSpec;
 use tps_core::partitioner::{PartitionParams, Partitioner};
-use tps_core::runner::run_partitioner_with_sink;
 use tps_core::sink::VecSink;
 use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
 use tps_graph::datasets::Dataset;
@@ -43,14 +43,13 @@ fn main() {
     for p in options.iter_mut() {
         let mut assignments = VecSink::new();
         let mut stream = graph.stream();
-        let out = run_partitioner_with_sink(
-            p.as_mut(),
-            &mut stream,
-            graph.num_vertices(),
-            &PartitionParams::new(k),
-            &mut assignments,
-        )
-        .expect("partitioning failed");
+        let out = JobSpec::stream(&mut stream)
+            .partitioner(p.as_mut())
+            .params(&PartitionParams::new(k))
+            .num_vertices(graph.num_vertices())
+            .extra_sink(&mut assignments)
+            .run()
+            .expect("partitioning failed");
         let layout =
             DistributedGraph::from_assignments(assignments.assignments(), graph.num_vertices(), k);
         let sim = simulate_pagerank(&layout, &pr, &cost).expect("no spill at this scale");

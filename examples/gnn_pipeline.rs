@@ -11,8 +11,8 @@
 //! Run: `cargo run --release -p tps-examples --bin gnn_pipeline`
 
 use tps_baselines::{DbhPartitioner, HdrfPartitioner};
+use tps_core::job::JobSpec;
 use tps_core::partitioner::{PartitionParams, Partitioner};
-use tps_core::runner::run_partitioner;
 use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
 use tps_graph::datasets::Dataset;
 
@@ -36,13 +36,12 @@ fn main() {
     );
     for p in options.iter_mut() {
         let mut stream = graph.stream();
-        let out = run_partitioner(
-            p.as_mut(),
-            &mut stream,
-            graph.num_vertices(),
-            &PartitionParams::new(workers),
-        )
-        .expect("partitioning failed");
+        let out = JobSpec::stream(&mut stream)
+            .partitioner(p.as_mut())
+            .params(&PartitionParams::new(workers))
+            .num_vertices(graph.num_vertices())
+            .run()
+            .expect("partitioning failed");
         // Every replica beyond the first must exchange activations/gradients
         // each epoch — the GNN analogue of the PageRank mirror traffic.
         let mirrors = out.metrics.total_replicas - out.metrics.covered_vertices;

@@ -13,10 +13,10 @@
 
 use std::collections::BTreeSet;
 
-use tps_core::parallel::ParallelRunner;
+use tps_core::job::{JobSpec, ThreadMode};
 use tps_core::partitioner::PartitionParams;
 use tps_core::sink::{MemorySpoolFactory, VecSink};
-use tps_core::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use tps_core::two_phase::TwoPhaseConfig;
 use tps_dist::{
     loopback_pair, run_coordinator, run_worker, AttachedResolver, FaultPolicy, InputDescriptor,
     NoReplacements, Transport,
@@ -36,24 +36,26 @@ fn test_graph() -> InMemoryGraph {
 }
 
 fn serial_run(g: &InMemoryGraph) -> Vec<(Edge, u32)> {
-    let mut p = TwoPhasePartitioner::new(TwoPhaseConfig::default());
     let mut sink = VecSink::new();
     let mut stream = g.stream();
-    tps_core::runner::run_partitioner_with_sink(
-        &mut p,
-        &mut stream,
-        g.num_vertices(),
-        &PartitionParams::new(K),
-        &mut sink,
-    )
-    .unwrap();
+    JobSpec::stream(&mut stream)
+        .two_phase(TwoPhaseConfig::default())
+        .params(&PartitionParams::new(K))
+        .num_vertices(g.num_vertices())
+        .extra_sink(&mut sink)
+        .run()
+        .unwrap();
     sink.into_assignments()
 }
 
 fn parallel_run(g: &InMemoryGraph, threads: usize) -> Vec<(Edge, u32)> {
     let mut sink = VecSink::new();
-    ParallelRunner::new(TwoPhaseConfig::default(), threads)
-        .partition(g, &PartitionParams::new(K), &mut sink)
+    JobSpec::ranged(g)
+        .two_phase(TwoPhaseConfig::default())
+        .params(&PartitionParams::new(K))
+        .threads(ThreadMode::Count(threads))
+        .extra_sink(&mut sink)
+        .run()
         .unwrap();
     sink.into_assignments()
 }

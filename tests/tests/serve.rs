@@ -1,0 +1,127 @@
+//! End-to-end serving: partition to files, load, serve, mutate, verify.
+//!
+//! Pins the PR's acceptance claim: every answer the daemon serves is
+//! bit-identical to the partition files it loaded — including after a
+//! streamed insert/delete delta, where untouched edges must keep their
+//! file-given partitions, removed edges must vanish, and inserted edges
+//! must answer with exactly the partition the update reported.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::{Arc, RwLock};
+
+use tps_core::job::JobSpec;
+use tps_core::partitioner::PartitionParams;
+use tps_core::sink::FileSink;
+use tps_core::two_phase::TwoPhaseConfig;
+use tps_graph::stream::InMemoryGraph;
+use tps_graph::types::Edge;
+use tps_serve::{spawn_loopback, ServeClient, ServeOptions, ServeState, ServerConfig};
+
+const K: u32 = 4;
+const NUM_VERTICES: u64 = 512;
+
+fn test_graph() -> InMemoryGraph {
+    // Deterministic, duplicate-free, loop-free, vertices < NUM_VERTICES.
+    let mut seen = BTreeSet::new();
+    let edges: Vec<Edge> = (0..6000u32)
+        .filter_map(|i| {
+            let (a, b) = (i % 251, 251 + (i * 13) % 261);
+            seen.insert((a, b)).then(|| Edge::new(a, b))
+        })
+        .collect();
+    InMemoryGraph::from_edges(edges)
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tps-serve-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn served_answers_match_partition_files_across_a_delta() {
+    let graph = test_graph();
+    let dir = scratch_dir("delta");
+
+    // Partition to `<stem>.part<i>.bel` files exactly as the CLI would.
+    let mut sink = FileSink::create(&dir, "g", K, NUM_VERTICES).unwrap();
+    let mut stream = graph.stream();
+    JobSpec::stream(&mut stream)
+        .two_phase(TwoPhaseConfig::default())
+        .params(&PartitionParams::new(K))
+        .num_vertices(NUM_VERTICES)
+        .extra_sink(&mut sink)
+        .run()
+        .expect("partitioning failed");
+    sink.finish().unwrap();
+
+    // Serve the directory over the loopback transport.
+    let state = ServeState::load_dir(&dir, &ServeOptions::default()).unwrap();
+    let loaded = tps_io::load_partition_dir(&dir).unwrap();
+    assert_eq!(loaded.num_edges(), graph.num_edges());
+    let (transport, handle) = spawn_loopback(Arc::new(RwLock::new(state)), ServerConfig::default());
+    let mut client = ServeClient::over(Box::new(transport)).unwrap();
+    assert_eq!(client.k(), K);
+    assert_eq!(client.num_edges(), loaded.num_edges());
+
+    // Pre-delta: every file-given assignment answers bit-identically,
+    // in both edge orientations; absent edges answer None.
+    let all_edges: Vec<Edge> = loaded.assignments.iter().map(|&(e, _)| e).collect();
+    let got = client.lookup_batch(&all_edges).unwrap();
+    for (&(e, p), got) in loaded.assignments.iter().zip(&got) {
+        assert_eq!(*got, Some(p), "pre-delta divergence at {e:?}");
+    }
+    let flipped: Vec<Edge> = all_edges.iter().map(|e| Edge::new(e.dst, e.src)).collect();
+    assert_eq!(client.lookup_batch(&flipped).unwrap(), got);
+    assert_eq!(
+        client.lookup_batch(&[Edge::new(500, 501)]).unwrap(),
+        vec![None]
+    );
+
+    // Streamed delta: remove every 7th file edge, insert novel edges.
+    let removes: Vec<Edge> = all_edges.iter().copied().step_by(7).collect();
+    // Both endpoints < 251: file edges always span 0..251 → 251..512, so
+    // these are guaranteed novel.
+    let inserts: Vec<Edge> = (0..200u32).map(|i| Edge::new(i, 240 + i % 10)).collect();
+    let outcome = client.update(&inserts, &removes).unwrap();
+    assert!(outcome.removed.iter().all(Option::is_some));
+    assert!(outcome
+        .inserted
+        .iter()
+        .all(|p| matches!(p, Some(p) if *p < K)));
+    assert!(outcome.staleness > 0.0);
+
+    // Post-delta: removed edges vanish, inserted edges answer with the
+    // partition the update reported, untouched edges still match files.
+    let removed_set: BTreeSet<Edge> = removes.iter().copied().collect();
+    assert!(client
+        .lookup_batch(&removes)
+        .unwrap()
+        .iter()
+        .all(Option::is_none));
+    let got = client.lookup_batch(&inserts).unwrap();
+    assert_eq!(
+        got, outcome.inserted,
+        "inserted edges must answer what the update reported"
+    );
+    let untouched: Vec<(Edge, u32)> = loaded
+        .assignments
+        .iter()
+        .copied()
+        .filter(|(e, _)| !removed_set.contains(e))
+        .collect();
+    let got = client
+        .lookup_batch(&untouched.iter().map(|&(e, _)| e).collect::<Vec<_>>())
+        .unwrap();
+    for (&(e, p), got) in untouched.iter().zip(&got) {
+        assert_eq!(*got, Some(p), "post-delta divergence at untouched {e:?}");
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.epoch, 1);
+    assert!(stats.staleness > 0.0);
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
