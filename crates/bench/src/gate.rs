@@ -338,6 +338,15 @@ pub fn extract_metrics(report: &Json) -> BTreeMap<String, f64> {
                 out.insert("serve_scaling.update_scale_ratio".to_string(), v);
             }
         }
+        // Live-metrics overhead ceiling: instrumented ÷ uninstrumented
+        // lookup time, exact-tolerance like the trace_overhead slowdowns.
+        if let Some(v) = serve
+            .get("metrics_overhead")
+            .and_then(|m| m.get("slowdown"))
+            .and_then(Json::as_f64)
+        {
+            out.insert("serve_scaling.metrics_overhead.slowdown".to_string(), v);
+        }
     }
     // mem_peak emits one row per execution mode; the gated number is the
     // peak-RSS ceiling.
@@ -710,6 +719,8 @@ mod tests {
                 "graph": {"vertices": 10, "edges": 20, "k": 32},
                 "lookup": {"batch_edges": 1024, "batches": 3, "seconds": 0.01,
                            "lookup_qps": 2000000.0},
+                "metrics_overhead": {"off_qps": 2050000.0, "on_qps": 2000000.0,
+                                     "slowdown": 1.025},
                 "update": {"delta_edges": 2000, "update_ms_per_edge": 0.004,
                            "large_ms_per_edge": 0.005, "update_scale_ratio": 1.25}
               }
@@ -720,7 +731,15 @@ mod tests {
         assert_eq!(m["serve_scaling.lookup_qps"], 2000000.0);
         assert_eq!(m["serve_scaling.update_ms_per_edge"], 0.004);
         assert_eq!(m["serve_scaling.update_scale_ratio"], 1.25);
-        assert_eq!(m.len(), 3, "seconds/delta sizes are not gated");
+        assert_eq!(m["serve_scaling.metrics_overhead.slowdown"], 1.025);
+        assert_eq!(m.len(), 4, "seconds/delta sizes/qps sides are not gated");
+        // The metrics-overhead ratio rides the `.slowdown` suffix: a
+        // ceiling compared exactly — its committed 1.03 IS the headroom.
+        assert!(is_ceiling("serve_scaling.metrics_overhead.slowdown"));
+        assert_eq!(
+            tolerance_override("serve_scaling.metrics_overhead.slowdown"),
+            Some(0.0)
+        );
         // Throughput is a floor; both update-cost metrics are ceilings
         // with the standard jitter tolerance (the probe-per-mutation
         // regression they guard against overshoots by multiples).

@@ -33,6 +33,7 @@ USAGE:
   tps dist worker --connect HOST:PORT         distributed partition (worker)
   tps serve     --parts DIR [options]         serve a finished partitioning
   tps lookup    --connect HOST:PORT [options] query / update a running daemon
+  tps top       HOST:PORT [options]           live dashboard over a metrics endpoint
   tps generate  --dataset NAME --out FILE     write a synthetic dataset
   tps convert   --input FILE --out FILE       convert between .bel v1 and v2
   tps info      --input FILE                  print graph statistics
@@ -79,6 +80,12 @@ dist coordinator options (2ps-l / 2ps-hdrf on binary inputs):
                       presume a worker dead when one frame takes longer
                       than this to arrive (default 0 = wait forever)
   --listen ADDR       bind address (default 127.0.0.1:0 = ephemeral port)
+  --metrics-addr ADDR serve live metrics scrapes (per-shard stage gauges,
+                      worker liveness, fault counters, frame byte rates)
+                      over HTTP on ADDR; `tps top ADDR` renders them
+  --metrics-addr-file FILE
+                      write the bound metrics address to FILE (atomic;
+                      scripts poll for it)
   --dist-local        spawn the worker processes locally itself, and
                       respawn clean replacements on worker failure
   --kill-worker I / --kill-at SPEC
@@ -108,6 +115,16 @@ serve options (the online serving daemon — see crates/serve/README.md):
   --listen ADDR       bind address (default 127.0.0.1:0 = ephemeral port)
   --addr-file FILE    write the bound address to FILE once listening
                       (written atomically; scripts poll for it)
+  --metrics-addr ADDR serve live metrics scrapes over HTTP on ADDR:
+                      per-op latency/batch histograms with p50/p90/p99,
+                      staleness/overlay/cache/epoch gauges, all counters.
+                      Recording costs a few relaxed atomic ops per op and
+                      never changes served answers
+  --metrics-addr-file FILE
+                      write the bound metrics address to FILE (atomic)
+  --trace FILE        record a structured trace of the serving session
+                      (per-op phase spans, delta/compaction marks) to
+                      FILE on shutdown; `tps report FILE` renders it
   --state FILE        restore the write-path engine from a snapshot
                       written by --save-state (the packed table still
                       comes from --parts)
@@ -131,8 +148,15 @@ lookup options (client for a running tps serve):
                       whitespace-separated \"src dst\" lines; # comments
   --verify-parts DIR  re-read a --out directory and assert every edge's
                       served partition matches the files bit for bit
-  --stats             print a server statistics snapshot
+  --stats             print a server statistics snapshot (incl. uptime and
+                      per-op latency quantiles; protocol v2)
   --shutdown          ask the daemon to exit (runs last)
+
+top options (dashboard over a serve/dist --metrics-addr endpoint):
+  tps top HOST:PORT [--interval-ms N] [--samples N] [--once]
+                      poll every N ms (default 1000) and redraw in place;
+                      --once prints one frame and exits, --samples N stops
+                      after N frames (0 = run until ^C)
 
 generate options:
   --dataset NAME      ok|it|tw|fr|uk|gsh|wdc|wi
@@ -224,6 +248,51 @@ fn make_partitioner(name: &str, passes: u32) -> Result<Box<dyn Partitioner>, Str
 pub(crate) fn fail(msg: &str) -> i32 {
     eprintln!("error: {msg}");
     2
+}
+
+/// Write a bound socket address to `path` atomically (tmp + rename) so
+/// pollers never observe a partially written address.
+pub(crate) fn write_addr_file(path: &str, addr: &str) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, format!("{addr}\n")).map_err(|e| format!("{tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Start the coordinator's `--metrics-addr` scrape endpoint: the body is
+/// every `tps_obs` counter plus the coordinator's per-shard stage gauges,
+/// with run-scoped rate/uptime gauges refreshed at scrape time.
+fn start_dist_metrics(
+    flags: &Flags,
+    quiet: bool,
+) -> Result<Option<tps_obs::MetricsServer>, String> {
+    let Some(maddr) = flags.get("metrics-addr") else {
+        if flags.get("metrics-addr-file").is_some() {
+            return Err("--metrics-addr-file does nothing without --metrics-addr".into());
+        }
+        return Ok(None);
+    };
+    let started = std::time::Instant::now();
+    let server = tps_obs::serve_metrics(maddr, move || {
+        let uptime = started.elapsed().as_secs_f64();
+        tps_obs::set_gauge("dist.uptime.secs", uptime);
+        if uptime > 0.0 {
+            let bytes = tps_obs::counters_snapshot()
+                .into_iter()
+                .find(|(n, _)| n == "dist.frames.bytes")
+                .map_or(0, |(_, v)| v);
+            tps_obs::set_gauge("dist.frames.bytes.rate", bytes as f64 / uptime);
+        }
+        tps_obs::render_exposition()
+    })
+    .map_err(|e| format!("metrics bind {maddr}: {e}"))?;
+    let bound = server.addr();
+    if !quiet {
+        eprintln!("note: metrics on http://{bound}/metrics");
+    }
+    if let Some(path) = flags.get("metrics-addr-file") {
+        write_addr_file(path, &bound.to_string())?;
+    }
+    Ok(Some(server))
 }
 
 /// The two-phase config for `algo`, if `algo` is a two-phase algorithm (the
@@ -632,6 +701,8 @@ fn dist_coordinator(args: &[String]) -> i32 {
         "max-retries",
         "frame-timeout-ms",
         "listen",
+        "metrics-addr",
+        "metrics-addr-file",
         "kill-worker",
         "kill-at",
         "out",
@@ -702,6 +773,7 @@ fn dist_coordinator(args: &[String]) -> i32 {
         let listener = TcpListener::bind(flags.get("listen").unwrap_or("127.0.0.1:0"))
             .map_err(|e| format!("bind: {e}"))?;
         let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        let _metrics = start_dist_metrics(&flags, quiet)?;
         let initial = workers + standby;
         if !quiet {
             eprintln!(

@@ -18,6 +18,7 @@
 //!               [--state FILE] [--save-state FILE] [--headroom F]
 //! tps lookup    --connect HOST:PORT [--edge S,D] [--replicas V] [--insert S,D]
 //!               [--remove S,D] [--verify-parts DIR] [--stats] [--shutdown]
+//! tps top       HOST:PORT [--interval-ms N] [--samples N] [--once]
 //! tps generate  --dataset ok [--scale 1.0] --out graph.bel
 //! tps convert   --input graph.bel --out graph.bel2 [--to v1|v2] [--chunk-edges N]
 //! tps info      --input graph.bel [--format bel|text] [--reader NAME]
@@ -29,6 +30,7 @@
 mod args;
 mod commands;
 mod serve_cmd;
+mod top_cmd;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -37,6 +39,7 @@ fn main() {
         Some("dist") => commands::dist(&argv[1..]),
         Some("serve") => serve_cmd::serve(&argv[1..]),
         Some("lookup") => serve_cmd::lookup(&argv[1..]),
+        Some("top") => top_cmd::top(&argv[1..]),
         Some("generate") => commands::generate(&argv[1..]),
         Some("convert") => commands::convert(&argv[1..]),
         Some("info") => commands::info(&argv[1..]),

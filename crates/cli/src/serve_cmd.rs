@@ -14,7 +14,7 @@ use tps_graph::types::Edge;
 use tps_serve::{ServeClient, ServeHandle, ServeOptions, ServeState, ServerConfig};
 
 use crate::args::{CommonOpts, Flags};
-use crate::commands::{fail, two_phase_config};
+use crate::commands::{fail, two_phase_config, write_addr_file};
 
 /// `tps serve`
 pub fn serve(args: &[String]) -> i32 {
@@ -25,6 +25,9 @@ pub fn serve(args: &[String]) -> i32 {
             "parts",
             "listen",
             "addr-file",
+            "metrics-addr",
+            "metrics-addr-file",
+            "trace",
             "state",
             "save-state",
             "cache",
@@ -87,11 +90,33 @@ pub fn serve(args: &[String]) -> i32 {
         let addr = listener.local_addr().map_err(|e| e.to_string())?;
         println!("serving {parts} on {addr}");
         if let Some(path) = flags.get("addr-file") {
-            // Written atomically (tmp + rename) so pollers never observe a
-            // partially written address.
-            let tmp = format!("{path}.tmp");
-            std::fs::write(&tmp, format!("{addr}\n")).map_err(|e| format!("{tmp}: {e}"))?;
-            std::fs::rename(&tmp, path).map_err(|e| format!("{path}: {e}"))?;
+            write_addr_file(path, &addr.to_string())?;
+        }
+
+        // The live-metrics endpoint: binds its own socket, scrapes run on
+        // its own thread, the request loop only ever touches histograms.
+        let _metrics = match flags.get("metrics-addr") {
+            Some(maddr) => {
+                let server = tps_serve::start_metrics(maddr, state.clone())
+                    .map_err(|e| format!("metrics bind {maddr}: {e}"))?;
+                let bound = server.addr();
+                println!("metrics on http://{bound}/metrics");
+                if let Some(path) = flags.get("metrics-addr-file") {
+                    write_addr_file(path, &bound.to_string())?;
+                }
+                Some(server)
+            }
+            None => None,
+        };
+
+        let trace_path = flags.get("trace");
+        if trace_path.is_some() {
+            // Start the trace from a clean slate so the file describes this
+            // serving session only. Counters are always on; events need the
+            // switch.
+            tps_obs::reset_events();
+            tps_obs::reset_counters();
+            tps_obs::set_enabled(true);
         }
 
         let cfg = ServerConfig {
@@ -101,6 +126,34 @@ pub fn serve(args: &[String]) -> i32 {
         let handle = ServeHandle::new();
         tps_serve::serve_listener(listener, state.clone(), cfg, &handle)
             .map_err(|e| e.to_string())?;
+
+        if let Some(path) = trace_path {
+            tps_obs::set_enabled(false);
+            let events = tps_obs::take_events();
+            let counters: Vec<(u32, String, u64)> = tps_obs::counters_snapshot()
+                .into_iter()
+                .map(|(n, v)| (0, n, v))
+                .collect();
+            let st = state.read().unwrap_or_else(|e| e.into_inner());
+            let meta = tps_obs::TraceMeta {
+                cmd: "serve".to_string(),
+                algo: common.algorithm.clone(),
+                k: st.k(),
+                alpha: common.alpha,
+                vertices: st.num_vertices(),
+                edges: st.num_edges(),
+            };
+            drop(st);
+            tps_obs::write_trace(Path::new(path), &meta, &events, &counters)
+                .map_err(|e| format!("writing trace {path}: {e}"))?;
+            if !quiet {
+                eprintln!(
+                    "trace: {} events, {} counters -> {path}",
+                    events.len(),
+                    counters.len()
+                );
+            }
+        }
 
         let st = state.read().unwrap_or_else(|e| e.into_inner());
         if let Some(path) = flags.get("save-state") {
@@ -288,6 +341,17 @@ pub fn lookup(args: &[String]) -> i32 {
             println!("lookups: {}", s.lookups);
             println!("updates: {}", s.updates);
             println!("cache: {} hits / {} misses", s.cache_hits, s.cache_misses);
+            println!("uptime: {:.1} s", s.uptime_secs);
+            for (op, l) in [
+                ("lookup", &s.lookup_latency),
+                ("replicas", &s.replicas_latency),
+                ("update", &s.update_latency),
+            ] {
+                println!(
+                    "latency {op}: n={} p50={} p90={} p99={} max={} ns",
+                    l.count, l.p50_ns, l.p90_ns, l.p99_ns, l.max_ns
+                );
+            }
         }
 
         if flags.has("shutdown") {

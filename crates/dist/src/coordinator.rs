@@ -476,6 +476,31 @@ impl Coordinator<'_> {
         self.config.prepartitioning && self.n > 1
     }
 
+    /// Publish this shard's protocol position (and fleet liveness) as
+    /// gauges for the `--metrics-addr` scrape endpoint. Called at stage
+    /// transitions only — barrier cost dwarfs the gauge-map updates.
+    fn publish_progress(&self, s: usize, stage: Stage) {
+        if !tps_obs::metrics_enabled() {
+            return;
+        }
+        let (major, minor) = stage.rank();
+        tps_obs::set_gauge(&format!("dist.shard.{s}.stage"), major as f64);
+        tps_obs::set_gauge(&format!("dist.shard.{s}.stage.step"), minor as f64);
+        tps_obs::set_gauge(
+            &format!("dist.shard.{s}.epoch"),
+            self.states[s].epoch as f64,
+        );
+        tps_obs::set_gauge(
+            &format!("dist.shard.{s}.emitted"),
+            self.states[s].emitted as f64,
+        );
+        let live = self.conns.iter().filter(|c| c.is_some()).count();
+        tps_obs::set_gauge("dist.workers.live", live as f64);
+        tps_obs::set_gauge("dist.workers.idle", self.idle.len() as f64);
+        tps_obs::set_gauge("dist.retries", self.retries as f64);
+        tps_obs::set_gauge("dist.shards", self.n as f64);
+    }
+
     /// Perform `stage` for shard `s`, re-issuing the shard to a replacement
     /// worker on failure until it succeeds or the retry budget is spent.
     fn advance(
@@ -484,6 +509,7 @@ impl Coordinator<'_> {
         stage: Stage,
         sink: &mut dyn AssignmentSink,
     ) -> io::Result<StageOut> {
+        self.publish_progress(s, stage);
         loop {
             let mut t = match self.conns[s].take() {
                 Some(t) => t,
@@ -513,6 +539,9 @@ impl Coordinator<'_> {
     /// Count one worker failure against the retry budget.
     fn note_failure(&mut self, what: &str, e: io::Error) -> io::Result<()> {
         self.retries += 1;
+        if tps_obs::metrics_enabled() {
+            tps_obs::set_gauge("dist.retries", self.retries as f64);
+        }
         if is_timeout(&e) {
             tps_obs::instant_with("dist.fault.timeout", format!("{what}: {e}"));
         }

@@ -1,0 +1,415 @@
+//! Text exposition of live metrics + a tiny std-only scrape endpoint.
+//!
+//! [`render_exposition`] encodes every registered counter, gauge and
+//! histogram as Prometheus-style `name{label="v"} value` lines:
+//!
+//! ```text
+//! tps_counter{name="serve.lookups"} 4096
+//! tps_gauge{name="serve.staleness"} 0.0125
+//! tps_hist_bucket{name="serve.op.lookup.ns",le="2048"} 17
+//! tps_hist_bucket{name="serve.op.lookup.ns",le="+Inf"} 21
+//! tps_hist_count{name="serve.op.lookup.ns"} 21
+//! tps_hist_sum{name="serve.op.lookup.ns"} 31744
+//! tps_hist_max{name="serve.op.lookup.ns"} 9001
+//! tps_hist_quantile{name="serve.op.lookup.ns",q="0.5"} 1448
+//! ```
+//!
+//! Bucket lines are cumulative (`le` = the bucket's exclusive upper bound;
+//! all-zero prefixes are elided) and every histogram also exposes the
+//! p50/p90/p99 the snapshot computes, so scrapers need no bucket math.
+//! [`parse_exposition`] is the matching minimal parser (used by `tps top`,
+//! the e2e tests and the round-trip proptests).
+//!
+//! [`MetricsServer`] is the scrape side: a plain `TcpListener` thread that
+//! answers every HTTP request with the current exposition. All encoding
+//! work happens on the scrape thread — instrumented hot paths only ever pay
+//! the relaxed-atomic cost of the counters/histograms themselves.
+
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::counter::counters_snapshot;
+use crate::gauge::gauges_snapshot;
+use crate::hist::{bucket_bound, hists_snapshot, HistSnapshot, NUM_BUCKETS};
+
+/// Quantiles every histogram exposes as `tps_hist_quantile` lines.
+pub const EXPORT_QUANTILES: [f64; 3] = [0.5, 0.9, 0.99];
+
+fn escape_label(out: &mut String, v: &str) {
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_line(out: &mut String, metric: &str, labels: &[(&str, &str)], value: f64) {
+    out.push_str(metric);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"");
+            escape_label(out, v);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    let _ = writeln!(out, " {value}");
+}
+
+/// Encode one histogram snapshot (cumulative buckets + summary lines).
+pub fn render_hist(out: &mut String, h: &HistSnapshot) {
+    let mut cum = 0u64;
+    for i in 0..NUM_BUCKETS {
+        if h.counts[i] == 0 {
+            continue;
+        }
+        cum += h.counts[i];
+        let le = if i == NUM_BUCKETS - 1 {
+            "+Inf".to_string()
+        } else {
+            bucket_bound(i).to_string()
+        };
+        push_line(
+            out,
+            "tps_hist_bucket",
+            &[("name", &h.name), ("le", &le)],
+            cum as f64,
+        );
+    }
+    let labels = [("name", h.name.as_str())];
+    push_line(out, "tps_hist_count", &labels, h.count() as f64);
+    push_line(out, "tps_hist_sum", &labels, h.sum as f64);
+    push_line(out, "tps_hist_max", &labels, h.max as f64);
+    for q in EXPORT_QUANTILES {
+        let qs = format!("{q}");
+        push_line(
+            out,
+            "tps_hist_quantile",
+            &[("name", &h.name), ("q", &qs)],
+            h.quantile(q) as f64,
+        );
+    }
+}
+
+/// Render the full exposition: every registered counter, gauge and
+/// histogram, in that order, each family sorted by name.
+pub fn render_exposition() -> String {
+    let mut out = String::new();
+    for (name, v) in counters_snapshot() {
+        push_line(&mut out, "tps_counter", &[("name", &name)], v as f64);
+    }
+    for (name, v) in gauges_snapshot() {
+        push_line(&mut out, "tps_gauge", &[("name", &name)], v);
+    }
+    for h in hists_snapshot() {
+        render_hist(&mut out, &h);
+    }
+    out
+}
+
+/// One parsed exposition line: metric, labels in file order, value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name (e.g. `tps_counter`).
+    pub metric: String,
+    /// Labels as `(key, value)` pairs, in exposition order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// Value of the label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse exposition text (the exact dialect [`render_exposition`] emits;
+/// `#`-comment lines are skipped). Errors carry the 1-based line number.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_line(line).map_err(|e| format!("line {}: {e}", idx + 1))?);
+    }
+    Ok(out)
+}
+
+fn parse_line(line: &str) -> Result<Sample, String> {
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+        i += 1;
+    }
+    if i == 0 {
+        return Err("missing metric name".into());
+    }
+    let metric = line[..i].to_string();
+    let mut labels = Vec::new();
+    if bytes.get(i) == Some(&b'{') {
+        i += 1;
+        loop {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let key = line[start..i].to_string();
+            if key.is_empty() {
+                return Err("empty label key".into());
+            }
+            if bytes.get(i) != Some(&b'=') || bytes.get(i + 1) != Some(&b'"') {
+                return Err(format!("label {key:?}: expected ="));
+            }
+            i += 2;
+            let mut value = String::new();
+            loop {
+                match bytes.get(i) {
+                    None => return Err("unterminated label value".into()),
+                    Some(b'"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(b'\\') => {
+                        match bytes.get(i + 1) {
+                            Some(b'\\') => value.push('\\'),
+                            Some(b'"') => value.push('"'),
+                            Some(b'n') => value.push('\n'),
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        i += 2;
+                    }
+                    Some(_) => {
+                        let ch = line[i..].chars().next().unwrap();
+                        value.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+            }
+            labels.push((key, value));
+            match bytes.get(i) {
+                Some(b',') => i += 1,
+                Some(b'}') => {
+                    i += 1;
+                    break;
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    let rest = line[i..].trim();
+    let value: f64 = rest
+        .parse()
+        .map_err(|_| format!("bad sample value {rest:?}"))?;
+    Ok(Sample {
+        metric,
+        labels,
+        value,
+    })
+}
+
+/// A running scrape endpoint: one listener thread, one short-lived HTTP
+/// response per connection, body produced by the `collect` callback.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (resolves `:0` requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener thread and wait for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Bind `addr` and serve metrics scrapes until shutdown or drop.
+///
+/// `collect` runs once per scrape, on the listener thread; use it to
+/// refresh scrape-time gauges before rendering (typically ending in
+/// [`render_exposition`]). Any request line gets a `200 text/plain` reply.
+pub fn serve_metrics<F>(addr: &str, collect: F) -> io::Result<MetricsServer>
+where
+    F: Fn() -> String + Send + 'static,
+{
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stop = Arc::clone(&shutdown);
+    let handle = std::thread::Builder::new()
+        .name("tps-metrics".into())
+        .spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = answer_scrape(stream, &collect);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+        })?;
+    Ok(MetricsServer {
+        addr,
+        shutdown,
+        handle: Some(handle),
+    })
+}
+
+fn answer_scrape<F: Fn() -> String>(mut stream: TcpStream, collect: &F) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    // Read the request head (best effort — any request earns a scrape).
+    let mut buf = [0u8; 1024];
+    let mut head = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = collect();
+    let mut reply = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    reply.push_str(&body);
+    stream.write_all(reply.as_bytes())?;
+    stream.flush()
+}
+
+/// Scrape `addr` once: GET the exposition, strip the HTTP head, return the
+/// body. The client side of [`serve_metrics`], used by `tps top` and tests.
+pub fn scrape(addr: &str) -> io::Result<String> {
+    let target = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, format!("bad addr {addr:?}")))?;
+    let mut stream = TcpStream::connect_timeout(&target, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\nConnection: close\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    match raw.split_once("\r\n\r\n") {
+        Some((head, body)) if head.starts_with("HTTP/") => Ok(body.to_string()),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed scrape response (no HTTP head)",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Hist;
+
+    #[test]
+    fn hist_lines_roundtrip() {
+        let h = HistSnapshot::from_values("t.rt", &[100, 100, 5_000, 70]);
+        let mut text = String::new();
+        render_hist(&mut text, &h);
+        let samples = parse_exposition(&text).unwrap();
+        let count = samples
+            .iter()
+            .find(|s| s.metric == "tps_hist_count")
+            .unwrap();
+        assert_eq!(count.label("name"), Some("t.rt"));
+        assert_eq!(count.value, 4.0);
+        let sum = samples.iter().find(|s| s.metric == "tps_hist_sum").unwrap();
+        assert_eq!(sum.value, 5_270.0);
+        // Bucket lines are cumulative and end at the total.
+        let last_bucket = samples
+            .iter()
+            .rfind(|s| s.metric == "tps_hist_bucket")
+            .unwrap();
+        assert_eq!(last_bucket.value, 4.0);
+        // Quantile lines match the snapshot's own answers.
+        for q in EXPORT_QUANTILES {
+            let line = samples
+                .iter()
+                .find(|s| s.metric == "tps_hist_quantile" && s.label("q") == Some(&format!("{q}")))
+                .unwrap();
+            assert_eq!(line.value, h.quantile(q) as f64);
+        }
+    }
+
+    #[test]
+    fn escaped_labels_roundtrip() {
+        let mut text = String::new();
+        push_line(
+            &mut text,
+            "tps_gauge",
+            &[("name", "weird \"x\\y\"\nz")],
+            1.5,
+        );
+        let samples = parse_exposition(&text).unwrap();
+        assert_eq!(samples[0].label("name"), Some("weird \"x\\y\"\nz"));
+        assert_eq!(samples[0].value, 1.5);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_line_numbers() {
+        let err = parse_exposition("tps_counter{name=\"a\"} 1\nnot a line at all }{").unwrap_err();
+        assert!(err.contains("line 2"), "got: {err}");
+    }
+
+    #[test]
+    fn end_to_end_scrape_over_tcp() {
+        static H: Hist = Hist::new("test.export.scrape.ns");
+        H.record(1_000);
+        let server = serve_metrics("127.0.0.1:0", render_exposition).unwrap();
+        let body = scrape(&server.addr().to_string()).unwrap();
+        let samples = parse_exposition(&body).unwrap();
+        assert!(samples
+            .iter()
+            .any(|s| s.metric == "tps_hist_count"
+                && s.label("name") == Some("test.export.scrape.ns")));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,150 @@
+//! Last-value gauge registry.
+//!
+//! Gauges mirror the [`counter`](crate::counter) registry but hold a
+//! *current value* (an `f64`, so fractional readings like staleness fit)
+//! instead of a monotonic count. Two flavours share one snapshot:
+//!
+//! * `static` [`Gauge`] values with `&'static str` names — one relaxed
+//!   store per [`set`](Gauge::set), safe on hot paths;
+//! * [`set_gauge`] for dynamically named gauges (per-shard state in the
+//!   dist coordinator, scrape-time serve state) — takes a lock, so call it
+//!   off the hot path (barriers, the scrape thread).
+//!
+//! ```
+//! use tps_obs::Gauge;
+//!
+//! static DEPTH: Gauge = Gauge::new("doc.example.queue_depth");
+//! DEPTH.set(17.0);
+//! assert_eq!(DEPTH.get(), 17.0);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A named, process-global last-value gauge (f64 stored as bits).
+///
+/// Construct as a `static` with [`Gauge::new`]; the gauge appears in
+/// [`gauges_snapshot`] after its first [`set`](Gauge::set).
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+    registered: AtomicBool,
+}
+
+static REGISTRY: Mutex<Vec<&'static Gauge>> = Mutex::new(Vec::new());
+static DYNAMIC: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
+
+fn registry() -> std::sync::MutexGuard<'static, Vec<&'static Gauge>> {
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn dynamic() -> std::sync::MutexGuard<'static, BTreeMap<String, f64>> {
+    DYNAMIC.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Gauge {
+    /// A zero gauge with a hierarchical dotted `name`
+    /// (e.g. `"serve.staleness"`). `const`, so usable in `static` items.
+    pub const fn new(name: &'static str) -> Gauge {
+        Gauge {
+            name,
+            bits: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The gauge's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Set the current value (relaxed store; safe from any thread).
+    pub fn set(&'static self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register();
+        }
+    }
+
+    /// Current value (0.0 before the first set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn register(&'static self) {
+        let mut reg = registry();
+        // Double-check under the lock so concurrent first sets register once.
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            reg.push(self);
+        }
+    }
+}
+
+/// Set a dynamically named gauge (created on first set).
+///
+/// Takes the registry lock — meant for barrier/scrape-time state, not hot
+/// paths. A dynamic gauge sharing a static [`Gauge`]'s name overrides it in
+/// [`gauges_snapshot`] (last writer wins, one entry per name).
+pub fn set_gauge(name: &str, v: f64) {
+    dynamic().insert(name.to_string(), v);
+}
+
+/// Snapshot of every gauge, sorted by name, one entry per name.
+///
+/// Static and dynamic gauges are merged; a dynamic value wins a name
+/// collision (it was necessarily set later than the static's registration).
+pub fn gauges_snapshot() -> Vec<(String, f64)> {
+    let mut map: BTreeMap<String, f64> = registry()
+        .iter()
+        .map(|g| (g.name.to_string(), g.get()))
+        .collect();
+    for (name, v) in dynamic().iter() {
+        map.insert(name.clone(), *v);
+    }
+    map.into_iter().collect()
+}
+
+/// Reset: zero every static gauge, drop every dynamic one (test isolation).
+pub fn reset_gauges() {
+    for g in registry().iter() {
+        g.bits.store(0, Ordering::Relaxed);
+    }
+    dynamic().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static G: Gauge = Gauge::new("test.gauge.static");
+
+    #[test]
+    fn set_get_snapshot() {
+        G.set(2.5);
+        assert_eq!(G.get(), 2.5);
+        set_gauge("test.gauge.dyn.0", 7.0);
+        let snap = gauges_snapshot();
+        let names: Vec<&String> = snap.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "snapshot is sorted");
+        assert!(snap
+            .iter()
+            .any(|(n, v)| n == "test.gauge.dyn.0" && *v == 7.0));
+    }
+
+    #[test]
+    fn dynamic_overrides_static_on_collision() {
+        static C: Gauge = Gauge::new("test.gauge.collide");
+        C.set(1.0);
+        set_gauge("test.gauge.collide", 9.0);
+        let snap = gauges_snapshot();
+        let hits: Vec<f64> = snap
+            .iter()
+            .filter(|(n, _)| n == "test.gauge.collide")
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(hits, vec![9.0], "one entry per name, dynamic wins");
+    }
+}

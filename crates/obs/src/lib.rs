@@ -20,17 +20,41 @@
 //!   nesting and per-thread timestamp monotonicity) and renders the phase
 //!   breakdown, top counters, and fault timeline (`tps report`).
 //!
+//! On top of the run-scoped layers sits the **live metrics plane** for
+//! long-running modes (`tps serve`, the dist coordinator):
+//!
+//! * [`hist`] — mergeable log-bucketed latency [`Hist`]ograms: fixed
+//!   √2-spaced buckets, lock-free relaxed-atomic record, exact merge,
+//!   quantiles with bounded relative error.
+//! * [`gauge`] — last-value [`Gauge`]s (static registry mirroring the
+//!   counters, plus dynamically named gauges for per-shard state).
+//! * [`export`] — Prometheus-style text exposition + a std-only scrape
+//!   listener ([`serve_metrics`]) and client ([`scrape`]); all encoding
+//!   happens on the scrape thread.
+//!
 //! [`timer::PhaseTimer`] (the Fig. 5 run-time dissection table) also lives
 //! here now; spans are the single timing source and callers record
 //! `span.end()` durations into the timer for human-readable summaries.
 
 pub mod counter;
+pub mod export;
+pub mod gauge;
+pub mod hist;
 pub mod recorder;
 pub mod report;
 pub mod timer;
 pub mod trace;
 
 pub use counter::{counters_snapshot, reset_counters, Counter};
+pub use export::{
+    parse_exposition, render_exposition, render_hist, scrape, serve_metrics, MetricsServer, Sample,
+    EXPORT_QUANTILES,
+};
+pub use gauge::{gauges_snapshot, reset_gauges, set_gauge, Gauge};
+pub use hist::{
+    bucket_bound, bucket_index, hists_snapshot, metrics_enabled, reset_hists, set_metrics_enabled,
+    Hist, HistSnapshot, MIN_VALUE, NUM_BUCKETS,
+};
 pub use recorder::{
     drain_local, enabled, instant, instant_with, record_remote, record_remote_counters,
     reset_events, set_enabled, span, take_events, take_remote_counters, take_thread_events,

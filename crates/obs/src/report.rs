@@ -140,9 +140,56 @@ fn render_phase_table(out: &mut String, title: &str, rows: &[(String, u64)]) {
     out.push_str(&format!("  {:<width$}  {:>10.3} s\n", "total", secs(total)));
 }
 
+/// Render the chronological timeline of mark events whose name starts with
+/// `prefix`, if any.
+fn render_mark_timeline(out: &mut String, trace: &Trace, prefix: &str, title: &str) {
+    let mut marks: Vec<&TraceEvent> = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::Mark && e.name.starts_with(prefix))
+        .collect();
+    if marks.is_empty() {
+        return;
+    }
+    marks.sort_by_key(|e| e.ns);
+    out.push_str(title);
+    out.push('\n');
+    for e in marks {
+        out.push_str(&format!(
+            "  [+{:>9.3} s] w{} {}{}\n",
+            secs(e.ns),
+            e.worker,
+            e.name,
+            e.detail
+                .as_deref()
+                .map(|d| format!(" — {d}"))
+                .unwrap_or_default()
+        ));
+    }
+}
+
+/// Per-op aggregation of a serving session's request spans (`serve.*`
+/// roots): count, total and mean duration per op, first-appearance order.
+fn serve_op_rows(forest: &[ThreadSpans]) -> Vec<(String, u64, u64)> {
+    let mut rows: Vec<(String, u64, u64)> = Vec::new();
+    for thread in forest {
+        for root in thread.roots.iter().filter(|r| r.name.starts_with("serve.")) {
+            match rows.iter_mut().find(|(n, ..)| *n == root.name) {
+                Some((_, count, total)) => {
+                    *count += 1;
+                    *total += root.duration_ns();
+                }
+                None => rows.push((root.name.clone(), 1, root.duration_ns())),
+            }
+        }
+    }
+    rows
+}
+
 /// Render the human-readable report for a parsed trace: phase breakdown per
-/// worker (plus the across-worker critical path for dist runs), top
-/// counters, and the fault/retry timeline.
+/// worker (plus the across-worker critical path for dist runs), the per-op
+/// breakdown and delta timeline for serve traces, top counters, and the
+/// fault/retry timeline.
 pub fn render_report(trace: &Trace) -> Result<String, String> {
     let mut out = String::new();
     if let Some(meta) = &trace.meta {
@@ -160,10 +207,33 @@ pub fn render_report(trace: &Trace) -> Result<String, String> {
     }
 
     let forest = build_span_forest(&trace.events)?;
+
+    // A serving session's trace: request spans aggregate per op (a serve
+    // daemon has thousands of identical roots across connection threads —
+    // count and mean are the readable view, not one row per request).
+    let serve_ops = serve_op_rows(&forest);
+    if !serve_ops.is_empty() {
+        out.push_str("\nserve ops:\n");
+        let width = serve_ops.iter().map(|(n, ..)| n.len()).max().unwrap_or(5);
+        for (name, count, total) in &serve_ops {
+            out.push_str(&format!(
+                "  {name:<width$}  {count:>9} ops  {:>10.3} s total  {:>9.1} µs mean\n",
+                secs(*total),
+                *total as f64 / *count as f64 / 1e3
+            ));
+        }
+    }
+
     let per_worker = phase_rows(&forest);
     let workers: Vec<u32> = per_worker.keys().copied().collect();
 
     for (worker, rows) in &per_worker {
+        // Serve request spans are already aggregated above.
+        let rows: Vec<(String, u64)> = rows
+            .iter()
+            .filter(|(n, _)| !n.starts_with("serve."))
+            .cloned()
+            .collect();
         if rows.is_empty() {
             continue;
         }
@@ -176,7 +246,7 @@ pub fn render_report(trace: &Trace) -> Result<String, String> {
         } else {
             format!("\nphases (worker w{worker}, shard {}):", worker - 1)
         };
-        render_phase_table(&mut out, &title, rows);
+        render_phase_table(&mut out, &title, &rows);
     }
 
     // Dist runs: the per-phase critical path is the slowest worker in each
@@ -214,28 +284,10 @@ pub fn render_report(trace: &Trace) -> Result<String, String> {
         }
     }
 
-    let faults: Vec<&TraceEvent> = trace
-        .events
-        .iter()
-        .filter(|e| e.kind == EventKind::Mark && e.name.starts_with("dist.fault."))
-        .collect();
-    if !faults.is_empty() {
-        let mut faults = faults;
-        faults.sort_by_key(|e| e.ns);
-        out.push_str("\nfault timeline:\n");
-        for e in faults {
-            out.push_str(&format!(
-                "  [+{:>9.3} s] w{} {}{}\n",
-                secs(e.ns),
-                e.worker,
-                e.name,
-                e.detail
-                    .as_deref()
-                    .map(|d| format!(" — {d}"))
-                    .unwrap_or_default()
-            ));
-        }
-    }
+    render_mark_timeline(&mut out, trace, "dist.fault.", "\nfault timeline:");
+    // The serving session's mutation story: every delta batch and overlay
+    // compaction, in order.
+    render_mark_timeline(&mut out, trace, "serve.", "\ndelta timeline:");
     Ok(out)
 }
 
@@ -333,6 +385,36 @@ mod tests {
         assert!(report.contains("io.v2.chunks_decoded"));
         // critical path for degree is the slower worker: 3ms
         assert!(report.contains("0.003"), "got:\n{report}");
+    }
+
+    #[test]
+    fn serve_trace_renders_per_op_rows_and_delta_timeline() {
+        let mut delta = ev(EventKind::Mark, "serve.delta", 0, 2, 3_500);
+        delta.detail = Some("+2 -1 epoch 1".into());
+        let trace = Trace {
+            events: vec![
+                // Two lookup requests on one connection thread, one update
+                // on another — per-op aggregation, not one row per request.
+                ev(EventKind::Open, "serve.lookup", 0, 1, 0),
+                ev(EventKind::Close, "serve.lookup", 0, 1, 1_000),
+                ev(EventKind::Open, "serve.lookup", 0, 1, 2_000),
+                ev(EventKind::Close, "serve.lookup", 0, 1, 5_000),
+                ev(EventKind::Open, "serve.update", 0, 2, 3_000),
+                delta,
+                ev(EventKind::Close, "serve.update", 0, 2, 4_000),
+            ],
+            ..Trace::default()
+        };
+        let report = render_report(&trace).unwrap();
+        assert!(report.contains("serve ops:"), "got:\n{report}");
+        assert!(report.contains("serve.lookup"), "got:\n{report}");
+        assert!(report.contains("2 ops"), "got:\n{report}");
+        // mean of 1µs and 3µs lookups
+        assert!(report.contains("2.0 µs mean"), "got:\n{report}");
+        assert!(report.contains("delta timeline:"), "got:\n{report}");
+        assert!(report.contains("+2 -1 epoch 1"), "got:\n{report}");
+        // No redundant per-request phase table for the serve spans.
+        assert!(!report.contains("phases:"), "got:\n{report}");
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Property tests for the live-metrics layer.
+//!
+//! Pins the histogram algebra (merge is exact, associative and
+//! commutative), the quantile error bound (any reported quantile is an
+//! upper bound of the true sample within one √2 bucket), registry snapshot
+//! hygiene (sorted, one entry per name), and the exposition dialect
+//! (render → parse is lossless for every name the escaper can produce).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tps_obs::{
+    bucket_bound, counters_snapshot, gauges_snapshot, parse_exposition, render_exposition,
+    render_hist, reset_gauges, set_gauge, Counter, HistSnapshot, EXPORT_QUANTILES, MIN_VALUE,
+    NUM_BUCKETS,
+};
+
+// Gauge/counter registries are process-global; serialise tests that touch them.
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+/// Characters the exposition escaper must round-trip: dotted-name alphabet
+/// plus the three escaped ones (`"`, `\`, `\n`). `\r` stays out — the text
+/// exposition is line-oriented.
+const NAME_CHARS: &[char] = &[
+    'a', 'b', 'z', '0', '9', '.', '_', '/', '-', ' ', '"', '\\', '\n',
+];
+
+/// A label-value string over [`NAME_CHARS`].
+fn gauge_name() -> impl Strategy<Value = String> {
+    vec(0usize..NAME_CHARS.len(), 1..24)
+        .prop_map(|ix| ix.into_iter().map(|i| NAME_CHARS[i]).collect())
+}
+
+/// In-range sample values: at or above the bucket floor, below the last
+/// (unbounded) bucket, so the √2 relative-error bound applies.
+fn in_range_value() -> impl Strategy<Value = u64> {
+    MIN_VALUE..bucket_bound(NUM_BUCKETS - 2)
+}
+
+/// Arbitrary sample values, capped so 64-element sums stay exactly
+/// representable in the exposition's f64 lines (< 2⁵³).
+fn any_value() -> impl Strategy<Value = u64> {
+    0u64..1 << 45
+}
+
+/// A gauge write: name plus a small signed value (built from u32 — the
+/// offline proptest has integer-range strategies only).
+fn gauge_write() -> impl Strategy<Value = (String, f64)> {
+    (gauge_name(), 0u32..2001).prop_map(|(n, v)| (n, f64::from(v) - 1000.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hist_merge_is_exact_associative_and_commutative(
+        a in vec(any_value(), 0..64),
+        b in vec(any_value(), 0..64),
+        c in vec(any_value(), 0..64),
+    ) {
+        let (sa, sb, sc) = (
+            HistSnapshot::from_values("m", &a),
+            HistSnapshot::from_values("m", &b),
+            HistSnapshot::from_values("m", &c),
+        );
+
+        // Merging equals bucketing the concatenation (exactness).
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let concat: Vec<u64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(&ab, &HistSnapshot::from_values("m", &concat));
+
+        // Commutative: a·b == b·a.
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        // Associative: (a·b)·c == a·(b·c).
+        let mut ab_c = ab.clone();
+        ab_c.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn quantiles_respect_the_sqrt2_relative_error_bound(
+        mut values in vec(in_range_value(), 1..128),
+        qi in 0u32..101,
+    ) {
+        let q = f64::from(qi) / 100.0;
+        let s = HistSnapshot::from_values("q", &values);
+        values.sort_unstable();
+
+        // The reported quantile is the upper bound of the bucket holding
+        // the rank-`ceil(q·n)` sample: t ≤ reported ≤ √2·t (+1 for the
+        // integer-floor bucket bounds).
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let t = values[rank - 1];
+        let reported = s.quantile(q);
+        prop_assert!(reported >= t, "reported {} < true sample {}", reported, t);
+        let ceiling = (t as f64 * std::f64::consts::SQRT_2) as u64 + 1;
+        prop_assert!(
+            reported <= ceiling,
+            "reported {} > √2 bound {} for sample {}", reported, ceiling, t
+        );
+
+        // The extremes: p100 reports a value ≥ the exact max, p0 ≥ the min.
+        prop_assert!(s.quantile(1.0) >= *values.last().unwrap());
+        prop_assert!(s.quantile(0.0) >= values[0]);
+    }
+
+    #[test]
+    fn gauge_and_counter_snapshots_are_sorted_and_collision_free(
+        sets in vec(gauge_write(), 0..24),
+    ) {
+        let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        reset_gauges();
+        static TOUCH: Counter = Counter::new("test.props.counter");
+        TOUCH.incr();
+        let mut want: BTreeMap<String, f64> = BTreeMap::new();
+        for (name, v) in &sets {
+            set_gauge(name, *v);
+            want.insert(name.clone(), *v); // last write wins
+        }
+
+        for snap_names in [
+            gauges_snapshot().into_iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            counters_snapshot().into_iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        ] {
+            let mut sorted = snap_names.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(&snap_names, &sorted, "sorted, one entry per name");
+        }
+        let got: BTreeMap<String, f64> = gauges_snapshot().into_iter().collect();
+        for (name, v) in &want {
+            prop_assert_eq!(got.get(name), Some(v), "gauge {:?} lost its last write", name);
+        }
+        reset_gauges();
+    }
+
+    #[test]
+    fn exposition_roundtrips_through_the_parser(
+        values in vec(any_value(), 0..64),
+        gauges in vec(gauge_write(), 0..8),
+    ) {
+        let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+
+        // Histogram lines: cumulative buckets reconstruct the snapshot.
+        let h = HistSnapshot::from_values("props.rt.ns", &values);
+        let mut text = String::new();
+        render_hist(&mut text, &h);
+        let samples = parse_exposition(&text).unwrap();
+        let mut rebuilt = HistSnapshot::empty("props.rt.ns");
+        let mut prev = 0.0f64;
+        for s in samples.iter().filter(|s| s.metric == "tps_hist_bucket") {
+            prop_assert_eq!(s.label("name"), Some("props.rt.ns"));
+            let le = s.label("le").unwrap();
+            let idx = if le == "+Inf" {
+                NUM_BUCKETS - 1
+            } else {
+                (0..NUM_BUCKETS - 1)
+                    .find(|&i| bucket_bound(i).to_string() == le)
+                    .expect("le matches a bucket bound")
+            };
+            rebuilt.counts[idx] = (s.value - prev) as u64;
+            prev = s.value;
+        }
+        let find = |metric: &str| {
+            samples
+                .iter()
+                .find(|s| s.metric == metric && s.label("name") == Some("props.rt.ns"))
+                .map(|s| s.value)
+        };
+        rebuilt.sum = find("tps_hist_sum").unwrap() as u64;
+        rebuilt.max = find("tps_hist_max").unwrap() as u64;
+        prop_assert_eq!(&rebuilt.counts[..], &h.counts[..]);
+        prop_assert_eq!(rebuilt.sum, h.sum);
+        prop_assert_eq!(rebuilt.max, h.max);
+        prop_assert_eq!(find("tps_hist_count").unwrap(), h.count() as f64);
+        for q in EXPORT_QUANTILES {
+            let line = samples
+                .iter()
+                .find(|s| {
+                    s.metric == "tps_hist_quantile" && s.label("q") == Some(&format!("{q}"))
+                })
+                .unwrap();
+            prop_assert_eq!(line.value, h.quantile(q) as f64);
+        }
+
+        // Gauge lines: arbitrary names (escapes included) survive the trip.
+        reset_gauges();
+        let mut want: BTreeMap<String, f64> = BTreeMap::new();
+        for (name, v) in &gauges {
+            set_gauge(name, *v);
+            want.insert(name.clone(), *v);
+        }
+        let parsed = parse_exposition(&render_exposition()).unwrap();
+        for (name, v) in &want {
+            prop_assert!(
+                parsed.iter().any(|s| s.metric == "tps_gauge"
+                    && s.label("name") == Some(name)
+                    && s.value == *v),
+                "gauge {:?} -> {} missing from round-trip", name, v
+            );
+        }
+        reset_gauges();
+    }
+}

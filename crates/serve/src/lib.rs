@@ -27,11 +27,16 @@
 //!   [`Transport`](tps_dist::Transport).
 //! * [`lru`] — [`VertexLru`]: the hand-rolled epoch-validated LRU behind
 //!   the hot-vertex cache.
+//! * [`metrics`] — the live metrics plane: per-op latency/batch-size
+//!   histograms recorded by the request loop, scrape-time state gauges,
+//!   and the `--metrics-addr` endpoint ([`start_metrics`]).
 //!
-//! The CLI front ends live in `tps`: `tps serve` and `tps lookup`.
+//! The CLI front ends live in `tps`: `tps serve`, `tps lookup` and
+//! `tps top` (the scrape dashboard).
 
 pub mod client;
 pub mod lru;
+pub mod metrics;
 pub mod packed;
 pub mod proto;
 pub mod server;
@@ -39,8 +44,9 @@ pub mod state;
 
 pub use client::{ServeClient, UpdateOutcome};
 pub use lru::VertexLru;
+pub use metrics::{metrics_body, start_metrics};
 pub use packed::{edge_key, key_edge, PackedAssignment, NOT_FOUND};
-pub use proto::{ServeMessage, ServeStats, SERVE_PROTOCOL_VERSION};
+pub use proto::{OpLatency, ServeMessage, ServeStats, SERVE_PROTOCOL_VERSION};
 pub use server::{serve_connection, serve_listener, spawn_loopback, ServeHandle, ServerConfig};
 pub use state::{ApplyOutcome, ServeOptions, ServeState};
 
@@ -105,6 +111,17 @@ mod tests {
         assert!(stats.lookups > 0);
         assert_eq!(stats.updates, 2);
         assert!(stats.cache_hits == 0); // folded in at connection end
+
+        // v2 live-metrics fields: sourced from the per-op histograms.
+        assert!(stats.uptime_secs >= 0.0);
+        assert!(
+            stats.lookup_latency.count >= 4,
+            "{:?}",
+            stats.lookup_latency
+        );
+        assert!(stats.lookup_latency.p50_ns > 0);
+        assert!(stats.lookup_latency.p50_ns <= stats.lookup_latency.p99_ns);
+        assert!(stats.update_latency.count >= 1);
 
         client.shutdown().unwrap();
         server.join().unwrap().unwrap();

@@ -1,0 +1,73 @@
+//! The daemon's live metrics plane.
+//!
+//! Per-op request histograms (latency in nanoseconds + batch sizes) are
+//! process-global [`Hist`]s recorded by the request loop — a couple of
+//! relaxed atomic ops per request, nothing else on the hot path. Gauges
+//! that mirror serving *state* (staleness, overlay size, epoch, …) are
+//! refreshed lazily by [`metrics_body`], i.e. entirely on the scrape
+//! thread, so an idle daemon with no scraper pays nothing for them.
+//!
+//! [`start_metrics`] binds `--metrics-addr` and answers every scrape with
+//! the full exposition: these gauges, every registered `tps_obs` counter
+//! (`serve.*`, and `io.*`/`core.*` from the load), and every histogram
+//! with cumulative buckets and p50/p90/p99.
+
+use std::io;
+use std::sync::{Arc, RwLock};
+
+use tps_obs::{render_exposition, serve_metrics, set_gauge, Hist, MetricsServer};
+
+use crate::proto::OpLatency;
+use crate::state::ServeState;
+
+/// Batched-lookup request latency, ns.
+pub static LOOKUP_NS: Hist = Hist::new("serve.op.lookup.ns");
+/// Edges per lookup request.
+pub static LOOKUP_BATCH: Hist = Hist::new("serve.op.lookup.batch");
+/// Replica-set request latency, ns.
+pub static REPLICAS_NS: Hist = Hist::new("serve.op.replicas.ns");
+/// Vertices per replica-set request.
+pub static REPLICAS_BATCH: Hist = Hist::new("serve.op.replicas.batch");
+/// Update-batch request latency (inserts + removes applied atomically), ns.
+pub static UPDATE_NS: Hist = Hist::new("serve.op.update.ns");
+/// Insertions per update request.
+pub static INSERT_BATCH: Hist = Hist::new("serve.op.insert.batch");
+/// Removals per update request.
+pub static REMOVE_BATCH: Hist = Hist::new("serve.op.remove.batch");
+
+/// Summarise one latency histogram for a `StatsReply`.
+pub fn op_latency(h: &Hist) -> OpLatency {
+    let s = h.snapshot();
+    OpLatency {
+        count: s.count(),
+        p50_ns: s.quantile(0.5),
+        p90_ns: s.quantile(0.9),
+        p99_ns: s.quantile(0.99),
+        max_ns: s.max,
+    }
+}
+
+fn refresh_gauges(state: &RwLock<ServeState>) {
+    let st = state.read().unwrap_or_else(|e| e.into_inner());
+    set_gauge("serve.staleness", st.staleness());
+    set_gauge("serve.epoch", st.epoch() as f64);
+    set_gauge("serve.overlay.len", st.overlay_len() as f64);
+    set_gauge("serve.edges.live", st.num_edges() as f64);
+    set_gauge("serve.uptime.secs", st.uptime_secs());
+    let (hits, misses) = st.cache_counts();
+    set_gauge("serve.cache.hits", hits as f64);
+    set_gauge("serve.cache.misses", misses as f64);
+}
+
+/// Refresh the state gauges and render the full text exposition — the
+/// scrape body for this daemon. Runs on the scrape thread.
+pub fn metrics_body(state: &RwLock<ServeState>) -> String {
+    refresh_gauges(state);
+    render_exposition()
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:0`) and serve metrics scrapes for `state`
+/// until the returned server is shut down or dropped.
+pub fn start_metrics(addr: &str, state: Arc<RwLock<ServeState>>) -> io::Result<MetricsServer> {
+    serve_metrics(addr, move || metrics_body(&state))
+}

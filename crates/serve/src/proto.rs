@@ -19,7 +19,7 @@
 //! | 38  | `Update` | client → server | insert batch + remove batch |
 //! | 39  | `UpdateDone` | server → client | per-op partitions, staleness, epoch |
 //! | 40  | `Stats` | client → server | — |
-//! | 41  | `StatsReply` | server → client | sizes, loads, staleness, cache counters |
+//! | 41  | `StatsReply` | server → client | sizes, loads, staleness, cache counters, uptime, per-op latency quantiles |
 //! | 42  | `Shutdown` | client → server | — |
 //! | 43  | `Bye` | server → client | — |
 //! | 44  | `Error` | server → client | message |
@@ -34,7 +34,28 @@ pub use crate::packed::NOT_FOUND;
 
 /// Version of the serving protocol itself (independent of the dist
 /// partitioning protocol's version).
-pub const SERVE_PROTOCOL_VERSION: u32 = 1;
+///
+/// v2 grew [`ServeStats`] with uptime and per-op latency quantiles sourced
+/// from the live histograms; a v1 `StatsReply` decodes to a precise
+/// version-hint error (and the `Hello`/`Welcome` handshake already refuses
+/// mixed-version peers outright).
+pub const SERVE_PROTOCOL_VERSION: u32 = 2;
+
+/// Latency summary for one request kind, from the server's live
+/// log-bucketed histogram (quantiles carry its bounded √2 relative error).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpLatency {
+    /// Requests of this kind answered since start.
+    pub count: u64,
+    /// Median latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 90th-percentile latency, nanoseconds.
+    pub p90_ns: u64,
+    /// 99th-percentile latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Exact maximum latency, nanoseconds.
+    pub max_ns: u64,
+}
 
 /// Server-side statistics snapshot carried by [`ServeMessage::StatsReply`].
 #[derive(Clone, Debug, PartialEq)]
@@ -62,6 +83,14 @@ pub struct ServeStats {
     pub cache_hits: u64,
     /// Replica-set cache misses across all connections.
     pub cache_misses: u64,
+    /// Seconds since the daemon loaded its state (v2).
+    pub uptime_secs: f64,
+    /// Batched-lookup request latency (v2).
+    pub lookup_latency: OpLatency,
+    /// Replica-set request latency (v2).
+    pub replicas_latency: OpLatency,
+    /// Update-batch request latency (v2).
+    pub update_latency: OpLatency,
 }
 
 /// One frame of the serving protocol. See the module table.
@@ -132,6 +161,31 @@ fn put_edges(out: &mut Vec<u8>, edges: &[Edge]) {
         wire::put_u32(out, e.src);
         wire::put_u32(out, e.dst);
     }
+}
+
+fn put_latency(out: &mut Vec<u8>, l: &OpLatency) {
+    wire::put_u64(out, l.count);
+    wire::put_u64(out, l.p50_ns);
+    wire::put_u64(out, l.p90_ns);
+    wire::put_u64(out, l.p99_ns);
+    wire::put_u64(out, l.max_ns);
+}
+
+fn read_latency(r: &mut Reader<'_>, op: &str) -> io::Result<OpLatency> {
+    if r.remaining() == 0 {
+        return Err(corrupt(format!(
+            "stats reply ends before the {op} latency block — the peer \
+             speaks serve protocol v1, this build requires \
+             v{SERVE_PROTOCOL_VERSION}"
+        )));
+    }
+    Ok(OpLatency {
+        count: r.u64()?,
+        p50_ns: r.u64()?,
+        p90_ns: r.u64()?,
+        p99_ns: r.u64()?,
+        max_ns: r.u64()?,
+    })
 }
 
 fn read_edges(r: &mut Reader<'_>) -> io::Result<Vec<Edge>> {
@@ -219,6 +273,10 @@ impl ServeMessage {
                 wire::put_u64(&mut out, s.updates);
                 wire::put_u64(&mut out, s.cache_hits);
                 wire::put_u64(&mut out, s.cache_misses);
+                wire::put_f64(&mut out, s.uptime_secs);
+                put_latency(&mut out, &s.lookup_latency);
+                put_latency(&mut out, &s.replicas_latency);
+                put_latency(&mut out, &s.update_latency);
             }
             ServeMessage::Shutdown => out.push(TAG_SHUTDOWN),
             ServeMessage::Bye => out.push(TAG_BYE),
@@ -276,19 +334,39 @@ impl ServeMessage {
                 epoch: r.u64()?,
             },
             TAG_STATS => ServeMessage::Stats,
-            TAG_STATS_REPLY => ServeMessage::StatsReply(ServeStats {
-                k: r.u32()?,
-                num_vertices: r.u64()?,
-                num_edges: r.u64()?,
-                staleness: r.f64()?,
-                replication_factor: r.f64()?,
-                epoch: r.u64()?,
-                loads: r.vec_u64()?,
-                lookups: r.u64()?,
-                updates: r.u64()?,
-                cache_hits: r.u64()?,
-                cache_misses: r.u64()?,
-            }),
+            TAG_STATS_REPLY => {
+                let mut s = ServeStats {
+                    k: r.u32()?,
+                    num_vertices: r.u64()?,
+                    num_edges: r.u64()?,
+                    staleness: r.f64()?,
+                    replication_factor: r.f64()?,
+                    epoch: r.u64()?,
+                    loads: r.vec_u64()?,
+                    lookups: r.u64()?,
+                    updates: r.u64()?,
+                    cache_hits: r.u64()?,
+                    cache_misses: r.u64()?,
+                    uptime_secs: 0.0,
+                    lookup_latency: OpLatency::default(),
+                    replicas_latency: OpLatency::default(),
+                    update_latency: OpLatency::default(),
+                };
+                // v2 live-metrics tail. A frame from a v1 peer ends right
+                // here; name the missing block instead of a bare EOF.
+                if r.remaining() == 0 {
+                    return Err(corrupt(format!(
+                        "stats reply ends before the uptime field — the peer \
+                         speaks serve protocol v1, this build requires \
+                         v{SERVE_PROTOCOL_VERSION}"
+                    )));
+                }
+                s.uptime_secs = r.f64()?;
+                s.lookup_latency = read_latency(&mut r, "lookup")?;
+                s.replicas_latency = read_latency(&mut r, "replicas")?;
+                s.update_latency = read_latency(&mut r, "update")?;
+                ServeMessage::StatsReply(s)
+            }
             TAG_SHUTDOWN => ServeMessage::Shutdown,
             TAG_BYE => ServeMessage::Bye,
             TAG_ERROR => ServeMessage::Error {
@@ -315,6 +393,38 @@ mod tests {
         let frame = msg.encode();
         assert!(frame[0] >= SERVE_TAG_BASE, "{msg:?} tag below serve base");
         assert_eq!(ServeMessage::decode(&frame).unwrap(), msg);
+    }
+
+    fn sample_stats() -> ServeStats {
+        ServeStats {
+            k: 4,
+            num_vertices: 100,
+            num_edges: 400,
+            staleness: 0.1,
+            replication_factor: 1.7,
+            epoch: 3,
+            loads: vec![100, 100, 100, 100],
+            lookups: 12,
+            updates: 5,
+            cache_hits: 9,
+            cache_misses: 2,
+            uptime_secs: 42.5,
+            lookup_latency: OpLatency {
+                count: 12,
+                p50_ns: 1_000,
+                p90_ns: 2_000,
+                p99_ns: 4_000,
+                max_ns: 9_000,
+            },
+            replicas_latency: OpLatency::default(),
+            update_latency: OpLatency {
+                count: 5,
+                p50_ns: 30_000,
+                p90_ns: 60_000,
+                p99_ns: 90_000,
+                max_ns: 91_000,
+            },
+        }
     }
 
     #[test]
@@ -349,19 +459,7 @@ mod tests {
             epoch: 7,
         });
         roundtrip(ServeMessage::Stats);
-        roundtrip(ServeMessage::StatsReply(ServeStats {
-            k: 4,
-            num_vertices: 100,
-            num_edges: 400,
-            staleness: 0.1,
-            replication_factor: 1.7,
-            epoch: 3,
-            loads: vec![100, 100, 100, 100],
-            lookups: 12,
-            updates: 5,
-            cache_hits: 9,
-            cache_misses: 2,
-        }));
+        roundtrip(ServeMessage::StatsReply(sample_stats()));
         roundtrip(ServeMessage::Shutdown);
         roundtrip(ServeMessage::Bye);
         roundtrip(ServeMessage::Error {
@@ -381,6 +479,24 @@ mod tests {
         let mut frame = ServeMessage::Stats.encode();
         frame.push(0);
         assert!(ServeMessage::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn v1_stats_reply_decodes_to_a_version_hint_not_a_bare_eof() {
+        // A v1 peer's StatsReply stops after cache_misses. Reconstruct one
+        // by truncating a v2 frame at the uptime field.
+        let stats = sample_stats();
+        let frame = ServeMessage::StatsReply(stats).encode();
+        let v2_tail = 8 + 3 * 5 * 8; // uptime f64 + three 5×u64 latency blocks
+        let v1_frame = &frame[..frame.len() - v2_tail];
+        let err = ServeMessage::decode(v1_frame).unwrap_err();
+        assert!(
+            err.to_string().contains("protocol v1"),
+            "want a version hint, got: {err}"
+        );
+        // Truncation *inside* the v2 tail names the half-read block.
+        let err = ServeMessage::decode(&frame[..frame.len() - 8]).unwrap_err();
+        assert!(err.to_string().contains("truncated") || err.to_string().contains("update"));
     }
 
     #[test]

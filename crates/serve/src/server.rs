@@ -17,19 +17,39 @@ use std::io;
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tps_dist::transport::is_timeout;
 use tps_dist::{TcpTransport, Transport};
-use tps_obs::Counter;
+use tps_obs::{metrics_enabled, Counter, Hist};
 
 use crate::lru::VertexLru;
+use crate::metrics::{
+    INSERT_BATCH, LOOKUP_BATCH, LOOKUP_NS, REMOVE_BATCH, REPLICAS_BATCH, REPLICAS_NS, UPDATE_NS,
+};
 use crate::packed::NOT_FOUND;
 use crate::proto::{ServeMessage, SERVE_PROTOCOL_VERSION};
 use crate::state::ServeState;
 
 static SERVE_CONNECTIONS: Counter = Counter::new("serve.connections");
 static SERVE_REQUESTS: Counter = Counter::new("serve.requests");
+
+/// Start timing an op iff histogram recording is on — when it is off (the
+/// `metrics_overhead` bench's baseline) the hot path skips even the clock
+/// reads, so the measured slowdown is the full cost of the instrumentation.
+#[inline]
+fn op_start() -> Option<Instant> {
+    metrics_enabled().then(Instant::now)
+}
+
+/// Finish timing an op: record latency and batch size into its histograms.
+#[inline]
+fn op_done(t0: Option<Instant>, latency: &'static Hist, batch: &'static Hist, n: usize) {
+    if let Some(t0) = t0 {
+        latency.record(t0.elapsed().as_nanos() as u64);
+        batch.record(n as u64);
+    }
+}
 
 /// Knobs for the daemon's request handling.
 #[derive(Clone, Copy, Debug)]
@@ -160,14 +180,20 @@ pub fn serve_connection(
         SERVE_REQUESTS.incr();
         let reply = match ServeMessage::decode(&frame) {
             Ok(ServeMessage::Lookup { edges }) => {
+                let span = tps_obs::enabled().then(|| tps_obs::span("serve.lookup"));
+                let t0 = op_start();
                 let st = read_state(state);
                 let parts = edges
                     .iter()
                     .map(|&e| st.lookup(e).unwrap_or(NOT_FOUND))
                     .collect();
+                drop(span);
+                op_done(t0, &LOOKUP_NS, &LOOKUP_BATCH, edges.len());
                 ServeMessage::Parts { parts }
             }
             Ok(ServeMessage::Replicas { vertices }) => {
+                let span = tps_obs::enabled().then(|| tps_obs::span("serve.replicas"));
+                let t0 = op_start();
                 let st = read_state(state);
                 let epoch = st.epoch();
                 let sets = vertices
@@ -181,15 +207,33 @@ pub fn serve_connection(
                         set
                     })
                     .collect();
+                drop(span);
+                op_done(t0, &REPLICAS_NS, &REPLICAS_BATCH, vertices.len());
                 ServeMessage::ReplicaSets { sets }
             }
             Ok(ServeMessage::Update { inserts, removes }) => {
+                let span = tps_obs::enabled().then(|| tps_obs::span("serve.update"));
+                let t0 = op_start();
                 let mut st = write_state(state);
                 let out = st.apply(&inserts, &removes);
+                let staleness = st.staleness();
+                drop(st);
+                drop(span);
+                if let Some(t0) = t0 {
+                    UPDATE_NS.record(t0.elapsed().as_nanos() as u64);
+                    INSERT_BATCH.record(inserts.len() as u64);
+                    REMOVE_BATCH.record(removes.len() as u64);
+                }
+                if tps_obs::enabled() {
+                    tps_obs::instant_with(
+                        "serve.delta",
+                        format!("+{} -{} epoch {}", inserts.len(), removes.len(), out.epoch),
+                    );
+                }
                 ServeMessage::UpdateDone {
                     inserted: out.inserted,
                     removed: out.removed,
-                    staleness: st.staleness(),
+                    staleness,
                     epoch: out.epoch,
                 }
             }
@@ -214,6 +258,10 @@ pub fn serve_connection(
     };
     let (hits, misses) = cache.stats();
     read_state(state).record_cache(hits, misses);
+    // Flush this connection thread's recorded spans/marks so a later
+    // `--trace` write sees them even though connection threads outlive no
+    // barrier (the ring self-flushes at capacity; this catches the tail).
+    tps_obs::drain_local();
     result
 }
 

@@ -25,6 +25,7 @@ use std::collections::HashMap;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use tps_core::incremental::IncrementalTwoPhase;
 use tps_core::TwoPhaseConfig;
@@ -32,6 +33,7 @@ use tps_graph::types::{Edge, PartitionId, VertexId};
 use tps_io::LoadedPartition;
 use tps_obs::Counter;
 
+use crate::metrics::{op_latency, LOOKUP_NS, REPLICAS_NS, UPDATE_NS};
 use crate::packed::{edge_key, key_edge, PackedAssignment, NOT_FOUND};
 use crate::proto::ServeStats;
 
@@ -85,6 +87,7 @@ pub struct ServeState {
     engine: IncrementalTwoPhase,
     overlay: HashMap<u64, Option<PartitionId>>,
     epoch: u64,
+    started: Instant,
     lookups: AtomicU64,
     updates: AtomicU64,
     cache_hits: AtomicU64,
@@ -164,6 +167,7 @@ impl ServeState {
             engine,
             overlay,
             epoch: 0,
+            started: Instant::now(),
             lookups: AtomicU64::new(0),
             updates: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
@@ -282,6 +286,19 @@ impl ServeState {
         self.overlay.len()
     }
 
+    /// Seconds since this state was assembled (daemon uptime).
+    pub fn uptime_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Folded replica-cache `(hits, misses)` across finished connections.
+    pub fn cache_counts(&self) -> (u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
+    }
+
     /// Drop overlay entries that restate what the packed table already
     /// says (an insert that recreated a loaded assignment, a tombstone
     /// for a key the table never held), restoring the overlay to the
@@ -289,6 +306,7 @@ impl ServeState {
     /// packed table — `O(overlay)` near-sequential accesses — kept off
     /// the per-mutation hot path on purpose (see [`ServeState::apply`]).
     pub fn compact_overlay(&mut self) {
+        let before = self.overlay.len();
         let mut keys: Vec<u64> = self.overlay.keys().copied().collect();
         keys.sort_unstable();
         let probed = self.packed.probe_sorted(&keys);
@@ -302,6 +320,10 @@ impl ServeState {
                 self.overlay.remove(&key);
             }
         }
+        tps_obs::instant_with(
+            "serve.compact",
+            format!("overlay {before} -> {}", self.overlay.len()),
+        );
     }
 
     /// Fold a connection's replica-cache hit/miss counts into the global
@@ -325,6 +347,12 @@ impl ServeState {
             updates: self.updates.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            uptime_secs: self.uptime_secs(),
+            // Quantiles come from the process-global per-op histograms —
+            // exactly what the scrape endpoint exposes.
+            lookup_latency: op_latency(&LOOKUP_NS),
+            replicas_latency: op_latency(&REPLICAS_NS),
+            update_latency: op_latency(&UPDATE_NS),
         }
     }
 
