@@ -147,14 +147,15 @@ fn run() -> Result<bool, String> {
                 Some(Some(Json::Obj(members))) => members
                     .iter()
                     .filter(|(k, _)| {
-                        // Hand-set policy ceilings (peak-RSS headroom,
+                        // Hand-set policy bounds (peak-RSS headroom,
                         // tracing-overhead budgets, serve update-cost
-                        // bounds) survive a refresh of their own section
-                        // too (see the skip below).
+                        // bounds, v2/v1 parity floors) survive a refresh
+                        // of their own section too (see the skip below).
                         k.ends_with(".peak_rss_mb")
                             || k.ends_with(".slowdown")
                             || k.ends_with(".update_ms_per_edge")
                             || k.ends_with(".update_scale_ratio")
+                            || k.ends_with(".ratio")
                             || !sections.iter().any(|s| k.starts_with(&format!("{s}.")))
                     })
                     .filter_map(|(k, v)| v.as_f64().map(|f| (k.clone(), f)))
@@ -167,6 +168,7 @@ fn run() -> Result<bool, String> {
                 || k.ends_with(".slowdown")
                 || k.ends_with(".update_ms_per_edge")
                 || k.ends_with(".update_scale_ratio")
+                || k.ends_with(".ratio")
             {
                 // RF ceilings are deterministic and written as measured;
                 // peak-RSS, tracing-slowdown and serve update-cost
@@ -174,7 +176,9 @@ fn run() -> Result<bool, String> {
                 // their headroom is set by hand (see the baseline
                 // comment). Writing the measured value verbatim would
                 // commit a zero-headroom ceiling that flakes on the next
-                // runner; keep whatever the file holds.
+                // runner; keep whatever the file holds. The `.ratio`
+                // v2-vs-v1 parity floors are policy too — committed at
+                // 1.0, not at whatever this machine happened to measure.
                 skipped_rss += 1;
                 continue;
             }
@@ -185,8 +189,8 @@ fn run() -> Result<bool, String> {
         }
         if skipped_rss > 0 {
             eprintln!(
-                "note: {skipped_rss} hand-set ceilings (*.peak_rss_mb / *.slowdown / \
-                 *.update_ms_per_edge / *.update_scale_ratio) left untouched — \
+                "note: {skipped_rss} hand-set bounds (*.peak_rss_mb / *.slowdown / \
+                 *.update_ms_per_edge / *.update_scale_ratio / *.ratio) left untouched — \
                  set their headroom by hand (see the baseline comment)"
             );
         }

@@ -282,6 +282,18 @@ pub fn extract_metrics(report: &Json) -> BTreeMap<String, f64> {
                 out.insert(format!("io_readers.{format}.{backend}.medges_per_sec"), v);
             }
         }
+        // The v2/v1 epoch-throughput ratios are gated as floors: unlike the
+        // absolute Medges/s numbers they are robust to container-speed
+        // drift, since both sides of each ratio ran interleaved on the same
+        // machine in the same process.
+        for entry in io.get("v2_vs_v1").and_then(Json::as_arr).unwrap_or(&[]) {
+            if let (Some(backend), Some(v)) = (
+                entry.get("backend").and_then(Json::as_str),
+                entry.get("ratio").and_then(Json::as_f64),
+            ) {
+                out.insert(format!("io_readers.v2_vs_v1.{backend}.ratio"), v);
+            }
+        }
     }
     // parallel_scaling and dist_scaling emit the same schema (serial
     // reference + per-worker-count rows); gate both under their own prefix.
@@ -521,6 +533,9 @@ mod tests {
                 "stream_pass": [
                   {"format": "v1", "backend": "mmap", "pass_seconds": 0.1, "medges_per_sec": 40.0},
                   {"format": "v2", "backend": "buffered", "pass_seconds": 0.2, "medges_per_sec": 20.0}
+                ],
+                "v2_vs_v1": [
+                  {"backend": "mmap", "ratio": 1.05, "v1_medges_per_sec": 40.0, "v2_medges_per_sec": 42.0}
                 ]
               },
               "parallel_scaling": {
@@ -544,7 +559,14 @@ mod tests {
         assert_eq!(m["parallel_scaling.t4.medges_per_sec"], 50.0);
         assert_eq!(m["parallel_scaling.t1.rf_vs_serial"], 1.0);
         assert_eq!(m["parallel_scaling.t4.rf_vs_serial"], 1.24);
-        assert_eq!(m.len(), 7);
+        assert_eq!(m["io_readers.v2_vs_v1.mmap.ratio"], 1.05);
+        assert_eq!(m.len(), 8);
+        // The v2/v1 parity ratio is a floor (higher = v2 faster = better);
+        // note the distinct `.update_scale_ratio` suffix stays a ceiling.
+        assert_eq!(
+            direction("io_readers.v2_vs_v1.mmap.ratio"),
+            Direction::Floor
+        );
     }
 
     #[test]

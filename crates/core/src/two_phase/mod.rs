@@ -222,7 +222,9 @@ impl<'a, L: LoadTracker, R: ReplicaSet> EdgeAssigner<'a, L, R> {
     #[inline]
     fn fallback_target(&mut self, edge: Edge) -> PartitionId {
         let (du, dv) = (self.degrees.degree(edge.src), self.degrees.degree(edge.dst));
-        let hv = if du >= dv { edge.src } else { edge.dst };
+        // Endpoint degrees are unpredictable; the index select compiles to a
+        // conditional move instead of a branch.
+        let hv = [edge.src, edge.dst][usize::from(du < dv)];
         let p = seeded_hash_to_partition(hv, self.hash_seed, self.loads.k());
         if !self.loads.is_full(p) {
             self.counters.fallback_hash += 1;

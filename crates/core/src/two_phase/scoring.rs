@@ -52,14 +52,16 @@ pub struct EdgeScoreInputs {
 
 /// The degree-balance term `g` shared by both scores:
 /// `1 + (1 − d_self / (d_u + d_v))` when replicated, else 0.
+///
+/// Branchless: the `replicated` bit comes from the replication matrix and
+/// is data-dependent (close to 50/50 in the assignment loop), so a branch
+/// here mispredicts constantly. The multiply-by-{0.0, 1.0} form keeps the
+/// replicated value bit-identical to the branchy
+/// `1.0 + (1.0 - d_self / d_sum)` expression.
 #[inline]
 fn g_term(replicated: bool, d_self: u64, d_sum: u64) -> f64 {
-    if replicated {
-        debug_assert!(d_sum > 0);
-        1.0 + (1.0 - d_self as f64 / d_sum as f64)
-    } else {
-        0.0
-    }
+    debug_assert!(d_sum > 0, "edge endpoints must have positive degrees");
+    f64::from(replicated) * (1.0 + (1.0 - d_self as f64 / d_sum as f64))
 }
 
 /// The 2PS-L score `s(u, v, p)` for candidate partition `p`. Generic over
@@ -74,15 +76,15 @@ pub fn two_choice_score<R: ReplicaSet>(inputs: &EdgeScoreInputs, p: PartitionId,
         vol_sum > 0.0,
         "clusters of edge endpoints cannot both be empty"
     );
+    // Branchless throughout: each term is gated by a {0.0, 1.0} factor
+    // rather than a data-dependent branch. Adding a gated-out 0.0 term is
+    // exact (all terms are non-negative), so the sum is bit-identical to
+    // the branchy formulation.
     let mut score = 0.0;
     score += g_term(v2p.contains(inputs.u, p), inputs.du, d_sum);
     score += g_term(v2p.contains(inputs.v, p), inputs.dv, d_sum);
-    if inputs.pu == p {
-        score += inputs.vol_cu as f64 / vol_sum;
-    }
-    if inputs.pv == p {
-        score += inputs.vol_cv as f64 / vol_sum;
-    }
+    score += f64::from(inputs.pu == p) * (inputs.vol_cu as f64 / vol_sum);
+    score += f64::from(inputs.pv == p) * (inputs.vol_cv as f64 / vol_sum);
     score
 }
 
@@ -96,11 +98,9 @@ pub fn two_choice_best<R: ReplicaSet>(inputs: &EdgeScoreInputs, v2p: &R) -> Part
     }
     let su = two_choice_score(inputs, inputs.pu, v2p);
     let sv = two_choice_score(inputs, inputs.pv, v2p);
-    if sv > su {
-        inputs.pv
-    } else {
-        inputs.pu
-    }
+    // Which candidate wins is data-dependent and unpredictable; the index
+    // select compiles to a conditional move instead of a branch.
+    [inputs.pu, inputs.pv][usize::from(sv > su)]
 }
 
 /// HDRF scoring parameters.

@@ -1,0 +1,98 @@
+//! Microbenchmark of the v2 decode-path components, for profiling the SWAR
+//! hot path in isolation (the `io_readers` bench times whole reader passes;
+//! this pins down where a pass's nanoseconds actually go).
+//!
+//! Run: `cargo run --release -p tps-io --example decode_micro -- [edges]`
+
+use std::time::Instant;
+
+use tps_graph::types::Edge;
+use tps_io::v2::{decode_chunk_payload, decode_payload, decode_payload_scalar, fnv1a32};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 16);
+    // R-MAT-ish skewed ids, same shape io_readers uses.
+    let edges: Vec<Edge> = (0..n as u32)
+        .map(|i| {
+            let s = (i.wrapping_mul(2654435761)) % 200_000;
+            let d = (i.wrapping_mul(40503)) % 20_000;
+            Edge::new(s, d)
+        })
+        .collect();
+    let mut payload = Vec::new();
+    for e in &edges {
+        tps_io::v2::write_varint(&mut payload, e.src);
+        tps_io::v2::write_varint(&mut payload, e.dst);
+    }
+    let sum = fnv1a32(&payload);
+    println!(
+        "edges {n}, payload {} B ({:.2} B/edge)",
+        payload.len(),
+        payload.len() as f64 / n as f64
+    );
+
+    let reps = (200_000_000 / n).max(1);
+    let mut out: Vec<Edge> = Vec::with_capacity(n);
+
+    let mut time = |label: &str, f: &mut dyn FnMut(&mut Vec<Edge>)| {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Instant::now();
+            for _ in 0..reps {
+                out.clear();
+                f(&mut out);
+            }
+            best = best.min(t.elapsed().as_secs_f64() / reps as f64);
+        }
+        println!(
+            "{label:<28} {:>8.2} ns/edge  ({:.1} Medges/s)",
+            best / n as f64 * 1e9,
+            n as f64 / best / 1e6
+        );
+    };
+
+    time("fnv1a32 only", &mut |_| {
+        std::hint::black_box(fnv1a32(&payload));
+    });
+    time("scalar decode", &mut |out| {
+        decode_payload_scalar(&payload, n as u32, out).unwrap();
+    });
+    time("swar decode", &mut |out| {
+        decode_payload(&payload, n as u32, out).unwrap();
+    });
+    time("fused decode+checksum", &mut |out| {
+        decode_chunk_payload(&payload, n as u32, Some(sum), out).unwrap();
+    });
+    time("fnv then swar (unfused)", &mut |out| {
+        assert_eq!(fnv1a32(&payload), sum);
+        decode_payload(&payload, n as u32, out).unwrap();
+    });
+
+    // Serve + fingerprint: the common per-edge consumer cost every backend
+    // pays in io_readers' stream_fingerprint.
+    decode_payload(&payload, n as u32, &mut out).unwrap();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..reps {
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for e in &out {
+                for b in e.src.to_le_bytes().into_iter().chain(e.dst.to_le_bytes()) {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
+            std::hint::black_box(h);
+        }
+        best = best.min(t.elapsed().as_secs_f64() / reps as f64);
+    }
+    println!(
+        "{:<28} {:>8.2} ns/edge  ({:.1} Medges/s)",
+        "fingerprint consumer",
+        best / n as f64 * 1e9,
+        n as f64 / best / 1e6
+    );
+}

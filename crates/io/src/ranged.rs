@@ -159,6 +159,7 @@ impl RangedV2File {
     {
         check_range(start, end, self.layout.info.num_edges)?;
         let file = File::open(&self.path)?;
+        let verified = vec![false; chunks.as_ref().len()];
         let mut stream = V2RangeStream {
             reader: BufReader::with_capacity(1 << 16, file),
             chunks,
@@ -170,6 +171,7 @@ impl RangedV2File {
             scratch: Vec::new(),
             buf: Vec::new(),
             buf_pos: 0,
+            verified,
         };
         stream.rewind()?;
         Ok(stream)
@@ -208,6 +210,9 @@ struct V2RangeStream<C, U> {
     scratch: Vec<u8>,
     buf: Vec<Edge>,
     buf_pos: usize,
+    /// Chunks whose checksum this cursor already verified — multi-pass
+    /// workers (`reset` + re-stream) decode proven chunks checksum-free.
+    verified: Vec<bool>,
 }
 
 impl<C: AsRef<[ChunkMeta]>, U: AsRef<[u64]>> V2RangeStream<C, U> {
@@ -241,10 +246,12 @@ impl<C: AsRef<[ChunkMeta]>, U: AsRef<[u64]>> V2RangeStream<C, U> {
         let meta = self.chunks.as_ref()[self.next_chunk];
         self.buf.clear();
         self.buf_pos = 0;
+        let verify = !self.verified[self.next_chunk];
         let mut buf = std::mem::take(&mut self.buf);
-        let r = read_chunk_at(&mut self.reader, meta, &mut self.scratch, &mut buf);
+        let r = read_chunk_at(&mut self.reader, meta, verify, &mut self.scratch, &mut buf);
         self.buf = buf;
         r?;
+        self.verified[self.next_chunk] = true;
         self.next_chunk += 1;
         Ok(())
     }
@@ -427,6 +434,7 @@ impl RangedEdgeSource for RangedMmapV2File {
             emitted: 0,
             buf: Vec::new(),
             buf_pos: 0,
+            verified: vec![false; self.layout.chunks.len()],
         };
         stream.rewind()?;
         Ok(Box::new(stream))
@@ -445,6 +453,9 @@ struct MmapV2RangeStream<'a> {
     emitted: u64,
     buf: Vec<Edge>,
     buf_pos: usize,
+    /// Chunks whose checksum this cursor already verified (see
+    /// [`V2RangeStream::verified`]).
+    verified: Vec<bool>,
 }
 
 impl MmapV2RangeStream<'_> {
@@ -468,7 +479,14 @@ impl MmapV2RangeStream<'_> {
     fn decode_next_chunk(&mut self) -> io::Result<()> {
         self.buf.clear();
         self.buf_pos = 0;
-        crate::v2::decode_chunk_slice(self.bytes, self.chunks[self.next_chunk], &mut self.buf)?;
+        let verify = !self.verified[self.next_chunk];
+        crate::v2::decode_chunk_slice(
+            self.bytes,
+            self.chunks[self.next_chunk],
+            verify,
+            &mut self.buf,
+        )?;
+        self.verified[self.next_chunk] = true;
         self.next_chunk += 1;
         Ok(())
     }

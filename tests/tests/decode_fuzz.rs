@@ -1,0 +1,290 @@
+//! Differential fuzzing of the SWAR bulk decoder against the checked
+//! scalar reference.
+//!
+//! The v2 hot path ([`tps_io::v2::decode_payload`] and the fused
+//! [`tps_io::v2::decode_chunk_payload`]) decodes varint pairs with
+//! unaligned 8-byte loads and branchless bit extraction; its contract is
+//! that it is **observationally identical** to the byte-at-a-time
+//! reference [`tps_io::v2::decode_payload_scalar`] — the same edges on
+//! success, and on malformed input the same `io::ErrorKind` *and* the same
+//! error message, with the same partially decoded prefix left in the
+//! output buffer. This suite pins that contract over adversarial inputs:
+//!
+//! * well-formed payloads (round-trip through the bulk encoder),
+//! * truncated payloads (cut mid-varint at arbitrary offsets),
+//! * overlong varints (continuation bits past the 5-byte limit),
+//! * 5-byte varints overflowing u32,
+//! * arbitrary byte soup with an arbitrary claimed edge count,
+//! * checksum verification fused into the decode (valid and corrupted).
+//!
+//! Case counts scale with proptest's `PROPTEST_CASES` env var (the
+//! `decode-fuzz` CI job runs the defaults; nightly sets `PROPTEST_CASES`
+//! to 10× — same generators, deeper soak); `PROPTEST_SEED` pins the RNG so
+//! a failing run replays exactly, and failure-seed files land in
+//! `PROPTEST_FAILURE_DIR` for upload as artifacts.
+
+use proptest::prelude::*;
+use tps_graph::types::Edge;
+use tps_io::v2::{
+    decode_chunk_payload, decode_payload, decode_payload_scalar, encode_payload, fnv1a32,
+    write_varint,
+};
+
+/// Reference encode: one [`write_varint`] per endpoint, the layout the
+/// format doc specifies. The bulk `encode_payload` is pinned bit-identical
+/// to this.
+fn encode_scalar(edges: &[Edge]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for e in edges {
+        write_varint(&mut out, e.src);
+        write_varint(&mut out, e.dst);
+    }
+    out
+}
+
+/// Outcome of a decode, normalised for comparison: the decoded prefix plus
+/// the error kind/message (if any).
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    edges: Vec<Edge>,
+    err: Option<(std::io::ErrorKind, String)>,
+}
+
+fn run_scalar(payload: &[u8], count: u32) -> Outcome {
+    let mut edges = Vec::new();
+    let err = decode_payload_scalar(payload, count, &mut edges)
+        .err()
+        .map(|e| (e.kind(), e.to_string()));
+    Outcome { edges, err }
+}
+
+fn run_swar(payload: &[u8], count: u32) -> Outcome {
+    let mut edges = Vec::new();
+    let err = decode_payload(payload, count, &mut edges)
+        .err()
+        .map(|e| (e.kind(), e.to_string()));
+    Outcome { edges, err }
+}
+
+/// Fused checksum+decode.
+fn run_fused(payload: &[u8], count: u32, checksum: u32) -> Outcome {
+    let mut edges = Vec::new();
+    let err = decode_chunk_payload(payload, count, Some(checksum), &mut edges)
+        .err()
+        .map(|e| (e.kind(), e.to_string()));
+    Outcome { edges, err }
+}
+
+/// The reference for the fused path: verify the checksum over the whole
+/// payload first, then decode with the scalar reference.
+fn run_verify_then_scalar(payload: &[u8], count: u32, checksum: u32) -> Outcome {
+    if fnv1a32(payload) != checksum {
+        return Outcome {
+            edges: Vec::new(),
+            err: Some((
+                std::io::ErrorKind::InvalidData,
+                "chunk checksum mismatch (corrupt payload)".to_string(),
+            )),
+        };
+    }
+    run_scalar(payload, count)
+}
+
+/// Endpoint ids stratified over the five varint length classes so every
+/// encoded width (1–5 bytes) appears often, not just the short ones a
+/// uniform u32 draw would favour.
+fn endpoint_strategy() -> impl Strategy<Value = u32> {
+    (0u32..5, 0u64..u64::MAX).prop_map(|(class, raw)| {
+        let (lo, hi) = match class {
+            0 => (0u64, 0x80),
+            1 => (0x80, 0x4000),
+            2 => (0x4000, 0x20_0000),
+            3 => (0x20_0000, 0x1000_0000),
+            _ => (0x1000_0000, 1 << 32),
+        };
+        (lo + raw % (hi - lo)) as u32
+    })
+}
+
+/// Random edges over stratified endpoints.
+fn edge_strategy() -> impl Strategy<Value = Edge> {
+    (endpoint_strategy(), endpoint_strategy()).prop_map(|(src, dst)| Edge { src, dst })
+}
+
+/// Arbitrary bytes (the shim has no `any::<u8>()`).
+fn byte_strategy() -> impl Strategy<Value = u8> {
+    (0u64..256).prop_map(|b| b as u8)
+}
+
+/// Bytes with the continuation bit set — varints that never terminate.
+fn cont_byte_strategy() -> impl Strategy<Value = u8> {
+    (0u64..128).prop_map(|b| 0x80 | b as u8)
+}
+
+proptest! {
+    /// Well-formed payloads: SWAR decodes the exact edge list, and the
+    /// bulk encoder emits bit-identical bytes to the per-varint reference.
+    #[test]
+    fn well_formed_payloads_round_trip(edges in proptest::collection::vec(edge_strategy(), 0..300)) {
+        let reference = encode_scalar(&edges);
+        let mut bulk = Vec::new();
+        encode_payload(&edges, &mut bulk);
+        prop_assert_eq!(&bulk, &reference, "bulk encoder diverged from write_varint");
+
+        let count = edges.len() as u32;
+        let scalar = run_scalar(&reference, count);
+        let swar = run_swar(&reference, count);
+        prop_assert_eq!(&scalar, &swar);
+        prop_assert!(scalar.err.is_none(), "clean payload decoded with error");
+        prop_assert_eq!(scalar.edges, edges);
+    }
+
+    /// Truncation at an arbitrary cut point must produce the identical
+    /// "truncated varint" / "trailing bytes" error (and identical decoded
+    /// prefix) from both decoders.
+    #[test]
+    fn truncated_payloads_agree(
+        edges in proptest::collection::vec(edge_strategy(), 1..120),
+        cut_raw in 0usize..1 << 20,
+    ) {
+        let full = encode_scalar(&edges);
+        let cut = cut_raw % full.len(); // strict prefix: always truncated
+        let payload = &full[..cut];
+        let count = edges.len() as u32;
+        prop_assert_eq!(run_scalar(payload, count), run_swar(payload, count));
+    }
+
+    /// Overlong varints: runs of continuation bytes (bit 7 set) exceeding
+    /// the 5-byte limit. Both decoders must report the same error.
+    #[test]
+    fn overlong_varints_agree(
+        prefix in proptest::collection::vec(edge_strategy(), 0..40),
+        run in proptest::collection::vec(cont_byte_strategy(), 5..14),
+        filler in proptest::collection::vec(byte_strategy(), 0..8),
+        count_extra in 1u32..4,
+    ) {
+        let mut payload = encode_scalar(&prefix);
+        payload.extend(&run);
+        payload.extend(&filler);
+        let count = prefix.len() as u32 + count_extra;
+        prop_assert_eq!(run_scalar(&payload, count), run_swar(&payload, count));
+    }
+
+    /// 5-byte varints whose final byte overflows u32 (> 0x0F): the SWAR
+    /// path must reject them exactly like the scalar "varint overflows
+    /// u32" check rather than silently truncating high bits.
+    #[test]
+    fn overflowing_varints_agree(
+        prefix in proptest::collection::vec(edge_strategy(), 0..40),
+        high_raw in 0u32..0x70,
+        tail in proptest::collection::vec(byte_strategy(), 0..12),
+        count_extra in 1u32..4,
+    ) {
+        let mut payload = encode_scalar(&prefix);
+        payload.extend([0x80, 0x80, 0x80, 0x80, 0x10 + high_raw as u8]);
+        payload.extend(&tail);
+        let count = prefix.len() as u32 + count_extra;
+        prop_assert_eq!(run_scalar(&payload, count), run_swar(&payload, count));
+    }
+
+    /// Arbitrary byte soup with an arbitrary claimed count: whatever the
+    /// scalar reference does — succeed, truncate, overflow, or complain
+    /// about trailing bytes — the SWAR path does identically.
+    #[test]
+    fn random_bytes_agree(
+        payload in proptest::collection::vec(byte_strategy(), 0..600),
+        count in 0u32..200,
+    ) {
+        prop_assert_eq!(run_scalar(&payload, count), run_swar(&payload, count));
+    }
+
+    /// Fused checksum+decode vs verify-then-decode: with the correct
+    /// checksum both succeed identically; with a corrupted payload byte
+    /// the mismatch error wins over any decode error, exactly as in the
+    /// two-pass sequence. On a checksum mismatch only the error is part of
+    /// the contract — the fused path has already decoded into `out` by the
+    /// time the mismatch surfaces (every caller truncates on error), so
+    /// the buffers are compared only on the paths where decode errors
+    /// decide the outcome.
+    #[test]
+    fn fused_checksum_matches_two_pass(
+        payload in proptest::collection::vec(byte_strategy(), 0..400),
+        count in 0u32..120,
+        (idx_raw, xor) in (0usize..1 << 20, 0u64..256),
+    ) {
+        let sum = fnv1a32(&payload);
+        let mut payload = payload;
+        // xor == 0 (or an empty payload) leaves it intact: the valid-sum case.
+        if !payload.is_empty() && xor != 0 {
+            let i = idx_raw % payload.len();
+            payload[i] ^= xor as u8;
+        }
+        let fused = run_fused(&payload, count, sum);
+        let reference = run_verify_then_scalar(&payload, count, sum);
+        prop_assert_eq!(&fused.err, &reference.err);
+        let mismatch = fused
+            .err
+            .as_ref()
+            .is_some_and(|(_, m)| m.contains("checksum mismatch"));
+        if !mismatch {
+            prop_assert_eq!(fused.edges, reference.edges);
+        }
+    }
+}
+
+/// Deterministic regression seeds: pair layouts that sit exactly on the
+/// SWAR fast-path boundaries (the 8-byte single-load limit, the 16-byte
+/// slack window, and the scalar tail hand-off).
+#[test]
+fn boundary_pairs_agree() {
+    let boundary_values = [
+        0u32,
+        0x7F,
+        0x80,
+        0x3FFF,
+        0x4000,
+        0x1F_FFFF,
+        0x20_0000,
+        0x0FFF_FFFF,
+        0x1000_0000,
+        u32::MAX,
+    ];
+    for &src in &boundary_values {
+        for &dst in &boundary_values {
+            // A lone pair (decoded entirely by the scalar tail), and the
+            // same pair behind enough padding edges to engage the SWAR
+            // loop with the pair at every distance from the slack window.
+            for pad in 0..4 {
+                let mut edges = vec![Edge { src: 1, dst: 1 }; pad];
+                edges.push(Edge { src, dst });
+                let payload = encode_scalar(&edges);
+                let count = edges.len() as u32;
+                let scalar = run_scalar(&payload, count);
+                let swar = run_swar(&payload, count);
+                assert_eq!(scalar, swar, "src={src:#x} dst={dst:#x} pad={pad}");
+                assert!(scalar.err.is_none());
+                assert_eq!(scalar.edges, edges);
+            }
+        }
+    }
+}
+
+/// The scalar error messages, verbatim — the strings the SWAR fallback
+/// must reproduce (a rename here is a format-contract change).
+#[test]
+fn error_messages_are_pinned() {
+    // Truncated: a continuation byte at the very end.
+    let err = run_swar(&[0x80], 1).err.unwrap();
+    assert_eq!(err.0, std::io::ErrorKind::InvalidData);
+    assert_eq!(err.1, "truncated varint in chunk payload");
+
+    // Overflow: 5th byte carries bits 32+.
+    let err = run_swar(&[0x80, 0x80, 0x80, 0x80, 0x10, 0x00], 1)
+        .err
+        .unwrap();
+    assert_eq!(err.1, "varint overflows u32");
+
+    // Trailing bytes after the claimed count.
+    let err = run_swar(&[0x01, 0x02, 0x03], 1).err.unwrap();
+    assert_eq!(err.1, "chunk payload has 1 trailing bytes after 1 edges");
+}
