@@ -24,6 +24,14 @@
 //! budget) so the `O(|E|)` replay buffers do not mask the matrix term —
 //! the same `--spill-budget-mb` mechanism the CLI exposes.
 //!
+//! A second, vertex-heavy graph (mean degree 2, small k) drives the
+//! **out-of-core pair**: `oc_unpaged` runs the plain serial job, `oc_paged`
+//! the identical job under `--mem-budget-mb` (cluster state paged through
+//! `tps-io`'s on-disk page store). Their gated ceilings are committed far
+//! apart, so the gate fails if paging silently stops evicting. Output is
+//! bit-identical between the two by construction (see
+//! `tests/tests/out_of_core.rs`).
+//!
 //! Run: `cargo run --release -p tps-bench --bin mem_peak -- [--quick]`
 //! (`--mode NAME --input FILE` is the internal child-process entry point.)
 
@@ -44,7 +52,22 @@ static ALLOC: tps_metrics::alloc::CountingAllocator = tps_metrics::alloc::Counti
 /// The measured modes, in report order.
 const MODES: [&str; 4] = ["serial", "t4", "t8", "dist2"];
 
+/// The out-of-core modes: same serial pipeline over a second, vertex-heavy
+/// graph, with and without a `--mem-budget-mb` budget. Gated as a pair —
+/// `oc_paged`'s ceiling sits well below `oc_unpaged`'s measured peak, so a
+/// paging regression (cluster state silently resident again) fails the
+/// gate rather than just burning memory.
+const OC_MODES: [&str; 2] = ["oc_unpaged", "oc_paged"];
+
 const DEFAULT_K: u32 = 4096;
+/// k for the out-of-core pair: small, so `O(|V|)` cluster state — the term
+/// the paged table exists to bound — dominates the child's heap instead of
+/// the `O(|V|·k)` replication matrix.
+const OC_K: u32 = 8;
+/// `--mem-budget-mb` for `oc_paged`. The OC graph's cluster state is an
+/// order of magnitude bigger (the ≥10× regime the ISSUE gates), so the
+/// budget only holds if pages actually evict.
+const OC_BUDGET_MB: u64 = 2;
 const SPILL_BUDGET_BYTES: u64 = 4 << 20;
 const SEED: u64 = 0xA11C;
 
@@ -82,6 +105,17 @@ fn dims(quick: bool) -> (u64, u64) {
         (400_000, 3_200_000)
     } else {
         (800_000, 6_400_000)
+    }
+}
+
+/// Out-of-core graph dimensions: vertex-heavy (mean degree 2), so the
+/// `O(|V|)` cluster table is the dominant heap term and is ≥10× the
+/// [`OC_BUDGET_MB`] budget.
+fn oc_dims(quick: bool) -> (u64, u64) {
+    if quick {
+        (1_000_000, 2_000_000)
+    } else {
+        (1_500_000, 3_000_000)
     }
 }
 
@@ -153,13 +187,43 @@ fn run_parent(quick: bool, k: u32) {
         )
         .expect("write v1 edge file");
     }
+    let (oc_vertices, oc_edges) = oc_dims(quick);
+    let oc_input = dir.join("oc.bel");
+    {
+        // Lower mixing than the replication bench: inter-community edges
+        // are the only non-local page accesses left after the sort below,
+        // so µ directly sets the paging fault rate.
+        let oc_config = PlantedConfig {
+            mixing: 0.01,
+            ..bench_config(oc_vertices, oc_edges)
+        };
+        let graph = planted::generate(&oc_config, SEED ^ 1);
+        // Endpoint-sort before writing: out-of-core paging needs stream
+        // locality, and the generator's shuffled community order would make
+        // every edge fault a cold page (the standard preprocessing step for
+        // any bounded-memory streaming pass; see docs/OPERATIONS.md). Both
+        // oc rows stream this same sorted file, so the comparison is fair
+        // and the pair stays bit-identical.
+        let mut edges = graph.edges().to_vec();
+        edges.sort_by_key(|e| (e.src.min(e.dst), e.src.max(e.dst)));
+        tps_graph::formats::binary::write_binary_edge_list(
+            &oc_input,
+            graph.num_vertices(),
+            edges.iter().copied(),
+        )
+        .expect("write out-of-core v1 edge file");
+    }
     let mut rows = Vec::new();
-    for mode in MODES {
+    let children = MODES
+        .iter()
+        .map(|m| (*m, &input, k))
+        .chain(OC_MODES.iter().map(|m| (*m, &oc_input, OC_K)));
+    for (mode, input, k) in children {
         let out = std::process::Command::new(&exe)
             .arg("--mode")
             .arg(mode)
             .arg("--input")
-            .arg(&input)
+            .arg(input)
             .arg("--k")
             .arg(k.to_string())
             .output()
@@ -179,6 +243,9 @@ fn run_parent(quick: bool, k: u32) {
     }
     println!("{{");
     println!("  \"graph\": {{\"vertices\": {vertices}, \"edges\": {edges}, \"k\": {k}}},");
+    println!(
+        "  \"oc_graph\": {{\"vertices\": {oc_vertices}, \"edges\": {oc_edges}, \"k\": {OC_K}, \"mem_budget_mb\": {OC_BUDGET_MB}}},"
+    );
     println!(
         "  \"spill_budget_mb\": {},",
         SPILL_BUDGET_BYTES as f64 / (1 << 20) as f64
@@ -219,7 +286,26 @@ fn run_child(mode: &str, input: &str, k: u32) {
         "dist2" => {
             run_dist_local(&*source, &config, &params, 2, &mut sink).expect("dist-local partition");
         }
-        other => die(&format!("unknown mode {other:?} (serial|t4|t8|dist2)")),
+        // The out-of-core pair runs the whole serial job through the
+        // JobSpec front door (the same path `tps partition --mem-budget-mb`
+        // takes), differing only in the budget — so the RSS delta between
+        // the two rows is exactly what cluster paging buys.
+        "oc_unpaged" | "oc_paged" => {
+            drop(source);
+            let mut spec = tps_core::job::JobSpec::path(input)
+                .k(k)
+                .alpha(BALANCE_ALPHA)
+                .threads(tps_core::job::ThreadMode::Serial)
+                .two_phase(config)
+                .extra_sink(&mut sink);
+            if mode == "oc_paged" {
+                spec = spec.mem_budget_mb(OC_BUDGET_MB);
+            }
+            tps_io::run_job(spec).expect("out-of-core partition");
+        }
+        other => die(&format!(
+            "unknown mode {other:?} (serial|t4|t8|dist2|oc_unpaged|oc_paged)"
+        )),
     }
     let seconds = start.elapsed().as_secs_f64();
     let heap_peak_mb = tps_metrics::alloc::peak_bytes() as f64 / (1 << 20) as f64;

@@ -16,6 +16,7 @@
 //!           --baseline bench/baselines/ci.json --out BENCH_ci.json
 //! perf_gate --dist dist.json --baseline bench/baselines/ci.json   # dist-smoke job
 //! perf_gate --mem mem_peak.json --baseline bench/baselines/ci.json # mem-smoke job
+//! perf_gate --scale scale_up.json --baseline bench/baselines/ci.json # scale-smoke job
 //!
 //! # refresh the baseline (derated so other machines' jitter doesn't trip
 //! # the 25% gate — the committed floor is derate × measured):
@@ -40,6 +41,7 @@ struct Args {
     dist: Option<String>,
     mem: Option<String>,
     serve: Option<String>,
+    scale: Option<String>,
     baseline: Option<String>,
     out: Option<String>,
     write_baseline: Option<String>,
@@ -54,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
         dist: None,
         mem: None,
         serve: None,
+        scale: None,
         baseline: None,
         out: None,
         write_baseline: None,
@@ -69,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
             "--dist" => args.dist = Some(value("dist")?),
             "--mem" => args.mem = Some(value("mem")?),
             "--serve" => args.serve = Some(value("serve")?),
+            "--scale" => args.scale = Some(value("scale")?),
             "--baseline" => args.baseline = Some(value("baseline")?),
             "--out" => args.out = Some(value("out")?),
             "--write-baseline" => args.write_baseline = Some(value("write-baseline")?),
@@ -90,8 +94,11 @@ fn parse_args() -> Result<Args, String> {
         && args.dist.is_none()
         && args.mem.is_none()
         && args.serve.is_none()
+        && args.scale.is_none()
     {
-        return Err("need at least one of --io / --scaling / --dist / --mem / --serve".into());
+        return Err(
+            "need at least one of --io / --scaling / --dist / --mem / --serve / --scale".into(),
+        );
     }
     if args.baseline.is_none() && args.write_baseline.is_none() {
         return Err("need --baseline (gate mode) or --write-baseline".into());
@@ -124,6 +131,9 @@ fn run() -> Result<bool, String> {
     if let Some(p) = &args.serve {
         members.push(("serve_scaling".to_string(), load_json(p)?));
     }
+    if let Some(p) = &args.scale {
+        members.push(("scale_up".to_string(), load_json(p)?));
+    }
     let sections: Vec<String> = members.iter().map(|(k, _)| k.clone()).collect();
     let merged = Json::Obj(members);
     let current = extract_metrics(&merged);
@@ -155,6 +165,7 @@ fn run() -> Result<bool, String> {
                             || k.ends_with(".slowdown")
                             || k.ends_with(".update_ms_per_edge")
                             || k.ends_with(".update_scale_ratio")
+                            || k.ends_with(".growth_ratio")
                             || k.ends_with(".ratio")
                             || !sections.iter().any(|s| k.starts_with(&format!("{s}.")))
                     })
@@ -168,6 +179,7 @@ fn run() -> Result<bool, String> {
                 || k.ends_with(".slowdown")
                 || k.ends_with(".update_ms_per_edge")
                 || k.ends_with(".update_scale_ratio")
+                || k.ends_with(".growth_ratio")
                 || k.ends_with(".ratio")
             {
                 // RF ceilings are deterministic and written as measured;
@@ -190,8 +202,8 @@ fn run() -> Result<bool, String> {
         if skipped_rss > 0 {
             eprintln!(
                 "note: {skipped_rss} hand-set bounds (*.peak_rss_mb / *.slowdown / \
-                 *.update_ms_per_edge / *.update_scale_ratio / *.ratio) left untouched — \
-                 set their headroom by hand (see the baseline comment)"
+                 *.update_ms_per_edge / *.update_scale_ratio / *.growth_ratio / *.ratio) \
+                 left untouched — set their headroom by hand (see the baseline comment)"
             );
         }
         let floors = Json::Obj(

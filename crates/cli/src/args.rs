@@ -82,6 +82,7 @@ pub const COMMON_VALUED: &[&str] = &[
     "reader",
     "threads",
     "spill-budget-mb",
+    "mem-budget-mb",
     "format",
 ];
 
@@ -102,6 +103,9 @@ pub struct CommonOpts {
     pub threads: ThreadMode,
     /// `--spill-budget-mb` memory bound (default 0 = unbounded).
     pub spill_budget_mb: u64,
+    /// `--mem-budget-mb` whole-job memory budget (default 0 = unbudgeted),
+    /// split deterministically across cluster pages / decode cache / spill.
+    pub mem_budget_mb: u64,
     /// `--format` input-format override (default: by file extension).
     pub format: Option<String>,
 }
@@ -124,6 +128,7 @@ impl CommonOpts {
             reader,
             threads,
             spill_budget_mb: flags.get_or("spill-budget-mb", 0)?,
+            mem_budget_mb: flags.get_or("mem-budget-mb", 0)?,
             format: flags.get("format").map(String::from),
         })
     }
@@ -195,6 +200,7 @@ mod tests {
         assert_eq!(c.reader, ReaderKind::Buffered);
         assert_eq!(c.threads, ThreadMode::Auto);
         assert_eq!(c.spill_budget_mb, 0);
+        assert_eq!(c.mem_budget_mb, 0);
         assert_eq!(c.format, None);
 
         let f = Flags::parse(
@@ -211,6 +217,8 @@ mod tests {
                 "2ps-hdrf",
                 "--spill-budget-mb",
                 "64",
+                "--mem-budget-mb",
+                "256",
                 "--format",
                 "text",
             ]),
@@ -225,6 +233,7 @@ mod tests {
         assert_eq!(c.passes, 3);
         assert_eq!(c.algorithm, "2ps-hdrf");
         assert_eq!(c.spill_budget_mb, 64);
+        assert_eq!(c.mem_budget_mb, 256);
         assert_eq!(c.format.as_deref(), Some("text"));
 
         let f = Flags::parse(&argv(&["--reader", "floppy"]), &[], COMMON_VALUED).unwrap();

@@ -63,6 +63,12 @@ partition options:
   --spill-budget-mb N bound buffering to N MiB: output files spill through
                       the spilling sink, and parallel replay runs spill
                       through disk-backed spools (parallel stays parallel)
+  --mem-budget-mb N   whole-job memory budget, split deterministically:
+                      half pages cluster state out of core (serial runs),
+                      a quarter caps the v2 decode cache, the rest bounds
+                      spill buffering (unless --spill-budget-mb is given).
+                      Output is bit-identical at every budget; see the
+                      README `Memory model` section
   --trace FILE        record a structured trace (JSON lines: phase spans,
                       counters) to FILE; `tps report FILE` renders it.
                       Tracing never changes partitioning output.
@@ -93,8 +99,11 @@ dist coordinator options (2ps-l / 2ps-hdrf on binary inputs):
                       SPEC = recv:TAG[:N] | send:TAG[:N] | frames:N
                       (the CI dist-chaos job drives this)
   --alpha/--passes/--algorithm/--reader/--out/--spill-budget-mb/
+  --mem-budget-mb/
   --trace/--quiet     as for tps partition; --reader selects the backend
-                      each worker opens its shard with. With --trace,
+                      each worker opens its shard with; --mem-budget-mb is
+                      forwarded in the Job frame so every worker caps its
+                      v2 decode cache at the budget's decode share. With --trace,
                       workers record their shard phases too and ship them
                       in the ShardDone barrier frame, so the one trace
                       file covers the whole cluster. Output is
@@ -389,7 +398,8 @@ pub fn partition(args: &[String]) -> i32 {
             .num_vertices(info.num_vertices)
             .threads(common.threads)
             .reader(common.reader)
-            .spill_budget_mb(common.spill_budget_mb);
+            .spill_budget_mb(common.spill_budget_mb)
+            .mem_budget_mb(common.mem_budget_mb);
         if let Some(path) = flags.get("trace") {
             spec = spec.trace(path).trace_cmd("partition");
         }
@@ -861,6 +871,7 @@ fn dist_coordinator(args: &[String]) -> i32 {
                         transports.take().ok_or("coordinator can only run once")?,
                         &mut supply,
                         &policy,
+                        common.mem_budget_mb,
                         sink,
                     )
                     .map_err(|e| e.to_string())

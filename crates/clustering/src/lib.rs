@@ -15,6 +15,10 @@
 //!
 //! * [`model`] — the [`Clustering`] result type
 //!   (vertex→cluster map + cluster volumes) and its invariants.
+//! * [`table`] — the [`ClusterTable`] storage abstraction the streaming
+//!   pass is generic over.
+//! * [`paged`] — the budget-bounded, disk-backed
+//!   [`PagedClustering`] (out-of-core mode).
 //! * [`streaming`] — the 2PS-L clustering pass (Algorithm 1).
 //! * [`hollocou`] — the original unbounded, partial-degree algorithm, kept
 //!   as an ablation baseline.
@@ -37,9 +41,15 @@
 pub mod hollocou;
 pub mod merge;
 pub mod model;
+pub mod paged;
 pub mod stats;
 pub mod streaming;
+pub mod table;
 
 pub use merge::merge_clusterings;
 pub use model::{Clustering, NO_CLUSTER};
-pub use streaming::{cluster_stream, ClusteringConfig, VolumeCap};
+pub use paged::{
+    MemPageBacking, MemPageStoreProvider, PageBacking, PageStoreProvider, PagedClustering,
+};
+pub use streaming::{cluster_stream, clustering_pass_on, ClusteringConfig, VolumeCap};
+pub use table::ClusterTable;

@@ -1,0 +1,686 @@
+//! Budget-bounded, disk-backed cluster state: the out-of-core counterpart
+//! of [`Clustering`](crate::model::Clustering).
+//!
+//! The paper's pitch is out-of-core partitioning at linear run-time, but a
+//! flat `Vec`-backed clustering still ties peak RSS to `O(|V|)`.
+//! [`PagedClustering`] removes that term: the three per-vertex/per-cluster
+//! arrays of phase 1+2 — vertex→cluster (`v2c`), cluster volumes (`vol`)
+//! and cluster→partition (`c2p`) — are split into fixed-size pages, of
+//! which at most `budget / page_size` are resident at once. Hot pages are
+//! pinned by a strict LRU; cold dirty pages are written back in batches
+//! through a [`PageBacking`] (the file-backed store lives in `tps-io`,
+//! which `tps-clustering` cannot depend on — the trait points the
+//! dependency the right way round).
+//!
+//! Determinism: page faults and evictions are a pure function of the access
+//! sequence (LRU order is tracked by a monotonic counter, never by wall
+//! time), so two runs over the same stream issue identical reads and
+//! writes — and because every access goes through the same
+//! [`ClusterTable`] calls as the in-memory path, the partitioning output
+//! is bit-identical at **every** budget, including a budget of zero (which
+//! degenerates to a single resident frame: fully external, constant
+//! memory, maximum I/O).
+
+use std::collections::HashMap;
+use std::io;
+
+use tps_graph::types::{ClusterId, PartitionId, VertexId};
+
+use crate::model::NO_CLUSTER;
+use crate::table::ClusterTable;
+
+/// Default page size: 64 KiB (16 Ki `u32` entries / 8 Ki `u64` entries).
+pub const DEFAULT_PAGE_SIZE: usize = 64 * 1024;
+
+/// Dirty pages buffered before a batched [`PageBacking::write_pages`] call.
+/// This bounds the write-back staging memory to
+/// `WRITE_BATCH_PAGES × page_size` — part of the fixed overhead on top of
+/// the configured budget.
+pub const WRITE_BATCH_PAGES: usize = 8;
+
+/// The three paged arrays, encoded into the page key's kind bits.
+const KIND_V2C: u8 = 0;
+const KIND_VOL: u8 = 1;
+const KIND_C2P: u8 = 2;
+
+/// Byte every page of `kind` starts life filled with: `0xFF` yields
+/// `NO_CLUSTER` / unplaced sentinels for the u32 maps, `0x00` yields zero
+/// volumes.
+fn fill_byte(kind: u8) -> u8 {
+    match kind {
+        KIND_VOL => 0x00,
+        _ => 0xFF,
+    }
+}
+
+fn page_key(kind: u8, page_no: u64) -> u64 {
+    debug_assert!(page_no < 1 << 40, "page number overflows the key space");
+    ((kind as u64) << 40) | page_no
+}
+
+/// Where evicted pages go: the storage backend of a [`PagedClustering`].
+///
+/// Implementations store whole pages addressed by an opaque `u64` key.
+/// Pages are all the same size for the lifetime of a store.
+pub trait PageBacking: Send {
+    /// Read page `key` into `buf` (exactly one page long). Returns `false`
+    /// if the page was never written — the caller applies the default fill.
+    /// Corrupt or truncated stored pages must surface as `Err`, never as
+    /// silently wrong bytes.
+    fn read_page(&mut self, key: u64, buf: &mut [u8]) -> io::Result<bool>;
+
+    /// Persist a batch of pages (write-back batching: the table buffers up
+    /// to [`WRITE_BATCH_PAGES`] evicted dirty pages per call).
+    fn write_pages(&mut self, pages: &[(u64, Vec<u8>)]) -> io::Result<()>;
+}
+
+/// Creates fresh page stores: the seam `tps-core` uses to ask its I/O
+/// provider for disk-backed storage without `tps-core`/`tps-clustering`
+/// depending on `tps-io`.
+pub trait PageStoreProvider: Send + Sync {
+    /// Open a new, empty page store for `page_size`-byte pages.
+    fn open_store(&self, page_size: usize) -> io::Result<Box<dyn PageBacking>>;
+}
+
+/// An in-memory [`PageBacking`] (tests, and environments without an I/O
+/// provider). Defeats the RSS purpose of paging — the pages just move into
+/// a map — but preserves the exact fault/eviction/batching behaviour, so
+/// bit-identity and determinism tests run without touching disk.
+#[derive(Debug, Default)]
+pub struct MemPageBacking {
+    pages: HashMap<u64, Vec<u8>>,
+}
+
+impl MemPageBacking {
+    /// An empty in-memory backing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct pages ever written.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+impl PageBacking for MemPageBacking {
+    fn read_page(&mut self, key: u64, buf: &mut [u8]) -> io::Result<bool> {
+        match self.pages.get(&key) {
+            Some(data) => {
+                buf.copy_from_slice(data);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn write_pages(&mut self, pages: &[(u64, Vec<u8>)]) -> io::Result<()> {
+        for (key, data) in pages {
+            self.pages.insert(*key, data.clone());
+        }
+        Ok(())
+    }
+}
+
+/// A [`PageStoreProvider`] handing out [`MemPageBacking`]s.
+#[derive(Debug, Default)]
+pub struct MemPageStoreProvider;
+
+impl PageStoreProvider for MemPageStoreProvider {
+    fn open_store(&self, _page_size: usize) -> io::Result<Box<dyn PageBacking>> {
+        Ok(Box::new(MemPageBacking::new()))
+    }
+}
+
+/// Fault/eviction statistics of a [`PagedClustering`] (run reports).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PagingStats {
+    /// Page faults (accesses that missed the resident frame pool).
+    pub faults: u64,
+    /// Frames evicted to make room (dirty or clean).
+    pub evictions: u64,
+    /// Dirty pages pushed through the write-back path.
+    pub writebacks: u64,
+}
+
+struct Frame {
+    key: u64,
+    data: Vec<u8>,
+    dirty: bool,
+    /// Monotonic last-use stamp — the LRU order. Deterministic: stamps come
+    /// from an access counter, never from time.
+    last_use: u64,
+}
+
+/// The paged cluster table: `v2c`, `vol` and `c2p` behind one LRU frame
+/// pool bounded by a byte budget.
+///
+/// Implements [`ClusterTable`], so
+/// [`clustering_pass_on`](crate::streaming::clustering_pass_on) runs
+/// against it unchanged; phase-2 helpers (`partition_of`,
+/// `for_each_volume`) cover the mapping and assignment passes.
+///
+/// I/O errors poison the table instead of panicking: affected accessors
+/// return default values and the first error is surfaced by
+/// [`check_io`](PagedClustering::check_io), which callers run after every
+/// phase (the [`ClusterTable`] accessors cannot return `Result` — the hot
+/// loop is shared with the infallible in-memory path).
+pub struct PagedClustering {
+    num_vertices: u64,
+    next_id: u32,
+    page_size: usize,
+    max_frames: usize,
+    frames: Vec<Frame>,
+    /// Page key → index into `frames`.
+    resident: HashMap<u64, usize>,
+    /// Evicted dirty pages staged for the next batched write.
+    pending: Vec<(u64, Vec<u8>)>,
+    backing: Box<dyn PageBacking>,
+    clock: u64,
+    stats: PagingStats,
+    error: Option<io::Error>,
+}
+
+impl std::fmt::Debug for PagedClustering {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedClustering")
+            .field("num_vertices", &self.num_vertices)
+            .field("next_id", &self.next_id)
+            .field("page_size", &self.page_size)
+            .field("max_frames", &self.max_frames)
+            .field("resident", &self.resident.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl PagedClustering {
+    /// An empty paged clustering over `num_vertices` vertices, keeping at
+    /// most `budget_bytes` of pages resident (a zero budget still pins one
+    /// frame — the fully-external degeneration).
+    pub fn new(num_vertices: u64, budget_bytes: u64, backing: Box<dyn PageBacking>) -> Self {
+        Self::with_page_size(num_vertices, budget_bytes, DEFAULT_PAGE_SIZE, backing)
+    }
+
+    /// [`PagedClustering::new`] with an explicit page size (tests use tiny
+    /// pages to force eviction on small graphs). `page_size` must be a
+    /// multiple of 8 so no entry straddles a page boundary.
+    pub fn with_page_size(
+        num_vertices: u64,
+        budget_bytes: u64,
+        page_size: usize,
+        backing: Box<dyn PageBacking>,
+    ) -> Self {
+        assert!(
+            page_size >= 8 && page_size.is_multiple_of(8),
+            "page size must be a positive multiple of 8"
+        );
+        let max_frames = ((budget_bytes / page_size as u64) as usize).max(1);
+        PagedClustering {
+            num_vertices,
+            next_id: 0,
+            page_size,
+            max_frames,
+            frames: Vec::new(),
+            resident: HashMap::new(),
+            pending: Vec::new(),
+            backing,
+            clock: 0,
+            stats: PagingStats::default(),
+            error: None,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    /// Number of cluster ids ever allocated.
+    pub fn num_cluster_ids(&self) -> u32 {
+        self.next_id
+    }
+
+    /// Resident page-pool bytes (≤ budget, modulo the one-frame floor).
+    pub fn resident_bytes(&self) -> u64 {
+        (self.frames.len() * self.page_size) as u64
+    }
+
+    /// Fault/eviction statistics so far.
+    pub fn stats(&self) -> PagingStats {
+        self.stats
+    }
+
+    /// Surface the first I/O error the table swallowed, if any. Call after
+    /// each phase; a poisoned table keeps returning defaults, so skipping
+    /// this check risks silently wrong output.
+    pub fn check_io(&mut self) -> io::Result<()> {
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn fail(&mut self, e: io::Error) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending);
+        if let Err(e) = self.backing.write_pages(&batch) {
+            self.fail(e);
+        }
+    }
+
+    /// Bring page `key` resident and return its frame index.
+    fn frame_for(&mut self, key: u64) -> usize {
+        self.clock += 1;
+        if let Some(&idx) = self.resident.get(&key) {
+            self.frames[idx].last_use = self.clock;
+            return idx;
+        }
+        self.stats.faults += 1;
+        let idx = if self.frames.len() < self.max_frames {
+            self.frames.push(Frame {
+                key,
+                data: vec![0; self.page_size],
+                dirty: false,
+                last_use: self.clock,
+            });
+            self.frames.len() - 1
+        } else {
+            // Evict the least-recently-used frame (stamps are unique, so
+            // the victim — and therefore the whole I/O sequence — is
+            // deterministic).
+            let idx = self
+                .frames
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, f)| f.last_use)
+                .map(|(i, _)| i)
+                .expect("frame pool is non-empty once full");
+            let old_key = self.frames[idx].key;
+            self.resident.remove(&old_key);
+            self.stats.evictions += 1;
+            if self.frames[idx].dirty {
+                self.stats.writebacks += 1;
+                let data = self.frames[idx].data.clone();
+                self.pending.push((old_key, data));
+                if self.pending.len() >= WRITE_BATCH_PAGES {
+                    self.flush_pending();
+                }
+            }
+            self.frames[idx].key = key;
+            self.frames[idx].last_use = self.clock;
+            idx
+        };
+        // Load: newest data may still sit in the write-back buffer.
+        if let Some(pos) = self.pending.iter().position(|(k, _)| *k == key) {
+            let (_, data) = self.pending.swap_remove(pos);
+            self.frames[idx].data.copy_from_slice(&data);
+            // Never reached the backing — must stay dirty or it is lost.
+            self.frames[idx].dirty = true;
+        } else {
+            let kind = (key >> 40) as u8;
+            let mut buf = std::mem::take(&mut self.frames[idx].data);
+            let found = match self.backing.read_page(key, &mut buf) {
+                Ok(found) => found,
+                Err(e) => {
+                    self.fail(e);
+                    false
+                }
+            };
+            if !found {
+                buf.fill(fill_byte(kind));
+            }
+            self.frames[idx].data = buf;
+            self.frames[idx].dirty = false;
+        }
+        self.resident.insert(key, idx);
+        idx
+    }
+
+    fn load_u32(&mut self, kind: u8, index: u64) -> u32 {
+        let per_page = (self.page_size / 4) as u64;
+        let idx = self.frame_for(page_key(kind, index / per_page));
+        let off = (index % per_page) as usize * 4;
+        u32::from_le_bytes(self.frames[idx].data[off..off + 4].try_into().unwrap())
+    }
+
+    fn store_u32(&mut self, kind: u8, index: u64, value: u32) {
+        let per_page = (self.page_size / 4) as u64;
+        let idx = self.frame_for(page_key(kind, index / per_page));
+        let off = (index % per_page) as usize * 4;
+        self.frames[idx].data[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        self.frames[idx].dirty = true;
+    }
+
+    fn load_u64(&mut self, kind: u8, index: u64) -> u64 {
+        let per_page = (self.page_size / 8) as u64;
+        let idx = self.frame_for(page_key(kind, index / per_page));
+        let off = (index % per_page) as usize * 8;
+        u64::from_le_bytes(self.frames[idx].data[off..off + 8].try_into().unwrap())
+    }
+
+    fn store_u64(&mut self, kind: u8, index: u64, value: u64) {
+        let per_page = (self.page_size / 8) as u64;
+        let idx = self.frame_for(page_key(kind, index / per_page));
+        let off = (index % per_page) as usize * 8;
+        self.frames[idx].data[off..off + 8].copy_from_slice(&value.to_le_bytes());
+        self.frames[idx].dirty = true;
+    }
+
+    /// Raw cluster id of `v` (`NO_CLUSTER` when unassigned).
+    #[inline]
+    pub fn raw_cluster_of(&mut self, v: VertexId) -> ClusterId {
+        self.load_u32(KIND_V2C, v as u64)
+    }
+
+    /// Volume of cluster `c`.
+    #[inline]
+    pub fn cluster_volume(&mut self, c: ClusterId) -> u64 {
+        self.load_u64(KIND_VOL, c as u64)
+    }
+
+    /// Record the partition placement of cluster `c` (phase-2 mapping).
+    #[inline]
+    pub fn set_partition_of(&mut self, c: ClusterId, p: PartitionId) {
+        self.store_u32(KIND_C2P, c as u64, p);
+    }
+
+    /// Partition placement of cluster `c` (must have been set).
+    #[inline]
+    pub fn partition_of(&mut self, c: ClusterId) -> PartitionId {
+        let p = self.load_u32(KIND_C2P, c as u64);
+        debug_assert_ne!(p, u32::MAX, "cluster {c} queried before placement");
+        p
+    }
+
+    /// Sequentially visit `(cluster id, volume)` for every allocated id —
+    /// the mapping phase's input scan. Pages are visited in order, so the
+    /// scan touches each volume page exactly once.
+    pub fn for_each_volume(&mut self, mut f: impl FnMut(ClusterId, u64)) {
+        for c in 0..self.next_id {
+            let vol = self.load_u64(KIND_VOL, c as u64);
+            f(c, vol);
+        }
+    }
+
+    /// Number of clusters with non-zero volume (scan).
+    pub fn num_nonempty_clusters(&mut self) -> u64 {
+        let mut n = 0;
+        self.for_each_volume(|_, vol| n += u64::from(vol > 0));
+        n
+    }
+
+    /// Largest cluster volume (scan; 0 if no clusters).
+    pub fn max_volume(&mut self) -> u64 {
+        let mut max = 0;
+        self.for_each_volume(|_, vol| max = max.max(vol));
+        max
+    }
+}
+
+impl ClusterTable for PagedClustering {
+    #[inline]
+    fn cluster_of(&mut self, v: VertexId) -> ClusterId {
+        self.raw_cluster_of(v)
+    }
+
+    #[inline]
+    fn volume(&mut self, c: ClusterId) -> u64 {
+        self.cluster_volume(c)
+    }
+
+    #[inline]
+    fn create_cluster(&mut self, v: VertexId, vol: u64) -> ClusterId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.store_u64(KIND_VOL, id as u64, vol);
+        self.store_u32(KIND_V2C, v as u64, id);
+        id
+    }
+
+    #[inline]
+    fn migrate(&mut self, v: VertexId, d: u64, to: ClusterId) {
+        let from = self.load_u32(KIND_V2C, v as u64);
+        debug_assert_ne!(from, NO_CLUSTER);
+        debug_assert_ne!(from, to);
+        let from_vol = self.load_u64(KIND_VOL, from as u64);
+        self.store_u64(KIND_VOL, from as u64, from_vol - d);
+        let to_vol = self.load_u64(KIND_VOL, to as u64);
+        self.store_u64(KIND_VOL, to as u64, to_vol + d);
+        self.store_u32(KIND_V2C, v as u64, to);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Clustering;
+    use crate::streaming::{clustering_pass_on, VolumeCap};
+    use std::sync::{Arc, Mutex};
+    use tps_graph::degree::DegreeTable;
+    use tps_graph::gen::planted;
+    use tps_graph::gen::planted::PlantedConfig;
+    use tps_graph::stream::InMemoryGraph;
+
+    fn mem_table(num_vertices: u64, budget: u64, page_size: usize) -> PagedClustering {
+        PagedClustering::with_page_size(
+            num_vertices,
+            budget,
+            page_size,
+            Box::new(MemPageBacking::new()),
+        )
+    }
+
+    #[test]
+    fn basic_ops_match_in_memory() {
+        let mut paged = mem_table(4, 0, 16); // 1 frame of 16 bytes: constant thrash
+        let mut flat = Clustering::empty(4);
+        let a = paged.create_cluster(0, 3);
+        assert_eq!(a, flat.create_cluster(0, 3));
+        let b = paged.create_cluster(1, 5);
+        assert_eq!(b, flat.create_cluster(1, 5));
+        paged.migrate(0, 3, b);
+        flat.migrate(0, 3, b);
+        for v in 0..4u32 {
+            assert_eq!(paged.raw_cluster_of(v), flat.raw_cluster_of(v), "v={v}");
+        }
+        for c in [a, b] {
+            assert_eq!(paged.cluster_volume(c), flat.volume(c), "c={c}");
+        }
+        paged.check_io().unwrap();
+        assert!(paged.stats().faults > 0, "a 1-frame pool must fault");
+        assert_eq!(paged.resident_bytes(), 16);
+    }
+
+    #[test]
+    fn unset_state_reads_as_defaults() {
+        let mut t = mem_table(100, 1024, 64);
+        assert_eq!(t.raw_cluster_of(99), NO_CLUSTER);
+        assert_eq!(t.cluster_volume(7), 0);
+        assert_eq!(t.num_cluster_ids(), 0);
+        assert_eq!(t.max_volume(), 0);
+    }
+
+    #[test]
+    fn budget_caps_resident_bytes() {
+        let page = 64;
+        let mut t = mem_table(10_000, 4 * page as u64, page);
+        for v in 0..10_000u32 {
+            t.create_cluster(v, 1);
+        }
+        assert!(t.resident_bytes() <= 4 * page as u64);
+        assert!(t.stats().evictions > 0);
+        t.check_io().unwrap();
+    }
+
+    fn run_pass(table: &mut impl ClusterTable, g: &InMemoryGraph, passes: u32) -> DegreeTable {
+        let mut s = g.stream();
+        let degrees = DegreeTable::compute(&mut s, g.num_vertices()).unwrap();
+        let cap = VolumeCap::FractionOfTotal(1.0 / 8.0).resolve(degrees.total_volume());
+        for _ in 0..passes {
+            let mut s = g.stream();
+            clustering_pass_on(&mut s, &degrees, cap, table).unwrap();
+        }
+        degrees
+    }
+
+    /// The tentpole invariant: paged and flat state produce bit-identical
+    /// clusterings at every budget, including zero.
+    #[test]
+    fn bit_identical_to_flat_at_zero_tiny_and_huge_budgets() {
+        let g = planted::generate(&PlantedConfig::web(800, 4000), 11);
+        let mut flat = Clustering::empty(g.num_vertices());
+        run_pass(&mut flat, &g, 2);
+        for budget in [0u64, 256, 1 << 30] {
+            let mut paged = mem_table(g.num_vertices(), budget, 64);
+            run_pass(&mut paged, &g, 2);
+            paged.check_io().unwrap();
+            assert_eq!(
+                paged.num_cluster_ids(),
+                flat.num_cluster_ids(),
+                "budget {budget}"
+            );
+            for v in 0..g.num_vertices() as u32 {
+                assert_eq!(
+                    paged.raw_cluster_of(v),
+                    flat.raw_cluster_of(v),
+                    "budget {budget}, v {v}"
+                );
+            }
+            for c in 0..flat.num_cluster_ids() {
+                assert_eq!(
+                    paged.cluster_volume(c),
+                    flat.volume(c),
+                    "budget {budget}, c {c}"
+                );
+            }
+            let (nonempty, max) = (paged.num_nonempty_clusters(), paged.max_volume());
+            assert_eq!(nonempty, flat.num_nonempty_clusters() as u64);
+            assert_eq!(max, flat.max_volume());
+        }
+    }
+
+    /// Randomised version of the same invariant (a lightweight in-repo
+    /// proptest: seeds × budgets, no external crate in the offline set).
+    #[test]
+    fn proptest_bit_identity_across_seeds_and_budgets() {
+        for seed in [1u64, 7, 23, 99] {
+            let nv = 200 + (seed * 37) % 400;
+            let ne = nv * 5;
+            let g = planted::generate(&PlantedConfig::web(nv, ne), seed);
+            let mut flat = Clustering::empty(g.num_vertices());
+            run_pass(&mut flat, &g, 1);
+            for budget in [0u64, 128, 4096, 1 << 26] {
+                let mut paged = mem_table(g.num_vertices(), budget, 32);
+                run_pass(&mut paged, &g, 1);
+                paged.check_io().unwrap();
+                for v in 0..g.num_vertices() as u32 {
+                    assert_eq!(
+                        paged.raw_cluster_of(v),
+                        flat.raw_cluster_of(v),
+                        "seed {seed}, budget {budget}, v {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A backing that records the exact sequence of reads and writes.
+    struct RecordingBacking {
+        inner: MemPageBacking,
+        log: Arc<Mutex<Vec<String>>>,
+    }
+
+    impl PageBacking for RecordingBacking {
+        fn read_page(&mut self, key: u64, buf: &mut [u8]) -> io::Result<bool> {
+            self.log.lock().unwrap().push(format!("r{key:x}"));
+            self.inner.read_page(key, buf)
+        }
+        fn write_pages(&mut self, pages: &[(u64, Vec<u8>)]) -> io::Result<()> {
+            let mut log = self.log.lock().unwrap();
+            for (key, _) in pages {
+                log.push(format!("w{key:x}"));
+            }
+            self.inner.write_pages(pages)
+        }
+    }
+
+    #[test]
+    fn lru_eviction_order_is_deterministic() {
+        let io_log = |seed: u64| -> Vec<String> {
+            let g = planted::generate(&PlantedConfig::web(500, 2500), seed);
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let backing = RecordingBacking {
+                inner: MemPageBacking::new(),
+                log: Arc::clone(&log),
+            };
+            let mut paged =
+                PagedClustering::with_page_size(g.num_vertices(), 6 * 32, 32, Box::new(backing));
+            run_pass(&mut paged, &g, 2);
+            paged.check_io().unwrap();
+            let out = log.lock().unwrap().clone();
+            out
+        };
+        let a = io_log(5);
+        let b = io_log(5);
+        assert!(!a.is_empty(), "tiny budget must hit the backing");
+        assert_eq!(a, b, "same input must issue the identical I/O sequence");
+    }
+
+    #[test]
+    fn writeback_buffer_is_consulted_on_refault() {
+        // One frame + batch size 8: a dirty page evicted into the pending
+        // buffer must be found there (not re-read stale from the backing)
+        // when it faults back in before the batch flushes.
+        let mut t = mem_table(1000, 0, 16); // 4 u32 entries per page
+        t.create_cluster(0, 7); // writes vol page + v2c page (evicts vol, dirty)
+        assert_eq!(t.cluster_volume(0), 7, "volume must survive via pending");
+        assert_eq!(t.raw_cluster_of(0), 0);
+        t.check_io().unwrap();
+    }
+
+    #[test]
+    fn c2p_roundtrips_through_paging() {
+        let mut t = mem_table(64, 0, 16);
+        for c in 0..40u32 {
+            t.set_partition_of(c, c % 5);
+        }
+        for c in 0..40u32 {
+            assert_eq!(t.partition_of(c), c % 5, "c={c}");
+        }
+        t.check_io().unwrap();
+    }
+
+    struct FailingBacking;
+    impl PageBacking for FailingBacking {
+        fn read_page(&mut self, _key: u64, _buf: &mut [u8]) -> io::Result<bool> {
+            Err(io::Error::other("read exploded"))
+        }
+        fn write_pages(&mut self, _pages: &[(u64, Vec<u8>)]) -> io::Result<()> {
+            Err(io::Error::other("write exploded"))
+        }
+    }
+
+    #[test]
+    fn io_errors_poison_instead_of_panicking() {
+        let mut t = PagedClustering::with_page_size(100, 0, 16, Box::new(FailingBacking));
+        // Enough traffic to force eviction of dirty pages → failing writes,
+        // and re-faults → failing reads.
+        for v in 0..50u32 {
+            t.create_cluster(v, 1);
+        }
+        let err = t.check_io().unwrap_err();
+        assert!(err.to_string().contains("exploded"));
+        // After taking the error the table is clean again until the next
+        // failure.
+        assert!(t.check_io().is_ok());
+    }
+}

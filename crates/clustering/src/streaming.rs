@@ -19,6 +19,7 @@ use tps_graph::degree::DegreeTable;
 use tps_graph::stream::{for_each_edge, EdgeStream};
 
 use crate::model::{Clustering, NO_CLUSTER};
+use crate::table::ClusterTable;
 
 /// How the cluster volume cap is chosen.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -114,14 +115,28 @@ pub fn clustering_pass<S: EdgeStream + ?Sized>(
     max_vol: u64,
     clustering: &mut Clustering,
 ) -> io::Result<()> {
+    clustering_pass_on(stream, degrees, max_vol, clustering)
+}
+
+/// [`clustering_pass`], generic over the cluster-state storage: the same
+/// decision sequence runs against the flat in-memory [`Clustering`] or the
+/// budget-bounded [`crate::paged::PagedClustering`], so the two are
+/// bit-identical by construction (every read and write goes through the
+/// same [`ClusterTable`] calls in the same order).
+pub fn clustering_pass_on<S: EdgeStream + ?Sized, T: ClusterTable>(
+    stream: &mut S,
+    degrees: &DegreeTable,
+    max_vol: u64,
+    clustering: &mut T,
+) -> io::Result<()> {
     for_each_edge(stream, |e| {
         let (u, v) = (e.src, e.dst);
         // Lines 11–15: late cluster creation with exact-degree volume.
-        let mut cu = clustering.raw_cluster_of(u);
+        let mut cu = clustering.cluster_of(u);
         if cu == NO_CLUSTER {
             cu = clustering.create_cluster(u, degrees.degree(u) as u64);
         }
-        let mut cv = clustering.raw_cluster_of(v);
+        let mut cv = clustering.cluster_of(v);
         if cv == NO_CLUSTER {
             cv = clustering.create_cluster(v, degrees.degree(v) as u64);
         }

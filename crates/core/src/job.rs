@@ -33,6 +33,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
+use tps_clustering::paged::PageStoreProvider;
 use tps_graph::ranged::RangedEdgeSource;
 use tps_graph::stream::{discover_info, EdgeStream};
 
@@ -40,7 +41,7 @@ use crate::parallel::ParallelRunner;
 use crate::partitioner::{PartitionParams, Partitioner, RunReport};
 use crate::runner::RunOutcome;
 use crate::sink::{AssignmentSink, QualitySink, SpoolFactory, TeeSink};
-use crate::two_phase::{TwoPhaseConfig, TwoPhasePartitioner};
+use crate::two_phase::{ClusterPaging, TwoPhaseConfig, TwoPhasePartitioner};
 
 /// Reader backend for file inputs, named in core so specs can be built
 /// without a `tps-io` dependency (the provider maps it onto its own
@@ -125,6 +126,41 @@ pub enum JobEngine<'a> {
     Custom(&'a mut dyn Partitioner),
 }
 
+/// How a unified memory budget ([`JobSpec::mem_budget_mb`]) is split
+/// across the three budget-aware subsystems. The split is a fixed,
+/// deterministic policy — the same budget always produces the same
+/// shares, so runs are reproducible from the flag alone:
+///
+/// * **½ cluster pages** — the paged cluster table (serial engine; the
+///   dominant `O(|V|)` term the budget exists to bound);
+/// * **¼ decode cache** — the v2 reader's block decode cache
+///   (all-or-nothing per file; a share too small for the file simply
+///   disables the cache);
+/// * **¼ spill** — the parallel runner's replay spools (an explicit
+///   [`JobSpec::spill_budget_mb`] overrides this share).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemBudgetSplit {
+    /// Bytes for resident cluster-table pages.
+    pub cluster_pages: u64,
+    /// Bytes for the v2 decode cache.
+    pub decode_cache: u64,
+    /// Bytes for spill-backed replay spools.
+    pub spill: u64,
+}
+
+impl MemBudgetSplit {
+    /// Split `total_bytes` by the ½ / ¼ / ¼ policy.
+    pub fn of(total_bytes: u64) -> Self {
+        let cluster_pages = total_bytes / 2;
+        let decode_cache = total_bytes / 4;
+        MemBudgetSplit {
+            cluster_pages,
+            decode_cache,
+            spill: total_bytes - cluster_pages - decode_cache,
+        }
+    }
+}
+
 /// Opens path inputs and spill spools on behalf of a [`JobSpec`] — the
 /// seam that lets `tps-core` describe file jobs without depending on
 /// `tps-io` (which implements the standard provider as `FileInput`).
@@ -140,6 +176,16 @@ pub trait InputProvider {
         budget_bytes: u64,
         threads: usize,
     ) -> io::Result<Arc<dyn SpoolFactory + Send + Sync>>;
+    /// A page-store provider backing out-of-core cluster paging
+    /// ([`JobSpec::mem_budget_mb`]). Default: not available.
+    fn page_store_provider(&self) -> io::Result<Arc<dyn PageStoreProvider>> {
+        Err(io::Error::other(
+            "cluster paging needs an I/O provider (use tps_io::run_job)",
+        ))
+    }
+    /// Bound the provider's input decode caches to `bytes` (the v2
+    /// reader's block cache). Providers without such a cache ignore this.
+    fn set_decode_cache_budget(&self, _bytes: u64) {}
 }
 
 /// The provider used by [`JobSpec::run`]: rejects path inputs and spill
@@ -196,6 +242,7 @@ pub struct JobSpec<'a> {
     threads: ThreadMode,
     reader: ReaderKind,
     spill_budget_bytes: u64,
+    mem_budget_bytes: u64,
     spool_factory: Option<Arc<dyn SpoolFactory + Send + Sync>>,
     trace: Option<PathBuf>,
     trace_cmd: String,
@@ -213,6 +260,7 @@ impl<'a> JobSpec<'a> {
             threads: ThreadMode::default(),
             reader: ReaderKind::default(),
             spill_budget_bytes: 0,
+            mem_budget_bytes: 0,
             spool_factory: None,
             trace: None,
             trace_cmd: "job".to_string(),
@@ -275,6 +323,18 @@ impl<'a> JobSpec<'a> {
     /// (0 = unbounded in-memory spools).
     pub fn spill_budget_mb(mut self, mb: u64) -> Self {
         self.spill_budget_bytes = mb << 20;
+        self
+    }
+
+    /// Bound the job's budget-aware memory consumers to `mb` MiB total,
+    /// split deterministically by [`MemBudgetSplit`]: paged cluster table
+    /// (serial engine), v2 decode cache, and spill spools (parallel
+    /// engine). 0 = unbounded (the default). The serial two-phase engine
+    /// then pages cluster state to disk, so peak RSS stays bounded by the
+    /// budget plus fixed per-run overhead even when the graph is many
+    /// times larger.
+    pub fn mem_budget_mb(mut self, mb: u64) -> Self {
+        self.mem_budget_bytes = mb << 20;
         self
     }
 
@@ -365,13 +425,26 @@ impl<'a> JobSpec<'a> {
             params,
             num_vertices,
             reader,
-            spill_budget_bytes,
+            mut spill_budget_bytes,
+            mem_budget_bytes,
             spool_factory,
             trace,
             trace_cmd,
             mut extra_sink,
             ..
         } = self;
+
+        // A unified memory budget splits deterministically across the
+        // budget-aware subsystems; an explicit spill budget wins over its
+        // share. Applied before any input is opened — the v2 decode cache
+        // sizes itself at open time.
+        let mem_split = (mem_budget_bytes > 0).then(|| MemBudgetSplit::of(mem_budget_bytes));
+        if let Some(split) = mem_split {
+            provider.set_decode_cache_budget(split.decode_cache);
+            if spill_budget_bytes == 0 {
+                spill_budget_bytes = split.spill;
+            }
+        }
 
         if trace.is_some() {
             // Start from a clean slate so the file describes this run only.
@@ -439,7 +512,18 @@ impl<'a> JobSpec<'a> {
                 let partitioner: &mut dyn Partitioner = match engine {
                     JobEngine::Custom(p) => p,
                     JobEngine::TwoPhase(cfg) => {
-                        owned_partitioner = TwoPhasePartitioner::new(cfg);
+                        let mut p = TwoPhasePartitioner::new(cfg);
+                        if let Some(split) = mem_split {
+                            // The serial engine is the one that pages its
+                            // cluster state; parallel/dist workers honour
+                            // the decode-cache and spill shares only (see
+                            // README "Memory model").
+                            p = p.with_cluster_paging(ClusterPaging::new(
+                                split.cluster_pages,
+                                provider.page_store_provider()?,
+                            ));
+                        }
+                        owned_partitioner = p;
                         &mut owned_partitioner
                     }
                 };
@@ -602,5 +686,80 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(err.to_string().contains("I/O provider"));
+    }
+
+    #[test]
+    fn mem_budget_split_is_deterministic_and_lossless() {
+        let s = MemBudgetSplit::of(100 << 20);
+        assert_eq!(s.cluster_pages, 50 << 20);
+        assert_eq!(s.decode_cache, 25 << 20);
+        assert_eq!(s.spill, 25 << 20);
+        // Odd totals: every byte lands in exactly one share.
+        let s = MemBudgetSplit::of(7);
+        assert_eq!(s.cluster_pages + s.decode_cache + s.spill, 7);
+    }
+
+    /// An in-memory provider with a page store — what a mem-budgeted serial
+    /// job needs beyond [`NoFiles`].
+    struct MemPages;
+    impl InputProvider for MemPages {
+        fn open_stream(&self, path: &Path, _reader: ReaderKind) -> io::Result<Box<dyn EdgeStream>> {
+            Err(unsupported(path))
+        }
+        fn open_ranged(
+            &self,
+            path: &Path,
+            _reader: ReaderKind,
+        ) -> io::Result<Box<dyn RangedEdgeSource>> {
+            Err(unsupported(path))
+        }
+        fn spool_factory(
+            &self,
+            _budget_bytes: u64,
+            _threads: usize,
+        ) -> io::Result<Arc<dyn SpoolFactory + Send + Sync>> {
+            Err(io::Error::other("no spools here"))
+        }
+        fn page_store_provider(&self) -> io::Result<Arc<dyn PageStoreProvider>> {
+            Ok(Arc::new(tps_clustering::paged::MemPageStoreProvider))
+        }
+    }
+
+    #[test]
+    fn serial_mem_budget_matches_unbounded_output() {
+        let g = Dataset::Ok.generate_scaled(0.01);
+        let mut base_sink = VecSink::new();
+        let base = JobSpec::ranged(&g)
+            .k(8)
+            .threads(ThreadMode::Serial)
+            .extra_sink(&mut base_sink)
+            .run()
+            .unwrap();
+        let mut paged_sink = VecSink::new();
+        let paged = JobSpec::ranged(&g)
+            .k(8)
+            .threads(ThreadMode::Serial)
+            .mem_budget_mb(1)
+            .extra_sink(&mut paged_sink)
+            .run_with(&MemPages)
+            .unwrap();
+        assert_eq!(paged_sink.assignments(), base_sink.assignments());
+        assert_eq!(
+            paged.metrics.replication_factor,
+            base.metrics.replication_factor
+        );
+        assert!(paged.report.counter("paging_budget_bytes") > 0);
+    }
+
+    #[test]
+    fn serial_mem_budget_without_page_store_errors() {
+        let g = Dataset::Ok.generate_scaled(0.01);
+        let err = JobSpec::ranged(&g)
+            .k(4)
+            .threads(ThreadMode::Serial)
+            .mem_budget_mb(64)
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains("I/O provider"), "{err}");
     }
 }

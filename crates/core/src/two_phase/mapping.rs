@@ -133,6 +133,45 @@ impl ClusterPlacement {
     }
 }
 
+/// Schedule *live* (volume > 0) clusters onto `k` partitions without
+/// materialising a full cluster→partition array — the out-of-core mapping
+/// step, which writes each placement through `place` (into the paged `c2p`
+/// array) as it is decided.
+///
+/// `live` must list the live clusters in ascending id order (the paged
+/// volume scan's natural order); `sorted` selects Graham LPT
+/// ([`ClusterPlacement::sorted_list_schedule`]) vs. first-fit id order
+/// ([`ClusterPlacement::unsorted_schedule`]).
+///
+/// Bit-identity with the full-array schedulers: zero-volume clusters
+/// cannot change any live cluster's placement. Under LPT they sort after
+/// every live cluster, so by the time one is placed all live placements
+/// are already fixed; under first-fit a zero-volume cluster pops the
+/// least-loaded partition and pushes the same load back, leaving the
+/// heap's (load, partition) multiset — the only state later pops observe —
+/// unchanged. Since only live clusters are ever queried by phase 2 (a
+/// stream vertex has degree ≥ 1, so its cluster has volume ≥ 1), skipping
+/// the zero-volume ids is output-invariant.
+pub fn schedule_live_clusters(
+    live: &mut [(ClusterId, u64)],
+    k: u32,
+    sorted: bool,
+    mut place: impl FnMut(ClusterId, PartitionId),
+) {
+    assert!(k > 0, "k must be positive");
+    debug_assert!(live.windows(2).all(|w| w[0].0 < w[1].0), "ids must ascend");
+    if sorted {
+        live.sort_by_key(|&(c, vol)| (Reverse(vol), c));
+    }
+    let mut heap: BinaryHeap<Reverse<(u64, PartitionId)>> =
+        (0..k).map(|p| Reverse((0u64, p))).collect();
+    for &(c, vol) in live.iter() {
+        let Reverse((load, p)) = heap.pop().expect("heap holds k entries");
+        place(c, p);
+        heap.push(Reverse((load + vol, p)));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,5 +270,41 @@ mod tests {
         let c = clustering_with_volumes(vec![]);
         let p = ClusterPlacement::sorted_list_schedule(&c, 4);
         assert_eq!(p.makespan(), 0);
+    }
+
+    #[test]
+    fn live_schedule_matches_full_schedulers() {
+        // Zero-volume holes, as multi-pass clustering leaves them behind.
+        let vols: Vec<u64> = (0..200)
+            .map(|i: u64| {
+                if i.is_multiple_of(3) {
+                    0
+                } else {
+                    (i * 17) % 41 + 1
+                }
+            })
+            .collect();
+        let c = clustering_with_volumes(vols.clone());
+        for k in [2u32, 3, 7] {
+            for sorted in [true, false] {
+                let full = if sorted {
+                    ClusterPlacement::sorted_list_schedule(&c, k)
+                } else {
+                    ClusterPlacement::unsorted_schedule(&c, k)
+                };
+                let mut live: Vec<(u32, u64)> = vols
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &v)| v > 0)
+                    .map(|(i, &v)| (i as u32, v))
+                    .collect();
+                let mut placed = Vec::new();
+                schedule_live_clusters(&mut live, k, sorted, |c, p| placed.push((c, p)));
+                assert_eq!(placed.len(), vols.iter().filter(|&&v| v > 0).count());
+                for (cl, p) in placed {
+                    assert_eq!(p, full.partition_of(cl), "k={k} sorted={sorted} c={cl}");
+                }
+            }
+        }
     }
 }

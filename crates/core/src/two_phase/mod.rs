@@ -19,13 +19,15 @@ pub mod mapping;
 pub mod scoring;
 
 use std::io;
+use std::sync::Arc;
 
 use tps_clustering::model::{Clustering, NO_CLUSTER};
-use tps_clustering::streaming::{clustering_pass, VolumeCap};
+use tps_clustering::paged::{PageStoreProvider, PagedClustering, DEFAULT_PAGE_SIZE};
+use tps_clustering::streaming::{clustering_pass, clustering_pass_on, VolumeCap};
 use tps_graph::degree::DegreeTable;
 use tps_graph::hash::seeded_hash_to_partition;
 use tps_graph::stream::{discover_info, EdgeStream};
-use tps_graph::types::{Edge, PartitionId};
+use tps_graph::types::{ClusterId, Edge, PartitionId, VertexId};
 use tps_metrics::bitmatrix::{ReplicaSet, ReplicationMatrix};
 
 use crate::balance::{LoadTracker, PartitionLoads};
@@ -39,6 +41,11 @@ static CORE_ASSIGN_PREPARTITIONED: tps_obs::Counter =
     tps_obs::Counter::new("core.assign.prepartitioned");
 static CORE_ASSIGN_REMAINING: tps_obs::Counter = tps_obs::Counter::new("core.assign.remaining");
 static CORE_ASSIGN_FALLBACK: tps_obs::Counter = tps_obs::Counter::new("core.assign.fallback");
+static CORE_PAGING_BUDGET_BYTES: tps_obs::Counter =
+    tps_obs::Counter::new("core.paging.budget_bytes");
+static CORE_PAGING_FAULTS: tps_obs::Counter = tps_obs::Counter::new("core.paging.faults");
+static CORE_PAGING_EVICTIONS: tps_obs::Counter = tps_obs::Counter::new("core.paging.evictions");
+static CORE_PAGING_WRITEBACKS: tps_obs::Counter = tps_obs::Counter::new("core.paging.writebacks");
 
 /// How edges that were not pre-partitioned are scored.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -113,10 +120,57 @@ impl TwoPhaseConfig {
     }
 }
 
+/// Out-of-core execution policy for the serial runner: keep cluster state
+/// (`v2c`, volumes, `c2p`) in a [`PagedClustering`] bounded by
+/// `budget_bytes`, spilling cold pages through `provider`'s store.
+#[derive(Clone)]
+pub struct ClusterPaging {
+    /// Byte budget for resident cluster pages (0 = one frame, fully
+    /// external).
+    pub budget_bytes: u64,
+    /// Page size in bytes (default [`DEFAULT_PAGE_SIZE`]; tests shrink it
+    /// to force eviction on small graphs).
+    pub page_size: usize,
+    /// Opens the backing page store (e.g. `tps-io`'s checksummed file
+    /// store, or [`tps_clustering::paged::MemPageStoreProvider`] in tests).
+    pub provider: Arc<dyn PageStoreProvider>,
+}
+
+impl ClusterPaging {
+    /// Paging under `budget_bytes`, with the page size adapted to it: a
+    /// fault costs one page of I/O and memcpy, so a small budget wants
+    /// small pages, while a large budget wants large pages to amortise
+    /// per-page overhead. Halving from the 64 KiB default until the budget
+    /// holds ≥128 frames (floor 4 KiB) keeps the frame pool deep enough
+    /// that the stream's working window stays resident even when the whole
+    /// table is 10× over budget.
+    pub fn new(budget_bytes: u64, provider: Arc<dyn PageStoreProvider>) -> Self {
+        let mut page_size = DEFAULT_PAGE_SIZE;
+        while page_size > 4096 && budget_bytes / (page_size as u64) < 128 {
+            page_size /= 2;
+        }
+        ClusterPaging {
+            budget_bytes,
+            page_size,
+            provider,
+        }
+    }
+}
+
+impl std::fmt::Debug for ClusterPaging {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterPaging")
+            .field("budget_bytes", &self.budget_bytes)
+            .field("page_size", &self.page_size)
+            .finish_non_exhaustive()
+    }
+}
+
 /// The 2PS-L / 2PS-HDRF partitioner.
 #[derive(Clone, Debug)]
 pub struct TwoPhasePartitioner {
     config: TwoPhaseConfig,
+    paging: Option<ClusterPaging>,
 }
 
 impl TwoPhasePartitioner {
@@ -130,12 +184,144 @@ impl TwoPhasePartitioner {
             config.volume_cap_factor > 0.0,
             "volume cap factor must be positive"
         );
-        TwoPhasePartitioner { config }
+        TwoPhasePartitioner {
+            config,
+            paging: None,
+        }
+    }
+
+    /// Run with cluster state paged to disk under `paging`'s budget (the
+    /// out-of-core mode). Output is bit-identical to the unpaged run at
+    /// every budget; only peak memory and I/O traffic change.
+    pub fn with_cluster_paging(mut self, paging: ClusterPaging) -> Self {
+        self.paging = Some(paging);
+        self
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &TwoPhaseConfig {
         &self.config
+    }
+
+    /// The out-of-core run: the same five phases as the flat path, with
+    /// every cluster-state access routed through a [`PagedClustering`]
+    /// bounded by the paging budget. The decision sequence is shared (see
+    /// [`EdgeAssigner`]), so output is bit-identical to the flat path.
+    fn partition_paged(
+        &self,
+        paging: &ClusterPaging,
+        stream: &mut dyn EdgeStream,
+        params: &PartitionParams,
+        sink: &mut dyn AssignmentSink,
+    ) -> io::Result<RunReport> {
+        let mut report = RunReport::default();
+        let info = discover_info(stream)?;
+        if info.num_edges == 0 {
+            return Ok(report);
+        }
+
+        // Phase 0: exact degrees (one streaming pass).
+        let s0 = tps_obs::span("degree");
+        let degrees = DegreeTable::compute(stream, info.num_vertices)?;
+        report.phases.record("degree", s0.end());
+
+        // Phase 1: streaming clustering against the paged table.
+        let s1 = tps_obs::span("clustering");
+        let cap = VolumeCap::FractionOfTotal(self.config.volume_cap_factor / params.k as f64)
+            .resolve(degrees.total_volume());
+        let backing = paging.provider.open_store(paging.page_size)?;
+        let mut table = PagedClustering::with_page_size(
+            info.num_vertices,
+            paging.budget_bytes,
+            paging.page_size,
+            backing,
+        );
+        for _ in 0..self.config.clustering_passes {
+            let pass = tps_obs::span("clustering.pass");
+            clustering_pass_on(stream, &degrees, cap, &mut table)?;
+            table.check_io()?;
+            pass.end();
+        }
+        report.phases.record("clustering", s1.end());
+
+        // Phase 2 step 1: schedule the live clusters straight into the
+        // paged `c2p` array. The live list is the one transient term that
+        // scales with the clustering, not the budget: O(#live clusters)
+        // (see ARCHITECTURE.md "Memory model" for the accounting).
+        let s2 = tps_obs::span("mapping");
+        let mut live: Vec<(ClusterId, u64)> = Vec::new();
+        table.for_each_volume(|c, vol| {
+            if vol > 0 {
+                live.push((c, vol));
+            }
+        });
+        table.check_io()?;
+        let num_clusters = live.len() as u64;
+        let max_cluster_volume = live.iter().map(|&(_, vol)| vol).max().unwrap_or(0);
+        mapping::schedule_live_clusters(
+            &mut live,
+            params.k,
+            self.config.mapping == MappingStrategy::SortedGraham,
+            |c, p| table.set_partition_of(c, p),
+        );
+        drop(live);
+        table.check_io()?;
+        report.phases.record("mapping", s2.end());
+
+        let mut state = EdgeAssigner::with_view(
+            &degrees,
+            &mut table,
+            ReplicationMatrix::new(info.num_vertices, params.k),
+            PartitionLoads::new(params.k, info.num_edges, params.alpha),
+            self.config.hash_seed,
+        );
+
+        // Phase 2 step 2: pre-partitioning pass.
+        if self.config.prepartitioning {
+            let s3 = tps_obs::span("prepartition");
+            stream.reset()?;
+            while let Some(edge) = stream.next_edge()? {
+                state.prepartition_edge(edge, sink)?;
+            }
+            report.phases.record("prepartition", s3.end());
+        }
+
+        // Phase 2 step 3: score-and-assign the remaining edges.
+        let s4 = tps_obs::span("partition");
+        stream.reset()?;
+        while let Some(edge) = stream.next_edge()? {
+            if self.config.prepartitioning && state.prepartition_target(edge).is_some() {
+                continue; // already assigned in the pre-partitioning pass
+            }
+            state.assign_remaining(edge, self.config.strategy, sink)?;
+        }
+        report.phases.record("partition", s4.end());
+
+        let counters = state.counters;
+        table.check_io()?;
+        let stats = table.stats();
+
+        report.count("prepartitioned", counters.prepartitioned);
+        report.count("prepartition_overflow", counters.prepartition_overflow);
+        report.count("remaining", counters.remaining);
+        report.count("fallback_hash", counters.fallback_hash);
+        report.count("fallback_least_loaded", counters.fallback_least_loaded);
+        report.count("clusters", num_clusters);
+        report.count("cluster_volume_cap", cap);
+        report.count("max_cluster_volume", max_cluster_volume);
+        report.count("paging_budget_bytes", paging.budget_bytes);
+        report.count("paging_faults", stats.faults);
+        report.count("paging_evictions", stats.evictions);
+        report.count("paging_writebacks", stats.writebacks);
+        CLUSTERING_CLUSTERS.add(num_clusters);
+        CORE_ASSIGN_PREPARTITIONED.add(counters.prepartitioned);
+        CORE_ASSIGN_REMAINING.add(counters.remaining);
+        CORE_ASSIGN_FALLBACK.add(counters.fallback_hash + counters.fallback_least_loaded);
+        CORE_PAGING_BUDGET_BYTES.add(paging.budget_bytes);
+        CORE_PAGING_FAULTS.add(stats.faults);
+        CORE_PAGING_EVICTIONS.add(stats.evictions);
+        CORE_PAGING_WRITEBACKS.add(stats.writebacks);
+        Ok(report)
     }
 }
 
@@ -167,16 +353,84 @@ impl AssignCounters {
     }
 }
 
-/// The phase-2 per-edge decision kernel, generic over the load tracker and
-/// the replication state so the serial runner ([`TwoPhasePartitioner`]),
-/// the chunk-parallel runner ([`crate::parallel::ParallelRunner`], over a
-/// shared atomic matrix) and the distributed worker (owned per-shard
-/// matrix) execute the *same* decision path — a one-thread parallel run is
-/// bit-identical to a serial run by construction, not by testing alone.
-pub(crate) struct EdgeAssigner<'a, L: LoadTracker, R: ReplicaSet> {
-    pub(crate) degrees: &'a DegreeTable,
+/// The phase-1+2 state phase 2 reads per edge: a vertex's cluster, a
+/// cluster's volume and a cluster's partition. The in-memory
+/// ([`PlanView`]) and paged ([`PagedClustering`]) storages implement it,
+/// so the per-edge decision kernel is storage-agnostic. Accessors take
+/// `&mut self` because the paged view faults pages (and updates its LRU)
+/// on reads.
+pub(crate) trait ClusterView {
+    /// Raw cluster id of `v` (`NO_CLUSTER` when unassigned).
+    fn cluster_of(&mut self, v: VertexId) -> ClusterId;
+    /// Volume of cluster `c`.
+    fn volume(&mut self, c: ClusterId) -> u64;
+    /// Partition placement of cluster `c`.
+    fn partition_of(&mut self, c: ClusterId) -> PartitionId;
+}
+
+/// The flat in-memory [`ClusterView`]: a finished [`Clustering`] plus its
+/// [`ClusterPlacement`].
+pub(crate) struct PlanView<'a> {
     pub(crate) clustering: &'a Clustering,
     pub(crate) placement: &'a ClusterPlacement,
+}
+
+impl ClusterView for PlanView<'_> {
+    #[inline]
+    fn cluster_of(&mut self, v: VertexId) -> ClusterId {
+        self.clustering.raw_cluster_of(v)
+    }
+    #[inline]
+    fn volume(&mut self, c: ClusterId) -> u64 {
+        self.clustering.volume(c)
+    }
+    #[inline]
+    fn partition_of(&mut self, c: ClusterId) -> PartitionId {
+        self.placement.partition_of(c)
+    }
+}
+
+impl ClusterView for PagedClustering {
+    #[inline]
+    fn cluster_of(&mut self, v: VertexId) -> ClusterId {
+        self.raw_cluster_of(v)
+    }
+    #[inline]
+    fn volume(&mut self, c: ClusterId) -> u64 {
+        self.cluster_volume(c)
+    }
+    #[inline]
+    fn partition_of(&mut self, c: ClusterId) -> PartitionId {
+        PagedClustering::partition_of(self, c)
+    }
+}
+
+impl<T: ClusterView + ?Sized> ClusterView for &mut T {
+    #[inline]
+    fn cluster_of(&mut self, v: VertexId) -> ClusterId {
+        (**self).cluster_of(v)
+    }
+    #[inline]
+    fn volume(&mut self, c: ClusterId) -> u64 {
+        (**self).volume(c)
+    }
+    #[inline]
+    fn partition_of(&mut self, c: ClusterId) -> PartitionId {
+        (**self).partition_of(c)
+    }
+}
+
+/// The phase-2 per-edge decision kernel, generic over the load tracker,
+/// the replication state and the cluster-state storage so the serial
+/// runner ([`TwoPhasePartitioner`], flat or paged), the chunk-parallel
+/// runner ([`crate::parallel::ParallelRunner`], over a shared atomic
+/// matrix) and the distributed worker (owned per-shard matrix) execute the
+/// *same* decision path — a one-thread parallel run is bit-identical to a
+/// serial run, and a paged run to an unpaged one, by construction, not by
+/// testing alone.
+pub(crate) struct EdgeAssigner<'a, L: LoadTracker, R: ReplicaSet, C: ClusterView = PlanView<'a>> {
+    pub(crate) degrees: &'a DegreeTable,
+    pub(crate) view: C,
     pub(crate) v2p: R,
     pub(crate) loads: L,
     pub(crate) hash_seed: u64,
@@ -192,10 +446,30 @@ impl<'a, L: LoadTracker, R: ReplicaSet> EdgeAssigner<'a, L, R> {
         loads: L,
         hash_seed: u64,
     ) -> Self {
+        EdgeAssigner::with_view(
+            degrees,
+            PlanView {
+                clustering,
+                placement,
+            },
+            replicas,
+            loads,
+            hash_seed,
+        )
+    }
+}
+
+impl<'a, L: LoadTracker, R: ReplicaSet, C: ClusterView> EdgeAssigner<'a, L, R, C> {
+    pub(crate) fn with_view(
+        degrees: &'a DegreeTable,
+        view: C,
+        replicas: R,
+        loads: L,
+        hash_seed: u64,
+    ) -> Self {
         EdgeAssigner {
             degrees,
-            clustering,
-            placement,
+            view,
             v2p: replicas,
             loads,
             hash_seed,
@@ -237,17 +511,18 @@ impl<'a, L: LoadTracker, R: ReplicaSet> EdgeAssigner<'a, L, R> {
 
     /// Whether `edge` satisfies the pre-partitioning condition: endpoints in
     /// the same cluster, or clusters mapped to the same partition.
+    /// (`&mut self`: a paged view faults pages on reads.)
     #[inline]
-    pub(crate) fn prepartition_target(&self, edge: Edge) -> Option<PartitionId> {
-        let cu = self.clustering.raw_cluster_of(edge.src);
-        let cv = self.clustering.raw_cluster_of(edge.dst);
+    pub(crate) fn prepartition_target(&mut self, edge: Edge) -> Option<PartitionId> {
+        let cu = self.view.cluster_of(edge.src);
+        let cv = self.view.cluster_of(edge.dst);
         debug_assert_ne!(cu, NO_CLUSTER, "clustering must cover all stream vertices");
         debug_assert_ne!(cv, NO_CLUSTER, "clustering must cover all stream vertices");
-        let pu = self.placement.partition_of(cu);
+        let pu = self.view.partition_of(cu);
         if cu == cv {
             return Some(pu);
         }
-        let pv = self.placement.partition_of(cv);
+        let pv = self.view.partition_of(cv);
         (pu == pv).then_some(pu)
     }
 
@@ -283,17 +558,17 @@ impl<'a, L: LoadTracker, R: ReplicaSet> EdgeAssigner<'a, L, R> {
         sink: &mut dyn AssignmentSink,
     ) -> io::Result<()> {
         self.counters.remaining += 1;
-        let cu = self.clustering.raw_cluster_of(edge.src);
-        let cv = self.clustering.raw_cluster_of(edge.dst);
+        let cu = self.view.cluster_of(edge.src);
+        let cv = self.view.cluster_of(edge.dst);
         let inputs = EdgeScoreInputs {
             u: edge.src,
             v: edge.dst,
             du: self.degrees.degree(edge.src) as u64,
             dv: self.degrees.degree(edge.dst) as u64,
-            vol_cu: self.clustering.volume(cu),
-            vol_cv: self.clustering.volume(cv),
-            pu: self.placement.partition_of(cu),
-            pv: self.placement.partition_of(cv),
+            vol_cu: self.view.volume(cu),
+            vol_cv: self.view.volume(cv),
+            pu: self.view.partition_of(cu),
+            pv: self.view.partition_of(cv),
         };
         let mut target = match strategy {
             RemainingStrategy::TwoChoice => {
@@ -366,6 +641,9 @@ impl Partitioner for TwoPhasePartitioner {
         params: &PartitionParams,
         sink: &mut dyn AssignmentSink,
     ) -> io::Result<RunReport> {
+        if let Some(paging) = self.paging.clone() {
+            return self.partition_paged(&paging, stream, params, sink);
+        }
         let mut report = RunReport::default();
         let info = discover_info(stream)?;
         if info.num_edges == 0 {
@@ -641,6 +919,61 @@ mod tests {
         };
         let (m, _) = run(&g, cfg, 8);
         assert_eq!(m.num_edges, g.num_edges());
+    }
+
+    /// The tentpole invariant end-to-end: a paged run emits the exact same
+    /// assignment sequence as the flat run at every budget, including the
+    /// fully-external budget of zero. Exercises both scoring strategies and
+    /// both mapping strategies so every phase-2 read path is covered.
+    #[test]
+    fn paged_run_bit_identical_to_unpaged_at_every_budget() {
+        use tps_clustering::paged::MemPageStoreProvider;
+        let g = gnm::generate(2_000, 10_000, 13);
+        let params = PartitionParams::new(16);
+        for config in [
+            TwoPhaseConfig::with_passes(2),
+            TwoPhaseConfig::hdrf_variant(),
+            TwoPhaseConfig {
+                mapping: MappingStrategy::UnsortedFirstFit,
+                ..Default::default()
+            },
+        ] {
+            let mut base = VecSink::new();
+            let base_report = TwoPhasePartitioner::new(config)
+                .partition(&mut g.stream(), &params, &mut base)
+                .unwrap();
+            for budget in [0u64, 8 << 10, 1 << 30] {
+                let mut sink = VecSink::new();
+                let paging = ClusterPaging {
+                    budget_bytes: budget,
+                    page_size: 1024,
+                    provider: Arc::new(MemPageStoreProvider),
+                };
+                let report = TwoPhasePartitioner::new(config)
+                    .with_cluster_paging(paging)
+                    .partition(&mut g.stream(), &params, &mut sink)
+                    .unwrap();
+                assert_eq!(sink.assignments(), base.assignments(), "budget {budget}");
+                for key in [
+                    "prepartitioned",
+                    "remaining",
+                    "clusters",
+                    "max_cluster_volume",
+                ] {
+                    assert_eq!(
+                        report.counter(key),
+                        base_report.counter(key),
+                        "budget {budget}, counter {key}"
+                    );
+                }
+                if budget == 0 {
+                    assert!(
+                        report.counter("paging_evictions") > 0,
+                        "budget 0 must evict"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -238,6 +238,7 @@ pub fn run_coordinator(
     transports: Vec<Box<dyn Transport>>,
     supply: &mut dyn WorkerSupply,
     policy: &FaultPolicy,
+    mem_budget_mb: u64,
     sink: &mut dyn AssignmentSink,
 ) -> io::Result<RunReport> {
     assert!(shards >= 1, "need at least one shard");
@@ -245,6 +246,7 @@ pub fn run_coordinator(
         config: *config,
         k: params.k,
         alpha: params.alpha,
+        mem_budget_mb,
         info,
         input: input.clone(),
         policy: *policy,
@@ -281,6 +283,8 @@ struct Coordinator<'a> {
     config: TwoPhaseConfig,
     k: u32,
     alpha: f64,
+    /// `--mem-budget-mb` forwarded to every `Job` (0 = unbudgeted).
+    mem_budget_mb: u64,
     info: GraphInfo,
     input: InputDescriptor,
     policy: FaultPolicy,
@@ -648,6 +652,7 @@ impl Coordinator<'_> {
             shard: self.ranges[s],
             input: self.input.clone(),
             trace: tps_obs::enabled(),
+            mem_budget_mb: self.mem_budget_mb,
         }
     }
 

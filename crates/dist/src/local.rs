@@ -58,6 +58,7 @@ pub fn run_dist_local(
             coordinator_sides,
             &mut NoReplacements,
             &FaultPolicy::default(),
+            0,
             sink,
         );
         // Coordinator failures drop the channels, so workers always unblock;

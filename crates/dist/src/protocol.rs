@@ -88,8 +88,10 @@ use crate::wire::{
 /// protocol, tags 32+ are reserved for the `tps-serve` request frames
 /// (`tps_serve::proto`), which ride the same length-prefixed transport —
 /// a v5 endpoint can therefore tell a misdirected serve frame from a
-/// corrupt one.
-pub const PROTOCOL_VERSION: u32 = 5;
+/// corrupt one. v6 appended `mem_budget_mb` to `Job` (same appended-last
+/// discipline as the v4 `trace` flag) so workers honour the coordinator's
+/// `--mem-budget-mb` decode-cache share.
+pub const PROTOCOL_VERSION: u32 = 6;
 
 /// First message tag reserved for the `tps-serve` frame family (see the
 /// v5 note on [`PROTOCOL_VERSION`]).
@@ -198,6 +200,11 @@ pub struct Job {
     /// counter snapshot) in its `ShardDone` frame. Mirrors the
     /// coordinator's `--trace` state; does not change assignment output.
     pub trace: bool,
+    /// The job's `--mem-budget-mb` (0 = unbudgeted). Workers apply their
+    /// decode-cache share of the deterministic split (`MemBudgetSplit`);
+    /// cluster-state paging is a serial-mode concern and does not apply to
+    /// shard workers. Does not change assignment output.
+    pub mem_budget_mb: u64,
 }
 
 /// A protocol message. See the module docs for the exchange order.
@@ -729,6 +736,8 @@ fn encode_job(out: &mut Vec<u8>, job: &Job) {
     }
     // v4: appended last so every fixed field keeps its v3 offset.
     out.push(job.trace as u8);
+    // v6: appended after the v4 tail for the same reason.
+    put_u64(out, job.mem_budget_mb);
 }
 
 fn decode_job(r: &mut Reader) -> io::Result<Job> {
@@ -782,6 +791,7 @@ fn decode_job(r: &mut Reader) -> io::Result<Job> {
         1 => true,
         other => return Err(corrupt(format!("bad trace flag {other}"))),
     };
+    let mem_budget_mb = r.u64()?;
     if num_workers == 0 || worker_index >= num_workers {
         return Err(corrupt(format!(
             "worker index {worker_index} out of range for {num_workers} workers"
@@ -821,6 +831,7 @@ fn decode_job(r: &mut Reader) -> io::Result<Job> {
         shard,
         input,
         trace,
+        mem_budget_mb,
     })
 }
 
@@ -859,6 +870,7 @@ mod tests {
                 shard: (1250, 2500),
                 input: input.clone(),
                 trace: true,
+                mem_budget_mb: 512,
             };
             let Message::Job(back) = roundtrip(&Message::Job(job.clone())) else {
                 panic!("tag changed");
@@ -867,6 +879,7 @@ mod tests {
             assert_eq!(back.epoch, 3);
             assert_eq!(back.input, input);
             assert!(back.trace);
+            assert_eq!(back.mem_budget_mb, 512);
             assert_eq!(back.config.hash_seed, TwoPhaseConfig::default().hash_seed);
             // A Reissue carries the identical body under its own tag.
             let Message::Reissue(again) = roundtrip(&Message::Reissue(job)) else {
@@ -1100,6 +1113,7 @@ mod tests {
             shard: (0, 10),
             input: InputDescriptor::Attached,
             trace: false,
+            mem_budget_mb: 0,
         })
         .encode();
         for cut in [1, 5, job.len() / 2, job.len() - 1] {
@@ -1125,6 +1139,7 @@ mod tests {
             shard: (8, 20),
             input: InputDescriptor::Attached,
             trace: false,
+            mem_budget_mb: 0,
         };
         assert!(Message::decode(&Message::Job(job).encode()).is_err());
     }

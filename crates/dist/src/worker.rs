@@ -189,6 +189,15 @@ fn serve_job(
         tps_obs::set_enabled(true);
         let _ = tps_obs::take_thread_events();
     }
+    if job.mem_budget_mb > 0 {
+        // Honour the coordinator's budget before the source opens: the v2
+        // decode cache is all-or-nothing per open. Workers take the same
+        // decode-cache share of the deterministic split as a serial run;
+        // cluster-state paging does not apply to shard workers (phase 1
+        // state is merged at a barrier, not streamed through pages).
+        let split = tps_core::job::MemBudgetSplit::of(job.mem_budget_mb << 20);
+        tps_io::v2::set_decode_cache_budget(split.decode_cache);
+    }
     let source = resolver.open(&job.input)?;
     let info = source.info();
     if info.num_vertices != job.num_vertices || info.num_edges != job.num_edges {

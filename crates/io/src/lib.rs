@@ -16,6 +16,9 @@
 //!   chunk-index scheduling, optional per-worker prefetch).
 //! * [`spill`] — a memory-bounded spilling assignment sink for materialised
 //!   per-partition output at scale.
+//! * [`page`] — a checksummed slotted page store backing `tps-clustering`'s
+//!   paged cluster table, so cluster state itself can live out of core
+//!   under a `--mem-budget-mb` budget.
 //!
 //! [`open_edge_stream`] is the front door: it sniffs the file format (v1 or
 //! v2 by magic) and applies the requested [`ReaderBackend`]. See
@@ -23,6 +26,7 @@
 //! guide.
 
 pub mod mmap;
+pub mod page;
 pub mod partread;
 pub mod prefetch;
 pub mod ranged;
@@ -35,6 +39,7 @@ use std::io::{self, Read};
 use std::path::Path;
 use std::sync::Arc;
 
+use tps_clustering::paged::PageStoreProvider;
 use tps_core::job::{InputProvider, JobSpec, ReaderKind};
 use tps_core::runner::RunOutcome;
 use tps_core::sink::SpoolFactory;
@@ -45,6 +50,7 @@ use tps_graph::stream::EdgeStream;
 pub use partread::{load_partition_dir, LoadedPartition};
 
 pub use mmap::MmapEdgeFile;
+pub use page::{FilePageStore, TempPageStoreProvider};
 pub use prefetch::{ChunkSource, PrefetchConfig, PrefetchReader, V1ChunkSource, V2ChunkSource};
 pub use ranged::{
     open_ranged, open_ranged_backend, open_ranged_mmap, open_ranged_prefetch, RangedMmapV1File,
@@ -188,6 +194,15 @@ impl InputProvider for FileInput {
             threads,
         )?;
         Ok(Arc::new(factory))
+    }
+
+    fn page_store_provider(&self) -> io::Result<Arc<dyn PageStoreProvider>> {
+        let dir = std::env::temp_dir().join(format!("tps-pages-{}", std::process::id()));
+        Ok(Arc::new(page::TempPageStoreProvider::new(dir)))
+    }
+
+    fn set_decode_cache_budget(&self, bytes: u64) {
+        v2::set_decode_cache_budget(bytes);
     }
 }
 

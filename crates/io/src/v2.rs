@@ -33,6 +33,7 @@
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use tps_graph::formats::binary::BinaryEdgeFile;
 use tps_graph::stream::EdgeStream;
@@ -654,11 +655,32 @@ pub(crate) fn decode_chunk_slice(
 /// and every later pass is served from memory at raw `Vec<Edge>` scan
 /// speed, skipping file I/O, checksumming, and varint decode entirely. The
 /// paper's pipeline makes 4 sequential passes per partitioning run, so this
-/// turns the decode cost from per-pass into per-open. Override with the
-/// `TPS_V2_DECODE_CACHE_MB` environment variable (`0` disables caching).
+/// turns the decode cost from per-pass into per-open. Override
+/// programmatically with [`set_decode_cache_budget`] (what a job-level
+/// `--mem-budget-mb` split does) or, as a fallback when no programmatic
+/// budget is set, with the `TPS_V2_DECODE_CACHE_MB` environment variable
+/// (`0` disables caching).
 pub const DECODE_CACHE_DEFAULT_BYTES: u64 = 64 << 20;
 
+/// Programmatic decode-cache budget; `u64::MAX` means "unset, fall back to
+/// the environment variable / default".
+static DECODE_CACHE_OVERRIDE: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Set the decode-cache budget for every v2 file opened after this call.
+///
+/// Takes precedence over `TPS_V2_DECODE_CACHE_MB`; `0` disables caching.
+/// The budget is consulted once per open (the cache is all-or-nothing per
+/// file), so call this before opening inputs. A job's `--mem-budget-mb`
+/// split routes its decode-cache share here.
+pub fn set_decode_cache_budget(bytes: u64) {
+    DECODE_CACHE_OVERRIDE.store(bytes, Ordering::Relaxed);
+}
+
 fn decode_cache_budget() -> u64 {
+    let over = DECODE_CACHE_OVERRIDE.load(Ordering::Relaxed);
+    if over != u64::MAX {
+        return over;
+    }
     match std::env::var("TPS_V2_DECODE_CACHE_MB") {
         Ok(s) => s
             .trim()

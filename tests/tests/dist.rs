@@ -91,6 +91,7 @@ fn dist_traced(
             coordinator_sides,
             &mut NoReplacements,
             &FaultPolicy::default(),
+            0,
             &mut sink,
         )
         .unwrap();
@@ -314,6 +315,7 @@ fn coordinator_rejects_garbage_handshake() {
         transports,
         &mut NoReplacements,
         &FaultPolicy::default(),
+        0,
         &mut sink,
     )
     .unwrap_err();
@@ -361,6 +363,7 @@ fn mismatched_job_info_aborts_the_run() {
             transports,
             &mut NoReplacements,
             &FaultPolicy::default(),
+            0,
             &mut sink,
         )
         .unwrap_err();
@@ -398,6 +401,7 @@ fn abort_propagates_over_tcp() {
         transports,
         &mut NoReplacements,
         &FaultPolicy::default(),
+        0,
         &mut sink,
     )
     .unwrap_err();

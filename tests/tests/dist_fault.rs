@@ -101,6 +101,7 @@ fn dist_chaos(
             coordinator_sides,
             &mut supply,
             policy,
+            0,
             &mut sink,
         )
     })?;
@@ -365,6 +366,7 @@ fn stale_epoch_frames_are_discarded_not_merged_twice() {
             vec![Box::new(c) as Box<dyn Transport>],
             &mut supply,
             &FaultPolicy::with_retries(1),
+            0,
             &mut sink,
         )
     })
@@ -431,6 +433,7 @@ fn future_epoch_frames_are_rejected() {
             vec![Box::new(c) as Box<dyn Transport>],
             &mut supply,
             &FaultPolicy::with_retries(1),
+            0,
             &mut sink,
         )
     })
@@ -489,6 +492,7 @@ fn frame_timeout_detects_hung_worker_and_standby_recovers() {
                 transports,
                 &mut NoReplacements,
                 &policy,
+                0,
                 &mut sink,
             );
             drop(w_hung);
@@ -548,6 +552,7 @@ fn completed_worker_serves_a_reissue() {
             coordinator_sides,
             &mut NoReplacements,
             &FaultPolicy::with_retries(1),
+            0,
             &mut sink,
         )
     })
@@ -589,6 +594,7 @@ fn zero_retry_budget_fails_on_first_loss() {
             vec![Box::new(c) as Box<dyn Transport>],
             &mut NoReplacements,
             &FaultPolicy::default(),
+            0,
             &mut sink,
         )
     })
@@ -627,6 +633,7 @@ fn no_replacement_available_is_an_error_not_a_hang() {
             vec![Box::new(c) as Box<dyn Transport>],
             &mut NoReplacements,
             &FaultPolicy::with_retries(3),
+            0,
             &mut sink,
         )
     })

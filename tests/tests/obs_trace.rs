@@ -85,6 +85,7 @@ fn dist_run(g: &InMemoryGraph, workers: usize) -> Vec<(Edge, u32)> {
             coordinator_sides,
             &mut NoReplacements,
             &FaultPolicy::default(),
+            0,
             &mut sink,
         )
         .unwrap();
